@@ -1,0 +1,78 @@
+//! Criterion micro-bench: the edge-based flux kernel under the orderings of
+//! Table 1 / Figure 3 — sorted vs vector-colored edges, first vs second
+//! order, interlaced vs segregated fields.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fun3d_bench::perturbed_state;
+use fun3d_core::config::apply_orderings;
+use fun3d_euler::field::FieldVec;
+use fun3d_euler::model::FlowModel;
+use fun3d_euler::residual::{Discretization, SpatialOrder};
+use fun3d_mesh::generator::BumpChannelSpec;
+use fun3d_mesh::reorder::{EdgeOrdering, VertexOrdering};
+use fun3d_sparse::layout::FieldLayout;
+
+fn bench_flux(c: &mut Criterion) {
+    let base = BumpChannelSpec::with_target_vertices(15_000).build();
+    let mut group = c.benchmark_group("flux");
+    let configs = [
+        ("tuned", VertexOrdering::ReverseCuthillMcKee, EdgeOrdering::VertexSorted),
+        ("colored", VertexOrdering::Random(7), EdgeOrdering::VectorColored),
+    ];
+    for (name, vord, eord) in configs {
+        let mesh = apply_orderings(base.clone(), vord, eord);
+        group.throughput(Throughput::Elements(mesh.nedges() as u64));
+        for layout in [FieldLayout::Interlaced, FieldLayout::Segregated] {
+            let lname = match layout {
+                FieldLayout::Interlaced => "interlaced",
+                FieldLayout::Segregated => "segregated",
+            };
+            let disc = Discretization::new(
+                &mesh,
+                FlowModel::incompressible(),
+                layout,
+                SpatialOrder::First,
+            );
+            let q = perturbed_state(&disc, 0.01);
+            let mut res = FieldVec::zeros(mesh.nverts(), 4, layout);
+            let mut ws = disc.workspace();
+            group.bench_function(format!("first-{name}-{lname}"), |b| {
+                b.iter(|| disc.residual(&q, &mut res, &mut ws))
+            });
+        }
+        // Second order on the tuned interlaced configuration only.
+        let disc = Discretization::new(
+            &mesh,
+            FlowModel::incompressible(),
+            FieldLayout::Interlaced,
+            SpatialOrder::Second,
+        );
+        let q = perturbed_state(&disc, 0.01);
+        let mut res = FieldVec::zeros(mesh.nverts(), 4, FieldLayout::Interlaced);
+        let mut ws = disc.workspace();
+        group.bench_function(format!("second-{name}-interlaced"), |b| {
+            b.iter(|| disc.residual(&q, &mut res, &mut ws))
+        });
+    }
+    group.finish();
+}
+
+fn bench_jacobian(c: &mut Criterion) {
+    let mesh = BumpChannelSpec::with_target_vertices(8_000).build();
+    let mut group = c.benchmark_group("jacobian-assembly");
+    group.sample_size(10);
+    for model in [FlowModel::incompressible(), FlowModel::compressible()] {
+        let disc = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+        let q = perturbed_state(&disc, 0.01);
+        let tag = if model.ncomp() == 4 { "incomp" } else { "comp" };
+        group.bench_function(tag, |b| b.iter(|| disc.jacobian(&q)));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_flux, bench_jacobian
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-bench: partitioner construction and refinement cost, and
+//! RCM ordering cost — the setup-phase work a production run amortizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fun3d_mesh::generator::BumpChannelSpec;
+use fun3d_mesh::reorder::rcm;
+use fun3d_partition::{partition_fragmented, partition_kway, partition_pway, refine_boundary};
+
+fn bench_partition(c: &mut Criterion) {
+    let g = BumpChannelSpec::with_target_vertices(12_000).build().vertex_graph();
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    for k in [8usize, 32] {
+        group.bench_function(format!("kway-{k}"), |b| {
+            b.iter(|| partition_kway(&g, k, 1))
+        });
+        group.bench_function(format!("pway-{k}"), |b| {
+            b.iter(|| partition_pway(&g, k, 1))
+        });
+        group.bench_function(format!("fragmented-{k}"), |b| {
+            b.iter(|| partition_fragmented(&g, k, 2, 1))
+        });
+        group.bench_function(format!("refine-{k}"), |b| {
+            b.iter_batched(
+                || partition_kway(&g, k, 1),
+                |mut p| refine_boundary(&g, &mut p, 1.05, 4),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_rcm(c: &mut Criterion) {
+    let g = BumpChannelSpec::with_target_vertices(12_000).build().vertex_graph();
+    let mut group = c.benchmark_group("ordering");
+    group.sample_size(10);
+    group.bench_function("rcm", |b| b.iter(|| rcm(&g)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_partition, bench_rcm
+}
+criterion_main!(benches);

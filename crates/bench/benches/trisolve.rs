@@ -1,0 +1,65 @@
+//! Criterion micro-bench: ILU(k) triangular solves with double vs single
+//! precision factor storage — the Table 2 effect on the host.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fun3d_bench::representative_jacobian;
+use fun3d_euler::model::FlowModel;
+use fun3d_mesh::generator::BumpChannelSpec;
+use fun3d_sparse::ilu::{IluFactors, IluOptions, PrecStorage};
+use fun3d_sparse::layout::FieldLayout;
+
+fn bench_trisolve(c: &mut Criterion) {
+    let mesh = BumpChannelSpec::with_target_vertices(12_000).build();
+    let jac = representative_jacobian(
+        &mesh,
+        FlowModel::incompressible(),
+        FieldLayout::Interlaced,
+        10.0,
+    );
+    let n = jac.nrows();
+    let b: Vec<f64> = (0..n).map(|i| ((i % 19) as f64 - 9.0) / 9.0).collect();
+    let mut x = vec![0.0; n];
+    let mut group = c.benchmark_group("trisolve");
+    for fill in [0usize, 1] {
+        for (name, storage) in [("f64", PrecStorage::Double), ("f32", PrecStorage::Single)] {
+            let f = IluFactors::factor(
+                &jac,
+                &IluOptions {
+                    fill_level: fill,
+                    storage,
+                },
+            )
+            .expect("factorable");
+            group.throughput(Throughput::Elements(f.nnz() as u64));
+            group.bench_function(format!("ilu{fill}-{name}"), |bch| {
+                bch.iter(|| f.solve(&b, &mut x))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_factor(c: &mut Criterion) {
+    let mesh = BumpChannelSpec::with_target_vertices(8_000).build();
+    let jac = representative_jacobian(
+        &mesh,
+        FlowModel::incompressible(),
+        FieldLayout::Interlaced,
+        10.0,
+    );
+    let mut group = c.benchmark_group("ilu-factor");
+    group.sample_size(10);
+    for fill in [0usize, 1, 2] {
+        group.bench_function(format!("ilu{fill}"), |bch| {
+            bch.iter(|| IluFactors::factor(&jac, &IluOptions::with_fill(fill)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_trisolve, bench_factor
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion micro-bench: the BLAS-1 kernels of the Krylov iteration (the
+//! bandwidth-bound floor of the solve phase), plus a mini-STREAM reference.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fun3d_sparse::vec_ops;
+
+fn bench_vecops(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 1e-4).sin()).collect();
+    let mut y: Vec<f64> = (0..n).map(|i| (i as f64 * 1e-4).cos()).collect();
+    let mut group = c.benchmark_group("vecops");
+    group.throughput(Throughput::Bytes((16 * n) as u64));
+    group.bench_function("dot", |b| {
+        b.iter(|| std::hint::black_box(vec_ops::dot(&x, &y)))
+    });
+    group.bench_function("axpy", |b| b.iter(|| vec_ops::axpy(1.0001, &x, &mut y)));
+    group.throughput(Throughput::Bytes((8 * n) as u64));
+    group.bench_function("norm2", |b| {
+        b.iter(|| std::hint::black_box(vec_ops::norm2(&x)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_vecops
+}
+criterion_main!(benches);

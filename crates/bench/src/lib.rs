@@ -1,0 +1,202 @@
+//! Shared harness utilities for the table/figure regenerator binaries.
+//!
+//! Every binary accepts `--scale <f>` (fraction of the paper's mesh size to
+//! actually run; default keeps runs to seconds) and `--full` (the paper's
+//! size — minutes to hours).  Measured numbers regenerate the paper's *rows*;
+//! EXPERIMENTS.md records the paper-vs-measured comparison.
+
+use fun3d_euler::field::FieldVec;
+use fun3d_euler::model::FlowModel;
+use fun3d_euler::residual::{Discretization, SpatialOrder};
+use fun3d_mesh::generator::{BumpChannelSpec, MeshFamily};
+use fun3d_mesh::tet::TetMesh;
+use fun3d_sparse::csr::CsrMatrix;
+use fun3d_sparse::layout::FieldLayout;
+
+/// Command-line options shared by the regenerators.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Fraction of the paper's vertex count to use.
+    pub scale: f64,
+    /// Number of measured pseudo-timesteps (where applicable).
+    pub steps: usize,
+}
+
+impl BenchArgs {
+    /// Parse from `std::env::args`: `--scale <f>`, `--full`, `--steps <n>`.
+    pub fn parse(default_scale: f64) -> Self {
+        let mut scale = default_scale;
+        let mut steps = 3;
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    scale = args[i].parse().expect("--scale expects a number");
+                }
+                "--full" => scale = 1.0,
+                "--steps" => {
+                    i += 1;
+                    steps = args[i].parse().expect("--steps expects an integer");
+                }
+                other => panic!("unknown argument: {other} (expected --scale/--full/--steps)"),
+            }
+            i += 1;
+        }
+        assert!(scale > 0.0 && scale <= 4.0, "scale out of range");
+        Self { scale, steps }
+    }
+
+    /// A mesh spec for the given paper family, scaled by `self.scale`.
+    pub fn family_spec(&self, family: MeshFamily) -> BumpChannelSpec {
+        let target = (family.paper_vertices() as f64 * self.scale) as usize;
+        BumpChannelSpec::with_target_vertices(target.max(500))
+    }
+}
+
+/// Print a Markdown-ish table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Format seconds adaptively.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.1}s")
+    } else if s >= 1e-3 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// A smoothly perturbed near-freestream state (so Jacobians and fluxes are
+/// generic, not at the trivial constant state).
+pub fn perturbed_state(disc: &Discretization, amplitude: f64) -> FieldVec {
+    let mesh = disc.mesh();
+    let mut q = disc.initial_state();
+    for v in 0..mesh.nverts() {
+        let x = mesh.coords()[v];
+        let mut s = q.get(v);
+        for c in 0..disc.ncomp() {
+            s[c] += amplitude
+                * ((c + 1) as f64)
+                * (1.3 * x[0] + 0.7 * x[1]).sin()
+                * (0.9 * x[2]).cos();
+        }
+        q.set(v, &s);
+    }
+    q
+}
+
+/// Assemble a representative shifted Jacobian (first-order, pseudo-time
+/// diagonal at the given CFL) — the matrix the solve-phase experiments
+/// exercise.
+pub fn representative_jacobian(
+    mesh: &TetMesh,
+    model: FlowModel,
+    layout: FieldLayout,
+    cfl: f64,
+) -> CsrMatrix {
+    let disc = Discretization::new(mesh, model, layout, SpatialOrder::First);
+    let q = perturbed_state(&disc, 0.01);
+    let mut jac = disc.jacobian(&q);
+    let d: Vec<f64> = {
+        let sums = disc.wavespeed_sums(&q);
+        let nv = mesh.nverts();
+        let ncomp = disc.ncomp();
+        let mut out = vec![0.0; nv * ncomp];
+        for v in 0..nv {
+            for c in 0..ncomp {
+                let idx = match layout {
+                    FieldLayout::Interlaced => v * ncomp + c,
+                    FieldLayout::Segregated => c * nv + v,
+                };
+                out[idx] = sums[v];
+            }
+        }
+        out
+    };
+    jac.shift_diagonal_by(1.0 / cfl, &d);
+    jac
+}
+
+/// Median of repeated timings of `f` (after one warmup call).
+pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fun3d_sparse::ilu::{IluFactors, IluOptions};
+
+    #[test]
+    fn family_spec_scales() {
+        let args = BenchArgs {
+            scale: 0.1,
+            steps: 3,
+        };
+        let spec = args.family_spec(MeshFamily::Small);
+        let got = spec.nverts() as f64;
+        assert!((got / 2267.7 - 1.0).abs() < 0.5, "{got}");
+    }
+
+    #[test]
+    fn representative_jacobian_is_factorable() {
+        let mesh = BumpChannelSpec::with_dims(6, 5, 5).build();
+        let jac = representative_jacobian(
+            &mesh,
+            FlowModel::incompressible(),
+            FieldLayout::Interlaced,
+            10.0,
+        );
+        IluFactors::factor(&jac, &IluOptions::with_fill(0)).expect("factorable");
+    }
+
+    #[test]
+    fn time_median_returns_positive() {
+        let t = time_median(3, || {
+            std::hint::black_box((0..1000).sum::<usize>());
+        });
+        assert!(t >= 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-rank simulated time with the paper's phase taxonomy.
+//!
+//! Table 3 decomposes parallel overhead into three categories: *global
+//! reductions*, *implicit synchronizations* (waits caused by load imbalance,
+//! surfacing at whatever communication event comes next), and *ghost point
+//! scatters* (the nearest-neighbor transfer itself).  [`SimClock`] advances a
+//! per-rank virtual clock through exactly these categories so the
+//! decomposition can be reported for any run.
+
+use fun3d_memmodel::machine::MachineSpec;
+
+/// Accumulated simulated time by category (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseBreakdown {
+    /// Local computation (roofline time).
+    pub compute: f64,
+    /// Ghost-point scatter transfer time (latency + volume / bandwidth).
+    pub scatter: f64,
+    /// Global reduction tree time.
+    pub reduction: f64,
+    /// Wait time at synchronization points due to imbalance — the paper's
+    /// "implicit synchronizations".
+    pub implicit_sync: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total accounted time.
+    pub fn total(&self) -> f64 {
+        self.compute + self.scatter + self.reduction + self.implicit_sync
+    }
+
+    /// Percentage of total spent in each non-compute category, in the order
+    /// Table 3 reports them: (reductions, implicit syncs, scatters).
+    pub fn overhead_percentages(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.reduction / t,
+            100.0 * self.implicit_sync / t,
+            100.0 * self.scatter / t,
+        )
+    }
+}
+
+/// A simulated clock tied to a machine model.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    machine: MachineSpec,
+    now: f64,
+    breakdown: PhaseBreakdown,
+    /// Total bytes this rank sent (Table 3's "total data sent" column).
+    pub bytes_sent: f64,
+    /// Total flops this rank executed (for Gflop/s reporting).
+    pub flops: f64,
+}
+
+impl SimClock {
+    /// A clock at time zero on the given machine.
+    pub fn new(machine: MachineSpec) -> Self {
+        Self {
+            machine,
+            now: 0.0,
+            breakdown: PhaseBreakdown::default(),
+            bytes_sent: 0.0,
+            flops: 0.0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The machine model.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// Accumulated phase breakdown.
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        self.breakdown
+    }
+
+    /// Advance through a compute phase: `flops` floating-point operations
+    /// touching `bytes` of memory, at the given scheduling efficiency.
+    pub fn compute(&mut self, flops: f64, bytes: f64, efficiency: f64) {
+        let dt = self.machine.compute_time(flops, bytes, efficiency);
+        self.now += dt;
+        self.breakdown.compute += dt;
+        self.flops += flops;
+    }
+
+    /// Record the receipt of a message of `bytes` sent at simulated time
+    /// `sent_at`.  Wait (sender later than us) is booked as implicit
+    /// synchronization; the transfer itself as scatter time.
+    pub fn receive_message(&mut self, bytes: f64, sent_at: f64) {
+        if sent_at > self.now {
+            self.breakdown.implicit_sync += sent_at - self.now;
+            self.now = sent_at;
+        }
+        let transfer = self.machine.message_time(bytes);
+        self.now += transfer;
+        self.breakdown.scatter += transfer;
+    }
+
+    /// Record the send side of a message (sender does not block; only the
+    /// injection overhead, modeled as the latency term, is charged).
+    pub fn send_message(&mut self, bytes: f64) {
+        self.bytes_sent += bytes;
+        let dt = self.machine.net_latency_s;
+        self.now += dt;
+        self.breakdown.scatter += dt;
+    }
+
+    /// Synchronize with a global reduction over `p` ranks whose maximum
+    /// clock is `t_max`: imbalance wait plus the log-tree reduction term.
+    pub fn allreduce_sync(&mut self, p: usize, t_max: f64) {
+        if t_max > self.now {
+            self.breakdown.implicit_sync += t_max - self.now;
+            self.now = t_max;
+        }
+        let dt = self.machine.allreduce_time(p);
+        self.now += dt;
+        self.breakdown.reduction += dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> SimClock {
+        SimClock::new(MachineSpec::asci_red())
+    }
+
+    #[test]
+    fn compute_advances_clock() {
+        let mut c = clock();
+        c.compute(333e6, 0.0, 1.0);
+        assert!((c.now() - 1.0).abs() < 1e-12);
+        assert!((c.breakdown().compute - 1.0).abs() < 1e-12);
+        assert_eq!(c.flops, 333e6);
+    }
+
+    #[test]
+    fn late_sender_books_implicit_sync() {
+        let mut c = clock();
+        c.receive_message(1000.0, 0.5);
+        let b = c.breakdown();
+        assert!((b.implicit_sync - 0.5).abs() < 1e-12);
+        assert!(b.scatter > 0.0);
+        assert!(c.now() > 0.5);
+    }
+
+    #[test]
+    fn early_sender_books_no_wait() {
+        let mut c = clock();
+        c.compute(333e6, 0.0, 1.0); // now = 1.0
+        c.receive_message(1000.0, 0.2);
+        assert_eq!(c.breakdown().implicit_sync, 0.0);
+    }
+
+    #[test]
+    fn allreduce_waits_to_max() {
+        let mut c = clock();
+        c.compute(33.3e6, 0.0, 1.0); // now = 0.1
+        c.allreduce_sync(1024, 0.5);
+        let b = c.breakdown();
+        assert!((b.implicit_sync - 0.4).abs() < 1e-12);
+        assert!(b.reduction > 0.0);
+    }
+
+    #[test]
+    fn percentages_sum_to_overheads() {
+        let mut c = clock();
+        c.compute(333e6, 0.0, 1.0);
+        c.allreduce_sync(128, 2.0);
+        let (r, s, g) = c.breakdown().overhead_percentages();
+        assert!(r > 0.0 && s > 0.0);
+        assert_eq!(g, 0.0);
+        assert!(r + s < 100.0);
+    }
+
+    #[test]
+    fn send_accumulates_bytes() {
+        let mut c = clock();
+        c.send_message(1024.0);
+        c.send_message(1024.0);
+        assert_eq!(c.bytes_sent, 2048.0);
+    }
+}

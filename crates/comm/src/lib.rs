@@ -1,0 +1,30 @@
+//! Message-passing substrate for the parallel experiments.
+//!
+//! The paper's runs used MPI on up to 3072 nodes of ASCI Red.  This crate
+//! provides the equivalent programming model at laptop scale:
+//!
+//! * [`world`] — an MPI-like communicator: ranks run as threads, exchange
+//!   typed messages over channels, and synchronize through deterministic
+//!   tree collectives (`allreduce`, `barrier`).
+//! * [`clock`] — each rank carries a *simulated clock* advanced by a
+//!   [`fun3d_memmodel::machine::MachineSpec`]: compute phases advance it by
+//!   roofline time, messages by latency + volume / bandwidth, reductions by
+//!   a log-tree term, and every synchronization records the *wait* caused by
+//!   load imbalance.  These are exactly the categories of Table 3
+//!   (global reductions / implicit synchronizations / ghost point scatters).
+//! * [`scatter`] — PETSc `VecScatter` analogue: the ghost-point exchange
+//!   pattern built from a mesh partition, executed with real data movement
+//!   and simulated-time accounting.
+//! * [`smp`] — a shared-memory thread team (the OpenMP analogue of Section
+//!   2.5 / Table 5) with the private-array + gather reduction the paper
+//!   describes.
+
+pub mod clock;
+pub mod scatter;
+pub mod smp;
+pub mod world;
+
+pub use clock::{PhaseBreakdown, SimClock};
+pub use scatter::ScatterPlan;
+pub use smp::ThreadTeam;
+pub use world::{run_world, Rank};

@@ -1,0 +1,160 @@
+//! Shared-memory thread team — the OpenMP analogue of Section 2.5.
+//!
+//! Table 5 compares two ways to use a node's second processor on the flux
+//! evaluation: OpenMP threads splitting the edge loop inside one address
+//! space, versus two MPI processes with separate subdomains.  The threaded
+//! variant needs *private residual arrays* per thread (OpenMP 1.0 had no
+//! vector reduction), combined afterwards by a gather that is itself memory-
+//! bandwidth-bound — the caveat the paper calls out.  [`ThreadTeam`]
+//! reproduces that exact structure.
+
+/// A team of worker threads with static loop scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadTeam {
+    nthreads: usize,
+}
+
+impl ThreadTeam {
+    /// A team of `nthreads` workers (1 = sequential).
+    pub fn new(nthreads: usize) -> Self {
+        assert!(nthreads >= 1);
+        Self { nthreads }
+    }
+
+    /// Team size.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// The contiguous static chunk of `0..n` assigned to thread `t`.
+    pub fn chunk(&self, n: usize, t: usize) -> std::ops::Range<usize> {
+        let per = n / self.nthreads;
+        let rem = n % self.nthreads;
+        let start = t * per + t.min(rem);
+        let len = per + usize::from(t < rem);
+        start..start + len
+    }
+
+    /// Run `f(thread_id, chunk)` on every thread over the index space
+    /// `0..n` with static scheduling (OpenMP `schedule(static)`).
+    pub fn parallel_for<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Sync,
+    {
+        if self.nthreads == 1 {
+            f(0, 0..n);
+            return;
+        }
+        std::thread::scope(|scope| {
+            for t in 0..self.nthreads {
+                let range = self.chunk(n, t);
+                let f = &f;
+                scope.spawn(move || f(t, range));
+            }
+        });
+    }
+
+    /// The private-array reduction of the paper: each thread accumulates
+    /// into its own copy of the residual; afterwards the copies are summed
+    /// into the shared array (a bandwidth-bound gather).
+    ///
+    /// `body(thread, chunk, private)` fills the thread's private array.
+    pub fn parallel_for_private_reduce<F>(&self, n: usize, result: &mut [f64], body: F)
+    where
+        F: Fn(usize, std::ops::Range<usize>, &mut [f64]) + Sync,
+    {
+        let width = result.len();
+        let mut privates: Vec<Vec<f64>> = (0..self.nthreads).map(|_| vec![0.0; width]).collect();
+        if self.nthreads == 1 {
+            body(0, 0..n, &mut privates[0]);
+        } else {
+            std::thread::scope(|scope| {
+                for (t, private) in privates.iter_mut().enumerate() {
+                    let range = self.chunk(n, t);
+                    let body = &body;
+                    scope.spawn(move || body(t, range, private));
+                }
+            });
+        }
+        // The gather: redundant memory traffic proportional to
+        // nthreads * len(result).
+        for private in &privates {
+            for (r, p) in result.iter_mut().zip(private) {
+                *r += p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_partition_the_range() {
+        let team = ThreadTeam::new(3);
+        let n = 10;
+        let mut covered = vec![false; n];
+        for t in 0..3 {
+            for i in team.chunk(n, t) {
+                assert!(!covered[i]);
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+        // Static chunks are balanced within 1.
+        let sizes: Vec<usize> = (0..3).map(|t| team.chunk(n, t).len()).collect();
+        assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn parallel_for_visits_everything_once() {
+        let team = ThreadTeam::new(4);
+        let n = 1000;
+        let counter = AtomicUsize::new(0);
+        team.parallel_for(n, |_, range| {
+            counter.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn private_reduce_matches_sequential() {
+        // Sum of i over chunks, scattered into result[i % width].
+        let width = 8;
+        let n = 100;
+        let reference = {
+            let mut r = vec![0.0; width];
+            for i in 0..n {
+                r[i % width] += i as f64;
+            }
+            r
+        };
+        for nthreads in [1usize, 2, 4, 7] {
+            let team = ThreadTeam::new(nthreads);
+            let mut result = vec![0.0; width];
+            team.parallel_for_private_reduce(n, &mut result, |_, range, private| {
+                for i in range {
+                    private[i % width] += i as f64;
+                }
+            });
+            assert_eq!(result, reference, "nthreads={nthreads}");
+        }
+    }
+
+    #[test]
+    fn single_thread_chunk_is_whole_range() {
+        let team = ThreadTeam::new(1);
+        assert_eq!(team.chunk(17, 0), 0..17);
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let team = ThreadTeam::new(4);
+        team.parallel_for(0, |_, range| assert!(range.is_empty()));
+        let mut result = vec![0.0; 4];
+        team.parallel_for_private_reduce(0, &mut result, |_, _, _| {});
+        assert_eq!(result, vec![0.0; 4]);
+    }
+}

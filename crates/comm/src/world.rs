@@ -1,0 +1,316 @@
+//! An MPI-like world: one thread per rank, channels for point-to-point
+//! messages, deterministic collectives, and simulated-time integration.
+//!
+//! The collectives are implemented star-wise through rank 0 with a fixed
+//! reduction order, so results (including floating-point rounding) are
+//! bit-reproducible across runs — a property the numerical regression tests
+//! rely on.
+
+use crate::clock::SimClock;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fun3d_memmodel::machine::MachineSpec;
+
+/// A message: tag, payload, and the sender's simulated send time.
+#[derive(Debug)]
+struct Msg {
+    tag: u32,
+    data: Vec<f64>,
+    sim_sent: f64,
+}
+
+/// One rank's endpoint in the world.
+pub struct Rank {
+    id: usize,
+    nranks: usize,
+    /// Senders to every rank (index = destination).
+    tx: Vec<Sender<Msg>>,
+    /// Receivers from every rank (index = source).
+    rx: Vec<Receiver<Msg>>,
+    /// The simulated clock.
+    pub clock: SimClock,
+}
+
+impl Rank {
+    /// This rank's id in `0..nranks`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// World size.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Send `data` to `to` with `tag`. Non-blocking (channels are
+    /// unbounded); charges injection overhead to the simulated clock.
+    pub fn send(&mut self, to: usize, tag: u32, data: Vec<f64>) {
+        let bytes = (data.len() * 8) as f64;
+        let msg = Msg {
+            tag,
+            data,
+            sim_sent: self.clock.now(),
+        };
+        self.clock.send_message(bytes);
+        self.tx[to].send(msg).expect("receiver hung up");
+    }
+
+    /// Receive the next message from `from`; panics if its tag differs
+    /// (messages between a pair are ordered, so tags act as assertions).
+    pub fn recv(&mut self, from: usize, tag: u32) -> Vec<f64> {
+        let msg = self.rx[from].recv().expect("sender hung up");
+        assert_eq!(msg.tag, tag, "tag mismatch on rank {} from {}", self.id, from);
+        self.clock
+            .receive_message((msg.data.len() * 8) as f64, msg.sim_sent);
+        msg.data
+    }
+
+    /// Element-wise sum allreduce with deterministic order (rank 0 reduces
+    /// 1, 2, ..., p-1, then broadcasts). Synchronizes simulated clocks.
+    pub fn allreduce_sum(&mut self, x: &[f64]) -> Vec<f64> {
+        self.allreduce_with(x, |acc, v| {
+            for (a, b) in acc.iter_mut().zip(v) {
+                *a += b;
+            }
+        })
+    }
+
+    /// Element-wise max allreduce.
+    pub fn allreduce_max(&mut self, x: &[f64]) -> Vec<f64> {
+        self.allreduce_with(x, |acc, v| {
+            for (a, b) in acc.iter_mut().zip(v) {
+                *a = a.max(*b);
+            }
+        })
+    }
+
+    /// Scalar sum allreduce convenience.
+    pub fn allreduce_sum_scalar(&mut self, v: f64) -> f64 {
+        self.allreduce_sum(&[v])[0]
+    }
+
+    /// Scalar max allreduce convenience.
+    pub fn allreduce_max_scalar(&mut self, v: f64) -> f64 {
+        self.allreduce_max(&[v])[0]
+    }
+
+    /// Barrier (an empty allreduce).
+    pub fn barrier(&mut self) {
+        self.allreduce_sum(&[]);
+    }
+
+    fn allreduce_with(&mut self, x: &[f64], mut combine: impl FnMut(&mut [f64], &[f64])) -> Vec<f64> {
+        const TAG_GATHER: u32 = u32::MAX - 1;
+        const TAG_BCAST: u32 = u32::MAX - 2;
+        let p = self.nranks;
+        // Piggyback the local simulated time as the last element.
+        let mut payload: Vec<f64> = Vec::with_capacity(x.len() + 1);
+        payload.extend_from_slice(x);
+        payload.push(self.clock.now());
+        if self.id == 0 {
+            let mut acc = payload[..x.len()].to_vec();
+            let mut t_max = self.clock.now();
+            for from in 1..p {
+                // Collective bookkeeping bypasses the scatter-time model:
+                // raw channel receive, time handled by allreduce_sync below.
+                let msg = self.rx[from].recv().expect("sender hung up");
+                assert_eq!(msg.tag, TAG_GATHER);
+                combine(&mut acc, &msg.data[..x.len()]);
+                t_max = t_max.max(msg.data[x.len()]);
+            }
+            let mut out = acc.clone();
+            out.push(t_max);
+            for to in 1..p {
+                self.tx[to]
+                    .send(Msg {
+                        tag: TAG_BCAST,
+                        data: out.clone(),
+                        sim_sent: 0.0,
+                    })
+                    .expect("receiver hung up");
+            }
+            self.clock.allreduce_sync(p, t_max);
+            acc
+        } else {
+            self.tx[0]
+                .send(Msg {
+                    tag: TAG_GATHER,
+                    data: payload,
+                    sim_sent: 0.0,
+                })
+                .expect("receiver hung up");
+            let msg = self.rx[0].recv().expect("root hung up");
+            assert_eq!(msg.tag, TAG_BCAST);
+            let t_max = msg.data[x.len()];
+            self.clock.allreduce_sync(p, t_max);
+            msg.data[..x.len()].to_vec()
+        }
+    }
+}
+
+/// Run an SPMD program: `nranks` threads each execute `f(rank)`; returns the
+/// per-rank results in rank order.
+///
+/// # Panics
+/// Propagates any rank's panic.
+pub fn run_world<R, F>(nranks: usize, machine: &MachineSpec, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Sync,
+{
+    assert!(nranks >= 1);
+    // Build the channel mesh: channels[from][to].
+    let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..nranks)
+        .map(|_| (0..nranks).map(|_| None).collect())
+        .collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = (0..nranks)
+        .map(|_| (0..nranks).map(|_| None).collect())
+        .collect();
+    for from in 0..nranks {
+        for to in 0..nranks {
+            let (s, r) = unbounded();
+            senders[from][to] = Some(s);
+            receivers[to][from] = Some(r);
+        }
+    }
+    let mut ranks: Vec<Rank> = senders
+        .into_iter()
+        .zip(receivers)
+        .enumerate()
+        .map(|(id, (tx, rx))| Rank {
+            id,
+            nranks,
+            tx: tx.into_iter().map(Option::unwrap).collect(),
+            rx: rx.into_iter().map(Option::unwrap).collect(),
+            clock: SimClock::new(machine.clone()),
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranks
+            .iter_mut()
+            .map(|rank| {
+                let f = &f;
+                scope.spawn(move || f(rank))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineSpec {
+        MachineSpec::asci_red()
+    }
+
+    #[test]
+    fn single_rank_runs() {
+        let out = run_world(1, &machine(), |r| r.id() * 10);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let p = 4;
+        let out = run_world(p, &machine(), |r| {
+            let next = (r.id() + 1) % r.nranks();
+            let prev = (r.id() + r.nranks() - 1) % r.nranks();
+            r.send(next, 7, vec![r.id() as f64]);
+            let got = r.recv(prev, 7);
+            got[0] as usize
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn allreduce_sum_agrees_with_sequential() {
+        let p = 6;
+        let out = run_world(p, &machine(), |r| {
+            r.allreduce_sum(&[r.id() as f64, 1.0])
+        });
+        for o in out {
+            assert_eq!(o, vec![15.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_max_takes_max() {
+        let out = run_world(5, &machine(), |r| r.allreduce_max_scalar(r.id() as f64));
+        assert!(out.iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn allreduce_is_deterministic_fp() {
+        // Sums in fixed order: repeated runs must agree bitwise.
+        let run = || {
+            run_world(7, &machine(), |r| {
+                let v = 0.1 * (r.id() as f64 + 1.0);
+                r.allreduce_sum_scalar(v)
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn imbalance_shows_up_as_implicit_sync() {
+        let out = run_world(2, &machine(), |r| {
+            if r.id() == 1 {
+                // Rank 1 does 10x the compute.
+                r.clock.compute(333e6, 0.0, 1.0);
+            } else {
+                r.clock.compute(33.3e6, 0.0, 1.0);
+            }
+            r.barrier();
+            r.clock.breakdown()
+        });
+        assert!(out[0].implicit_sync > 0.8, "idle rank waits: {:?}", out[0]);
+        assert!(out[1].implicit_sync < 1e-9, "busy rank never waits: {:?}", out[1]);
+    }
+
+    #[test]
+    fn scatter_time_charged_on_receive() {
+        let out = run_world(2, &machine(), |r| {
+            if r.id() == 0 {
+                r.send(1, 3, vec![1.0; 1000]);
+                0.0
+            } else {
+                let _ = r.recv(0, 3);
+                r.clock.breakdown().scatter
+            }
+        });
+        assert!(out[1] > 0.0);
+    }
+
+    #[test]
+    fn bytes_sent_accounted() {
+        let out = run_world(2, &machine(), |r| {
+            if r.id() == 0 {
+                r.send(1, 1, vec![0.0; 128]);
+            } else {
+                let _ = r.recv(0, 1);
+            }
+            r.clock.bytes_sent
+        });
+        assert_eq!(out[0], 1024.0);
+        assert_eq!(out[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn tag_mismatch_panics() {
+        run_world(2, &machine(), |r| {
+            if r.id() == 0 {
+                r.send(1, 1, vec![]);
+            } else {
+                let _ = r.recv(0, 2);
+            }
+        });
+    }
+}

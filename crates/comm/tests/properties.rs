@@ -1,0 +1,122 @@
+//! Property-based tests for the message-passing substrate.
+
+use fun3d_comm::scatter::build_scatter_plans;
+use fun3d_comm::smp::ThreadTeam;
+use fun3d_comm::world::run_world;
+use fun3d_memmodel::machine::MachineSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Allreduce-sum agrees with the sequential reduction in the same order,
+    /// for any rank count and payload.
+    #[test]
+    fn allreduce_sum_matches_sequential(
+        nranks in 1usize..7,
+        len in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let data: Vec<Vec<f64>> = (0..nranks)
+            .map(|r| {
+                let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(r as u64));
+                (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+            })
+            .collect();
+        // Sequential reference in rank order (0 + 1 + 2 + ...), the same
+        // order the star reduction uses, so agreement is bitwise.
+        let mut expect = vec![0.0f64; len];
+        for v in &data {
+            for (e, x) in expect.iter_mut().zip(v) {
+                *e += x;
+            }
+        }
+        let out = run_world(nranks, &MachineSpec::asci_red(), |rank| {
+            rank.allreduce_sum(&data[rank.id()])
+        });
+        for o in out {
+            prop_assert_eq!(&o, &expect);
+        }
+    }
+
+    /// Allreduce-max returns the global maximum on every rank.
+    #[test]
+    fn allreduce_max_is_global_max(nranks in 1usize..7, vals in proptest::collection::vec(-100.0f64..100.0, 1..7)) {
+        let nranks = nranks.min(vals.len());
+        let expect = vals[..nranks].iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        let out = run_world(nranks, &MachineSpec::cray_t3e(), |rank| {
+            rank.allreduce_max_scalar(vals[rank.id()])
+        });
+        for o in out {
+            prop_assert_eq!(o, expect);
+        }
+    }
+
+    /// Ghost exchange on a random path partition delivers owners' values.
+    #[test]
+    fn scatter_delivers_owner_values(n in 6usize..30, nranks in 2usize..5, seed in 0u64..500) {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Contiguous random split of a path graph.
+        let mut cuts: Vec<usize> = (0..nranks - 1).map(|_| rng.gen_range(1..n)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let nranks = cuts.len() + 1;
+        let mut owner = vec![0u32; n];
+        let mut r = 0u32;
+        for (v, o) in owner.iter_mut().enumerate() {
+            if cuts.contains(&v) {
+                r += 1;
+            }
+            *o = r;
+        }
+        let edges: Vec<[u32; 2]> = (0..n as u32 - 1).map(|i| [i, i + 1]).collect();
+        let plans = build_scatter_plans(n, &owner, &edges, nranks);
+        let outs = run_world(nranks, &MachineSpec::origin2000(), |rank| {
+            let (owned, ghosts, plan) = &plans[rank.id()];
+            let mut local = vec![0.0; owned.len() + ghosts.len()];
+            for (l, &g) in owned.iter().enumerate() {
+                local[l] = 1000.0 + g as f64;
+            }
+            plan.execute(rank, &mut local, owned.len(), 1, 3);
+            (ghosts.clone(), local[owned.len()..].to_vec())
+        });
+        for (ghosts, values) in outs {
+            for (g, v) in ghosts.iter().zip(&values) {
+                prop_assert_eq!(*v, 1000.0 + *g as f64);
+            }
+        }
+    }
+
+    /// Static chunks always partition the iteration space exactly.
+    #[test]
+    fn team_chunks_partition(n in 0usize..200, nthreads in 1usize..9) {
+        let team = ThreadTeam::new(nthreads);
+        let mut covered = vec![false; n];
+        for t in 0..nthreads {
+            for i in team.chunk(n, t) {
+                prop_assert!(!covered[i]);
+                covered[i] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    /// Private-array reduction is exactly the sequential accumulation.
+    #[test]
+    fn private_reduce_matches_sequential(n in 1usize..120, nthreads in 1usize..5, width in 1usize..9) {
+        let team = ThreadTeam::new(nthreads);
+        let mut expect = vec![0.0; width];
+        for i in 0..n {
+            expect[i % width] += (i * i) as f64;
+        }
+        let mut got = vec![0.0; width];
+        team.parallel_for_private_reduce(n, &mut got, |_, range, private| {
+            for i in range {
+                private[i % width] += (i * i) as f64;
+            }
+        });
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,210 @@
+//! Solve-state checkpointing.
+//!
+//! Design-optimization workflows run "many analysis cycles" (Section 1.1);
+//! production runs on shared machines also need to survive queue limits.
+//! A checkpoint captures the minimum needed to resume pseudo-transient
+//! continuation: the state vector, the step index, and the SER reference
+//! norm.  The format is a self-describing text file (hex-encoded IEEE bits,
+//! so the round-trip is exact) with no dependencies.
+
+use std::io::{self, BufRead, Write};
+
+/// A resumable ΨNKS solve state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Pseudo-timestep index at which the checkpoint was taken.
+    pub step: usize,
+    /// Residual norm at the checkpoint.
+    pub residual_norm: f64,
+    /// The SER reference norm (`||f(u_0)||` of the current phase).
+    pub ser_reference: f64,
+    /// The state vector (layout is the caller's contract).
+    pub q: Vec<f64>,
+}
+
+const MAGIC: &str = "petsc-fun3d-repro checkpoint v1";
+
+impl Checkpoint {
+    /// Serialize to a writer.
+    pub fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(w, "{MAGIC}")?;
+        writeln!(w, "step {}", self.step)?;
+        writeln!(w, "residual_norm {:016x}", self.residual_norm.to_bits())?;
+        writeln!(w, "ser_reference {:016x}", self.ser_reference.to_bits())?;
+        writeln!(w, "n {}", self.q.len())?;
+        for v in &self.q {
+            writeln!(w, "{:016x}", v.to_bits())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize from a reader.
+    ///
+    /// Returns `InvalidData` on any malformed content.
+    pub fn load<R: BufRead>(r: &mut R) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut lines = r.lines();
+        let mut next = |what: &str| -> io::Result<String> {
+            lines
+                .next()
+                .ok_or_else(|| bad(&format!("missing {what}")))?
+        };
+        if next("magic")? != MAGIC {
+            return Err(bad("bad magic line"));
+        }
+        let parse_field = |line: String, key: &str| -> io::Result<String> {
+            let mut it = line.splitn(2, ' ');
+            if it.next() != Some(key) {
+                return Err(bad(&format!("expected field {key}")));
+            }
+            it.next()
+                .map(str::to_string)
+                .ok_or_else(|| bad(&format!("missing value for {key}")))
+        };
+        let step: usize = parse_field(next("step")?, "step")?
+            .parse()
+            .map_err(|_| bad("bad step"))?;
+        let rn = u64::from_str_radix(&parse_field(next("residual_norm")?, "residual_norm")?, 16)
+            .map_err(|_| bad("bad residual_norm"))?;
+        let sr = u64::from_str_radix(&parse_field(next("ser_reference")?, "ser_reference")?, 16)
+            .map_err(|_| bad("bad ser_reference"))?;
+        let n: usize = parse_field(next("n")?, "n")?
+            .parse()
+            .map_err(|_| bad("bad n"))?;
+        let mut q = Vec::with_capacity(n);
+        for _ in 0..n {
+            let bits = u64::from_str_radix(&next("value")?, 16).map_err(|_| bad("bad value"))?;
+            q.push(f64::from_bits(bits));
+        }
+        Ok(Self {
+            step,
+            residual_norm: f64::from_bits(rn),
+            ser_reference: f64::from_bits(sr),
+            q,
+        })
+    }
+
+    /// Save to a file path.
+    pub fn save_file(&self, path: &std::path::Path) -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        self.save(&mut f)
+    }
+
+    /// Load from a file path.
+    pub fn load_file(path: &std::path::Path) -> io::Result<Self> {
+        let mut f = io::BufReader::new(std::fs::File::open(path)?);
+        Self::load(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            step: 17,
+            residual_norm: 3.125e-7,
+            ser_reference: 0.998877,
+            q: vec![1.0, -2.5, std::f64::consts::PI, 1e-300, -0.0, f64::MIN_POSITIVE],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise_exact() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.save(&mut buf).unwrap();
+        let d = Checkpoint::load(&mut io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(c.step, d.step);
+        assert_eq!(c.residual_norm.to_bits(), d.residual_norm.to_bits());
+        assert_eq!(c.ser_reference.to_bits(), d.ser_reference.to_bits());
+        assert_eq!(c.q.len(), d.q.len());
+        for (a, b) in c.q.iter().zip(&d.q) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"not a checkpoint\n".to_vec();
+        assert!(Checkpoint::load(&mut io::BufReader::new(&buf[..])).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_data() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.save(&mut buf).unwrap();
+        buf.truncate(buf.len() - 20);
+        assert!(Checkpoint::load(&mut io::BufReader::new(&buf[..])).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let c = sample();
+        let dir = std::env::temp_dir();
+        let path = dir.join("fun3d_ckpt_test.txt");
+        c.save_file(&path).unwrap();
+        let d = Checkpoint::load_file(&path).unwrap();
+        assert_eq!(c, d);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_continues_a_solve() {
+        // Solve half-way, checkpoint, restore into a fresh solve, and check
+        // the final state matches an uninterrupted run.
+        use crate::config::CaseConfig;
+        use crate::problem::EulerProblem;
+        use fun3d_euler::residual::Discretization;
+        use fun3d_solver::pseudo::solve_pseudo_transient;
+
+        let mut cfg = CaseConfig::small();
+        cfg.mesh = fun3d_mesh::generator::BumpChannelSpec::with_dims(6, 5, 5);
+        cfg.nks.max_steps = 30;
+        cfg.nks.target_reduction = 1e-8;
+        let mesh = cfg.build_mesh();
+
+        // Uninterrupted run.
+        let disc = Discretization::new(&mesh, cfg.model, cfg.layout.field_layout(), cfg.order);
+        let mut p = EulerProblem::new(disc);
+        let mut q_full = p.initial_state();
+        let h_full = solve_pseudo_transient(&mut p, &mut q_full, &cfg.nks);
+        assert!(h_full.converged);
+
+        // Interrupted at 10 steps, checkpointed, resumed.
+        let disc = Discretization::new(&mesh, cfg.model, cfg.layout.field_layout(), cfg.order);
+        let mut p = EulerProblem::new(disc);
+        let mut q = p.initial_state();
+        let mut opts = cfg.nks.clone();
+        opts.max_steps = 10;
+        opts.target_reduction = 0.0;
+        let h1 = solve_pseudo_transient(&mut p, &mut q, &opts);
+        let ck = Checkpoint {
+            step: h1.nsteps(),
+            residual_norm: h1.final_residual,
+            ser_reference: h1.initial_residual,
+            q: q.clone(),
+        };
+        let mut buf = Vec::new();
+        ck.save(&mut buf).unwrap();
+        let restored = Checkpoint::load(&mut io::BufReader::new(&buf[..])).unwrap();
+        // Resume: CFL continuity comes from seeding cfl0 with the SER value
+        // the interrupted run had reached.
+        let mut q2 = restored.q.clone();
+        let mut opts2 = cfg.nks.clone();
+        opts2.cfl0 = cfg.nks.cfl0
+            * (restored.ser_reference / restored.residual_norm).powf(cfg.nks.cfl_exponent);
+        opts2.max_steps = 40;
+        let disc = Discretization::new(&mesh, cfg.model, cfg.layout.field_layout(), cfg.order);
+        let mut p2 = EulerProblem::new(disc);
+        let h2 = solve_pseudo_transient(&mut p2, &mut q2, &opts2);
+        assert!(h2.converged, "resumed run must finish: {:.2e}", h2.reduction());
+        // The two end states agree to solver tolerance.
+        let scale = q_full.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (a, b) in q_full.iter().zip(&q2) {
+            assert!((a - b).abs() / scale < 1e-5, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Legacy-VTK output of meshes and flow fields, for inspecting solutions in
+//! ParaView/VisIt — the adoption path a downstream CFD user expects.
+
+use fun3d_euler::field::FieldVec;
+use fun3d_euler::model::FlowModel;
+use fun3d_mesh::tet::TetMesh;
+use std::io::{self, Write};
+
+/// Write a mesh and (optionally) a flow state as a legacy ASCII VTK
+/// unstructured grid.
+///
+/// Scalars written: `pressure`; vectors: `velocity` (derived per model:
+/// primitive for incompressible, momentum/density for compressible).
+pub fn write_vtk<W: Write>(
+    w: &mut W,
+    mesh: &TetMesh,
+    state: Option<(&FieldVec, &FlowModel)>,
+) -> io::Result<()> {
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    writeln!(w, "petsc-fun3d-repro flow field")?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET UNSTRUCTURED_GRID")?;
+    writeln!(w, "POINTS {} double", mesh.nverts())?;
+    for p in mesh.coords() {
+        writeln!(w, "{} {} {}", p[0], p[1], p[2])?;
+    }
+    writeln!(w, "CELLS {} {}", mesh.ntets(), mesh.ntets() * 5)?;
+    for t in mesh.tets() {
+        writeln!(w, "4 {} {} {} {}", t[0], t[1], t[2], t[3])?;
+    }
+    writeln!(w, "CELL_TYPES {}", mesh.ntets())?;
+    for _ in 0..mesh.ntets() {
+        writeln!(w, "10")?; // VTK_TETRA
+    }
+    if let Some((q, model)) = state {
+        assert_eq!(q.nverts(), mesh.nverts());
+        writeln!(w, "POINT_DATA {}", mesh.nverts())?;
+        writeln!(w, "SCALARS pressure double 1")?;
+        writeln!(w, "LOOKUP_TABLE default")?;
+        for v in 0..mesh.nverts() {
+            let s = q.get(v);
+            writeln!(w, "{}", model.pressure(&s))?;
+        }
+        writeln!(w, "VECTORS velocity double")?;
+        for v in 0..mesh.nverts() {
+            let s = q.get(v);
+            let (u, vv, ww) = match model {
+                FlowModel::Incompressible { .. } => (s[1], s[2], s[3]),
+                FlowModel::Compressible { .. } => (s[1] / s[0], s[2] / s[0], s[3] / s[0]),
+            };
+            writeln!(w, "{u} {vv} {ww}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: write to a file path.
+pub fn write_vtk_file(
+    path: &std::path::Path,
+    mesh: &TetMesh,
+    state: Option<(&FieldVec, &FlowModel)>,
+) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_vtk(&mut f, mesh, state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fun3d_euler::residual::{Discretization, SpatialOrder};
+    use fun3d_mesh::generator::BumpChannelSpec;
+    use fun3d_sparse::layout::FieldLayout;
+
+    #[test]
+    fn vtk_output_is_well_formed() {
+        let mesh = BumpChannelSpec::with_dims(4, 3, 3).build();
+        let model = FlowModel::incompressible();
+        let disc = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+        let q = disc.initial_state();
+        let mut buf = Vec::new();
+        write_vtk(&mut buf, &mesh, Some((&q, &model))).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("# vtk DataFile Version 3.0"));
+        assert!(text.contains(&format!("POINTS {} double", mesh.nverts())));
+        assert!(text.contains(&format!("CELLS {} {}", mesh.ntets(), mesh.ntets() * 5)));
+        assert!(text.contains("SCALARS pressure"));
+        assert!(text.contains("VECTORS velocity"));
+        // Every tet line has 5 integers; freestream velocity is (1,0,0).
+        assert!(text.contains("1 0 0"));
+        // Line counts: header(4) + 1 + points + 1 + cells + 1 + types + point data.
+        let lines = text.lines().count();
+        assert!(lines > mesh.nverts() + 2 * mesh.ntets());
+    }
+
+    #[test]
+    fn mesh_only_output_skips_point_data() {
+        let mesh = BumpChannelSpec::with_dims(3, 3, 3).build();
+        let mut buf = Vec::new();
+        write_vtk(&mut buf, &mesh, None).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.contains("POINT_DATA"));
+        assert!(text.contains("CELL_TYPES"));
+    }
+
+    #[test]
+    fn compressible_velocity_divides_by_density() {
+        let mesh = BumpChannelSpec::with_dims(3, 3, 3).build();
+        let model = FlowModel::compressible();
+        let disc = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+        let q = disc.initial_state();
+        let mut buf = Vec::new();
+        write_vtk(&mut buf, &mesh, Some((&q, &model))).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Freestream u = Mach 0.3 exactly after dividing by rho = 1.
+        assert!(text.contains("0.3 0 0"));
+    }
+}

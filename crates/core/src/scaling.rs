@@ -1,0 +1,387 @@
+//! Fixed-size scaling model — the documented substitution for the paper's
+//! dead testbeds (Figures 1–2, Table 3, Table 5 at full machine scale).
+//!
+//! We cannot run 3072 ASCI Red nodes, but the paper's parallel behaviour is
+//! governed by measurable ingredients that we *can* obtain honestly:
+//!
+//! 1. **Iteration growth** `its(p)` — measured by really running the NKS
+//!    solver with `p`-block preconditioning at laptop-affordable block
+//!    counts, then fitted with a power law (block-Schwarz theory predicts a
+//!    small positive exponent for non-coarse-grid methods).
+//! 2. **Communication volume** — measured from real partitions of the mesh
+//!    family (cut interfaces), fitted with the surface/volume law
+//!    `interface(p, N) = c * p^(1/3) * N^(2/3)`.
+//! 3. **Machine parameters** — the published STREAM / latency / bandwidth
+//!    figures in [`fun3d_memmodel::machine::MachineSpec`].
+//!
+//! The model then assembles per-iteration time = compute (roofline) +
+//! scatter (latency + volume/bandwidth) + reduction (log tree) + imbalance
+//! wait, exactly the taxonomy of Table 3.
+
+use fun3d_memmodel::machine::MachineSpec;
+
+/// Power-law fit `y = y0 * (p / p0)^gamma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLaw {
+    /// Reference value at `p0`.
+    pub y0: f64,
+    /// Reference abscissa.
+    pub p0: f64,
+    /// Exponent.
+    pub gamma: f64,
+}
+
+impl PowerLaw {
+    /// Evaluate at `p`.
+    pub fn at(&self, p: f64) -> f64 {
+        self.y0 * (p / self.p0).powf(self.gamma)
+    }
+
+    /// Least-squares fit in log-log space through `(p, y)` samples.
+    ///
+    /// # Panics
+    /// Panics with fewer than two samples or non-positive data.
+    pub fn fit(samples: &[(f64, f64)]) -> Self {
+        assert!(samples.len() >= 2, "need at least two samples");
+        assert!(
+            samples.iter().all(|&(p, y)| p > 0.0 && y > 0.0),
+            "power-law fit needs positive data"
+        );
+        let n = samples.len() as f64;
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+        for &(p, y) in samples {
+            let lx = p.ln();
+            let ly = y.ln();
+            sx += lx;
+            sy += ly;
+            sxx += lx * lx;
+            sxy += lx * ly;
+        }
+        let gamma = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let lny0_at_1 = (sy - gamma * sx) / n;
+        let p0 = samples[0].0;
+        let y0 = (lny0_at_1 + gamma * p0.ln()).exp();
+        Self { y0, p0, gamma }
+    }
+}
+
+/// The fixed-size problem being scaled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProblemShape {
+    /// Mesh vertices.
+    pub nverts: f64,
+    /// Mesh edges.
+    pub nedges: f64,
+    /// Unknowns per vertex.
+    pub ncomp: f64,
+    /// Nonzeros of the (point) Jacobian.
+    pub nnz: f64,
+    /// Flops per edge per flux evaluation.
+    pub flux_flops_per_edge: f64,
+    /// Flux evaluations + matvec-equivalents per linear iteration.
+    pub work_per_iteration: f64,
+}
+
+impl ProblemShape {
+    /// Shape of the paper's 2.8M-vertex Euler case (incompressible).
+    pub fn large_euler() -> Self {
+        let nverts = 2.8e6;
+        let nedges = 7.0 * nverts; // tetrahedral meshes: ~7 edges/vertex
+        let ncomp = 4.0;
+        // Point nnz: block nnz (verts + 2 edges) * ncomp^2.
+        let nnz = (nverts + 2.0 * nedges) * ncomp * ncomp;
+        Self {
+            nverts,
+            nedges,
+            ncomp,
+            nnz,
+            flux_flops_per_edge: 400.0,
+            work_per_iteration: 1.0,
+        }
+    }
+}
+
+/// Calibration inputs measured from real reduced-scale runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Time steps (nonlinear iterations) to convergence as a function of
+    /// processor count — Table 3's "Its" column.
+    pub its: PowerLaw,
+    /// Linear (Krylov) iterations per time step.
+    pub linear_its_per_step: f64,
+    /// Interface law: coefficient `c` in
+    /// `interface_vertices(p, N) = c * p^eta * N^(2/3)`.
+    pub interface_coeff: f64,
+    /// Interface growth exponent `eta` (1/3 for perfectly compact
+    /// subdomains; measured higher because subdomains lose compactness at
+    /// high `p`).
+    pub interface_exponent: f64,
+    /// Load imbalance grows as subdomains shrink:
+    /// `imbalance(p) = 1 + imbalance_coeff * p^(1/3)`.
+    pub imbalance_coeff: f64,
+    /// Inner products per linear iteration (GMRES: ~restart/2 + 2).
+    pub dots_per_iteration: f64,
+    /// Instruction-scheduling efficiency of the flux kernel (it is compute
+    /// bound, not bandwidth bound; ~0.25 of peak per the companion paper).
+    pub flux_efficiency: f64,
+    /// Software cost of packing/unpacking one scatter byte (vintage MPI
+    /// stacks spent far more time marshaling irregular ghost data than
+    /// moving it; this is what makes the paper's "application level
+    /// effective bandwidth" two orders below the wire rate).
+    pub scatter_overhead_s_per_byte: f64,
+    /// Effective per-stage software latency of a global reduction.
+    pub reduce_stage_latency_s: f64,
+}
+
+impl Calibration {
+    /// Defaults matching the paper's observations, used when no measured
+    /// calibration is supplied.
+    pub fn paper_defaults() -> Self {
+        Self {
+            // Table 3: 22 -> 29 time steps over 128 -> 1024 procs.
+            its: PowerLaw {
+                y0: 22.0,
+                p0: 128.0,
+                gamma: 0.133,
+            },
+            linear_its_per_step: 60.0,
+            interface_coeff: 2.7,
+            interface_exponent: 0.47,
+            imbalance_coeff: 0.008,
+            dots_per_iteration: 12.0,
+            flux_efficiency: 0.13,
+            scatter_overhead_s_per_byte: 130e-9,
+            reduce_stage_latency_s: 80e-6,
+        }
+    }
+}
+
+/// Model prediction at one processor count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelPoint {
+    /// Node count.
+    pub nprocs: usize,
+    /// Vertices owned per processor.
+    pub verts_per_proc: f64,
+    /// Linear iterations (from the fitted growth law).
+    pub its: f64,
+    /// Total execution time, seconds.
+    pub time: f64,
+    /// Aggregate Gflop/s.
+    pub gflops: f64,
+    /// Percent of time in global reductions.
+    pub pct_reductions: f64,
+    /// Percent of time in implicit synchronizations (imbalance waits).
+    pub pct_implicit_sync: f64,
+    /// Percent of time in ghost-point scatters.
+    pub pct_scatters: f64,
+    /// Nearest-neighbor data sent per iteration, bytes (all ranks).
+    pub scatter_bytes_per_it: f64,
+    /// Application-level effective bandwidth per node, bytes/s.
+    pub effective_bandwidth: f64,
+}
+
+/// The fixed-size scaling model.
+#[derive(Debug, Clone)]
+pub struct FixedSizeModel {
+    /// Machine description.
+    pub machine: MachineSpec,
+    /// Problem shape.
+    pub shape: ProblemShape,
+    /// Calibration (measured or paper defaults).
+    pub cal: Calibration,
+}
+
+impl FixedSizeModel {
+    /// Predict behaviour at `p` nodes.
+    ///
+    /// The accounting unit is one *time step* (one nonlinear iteration):
+    /// Table 3 reports `Its` in time steps, and the paper's "data sent per
+    /// iteration" is per time step including all inner linear work.
+    pub fn predict(&self, p: usize) -> ModelPoint {
+        let pf = p as f64;
+        let m = &self.machine;
+        let s = &self.shape;
+        let c = &self.cal;
+
+        let steps = c.its.at(pf);
+        let lin = c.linear_its_per_step;
+        let verts_per_proc = s.nverts / pf;
+
+        // --- Local work per time step on one node ---
+        // Flux phase: the code is matrix-free, so every Krylov iteration
+        // performs a flux evaluation (the FD matvec), plus ~2 evaluations
+        // per step for the residual itself. Compute bound at
+        // flux_efficiency of peak — this is why the flux phase is >60% of
+        // execution time in the paper.
+        let flux_flops = (lin + 2.0) * s.flux_flops_per_edge * s.nedges / pf * s.ncomp / 4.0;
+        // One CPU per node in the base configuration (the second CPU is the
+        // subject of Table 5), so the flux roofline uses the per-CPU peak.
+        let t_flux = flux_flops / (m.peak_flops_per_cpu() * c.flux_efficiency);
+        // Solve phase per linear iteration: the ILU triangular solves
+        // (~12 B/nnz; the matvec is matrix-free and counted in the flux
+        // phase) + BLAS-1 traffic; all bandwidth bound.
+        let solve_bytes_per_it = 12.0 * s.nnz / pf + c.dots_per_iteration * 16.0 * s.nverts * s.ncomp / pf;
+        let solve_flops_per_it = 2.0 * s.nnz / pf;
+        let t_solve_it = (solve_bytes_per_it / m.stream_bytes_per_s)
+            .max(solve_flops_per_it / m.peak_flops_per_cpu());
+        let t_compute = t_flux + lin * t_solve_it;
+
+        // --- Communication per time step ---
+        // Interface vertices over all parts (surface/volume law with the
+        // measured compactness exponent), each carrying ncomp doubles,
+        // refreshed twice per linear iteration (matvec + preconditioner).
+        let interface =
+            c.interface_coeff * pf.powf(c.interface_exponent) * s.nverts.powf(2.0 / 3.0);
+        let scatter_bytes_total = 2.0 * lin * interface * s.ncomp * 8.0;
+        let scatter_bytes_per_node = scatter_bytes_total / pf;
+        // ~6 neighbors per subdomain in 3-D; packing overhead dominates.
+        let t_scatter = 2.0 * lin * 6.0 * m.net_latency_s
+            + scatter_bytes_per_node
+                * (1.0 / m.net_bytes_per_s + c.scatter_overhead_s_per_byte);
+        let t_reduce = if p > 1 {
+            lin * c.dots_per_iteration * (pf.log2().ceil()) * c.reduce_stage_latency_s
+        } else {
+            0.0
+        };
+        // Imbalance surfaces as wait at the next synchronization; smaller
+        // subdomains balance worse.
+        let imbalance = 1.0 + c.imbalance_coeff * pf.powf(1.0 / 3.0);
+        let t_wait = (imbalance - 1.0) * t_compute;
+
+        let t_step = t_compute + t_scatter + t_reduce + t_wait;
+        let time = steps * t_step * s.work_per_iteration;
+
+        let total_flops = steps * (flux_flops + lin * solve_flops_per_it) * pf;
+        ModelPoint {
+            nprocs: p,
+            verts_per_proc,
+            its: steps,
+            time,
+            gflops: total_flops / time / 1e9,
+            pct_reductions: 100.0 * t_reduce / t_step,
+            pct_implicit_sync: 100.0 * t_wait / t_step,
+            pct_scatters: 100.0 * t_scatter / t_step,
+            scatter_bytes_per_it: scatter_bytes_total,
+            effective_bandwidth: scatter_bytes_per_node / t_scatter,
+        }
+    }
+
+    /// Predict a whole series.
+    pub fn series(&self, procs: &[usize]) -> Vec<ModelPoint> {
+        procs.iter().map(|&p| self.predict(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::efficiency::{efficiency_table, ScalingPoint};
+
+    fn model() -> FixedSizeModel {
+        FixedSizeModel {
+            machine: MachineSpec::asci_red(),
+            shape: ProblemShape::large_euler(),
+            cal: Calibration::paper_defaults(),
+        }
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponent() {
+        let samples: Vec<(f64, f64)> = [8.0, 16.0, 32.0, 64.0]
+            .iter()
+            .map(|&p: &f64| (p, 3.0 * p.powf(0.25)))
+            .collect();
+        let fit = PowerLaw::fit(&samples);
+        assert!((fit.gamma - 0.25).abs() < 1e-10);
+        assert!((fit.at(128.0) - 3.0 * 128.0f64.powf(0.25)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn time_decreases_with_processors() {
+        let m = model();
+        let pts = m.series(&[128, 256, 512, 1024]);
+        for w in pts.windows(2) {
+            assert!(w[1].time < w[0].time, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn efficiency_degrades_like_the_paper() {
+        let m = model();
+        let pts = m.series(&[128, 256, 512, 768, 1024]);
+        let series: Vec<ScalingPoint> = pts
+            .iter()
+            .map(|p| ScalingPoint {
+                nprocs: p.nprocs,
+                its: p.its.round() as usize,
+                time: p.time,
+            })
+            .collect();
+        let rows = efficiency_table(&series);
+        // Shape checks against Table 3: eta_overall falls to ~0.7 at 1024,
+        // eta_impl stays >= 0.9, eta_alg tracks iteration growth.
+        let last = rows.last().unwrap();
+        assert!(
+            last.eta_overall > 0.55 && last.eta_overall < 0.85,
+            "{last:?}"
+        );
+        assert!(last.eta_impl > 0.85, "{last:?}");
+        assert!(last.eta_alg < 0.85, "{last:?}");
+    }
+
+    #[test]
+    fn scatter_share_grows_with_processors() {
+        let m = model();
+        let p128 = m.predict(128);
+        let p1024 = m.predict(1024);
+        assert!(
+            p1024.pct_scatters > p128.pct_scatters,
+            "{} vs {}",
+            p1024.pct_scatters,
+            p128.pct_scatters
+        );
+        // Paper: 2.0 GB at 128 procs growing to 5.3 GB at 1024.
+        assert!(p1024.scatter_bytes_per_it > 2.0 * p128.scatter_bytes_per_it);
+    }
+
+    #[test]
+    fn scatter_volume_magnitude_matches_paper() {
+        // Paper Table 3: ~2 GB/step at 128 procs, ~5.3 GB at 1024.
+        let m = model();
+        let gb128 = m.predict(128).scatter_bytes_per_it / 1e9;
+        let gb1024 = m.predict(1024).scatter_bytes_per_it / 1e9;
+        assert!(gb128 > 1.0 && gb128 < 4.0, "scatter volume {gb128} GB");
+        assert!(gb1024 > 3.5 && gb1024 < 9.0, "scatter volume {gb1024} GB");
+    }
+
+    #[test]
+    fn gflops_scale_sublinearly() {
+        let m = model();
+        let p256 = m.predict(256);
+        let p1024 = m.predict(1024);
+        let ratio = p1024.gflops / p256.gflops;
+        assert!(ratio > 2.0 && ratio < 4.0, "4x procs -> {ratio}x Gflop/s");
+    }
+
+    #[test]
+    fn t3e_beats_red_per_node_on_bandwidth() {
+        // T3E's stronger memory system gives better per-node solve times.
+        let red = model();
+        let t3e = FixedSizeModel {
+            machine: MachineSpec::cray_t3e(),
+            ..model()
+        };
+        let r = red.predict(512);
+        let t = t3e.predict(512);
+        assert!(t.time < r.time, "T3E {} vs Red {}", t.time, r.time);
+    }
+
+    #[test]
+    fn verts_per_proc_matches_figure1_range() {
+        // Figure 1: ~22,000 vertices/proc at 128 nodes down to <1,000 at 3072.
+        let m = model();
+        assert!((m.predict(128).verts_per_proc - 21875.0).abs() < 1.0);
+        assert!(m.predict(3072).verts_per_proc < 1000.0);
+    }
+}

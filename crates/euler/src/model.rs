@@ -1,0 +1,320 @@
+//! Flow models: incompressible (artificial compressibility) and
+//! compressible Euler, with fluxes, wave speeds, and analytic Jacobians.
+//!
+//! States and fluxes use fixed `[f64; 5]` buffers with a runtime component
+//! count (4 incompressible, 5 compressible), so the kernels are free of heap
+//! allocation.
+//!
+//! Conventions: face normals are *area-weighted* (not unit); all fluxes and
+//! Jacobians are per-face, i.e. already multiplied by the face area.
+
+/// Maximum number of components any model uses.
+pub const MAX_COMP: usize = 5;
+
+/// A small state/flux vector.
+pub type Comp = [f64; MAX_COMP];
+
+/// A small `ncomp x ncomp` Jacobian in row-major `[f64; 25]`.
+pub type CompMat = [f64; MAX_COMP * MAX_COMP];
+
+/// The flow model and its parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowModel {
+    /// Incompressible Euler in Chorin artificial-compressibility form.
+    /// State: `[p, u, v, w]`.  `beta` is the artificial compressibility
+    /// parameter (the pseudo-sound-speed squared).
+    Incompressible {
+        /// Artificial compressibility parameter.
+        beta: f64,
+    },
+    /// Compressible Euler, conservative state `[rho, rho u, rho v, rho w, E]`
+    /// with ideal-gas pressure `p = (gamma - 1)(E - rho |u|^2 / 2)`.
+    Compressible {
+        /// Ratio of specific heats.
+        gamma: f64,
+    },
+}
+
+impl FlowModel {
+    /// Default incompressible model (`beta = 10`, a robust mid-range value).
+    pub fn incompressible() -> Self {
+        FlowModel::Incompressible { beta: 10.0 }
+    }
+
+    /// Default compressible model (`gamma = 1.4`, subsonic M6-like regime).
+    pub fn compressible() -> Self {
+        FlowModel::Compressible { gamma: 1.4 }
+    }
+
+    /// Unknowns per vertex: 4 incompressible, 5 compressible (the block
+    /// sizes of Table 1's two columns).
+    pub fn ncomp(&self) -> usize {
+        match self {
+            FlowModel::Incompressible { .. } => 4,
+            FlowModel::Compressible { .. } => 5,
+        }
+    }
+
+    /// The freestream state used for initialization and inflow boundaries:
+    /// unit streamwise velocity.
+    pub fn freestream(&self) -> Comp {
+        match self {
+            // p = 0 gauge, u = (1, 0, 0).
+            FlowModel::Incompressible { .. } => [0.0, 1.0, 0.0, 0.0, 0.0],
+            // rho = 1, u = (M, 0, 0) with M = 0.3 subsonic at unit sound
+            // speed scaling: p0 chosen so c = 1 => p = rho c^2 / gamma.
+            FlowModel::Compressible { gamma } => {
+                let rho = 1.0;
+                let mach = 0.3;
+                let p = rho / gamma; // c = sqrt(gamma p / rho) = 1
+                let u = mach;
+                let e = p / (gamma - 1.0) + 0.5 * rho * u * u;
+                [rho, rho * u, 0.0, 0.0, e]
+            }
+        }
+    }
+
+    /// Convective flux through an area-weighted normal: `F(q) . n`.
+    #[inline]
+    pub fn flux(&self, q: &Comp, n: [f64; 3]) -> Comp {
+        let mut f = [0.0; MAX_COMP];
+        match *self {
+            FlowModel::Incompressible { beta } => {
+                let (p, u, v, w) = (q[0], q[1], q[2], q[3]);
+                let theta = u * n[0] + v * n[1] + w * n[2];
+                f[0] = beta * theta;
+                f[1] = u * theta + p * n[0];
+                f[2] = v * theta + p * n[1];
+                f[3] = w * theta + p * n[2];
+            }
+            FlowModel::Compressible { gamma } => {
+                let rho = q[0];
+                let inv_rho = 1.0 / rho;
+                let (u, v, w) = (q[1] * inv_rho, q[2] * inv_rho, q[3] * inv_rho);
+                let e = q[4];
+                let p = (gamma - 1.0) * (e - 0.5 * rho * (u * u + v * v + w * w));
+                let theta = u * n[0] + v * n[1] + w * n[2];
+                f[0] = rho * theta;
+                f[1] = q[1] * theta + p * n[0];
+                f[2] = q[2] * theta + p * n[1];
+                f[3] = q[3] * theta + p * n[2];
+                f[4] = (e + p) * theta;
+            }
+        }
+        f
+    }
+
+    /// The pressure of a state (gauge pressure for incompressible).
+    #[inline]
+    pub fn pressure(&self, q: &Comp) -> f64 {
+        match *self {
+            FlowModel::Incompressible { .. } => q[0],
+            FlowModel::Compressible { gamma } => {
+                let rho = q[0];
+                let ke = 0.5 * (q[1] * q[1] + q[2] * q[2] + q[3] * q[3]) / rho;
+                (gamma - 1.0) * (q[4] - ke)
+            }
+        }
+    }
+
+    /// Maximum characteristic speed through the (area-weighted) normal —
+    /// the Rusanov dissipation coefficient, already scaled by face area.
+    #[inline]
+    pub fn max_wavespeed(&self, q: &Comp, n: [f64; 3]) -> f64 {
+        let area2 = n[0] * n[0] + n[1] * n[1] + n[2] * n[2];
+        match *self {
+            FlowModel::Incompressible { beta } => {
+                let theta = q[1] * n[0] + q[2] * n[1] + q[3] * n[2];
+                theta.abs() + (theta * theta + beta * area2).sqrt()
+            }
+            FlowModel::Compressible { gamma } => {
+                let inv_rho = 1.0 / q[0];
+                let theta = (q[1] * n[0] + q[2] * n[1] + q[3] * n[2]) * inv_rho;
+                let p = self.pressure(q);
+                let c = (gamma * p * inv_rho).max(0.0).sqrt();
+                theta.abs() + c * area2.sqrt()
+            }
+        }
+    }
+
+    /// Analytic flux Jacobian `A(q) = d(F(q).n)/dq`, row-major `ncomp x
+    /// ncomp` in the top-left of the returned buffer.
+    pub fn flux_jacobian(&self, q: &Comp, n: [f64; 3]) -> CompMat {
+        let mut a = [0.0; MAX_COMP * MAX_COMP];
+        let m = MAX_COMP;
+        match *self {
+            FlowModel::Incompressible { beta } => {
+                let (u, v, w) = (q[1], q[2], q[3]);
+                let theta = u * n[0] + v * n[1] + w * n[2];
+                // Row 0: d(beta theta)/d[p,u,v,w]
+                a[1] = beta * n[0];
+                a[2] = beta * n[1];
+                a[3] = beta * n[2];
+                // Row 1: d(u theta + p nx)
+                a[m] = n[0];
+                a[m + 1] = theta + u * n[0];
+                a[m + 2] = u * n[1];
+                a[m + 3] = u * n[2];
+                // Row 2: d(v theta + p ny)
+                a[2 * m] = n[1];
+                a[2 * m + 1] = v * n[0];
+                a[2 * m + 2] = theta + v * n[1];
+                a[2 * m + 3] = v * n[2];
+                // Row 3: d(w theta + p nz)
+                a[3 * m] = n[2];
+                a[3 * m + 1] = w * n[0];
+                a[3 * m + 2] = w * n[1];
+                a[3 * m + 3] = theta + w * n[2];
+            }
+            FlowModel::Compressible { gamma } => {
+                let g1 = gamma - 1.0;
+                let rho = q[0];
+                let inv_rho = 1.0 / rho;
+                let (u, v, w) = (q[1] * inv_rho, q[2] * inv_rho, q[3] * inv_rho);
+                let e = q[4];
+                let q2 = u * u + v * v + w * w;
+                let phi2 = 0.5 * g1 * q2;
+                let theta = u * n[0] + v * n[1] + w * n[2];
+                let p = g1 * (e - 0.5 * rho * q2);
+                let h = (e + p) * inv_rho; // total enthalpy
+                let vel = [u, v, w];
+                // Row 0.
+                a[1] = n[0];
+                a[2] = n[1];
+                a[3] = n[2];
+                // Rows 1..3 (momentum i).
+                for i in 0..3 {
+                    let r = (i + 1) * m;
+                    a[r] = phi2 * n[i] - vel[i] * theta;
+                    for j in 0..3 {
+                        a[r + 1 + j] = vel[i] * n[j] - g1 * vel[j] * n[i]
+                            + if i == j { theta } else { 0.0 };
+                    }
+                    a[r + 4] = g1 * n[i];
+                }
+                // Row 4 (energy).
+                let r = 4 * m;
+                a[r] = (phi2 - h) * theta;
+                for j in 0..3 {
+                    a[r + 1 + j] = h * n[j] - g1 * vel[j] * theta;
+                }
+                a[r + 4] = gamma * theta;
+            }
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models() -> Vec<FlowModel> {
+        vec![FlowModel::incompressible(), FlowModel::compressible()]
+    }
+
+    fn test_state(model: &FlowModel) -> Comp {
+        match model {
+            FlowModel::Incompressible { .. } => [0.3, 0.9, -0.2, 0.15, 0.0],
+            FlowModel::Compressible { .. } => {
+                // rho=1.1, u=(0.4,-0.1,0.2), p=0.8
+                let gamma = 1.4;
+                let rho: f64 = 1.1;
+                let (u, v, w) = (0.4, -0.1, 0.2);
+                let p = 0.8;
+                let e = p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v + w * w);
+                [rho, rho * u, rho * v, rho * w, e]
+            }
+        }
+    }
+
+    #[test]
+    fn flux_jacobian_matches_finite_differences() {
+        let n = [0.3, -0.7, 0.2];
+        for model in models() {
+            let m = model.ncomp();
+            let q0 = test_state(&model);
+            let a = model.flux_jacobian(&q0, n);
+            let f0 = model.flux(&q0, n);
+            let eps = 1e-7;
+            for j in 0..m {
+                let mut qp = q0;
+                qp[j] += eps;
+                let fp = model.flux(&qp, n);
+                for i in 0..m {
+                    let fd = (fp[i] - f0[i]) / eps;
+                    let an = a[i * MAX_COMP + j];
+                    assert!(
+                        (fd - an).abs() < 1e-5 * (1.0 + an.abs()),
+                        "{model:?} A[{i}][{j}]: analytic {an} vs FD {fd}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flux_is_linear_in_normal() {
+        for model in models() {
+            let q = test_state(&model);
+            let n1 = [0.2, 0.5, -0.1];
+            let f1 = model.flux(&q, n1);
+            let f2 = model.flux(&q, [0.4, 1.0, -0.2]);
+            for i in 0..model.ncomp() {
+                assert!((f2[i] - 2.0 * f1[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn wavespeed_positive_and_scales_with_area() {
+        for model in models() {
+            let q = test_state(&model);
+            let lam1 = model.max_wavespeed(&q, [0.1, 0.2, 0.2]);
+            let lam2 = model.max_wavespeed(&q, [0.2, 0.4, 0.4]);
+            assert!(lam1 > 0.0);
+            assert!((lam2 - 2.0 * lam1).abs() < 1e-12, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn wavespeed_dominates_flux_jacobian_normal_speed() {
+        // |theta| <= lambda_max: Rusanov dissipation upper-bounds transport.
+        for model in models() {
+            let q = test_state(&model);
+            let n = [0.5, -0.3, 0.2];
+            let lam = model.max_wavespeed(&q, n);
+            let theta = match model {
+                FlowModel::Incompressible { .. } => q[1] * n[0] + q[2] * n[1] + q[3] * n[2],
+                FlowModel::Compressible { .. } => {
+                    (q[1] * n[0] + q[2] * n[1] + q[3] * n[2]) / q[0]
+                }
+            };
+            assert!(lam >= theta.abs());
+        }
+    }
+
+    #[test]
+    fn compressible_pressure_recovered() {
+        let model = FlowModel::compressible();
+        let q = test_state(&model);
+        assert!((model.pressure(&q) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn freestream_is_physical() {
+        let m = FlowModel::compressible();
+        let q = m.freestream();
+        assert!(q[0] > 0.0);
+        assert!(m.pressure(&q) > 0.0);
+        let mi = FlowModel::incompressible();
+        assert_eq!(mi.freestream()[1], 1.0);
+    }
+
+    #[test]
+    fn ncomp_matches_dofs_in_paper() {
+        // 22,677 vertices -> 90,708 DOFs incompressible; 113,385 compressible.
+        assert_eq!(22_677 * FlowModel::incompressible().ncomp(), 90_708);
+        assert_eq!(22_677 * FlowModel::compressible().ncomp(), 113_385);
+    }
+}

@@ -1,0 +1,877 @@
+//! The edge-based residual and its first-order analytic Jacobian.
+//!
+//! `R_i(q) = sum_{edges (i,j)} F_rusanov(q_i, q_j, n_ij)
+//!          + sum_{boundary faces at i} F_bc(q_i, n_f / 3)`
+//!
+//! so the steady state satisfies `R(q) = 0` and pseudo-transient
+//! continuation integrates `V_i dq_i/dtau = -R_i`.
+//!
+//! The flux through each dual face is Rusanov (local Lax–Friedrichs):
+//! central average plus `lambda_max` dissipation — robust, smooth, and with
+//! a compact analytic Jacobian, which is what the preconditioner wants
+//! ("the preconditioner matrix is always built out of a first-order
+//! analytical Jacobian matrix").  Second-order accuracy comes from limited
+//! MUSCL reconstruction of the endpoint states (see [`crate::gradient`]);
+//! per the paper the Jacobian stays first-order regardless.
+
+use crate::field::FieldVec;
+use crate::gradient::{reconstruct_edge, Gradients};
+use crate::model::{Comp, FlowModel, MAX_COMP};
+use fun3d_mesh::tet::{BoundaryKind, TetMesh};
+use fun3d_sparse::csr::CsrMatrix;
+use fun3d_sparse::layout::FieldLayout;
+use fun3d_sparse::triplet::TripletMatrix;
+
+/// Spatial accuracy of the flux evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpatialOrder {
+    /// Pure Rusanov on nodal states.
+    First,
+    /// Unlimited kappa = 1/3 MUSCL reconstruction — the paper's choice for
+    /// shock-free simulations ("in shock-free simulations we use
+    /// second-order accuracy throughout").
+    Second,
+    /// Van Albada–limited MUSCL reconstruction, for flows with (near-)
+    /// discontinuities.
+    SecondLimited,
+}
+
+/// Scratch space reused across residual evaluations.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    grads: Gradients,
+}
+
+/// The spatial discretization on a mesh.
+pub struct Discretization<'m> {
+    mesh: &'m TetMesh,
+    model: FlowModel,
+    layout: FieldLayout,
+    order: SpatialOrder,
+    freestream: Comp,
+    /// Optional laminar viscosity: adds an edge-based diffusion of the
+    /// velocity/momentum components (a thin-layer Navier-Stokes term; FUN3D
+    /// solves "the Euler and Navier-Stokes equations", the paper's
+    /// experiments are inviscid so this defaults to off).
+    viscosity: Option<f64>,
+}
+
+impl<'m> Discretization<'m> {
+    /// Create a discretization.
+    pub fn new(mesh: &'m TetMesh, model: FlowModel, layout: FieldLayout, order: SpatialOrder) -> Self {
+        let freestream = model.freestream();
+        Self {
+            mesh,
+            model,
+            layout,
+            order,
+            freestream,
+            viscosity: None,
+        }
+    }
+
+    /// Enable the laminar viscous term with viscosity `mu`.
+    pub fn with_viscosity(mut self, mu: f64) -> Self {
+        assert!(mu >= 0.0, "viscosity must be nonnegative");
+        self.viscosity = if mu > 0.0 { Some(mu) } else { None };
+        self
+    }
+
+    /// The configured viscosity, if any.
+    pub fn viscosity(&self) -> Option<f64> {
+        self.viscosity
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> &TetMesh {
+        self.mesh
+    }
+
+    /// The flow model.
+    pub fn model(&self) -> &FlowModel {
+        &self.model
+    }
+
+    /// Unknown layout.
+    pub fn layout(&self) -> FieldLayout {
+        self.layout
+    }
+
+    /// Spatial order currently in effect.
+    pub fn order(&self) -> SpatialOrder {
+        self.order
+    }
+
+    /// Switch spatial order (the first/second-order continuation switch of
+    /// Section 2.4.1).
+    pub fn set_order(&mut self, order: SpatialOrder) {
+        self.order = order;
+    }
+
+    /// Components per vertex.
+    pub fn ncomp(&self) -> usize {
+        self.model.ncomp()
+    }
+
+    /// Total unknowns.
+    pub fn nunknowns(&self) -> usize {
+        self.mesh.nverts() * self.ncomp()
+    }
+
+    /// Freestream initial state.
+    pub fn initial_state(&self) -> FieldVec {
+        FieldVec::constant(self.mesh.nverts(), self.ncomp(), self.layout, &self.freestream)
+    }
+
+    /// Allocate the reusable workspace.
+    pub fn workspace(&self) -> Workspace {
+        Workspace {
+            grads: Gradients::zeros(self.mesh.nverts(), self.ncomp()),
+        }
+    }
+
+    /// Evaluate `R(q)` into `res` (both in this discretization's layout).
+    pub fn residual(&self, q: &FieldVec, res: &mut FieldVec, ws: &mut Workspace) {
+        assert_eq!(q.nverts(), self.mesh.nverts());
+        assert_eq!(q.ncomp(), self.ncomp());
+        assert_eq!(q.layout(), self.layout);
+        res.as_mut_slice().iter_mut().for_each(|x| *x = 0.0);
+        let second = !matches!(self.order, SpatialOrder::First);
+        let limited = matches!(self.order, SpatialOrder::SecondLimited);
+        if second {
+            ws.grads.compute(self.mesh, q);
+        }
+        let ncomp = self.ncomp();
+        let normals = self.mesh.edge_normals();
+        let coords = self.mesh.coords();
+        // Interior edge loop — the kernel of Table 1 / Figure 3.
+        for (e, &[a, b]) in self.mesh.edges().iter().enumerate() {
+            let (a, b) = (a as usize, b as usize);
+            let n = normals[e];
+            let qa = q.get(a);
+            let qb = q.get(b);
+            let (ql, qr) = if second {
+                let r_ab = [
+                    coords[b][0] - coords[a][0],
+                    coords[b][1] - coords[a][1],
+                    coords[b][2] - coords[a][2],
+                ];
+                reconstruct_edge(&ws.grads, a, b, r_ab, &qa, &qb, ncomp, limited)
+            } else {
+                (qa, qb)
+            };
+            let f = self.rusanov(&ql, &qr, n);
+            let mut fneg = [0.0; MAX_COMP];
+            for c in 0..ncomp {
+                fneg[c] = -f[c];
+            }
+            res.add(a, &f);
+            res.add(b, &fneg);
+        }
+        // Viscous (edge-based diffusion) term on the momentum components.
+        if let Some(mu) = self.viscosity {
+            for (e, &[a, b]) in self.mesh.edges().iter().enumerate() {
+                let (a, b) = (a as usize, b as usize);
+                let n = normals[e];
+                let area = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt();
+                let dx = [
+                    coords[b][0] - coords[a][0],
+                    coords[b][1] - coords[a][1],
+                    coords[b][2] - coords[a][2],
+                ];
+                let dist = (dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2]).sqrt();
+                let kappa = mu * area / dist;
+                let qa = q.get(a);
+                let qb = q.get(b);
+                let mut fa = [0.0; MAX_COMP];
+                for c in 1..4 {
+                    fa[c] = kappa * (qa[c] - qb[c]);
+                }
+                let mut fb = [0.0; MAX_COMP];
+                for c in 1..4 {
+                    fb[c] = -fa[c];
+                }
+                res.add(a, &fa);
+                res.add(b, &fb);
+            }
+        }
+        // Boundary faces.
+        for face in self.mesh.boundary_faces() {
+            let n3 = [
+                face.normal[0] / 3.0,
+                face.normal[1] / 3.0,
+                face.normal[2] / 3.0,
+            ];
+            for &v in &face.verts {
+                let v = v as usize;
+                let qv = q.get(v);
+                let f = self.boundary_flux(face.kind, &qv, n3);
+                res.add(v, &f);
+            }
+        }
+    }
+
+    /// Integrated pressure force over the solid (wall) boundary — the
+    /// aerodynamic quantity a FUN3D user extracts (drag/lift components).
+    /// Each boundary face contributes `p_v * n_f / 3` per vertex.
+    pub fn wall_forces(&self, q: &FieldVec) -> [f64; 3] {
+        let mut f = [0.0f64; 3];
+        for face in self.mesh.boundary_faces() {
+            if face.kind != fun3d_mesh::tet::BoundaryKind::Wall {
+                continue;
+            }
+            for &v in &face.verts {
+                let p = self.model.pressure(&q.get(v as usize));
+                f[0] += p * face.normal[0] / 3.0;
+                f[1] += p * face.normal[1] / 3.0;
+                f[2] += p * face.normal[2] / 3.0;
+            }
+        }
+        f
+    }
+
+    /// First-order flux accumulation over a *range* of edges only, with no
+    /// boundary terms — the kernel Table 5 parallelizes across threads
+    /// (OpenMP analogue) or subdomain processes.  `res` must be zeroed (or
+    /// hold a partial sum) on entry; contributions are added.
+    pub fn edge_flux_residual(&self, q: &FieldVec, res: &mut FieldVec, range: std::ops::Range<usize>) {
+        assert!(range.end <= self.mesh.nedges());
+        let ncomp = self.ncomp();
+        let normals = self.mesh.edge_normals();
+        let edges = self.mesh.edges();
+        for e in range {
+            let [a, b] = edges[e];
+            let (a, b) = (a as usize, b as usize);
+            let n = normals[e];
+            let qa = q.get(a);
+            let qb = q.get(b);
+            let f = self.rusanov(&qa, &qb, n);
+            let mut fneg = [0.0; MAX_COMP];
+            for c in 0..ncomp {
+                fneg[c] = -f[c];
+            }
+            res.add(a, &f);
+            res.add(b, &fneg);
+        }
+    }
+
+    /// Rusanov numerical flux between reconstructed states.
+    #[inline]
+    fn rusanov(&self, ql: &Comp, qr: &Comp, n: [f64; 3]) -> Comp {
+        let ncomp = self.ncomp();
+        let fl = self.model.flux(ql, n);
+        let fr = self.model.flux(qr, n);
+        let lam = self
+            .model
+            .max_wavespeed(ql, n)
+            .max(self.model.max_wavespeed(qr, n));
+        let mut f = [0.0; MAX_COMP];
+        for c in 0..ncomp {
+            f[c] = 0.5 * (fl[c] + fr[c]) - 0.5 * lam * (qr[c] - ql[c]);
+        }
+        f
+    }
+
+    /// Boundary flux through a (share of a) face normal.
+    #[inline]
+    fn boundary_flux(&self, kind: BoundaryKind, q: &Comp, n: [f64; 3]) -> Comp {
+        match kind {
+            BoundaryKind::Wall => {
+                // Slip wall: no through-flow; only the pressure force.
+                let p = self.model.pressure(q);
+                let mut f = [0.0; MAX_COMP];
+                f[1] = p * n[0];
+                f[2] = p * n[1];
+                f[3] = p * n[2];
+                f
+            }
+            BoundaryKind::Inflow => self.rusanov(q, &self.freestream, n),
+            BoundaryKind::Outflow => self.model.flux(q, n),
+        }
+    }
+
+    /// Global L2 norm of a residual field.
+    pub fn residual_norm(&self, res: &FieldVec) -> f64 {
+        fun3d_sparse::vec_ops::norm2(res.as_slice())
+    }
+
+    /// Per-unknown dual volumes in this layout (for the `V/dtau` diagonal of
+    /// pseudo-transient continuation).
+    pub fn unknown_volumes(&self) -> Vec<f64> {
+        let nv = self.mesh.nverts();
+        let ncomp = self.ncomp();
+        let vols = self.mesh.dual_volumes();
+        let mut out = vec![0.0; nv * ncomp];
+        for v in 0..nv {
+            for c in 0..ncomp {
+                let idx = match self.layout {
+                    FieldLayout::Interlaced => v * ncomp + c,
+                    FieldLayout::Segregated => c * nv + v,
+                };
+                out[idx] = vols[v];
+            }
+        }
+        out
+    }
+
+    /// Per-vertex sums of face wave speeds at state `q` — the denominator of
+    /// the local pseudo-timestep `dtau_i = CFL * V_i / sum lambda`.
+    pub fn wavespeed_sums(&self, q: &FieldVec) -> Vec<f64> {
+        let mut sums = vec![0.0; self.mesh.nverts()];
+        let normals = self.mesh.edge_normals();
+        for (e, &[a, b]) in self.mesh.edges().iter().enumerate() {
+            let (a, b) = (a as usize, b as usize);
+            let lam = self
+                .model
+                .max_wavespeed(&q.get(a), normals[e])
+                .max(self.model.max_wavespeed(&q.get(b), normals[e]));
+            sums[a] += lam;
+            sums[b] += lam;
+        }
+        for face in self.mesh.boundary_faces() {
+            let n3 = [
+                face.normal[0] / 3.0,
+                face.normal[1] / 3.0,
+                face.normal[2] / 3.0,
+            ];
+            for &v in &face.verts {
+                let v = v as usize;
+                sums[v] += self.model.max_wavespeed(&q.get(v), n3);
+            }
+        }
+        sums
+    }
+
+    /// Assemble the first-order analytic Jacobian `dR/dq` at `q` (Rusanov
+    /// with frozen dissipation coefficient), in this discretization's
+    /// unknown layout.
+    pub fn jacobian(&self, q: &FieldVec) -> CsrMatrix {
+        let ncomp = self.ncomp();
+        let nv = self.mesh.nverts();
+        let n_unknowns = nv * ncomp;
+        let idx = |v: usize, c: usize| -> usize {
+            match self.layout {
+                FieldLayout::Interlaced => v * ncomp + c,
+                FieldLayout::Segregated => c * nv + v,
+            }
+        };
+        let mut t = TripletMatrix::with_capacity(
+            n_unknowns,
+            n_unknowns,
+            (self.mesh.nedges() * 4 + nv) * ncomp * ncomp,
+        );
+        // Full ncomp x ncomp blocks are always stored (PETSc BAIJ semantics):
+        // the sparsity pattern must not depend on the linearization state, or
+        // pattern-reusing consumers (ILU refactor, BCSR refill) would break.
+        let mut push_block = |vi: usize, vj: usize, sign: f64, a: &[f64], extra_diag: f64| {
+            for r in 0..ncomp {
+                for c in 0..ncomp {
+                    let mut val = a[r * MAX_COMP + c];
+                    if r == c {
+                        val += extra_diag;
+                    }
+                    t.push(idx(vi, r), idx(vj, c), sign * val);
+                }
+            }
+        };
+        let half = 0.5;
+        let normals = self.mesh.edge_normals();
+        for (e, &[a, b]) in self.mesh.edges().iter().enumerate() {
+            let (a, b) = (a as usize, b as usize);
+            let n = normals[e];
+            let qa = q.get(a);
+            let qb = q.get(b);
+            let lam = self
+                .model
+                .max_wavespeed(&qa, n)
+                .max(self.model.max_wavespeed(&qb, n));
+            let ja = self.model.flux_jacobian(&qa, n);
+            let jb = self.model.flux_jacobian(&qb, n);
+            // dF/dqa = A(qa)/2 + lam/2 I ; dF/dqb = A(qb)/2 - lam/2 I.
+            let scaled =
+                |m: &[f64; MAX_COMP * MAX_COMP]| -> [f64; MAX_COMP * MAX_COMP] {
+                    let mut s = *m;
+                    for v in s.iter_mut() {
+                        *v *= half;
+                    }
+                    s
+                };
+            let ja2 = scaled(&ja);
+            let jb2 = scaled(&jb);
+            // R_a += F  => rows of a.
+            push_block(a, a, 1.0, &ja2, half * lam);
+            push_block(a, b, 1.0, &jb2, -half * lam);
+            // R_b -= F  => rows of b.
+            push_block(b, a, -1.0, &ja2, half * lam);
+            push_block(b, b, -1.0, &jb2, -half * lam);
+        }
+        // Viscous term: exact (linear) Jacobian entries on momentum rows.
+        if let Some(mu) = self.viscosity {
+            let coords = self.mesh.coords();
+            for (e, &[a, b]) in self.mesh.edges().iter().enumerate() {
+                let (a, b) = (a as usize, b as usize);
+                let n = normals[e];
+                let area = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt();
+                let dx = [
+                    coords[b][0] - coords[a][0],
+                    coords[b][1] - coords[a][1],
+                    coords[b][2] - coords[a][2],
+                ];
+                let dist = (dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2]).sqrt();
+                let kappa = mu * area / dist;
+                for c in 1..4 {
+                    t.push(idx(a, c), idx(a, c), kappa);
+                    t.push(idx(a, c), idx(b, c), -kappa);
+                    t.push(idx(b, c), idx(b, c), kappa);
+                    t.push(idx(b, c), idx(a, c), -kappa);
+                }
+            }
+        }
+        // Boundary contributions.
+        for face in self.mesh.boundary_faces() {
+            let n3 = [
+                face.normal[0] / 3.0,
+                face.normal[1] / 3.0,
+                face.normal[2] / 3.0,
+            ];
+            for &v in &face.verts {
+                let v = v as usize;
+                let qv = q.get(v);
+                match face.kind {
+                    BoundaryKind::Wall => {
+                        // d(p n)/dq: rank-one n (x) dp/dq on momentum rows.
+                        let dp = self.pressure_gradient(&qv);
+                        for r in 1..4usize {
+                            for c in 0..ncomp {
+                                t.push(idx(v, r), idx(v, c), n3[r - 1] * dp[c]);
+                            }
+                        }
+                    }
+                    BoundaryKind::Inflow => {
+                        // d Rusanov(q, qinf)/dq = A(q)/2 + lam/2 I (frozen).
+                        let lam = self
+                            .model
+                            .max_wavespeed(&qv, n3)
+                            .max(self.model.max_wavespeed(&self.freestream, n3));
+                        let a = self.model.flux_jacobian(&qv, n3);
+                        for r in 0..ncomp {
+                            for c in 0..ncomp {
+                                let mut val = 0.5 * a[r * MAX_COMP + c];
+                                if r == c {
+                                    val += 0.5 * lam;
+                                }
+                                t.push(idx(v, r), idx(v, c), val);
+                            }
+                        }
+                    }
+                    BoundaryKind::Outflow => {
+                        let a = self.model.flux_jacobian(&qv, n3);
+                        for r in 0..ncomp {
+                            for c in 0..ncomp {
+                                t.push(idx(v, r), idx(v, c), a[r * MAX_COMP + c]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Guarantee a structural diagonal (pseudo-time terms are added to it).
+        for v in 0..nv {
+            for c in 0..ncomp {
+                t.push(idx(v, c), idx(v, c), 0.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    /// `dp/dq` for the wall-flux Jacobian.
+    fn pressure_gradient(&self, q: &Comp) -> Comp {
+        match self.model {
+            FlowModel::Incompressible { .. } => {
+                let mut d = [0.0; MAX_COMP];
+                d[0] = 1.0;
+                d
+            }
+            FlowModel::Compressible { gamma } => {
+                let g1 = gamma - 1.0;
+                let rho = q[0];
+                let (u, v, w) = (q[1] / rho, q[2] / rho, q[3] / rho);
+                [
+                    0.5 * g1 * (u * u + v * v + w * w),
+                    -g1 * u,
+                    -g1 * v,
+                    -g1 * w,
+                    g1,
+                ]
+            }
+        }
+    }
+
+    /// Estimated floating-point work of one residual evaluation (for the
+    /// machine-model experiments). Calibrated constants: ~110 flops per
+    /// edge-flux (first order) for 4 components, scaled by component count;
+    /// second order roughly doubles it (gradients + reconstruction).
+    pub fn residual_flops(&self) -> f64 {
+        let per_edge = 110.0 * (self.ncomp() as f64 / 4.0);
+        let base = per_edge * self.mesh.nedges() as f64;
+        match self.order {
+            SpatialOrder::First => base,
+            SpatialOrder::Second | SpatialOrder::SecondLimited => 2.2 * base,
+        }
+    }
+
+    /// Estimated bytes touched by one residual evaluation: edge geometry
+    /// streamed once plus state/residual traffic.
+    pub fn residual_bytes(&self) -> f64 {
+        let ncomp = self.ncomp() as f64;
+        let per_edge = 32.0 + 4.0 * ncomp * 8.0;
+        let order_factor = match self.order {
+            SpatialOrder::First => 1.0,
+            SpatialOrder::Second | SpatialOrder::SecondLimited => 2.0,
+        };
+        order_factor * per_edge * self.mesh.nedges() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fun3d_mesh::generator::BumpChannelSpec;
+
+    fn flat_channel(dims: (usize, usize, usize)) -> TetMesh {
+        let mut spec = BumpChannelSpec::with_dims(dims.0, dims.1, dims.2);
+        spec.bump_height = 0.0;
+        spec.jitter = 0.12;
+        spec.build()
+    }
+
+    fn both_models() -> Vec<FlowModel> {
+        vec![FlowModel::incompressible(), FlowModel::compressible()]
+    }
+
+    #[test]
+    fn freestream_is_discretely_preserved_in_flat_channel() {
+        // Uniform x-flow in a flat channel: walls are x-parallel planes so
+        // the wall BC (pressure only) matches the exact flux; inflow/outflow
+        // reduce to F(q_inf). Residual must vanish identically.
+        let mesh = flat_channel((7, 5, 5));
+        for model in both_models() {
+            for order in [
+                SpatialOrder::First,
+                SpatialOrder::Second,
+                SpatialOrder::SecondLimited,
+            ] {
+                let disc = Discretization::new(&mesh, model, FieldLayout::Interlaced, order);
+                let q = disc.initial_state();
+                let mut res = FieldVec::zeros(mesh.nverts(), disc.ncomp(), FieldLayout::Interlaced);
+                let mut ws = disc.workspace();
+                disc.residual(&q, &mut res, &mut ws);
+                let norm = disc.residual_norm(&res);
+                assert!(norm < 1e-9, "{model:?} {order:?}: |R(q_inf)| = {norm}");
+            }
+        }
+    }
+
+    #[test]
+    fn bump_induces_nonzero_residual_at_freestream() {
+        let mesh = BumpChannelSpec::with_dims(9, 5, 5).build();
+        let model = FlowModel::incompressible();
+        let disc = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+        let q = disc.initial_state();
+        let mut res = FieldVec::zeros(mesh.nverts(), 4, FieldLayout::Interlaced);
+        let mut ws = disc.workspace();
+        disc.residual(&q, &mut res, &mut ws);
+        assert!(disc.residual_norm(&res) > 1e-6, "the bump must deflect the flow");
+    }
+
+    #[test]
+    fn residual_is_layout_invariant() {
+        let mesh = BumpChannelSpec::with_dims(6, 5, 4).build();
+        for model in both_models() {
+            let ncomp = model.ncomp();
+            let di = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+            let ds = Discretization::new(&mesh, model, FieldLayout::Segregated, SpatialOrder::First);
+            // A non-trivial state: freestream + smooth perturbation.
+            let mut qi = di.initial_state();
+            for v in 0..mesh.nverts() {
+                let mut s = qi.get(v);
+                let x = mesh.coords()[v];
+                for c in 0..ncomp {
+                    s[c] += 0.01 * ((c + 1) as f64) * (x[0] + 0.5 * x[1]).sin();
+                }
+                qi.set(v, &s);
+            }
+            let qs = qi.to_layout(FieldLayout::Segregated);
+            let mut ri = FieldVec::zeros(mesh.nverts(), ncomp, FieldLayout::Interlaced);
+            let mut rs = FieldVec::zeros(mesh.nverts(), ncomp, FieldLayout::Segregated);
+            let mut wi = di.workspace();
+            let mut wsws = ds.workspace();
+            di.residual(&qi, &mut ri, &mut wi);
+            ds.residual(&qs, &mut rs, &mut wsws);
+            for v in 0..mesh.nverts() {
+                let a = ri.get(v);
+                let b = rs.get(v);
+                for c in 0..ncomp {
+                    assert!(
+                        (a[c] - b[c]).abs() < 1e-12,
+                        "{model:?} v={v} c={c}: {} vs {}",
+                        a[c],
+                        b[c]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jacobian_matches_finite_differences_near_freestream() {
+        let mesh = BumpChannelSpec::with_dims(5, 4, 4).build();
+        for model in both_models() {
+            let ncomp = model.ncomp();
+            let disc = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+            // Small smooth perturbation so the frozen-lambda error is O(perturbation).
+            let mut q = disc.initial_state();
+            for v in 0..mesh.nverts() {
+                let mut s = q.get(v);
+                let x = mesh.coords()[v];
+                for c in 0..ncomp {
+                    s[c] += 1e-3 * ((v % 7) as f64 / 7.0) * ((c + 1) as f64) * (1.0 + x[2]);
+                }
+                q.set(v, &s);
+            }
+            let jac = disc.jacobian(&q);
+            let n = disc.nunknowns();
+            // Random direction.
+            let dir: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 13) as f64 / 13.0 - 0.5).collect();
+            let mut jd = vec![0.0; n];
+            jac.spmv(&dir, &mut jd);
+            // FD directional derivative.
+            let eps = 1e-7;
+            let mut ws = disc.workspace();
+            let mut qp = q.clone();
+            for (i, d) in dir.iter().enumerate() {
+                qp.as_mut_slice()[i] += eps * d;
+            }
+            let mut rp = FieldVec::zeros(mesh.nverts(), ncomp, FieldLayout::Interlaced);
+            let mut r0 = FieldVec::zeros(mesh.nverts(), ncomp, FieldLayout::Interlaced);
+            disc.residual(&qp, &mut rp, &mut ws);
+            disc.residual(&q, &mut r0, &mut ws);
+            let mut fd = vec![0.0; n];
+            for i in 0..n {
+                fd[i] = (rp.as_slice()[i] - r0.as_slice()[i]) / eps;
+            }
+            let scale = fd.iter().fold(1e-30f64, |m, v| m.max(v.abs()));
+            let mut max_rel = 0.0f64;
+            for i in 0..n {
+                max_rel = max_rel.max((jd[i] - fd[i]).abs() / scale);
+            }
+            assert!(
+                max_rel < 5e-2,
+                "{model:?}: Jacobian-vector mismatch {max_rel} (frozen-lambda tolerance)"
+            );
+        }
+    }
+
+    #[test]
+    fn second_order_reduces_dissipation_error() {
+        // On a smooth non-constant field, the second-order residual should
+        // differ from first-order (less dissipation) — sanity check that the
+        // order switch does something.
+        let mesh = flat_channel((8, 5, 5));
+        let model = FlowModel::incompressible();
+        let d1 = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+        let d2 = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::Second);
+        let mut q = d1.initial_state();
+        for v in 0..mesh.nverts() {
+            let mut s = q.get(v);
+            let x = mesh.coords()[v];
+            s[0] += 0.1 * (x[0]).sin();
+            s[1] += 0.05 * (x[2]).cos();
+            q.set(v, &s);
+        }
+        let mut r1 = FieldVec::zeros(mesh.nverts(), 4, FieldLayout::Interlaced);
+        let mut r2 = FieldVec::zeros(mesh.nverts(), 4, FieldLayout::Interlaced);
+        let mut w1 = d1.workspace();
+        let mut w2 = d2.workspace();
+        d1.residual(&q, &mut r1, &mut w1);
+        d2.residual(&q, &mut r2, &mut w2);
+        let diff: f64 = r1
+            .as_slice()
+            .iter()
+            .zip(r2.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-8, "order switch must change the stencil");
+    }
+
+    #[test]
+    fn jacobian_has_block_sparsity() {
+        let mesh = BumpChannelSpec::with_dims(5, 4, 4).build();
+        let model = FlowModel::incompressible();
+        let disc = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+        let q = disc.initial_state();
+        let jac = disc.jacobian(&q);
+        assert_eq!(jac.nrows(), disc.nunknowns());
+        // Interlaced layout: bandwidth ~ ncomp * vertex-graph bandwidth.
+        let g = mesh.vertex_graph();
+        assert!(jac.bandwidth() <= 4 * (g.bandwidth() + 1));
+        // Convertible to BCSR with block size 4.
+        let b = fun3d_sparse::bcsr::BcsrMatrix::from_csr(&jac, 4);
+        assert_eq!(b.nbrows(), mesh.nverts());
+    }
+
+    #[test]
+    fn segregated_jacobian_has_wide_bandwidth() {
+        let mesh = BumpChannelSpec::with_dims(6, 4, 4).build();
+        let model = FlowModel::incompressible();
+        let di = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+        let ds = Discretization::new(&mesh, model, FieldLayout::Segregated, SpatialOrder::First);
+        let qi = di.initial_state();
+        let qs = ds.initial_state();
+        let ji = di.jacobian(&qi);
+        let js = ds.jacobian(&qs);
+        assert!(
+            js.bandwidth() > 2 * ji.bandwidth(),
+            "segregated bandwidth {} should dwarf interlaced {}",
+            js.bandwidth(),
+            ji.bandwidth()
+        );
+        // Same entries up to permutation: identical Frobenius norms.
+        assert!((ji.frobenius_norm() - js.frobenius_norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volumes_and_wavespeeds_are_positive() {
+        let mesh = BumpChannelSpec::with_dims(5, 4, 4).build();
+        let disc = Discretization::new(
+            &mesh,
+            FlowModel::compressible(),
+            FieldLayout::Interlaced,
+            SpatialOrder::First,
+        );
+        let q = disc.initial_state();
+        assert!(disc.unknown_volumes().iter().all(|&v| v > 0.0));
+        assert!(disc.wavespeed_sums(&q).iter().all(|&v| v > 0.0));
+        assert_eq!(disc.unknown_volumes().len(), disc.nunknowns());
+    }
+
+    #[test]
+    fn constant_pressure_exerts_zero_net_wall_force() {
+        // In a flat channel, the wall normals of opposite walls cancel, so a
+        // constant-pressure state exerts no net force.
+        let mesh = flat_channel((6, 5, 5));
+        let model = FlowModel::incompressible();
+        let disc = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+        let mut q = disc.initial_state();
+        for v in 0..mesh.nverts() {
+            let mut s = q.get(v);
+            s[0] = 2.5; // constant gauge pressure
+            q.set(v, &s);
+        }
+        let f = disc.wall_forces(&q);
+        for c in 0..3 {
+            assert!(f[c].abs() < 1e-10, "force {c}: {}", f[c]);
+        }
+    }
+
+    #[test]
+    fn bump_generates_vertical_force() {
+        // A pressure field that varies with height pushes on the bump.
+        let mesh = BumpChannelSpec::with_dims(9, 5, 5).build();
+        let model = FlowModel::incompressible();
+        let disc = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+        let mut q = disc.initial_state();
+        for v in 0..mesh.nverts() {
+            let mut s = q.get(v);
+            s[0] = 1.0 - 0.5 * mesh.coords()[v][2];
+            q.set(v, &s);
+        }
+        let f = disc.wall_forces(&q);
+        assert!(f[2].abs() > 1e-3, "vertical force expected: {f:?}");
+    }
+
+    #[test]
+    fn viscosity_damps_shear_perturbations() {
+        let mesh = flat_channel((6, 5, 5));
+        let model = FlowModel::incompressible();
+        let disc = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First)
+            .with_viscosity(0.1);
+        // A shear: u varies with z; viscosity must create a residual that
+        // opposes the variation at interior vertices.
+        let mut q = disc.initial_state();
+        for v in 0..mesh.nverts() {
+            let mut s = q.get(v);
+            s[1] = 1.0 + 0.3 * (mesh.coords()[v][2] * 3.0).sin();
+            q.set(v, &s);
+        }
+        let mut r_visc = FieldVec::zeros(mesh.nverts(), 4, FieldLayout::Interlaced);
+        let mut ws = disc.workspace();
+        disc.residual(&q, &mut r_visc, &mut ws);
+        let disc0 = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+        let mut r0 = FieldVec::zeros(mesh.nverts(), 4, FieldLayout::Interlaced);
+        let mut ws0 = disc0.workspace();
+        disc0.residual(&q, &mut r0, &mut ws0);
+        let dnorm: f64 = r_visc
+            .as_slice()
+            .iter()
+            .zip(r0.as_slice())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dnorm > 1e-6, "viscous term must contribute: {dnorm}");
+        // And a constant flow is still steady (diffusion of a constant = 0).
+        let qc = disc.initial_state();
+        let mut rc = FieldVec::zeros(mesh.nverts(), 4, FieldLayout::Interlaced);
+        disc.residual(&qc, &mut rc, &mut ws);
+        assert!(disc.residual_norm(&rc) < 1e-9);
+    }
+
+    #[test]
+    fn viscous_jacobian_matches_fd() {
+        let mesh = BumpChannelSpec::with_dims(5, 4, 4).build();
+        let model = FlowModel::incompressible();
+        let disc = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First)
+            .with_viscosity(0.05);
+        let mut q = disc.initial_state();
+        for v in 0..mesh.nverts() {
+            let mut s = q.get(v);
+            s[1] += 1e-3 * (v % 5) as f64;
+            q.set(v, &s);
+        }
+        let jac = disc.jacobian(&q);
+        let n = disc.nunknowns();
+        let dir: Vec<f64> = (0..n).map(|i| ((i * 17 + 3) % 11) as f64 / 11.0 - 0.5).collect();
+        let mut jd = vec![0.0; n];
+        jac.spmv(&dir, &mut jd);
+        let eps = 1e-7;
+        let mut ws = disc.workspace();
+        let mut qp = q.clone();
+        for (i, d) in dir.iter().enumerate() {
+            qp.as_mut_slice()[i] += eps * d;
+        }
+        let mut rp = FieldVec::zeros(mesh.nverts(), 4, FieldLayout::Interlaced);
+        let mut r0 = FieldVec::zeros(mesh.nverts(), 4, FieldLayout::Interlaced);
+        disc.residual(&qp, &mut rp, &mut ws);
+        disc.residual(&q, &mut r0, &mut ws);
+        let scale = jd.iter().fold(1e-30f64, |m, v| m.max(v.abs()));
+        for i in 0..n {
+            let fd = (rp.as_slice()[i] - r0.as_slice()[i]) / eps;
+            assert!(
+                (jd[i] - fd).abs() / scale < 5e-2,
+                "i={i}: {} vs {}",
+                jd[i],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn work_estimates_scale_with_order() {
+        let mesh = BumpChannelSpec::with_dims(5, 4, 4).build();
+        let model = FlowModel::compressible();
+        let d1 = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+        let d2 = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::Second);
+        assert!(d2.residual_flops() > 2.0 * d1.residual_flops());
+        assert!(d2.residual_bytes() > d1.residual_bytes());
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the flow models and flux kernels.
+
+use fun3d_euler::field::FieldVec;
+use fun3d_euler::model::{Comp, FlowModel, MAX_COMP};
+use fun3d_euler::residual::{Discretization, SpatialOrder};
+use fun3d_mesh::generator::BumpChannelSpec;
+use fun3d_sparse::layout::FieldLayout;
+use proptest::prelude::*;
+
+fn incompressible_state() -> impl Strategy<Value = Comp> {
+    (-1.0f64..1.0, -1.5f64..1.5, -1.0f64..1.0, -1.0f64..1.0).prop_map(|(p, u, v, w)| {
+        let mut q = [0.0; MAX_COMP];
+        q[0] = p;
+        q[1] = u;
+        q[2] = v;
+        q[3] = w;
+        q
+    })
+}
+
+fn compressible_state() -> impl Strategy<Value = Comp> {
+    (0.3f64..2.0, -0.8f64..0.8, -0.5f64..0.5, -0.5f64..0.5, 0.3f64..2.0).prop_map(
+        |(rho, u, v, w, p)| {
+            let gamma = 1.4;
+            let e = p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v + w * w);
+            let mut q = [0.0; MAX_COMP];
+            q[0] = rho;
+            q[1] = rho * u;
+            q[2] = rho * v;
+            q[3] = rho * w;
+            q[4] = e;
+            q
+        },
+    )
+}
+
+fn normal() -> impl Strategy<Value = [f64; 3]> {
+    ((-1.0f64..1.0), (-1.0f64..1.0), (-1.0f64..1.0))
+        .prop_filter("nonzero", |(a, b, c)| a * a + b * b + c * c > 1e-4)
+        .prop_map(|(a, b, c)| [a, b, c])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The flux is homogeneous of degree 1 in the (area-weighted) normal.
+    #[test]
+    fn flux_linear_in_normal_incompressible(q in incompressible_state(), n in normal(), s in 0.1f64..5.0) {
+        let m = FlowModel::incompressible();
+        let f1 = m.flux(&q, n);
+        let f2 = m.flux(&q, [s * n[0], s * n[1], s * n[2]]);
+        for c in 0..m.ncomp() {
+            prop_assert!((f2[c] - s * f1[c]).abs() < 1e-10 * (1.0 + f1[c].abs()));
+        }
+    }
+
+    /// Analytic flux Jacobians match finite differences at random states.
+    #[test]
+    fn compressible_jacobian_matches_fd(q in compressible_state(), n in normal()) {
+        let m = FlowModel::compressible();
+        let a = m.flux_jacobian(&q, n);
+        let f0 = m.flux(&q, n);
+        let eps = 1e-7;
+        for j in 0..m.ncomp() {
+            let mut qp = q;
+            qp[j] += eps * (1.0 + q[j].abs());
+            let h = qp[j] - q[j];
+            let fp = m.flux(&qp, n);
+            for i in 0..m.ncomp() {
+                let fd = (fp[i] - f0[i]) / h;
+                prop_assert!(
+                    (fd - a[i * MAX_COMP + j]).abs() < 1e-4 * (1.0 + fd.abs()),
+                    "A[{}][{}]: {} vs {}", i, j, a[i * MAX_COMP + j], fd
+                );
+            }
+        }
+    }
+
+    /// The Rusanov wave speed dominates the normal transport speed, so the
+    /// scheme is dissipative for every admissible state.
+    #[test]
+    fn wavespeed_dominates(q in compressible_state(), n in normal()) {
+        let m = FlowModel::compressible();
+        let theta = (q[1] * n[0] + q[2] * n[1] + q[3] * n[2]) / q[0];
+        prop_assert!(m.max_wavespeed(&q, n) >= theta.abs() - 1e-12);
+    }
+
+    /// Pressure is invariant under velocity reflection (a scalar).
+    #[test]
+    fn pressure_reflection_invariant(q in compressible_state()) {
+        let m = FlowModel::compressible();
+        let mut qr = q;
+        qr[1] = -q[1];
+        qr[2] = -q[2];
+        qr[3] = -q[3];
+        prop_assert!((m.pressure(&q) - m.pressure(&qr)).abs() < 1e-12);
+    }
+
+    /// Residual of a constant state on a *closed* (all-wall would need the
+    /// flux to vanish; here we use the actual boundary set) flat channel is
+    /// zero for any constant velocity aligned with the channel.
+    #[test]
+    fn constant_axial_flow_is_steady(u in 0.2f64..2.0) {
+        let mut spec = BumpChannelSpec::with_dims(5, 4, 4);
+        spec.bump_height = 0.0;
+        spec.jitter = 0.1;
+        let mesh = spec.build();
+        let m = FlowModel::incompressible();
+        let disc = Discretization::new(&mesh, m, FieldLayout::Interlaced, SpatialOrder::First);
+        // Constant state with axial velocity u; inflow BC compares against
+        // the model freestream (u = 1), so scale the whole state: Rusanov of
+        // (q, q_inf) is not zero unless q == q_inf. Use interior test: only
+        // wall faces are velocity-insensitive, so restrict to u == 1 ... so
+        // instead verify the residual equals the boundary mismatch alone:
+        // interior edge contributions must cancel exactly.
+        let mut q = disc.initial_state();
+        for v in 0..mesh.nverts() {
+            q.set(v, &[0.0, u, 0.0, 0.0, 0.0]);
+        }
+        let mut r = FieldVec::zeros(mesh.nverts(), 4, FieldLayout::Interlaced);
+        let mut ws = disc.workspace();
+        disc.residual(&q, &mut r, &mut ws);
+        // Interior vertices see only interior edges: residual there is 0.
+        let mut on_boundary = vec![false; mesh.nverts()];
+        for f in mesh.boundary_faces() {
+            for &v in &f.verts {
+                on_boundary[v as usize] = true;
+            }
+        }
+        for v in 0..mesh.nverts() {
+            if !on_boundary[v] {
+                let rv = r.get(v);
+                for c in 0..4 {
+                    prop_assert!(rv[c].abs() < 1e-10, "v={} c={} r={}", v, c, rv[c]);
+                }
+            }
+        }
+    }
+
+    /// Interlaced and segregated layouts give identical Jacobian-vector
+    /// products (after permutation) at random smooth states.
+    #[test]
+    fn layout_equivariant_jacobian_action(amp in 0.0f64..0.05, seed in 0u64..100) {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mesh = BumpChannelSpec::with_dims(5, 4, 4).build();
+        let m = FlowModel::incompressible();
+        let di = Discretization::new(&mesh, m, FieldLayout::Interlaced, SpatialOrder::First);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut qi = di.initial_state();
+        for v in 0..mesh.nverts() {
+            let mut s = qi.get(v);
+            for c in 0..4 {
+                s[c] += amp * rng.gen_range(-1.0..1.0);
+            }
+            qi.set(v, &s);
+        }
+        let ji = di.jacobian(&qi);
+        let ds = Discretization::new(&mesh, m, FieldLayout::Segregated, SpatialOrder::First);
+        let qs = qi.to_layout(FieldLayout::Segregated);
+        let js = ds.jacobian(&qs);
+        let n = ji.nrows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 + 1) % 7) as f64 - 3.0).collect();
+        let mut yi = vec![0.0; n];
+        ji.spmv(&x, &mut yi);
+        // Permute x into segregated ordering, apply, and compare back.
+        let perm = fun3d_sparse::layout::interlaced_to_segregated_perm(mesh.nverts(), 4);
+        let mut xs = vec![0.0; n];
+        for i in 0..n {
+            xs[perm[i]] = x[i];
+        }
+        let mut ys = vec![0.0; n];
+        js.spmv(&xs, &mut ys);
+        for i in 0..n {
+            prop_assert!((ys[perm[i]] - yi[i]).abs() < 1e-10);
+        }
+    }
+}

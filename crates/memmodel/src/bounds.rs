@@ -1,0 +1,119 @@
+//! Analytic cache-miss bounds for sparse matrix–vector product —
+//! Equations (1) and (2) of the paper, plus their TLB analogues.
+//!
+//! Setting: SpMV `y = A x` with `A` of `N` rows in CSR; although `A` is
+//! sparse, the source vector `x` is gathered through the column indices, so
+//! the *working set* of `x` entries live at any moment is governed by the
+//! matrix bandwidth.
+//!
+//! * Non-interlaced storage couples unknowns `~N` apart, so the working set
+//!   of `x` is `~N` double words and the conflict misses are bounded by
+//!   `N * ceil((N - C) / W)` once `N >= C` (Eq. 1), where `C` is the cache
+//!   capacity and `W` the line size in double words.
+//! * Interlaced storage with a banded node ordering gives bandwidth
+//!   `beta << N`, shrinking the bound to `N * ceil((beta - C) / W)` (Eq. 2).
+//!
+//! The TLB bounds substitute the TLB reach (entries) for `C` and the page
+//! size for `W`.
+
+/// Eq. (1): conflict-miss bound for the non-interlaced (bandwidth ~ N)
+/// layout.  `n` rows, cache capacity `c_dwords`, line size `w_dwords`, all
+/// in 8-byte double words.  Zero when the working set fits (`n < c`).
+pub fn conflict_miss_bound_noninterlaced(n: usize, c_dwords: usize, w_dwords: usize) -> u64 {
+    conflict_miss_bound_banded(n, n, c_dwords, w_dwords)
+}
+
+/// Eq. (2): conflict-miss bound for an interlaced layout whose matrix
+/// bandwidth is `beta` double words.
+pub fn conflict_miss_bound_banded(n: usize, beta: usize, c_dwords: usize, w_dwords: usize) -> u64 {
+    assert!(w_dwords > 0, "line size must be positive");
+    if beta < c_dwords {
+        return 0;
+    }
+    let excess = beta - c_dwords;
+    let per_row = excess.div_ceil(w_dwords);
+    n as u64 * per_row as u64
+}
+
+/// TLB analogue of Eq. (1): capacity becomes the TLB reach in double words
+/// (`entries * page_dwords`), line size becomes the page size.
+pub fn tlb_miss_bound_noninterlaced(n: usize, tlb_entries: usize, page_dwords: usize) -> u64 {
+    tlb_miss_bound_banded(n, n, tlb_entries, page_dwords)
+}
+
+/// TLB analogue of Eq. (2) for a banded working set of `beta` double words.
+pub fn tlb_miss_bound_banded(n: usize, beta: usize, tlb_entries: usize, page_dwords: usize) -> u64 {
+    conflict_miss_bound_banded(n, beta, tlb_entries * page_dwords, page_dwords)
+}
+
+/// The ratio predicted between non-interlaced and interlaced conflict misses
+/// — the headline "orders of magnitude" claim the simulator (Figure 3
+/// regenerator) checks against.
+pub fn predicted_improvement(n: usize, beta: usize, c_dwords: usize, w_dwords: usize) -> f64 {
+    let non = conflict_miss_bound_noninterlaced(n, c_dwords, w_dwords);
+    let inter = conflict_miss_bound_banded(n, beta, c_dwords, w_dwords);
+    if inter == 0 {
+        f64::INFINITY
+    } else {
+        non as f64 / inter as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_when_working_set_fits() {
+        assert_eq!(conflict_miss_bound_banded(10_000, 100, 512, 16), 0);
+        assert_eq!(conflict_miss_bound_noninterlaced(100, 512, 16), 0);
+    }
+
+    #[test]
+    fn matches_formula_when_exceeding() {
+        // N = 1000, C = 512, W = 16: ceil(488/16) = 31 per row.
+        assert_eq!(conflict_miss_bound_noninterlaced(1000, 512, 16), 1000 * 31);
+    }
+
+    #[test]
+    fn banded_bound_is_never_larger() {
+        for beta in [10usize, 100, 1000, 5000] {
+            let b = conflict_miss_bound_banded(5000, beta, 512, 16);
+            let non = conflict_miss_bound_noninterlaced(5000, 512, 16);
+            assert!(b <= non, "beta={beta}");
+        }
+    }
+
+    #[test]
+    fn bound_monotone_in_bandwidth() {
+        let mut prev = 0;
+        for beta in (0..10).map(|k| 256 * k) {
+            let b = conflict_miss_bound_banded(1024, beta, 512, 16);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn tlb_bound_uses_reach() {
+        // 64 entries x 2048 dwords/page (16 KB) = 131072-dword reach.
+        assert_eq!(tlb_miss_bound_banded(1000, 100_000, 64, 2048), 0);
+        let b = tlb_miss_bound_noninterlaced(200_000, 64, 2048);
+        // excess = 200000 - 131072 = 68928; ceil(68928/2048) = 34.
+        assert_eq!(b, 200_000 * 34);
+    }
+
+    #[test]
+    fn improvement_is_large_for_small_bandwidth() {
+        let r = predicted_improvement(500_000, 2_000, 512 * 1024 / 8, 16);
+        assert!(r.is_infinite(), "banded set fits L2 entirely: {r}");
+        let r2 = predicted_improvement(500_000, 80_000, 65_536, 16);
+        assert!(r2 > 10.0, "{r2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_line_size_panics() {
+        conflict_miss_bound_banded(10, 10, 1, 0);
+    }
+}

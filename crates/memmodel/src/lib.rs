@@ -1,0 +1,37 @@
+//! Memory-centric performance models (Sections 2.1–2.2 of the paper).
+//!
+//! The paper's thesis is that sparse PDE codes must be understood through the
+//! memory hierarchy, not flop counts.  This crate supplies the instruments:
+//!
+//! * [`cache`] — a set-associative LRU cache simulator, configured as L1 /
+//!   L2 / TLB (a TLB is a cache of page translations).
+//! * [`hierarchy`] — a composed L1+L2+TLB memory system with miss counters;
+//!   the stand-in for the R10000 hardware event counters behind Figure 3.
+//! * [`trace`] — address-trace generators for the application's kernels
+//!   (edge-based flux loop, CSR/BCSR SpMV, triangular solve) under each
+//!   data-layout choice, replayed through the hierarchy.
+//! * [`bounds`] — the analytic conflict-miss bounds of Eqs. (1)–(2) and
+//!   their TLB analogues.
+//! * [`stream`] — a measured STREAM benchmark (copy/scale/add/triad), the
+//!   bandwidth ceiling the paper uses for the sparse solve phase.
+//! * [`sched`] — the instruction-scheduling model for the flux phase (the
+//!   paper's other ceiling: operations retired per cycle, not bandwidth).
+//! * [`spmv_model`] — the bandwidth-based SpMV performance model from the
+//!   companion paper [Gropp et al., Parallel CFD'99]: time = bytes moved /
+//!   sustainable bandwidth, with the CSR vs BCSR byte counts.
+//! * [`machine`] — parameter sets describing the paper's machines (ASCI Red,
+//!   ASCI Blue Pacific, Cray T3E-600, SGI Origin 2000) for the simulated-time
+//!   parallel experiments.
+
+pub mod bounds;
+pub mod cache;
+pub mod hierarchy;
+pub mod machine;
+pub mod sched;
+pub mod spmv_model;
+pub mod stream;
+pub mod trace;
+
+pub use cache::{CacheConfig, SetAssocCache};
+pub use hierarchy::{MemStats, MemoryHierarchy};
+pub use machine::MachineSpec;

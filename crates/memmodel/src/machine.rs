@@ -1,0 +1,263 @@
+//! Parameter descriptions of the paper's machines.
+//!
+//! The original testbeds are long gone; these specs capture the
+//! architectural parameters the paper's analysis turns on — peak flop rate,
+//! sustainable memory bandwidth (STREAM), interconnect latency/bandwidth, and
+//! cache/TLB geometry — so the parallel experiments (Figures 1, 2, 4;
+//! Tables 3, 5) can be regenerated in *simulated time*.  The constants are
+//! calibrated from the era's published STREAM numbers and MPI benchmarks and
+//! recorded in EXPERIMENTS.md; the paper's conclusions depend on their
+//! ratios (flops : memory bandwidth : network), not their absolute values.
+
+use crate::cache::CacheConfig;
+
+/// An abstract machine for simulated-time execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Peak floating-point operations per cycle per CPU.
+    pub flops_per_cycle: f64,
+    /// CPUs sharing one node's memory.
+    pub cpus_per_node: usize,
+    /// Sustainable memory bandwidth per *node* (STREAM triad), bytes/s.
+    pub stream_bytes_per_s: f64,
+    /// MPI point-to-point latency, seconds.
+    pub net_latency_s: f64,
+    /// MPI point-to-point bandwidth per node, bytes/s.
+    pub net_bytes_per_s: f64,
+    /// Time for a global reduction barrier across `p` nodes is modeled as
+    /// `log2(p) * reduce_latency_s`.
+    pub reduce_latency_s: f64,
+    /// Largest configuration used in the paper.
+    pub max_nodes: usize,
+    /// L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// L2 cache geometry.
+    pub l2: CacheConfig,
+    /// TLB geometry.
+    pub tlb: CacheConfig,
+}
+
+impl MachineSpec {
+    /// ASCI Red: dual 333 MHz Pentium II (P6) per node, custom mesh network.
+    pub fn asci_red() -> Self {
+        Self {
+            name: "ASCI Red",
+            clock_hz: 333e6,
+            flops_per_cycle: 1.0,
+            cpus_per_node: 2,
+            // Measured per-node copy bandwidth of the era ~ 280 MB/s.
+            stream_bytes_per_s: 280e6,
+            net_latency_s: 15e-6,
+            net_bytes_per_s: 310e6,
+            reduce_latency_s: 20e-6,
+            max_nodes: 3072,
+            l1: CacheConfig {
+                size_bytes: 16 * 1024,
+                line_bytes: 32,
+                assoc: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 * 1024,
+                line_bytes: 32,
+                assoc: 4,
+            },
+            tlb: CacheConfig::tlb(64, 4 * 1024),
+        }
+    }
+
+    /// ASCI Blue Pacific: 4-way 332 MHz PowerPC 604e SMP nodes (one FPU per
+    /// CPU, so one flop per cycle).
+    pub fn asci_blue_pacific() -> Self {
+        Self {
+            name: "ASCI Blue Pacific",
+            clock_hz: 332e6,
+            flops_per_cycle: 1.0,
+            cpus_per_node: 4,
+            // The node's ~320 MB/s bus is shared by 4 CPUs; production runs
+            // placed multiple MPI tasks per node, so the per-task share is
+            // what the solve phase sees.
+            stream_bytes_per_s: 160e6,
+            net_latency_s: 28e-6,
+            net_bytes_per_s: 130e6,
+            reduce_latency_s: 35e-6,
+            max_nodes: 1464,
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 32,
+                assoc: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                line_bytes: 64,
+                assoc: 1,
+            },
+            tlb: CacheConfig::tlb(128, 4 * 1024),
+        }
+    }
+
+    /// Cray T3E-600: 300 MHz Alpha 21164, one CPU per node, 3-D torus.
+    pub fn cray_t3e() -> Self {
+        Self {
+            name: "Cray T3E",
+            clock_hz: 300e6,
+            flops_per_cycle: 2.0,
+            cpus_per_node: 1,
+            stream_bytes_per_s: 600e6,
+            net_latency_s: 8e-6,
+            net_bytes_per_s: 330e6,
+            reduce_latency_s: 10e-6,
+            max_nodes: 1024,
+            l1: CacheConfig {
+                size_bytes: 8 * 1024,
+                line_bytes: 32,
+                assoc: 1,
+            },
+            l2: CacheConfig {
+                size_bytes: 96 * 1024,
+                line_bytes: 64,
+                assoc: 3 * 1024 / 64, // 96K 3-way -> approximate with high assoc over 32 sets
+            },
+            tlb: CacheConfig::tlb(64, 8 * 1024),
+        }
+    }
+
+    /// SGI Origin 2000: 250 MHz MIPS R10000 (Table 1's uniprocessor and
+    /// Table 2's 16–120 CPU runs).
+    pub fn origin2000() -> Self {
+        Self {
+            name: "SGI Origin 2000",
+            clock_hz: 250e6,
+            flops_per_cycle: 2.0,
+            cpus_per_node: 2,
+            stream_bytes_per_s: 300e6,
+            net_latency_s: 10e-6,
+            net_bytes_per_s: 160e6,
+            reduce_latency_s: 12e-6,
+            max_nodes: 64,
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 32,
+                assoc: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                line_bytes: 128,
+                assoc: 2,
+            },
+            tlb: CacheConfig::tlb(64, 16 * 1024),
+        }
+    }
+
+    /// Peak flop/s of one CPU.
+    pub fn peak_flops_per_cpu(&self) -> f64 {
+        self.clock_hz * self.flops_per_cycle
+    }
+
+    /// Peak flop/s of one node.
+    pub fn peak_flops_per_node(&self) -> f64 {
+        self.peak_flops_per_cpu() * self.cpus_per_node as f64
+    }
+
+    /// Simulated time for a compute phase on one CPU: the larger of the flop
+    /// time and the memory time (the roofline the paper argues from),
+    /// degraded by `efficiency` for instruction-scheduling-bound phases.
+    pub fn compute_time(&self, flops: f64, bytes: f64, efficiency: f64) -> f64 {
+        assert!(efficiency > 0.0 && efficiency <= 1.0);
+        let flop_time = flops / (self.peak_flops_per_cpu() * efficiency);
+        let mem_time = bytes / self.stream_bytes_per_s;
+        flop_time.max(mem_time)
+    }
+
+    /// Simulated time for one point-to-point message of `bytes`.
+    pub fn message_time(&self, bytes: f64) -> f64 {
+        self.net_latency_s + bytes / self.net_bytes_per_s
+    }
+
+    /// Simulated time for a global reduction over `p` nodes.
+    pub fn allreduce_time(&self, p: usize) -> f64 {
+        if p <= 1 {
+            0.0
+        } else {
+            (p as f64).log2().ceil() * self.reduce_latency_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rates() {
+        let red = MachineSpec::asci_red();
+        assert_eq!(red.peak_flops_per_cpu(), 333e6);
+        assert_eq!(red.peak_flops_per_node(), 666e6);
+        let t3e = MachineSpec::cray_t3e();
+        assert_eq!(t3e.peak_flops_per_node(), 600e6);
+    }
+
+    #[test]
+    fn compute_time_is_rooflined() {
+        let m = MachineSpec::asci_red();
+        // Pure compute: 333e6 flops at peak = 1 s.
+        assert!((m.compute_time(333e6, 0.0, 1.0) - 1.0).abs() < 1e-12);
+        // Memory bound: 280e6 bytes = 1 s even with trivial flops.
+        assert!((m.compute_time(1.0, 280e6, 1.0) - 1.0).abs() < 1e-12);
+        // The max, not the sum.
+        let t = m.compute_time(333e6, 280e6, 1.0);
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn message_time_has_latency_floor() {
+        let m = MachineSpec::cray_t3e();
+        assert!(m.message_time(0.0) >= 8e-6);
+        assert!(m.message_time(1e6) > m.message_time(1e3));
+    }
+
+    #[test]
+    fn allreduce_scales_logarithmically() {
+        let m = MachineSpec::asci_red();
+        assert_eq!(m.allreduce_time(1), 0.0);
+        assert!(m.allreduce_time(1024) > m.allreduce_time(128));
+        assert!((m.allreduce_time(1024) / m.allreduce_time(2) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_spmv_is_memory_bound_on_all_machines() {
+        // The paper's core claim: for SpMV (~ 1 flop per 6+ bytes), the
+        // memory term dominates the flop term on every tested machine.
+        for m in [
+            MachineSpec::asci_red(),
+            MachineSpec::asci_blue_pacific(),
+            MachineSpec::cray_t3e(),
+            MachineSpec::origin2000(),
+        ] {
+            let flops = 2e6;
+            let bytes = 12e6; // ~6 bytes per flop, typical CSR
+            let mem_time = bytes / m.stream_bytes_per_s;
+            assert!(
+                (m.compute_time(flops, bytes, 1.0) - mem_time).abs() < 1e-12,
+                "{} should be bandwidth bound",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn cache_geometries_are_valid() {
+        for m in [
+            MachineSpec::asci_red(),
+            MachineSpec::asci_blue_pacific(),
+            MachineSpec::cray_t3e(),
+            MachineSpec::origin2000(),
+        ] {
+            // Constructing the simulator validates geometry invariants.
+            let _ = crate::hierarchy::MemoryHierarchy::new(m.l1, m.l2, m.tlb);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Instruction-scheduling performance model for the flux phase.
+//!
+//! The paper's companion analysis ([Gropp et al., Parallel CFD'99]) splits
+//! the application into a *memory-bandwidth-bound* phase (sparse solves —
+//! modeled in [`crate::spmv_model`]) and an *instruction-scheduling-bound*
+//! phase: the flux kernel has enough register reuse that its ceiling is "the
+//! number of basic operations that can be performed in a single clock
+//! cycle", not the memory system.  This module estimates that ceiling from
+//! an operation mix and a per-machine issue model, reproducing the paper's
+//! observation that the flux phase runs at a modest, *bandwidth-independent*
+//! fraction of peak — which is exactly why it benefits from a second
+//! processor per node (Table 5) while the solve phase does not.
+
+/// Operation counts of one kernel body execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstructionMix {
+    /// Floating-point additions/subtractions.
+    pub fadd: u64,
+    /// Floating-point multiplications.
+    pub fmul: u64,
+    /// Floating-point divisions (unpipelined, expensive).
+    pub fdiv: u64,
+    /// Floating-point square roots (unpipelined, expensive).
+    pub fsqrt: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Integer/address operations.
+    pub int_ops: u64,
+}
+
+impl InstructionMix {
+    /// Total floating-point operations (the flop count reported by HPM-style
+    /// counters: divides and square roots count once).
+    pub fn flops(&self) -> u64 {
+        self.fadd + self.fmul + self.fdiv + self.fsqrt
+    }
+
+    /// An estimate of the Rusanov edge-flux body for `ncomp` components:
+    /// two flux evaluations, the dissipation term, two wave speeds (each
+    /// with one sqrt), and the scatter/gather bookkeeping.
+    pub fn rusanov_edge_flux(ncomp: usize) -> Self {
+        let m = ncomp as u64;
+        InstructionMix {
+            // Per flux: theta (2m-1 madds) + m rows (~2 ops each); x2 fluxes
+            // + dissipation (2m) + averaging (2m).
+            fadd: 8 * m + 6,
+            fmul: 9 * m + 6,
+            fdiv: 1,
+            fsqrt: 2,
+            loads: 4 * m + 8,
+            stores: 2 * m,
+            int_ops: 12,
+        }
+    }
+}
+
+/// A simple in-order superscalar issue model (the paper's machines).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IssueModel {
+    /// Clock rate, Hz.
+    pub clock_hz: f64,
+    /// Float add/mul issued per cycle (e.g. 1 on the P6, 2 on the R10000 /
+    /// Alpha 21164 with separate add and multiply pipes).
+    pub fp_per_cycle: f64,
+    /// Loads+stores issued per cycle.
+    pub mem_ops_per_cycle: f64,
+    /// Integer ops per cycle.
+    pub int_per_cycle: f64,
+    /// Cycles per (unpipelined) divide.
+    pub div_cycles: f64,
+    /// Cycles per (unpipelined) square root.
+    pub sqrt_cycles: f64,
+}
+
+impl IssueModel {
+    /// 333 MHz Pentium II (ASCI Red nodes).
+    pub fn pentium_ii_333() -> Self {
+        Self {
+            clock_hz: 333e6,
+            fp_per_cycle: 1.0,
+            mem_ops_per_cycle: 1.0,
+            int_per_cycle: 2.0,
+            div_cycles: 32.0,
+            sqrt_cycles: 28.0,
+        }
+    }
+
+    /// 250 MHz MIPS R10000 (Origin 2000).
+    pub fn r10000_250() -> Self {
+        Self {
+            clock_hz: 250e6,
+            fp_per_cycle: 2.0,
+            mem_ops_per_cycle: 1.0,
+            int_per_cycle: 2.0,
+            div_cycles: 19.0,
+            sqrt_cycles: 33.0,
+        }
+    }
+
+    /// Cycles to retire one kernel body, bounded by the binding port.
+    pub fn cycles(&self, mix: &InstructionMix) -> f64 {
+        let fp = (mix.fadd + mix.fmul) as f64 / self.fp_per_cycle;
+        let mem = (mix.loads + mix.stores) as f64 / self.mem_ops_per_cycle;
+        let int = mix.int_ops as f64 / self.int_per_cycle;
+        let serial = mix.fdiv as f64 * self.div_cycles + mix.fsqrt as f64 * self.sqrt_cycles;
+        fp.max(mem).max(int) + serial
+    }
+
+    /// Achievable flop rate on this kernel (flop/s), i.e. the
+    /// instruction-scheduling ceiling the paper contrasts with the memory
+    /// ceiling.
+    pub fn achievable_flops(&self, mix: &InstructionMix) -> f64 {
+        mix.flops() as f64 / self.cycles(mix) * self.clock_hz
+    }
+
+    /// Fraction of nominal peak (`fp_per_cycle * clock`) this kernel reaches.
+    pub fn efficiency(&self, mix: &InstructionMix) -> f64 {
+        self.achievable_flops(mix) / (self.fp_per_cycle * self.clock_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flux_kernel_is_scheduling_bound_not_memory_bound() {
+        // The flux mix has high flop density: its ceiling is set by the FP
+        // and serial (sqrt/div) ports, far above what the memory port would
+        // allow for the solve phase.
+        let mix = InstructionMix::rusanov_edge_flux(4);
+        let m = IssueModel::pentium_ii_333();
+        let eff = m.efficiency(&mix);
+        // The paper's observation: a useful but modest fraction of peak.
+        assert!(eff > 0.1 && eff < 0.8, "flux efficiency {eff}");
+    }
+
+    #[test]
+    fn serial_ops_dominate_when_added() {
+        let mut mix = InstructionMix::rusanov_edge_flux(4);
+        let m = IssueModel::pentium_ii_333();
+        let base = m.cycles(&mix);
+        mix.fdiv += 10;
+        assert!(m.cycles(&mix) > base + 300.0);
+    }
+
+    #[test]
+    fn r10000_dual_issue_beats_p6_on_fp() {
+        let mix = InstructionMix {
+            fadd: 100,
+            fmul: 100,
+            loads: 50,
+            ..Default::default()
+        };
+        let p6 = IssueModel::pentium_ii_333();
+        let r10k = IssueModel::r10000_250();
+        // Per-cycle throughput: R10000 retires the FP work in half the
+        // cycles even at a lower clock.
+        assert!(r10k.cycles(&mix) < p6.cycles(&mix));
+    }
+
+    #[test]
+    fn compressible_costs_more_than_incompressible() {
+        let m = IssueModel::r10000_250();
+        let c4 = m.cycles(&InstructionMix::rusanov_edge_flux(4));
+        let c5 = m.cycles(&InstructionMix::rusanov_edge_flux(5));
+        assert!(c5 > c4);
+    }
+
+    #[test]
+    fn flop_count_excludes_memory_ops() {
+        let mix = InstructionMix {
+            fadd: 3,
+            fmul: 4,
+            fdiv: 1,
+            fsqrt: 2,
+            loads: 100,
+            stores: 50,
+            int_ops: 10,
+        };
+        assert_eq!(mix.flops(), 10);
+    }
+
+    #[test]
+    fn achievable_rate_is_below_peak() {
+        let mix = InstructionMix::rusanov_edge_flux(5);
+        for m in [IssueModel::pentium_ii_333(), IssueModel::r10000_250()] {
+            let rate = m.achievable_flops(&mix);
+            assert!(rate > 0.0);
+            assert!(rate <= m.fp_per_cycle * m.clock_hz * 1.0001);
+        }
+    }
+}

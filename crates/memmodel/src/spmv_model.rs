@@ -1,0 +1,153 @@
+//! Bandwidth-based SpMV performance model (the "simple performance models"
+//! of the abstract, developed in the companion paper Gropp/Kaushik/Keyes/
+//! Smith, *Toward realistic performance bounds for implicit CFD codes*,
+//! Parallel CFD'99).
+//!
+//! For a matrix with `N` block rows, block size `b`, and `nz` stored blocks,
+//! one SpMV must move at least:
+//!
+//! * the matrix values once: `8 * nz * b*b` bytes,
+//! * the column indices once: `4 * nz` (BCSR) or `4 * nz * b*b`-equivalent
+//!   per-point indices (CSR),
+//! * the row pointers once, the source vector roughly once (with perfect
+//!   reuse; a `miss_factor >= 1` models imperfect reuse), and the
+//!   destination once.
+//!
+//! Dividing by the achievable (STREAM) bandwidth yields an upper bound on
+//! performance that real sparse kernels approach within 10–20% — the paper's
+//! argument for why flop-centric tuning is futile and layout-centric tuning
+//! (blocking, Table 1) pays.
+
+/// Byte traffic of one SpMV in a given storage format.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpmvTraffic {
+    /// Matrix value bytes.
+    pub values: f64,
+    /// Index bytes (column indices + row pointers).
+    pub indices: f64,
+    /// Source-vector bytes (with the given reuse factor).
+    pub source: f64,
+    /// Destination-vector bytes.
+    pub destination: f64,
+}
+
+impl SpmvTraffic {
+    /// Total bytes.
+    pub fn total(&self) -> f64 {
+        self.values + self.indices + self.source + self.destination
+    }
+}
+
+/// Traffic of point CSR: one `u32` index per stored entry.
+///
+/// `miss_factor >= 1` scales the source-vector traffic to model imperfect
+/// cache reuse of the gathered vector (1.0 = each entry of `x` loaded from
+/// memory exactly once).
+pub fn csr_traffic(nrows: usize, nnz: usize, miss_factor: f64) -> SpmvTraffic {
+    assert!(miss_factor >= 1.0);
+    SpmvTraffic {
+        values: 8.0 * nnz as f64,
+        indices: 4.0 * nnz as f64 + 8.0 * (nrows as f64 + 1.0),
+        source: 8.0 * nrows as f64 * miss_factor,
+        destination: 8.0 * nrows as f64,
+    }
+}
+
+/// Traffic of BCSR with block size `b`: one `u32` index per *block*.
+pub fn bcsr_traffic(nbrows: usize, nblocks: usize, b: usize, miss_factor: f64) -> SpmvTraffic {
+    assert!(miss_factor >= 1.0);
+    let n = (nbrows * b) as f64;
+    SpmvTraffic {
+        values: 8.0 * (nblocks * b * b) as f64,
+        indices: 4.0 * nblocks as f64 + 8.0 * (nbrows as f64 + 1.0),
+        source: 8.0 * n * miss_factor,
+        destination: 8.0 * n,
+    }
+}
+
+/// Flop count of one SpMV (2 flops per stored scalar entry).
+pub fn spmv_flops(nnz_scalars: usize) -> f64 {
+    2.0 * nnz_scalars as f64
+}
+
+/// Predicted SpMV execution time: traffic / bandwidth.
+pub fn predicted_time(traffic: &SpmvTraffic, bandwidth_bytes_per_s: f64) -> f64 {
+    assert!(bandwidth_bytes_per_s > 0.0);
+    traffic.total() / bandwidth_bytes_per_s
+}
+
+/// Predicted Mflop/s of an SpMV bound by memory bandwidth.
+pub fn predicted_mflops(nnz_scalars: usize, traffic: &SpmvTraffic, bandwidth_bytes_per_s: f64) -> f64 {
+    spmv_flops(nnz_scalars) / predicted_time(traffic, bandwidth_bytes_per_s) / 1e6
+}
+
+/// The blocking speedup the model predicts: CSR time / BCSR time for the
+/// same logical matrix.
+pub fn predicted_blocking_speedup(
+    nbrows: usize,
+    nblocks: usize,
+    b: usize,
+    miss_factor: f64,
+) -> f64 {
+    let csr = csr_traffic(nbrows * b, nblocks * b * b, miss_factor);
+    let bcsr = bcsr_traffic(nbrows, nblocks, b, miss_factor);
+    csr.total() / bcsr.total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_traffic_accounts_all_arrays() {
+        let t = csr_traffic(100, 700, 1.0);
+        assert_eq!(t.values, 5600.0);
+        assert_eq!(t.indices, 2800.0 + 808.0);
+        assert_eq!(t.source, 800.0);
+        assert_eq!(t.destination, 800.0);
+        assert_eq!(t.total(), 5600.0 + 3608.0 + 1600.0);
+    }
+
+    #[test]
+    fn blocking_reduces_traffic() {
+        // Same logical matrix: 1000 block rows, 7 blocks/row, b = 4.
+        let nb = 1000;
+        let blocks = 7 * nb;
+        let b = 4;
+        let csr = csr_traffic(nb * b, blocks * b * b, 1.0);
+        let bcsr = bcsr_traffic(nb, blocks, b, 1.0);
+        assert!(bcsr.total() < csr.total());
+        assert!(bcsr.indices * 10.0 < csr.indices, "indices shrink ~16x for b=4");
+        let speedup = predicted_blocking_speedup(nb, blocks, b, 1.0);
+        assert!(
+            speedup > 1.15 && speedup < 1.6,
+            "b=4 blocking buys ~20-40% in the bandwidth model: {speedup}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_bound_mflops_is_far_below_peak() {
+        // On ASCI Red-like numbers: 280 MB/s, CSR with ~7 nnz/row.
+        let n = 100_000;
+        let nnz = 7 * n;
+        let t = csr_traffic(n, nnz, 1.2);
+        let mflops = predicted_mflops(nnz, &t, 280e6);
+        // Peak is 333 Mflop/s; the model must land far below (the paper
+        // observes sparse kernels at ~10-20% of peak).
+        assert!(mflops < 100.0, "{mflops}");
+        assert!(mflops > 10.0, "{mflops}");
+    }
+
+    #[test]
+    fn miss_factor_increases_time() {
+        let t1 = csr_traffic(1000, 7000, 1.0);
+        let t2 = csr_traffic(1000, 7000, 3.0);
+        assert!(t2.total() > t1.total());
+        assert!(predicted_time(&t2, 1e8) > predicted_time(&t1, 1e8));
+    }
+
+    #[test]
+    fn flops_count() {
+        assert_eq!(spmv_flops(10), 20.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Synthetic wing-like tetrahedral mesh generation.
+//!
+//! The paper's M6-wing grids are unavailable, so we generate a graded,
+//! jittered, tetrahedralized channel with a swept wing-like bump on its lower
+//! wall — a standard Euler test geometry that reproduces the structural
+//! properties the paper's experiments depend on: a large irregularly-graded
+//! vertex set, an edge list whose natural order can be good (sorted) or bad
+//! (colored/shuffled), realistic vertex degrees (~14 interior), and tagged
+//! inflow / outflow / wall boundaries.
+//!
+//! Sizes mirror the paper's three grids through [`MeshFamily`]:
+//! 22,677 / 357,900 / 2,761,774 vertices (`Small` / `Medium` / `Large`),
+//! approximated by the nearest structured dimensions.
+
+use crate::tet::{BoundaryKind, TetMesh};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's three mesh sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeshFamily {
+    /// ~22.7k vertices (Table 1 single-processor experiments).
+    Small,
+    /// ~358k vertices (Tables 2 and 4).
+    Medium,
+    /// ~2.8M vertices (Figures 1, 2, 4, 5; Tables 3 and 5).
+    Large,
+}
+
+impl MeshFamily {
+    /// The generator spec approximating this family's vertex count.
+    pub fn spec(self) -> BumpChannelSpec {
+        match self {
+            // 41*24*23 = 22,632 ~ 22,677
+            MeshFamily::Small => BumpChannelSpec::with_dims(41, 24, 23),
+            // 105*60*57 = 359,100 ~ 357,900
+            MeshFamily::Medium => BumpChannelSpec::with_dims(105, 60, 57),
+            // 210*115*114 = 2,753,100 ~ 2.8M
+            MeshFamily::Large => BumpChannelSpec::with_dims(210, 115, 114),
+        }
+    }
+
+    /// Nominal vertex count of the paper's grid.
+    pub fn paper_vertices(self) -> usize {
+        match self {
+            MeshFamily::Small => 22_677,
+            MeshFamily::Medium => 357_900,
+            MeshFamily::Large => 2_800_000,
+        }
+    }
+}
+
+/// Parameters of the bump-channel mesh generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BumpChannelSpec {
+    /// Vertices in the streamwise (x) direction.
+    pub nx: usize,
+    /// Vertices in the spanwise (y) direction.
+    pub ny: usize,
+    /// Vertices in the normal (z) direction.
+    pub nz: usize,
+    /// Channel length.
+    pub length: f64,
+    /// Channel span.
+    pub span: f64,
+    /// Channel height.
+    pub height: f64,
+    /// Peak height of the wing-like bump (fraction of channel height).
+    pub bump_height: f64,
+    /// Streamwise center of the bump (fraction of length).
+    pub bump_center: f64,
+    /// Streamwise half-width of the bump (fraction of length).
+    pub bump_width: f64,
+    /// Grading strength toward the bump (0 = uniform).
+    pub grading: f64,
+    /// Interior-node jitter as a fraction of local spacing (breaks the
+    /// structured regularity; keep < 0.3 for positive volumes).
+    pub jitter: f64,
+    /// RNG seed for the jitter.
+    pub seed: u64,
+}
+
+impl BumpChannelSpec {
+    /// A spec with the given structured dimensions and default geometry.
+    pub fn with_dims(nx: usize, ny: usize, nz: usize) -> Self {
+        Self {
+            nx,
+            ny,
+            nz,
+            length: 4.0,
+            span: 2.0,
+            height: 2.0,
+            bump_height: 0.12,
+            bump_center: 0.35,
+            bump_width: 0.2,
+            grading: 0.5,
+            jitter: 0.15,
+            seed: 0x464e_3344, // "FN3D"
+        }
+    }
+
+    /// A spec whose vertex count is close to `target` with channel-like
+    /// aspect ratios (nx : ny : nz ~ 1.8 : 1 : 1).
+    pub fn with_target_vertices(target: usize) -> Self {
+        let base = (target as f64 / 1.8).cbrt();
+        let nx = ((1.8 * base).round() as usize).max(3);
+        let ny = (base.round() as usize).max(3);
+        let nz = (base.round() as usize).max(3);
+        Self::with_dims(nx, ny, nz)
+    }
+
+    /// Total number of vertices this spec generates.
+    pub fn nverts(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// The wing-like bump profile: a cosine bump in x, tapered (swept-wing
+    /// style) toward the far span.
+    fn bump(&self, x: f64, y: f64) -> f64 {
+        let xc = self.bump_center * self.length;
+        let hw = self.bump_width * self.length;
+        let dx = (x - xc) / hw;
+        if dx.abs() >= 1.0 {
+            return 0.0;
+        }
+        let profile = 0.5 * (1.0 + (std::f64::consts::PI * dx).cos());
+        // Spanwise taper: full height at y=0 (root), zero at the far side.
+        let taper = (1.0 - y / self.span).max(0.0);
+        self.bump_height * self.height * profile * taper
+    }
+
+    /// One-dimensional grading: map uniform `t in [0,1]` monotonically so
+    /// points cluster near `center`, keeping the endpoints fixed. Strength
+    /// `g = 0` is the identity.
+    fn grade(t: f64, center: f64, g: f64) -> f64 {
+        let gamma = 1.0 + g;
+        let c = center.clamp(0.0, 1.0);
+        if c <= 0.0 {
+            return t.powf(gamma);
+        }
+        if c >= 1.0 {
+            return 1.0 - (1.0 - t).powf(gamma);
+        }
+        if t <= c {
+            // t=0 -> 0, t=c -> c, clustered toward c.
+            c * (1.0 - (1.0 - t / c).powf(gamma))
+        } else {
+            // t=c -> c, t=1 -> 1, clustered toward c.
+            c + (1.0 - c) * ((t - c) / (1.0 - c)).powf(gamma)
+        }
+    }
+
+    /// Generate the mesh.
+    pub fn build(&self) -> TetMesh {
+        assert!(self.nx >= 2 && self.ny >= 2 && self.nz >= 2, "need >= 2 points per axis");
+        assert!(self.jitter < 0.35, "jitter too large for guaranteed positive volumes");
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let vid = |i: usize, j: usize, k: usize| -> u32 { ((i * ny + j) * nz + k) as u32 };
+
+        let mut coords = vec![[0.0f64; 3]; nx * ny * nz];
+        for i in 0..nx {
+            let tx = Self::grade(i as f64 / (nx - 1) as f64, self.bump_center, self.grading);
+            let x = tx * self.length;
+            for j in 0..ny {
+                let y = (j as f64 / (ny - 1) as f64) * self.span;
+                let floor = self.bump(x, y);
+                for k in 0..nz {
+                    // Cluster toward the lower wall (where the bump lives).
+                    let tz = Self::grade(k as f64 / (nz - 1) as f64, 0.0, self.grading);
+                    // Shear the column so the bottom follows the bump.
+                    let z = floor + tz * (self.height - floor);
+                    let mut p = [x, y, z];
+                    // Jitter interior nodes only.
+                    if i > 0 && i + 1 < nx && j > 0 && j + 1 < ny && k > 0 && k + 1 < nz {
+                        let hx = self.length / (nx - 1) as f64;
+                        let hy = self.span / (ny - 1) as f64;
+                        let hz = self.height / (nz - 1) as f64;
+                        p[0] += self.jitter * hx * rng.gen_range(-0.5..0.5);
+                        p[1] += self.jitter * hy * rng.gen_range(-0.5..0.5);
+                        p[2] += self.jitter * hz * rng.gen_range(-0.5..0.5);
+                    }
+                    coords[vid(i, j, k) as usize] = p;
+                }
+            }
+        }
+
+        // Kuhn 6-tet subdivision of every hex cell (conforming: all cells
+        // use the same main diagonal direction).
+        let mut tets: Vec<[u32; 4]> = Vec::with_capacity((nx - 1) * (ny - 1) * (nz - 1) * 6);
+        for i in 0..nx - 1 {
+            for j in 0..ny - 1 {
+                for k in 0..nz - 1 {
+                    let v000 = vid(i, j, k);
+                    let v100 = vid(i + 1, j, k);
+                    let v010 = vid(i, j + 1, k);
+                    let v110 = vid(i + 1, j + 1, k);
+                    let v001 = vid(i, j, k + 1);
+                    let v101 = vid(i + 1, j, k + 1);
+                    let v011 = vid(i, j + 1, k + 1);
+                    let v111 = vid(i + 1, j + 1, k + 1);
+                    // Six tets around the diagonal v000-v111.
+                    tets.push([v000, v100, v110, v111]);
+                    tets.push([v000, v100, v101, v111]);
+                    tets.push([v000, v010, v110, v111]);
+                    tets.push([v000, v010, v011, v111]);
+                    tets.push([v000, v001, v101, v111]);
+                    tets.push([v000, v001, v011, v111]);
+                }
+            }
+        }
+
+        let length = self.length;
+        let tol = 1e-9 * length;
+        TetMesh::new(coords, tets, move |c| {
+            if c[0] < tol {
+                BoundaryKind::Inflow
+            } else if c[0] > length - tol {
+                BoundaryKind::Outflow
+            } else {
+                BoundaryKind::Wall
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_spec_sizes_are_close_to_paper() {
+        for fam in [MeshFamily::Small, MeshFamily::Medium] {
+            let spec = fam.spec();
+            let ratio = spec.nverts() as f64 / fam.paper_vertices() as f64;
+            assert!((0.95..1.05).contains(&ratio), "{fam:?}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn tiny_mesh_is_geometrically_consistent() {
+        let mut spec = BumpChannelSpec::with_dims(6, 5, 4);
+        spec.jitter = 0.2;
+        let m = spec.build();
+        assert_eq!(m.nverts(), 120);
+        assert_eq!(m.ntets(), 5 * 4 * 3 * 6);
+        assert!(m.closure_residual() < 1e-10, "closure {}", m.closure_residual());
+        assert!(m.dual_volumes().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn boundary_kinds_are_all_present() {
+        let m = BumpChannelSpec::with_dims(6, 5, 4).build();
+        let mut counts = std::collections::HashMap::new();
+        for f in m.boundary_faces() {
+            *counts.entry(f.kind).or_insert(0usize) += 1;
+        }
+        assert!(counts[&BoundaryKind::Inflow] > 0);
+        assert!(counts[&BoundaryKind::Outflow] > 0);
+        assert!(counts[&BoundaryKind::Wall] > 0);
+        // Inflow/outflow planes: 2 triangles per quad, (ny-1)*(nz-1) quads.
+        assert_eq!(counts[&BoundaryKind::Inflow], 2 * 4 * 3);
+        assert_eq!(counts[&BoundaryKind::Outflow], 2 * 4 * 3);
+    }
+
+    #[test]
+    fn bump_raises_the_floor() {
+        let spec = BumpChannelSpec::with_dims(21, 6, 6);
+        let m = spec.build();
+        // Min z near the bump center must exceed the far-field floor (0).
+        let xc = spec.bump_center * spec.length;
+        let near_bump_floor = m
+            .coords()
+            .iter()
+            .filter(|c| (c[0] - xc).abs() < 0.1 && c[1] < 0.2)
+            .map(|c| c[2])
+            .fold(f64::INFINITY, f64::min);
+        assert!(near_bump_floor > 0.05, "floor at bump: {near_bump_floor}");
+    }
+
+    #[test]
+    fn interior_degree_is_tetrahedral_like() {
+        let m = BumpChannelSpec::with_dims(8, 8, 8).build();
+        let g = m.vertex_graph();
+        // Kuhn-split interior vertices have degree 14.
+        let interior_max = g.max_degree();
+        assert!(interior_max >= 12 && interior_max <= 16, "max degree {interior_max}");
+        assert!(g.mean_degree() > 8.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = BumpChannelSpec::with_dims(5, 5, 5).build();
+        let b = BumpChannelSpec::with_dims(5, 5, 5).build();
+        assert_eq!(a.coords(), b.coords());
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn target_vertices_lands_near_request() {
+        for target in [1000usize, 22_677, 100_000] {
+            let spec = BumpChannelSpec::with_target_vertices(target);
+            let got = spec.nverts();
+            let ratio = got as f64 / target as f64;
+            assert!((0.7..1.4).contains(&ratio), "target {target} got {got}");
+        }
+    }
+}

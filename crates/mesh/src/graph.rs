@@ -1,0 +1,282 @@
+//! Compressed adjacency graphs over mesh vertices.
+//!
+//! The vertex graph (two vertices adjacent iff they share a mesh edge) is the
+//! object the orderings (RCM) and the partitioners operate on, and its
+//! bandwidth is the `beta` parameter of the paper's interlaced cache-miss
+//! bound (Eq. 2).
+
+/// An undirected graph in CSR adjacency form. Neighbor lists are sorted and
+/// contain no self-loops or duplicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    xadj: Vec<usize>,
+    adjncy: Vec<u32>,
+}
+
+impl Graph {
+    /// Build from an undirected edge list over `n` vertices. Duplicate edges
+    /// and self-loops are ignored.
+    pub fn from_edges(n: usize, edges: &[[u32; 2]]) -> Self {
+        let mut deg = vec![0usize; n + 1];
+        for &[a, b] in edges {
+            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            if a != b {
+                deg[a as usize + 1] += 1;
+                deg[b as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let mut adjncy = vec![0u32; deg[n]];
+        let mut next = deg.clone();
+        for &[a, b] in edges {
+            if a != b {
+                adjncy[next[a as usize]] = b;
+                next[a as usize] += 1;
+                adjncy[next[b as usize]] = a;
+                next[b as usize] += 1;
+            }
+        }
+        // Sort & dedup each neighbor list, then compact.
+        let mut xadj = vec![0usize; n + 1];
+        let mut out = Vec::with_capacity(adjncy.len());
+        for i in 0..n {
+            let lo = deg[i];
+            let hi = deg[i + 1];
+            let list = &mut adjncy[lo..hi];
+            list.sort_unstable();
+            let mut prev = u32::MAX;
+            for &v in list.iter() {
+                if v != prev {
+                    out.push(v);
+                    prev = v;
+                }
+            }
+            xadj[i + 1] = out.len();
+        }
+        Self { xadj, adjncy: out }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn nedges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Neighbors of vertex `v`, sorted ascending.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.adjncy.len() as f64 / self.n() as f64
+        }
+    }
+
+    /// Graph bandwidth under the identity ordering:
+    /// `max over edges (u,v) of |u - v|`.
+    pub fn bandwidth(&self) -> usize {
+        let mut beta = 0;
+        for v in 0..self.n() {
+            for &u in self.neighbors(v) {
+                beta = beta.max(v.abs_diff(u as usize));
+            }
+        }
+        beta
+    }
+
+    /// Graph bandwidth under the ordering `perm` (old index -> new index).
+    pub fn bandwidth_under(&self, perm: &[usize]) -> usize {
+        assert_eq!(perm.len(), self.n());
+        let mut beta = 0;
+        for v in 0..self.n() {
+            for &u in self.neighbors(v) {
+                beta = beta.max(perm[v].abs_diff(perm[u as usize]));
+            }
+        }
+        beta
+    }
+
+    /// Breadth-first search from `start`, returning the distance of every
+    /// vertex (`usize::MAX` when unreachable).
+    pub fn bfs_distances(&self, start: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[start] = 0;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &u in self.neighbors(v) {
+                let u = u as usize;
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Connected component id of every vertex (ids are 0..ncomponents, in
+    /// order of discovery) and the number of components.
+    pub fn connected_components(&self) -> (Vec<u32>, usize) {
+        let mut comp = vec![u32::MAX; self.n()];
+        let mut ncomp = 0u32;
+        let mut stack = Vec::new();
+        for s in 0..self.n() {
+            if comp[s] != u32::MAX {
+                continue;
+            }
+            comp[s] = ncomp;
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                for &u in self.neighbors(v) {
+                    let u = u as usize;
+                    if comp[u] == u32::MAX {
+                        comp[u] = ncomp;
+                        stack.push(u);
+                    }
+                }
+            }
+            ncomp += 1;
+        }
+        (comp, ncomp as usize)
+    }
+
+    /// Number of connected components within the vertex subset `subset`
+    /// (the fragmentation metric behind Figure 4: p-MeTiS-style partitions
+    /// produce subdomains with more than one component).
+    pub fn components_within(&self, subset: &[usize]) -> usize {
+        let mut in_set = vec![false; self.n()];
+        for &v in subset {
+            in_set[v] = true;
+        }
+        let mut seen = vec![false; self.n()];
+        let mut ncomp = 0;
+        let mut stack = Vec::new();
+        for &s in subset {
+            if seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                for &u in self.neighbors(v) {
+                    let u = u as usize;
+                    if in_set[u] && !seen[u] {
+                        seen[u] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+            ncomp += 1;
+        }
+        ncomp
+    }
+
+    /// A pseudo-peripheral vertex found by repeated BFS (George–Liu), used as
+    /// the RCM start vertex.
+    pub fn pseudo_peripheral(&self, start: usize) -> usize {
+        let mut v = start;
+        let mut ecc = 0usize;
+        loop {
+            let dist = self.bfs_distances(v);
+            let (far, far_d) = dist
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| d != usize::MAX)
+                .max_by_key(|&(i, &d)| (d, std::cmp::Reverse(self.degree(i))))
+                .map(|(i, &d)| (i, d))
+                .unwrap_or((v, 0));
+            if far_d <= ecc {
+                return v;
+            }
+            ecc = far_d;
+            v = far;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<[u32; 2]> = (0..n as u32 - 1).map(|i| [i, i + 1]).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn builds_sorted_dedup_adjacency() {
+        let g = Graph::from_edges(4, &[[0, 1], [1, 0], [2, 1], [3, 3], [0, 2]]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.nedges(), 3);
+    }
+
+    #[test]
+    fn degrees_and_bandwidth() {
+        let g = path(5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.bandwidth(), 1);
+        // Reversal keeps bandwidth 1; a shuffle can only increase it.
+        let rev: Vec<usize> = (0..5).rev().collect();
+        assert_eq!(g.bandwidth_under(&rev), 1);
+        let bad = vec![0usize, 4, 1, 3, 2];
+        assert!(g.bandwidth_under(&bad) > 1);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(6);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn components_detected() {
+        let g = Graph::from_edges(5, &[[0, 1], [3, 4]]);
+        let (comp, n) = g.connected_components();
+        assert_eq!(n, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn components_within_subset() {
+        let g = path(6); // 0-1-2-3-4-5
+        // Subset {0,1,3,4} splits into {0,1} and {3,4}.
+        assert_eq!(g.components_within(&[0, 1, 3, 4]), 2);
+        assert_eq!(g.components_within(&[1, 2, 3]), 1);
+        assert_eq!(g.components_within(&[]), 0);
+    }
+
+    #[test]
+    fn pseudo_peripheral_of_path_is_endpoint() {
+        let g = path(9);
+        let p = g.pseudo_peripheral(4);
+        assert!(p == 0 || p == 8, "got {p}");
+    }
+}

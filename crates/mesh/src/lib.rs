@@ -1,0 +1,32 @@
+//! Unstructured tetrahedral meshes for the PETSc-FUN3D reproduction.
+//!
+//! The paper's experiments run on tetrahedral meshes around an ONERA M6 wing
+//! (22,677 / 357,900 / 2.8M vertices).  Those NASA grids are not available,
+//! so this crate generates a synthetic family with the same *structural*
+//! characteristics that drive the paper's results: an irregular vertex-based
+//! edge list over a graded 3-D tetrahedralized domain (a channel with a
+//! wing-like bump), a vertex adjacency graph of comparable degree and
+//! bandwidth, and boundary faces tagged for inflow / outflow / wall
+//! conditions.
+//!
+//! Modules:
+//! * [`graph`] — compressed adjacency graphs, BFS, connected components.
+//! * [`generator`] — the graded bump-channel tetrahedral mesh generator.
+//! * [`tet`] — the mesh type: vertices, tets, unique edges, median-dual
+//!   geometry (edge area normals, vertex dual volumes), boundary faces.
+//! * [`metrics`] — ordering-quality metrics (bandwidth, profile, wavefront)
+//!   and element quality statistics.
+//! * [`reorder`] — vertex orderings (natural, random, Reverse Cuthill–McKee)
+//!   and edge orderings (sorted "vertex-based" order vs. the vector-machine
+//!   coloring the original FUN3D used — the "NOER" baseline of Figure 3).
+
+pub mod generator;
+pub mod metrics;
+pub mod graph;
+pub mod reorder;
+pub mod tet;
+
+pub use generator::{BumpChannelSpec, MeshFamily};
+pub use graph::Graph;
+pub use reorder::{EdgeOrdering, VertexOrdering};
+pub use tet::{BoundaryKind, TetMesh};

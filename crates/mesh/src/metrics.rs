@@ -1,0 +1,216 @@
+//! Mesh and ordering quality metrics.
+//!
+//! The paper's layout analysis turns on a handful of structural quantities:
+//! the vertex-graph *bandwidth* (the `beta` of Eq. 2), the *profile* /
+//! *wavefront* (how many vertices are simultaneously "live" in an ordered
+//! sweep — the cache working set of a vertex-ordered kernel), and the
+//! element quality that controls how irregular the degree distribution is.
+//! This module computes them, both for reporting and for the ordering
+//! ablations.
+
+use crate::graph::Graph;
+use crate::tet::TetMesh;
+
+/// Ordering-dependent locality metrics of a graph under `perm`
+/// (old index -> new index). Use the identity for the stored order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderingMetrics {
+    /// `max |i - j|` over edges, in the given ordering.
+    pub bandwidth: usize,
+    /// Sum over rows of the leftward reach (the storage of a banded/profile
+    /// factorization).
+    pub profile: u64,
+    /// Mean number of "live" vertices during an ordered frontal sweep
+    /// (a direct proxy for the working set of vertex-ordered kernels).
+    pub mean_wavefront: f64,
+    /// Peak wavefront.
+    pub max_wavefront: usize,
+}
+
+/// Compute ordering metrics for `g` under `perm`.
+pub fn ordering_metrics(g: &Graph, perm: &[usize]) -> OrderingMetrics {
+    let n = g.n();
+    assert_eq!(perm.len(), n);
+    // For each new position, the furthest-back neighbor position.
+    let mut reach_back = vec![0usize; n];
+    let mut bandwidth = 0usize;
+    for v in 0..n {
+        let pv = perm[v];
+        for &u in g.neighbors(v) {
+            let pu = perm[u as usize];
+            bandwidth = bandwidth.max(pv.abs_diff(pu));
+            if pu < pv {
+                reach_back[pv] = reach_back[pv].max(pv - pu);
+            }
+        }
+    }
+    let profile: u64 = reach_back.iter().map(|&r| r as u64).sum();
+    // Wavefront: vertex i is live from its first appearance as a neighbor of
+    // something earlier (or itself) until position i. Equivalent: at
+    // position k, live = # vertices v with perm[v] >= k that have a
+    // neighbor (or are themselves) at position <= k.
+    // Compute via birth/death events.
+    let mut birth = (0..n).collect::<Vec<usize>>(); // position of first touch
+    for v in 0..n {
+        let pv = perm[v];
+        for &u in g.neighbors(v) {
+            let pu = perm[u as usize];
+            if pu > pv {
+                // u is touched at position pv.
+                birth[pu] = birth[pu].min(pv);
+            }
+        }
+    }
+    // birth[p] = earliest position at which the vertex at position p is
+    // touched; it dies at its own position p.
+    let mut delta = vec![0i64; n + 1];
+    for p in 0..n {
+        delta[birth[p]] += 1;
+        delta[p + 1] -= 1;
+    }
+    let mut live = 0i64;
+    let mut total = 0i64;
+    let mut max_live = 0i64;
+    for d in delta.iter().take(n) {
+        live += d;
+        total += live;
+        max_live = max_live.max(live);
+    }
+    OrderingMetrics {
+        bandwidth,
+        profile,
+        mean_wavefront: total as f64 / n as f64,
+        max_wavefront: max_live as usize,
+    }
+}
+
+/// Element (tetrahedron) quality statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeshQuality {
+    /// Minimum tet volume.
+    pub min_volume: f64,
+    /// Maximum ratio of longest edge to shortest edge within a tet.
+    pub max_edge_ratio: f64,
+    /// Mean vertex degree of the edge graph.
+    pub mean_degree: f64,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+}
+
+/// Compute basic mesh quality statistics.
+pub fn mesh_quality(mesh: &TetMesh) -> MeshQuality {
+    let coords = mesh.coords();
+    let mut min_volume = f64::INFINITY;
+    let mut max_edge_ratio: f64 = 1.0;
+    for t in mesh.tets() {
+        let p: Vec<[f64; 3]> = t.iter().map(|&v| coords[v as usize]).collect();
+        let d = |a: [f64; 3], b: [f64; 3]| {
+            ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
+        };
+        let mut emin = f64::INFINITY;
+        let mut emax = 0.0f64;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let e = d(p[i], p[j]);
+                emin = emin.min(e);
+                emax = emax.max(e);
+            }
+        }
+        max_edge_ratio = max_edge_ratio.max(emax / emin);
+        // Signed volume (positive by construction).
+        let u = [p[1][0] - p[0][0], p[1][1] - p[0][1], p[1][2] - p[0][2]];
+        let v = [p[2][0] - p[0][0], p[2][1] - p[0][1], p[2][2] - p[0][2]];
+        let w = [p[3][0] - p[0][0], p[3][1] - p[0][1], p[3][2] - p[0][2]];
+        let vol = (u[0] * (v[1] * w[2] - v[2] * w[1]) - u[1] * (v[0] * w[2] - v[2] * w[0])
+            + u[2] * (v[0] * w[1] - v[1] * w[0]))
+            / 6.0;
+        min_volume = min_volume.min(vol.abs());
+    }
+    let g = mesh.vertex_graph();
+    MeshQuality {
+        min_volume,
+        max_edge_ratio,
+        mean_degree: g.mean_degree(),
+        max_degree: g.max_degree(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::BumpChannelSpec;
+    use crate::reorder::{rcm, vertex_permutation, VertexOrdering};
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<[u32; 2]> = (0..n as u32 - 1).map(|i| [i, i + 1]).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn path_metrics_are_minimal() {
+        let g = path_graph(10);
+        let id: Vec<usize> = (0..10).collect();
+        let m = ordering_metrics(&g, &id);
+        assert_eq!(m.bandwidth, 1);
+        assert_eq!(m.profile, 9); // each row after the first reaches back 1
+        assert!(m.max_wavefront <= 2);
+    }
+
+    #[test]
+    fn shuffled_ordering_degrades_every_metric() {
+        let g = BumpChannelSpec::with_dims(8, 6, 6).build().vertex_graph();
+        let id: Vec<usize> = (0..g.n()).collect();
+        let shuffled = vertex_permutation(&g, VertexOrdering::Random(5));
+        let m_nat = ordering_metrics(&g, &id);
+        let m_shuf = ordering_metrics(&g, &shuffled);
+        assert!(m_shuf.bandwidth > m_nat.bandwidth);
+        assert!(m_shuf.profile > m_nat.profile);
+        assert!(m_shuf.mean_wavefront > m_nat.mean_wavefront);
+    }
+
+    #[test]
+    fn rcm_wavefront_beats_random() {
+        let g = BumpChannelSpec::with_dims(8, 6, 6).build().vertex_graph();
+        let p_rcm = rcm(&g);
+        let p_rand = vertex_permutation(&g, VertexOrdering::Random(9));
+        let m_rcm = ordering_metrics(&g, &p_rcm);
+        let m_rand = ordering_metrics(&g, &p_rand);
+        assert!(m_rcm.mean_wavefront < m_rand.mean_wavefront);
+        assert!(m_rcm.bandwidth < m_rand.bandwidth);
+    }
+
+    #[test]
+    fn quality_of_unjittered_mesh_is_good() {
+        let mut spec = BumpChannelSpec::with_dims(6, 5, 5);
+        spec.jitter = 0.0;
+        spec.grading = 0.0;
+        spec.bump_height = 0.0;
+        let mesh = spec.build();
+        let q = mesh_quality(&mesh);
+        assert!(q.min_volume > 0.0);
+        // Kuhn tets of a uniform box: edge ratio = sqrt(3) for the cube
+        // diagonal over the shortest axis step (anisotropic boxes stretch it).
+        assert!(q.max_edge_ratio < 6.0, "{q:?}");
+        assert!(q.max_degree >= 12 && q.max_degree <= 16);
+    }
+
+    #[test]
+    fn jitter_worsens_edge_ratio() {
+        let mut a = BumpChannelSpec::with_dims(6, 5, 5);
+        a.jitter = 0.0;
+        let mut b = a;
+        b.jitter = 0.3;
+        let qa = mesh_quality(&a.build());
+        let qb = mesh_quality(&b.build());
+        assert!(qb.max_edge_ratio > qa.max_edge_ratio);
+        assert!(qb.min_volume < qa.min_volume);
+    }
+
+    #[test]
+    fn wavefront_bounded_by_bandwidth_plus_one() {
+        let g = BumpChannelSpec::with_dims(6, 5, 4).build().vertex_graph();
+        let p = rcm(&g);
+        let m = ordering_metrics(&g, &p);
+        assert!(m.max_wavefront <= m.bandwidth + 1);
+    }
+}

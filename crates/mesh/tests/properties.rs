@@ -1,0 +1,107 @@
+//! Property-based tests for mesh generation, geometry, and orderings.
+
+use fun3d_mesh::generator::BumpChannelSpec;
+use fun3d_mesh::graph::Graph;
+use fun3d_mesh::reorder::{
+    edge_order, greedy_edge_coloring, is_proper_edge_coloring, rcm, vertex_permutation,
+    EdgeOrdering, VertexOrdering,
+};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (3usize..8, 3usize..7, 3usize..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any generated mesh has consistent geometry: positive dual volumes,
+    /// closed control surfaces, and volume equal to the sum of tet volumes.
+    #[test]
+    fn generated_meshes_are_geometrically_consistent(
+        (nx, ny, nz) in small_dims(),
+        jitter in 0.0f64..0.3,
+        bump in 0.0f64..0.25,
+        seed in 0u64..500,
+    ) {
+        let mut spec = BumpChannelSpec::with_dims(nx, ny, nz);
+        spec.jitter = jitter;
+        spec.bump_height = bump;
+        spec.seed = seed;
+        let mesh = spec.build();
+        prop_assert!(mesh.dual_volumes().iter().all(|&v| v > 0.0));
+        prop_assert!(mesh.closure_residual() < 1e-9, "closure {}", mesh.closure_residual());
+        prop_assert_eq!(mesh.ntets(), (nx - 1) * (ny - 1) * (nz - 1) * 6);
+    }
+
+    /// Renumbering with any random permutation preserves every geometric
+    /// invariant.
+    #[test]
+    fn renumbering_is_geometry_invariant((nx, ny, nz) in small_dims(), seed in 0u64..500) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mesh = BumpChannelSpec::with_dims(nx, ny, nz).build();
+        let mut perm: Vec<usize> = (0..mesh.nverts()).collect();
+        perm.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(seed));
+        let r = mesh.renumber_vertices(&perm);
+        prop_assert!((r.total_volume() - mesh.total_volume()).abs() < 1e-10);
+        prop_assert!(r.closure_residual() < 1e-9);
+        prop_assert_eq!(r.nedges(), mesh.nedges());
+        // Dual volume moves with the vertex.
+        for v in 0..mesh.nverts() {
+            prop_assert!((r.dual_volumes()[perm[v]] - mesh.dual_volumes()[v]).abs() < 1e-14);
+        }
+    }
+
+    /// RCM never loses to a random ordering on bandwidth.
+    #[test]
+    fn rcm_beats_random_bandwidth((nx, ny, nz) in small_dims(), seed in 0u64..500) {
+        let g = BumpChannelSpec::with_dims(nx, ny, nz).build().vertex_graph();
+        let p_rcm = rcm(&g);
+        let p_rand = vertex_permutation(&g, VertexOrdering::Random(seed));
+        prop_assert!(g.bandwidth_under(&p_rcm) <= g.bandwidth_under(&p_rand));
+    }
+
+    /// Greedy edge coloring is always proper and uses < 2*Delta colors.
+    #[test]
+    fn edge_coloring_proper((nx, ny, nz) in small_dims()) {
+        let mesh = BumpChannelSpec::with_dims(nx, ny, nz).build();
+        let colors = greedy_edge_coloring(mesh.edges(), mesh.nverts());
+        prop_assert!(is_proper_edge_coloring(mesh.edges(), &colors, mesh.nverts()));
+        let g = mesh.vertex_graph();
+        let ncolors = *colors.iter().max().unwrap() as usize + 1;
+        prop_assert!(ncolors < 2 * g.max_degree());
+    }
+
+    /// Every edge-ordering strategy yields a permutation of the edges.
+    #[test]
+    fn edge_orders_are_permutations(seed in 0u64..200) {
+        let mesh = BumpChannelSpec::with_dims(5, 4, 4).build();
+        for ord in [
+            EdgeOrdering::VertexSorted,
+            EdgeOrdering::VectorColored,
+            EdgeOrdering::Random(seed),
+        ] {
+            let order = edge_order(mesh.edges(), mesh.nverts(), ord);
+            let mut seen = vec![false; order.len()];
+            for &k in &order {
+                prop_assert!(!seen[k]);
+                seen[k] = true;
+            }
+        }
+    }
+
+    /// BFS distances are symmetric on undirected graphs.
+    #[test]
+    fn bfs_distance_symmetry(edges in proptest::collection::vec((0u32..20, 0u32..20), 5..40)) {
+        let pairs: Vec<[u32; 2]> = edges.iter().map(|&(a, b)| [a, b]).collect();
+        let g = Graph::from_edges(20, &pairs);
+        let d0 = g.bfs_distances(0);
+        for v in 0..20 {
+            if d0[v] != usize::MAX {
+                let dv = g.bfs_distances(v);
+                prop_assert_eq!(dv[0], d0[v], "d(0,{}) != d({},0)", v, v);
+            }
+        }
+    }
+}

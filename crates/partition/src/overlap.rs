@@ -1,0 +1,104 @@
+//! Subdomain overlap expansion for additive Schwarz preconditioning.
+//!
+//! An ASM preconditioner with overlap `delta` solves on each subdomain
+//! *extended by `delta` layers of neighboring vertices* (Section 2.4.3,
+//! Table 4).  This module computes those extended index sets: the original
+//! ("owned") vertices first, then each successive layer in ascending vertex
+//! order — the ordering convention the restricted-ASM (RASM) application
+//! relies on to drop the overlap contribution cheaply.
+
+use fun3d_mesh::graph::Graph;
+
+/// Extend `owned` by `levels` layers of graph neighbors.
+///
+/// Returns the extended vertex list: `owned` (in its given order) followed by
+/// layer 1, layer 2, ..., each layer sorted ascending.  The second element of
+/// the tuple is the number of owned vertices (the RASM restriction point).
+pub fn expand_overlap(g: &Graph, owned: &[usize], levels: usize) -> (Vec<usize>, usize) {
+    let mut in_set = vec![false; g.n()];
+    for &v in owned {
+        in_set[v] = true;
+    }
+    let mut result: Vec<usize> = owned.to_vec();
+    let mut frontier: Vec<usize> = owned.to_vec();
+    for _ in 0..levels {
+        let mut next: Vec<usize> = Vec::new();
+        for &v in &frontier {
+            for &u in g.neighbors(v) {
+                let u = u as usize;
+                if !in_set[u] {
+                    in_set[u] = true;
+                    next.push(u);
+                }
+            }
+        }
+        next.sort_unstable();
+        result.extend_from_slice(&next);
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    (result, owned.len())
+}
+
+/// The number of *ghost* vertices an overlap adds (communication volume
+/// proxy for the ASM setup phase).
+pub fn overlap_ghosts(g: &Graph, owned: &[usize], levels: usize) -> usize {
+    expand_overlap(g, owned, levels).0.len() - owned.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<[u32; 2]> = (0..n as u32 - 1).map(|i| [i, i + 1]).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn zero_overlap_is_identity() {
+        let g = path(10);
+        let (ext, nowned) = expand_overlap(&g, &[3, 4, 5], 0);
+        assert_eq!(ext, vec![3, 4, 5]);
+        assert_eq!(nowned, 3);
+    }
+
+    #[test]
+    fn one_level_adds_neighbors() {
+        let g = path(10);
+        let (ext, nowned) = expand_overlap(&g, &[3, 4, 5], 1);
+        assert_eq!(ext, vec![3, 4, 5, 2, 6]);
+        assert_eq!(nowned, 3);
+    }
+
+    #[test]
+    fn two_levels_add_two_rings() {
+        let g = path(10);
+        let (ext, _) = expand_overlap(&g, &[3, 4, 5], 2);
+        assert_eq!(ext, vec![3, 4, 5, 2, 6, 1, 7]);
+    }
+
+    #[test]
+    fn expansion_saturates_at_graph_boundary() {
+        let g = path(4);
+        let (ext, _) = expand_overlap(&g, &[0, 1, 2, 3], 3);
+        assert_eq!(ext.len(), 4);
+        assert_eq!(overlap_ghosts(&g, &[0, 1, 2, 3], 5), 0);
+    }
+
+    #[test]
+    fn ghost_count_matches() {
+        let g = path(10);
+        assert_eq!(overlap_ghosts(&g, &[3, 4, 5], 1), 2);
+        assert_eq!(overlap_ghosts(&g, &[3, 4, 5], 2), 4);
+    }
+
+    #[test]
+    fn owned_order_is_preserved() {
+        let g = path(10);
+        let (ext, _) = expand_overlap(&g, &[5, 3, 4], 1);
+        assert_eq!(&ext[..3], &[5, 3, 4]);
+    }
+}

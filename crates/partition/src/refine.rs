@@ -1,0 +1,163 @@
+//! Greedy boundary refinement (a Fiduccia–Mattheyses-flavored pass).
+//!
+//! MeTiS follows its construction phase with local refinement; the same
+//! pass is useful here to polish the greedy-growing partitions before the
+//! interface volumes they induce are measured.  A vertex on the interface
+//! moves to an adjacent part when that strictly reduces the edge cut and
+//! respects the balance constraint.
+
+use crate::Partition;
+use fun3d_mesh::graph::Graph;
+
+/// Refine `part` in place. Returns the number of vertex moves applied.
+///
+/// `balance_tol` is the allowed max-part-size ratio over ideal (e.g. 1.03);
+/// `max_passes` bounds the sweeps (each pass visits every vertex once).
+pub fn refine_boundary(g: &Graph, part: &mut Partition, balance_tol: f64, max_passes: usize) -> usize {
+    let n = g.n();
+    let k = part.nparts;
+    assert_eq!(part.part.len(), n);
+    assert!(balance_tol >= 1.0);
+    let cap = ((balance_tol * n as f64 / k as f64).ceil() as usize).max(1);
+    let mut sizes = part.sizes();
+    let mut total_moves = 0usize;
+
+    // Scratch: neighbor counts per part for the vertex under consideration.
+    let mut nbr_count = vec![0usize; k];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for _ in 0..max_passes {
+        let mut moves_this_pass = 0usize;
+        for v in 0..n {
+            let own = part.part[v] as usize;
+            if sizes[own] <= 1 {
+                continue; // never empty a part
+            }
+            // Count neighbors per part (sparse reset via `touched`).
+            for &p in &touched {
+                nbr_count[p] = 0;
+            }
+            touched.clear();
+            let mut boundary = false;
+            for &u in g.neighbors(v) {
+                let p = part.part[u as usize] as usize;
+                if nbr_count[p] == 0 {
+                    touched.push(p);
+                }
+                nbr_count[p] += 1;
+                if p != own {
+                    boundary = true;
+                }
+            }
+            if !boundary {
+                continue;
+            }
+            // Best strictly-positive-gain move within balance.
+            let internal = nbr_count[own];
+            let mut best: Option<(usize, usize)> = None; // (gain, target)
+            for &p in &touched {
+                if p == own || sizes[p] + 1 > cap {
+                    continue;
+                }
+                if nbr_count[p] > internal {
+                    let gain = nbr_count[p] - internal;
+                    if best.is_none_or(|(bg, _)| gain > bg) {
+                        best = Some((gain, p));
+                    }
+                }
+            }
+            if let Some((_, target)) = best {
+                part.part[v] = target as u32;
+                sizes[own] -= 1;
+                sizes[target] += 1;
+                moves_this_pass += 1;
+            }
+        }
+        total_moves += moves_this_pass;
+        if moves_this_pass == 0 {
+            break;
+        }
+    }
+    total_moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{partition_kway, PartitionQuality};
+    use fun3d_mesh::generator::BumpChannelSpec;
+
+    fn quality(g: &Graph, p: &Partition) -> PartitionQuality {
+        p.quality(g)
+    }
+
+    /// A deliberately bad partition: strided assignment.
+    fn strided(n: usize, k: usize) -> Partition {
+        Partition {
+            part: (0..n).map(|v| (v % k) as u32).collect(),
+            nparts: k,
+        }
+    }
+
+    #[test]
+    fn refinement_reduces_cut_of_bad_partition() {
+        let g = BumpChannelSpec::with_dims(8, 6, 6).build().vertex_graph();
+        let mut p = strided(g.n(), 4);
+        let before = quality(&g, &p).edge_cut;
+        let moves = refine_boundary(&g, &mut p, 1.05, 20);
+        let after = quality(&g, &p).edge_cut;
+        assert!(moves > 0);
+        assert!(
+            after * 2 < before,
+            "refinement should at least halve a strided cut: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn refinement_never_increases_cut() {
+        let g = BumpChannelSpec::with_dims(8, 6, 6).build().vertex_graph();
+        for seed in [1u64, 5, 9] {
+            let mut p = partition_kway(&g, 6, seed);
+            let before = quality(&g, &p).edge_cut;
+            refine_boundary(&g, &mut p, 1.05, 10);
+            let after = quality(&g, &p).edge_cut;
+            assert!(after <= before, "seed {seed}: {before} -> {after}");
+        }
+    }
+
+    #[test]
+    fn refinement_respects_balance() {
+        let g = BumpChannelSpec::with_dims(8, 6, 6).build().vertex_graph();
+        let mut p = strided(g.n(), 5);
+        refine_boundary(&g, &mut p, 1.05, 50);
+        let q = quality(&g, &p);
+        assert!(q.imbalance <= 1.06, "{}", q.imbalance);
+        // Still a cover with nonempty parts.
+        assert!(q.sizes.iter().all(|&s| s > 0));
+        assert_eq!(q.sizes.iter().sum::<usize>(), g.n());
+    }
+
+    #[test]
+    fn already_good_partition_is_a_fixpoint_or_close() {
+        let g = BumpChannelSpec::with_dims(8, 6, 6).build().vertex_graph();
+        let mut p = partition_kway(&g, 4, 2);
+        let before = quality(&g, &p).edge_cut;
+        let moves = refine_boundary(&g, &mut p, 1.03, 10);
+        let after = quality(&g, &p).edge_cut;
+        assert!(after <= before);
+        // Greedy growing already produces near-local-optimal cuts.
+        assert!(
+            moves < g.n() / 10,
+            "few residual moves expected, got {moves}"
+        );
+    }
+
+    #[test]
+    fn zero_passes_is_a_noop() {
+        let g = BumpChannelSpec::with_dims(6, 5, 4).build().vertex_graph();
+        let mut p = strided(g.n(), 3);
+        let snapshot = p.part.clone();
+        assert_eq!(refine_boundary(&g, &mut p, 1.05, 0), 0);
+        assert_eq!(p.part, snapshot);
+    }
+}

@@ -1,0 +1,635 @@
+//! Pseudo-transient Newton–Krylov–Schwarz continuation (ΨNKS).
+//!
+//! Newton's method on a stiff steady-state residual needs globalization; the
+//! paper uses pseudo-timestepping with the switched evolution/relaxation
+//! (SER) power law of Van Leer & Mulder:
+//!
+//! `CFL_l = CFL_0 * (||f(u_0)|| / ||f(u_{l-1})||)^p`
+//!
+//! Each pseudo-timestep solves one inexact-Newton correction
+//! `(V/dtau + dR/dq) delta = -R(q)` with preconditioned GMRES, where the
+//! matrix is the *first-order analytic* Jacobian plus the timestep diagonal,
+//! and (optionally, Section 2.4.1) the residual switches from first- to
+//! second-order discretization after a prescribed residual reduction.
+//! Figure 5 sweeps `CFL_0`; Section 2.4.1 discusses `p` (0.75 with shocks,
+//! up to 1.5 for first-order phases).
+
+use crate::gmres::{gmres, GmresOptions};
+use crate::op::{CsrOperator, FdJacobianOperator, PseudoTransientProblem};
+use crate::precond::{AdditiveSchwarz, BlockIluPrecond, IluPrecond, Preconditioner};
+use fun3d_sparse::bcsr::BcsrMatrix;
+use fun3d_sparse::ilu::IluOptions;
+use fun3d_sparse::vec_ops::norm2;
+
+/// Which preconditioner the Krylov solver uses.
+#[derive(Debug, Clone)]
+pub enum PrecondSpec {
+    /// Global ILU(k) (the single-subdomain limit; Table 1's solve phase).
+    Ilu(IluOptions),
+    /// Point-block ILU(0) on the BCSR form with the given block size — the
+    /// preconditioner the paper's code uses once structural blocking is on.
+    BlockIlu {
+        /// Block size (the number of unknowns per mesh point).
+        block: usize,
+    },
+    /// Additive Schwarz over the given disjoint owned-row sets.
+    Schwarz {
+        /// Disjoint row sets covering all unknowns.
+        owned_sets: Vec<Vec<usize>>,
+        /// Overlap layers (0 = block Jacobi).
+        overlap: usize,
+        /// Subdomain ILU options.
+        ilu: IluOptions,
+        /// Restricted ASM (Cai–Sarkis) vs classic ASM.
+        restricted: bool,
+    },
+}
+
+/// How the inner (Krylov) tolerance is chosen each Newton step.
+///
+/// Section 2.4.2: "We have experimented with progressively tighter
+/// tolerances near convergence, and saved Newton iterations thereby, but did
+/// not save time relative to cases with loose and constant tolerance."
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Forcing {
+    /// Fixed relative tolerance (the paper's production choice, 0.001-0.01).
+    #[default]
+    Constant,
+    /// Eisenstat-Walker choice 2: `eta_l = gamma * (||R_l|| / ||R_{l-1}||)^2`,
+    /// clamped to `[eta_min, eta_max]` — tightens as the residual falls.
+    EisenstatWalker {
+        /// Scale factor (typically 0.9).
+        gamma: f64,
+        /// Tolerance floor.
+        eta_min: f64,
+        /// Tolerance ceiling.
+        eta_max: f64,
+    },
+}
+
+/// Options for the ΨNKS solve.
+#[derive(Debug, Clone)]
+pub struct PseudoTransientOptions {
+    /// Initial CFL number (Figure 5's swept parameter).
+    pub cfl0: f64,
+    /// SER exponent `p` (close to unity; 0.75–1.5 per Section 2.4.1).
+    pub cfl_exponent: f64,
+    /// CFL ceiling (the paper lets it reach 1e5).
+    pub cfl_max: f64,
+    /// Pseudo-timestep limit.
+    pub max_steps: usize,
+    /// Stop when `||R|| / ||R_0||` drops below this.
+    pub target_reduction: f64,
+    /// Krylov solve options (inexact-Newton inner tolerance lives in
+    /// `krylov.rtol`, typically 0.001–0.01).
+    pub krylov: GmresOptions,
+    /// Preconditioner specification.
+    pub precond: PrecondSpec,
+    /// Switch the residual to second order once `||R||/||R_0||` falls below
+    /// this (None = keep the initial order throughout).
+    pub second_order_switch: Option<f64>,
+    /// Use matrix-free FD Jacobian-vector products for the Krylov operator
+    /// (the assembled first-order matrix still builds the preconditioner).
+    pub matrix_free: bool,
+    /// Enable a backtracking line search on the Newton update.
+    pub line_search: bool,
+    /// Run the Krylov matvec through block-CSR storage with this block size
+    /// (the "structural blocking" of Table 1). Ignored under `matrix_free`.
+    pub bcsr_block: Option<usize>,
+    /// Inner-tolerance strategy (constant vs Eisenstat-Walker).
+    pub forcing: Forcing,
+    /// Rebuild the preconditioner every `pc_refresh` steps, reusing the old
+    /// factors in between (the paper's "refresh frequency for Jacobian
+    /// preconditioner" Newton parameter; the Krylov *operator* is always
+    /// current). 1 = rebuild every step.
+    pub pc_refresh: usize,
+}
+
+impl Default for PseudoTransientOptions {
+    fn default() -> Self {
+        Self {
+            cfl0: 10.0,
+            cfl_exponent: 1.0,
+            cfl_max: 1e5,
+            max_steps: 200,
+            target_reduction: 1e-10,
+            krylov: GmresOptions::default(),
+            precond: PrecondSpec::Ilu(IluOptions::with_fill(1)),
+            second_order_switch: None,
+            matrix_free: false,
+            line_search: true,
+            bcsr_block: None,
+            forcing: Forcing::Constant,
+            pc_refresh: 1,
+        }
+    }
+}
+
+/// One pseudo-timestep's record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// Step index (0-based).
+    pub step: usize,
+    /// CFL number used.
+    pub cfl: f64,
+    /// Residual norm *before* the step.
+    pub residual_norm: f64,
+    /// Krylov iterations spent.
+    pub linear_iters: usize,
+    /// Whether the linear solve met its tolerance.
+    pub linear_converged: bool,
+    /// Line-search step length actually taken.
+    pub step_length: f64,
+    /// Wall time in residual evaluations this step (seconds).
+    pub t_residual: f64,
+    /// Wall time assembling the Jacobian (seconds).
+    pub t_jacobian: f64,
+    /// Wall time building the preconditioner (seconds).
+    pub t_precond: f64,
+    /// Wall time in the Krylov solve (seconds).
+    pub t_krylov: f64,
+}
+
+/// The convergence history of a ΨNKS solve.
+#[derive(Debug, Clone)]
+pub struct SolveHistory {
+    /// Per-step records.
+    pub steps: Vec<StepRecord>,
+    /// Whether the target reduction was reached.
+    pub converged: bool,
+    /// Final residual norm.
+    pub final_residual: f64,
+    /// Initial residual norm.
+    pub initial_residual: f64,
+}
+
+impl SolveHistory {
+    /// Total Krylov iterations across all steps (Table 4's "Linear Its").
+    pub fn total_linear_iters(&self) -> usize {
+        self.steps.iter().map(|s| s.linear_iters).sum()
+    }
+
+    /// Number of pseudo-timesteps taken.
+    pub fn nsteps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total wall time per phase across all steps:
+    /// `(residual, jacobian, preconditioner, krylov)`.
+    pub fn phase_times(&self) -> (f64, f64, f64, f64) {
+        self.steps.iter().fold((0.0, 0.0, 0.0, 0.0), |acc, s| {
+            (
+                acc.0 + s.t_residual,
+                acc.1 + s.t_jacobian,
+                acc.2 + s.t_precond,
+                acc.3 + s.t_krylov,
+            )
+        })
+    }
+
+    /// Total wall time accounted across phases (seconds).
+    pub fn total_time(&self) -> f64 {
+        let (a, b, c, d) = self.phase_times();
+        a + b + c + d
+    }
+
+    /// Mean wall time per pseudo-timestep (Table 1's "Time/Step").
+    pub fn time_per_step(&self) -> f64 {
+        if self.steps.is_empty() {
+            0.0
+        } else {
+            self.total_time() / self.steps.len() as f64
+        }
+    }
+
+    /// Residual reduction achieved.
+    pub fn reduction(&self) -> f64 {
+        if self.initial_residual == 0.0 {
+            1.0
+        } else {
+            self.final_residual / self.initial_residual
+        }
+    }
+}
+
+/// BCSR matvec operator for the structural-blocking variant.
+struct BcsrOperator<'a> {
+    a: &'a BcsrMatrix,
+}
+
+impl crate::op::LinearOperator for BcsrOperator<'_> {
+    fn n(&self) -> usize {
+        self.a.nrows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.a.spmv(x, y);
+    }
+}
+
+enum BuiltPrecond {
+    Ilu(IluPrecond),
+    BlockIlu(BlockIluPrecond),
+    Schwarz(AdditiveSchwarz),
+}
+
+impl Preconditioner for BuiltPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        match self {
+            BuiltPrecond::Ilu(p) => p.apply(r, z),
+            BuiltPrecond::BlockIlu(p) => p.apply(r, z),
+            BuiltPrecond::Schwarz(p) => p.apply(r, z),
+        }
+    }
+}
+
+/// Run ΨNKS continuation on `problem` starting from `q` (updated in place).
+pub fn solve_pseudo_transient<P: PseudoTransientProblem>(
+    problem: &mut P,
+    q: &mut [f64],
+    opts: &PseudoTransientOptions,
+) -> SolveHistory {
+    let n = problem.n();
+    assert_eq!(q.len(), n);
+    let mut r = vec![0.0; n];
+    let t0 = std::time::Instant::now();
+    problem.residual(q, &mut r);
+    let mut t_residual_carry = t0.elapsed().as_secs_f64();
+    let r0_norm = norm2(&r);
+    let mut history = SolveHistory {
+        steps: Vec::new(),
+        converged: false,
+        final_residual: r0_norm,
+        initial_residual: r0_norm,
+    };
+    if r0_norm == 0.0 {
+        history.converged = true;
+        return history;
+    }
+    let mut switched = opts.second_order_switch.is_none();
+    // SER reference norm; reset when the discretization order switches
+    // ("within each residual reduction phase" per Section 2.4.1).
+    let mut ser_ref = r0_norm;
+    let mut rnorm = r0_norm;
+    let mut rhs = vec![0.0; n];
+    let mut delta = vec![0.0; n];
+    let mut q_trial = vec![0.0; n];
+    let mut r_trial = vec![0.0; n];
+    // Blocked operator cache: the symbolic block structure is computed once
+    // and only values are refilled each step.
+    let mut bcsr_cache: Option<BcsrMatrix> = None;
+    // Lagged preconditioner (kept across steps when pc_refresh > 1).
+    let mut pc_cache: Option<BuiltPrecond> = None;
+    let mut pc_age = usize::MAX; // force a build on the first step
+
+    for step in 0..opts.max_steps {
+        if rnorm / r0_norm <= opts.target_reduction {
+            history.converged = true;
+            break;
+        }
+        // Order continuation: switch to second order once the residual has
+        // dropped far enough (and recompute the residual with the new
+        // stencil; the norm typically jumps).
+        if !switched {
+            if let Some(thresh) = opts.second_order_switch {
+                if rnorm / r0_norm < thresh {
+                    problem.set_second_order(true);
+                    switched = true;
+                    problem.residual(q, &mut r);
+                    rnorm = norm2(&r);
+                    ser_ref = rnorm;
+                }
+            }
+        }
+        // SER CFL law (relative to the current residual-reduction phase).
+        let cfl = (opts.cfl0 * (ser_ref / rnorm).powf(opts.cfl_exponent)).min(opts.cfl_max);
+
+        // Shifted first-order Jacobian.
+        let t0 = std::time::Instant::now();
+        let d = problem.inverse_timestep_scale(q);
+        let mut jac = problem.jacobian(q);
+        jac.shift_diagonal_by(1.0 / cfl, &d);
+        let t_jacobian = t0.elapsed().as_secs_f64();
+
+        // Preconditioner from the shifted matrix, rebuilt only every
+        // `pc_refresh` steps (lagged preconditioning — the paper's "refresh
+        // frequency for Jacobian preconditioner" knob).
+        let t0 = std::time::Instant::now();
+        if pc_age >= opts.pc_refresh.max(1) {
+            pc_cache = Some(match &opts.precond {
+                PrecondSpec::Ilu(ilu) => BuiltPrecond::Ilu(
+                    IluPrecond::factor(&jac, ilu).expect("ILU factorization failed"),
+                ),
+                PrecondSpec::BlockIlu { block } => BuiltPrecond::BlockIlu(
+                    BlockIluPrecond::factor(&jac, *block)
+                        .expect("block ILU factorization failed"),
+                ),
+                PrecondSpec::Schwarz {
+                    owned_sets,
+                    overlap,
+                    ilu,
+                    restricted,
+                } => BuiltPrecond::Schwarz(
+                    AdditiveSchwarz::new(&jac, owned_sets, *overlap, ilu, *restricted)
+                        .expect("Schwarz setup failed"),
+                ),
+            });
+            pc_age = 0;
+        }
+        pc_age += 1;
+        let pc = pc_cache.as_ref().unwrap();
+        let t_precond = t0.elapsed().as_secs_f64();
+
+        // Inexact Newton: J delta = -R, with the step's forcing term.
+        let mut krylov = opts.krylov;
+        if let Forcing::EisenstatWalker {
+            gamma,
+            eta_min,
+            eta_max,
+        } = opts.forcing
+        {
+            if let Some(prev) = history.steps.last() {
+                let ratio = rnorm / prev.residual_norm.max(1e-300);
+                krylov.rtol = (gamma * ratio * ratio).clamp(eta_min, eta_max);
+            } else {
+                krylov.rtol = eta_max;
+            }
+        }
+        for (o, ri) in rhs.iter_mut().zip(&r) {
+            *o = -ri;
+        }
+        delta.iter_mut().for_each(|v| *v = 0.0);
+        let t0 = std::time::Instant::now();
+        let lin = if opts.matrix_free {
+            let shift: Vec<f64> = d.iter().map(|&v| v / cfl).collect();
+            let op = FdJacobianOperator::new(&*problem, q.to_vec(), r.clone(), shift);
+            gmres(&op, pc, &rhs, &mut delta, &krylov)
+        } else if let Some(b) = opts.bcsr_block {
+            match &mut bcsr_cache {
+                Some(cached) => cached.refill_from_csr(&jac),
+                None => bcsr_cache = Some(BcsrMatrix::from_csr(&jac, b)),
+            }
+            let op = BcsrOperator {
+                a: bcsr_cache.as_ref().unwrap(),
+            };
+            gmres(&op, pc, &rhs, &mut delta, &krylov)
+        } else {
+            gmres(&CsrOperator::new(&jac), pc, &rhs, &mut delta, &krylov)
+        };
+        let t_krylov = t0.elapsed().as_secs_f64();
+
+        // Line search. Pseudo-transient continuation is globalized by the
+        // timestep, not the search, so backtracking only guards against
+        // outright blow-ups: try shrinking steps while the residual grows by
+        // more than 20%, but if nothing small helps, take the *full* step
+        // anyway (a mild transient hump is normal and creeping with tiny
+        // steps stalls the continuation).
+        let t0 = std::time::Instant::now();
+        let mut alpha = 1.0f64;
+        let mut accepted = false;
+        let mut full: Option<(f64, Vec<f64>, Vec<f64>)> = None;
+        for k in 0..4 {
+            for i in 0..n {
+                q_trial[i] = q[i] + alpha * delta[i];
+            }
+            problem.residual(&q_trial, &mut r_trial);
+            let tnorm = norm2(&r_trial);
+            if k == 0 && tnorm.is_finite() {
+                full = Some((tnorm, q_trial.clone(), r_trial.clone()));
+            }
+            if tnorm.is_finite() && (!opts.line_search || tnorm <= 1.2 * rnorm) {
+                q.copy_from_slice(&q_trial);
+                r.copy_from_slice(&r_trial);
+                rnorm = tnorm;
+                accepted = true;
+                break;
+            }
+            alpha *= 0.5;
+        }
+        if !accepted {
+            if let Some((tnorm, qf, rf)) = full {
+                // Fall back to the full step rather than creep.
+                alpha = 1.0;
+                q.copy_from_slice(&qf);
+                r.copy_from_slice(&rf);
+                rnorm = tnorm;
+            } else {
+                // Not even finite: reject; CFL stays low since the residual
+                // did not drop.
+                alpha = 0.0;
+            }
+        }
+        let t_residual = t_residual_carry + t0.elapsed().as_secs_f64();
+        t_residual_carry = 0.0;
+        history.steps.push(StepRecord {
+            step,
+            cfl,
+            residual_norm: rnorm,
+            linear_iters: lin.iterations,
+            linear_converged: lin.converged,
+            step_length: alpha,
+            t_residual,
+            t_jacobian,
+            t_precond,
+            t_krylov,
+        });
+        history.final_residual = rnorm;
+    }
+    if rnorm / r0_norm <= opts.target_reduction {
+        history.converged = true;
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::test_problems::Bratu1d;
+
+    fn default_opts() -> PseudoTransientOptions {
+        PseudoTransientOptions {
+            cfl0: 1.0,
+            cfl_exponent: 1.0,
+            cfl_max: 1e8,
+            max_steps: 60,
+            target_reduction: 1e-10,
+            krylov: GmresOptions {
+                restart: 30,
+                rtol: 1e-3,
+                max_iters: 300,
+                ..Default::default()
+            },
+            precond: PrecondSpec::Ilu(IluOptions::with_fill(0)),
+            second_order_switch: None,
+            matrix_free: false,
+            line_search: true,
+            bcsr_block: None,
+            forcing: Forcing::Constant,
+            pc_refresh: 1,
+        }
+    }
+
+    #[test]
+    fn converges_to_manufactured_solution() {
+        let mut p = Bratu1d::new(40, 1.0);
+        let mut q = vec![0.0; 40];
+        let h = solve_pseudo_transient(&mut p, &mut q, &default_opts());
+        assert!(h.converged, "reduction {}", h.reduction());
+        let sol = p.solution();
+        for (a, b) in q.iter().zip(&sol) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cfl_grows_as_residual_falls() {
+        let mut p = Bratu1d::new(30, 1.0);
+        let mut q = vec![0.0; 30];
+        let h = solve_pseudo_transient(&mut p, &mut q, &default_opts());
+        assert!(h.converged);
+        // SER: CFL is nondecreasing whenever the residual decreases.
+        let cfls: Vec<f64> = h.steps.iter().map(|s| s.cfl).collect();
+        assert!(cfls.last().unwrap() > cfls.first().unwrap());
+        // Residual history is (eventually) decreasing.
+        let first = h.steps.first().unwrap().residual_norm;
+        assert!(h.final_residual < 1e-8 * first.max(1.0));
+    }
+
+    #[test]
+    fn larger_initial_cfl_converges_in_fewer_steps() {
+        // Figure 5's message, on the smooth model problem.
+        let mut steps = Vec::new();
+        for cfl0 in [0.1, 1.0, 10.0] {
+            let mut p = Bratu1d::new(30, 0.5);
+            let mut q = vec![0.0; 30];
+            let mut opts = default_opts();
+            opts.cfl0 = cfl0;
+            let h = solve_pseudo_transient(&mut p, &mut q, &opts);
+            assert!(h.converged, "cfl0={cfl0}");
+            steps.push(h.nsteps());
+        }
+        assert!(
+            steps[0] > steps[1] && steps[1] >= steps[2],
+            "small CFL means long induction: {steps:?}"
+        );
+    }
+
+    #[test]
+    fn matrix_free_matches_assembled() {
+        let run = |mf: bool| {
+            let mut p = Bratu1d::new(25, 1.0);
+            let mut q = vec![0.0; 25];
+            let mut opts = default_opts();
+            opts.matrix_free = mf;
+            let h = solve_pseudo_transient(&mut p, &mut q, &opts);
+            (h, q)
+        };
+        let (h1, q1) = run(false);
+        let (h2, q2) = run(true);
+        assert!(h1.converged && h2.converged);
+        for (a, b) in q1.iter().zip(&q2) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn schwarz_preconditioned_nks_converges() {
+        let n = 40;
+        let mut p = Bratu1d::new(n, 0.8);
+        let mut q = vec![0.0; n];
+        let mut opts = default_opts();
+        opts.precond = PrecondSpec::Schwarz {
+            owned_sets: (0..4).map(|k| (k * n / 4..(k + 1) * n / 4).collect()).collect(),
+            overlap: 1,
+            ilu: IluOptions::with_fill(0),
+            restricted: true,
+        };
+        let h = solve_pseudo_transient(&mut p, &mut q, &opts);
+        assert!(h.converged, "reduction {}", h.reduction());
+        assert!(h.total_linear_iters() > 0);
+    }
+
+    #[test]
+    fn higher_exponent_accelerates_cfl_growth() {
+        let run = |pexp: f64| {
+            let mut p = Bratu1d::new(30, 0.5);
+            let mut q = vec![0.0; 30];
+            let mut opts = default_opts();
+            opts.cfl0 = 0.5;
+            opts.cfl_exponent = pexp;
+            let h = solve_pseudo_transient(&mut p, &mut q, &opts);
+            assert!(h.converged);
+            h.nsteps()
+        };
+        let slow = run(0.75);
+        let fast = run(1.5);
+        assert!(fast <= slow, "p=1.5 ({fast}) should beat p=0.75 ({slow})");
+    }
+
+    #[test]
+    fn eisenstat_walker_saves_newton_steps() {
+        let run = |forcing: Forcing| {
+            let mut p = Bratu1d::new(30, 1.0);
+            let mut q = vec![0.0; 30];
+            let mut opts = default_opts();
+            opts.krylov.rtol = 1e-1; // loose constant baseline
+            opts.forcing = forcing;
+            let h = solve_pseudo_transient(&mut p, &mut q, &opts);
+            assert!(h.converged, "{forcing:?}");
+            (h.nsteps(), h.total_linear_iters())
+        };
+        let (steps_c, _) = run(Forcing::Constant);
+        let (steps_ew, _) = run(Forcing::EisenstatWalker {
+            gamma: 0.9,
+            eta_min: 1e-6,
+            eta_max: 0.5,
+        });
+        // The paper's observation: tighter tolerances near convergence save
+        // Newton iterations (time is a separate question).
+        assert!(steps_ew <= steps_c, "EW {steps_ew} vs constant {steps_c}");
+    }
+
+    #[test]
+    fn exact_initial_guess_returns_immediately() {
+        let mut p = Bratu1d::new(20, 1.0);
+        let mut q = p.solution();
+        let h = solve_pseudo_transient(&mut p, &mut q, &default_opts());
+        assert!(h.converged);
+        assert!(h.nsteps() <= 1);
+    }
+
+    #[test]
+    fn lagged_preconditioner_still_converges() {
+        let run = |refresh: usize| {
+            let mut p = Bratu1d::new(30, 1.0);
+            let mut q = vec![0.0; 30];
+            let mut opts = default_opts();
+            opts.pc_refresh = refresh;
+            let h = solve_pseudo_transient(&mut p, &mut q, &opts);
+            assert!(h.converged, "refresh={refresh}: {:.2e}", h.reduction());
+            (h.nsteps(), h.total_linear_iters(), q)
+        };
+        let (s1, l1, q1) = run(1);
+        let (s4, l4, q4) = run(4);
+        // A stale preconditioner costs at most extra Krylov/Newton work, not
+        // correctness: same solution, possibly more iterations.
+        for (a, b) in q1.iter().zip(&q4) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        assert!(s4 <= 3 * s1.max(1));
+        assert!(l4 + 1 >= l1, "lagging shouldn't reduce linear work: {l4} vs {l1}");
+    }
+
+    #[test]
+    fn history_records_are_complete() {
+        let mut p = Bratu1d::new(20, 1.0);
+        let mut q = vec![0.0; 20];
+        let h = solve_pseudo_transient(&mut p, &mut q, &default_opts());
+        for (i, s) in h.steps.iter().enumerate() {
+            assert_eq!(s.step, i);
+            assert!(s.cfl > 0.0);
+            assert!(s.residual_norm.is_finite());
+            assert!(s.step_length > 0.0);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the Krylov/Schwarz solver stack.
+
+use fun3d_solver::gmres::{gmres, GmresOptions};
+use fun3d_solver::op::CsrOperator;
+use fun3d_solver::precond::{AdditiveSchwarz, IdentityPrecond, IluPrecond};
+use fun3d_sparse::csr::CsrMatrix;
+use fun3d_sparse::ilu::IluOptions;
+use fun3d_sparse::triplet::TripletMatrix;
+use fun3d_sparse::vec_ops::norm2;
+use proptest::prelude::*;
+
+/// Random diagonally dominant sparse matrix.
+fn dd_matrix(max_n: usize) -> impl Strategy<Value = CsrMatrix> {
+    (8..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 2 * n..5 * n).prop_map(move |es| {
+            let mut t = TripletMatrix::new(n, n);
+            let mut rowsum = vec![0.0; n];
+            for (i, j, v) in es {
+                if i != j {
+                    t.push(i, j, v);
+                    rowsum[i] += v.abs();
+                }
+            }
+            for i in 0..n {
+                if i > 0 {
+                    t.push(i, i - 1, -0.5);
+                    rowsum[i] += 0.5;
+                }
+                t.push(i, i, rowsum[i] + 1.0);
+            }
+            t.to_csr()
+        })
+    })
+}
+
+fn solve(a: &CsrMatrix, b: &[f64], rtol: f64) -> (Vec<f64>, usize, bool) {
+    let mut x = vec![0.0; a.nrows()];
+    let r = gmres(
+        &CsrOperator::new(a),
+        &IdentityPrecond,
+        b,
+        &mut x,
+        &GmresOptions {
+            restart: 30,
+            rtol,
+            max_iters: 4000,
+            ..Default::default()
+        },
+    );
+    (x, r.iterations, r.converged)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GMRES always meets the tolerance it reports meeting.
+    #[test]
+    fn gmres_tolerance_is_honest(a in dd_matrix(40)) {
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let (x, _, conv) = solve(&a, &b, 1e-7);
+        prop_assert!(conv);
+        let mut r = vec![0.0; n];
+        a.spmv(&x, &mut r);
+        for (ri, bi) in r.iter_mut().zip(&b) {
+            *ri -= bi;
+        }
+        prop_assert!(norm2(&r) <= 1e-7 * norm2(&b) * 1.0001);
+    }
+
+    /// ILU preconditioning never increases the iteration count on these
+    /// diagonally dominant systems.
+    #[test]
+    fn ilu_never_hurts(a in dd_matrix(36)) {
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let (_, its_id, c1) = solve(&a, &b, 1e-7);
+        let pc = IluPrecond::factor(&a, &IluOptions::with_fill(0)).unwrap();
+        let mut x = vec![0.0; n];
+        let r = gmres(
+            &CsrOperator::new(&a),
+            &pc,
+            &b,
+            &mut x,
+            &GmresOptions { restart: 30, rtol: 1e-7, max_iters: 4000, ..Default::default() },
+        );
+        prop_assert!(c1 && r.converged);
+        prop_assert!(r.iterations <= its_id + 2, "ILU {} vs none {}", r.iterations, its_id);
+    }
+
+    /// The Schwarz preconditioner with any split of the rows still yields a
+    /// convergent iteration whose solution verifies.
+    #[test]
+    fn schwarz_any_split_converges(a in dd_matrix(32), k in 2usize..6) {
+        let n = a.nrows();
+        let owned: Vec<Vec<usize>> = (0..k)
+            .map(|p| (0..n).filter(|i| i % k == p).collect())
+            .collect();
+        let pc = AdditiveSchwarz::block_jacobi(&a, &owned, &IluOptions::with_fill(0)).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut x = vec![0.0; n];
+        let r = gmres(
+            &CsrOperator::new(&a),
+            &pc,
+            &b,
+            &mut x,
+            &GmresOptions { restart: 30, rtol: 1e-8, max_iters: 5000, ..Default::default() },
+        );
+        prop_assert!(r.converged, "{:?}", r);
+        let mut res = vec![0.0; n];
+        a.spmv(&x, &mut res);
+        for (ri, bi) in res.iter_mut().zip(&b) {
+            *ri -= bi;
+        }
+        prop_assert!(norm2(&res) <= 1e-7 * norm2(&b));
+    }
+
+    /// Restarted GMRES with a tiny restart still converges (just slower).
+    #[test]
+    fn small_restart_still_converges(a in dd_matrix(28)) {
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let r = gmres(
+            &CsrOperator::new(&a),
+            &IdentityPrecond,
+            &b,
+            &mut x,
+            &GmresOptions { restart: 3, rtol: 1e-6, max_iters: 8000, ..Default::default() },
+        );
+        prop_assert!(r.converged, "{:?}", r);
+    }
+
+    /// Solving with the solution as the initial guess costs zero iterations.
+    #[test]
+    fn warm_start_is_free(a in dd_matrix(30)) {
+        let n = a.nrows();
+        let xtrue: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&xtrue, &mut b);
+        let mut x = xtrue.clone();
+        let r = gmres(
+            &CsrOperator::new(&a),
+            &IdentityPrecond,
+            &b,
+            &mut x,
+            &GmresOptions { restart: 20, rtol: 1e-6, max_iters: 100, ..Default::default() },
+        );
+        prop_assert!(r.converged);
+        prop_assert_eq!(r.iterations, 0);
+    }
+}

@@ -1,0 +1,400 @@
+//! Point-block ILU(0) on BCSR storage — the PETSc `PCILU` on `BAIJ`
+//! matrices that PETSc-FUN3D actually runs.
+//!
+//! Once the Jacobian is structurally blocked (Section 2.1.2), the natural
+//! incomplete factorization treats each `b x b` block as a scalar: the
+//! elimination works on the *block* sparsity pattern with dense block
+//! arithmetic, and the diagonal blocks are inverted outright so the
+//! triangular solves contain no division (and touch one `u32` index per
+//! block instead of per entry — the integer-load reduction Table 1's
+//! "Structural Blocking" column buys in the solve phase).
+
+use crate::bcsr::BcsrMatrix;
+use crate::dense::{block_gemm, block_gemm_sub, block_gemv_sub, lu_factor, lu_invert};
+use crate::ilu::IluError;
+
+/// A block ILU(0) factorization of a BCSR matrix.
+#[derive(Debug, Clone)]
+pub struct BlockIluFactors {
+    /// Block size.
+    b: usize,
+    /// Number of block rows.
+    nb: usize,
+    /// Strictly-lower block pattern.
+    l_ptr: Vec<usize>,
+    l_idx: Vec<u32>,
+    /// Strictly-upper block pattern.
+    u_ptr: Vec<usize>,
+    u_idx: Vec<u32>,
+    /// L blocks (unit block-diagonal implicit), `b*b` each.
+    l_vals: Vec<f64>,
+    /// U strictly-upper blocks, `b*b` each.
+    u_vals: Vec<f64>,
+    /// Inverted diagonal blocks, `b*b` each.
+    inv_diag: Vec<f64>,
+}
+
+impl BlockIluFactors {
+    /// Factor a square BCSR matrix with zero block fill (the pattern of `A`).
+    ///
+    /// Returns [`IluError::ZeroPivot`] (with the *block row* index) when a
+    /// diagonal block is singular.
+    pub fn factor(a: &BcsrMatrix) -> Result<Self, IluError> {
+        assert_eq!(a.nbrows(), a.nbcols(), "block ILU needs a square matrix");
+        let b = a.block_size();
+        let bb = b * b;
+        let nb = a.nbrows();
+
+        // Split the pattern into strictly-lower / diagonal / strictly-upper.
+        let mut l_ptr = Vec::with_capacity(nb + 1);
+        let mut u_ptr = Vec::with_capacity(nb + 1);
+        let mut l_idx: Vec<u32> = Vec::new();
+        let mut u_idx: Vec<u32> = Vec::new();
+        let mut l_vals: Vec<f64> = Vec::new();
+        let mut u_vals: Vec<f64> = Vec::new();
+        let mut diag: Vec<f64> = vec![0.0; nb * bb];
+        let mut has_diag = vec![false; nb];
+        l_ptr.push(0);
+        u_ptr.push(0);
+        for i in 0..nb {
+            for (k, &c) in a.row_bcols(i).iter().enumerate() {
+                let blk = a.block(a.row_ptr()[i] + k);
+                match (c as usize).cmp(&i) {
+                    std::cmp::Ordering::Less => {
+                        l_idx.push(c);
+                        l_vals.extend_from_slice(blk);
+                    }
+                    std::cmp::Ordering::Equal => {
+                        diag[i * bb..(i + 1) * bb].copy_from_slice(blk);
+                        has_diag[i] = true;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        u_idx.push(c);
+                        u_vals.extend_from_slice(blk);
+                    }
+                }
+            }
+            if !has_diag[i] {
+                return Err(IluError::ZeroPivot(i));
+            }
+            l_ptr.push(l_idx.len());
+            u_ptr.push(u_idx.len());
+        }
+
+        // Block IKJ elimination restricted to the existing pattern.
+        let mut inv_diag = vec![0.0f64; nb * bb];
+        let mut tmp = vec![0.0f64; bb];
+        let mut lu = vec![0.0f64; bb];
+        let mut piv = vec![0usize; b];
+        for i in 0..nb {
+            // For each L block (ascending k): L_ik <- A_ik * inv(U_kk), then
+            // update the remaining blocks of row i against U row k.
+            for li in l_ptr[i]..l_ptr[i + 1] {
+                let k = l_idx[li] as usize;
+                // tmp = L_ik * inv_diag[k]
+                {
+                    let lik = &l_vals[li * bb..(li + 1) * bb];
+                    let invk = &inv_diag[k * bb..(k + 1) * bb];
+                    block_gemm(lik, invk, &mut tmp, b);
+                }
+                l_vals[li * bb..(li + 1) * bb].copy_from_slice(&tmp);
+                // Row i's remaining pattern vs U row k: for j in U(k),
+                // update L_ij (j < i), D_ii (j == i), or U_ij (j > i).
+                for uk in u_ptr[k]..u_ptr[k + 1] {
+                    let j = u_idx[uk] as usize;
+                    let ukj = u_vals[uk * bb..(uk + 1) * bb].to_vec();
+                    match j.cmp(&i) {
+                        std::cmp::Ordering::Less => {
+                            // Find L_ij among the remaining L blocks of row i.
+                            if let Some(pos) = find_block(&l_idx[l_ptr[i]..l_ptr[i + 1]], j as u32)
+                            {
+                                let slot = l_ptr[i] + pos;
+                                block_gemm_sub(
+                                    &tmp,
+                                    &ukj,
+                                    &mut l_vals[slot * bb..(slot + 1) * bb],
+                                    b,
+                                );
+                            }
+                        }
+                        std::cmp::Ordering::Equal => {
+                            block_gemm_sub(&tmp, &ukj, &mut diag[i * bb..(i + 1) * bb], b);
+                        }
+                        std::cmp::Ordering::Greater => {
+                            if let Some(pos) = find_block(&u_idx[u_ptr[i]..u_ptr[i + 1]], j as u32)
+                            {
+                                let slot = u_ptr[i] + pos;
+                                block_gemm_sub(
+                                    &tmp,
+                                    &ukj,
+                                    &mut u_vals[slot * bb..(slot + 1) * bb],
+                                    b,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            // Invert the (updated) diagonal block.
+            lu.copy_from_slice(&diag[i * bb..(i + 1) * bb]);
+            if lu_factor(&mut lu, &mut piv, b).is_err() {
+                return Err(IluError::ZeroPivot(i));
+            }
+            lu_invert(&lu, &piv, &mut inv_diag[i * bb..(i + 1) * bb], b);
+        }
+
+        Ok(Self {
+            b,
+            nb,
+            l_ptr,
+            l_idx,
+            u_ptr,
+            u_idx,
+            l_vals,
+            u_vals,
+            inv_diag,
+        })
+    }
+
+    /// Block size.
+    pub fn block_size(&self) -> usize {
+        self.b
+    }
+
+    /// Matrix dimension in points.
+    pub fn n(&self) -> usize {
+        self.nb * self.b
+    }
+
+    /// Stored blocks (L + U + diagonal).
+    pub fn nnz_blocks(&self) -> usize {
+        self.l_idx.len() + self.u_idx.len() + self.nb
+    }
+
+    /// Apply the preconditioner: `x <- U^{-1} L^{-1} b` with block solves.
+    pub fn solve(&self, rhs: &[f64], x: &mut [f64]) {
+        assert_eq!(rhs.len(), self.n());
+        assert_eq!(x.len(), self.n());
+        x.copy_from_slice(rhs);
+        self.solve_in_place(x);
+    }
+
+    /// In-place block triangular solves.
+    pub fn solve_in_place(&self, x: &mut [f64]) {
+        let b = self.b;
+        let bb = b * b;
+        let mut xi = vec![0.0f64; b];
+        // Forward: (I + L) y = rhs.
+        for i in 0..self.nb {
+            xi.copy_from_slice(&x[i * b..(i + 1) * b]);
+            for li in self.l_ptr[i]..self.l_ptr[i + 1] {
+                let k = self.l_idx[li] as usize;
+                let lik = &self.l_vals[li * bb..(li + 1) * bb];
+                let xk = x[k * b..(k + 1) * b].to_vec();
+                block_gemv_sub(lik, &xk, &mut xi, b);
+            }
+            x[i * b..(i + 1) * b].copy_from_slice(&xi);
+        }
+        // Backward: (D + U) x = y  =>  x_i = invD_i (y_i - sum U_ij x_j).
+        let mut acc = vec![0.0f64; b];
+        for i in (0..self.nb).rev() {
+            acc.copy_from_slice(&x[i * b..(i + 1) * b]);
+            for ui in self.u_ptr[i]..self.u_ptr[i + 1] {
+                let j = self.u_idx[ui] as usize;
+                let uij = &self.u_vals[ui * bb..(ui + 1) * bb];
+                let xj = x[j * b..(j + 1) * b].to_vec();
+                block_gemv_sub(uij, &xj, &mut acc, b);
+            }
+            let invd = &self.inv_diag[i * bb..(i + 1) * bb];
+            let mut out = vec![0.0f64; b];
+            crate::dense::block_gemv(invd, &acc, &mut out, b);
+            x[i * b..(i + 1) * b].copy_from_slice(&out);
+        }
+    }
+}
+
+#[inline]
+fn find_block(cols: &[u32], c: u32) -> Option<usize> {
+    cols.binary_search(&c).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+    use crate::ilu::{IluFactors, IluOptions};
+    use crate::triplet::TripletMatrix;
+    use crate::vec_ops::norm2;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    /// Block-tridiagonal, diagonally dominant system.
+    fn block_tridiag(nb: usize, b: usize, seed: u64) -> CsrMatrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t = TripletMatrix::new(nb * b, nb * b);
+        for i in 0..nb {
+            for j in [i.wrapping_sub(1), i, i + 1] {
+                if j >= nb {
+                    continue;
+                }
+                let mut blk: Vec<f64> = (0..b * b).map(|_| rng.gen_range(-0.5..0.5)).collect();
+                if i == j {
+                    for d in 0..b {
+                        blk[d * b + d] += 4.0;
+                    }
+                }
+                t.push_block(i, j, b, &blk);
+            }
+        }
+        t.to_csr()
+    }
+
+    fn residual(a: &CsrMatrix, x: &[f64], rhs: &[f64]) -> f64 {
+        let mut r = vec![0.0; rhs.len()];
+        a.spmv(x, &mut r);
+        for (ri, bi) in r.iter_mut().zip(rhs) {
+            *ri -= bi;
+        }
+        norm2(&r)
+    }
+
+    #[test]
+    fn block_ilu0_on_block_tridiagonal_is_exact() {
+        // No block fill exists outside the pattern, so BILU(0) == block LU.
+        for b in [2usize, 4, 5] {
+            let a = block_tridiag(20, b, 3);
+            let ab = BcsrMatrix::from_csr(&a, b);
+            let f = BlockIluFactors::factor(&ab).unwrap();
+            let n = a.nrows();
+            let rhs: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+            let mut x = vec![0.0; n];
+            f.solve(&rhs, &mut x);
+            assert!(
+                residual(&a, &x, &rhs) < 1e-9 * norm2(&rhs),
+                "b={b}: block-tridiagonal BILU(0) must solve exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn block_and_point_ilu_agree_on_block_diagonal_matrix() {
+        // With only diagonal blocks, both factorizations invert exactly.
+        let b = 3;
+        let nb = 10;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut t = TripletMatrix::new(nb * b, nb * b);
+        for i in 0..nb {
+            let mut blk: Vec<f64> = (0..b * b).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            for d in 0..b {
+                blk[d * b + d] += 3.0;
+            }
+            t.push_block(i, i, b, &blk);
+        }
+        let a = t.to_csr();
+        let ab = BcsrMatrix::from_csr(&a, b);
+        let fb = BlockIluFactors::factor(&ab).unwrap();
+        let n = a.nrows();
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut x1 = vec![0.0; n];
+        fb.solve(&rhs, &mut x1);
+        // Point ILU with full fill is exact LU here too.
+        let fp = IluFactors::factor(&a, &IluOptions::with_fill(b)).unwrap();
+        let mut x2 = vec![0.0; n];
+        fp.solve(&rhs, &mut x2);
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn block_ilu_is_a_usable_preconditioner_on_general_pattern() {
+        // Random block pattern with fill dropped: approximate inverse, so
+        // the preconditioned residual should shrink markedly in one pass.
+        let b = 4;
+        let nb = 40;
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut t = TripletMatrix::new(nb * b, nb * b);
+        for i in 0..nb {
+            let mut js = vec![i];
+            for _ in 0..2 {
+                js.push(rng.gen_range(0..nb));
+            }
+            js.sort_unstable();
+            js.dedup();
+            for j in js {
+                let mut blk: Vec<f64> = (0..b * b).map(|_| rng.gen_range(-0.3..0.3)).collect();
+                if i == j {
+                    for d in 0..b {
+                        blk[d * b + d] += 5.0;
+                    }
+                }
+                t.push_block(i, j, b, &blk);
+            }
+        }
+        let a = t.to_csr();
+        let ab = BcsrMatrix::from_csr(&a, b);
+        let f = BlockIluFactors::factor(&ab).unwrap();
+        let n = a.nrows();
+        let rhs = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        f.solve(&rhs, &mut x);
+        let r = residual(&a, &x, &rhs);
+        assert!(
+            r < 0.3 * norm2(&rhs),
+            "one application should reduce the residual a lot: {r}"
+        );
+    }
+
+    #[test]
+    fn singular_diagonal_block_reports_row() {
+        let b = 2;
+        let mut t = TripletMatrix::new(4, 4);
+        t.push_block(0, 0, b, &[1.0, 0.0, 0.0, 1.0]);
+        t.push_block(1, 1, b, &[1.0, 1.0, 1.0, 1.0]); // singular
+        let ab = BcsrMatrix::from_csr(&t.to_csr(), b);
+        match BlockIluFactors::factor(&ab) {
+            Err(IluError::ZeroPivot(1)) => {}
+            other => panic!("expected zero pivot at block row 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_diagonal_block_is_rejected() {
+        let b = 2;
+        let mut t = TripletMatrix::new(4, 4);
+        t.push_block(0, 0, b, &[1.0, 0.0, 0.0, 1.0]);
+        t.push_block(1, 0, b, &[1.0, 0.0, 0.0, 1.0]);
+        let ab = BcsrMatrix::from_csr(&t.to_csr(), b);
+        assert_eq!(BlockIluFactors::factor(&ab), Err(IluError::ZeroPivot(1)));
+    }
+
+    #[test]
+    fn index_footprint_is_one_per_block() {
+        let b = 4;
+        let a = block_tridiag(30, b, 5);
+        let ab = BcsrMatrix::from_csr(&a, b);
+        let fb = BlockIluFactors::factor(&ab).unwrap();
+        let fp = IluFactors::factor(&a, &IluOptions::with_fill(0)).unwrap();
+        // Point ILU stores one index per scalar entry; block ILU one per
+        // block — a 16x index reduction at b = 4.
+        assert!(fb.nnz_blocks() * b * b >= fp.nnz());
+        assert!(fb.nnz_blocks() * 12 < fp.nnz());
+    }
+}
+
+impl PartialEq for BlockIluFactors {
+    fn eq(&self, other: &Self) -> bool {
+        self.b == other.b && self.nb == other.nb && self.l_idx == other.l_idx
+    }
+}
+
+impl std::fmt::Display for BlockIluFactors {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BlockIlu(b={}, nb={}, blocks={})",
+            self.b,
+            self.nb,
+            self.nnz_blocks()
+        )
+    }
+}

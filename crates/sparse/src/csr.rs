@@ -1,0 +1,432 @@
+//! Compressed sparse row (CSR) storage — the PETSc `AIJ` analogue.
+//!
+//! CSR is the point-wise (non-blocked) format the paper's Table 1 baseline
+//! uses.  Column indices are stored as `u32`: at the meshes considered (up to
+//! 2.8M vertices x 5 unknowns = 14M rows) 32-bit indices suffice, and the
+//! integer-load traffic of the index array is itself one of the quantities the
+//! paper's SpMV model accounts for.
+
+/// A sparse matrix in compressed sparse row format with `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent (wrong lengths, non-monotone row
+    /// pointers, or column indices out of range).
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr must have nrows+1 entries");
+        assert_eq!(col_idx.len(), values.len(), "col_idx/values length mismatch");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end != nnz");
+        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr not monotone");
+        assert!(
+            col_idx.iter().all(|&c| (c as usize) < ncols),
+            "column index out of range"
+        );
+        Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// An `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self::from_raw(
+            n,
+            n,
+            (0..=n).collect(),
+            (0..n as u32).collect(),
+            vec![1.0; n],
+        )
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row pointer array (length `nrows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column index array (length `nnz`).
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The value array (length `nnz`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the values (the sparsity pattern is fixed).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Column indices of row `i`.
+    pub fn row_cols(&self, i: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Values of row `i`.
+    pub fn row_vals(&self, i: usize) -> &[f64] {
+        &self.values[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Entry `(i, j)`, or `0.0` when not stored. Binary search within the row
+    /// (rows are kept sorted by the builders).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let cols = self.row_cols(i);
+        match cols.binary_search(&(j as u32)) {
+            Ok(k) => self.row_vals(i)[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix-vector product `y <- A x`.
+    ///
+    /// This is the kernel whose cache behaviour Section 2.1.1 models; its
+    /// reference stream is: the row pointer (streamed), the column indices
+    /// (streamed), the values (streamed), and the gathered entries of `x`
+    /// (indexed — the locality-sensitive part).
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv y length mismatch");
+        for i in 0..self.nrows {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut sum = 0.0;
+            for k in lo..hi {
+                sum += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[i] = sum;
+        }
+    }
+
+    /// `y <- y + A x`.
+    pub fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv y length mismatch");
+        for i in 0..self.nrows {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut sum = y[i];
+            for k in lo..hi {
+                sum += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[i] = sum;
+        }
+    }
+
+    /// Matrix bandwidth: `max_i max_{j in row i} |i - j|`.
+    ///
+    /// The interlaced-layout miss bound (Eq. 2 of the paper) is parameterized
+    /// by this quantity (`beta`).
+    pub fn bandwidth(&self) -> usize {
+        let mut beta = 0usize;
+        for i in 0..self.nrows {
+            for &c in self.row_cols(i) {
+                beta = beta.max(i.abs_diff(c as usize));
+            }
+        }
+        beta
+    }
+
+    /// Symmetrically permute a square matrix: `B[p[i], p[j]] = A[i, j]`.
+    ///
+    /// `perm` maps old index -> new index; this is how RCM vertex orderings
+    /// are applied to assembled Jacobians.
+    pub fn permute_symmetric(&self, perm: &[usize]) -> CsrMatrix {
+        assert_eq!(self.nrows, self.ncols, "symmetric permute needs square matrix");
+        assert_eq!(perm.len(), self.nrows, "permutation length mismatch");
+        let mut inv = vec![usize::MAX; perm.len()];
+        for (old, &new) in perm.iter().enumerate() {
+            assert!(new < perm.len(), "permutation value out of range");
+            assert!(inv[new] == usize::MAX, "permutation is not a bijection");
+            inv[new] = old;
+        }
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        row_ptr.push(0);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for new_i in 0..self.nrows {
+            let old_i = inv[new_i];
+            scratch.clear();
+            for (k, &c) in self.row_cols(old_i).iter().enumerate() {
+                scratch.push((perm[c as usize] as u32, self.row_vals(old_i)[k]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix::from_raw(self.nrows, self.ncols, row_ptr, col_idx, values)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            counts[j + 1] += counts[j];
+        }
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = counts.clone();
+        for i in 0..self.nrows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k] as usize;
+                let slot = next[j];
+                col_idx[slot] = i as u32;
+                values[slot] = self.values[k];
+                next[j] += 1;
+            }
+        }
+        CsrMatrix::from_raw(self.ncols, self.nrows, counts, col_idx, values)
+    }
+
+    /// Extract the principal submatrix on `rows` (same index set for columns),
+    /// renumbering to local indices. Used to build subdomain (Schwarz) blocks.
+    /// `rows` need not be sorted; local ordering follows `rows` order.
+    pub fn extract_principal_submatrix(&self, rows: &[usize]) -> CsrMatrix {
+        assert_eq!(self.nrows, self.ncols);
+        let mut global_to_local = vec![u32::MAX; self.ncols];
+        for (l, &g) in rows.iter().enumerate() {
+            global_to_local[g] = l as u32;
+        }
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for &g in rows {
+            scratch.clear();
+            for (k, &c) in self.row_cols(g).iter().enumerate() {
+                let l = global_to_local[c as usize];
+                if l != u32::MAX {
+                    scratch.push((l, self.row_vals(g)[k]));
+                }
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix::from_raw(rows.len(), rows.len(), row_ptr, col_idx, values)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Scale all values by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.values {
+            *v *= alpha;
+        }
+    }
+
+    /// Add `alpha` to each diagonal entry (the entry must exist in the
+    /// pattern). Used by pseudo-transient continuation to add `V/dt` terms.
+    ///
+    /// # Panics
+    /// Panics if some diagonal entry is not in the sparsity pattern.
+    pub fn shift_diagonal(&mut self, alpha: f64) {
+        assert_eq!(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            let lo = self.row_ptr[i];
+            let cols = &self.col_idx[lo..self.row_ptr[i + 1]];
+            match cols.binary_search(&(i as u32)) {
+                Ok(k) => self.values[lo + k] += alpha,
+                Err(_) => panic!("diagonal entry ({i},{i}) missing from pattern"),
+            }
+        }
+    }
+
+    /// Add `alpha * d[i]` to diagonal entry `i` (per-row shift, e.g. cell
+    /// volume over timestep).
+    pub fn shift_diagonal_by(&mut self, alpha: f64, d: &[f64]) {
+        assert_eq!(self.nrows, self.ncols);
+        assert_eq!(d.len(), self.nrows);
+        for i in 0..self.nrows {
+            let lo = self.row_ptr[i];
+            let cols = &self.col_idx[lo..self.row_ptr[i + 1]];
+            match cols.binary_search(&(i as u32)) {
+                Ok(k) => self.values[lo + k] += alpha * d[i],
+                Err(_) => panic!("diagonal entry ({i},{i}) missing from pattern"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::TripletMatrix;
+
+    fn small() -> CsrMatrix {
+        // [ 2 1 0 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 0, 4.0);
+        t.push(2, 2, 5.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, [4.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn spmv_add_accumulates() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [1.0, 1.0, 1.0];
+        a.spmv_add(&x, &mut y);
+        assert_eq!(y, [5.0, 7.0, 20.0]);
+    }
+
+    #[test]
+    fn identity_spmv_is_noop() {
+        let a = CsrMatrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut y = [0.0; 4];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn bandwidth_of_small() {
+        assert_eq!(small().bandwidth(), 2); // entry (2,0)
+        assert_eq!(CsrMatrix::identity(5).bandwidth(), 0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = small();
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+        assert_eq!(a.transpose().get(0, 2), 4.0);
+    }
+
+    #[test]
+    fn symmetric_permute_preserves_entries() {
+        let a = small();
+        let perm = vec![2usize, 0, 1]; // old->new
+        let b = a.permute_symmetric(&perm);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a.get(i, j), b.get(perm[i], perm[j]), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn submatrix_extraction() {
+        let a = small();
+        let s = a.extract_principal_submatrix(&[0, 2]);
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.get(0, 0), 2.0); // (0,0)
+        assert_eq!(s.get(1, 0), 4.0); // (2,0)
+        assert_eq!(s.get(1, 1), 5.0); // (2,2)
+        assert_eq!(s.get(0, 1), 0.0); // (0,2) not stored
+    }
+
+    #[test]
+    fn submatrix_respects_row_order() {
+        let a = small();
+        let s = a.extract_principal_submatrix(&[2, 0]);
+        assert_eq!(s.get(0, 0), 5.0); // (2,2)
+        assert_eq!(s.get(0, 1), 4.0); // (2,0)
+        assert_eq!(s.get(1, 1), 2.0); // (0,0)
+    }
+
+    #[test]
+    fn shift_diagonal_adds() {
+        let mut a = small();
+        a.shift_diagonal(10.0);
+        assert_eq!(a.get(0, 0), 12.0);
+        assert_eq!(a.get(1, 1), 13.0);
+        assert_eq!(a.get(2, 2), 15.0);
+    }
+
+    #[test]
+    fn shift_diagonal_by_uses_weights() {
+        let mut a = small();
+        a.shift_diagonal_by(2.0, &[1.0, 10.0, 100.0]);
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.get(1, 1), 23.0);
+        assert_eq!(a.get(2, 2), 205.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from pattern")]
+    fn shift_diagonal_missing_panics() {
+        // No (1,1) entry.
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0);
+        let mut a = t.to_csr();
+        a.shift_diagonal(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not monotone")]
+    fn from_raw_validates_row_ptr() {
+        CsrMatrix::from_raw(3, 2, vec![0, 2, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn frobenius_and_scale() {
+        let mut a = CsrMatrix::identity(4);
+        assert_eq!(a.frobenius_norm(), 2.0);
+        a.scale(3.0);
+        assert_eq!(a.frobenius_norm(), 6.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Coordinate-format (COO) assembly buffer.
+//!
+//! Finite-volume Jacobian assembly naturally produces (row, col, value)
+//! contributions edge by edge; this buffer accumulates them and converts to
+//! CSR, summing duplicates, exactly like PETSc's `MatSetValues` +
+//! `MatAssemblyBegin/End` pipeline.
+
+use crate::csr::CsrMatrix;
+
+/// A growable (row, col, value) triplet list for matrix assembly.
+#[derive(Debug, Clone)]
+pub struct TripletMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl TripletMatrix {
+    /// Create an empty assembly buffer for an `nrows x ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Create with pre-reserved capacity for `nnz` contributions.
+    pub fn with_capacity(nrows: usize, ncols: usize, nnz: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(nnz),
+            cols: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of raw (possibly duplicate) entries pushed so far.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Add `v` to entry `(i, j)`; duplicates are summed at conversion time.
+    ///
+    /// # Panics
+    /// Panics if `(i, j)` is out of bounds.
+    pub fn push(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.nrows && j < self.ncols, "triplet ({i},{j}) out of bounds");
+        self.rows.push(i as u32);
+        self.cols.push(j as u32);
+        self.vals.push(v);
+    }
+
+    /// Add a dense `b x b` block with its (0,0) entry at `(i*b, j*b)`.
+    pub fn push_block(&mut self, i: usize, j: usize, b: usize, block: &[f64]) {
+        debug_assert_eq!(block.len(), b * b);
+        for r in 0..b {
+            for c in 0..b {
+                let v = block[r * b + c];
+                if v != 0.0 {
+                    self.push(i * b + r, j * b + c, v);
+                }
+            }
+        }
+    }
+
+    /// Convert to CSR, summing duplicate entries. Column indices within each
+    /// row come out sorted ascending.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row.
+        let mut row_counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            row_counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut order: Vec<usize> = vec![0; self.vals.len()];
+        {
+            let mut next = row_counts.clone();
+            for (k, &r) in self.rows.iter().enumerate() {
+                order[next[r as usize]] = k;
+                next[r as usize] += 1;
+            }
+        }
+        // Per row: sort by column, merge duplicates.
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.vals.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.vals.len());
+        row_ptr.push(0usize);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for i in 0..self.nrows {
+            scratch.clear();
+            for &k in &order[row_counts[i]..row_counts[i + 1]] {
+                scratch.push((self.cols[k], self.vals[k]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut iter = scratch.iter().copied();
+            if let Some((mut cur_c, mut cur_v)) = iter.next() {
+                for (c, v) in iter {
+                    if c == cur_c {
+                        cur_v += v;
+                    } else {
+                        col_idx.push(cur_c);
+                        values.push(cur_v);
+                        cur_c = c;
+                        cur_v = v;
+                    }
+                }
+                col_idx.push(cur_c);
+                values.push(cur_v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix::from_raw(self.nrows, self.ncols, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_small_matrix() {
+        let mut t = TripletMatrix::new(2, 3);
+        t.push(0, 2, 1.0);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 3.0);
+        let a = t.to_csr();
+        assert_eq!(a.nrows(), 2);
+        assert_eq!(a.ncols(), 3);
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 2), 1.0);
+        assert_eq!(a.get(1, 1), 3.0);
+        assert_eq!(a.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(1, 1, 1.5);
+        t.push(1, 1, 2.5);
+        t.push(1, 0, -1.0);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(1, 1), 4.0);
+        assert_eq!(a.get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn columns_sorted_within_rows() {
+        let mut t = TripletMatrix::new(1, 5);
+        for &c in &[4usize, 0, 3, 1] {
+            t.push(0, c, c as f64);
+        }
+        let a = t.to_csr();
+        let cols: Vec<u32> = a.row_cols(0).to_vec();
+        assert_eq!(cols, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn block_push_expands() {
+        let mut t = TripletMatrix::new(4, 4);
+        t.push_block(1, 0, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let a = t.to_csr();
+        assert_eq!(a.get(2, 0), 1.0);
+        assert_eq!(a.get(2, 1), 2.0);
+        assert_eq!(a.get(3, 0), 3.0);
+        assert_eq!(a.get(3, 1), 4.0);
+    }
+
+    #[test]
+    fn empty_rows_are_preserved() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(2, 2, 9.0);
+        let a = t.to_csr();
+        assert_eq!(a.row_cols(0).len(), 0);
+        assert_eq!(a.row_cols(1).len(), 0);
+        assert_eq!(a.get(2, 2), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_push_panics() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! BLAS-1 style vector kernels used throughout the solver stack.
+//!
+//! The Krylov solvers in `fun3d-solver` are assembled from these primitives,
+//! mirroring the PETSc `Vec` operations the paper's code used.  They are kept
+//! free of allocation so that the memory traffic of a GMRES iteration is
+//! exactly the traffic of these loops plus the SpMV / triangular solves.
+
+/// `y <- alpha * x + y`.
+///
+/// # Panics
+/// Panics if `x` and `y` differ in length.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y <- alpha * x + beta * y` (PETSc `VecAXPBY`).
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpby length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// `w <- alpha * x + beta * y` without touching the inputs (PETSc `VecWAXPY`
+/// generalization).
+pub fn waxpby(alpha: f64, x: &[f64], beta: f64, y: &[f64], w: &mut [f64]) {
+    assert_eq!(x.len(), w.len(), "waxpby length mismatch");
+    assert_eq!(y.len(), w.len(), "waxpby length mismatch");
+    for ((wi, xi), yi) in w.iter_mut().zip(x).zip(y) {
+        *wi = alpha * xi + beta * yi;
+    }
+}
+
+/// `x <- alpha * x`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Dot product `x . y`.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `||x||_2`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Max norm `||x||_inf`.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, &v| m.max(v.abs()))
+}
+
+/// Copy `x` into `y`.
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    y.copy_from_slice(x);
+}
+
+/// Set every entry of `x` to `v`.
+pub fn set(v: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_adds_scaled_vector() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpby_combines_both() {
+        let x = [1.0, 2.0];
+        let mut y = [4.0, 8.0];
+        axpby(3.0, &x, 0.5, &mut y);
+        assert_eq!(y, [5.0, 10.0]);
+    }
+
+    #[test]
+    fn waxpby_leaves_inputs_untouched() {
+        let x = [1.0, 0.0];
+        let y = [0.0, 1.0];
+        let mut w = [9.0, 9.0];
+        waxpby(2.0, &x, -1.0, &y, &mut w);
+        assert_eq!(w, [2.0, -1.0]);
+        assert_eq!(x, [1.0, 0.0]);
+        assert_eq!(y, [0.0, 1.0]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let x = [3.0, 4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+    }
+
+    #[test]
+    fn scale_and_set() {
+        let mut x = [1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+        set(0.5, &mut x);
+        assert_eq!(x, [0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let x = [1.0];
+        let mut y = [1.0, 2.0];
+        axpy(1.0, &x, &mut y);
+    }
+
+    #[test]
+    fn norm2_of_empty_is_zero() {
+        assert_eq!(norm2(&[]), 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the sparse kernels.
+
+use fun3d_sparse::bcsr::BcsrMatrix;
+use fun3d_sparse::csr::CsrMatrix;
+use fun3d_sparse::ilu::{IluFactors, IluOptions, PrecStorage};
+use fun3d_sparse::layout::{
+    interlaced_to_segregated_perm, segregated_to_interlaced_perm, to_interlaced, to_segregated,
+};
+use fun3d_sparse::triplet::TripletMatrix;
+use proptest::prelude::*;
+
+/// Strategy: a random sparse square matrix of dimension n with a structural
+/// diagonal, entries in [-1, 1], diagonally dominated to keep ILU happy.
+fn sparse_square(max_n: usize) -> impl Strategy<Value = CsrMatrix> {
+    (2..max_n).prop_flat_map(|n| {
+        let entries = proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..4 * n);
+        entries.prop_map(move |es| {
+            let mut t = TripletMatrix::new(n, n);
+            let mut rowsum = vec![0.0f64; n];
+            for (i, j, v) in es {
+                if i != j {
+                    t.push(i, j, v);
+                    rowsum[i] += v.abs();
+                }
+            }
+            for (i, rs) in rowsum.iter().enumerate() {
+                t.push(i, i, rs + 1.0);
+            }
+            t.to_csr()
+        })
+    })
+}
+
+/// Dense reference matvec.
+fn dense_spmv(a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; a.nrows()];
+    for i in 0..a.nrows() {
+        for j in 0..a.ncols() {
+            y[i] += a.get(i, j) * x[j];
+        }
+    }
+    y
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spmv_matches_dense_reference(a in sparse_square(24)) {
+        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 37 + 11) % 17) as f64 - 8.0).collect();
+        let mut y = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut y);
+        let yref = dense_spmv(&a, &x);
+        for (u, v) in y.iter().zip(&yref) {
+            prop_assert!((u - v).abs() < 1e-9 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in sparse_square(20)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn symmetric_permute_preserves_spmv(a in sparse_square(16), seed in 0u64..1000) {
+        use rand::{rngs::SmallRng, seq::SliceRandom, SeedableRng};
+        let n = a.nrows();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut SmallRng::seed_from_u64(seed));
+        let b = a.permute_symmetric(&perm);
+        // (P A P^T)(P x) == P (A x)
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        let mut px = vec![0.0; n];
+        for i in 0..n { px[perm[i]] = x[i]; }
+        let mut y = vec![0.0; n];
+        a.spmv(&x, &mut y);
+        let mut py = vec![0.0; n];
+        b.spmv(&px, &mut py);
+        for i in 0..n {
+            prop_assert!((py[perm[i]] - y[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn layout_perms_are_mutually_inverse(npoints in 1usize..40, ncomp in 1usize..6) {
+        let s2i = segregated_to_interlaced_perm(npoints, ncomp);
+        let i2s = interlaced_to_segregated_perm(npoints, ncomp);
+        for k in 0..npoints * ncomp {
+            prop_assert_eq!(i2s[s2i[k]], k);
+        }
+    }
+
+    #[test]
+    fn interlace_roundtrip(npoints in 1usize..30, ncomp in 1usize..6) {
+        let n = npoints * ncomp;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut mid = vec![0.0; n];
+        let mut back = vec![0.0; n];
+        to_interlaced(&x, npoints, ncomp, &mut mid);
+        to_segregated(&mid, npoints, ncomp, &mut back);
+        prop_assert_eq!(x, back);
+    }
+
+    #[test]
+    fn bcsr_spmv_agrees_with_csr(nb in 2usize..10, b in 1usize..6, seed in 0u64..500) {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t = TripletMatrix::new(nb * b, nb * b);
+        for i in 0..nb {
+            for _ in 0..3 {
+                let j = rng.gen_range(0..nb);
+                let blk: Vec<f64> = (0..b * b).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                t.push_block(i, j, b, &blk);
+            }
+            let eye: Vec<f64> = (0..b * b).map(|k| if k % (b + 1) == 0 { 4.0 } else { 0.1 }).collect();
+            t.push_block(i, i, b, &eye);
+        }
+        let a = t.to_csr();
+        let ab = BcsrMatrix::from_csr(&a, b);
+        let x: Vec<f64> = (0..a.ncols()).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mut y1 = vec![0.0; a.nrows()];
+        let mut y2 = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut y1);
+        ab.spmv(&x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ilu_pattern_grows_with_fill(a in sparse_square(18)) {
+        let mut prev = 0usize;
+        for k in 0..3 {
+            if let Ok(f) = IluFactors::factor(&a, &IluOptions::with_fill(k)) {
+                prop_assert!(f.nnz() >= prev);
+                prev = f.nnz();
+            }
+        }
+    }
+
+    #[test]
+    fn ilu_full_fill_solves_exactly(a in sparse_square(14)) {
+        let n = a.nrows();
+        let f = IluFactors::factor(&a, &IluOptions::with_fill(n)).unwrap();
+        let xtrue: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&xtrue, &mut b);
+        let mut x = vec![0.0; n];
+        f.solve(&b, &mut x);
+        for (u, v) in x.iter().zip(&xtrue) {
+            prop_assert!((u - v).abs() < 1e-6, "{} vs {}", u, v);
+        }
+    }
+
+    #[test]
+    fn single_precision_solve_is_small_perturbation(a in sparse_square(16)) {
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 7) as f64 - 3.0).collect();
+        let fd = IluFactors::factor(&a, &IluOptions::with_fill(1)).unwrap();
+        let fs = IluFactors::factor(&a, &IluOptions { fill_level: 1, storage: PrecStorage::Single }).unwrap();
+        let mut xd = vec![0.0; n];
+        let mut xs = vec![0.0; n];
+        fd.solve(&b, &mut xd);
+        fs.solve(&b, &mut xs);
+        let scale = xd.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (u, v) in xd.iter().zip(&xs) {
+            prop_assert!((u - v).abs() / scale < 1e-3);
+        }
+    }
+
+    #[test]
+    fn triplet_duplicates_sum(n in 2usize..12, dups in 1usize..5) {
+        let mut t = TripletMatrix::new(n, n);
+        for _ in 0..dups {
+            t.push(0, 1, 2.0);
+        }
+        let a = t.to_csr();
+        prop_assert!((a.get(0, 1) - 2.0 * dups as f64).abs() < 1e-12);
+        prop_assert_eq!(a.nnz(), 1);
+    }
+}

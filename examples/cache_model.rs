@@ -1,0 +1,104 @@
+//! Memory-centric analysis demo: run the application's kernels through the
+//! cache/TLB simulator, compare with the analytic miss bounds (Eqs. 1-2),
+//! and price the result with the bandwidth-based SpMV performance model.
+//!
+//! ```sh
+//! cargo run --release --example cache_model
+//! ```
+
+use petsc_fun3d_repro::core::config::apply_orderings;
+use petsc_fun3d_repro::euler::model::FlowModel;
+use petsc_fun3d_repro::memmodel::bounds::predicted_improvement;
+use petsc_fun3d_repro::memmodel::hierarchy::MemoryHierarchy;
+use petsc_fun3d_repro::memmodel::machine::MachineSpec;
+use petsc_fun3d_repro::memmodel::spmv_model::{bcsr_traffic, csr_traffic, predicted_mflops};
+use petsc_fun3d_repro::memmodel::stream::run_stream;
+use petsc_fun3d_repro::memmodel::trace::{csr_spmv_trace, flux_edge_trace_order};
+use petsc_fun3d_repro::mesh::generator::BumpChannelSpec;
+use petsc_fun3d_repro::mesh::reorder::{EdgeOrdering, VertexOrdering};
+use petsc_fun3d_repro::sparse::layout::FieldLayout;
+
+fn main() {
+    let base = BumpChannelSpec::with_target_vertices(10_000).build();
+    println!("kernels on a {}-vertex mesh, R10000/Origin-2000 cache hierarchy\n", base.nverts());
+
+    // --- 1. The flux kernel's misses under good and bad orderings ---
+    println!("flux kernel (second order, 4 components):");
+    for (name, vord, eord, layout) in [
+        (
+            "original (colored edges, unordered vertices, segregated)",
+            VertexOrdering::Random(1),
+            EdgeOrdering::VectorColored,
+            FieldLayout::Segregated,
+        ),
+        (
+            "tuned (sorted edges, RCM vertices, interlaced)",
+            VertexOrdering::ReverseCuthillMcKee,
+            EdgeOrdering::VertexSorted,
+            FieldLayout::Interlaced,
+        ),
+    ] {
+        let mesh = apply_orderings(base.clone(), vord, eord);
+        let mut mem = MemoryHierarchy::origin2000();
+        let s = flux_edge_trace_order(mesh.edges(), mesh.nverts(), 4, layout, true, &mut mem);
+        println!(
+            "  {name}\n      TLB misses {:>9}   L2 misses {:>9}   L1 misses {:>9}",
+            s.tlb_misses, s.l2_misses, s.l1_misses
+        );
+    }
+
+    // --- 2. SpMV misses and the analytic bound ---
+    let mesh = apply_orderings(
+        base.clone(),
+        VertexOrdering::ReverseCuthillMcKee,
+        EdgeOrdering::VertexSorted,
+    );
+    let disc = petsc_fun3d_repro::euler::residual::Discretization::new(
+        &mesh,
+        FlowModel::incompressible(),
+        FieldLayout::Interlaced,
+        petsc_fun3d_repro::euler::residual::SpatialOrder::First,
+    );
+    let q = disc.initial_state();
+    let jac = disc.jacobian(&q);
+    let mut mem = MemoryHierarchy::origin2000();
+    let s = csr_spmv_trace(&jac, &mut mem);
+    println!(
+        "\nSpMV on the Jacobian ({} rows, {} nnz, bandwidth {}):",
+        jac.nrows(),
+        jac.nnz(),
+        jac.bandwidth()
+    );
+    println!(
+        "  simulated: {} L2 misses, {} TLB misses",
+        s.l2_misses, s.tlb_misses
+    );
+    println!(
+        "  Eq. 1 vs Eq. 2 predicted improvement from interlacing at this size: {:.0}x",
+        predicted_improvement(jac.nrows(), jac.bandwidth(), 64 * 1024, 16).min(1e6)
+    );
+
+    // --- 3. The bandwidth model: what SpMV can possibly run at ---
+    let stream = run_stream(2 * 1024 * 1024, 2);
+    println!("\nhost STREAM triad: {:.0} MB/s", stream.triad / 1e6);
+    let nb = jac.nrows() / 4;
+    let nblocks = jac.nnz() / 16; // approximate block count
+    let t_csr = csr_traffic(jac.nrows(), jac.nnz(), 1.2);
+    let t_bcsr = bcsr_traffic(nb, nblocks, 4, 1.2);
+    println!(
+        "  predicted SpMV Mflop/s on this host:  CSR {:.0}, BCSR(4) {:.0}",
+        predicted_mflops(jac.nnz(), &t_csr, stream.triad),
+        predicted_mflops(jac.nnz(), &t_bcsr, stream.triad)
+    );
+    for m in [MachineSpec::asci_red(), MachineSpec::origin2000()] {
+        println!(
+            "  predicted SpMV Mflop/s on {:<16}: CSR {:.0}, BCSR(4) {:.0}  (peak {:.0})",
+            m.name,
+            predicted_mflops(jac.nnz(), &t_csr, m.stream_bytes_per_s),
+            predicted_mflops(jac.nnz(), &t_bcsr, m.stream_bytes_per_s),
+            m.peak_flops_per_cpu() / 1e6
+        );
+    }
+    println!("\nThe point of Section 2: these kernels live at a small fraction of peak on every");
+    println!("machine — the lever is memory layout, not floating-point scheduling.");
+}

@@ -1,0 +1,67 @@
+//! Layout tuning walkthrough (the Table 1 story in miniature): measure the
+//! time per pseudo-timestep under each combination of the paper's three
+//! data-layout enhancements.
+//!
+//! ```sh
+//! cargo run --release --example layout_tuning
+//! ```
+
+use petsc_fun3d_repro::core::config::{CaseConfig, LayoutConfig};
+use petsc_fun3d_repro::core::driver::run_case;
+use petsc_fun3d_repro::euler::model::FlowModel;
+use petsc_fun3d_repro::euler::residual::SpatialOrder;
+use petsc_fun3d_repro::mesh::generator::BumpChannelSpec;
+use petsc_fun3d_repro::solver::gmres::GmresOptions;
+use petsc_fun3d_repro::solver::pseudo::{Forcing, PrecondSpec, PseudoTransientOptions};
+use petsc_fun3d_repro::sparse::ilu::IluOptions;
+
+fn main() {
+    let mesh = BumpChannelSpec::with_target_vertices(8_000);
+    println!("Euler flow over a bump, {} vertices; 3 timed steps per layout\n", mesh.nverts());
+    println!("interlace  block  reorder   time/step   speedup");
+
+    let mut baseline = None;
+    for (layout, flags) in LayoutConfig::table1_rows() {
+        let cfg = CaseConfig {
+            mesh,
+            model: FlowModel::incompressible(),
+            layout,
+            order: SpatialOrder::First,
+            nks: PseudoTransientOptions {
+                cfl0: 5.0,
+                cfl_exponent: 1.0,
+                cfl_max: 1e5,
+                max_steps: 3,
+                target_reduction: 0.0,
+                // Fixed linear work so layouts do identical arithmetic.
+                krylov: GmresOptions {
+                    restart: 20,
+                    rtol: 0.0,
+                    max_iters: 15,
+                    ..Default::default()
+                },
+                precond: PrecondSpec::Ilu(IluOptions::with_fill(0)),
+                second_order_switch: None,
+                matrix_free: false,
+                line_search: false,
+                bcsr_block: None,
+                forcing: Forcing::Constant,
+                pc_refresh: 1,
+            },
+        };
+        let report = run_case(&cfg);
+        let t = report.time_per_step();
+        let base = *baseline.get_or_insert(t);
+        let mark = |b: bool| if b { "yes" } else { "  -" };
+        println!(
+            "{:>9}  {:>5}  {:>7}   {:8.1} ms   {:6.2}x",
+            mark(flags[0]),
+            mark(flags[1]),
+            mark(flags[2]),
+            t * 1e3,
+            base / t
+        );
+    }
+    println!("\nThe paper's Table 1 reports up to 5.7x from the combination on a 1997 R10000;");
+    println!("modern prefetchers recover part of the gap, but the ranking should persist.");
+}

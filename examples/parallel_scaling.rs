@@ -1,0 +1,96 @@
+//! Distributed solve demo: partition the Euler Jacobian across message-
+//! passing ranks, solve with block-Jacobi/ILU GMRES, and decompose the
+//! parallel efficiency the way the paper's Table 3 does.
+//!
+//! Ranks are real threads exchanging real messages; alongside wall time,
+//! each rank advances a *simulated clock* on the ASCI Red machine model, so
+//! the run reports both what happened on this laptop and what it would cost
+//! on the paper's hardware.
+//!
+//! ```sh
+//! cargo run --release --example parallel_scaling
+//! ```
+
+use petsc_fun3d_repro::core::dist::parallel_block_jacobi_solve;
+use petsc_fun3d_repro::core::efficiency::{efficiency_table, ScalingPoint};
+use petsc_fun3d_repro::euler::model::FlowModel;
+use petsc_fun3d_repro::euler::residual::{Discretization, SpatialOrder};
+use petsc_fun3d_repro::memmodel::machine::MachineSpec;
+use petsc_fun3d_repro::mesh::generator::BumpChannelSpec;
+use petsc_fun3d_repro::partition::partition_kway;
+use petsc_fun3d_repro::solver::gmres::GmresOptions;
+use petsc_fun3d_repro::sparse::ilu::IluOptions;
+use petsc_fun3d_repro::sparse::layout::FieldLayout;
+
+fn main() {
+    let mesh = BumpChannelSpec::with_target_vertices(6_000).build();
+    let ncomp = 4usize;
+    let disc = Discretization::new(
+        &mesh,
+        FlowModel::incompressible(),
+        FieldLayout::Interlaced,
+        SpatialOrder::First,
+    );
+    let q = disc.initial_state();
+    let mut jac = disc.jacobian(&q);
+    let scale = disc.wavespeed_sums(&q);
+    let d: Vec<f64> = (0..mesh.nverts())
+        .flat_map(|v| std::iter::repeat(scale[v]).take(ncomp))
+        .collect();
+    jac.shift_diagonal_by(1.0 / 50.0, &d);
+    let n = jac.nrows();
+    let b: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) / 6.0).collect();
+    let graph = mesh.vertex_graph();
+    println!("distributed block-Jacobi GMRES on a {n}-unknown Euler Jacobian\n");
+
+    let machine = MachineSpec::asci_red();
+    let mut points = Vec::new();
+    println!("ranks   its   sim time   scatter bytes   sync wait (max rank)");
+    for p in [1usize, 2, 4, 8] {
+        let part = partition_kway(&graph, p, 3);
+        let owner: Vec<u32> = part
+            .part
+            .iter()
+            .flat_map(|&pp| std::iter::repeat(pp).take(ncomp))
+            .collect();
+        let report = parallel_block_jacobi_solve(
+            &jac,
+            &b,
+            &owner,
+            p,
+            &machine,
+            &IluOptions::with_fill(1),
+            &GmresOptions {
+                restart: 20,
+                rtol: 1e-8,
+                max_iters: 2000,
+                ..Default::default()
+            },
+        );
+        assert!(report.result.converged);
+        let max_sync = report
+            .breakdowns
+            .iter()
+            .map(|bd| bd.implicit_sync)
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:5}  {:4}   {:7.4}s   {:11.0}   {:.4}s",
+            p, report.result.iterations, report.sim_time, report.total_bytes_sent, max_sync
+        );
+        points.push(ScalingPoint {
+            nprocs: p,
+            its: report.result.iterations,
+            time: report.sim_time,
+        });
+    }
+
+    println!("\nefficiency decomposition (eta_overall = eta_alg x eta_impl):");
+    for row in efficiency_table(&points) {
+        println!(
+            "  p={:2}  speedup {:4.2}  overall {:4.2} = alg {:4.2} x impl {:4.2}",
+            row.nprocs, row.speedup, row.eta_overall, row.eta_alg, row.eta_impl
+        );
+    }
+    println!("\nThe algorithmic term (iteration growth with more Jacobi blocks) is what the");
+    println!("paper identifies as the dominant scalability limit of non-coarse-grid NKS.");
+}

@@ -1,0 +1,28 @@
+//! # petsc-fun3d-repro
+//!
+//! Root meta-crate of the Rust reproduction of Gropp, Kaushik, Keyes &
+//! Smith, *Performance Modeling and Tuning of an Unstructured Mesh CFD
+//! Application* (SC 2000).  It re-exports the workspace crates under short
+//! names so the examples and cross-crate integration tests read naturally:
+//!
+//! ```
+//! use petsc_fun3d_repro::mesh::generator::BumpChannelSpec;
+//! use petsc_fun3d_repro::euler::model::FlowModel;
+//!
+//! let mesh = BumpChannelSpec::with_dims(4, 3, 3).build();
+//! assert!(mesh.closure_residual() < 1e-10);
+//! assert_eq!(FlowModel::incompressible().ncomp(), 4);
+//! ```
+//!
+//! See the individual crates for the substance:
+//! [`mesh`], [`sparse`], [`partition`], [`memmodel`], [`comm`], [`euler`],
+//! [`solver`], and [`core`] (the application layer).
+
+pub use fun3d_comm as comm;
+pub use fun3d_core as core;
+pub use fun3d_euler as euler;
+pub use fun3d_memmodel as memmodel;
+pub use fun3d_mesh as mesh;
+pub use fun3d_partition as partition;
+pub use fun3d_solver as solver;
+pub use fun3d_sparse as sparse;

@@ -1,0 +1,109 @@
+//! Cross-crate property tests: invariants that hold across module
+//! boundaries, exercised with randomized inputs.
+
+use petsc_fun3d_repro::core::config::apply_orderings;
+use petsc_fun3d_repro::core::efficiency::{efficiency_table, ScalingPoint};
+use petsc_fun3d_repro::euler::field::FieldVec;
+use petsc_fun3d_repro::euler::model::FlowModel;
+use petsc_fun3d_repro::euler::residual::{Discretization, SpatialOrder};
+use petsc_fun3d_repro::mesh::generator::BumpChannelSpec;
+use petsc_fun3d_repro::mesh::reorder::{EdgeOrdering, VertexOrdering};
+use petsc_fun3d_repro::partition::{partition_fragmented, partition_kway, partition_pway};
+use petsc_fun3d_repro::sparse::layout::FieldLayout;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any vertex/edge ordering leaves mesh geometry intact.
+    #[test]
+    fn orderings_preserve_geometry(seed in 0u64..1000) {
+        let base = BumpChannelSpec::with_dims(6, 5, 4).build();
+        let mesh = apply_orderings(
+            base.clone(),
+            VertexOrdering::Random(seed),
+            EdgeOrdering::Random(seed.wrapping_add(1)),
+        );
+        prop_assert!((mesh.total_volume() - base.total_volume()).abs() < 1e-10);
+        prop_assert!(mesh.closure_residual() < 1e-10);
+        prop_assert_eq!(mesh.nedges(), base.nedges());
+        prop_assert_eq!(mesh.boundary_faces().len(), base.boundary_faces().len());
+    }
+
+    /// Every partitioner covers all vertices with nonempty parts.
+    #[test]
+    fn partitioners_cover(k in 2usize..12, seed in 0u64..100) {
+        let g = BumpChannelSpec::with_dims(8, 6, 5).build().vertex_graph();
+        for part in [
+            partition_kway(&g, k, seed),
+            partition_pway(&g, k, seed),
+            partition_fragmented(&g, k, 2, seed),
+        ] {
+            prop_assert_eq!(part.part.len(), g.n());
+            let sizes = part.sizes();
+            prop_assert!(sizes.iter().all(|&s| s > 0), "{:?}", sizes);
+            prop_assert_eq!(sizes.iter().sum::<usize>(), g.n());
+        }
+    }
+
+    /// The residual is layout- and ordering-invariant for arbitrary smooth
+    /// states (not just freestream).
+    #[test]
+    fn residual_invariant_under_layout(amp in 0.0f64..0.05) {
+        let mesh = BumpChannelSpec::with_dims(6, 5, 4).build();
+        let model = FlowModel::incompressible();
+        let di = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+        let ds = Discretization::new(&mesh, model, FieldLayout::Segregated, SpatialOrder::First);
+        let mut qi = di.initial_state();
+        for v in 0..mesh.nverts() {
+            let mut s = qi.get(v);
+            let x = mesh.coords()[v];
+            for c in 0..4 {
+                s[c] += amp * ((c + 1) as f64) * (x[0] + x[1] - x[2]).sin();
+            }
+            qi.set(v, &s);
+        }
+        let qs = qi.to_layout(FieldLayout::Segregated);
+        let mut ri = FieldVec::zeros(mesh.nverts(), 4, FieldLayout::Interlaced);
+        let mut rs = FieldVec::zeros(mesh.nverts(), 4, FieldLayout::Segregated);
+        let mut wi = di.workspace();
+        let mut wsx = ds.workspace();
+        di.residual(&qi, &mut ri, &mut wi);
+        ds.residual(&qs, &mut rs, &mut wsx);
+        for v in 0..mesh.nverts() {
+            let a = ri.get(v);
+            let b = rs.get(v);
+            for c in 0..4 {
+                prop_assert!((a[c] - b[c]).abs() < 1e-11, "v={} c={}", v, c);
+            }
+        }
+    }
+
+    /// eta_overall = eta_alg * eta_impl identically, for any positive series.
+    #[test]
+    fn efficiency_identity(times in proptest::collection::vec(1.0f64..100.0, 2..6)) {
+        let points: Vec<ScalingPoint> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| ScalingPoint {
+                nprocs: 16 << i,
+                its: 20 + i,
+                time: t,
+            })
+            .collect();
+        for row in efficiency_table(&points) {
+            prop_assert!((row.eta_overall - row.eta_alg * row.eta_impl).abs() < 1e-12);
+        }
+    }
+
+    /// Fragmented partitions never have fewer fragments than parts, and
+    /// plain k-way on a connected mesh has exactly one per part.
+    #[test]
+    fn fragmentation_ordering(k in 2usize..8) {
+        let g = BumpChannelSpec::with_dims(8, 6, 5).build().vertex_graph();
+        let qk = partition_kway(&g, k, 1).quality(&g);
+        let qf = partition_fragmented(&g, k, 2, 1).quality(&g);
+        prop_assert_eq!(qk.total_fragments, k);
+        prop_assert!(qf.total_fragments >= qk.total_fragments);
+    }
+}

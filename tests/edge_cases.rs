@@ -1,0 +1,168 @@
+//! Edge-case and robustness tests across the stack: degenerate sizes,
+//! trivial inputs, and boundary parameter values.
+
+use petsc_fun3d_repro::comm::world::run_world;
+use petsc_fun3d_repro::memmodel::machine::MachineSpec;
+use petsc_fun3d_repro::mesh::generator::BumpChannelSpec;
+use petsc_fun3d_repro::partition::{partition_kway, partition_pway};
+use petsc_fun3d_repro::solver::gmres::{gmres, GmresOptions};
+use petsc_fun3d_repro::solver::op::CsrOperator;
+use petsc_fun3d_repro::solver::precond::{IdentityPrecond, IluPrecond};
+use petsc_fun3d_repro::sparse::csr::CsrMatrix;
+use petsc_fun3d_repro::sparse::ilu::{IluFactors, IluOptions};
+use petsc_fun3d_repro::sparse::triplet::TripletMatrix;
+
+#[test]
+fn gmres_with_zero_rhs_returns_zero_in_zero_iterations() {
+    let a = CsrMatrix::identity(10);
+    let b = vec![0.0; 10];
+    let mut x = vec![0.0; 10];
+    let r = gmres(
+        &CsrOperator::new(&a),
+        &IdentityPrecond,
+        &b,
+        &mut x,
+        &GmresOptions::default(),
+    );
+    assert!(r.converged);
+    assert_eq!(r.iterations, 0);
+    assert!(x.iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn gmres_on_1x1_system() {
+    let mut t = TripletMatrix::new(1, 1);
+    t.push(0, 0, 4.0);
+    let a = t.to_csr();
+    let mut x = vec![0.0];
+    let r = gmres(
+        &CsrOperator::new(&a),
+        &IdentityPrecond,
+        &[8.0],
+        &mut x,
+        &GmresOptions {
+            rtol: 1e-12,
+            ..Default::default()
+        },
+    );
+    assert!(r.converged);
+    assert!((x[0] - 2.0).abs() < 1e-10);
+}
+
+#[test]
+fn ilu_of_identity_is_identity() {
+    let a = CsrMatrix::identity(25);
+    let f = IluFactors::factor(&a, &IluOptions::with_fill(2)).unwrap();
+    let b: Vec<f64> = (0..25).map(|i| i as f64).collect();
+    let mut x = vec![0.0; 25];
+    f.solve(&b, &mut x);
+    assert_eq!(x, b);
+    assert_eq!(f.nnz(), 25);
+}
+
+#[test]
+fn ilu_precond_on_diagonal_matrix_converges_in_one_iteration() {
+    let mut t = TripletMatrix::new(12, 12);
+    for i in 0..12 {
+        t.push(i, i, (i + 1) as f64);
+    }
+    let a = t.to_csr();
+    let pc = IluPrecond::factor(&a, &IluOptions::with_fill(0)).unwrap();
+    let b = vec![3.0; 12];
+    let mut x = vec![0.0; 12];
+    let r = gmres(
+        &CsrOperator::new(&a),
+        &pc,
+        &b,
+        &mut x,
+        &GmresOptions {
+            rtol: 1e-12,
+            ..Default::default()
+        },
+    );
+    assert!(r.converged);
+    assert!(r.iterations <= 1, "exact preconditioner: {r:?}");
+}
+
+#[test]
+fn minimal_mesh_dimensions_work() {
+    let m = BumpChannelSpec::with_dims(2, 2, 2).build();
+    assert_eq!(m.nverts(), 8);
+    assert_eq!(m.ntets(), 6);
+    assert!(m.closure_residual() < 1e-12);
+}
+
+#[test]
+fn partition_into_singletons() {
+    let g = BumpChannelSpec::with_dims(3, 3, 3).build().vertex_graph();
+    let n = g.n();
+    let pk = partition_kway(&g, n, 1);
+    let pp = partition_pway(&g, n, 1);
+    for p in [pk, pp] {
+        let sizes = p.sizes();
+        assert!(sizes.iter().all(|&s| s == 1), "{sizes:?}");
+    }
+}
+
+#[test]
+fn world_of_one_rank_collectives_are_identity() {
+    let out = run_world(1, &MachineSpec::origin2000(), |rank| {
+        let s = rank.allreduce_sum(&[1.5, -2.5]);
+        let m = rank.allreduce_max_scalar(7.0);
+        rank.barrier();
+        (s, m)
+    });
+    assert_eq!(out[0].0, vec![1.5, -2.5]);
+    assert_eq!(out[0].1, 7.0);
+}
+
+#[test]
+fn empty_matrix_rows_are_tolerated_by_spmv() {
+    // A matrix with empty rows (no entries at all in row 1).
+    let mut t = TripletMatrix::new(3, 3);
+    t.push(0, 0, 1.0);
+    t.push(2, 2, 1.0);
+    let a = t.to_csr();
+    let mut y = vec![9.0; 3];
+    a.spmv(&[1.0, 2.0, 3.0], &mut y);
+    assert_eq!(y, vec![1.0, 0.0, 3.0]);
+}
+
+#[test]
+fn bcsr_of_identity_roundtrips() {
+    use petsc_fun3d_repro::sparse::bcsr::BcsrMatrix;
+    let a = CsrMatrix::identity(12);
+    for b in [1usize, 2, 3, 4, 6] {
+        let ab = BcsrMatrix::from_csr(&a, b);
+        let back = ab.to_csr();
+        for i in 0..12 {
+            assert_eq!(back.get(i, i), 1.0, "b={b}");
+        }
+    }
+}
+
+#[test]
+fn zero_jitter_zero_grading_mesh_is_uniform() {
+    let mut spec = BumpChannelSpec::with_dims(4, 4, 4);
+    spec.jitter = 0.0;
+    spec.grading = 0.0;
+    spec.bump_height = 0.0;
+    let m = spec.build();
+    // All cells identical: dual volumes take few distinct values and the
+    // total is the box volume.
+    let expected = spec.length * spec.span * spec.height;
+    assert!((m.total_volume() - expected).abs() < 1e-10);
+}
+
+#[test]
+fn cache_with_single_set_is_fully_associative() {
+    use petsc_fun3d_repro::memmodel::cache::{CacheConfig, SetAssocCache};
+    let mut c = SetAssocCache::new(CacheConfig::fully_associative(256, 32));
+    // 8 lines capacity: 8 distinct lines all fit.
+    for i in 0..8u64 {
+        c.access(i * 32);
+    }
+    for i in 0..8u64 {
+        assert!(c.access(i * 32), "line {i} must still be resident");
+    }
+}
