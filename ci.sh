@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, test, lint, format. Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+cargo fmt --check
+
+echo "ci: all checks passed"

@@ -16,8 +16,16 @@ fn bench_flux(c: &mut Criterion) {
     let base = BumpChannelSpec::with_target_vertices(15_000).build();
     let mut group = c.benchmark_group("flux");
     let configs = [
-        ("tuned", VertexOrdering::ReverseCuthillMcKee, EdgeOrdering::VertexSorted),
-        ("colored", VertexOrdering::Random(7), EdgeOrdering::VectorColored),
+        (
+            "tuned",
+            VertexOrdering::ReverseCuthillMcKee,
+            EdgeOrdering::VertexSorted,
+        ),
+        (
+            "colored",
+            VertexOrdering::Random(7),
+            EdgeOrdering::VectorColored,
+        ),
     ];
     for (name, vord, eord) in configs {
         let mesh = apply_orderings(base.clone(), vord, eord);

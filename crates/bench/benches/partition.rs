@@ -7,16 +7,14 @@ use fun3d_mesh::reorder::rcm;
 use fun3d_partition::{partition_fragmented, partition_kway, partition_pway, refine_boundary};
 
 fn bench_partition(c: &mut Criterion) {
-    let g = BumpChannelSpec::with_target_vertices(12_000).build().vertex_graph();
+    let g = BumpChannelSpec::with_target_vertices(12_000)
+        .build()
+        .vertex_graph();
     let mut group = c.benchmark_group("partition");
     group.sample_size(10);
     for k in [8usize, 32] {
-        group.bench_function(format!("kway-{k}"), |b| {
-            b.iter(|| partition_kway(&g, k, 1))
-        });
-        group.bench_function(format!("pway-{k}"), |b| {
-            b.iter(|| partition_pway(&g, k, 1))
-        });
+        group.bench_function(format!("kway-{k}"), |b| b.iter(|| partition_kway(&g, k, 1)));
+        group.bench_function(format!("pway-{k}"), |b| b.iter(|| partition_pway(&g, k, 1)));
         group.bench_function(format!("fragmented-{k}"), |b| {
             b.iter(|| partition_fragmented(&g, k, 2, 1))
         });
@@ -32,7 +30,9 @@ fn bench_partition(c: &mut Criterion) {
 }
 
 fn bench_rcm(c: &mut Criterion) {
-    let g = BumpChannelSpec::with_target_vertices(12_000).build().vertex_graph();
+    let g = BumpChannelSpec::with_target_vertices(12_000)
+        .build()
+        .vertex_graph();
     let mut group = c.benchmark_group("ordering");
     group.sample_size(10);
     group.bench_function("rcm", |b| b.iter(|| rcm(&g)));

@@ -54,7 +54,14 @@ fn base_nks() -> PseudoTransientOptions {
 fn main() {
     let args = BenchArgs::parse(0.3);
     let spec = args.family_spec(MeshFamily::Small);
-    println!("Ablations on {} vertices (scale {:.2})", spec.nverts(), args.scale);
+    println!(
+        "Ablations on {} vertices (scale {:.2})",
+        spec.nverts(),
+        args.scale
+    );
+    let mut perf = fun3d_telemetry::report::PerfReport::new("ablations")
+        .with_meta("nverts", spec.nverts().to_string());
+    args.annotate(&mut perf);
 
     // --- 1. Restart dimension ---
     let mut rows = Vec::new();
@@ -68,6 +75,11 @@ fn main() {
         };
         cfg.nks.krylov.restart = restart;
         let r = run_case(&cfg);
+        perf.push_metric(format!("restart{restart}_steps"), r.history.nsteps() as f64);
+        perf.push_metric(
+            format!("restart{restart}_linear_its"),
+            r.history.total_linear_iters() as f64,
+        );
         rows.push(vec![
             restart.to_string(),
             r.history.nsteps().to_string(),
@@ -158,7 +170,12 @@ fn main() {
         ("random", VertexOrdering::Random(11)),
     ] {
         let mesh = apply_orderings(base_mesh.clone(), vord, EdgeOrdering::VertexSorted);
-        let jac = representative_jacobian(&mesh, FlowModel::incompressible(), FieldLayout::Interlaced, 50.0);
+        let jac = representative_jacobian(
+            &mesh,
+            FlowModel::incompressible(),
+            FieldLayout::Interlaced,
+            50.0,
+        );
         let n = jac.nrows();
         let rhs = vec![1.0; n];
         let pc = IluPrecond::factor(&jac, &IluOptions::with_fill(0)).unwrap();
@@ -190,7 +207,12 @@ fn main() {
 
     // --- 5. RASM vs classic ASM ---
     let graph = base_mesh.vertex_graph();
-    let jac = representative_jacobian(&base_mesh, FlowModel::incompressible(), FieldLayout::Interlaced, 50.0);
+    let jac = representative_jacobian(
+        &base_mesh,
+        FlowModel::incompressible(),
+        FieldLayout::Interlaced,
+        50.0,
+    );
     let n = jac.nrows();
     let rhs = vec![1.0; n];
     let part = partition_kway(&graph, 8, 3);
@@ -249,7 +271,12 @@ fn main() {
         };
         cfg.nks.pc_refresh = refresh;
         let r = run_case(&cfg);
-        let (_, _, t_pc, _) = r.history.phase_times();
+        let t_pc = r.history.phases().precond;
+        perf.push_metric(format!("refresh{refresh}_pc_setup_s"), t_pc);
+        perf.push_metric(
+            format!("refresh{refresh}_linear_its"),
+            r.history.total_linear_iters() as f64,
+        );
         rows.push(vec![
             refresh.to_string(),
             r.history.nsteps().to_string(),
@@ -261,9 +288,17 @@ fn main() {
     }
     print_table(
         "Ablation 6: preconditioner refresh frequency (rebuild every k steps)",
-        &["refresh", "steps", "linear its", "PC setup time", "total time", "converged"],
+        &[
+            "refresh",
+            "steps",
+            "linear its",
+            "PC setup time",
+            "total time",
+            "converged",
+        ],
         &rows,
     );
     println!("\nLagging trades factorization time for Krylov iterations — the 'refresh");
     println!("frequency for Jacobian preconditioner' knob of the paper's Newton list.");
+    args.emit_report(&perf);
 }

@@ -15,7 +15,7 @@ use fun3d_core::scaling::{Calibration, FixedSizeModel, ProblemShape};
 use fun3d_memmodel::machine::MachineSpec;
 
 fn main() {
-    let _args = BenchArgs::parse(1.0);
+    let args = BenchArgs::parse(1.0);
     let model = FixedSizeModel {
         machine: MachineSpec::asci_red(),
         shape: ProblemShape::large_euler(),
@@ -73,8 +73,24 @@ fn main() {
             time: p2048.time,
         },
     );
-    println!("\nImplementation efficiency per step, 256 -> 2048 nodes: {:.0}% (paper: 91%)", eff * 100.0);
-    println!("Gflop/s at 3072 nodes: {:.0} (paper: ~227 with 2 CPUs/node on the flux phase,", pts.last().unwrap().gflops);
+    println!(
+        "\nImplementation efficiency per step, 256 -> 2048 nodes: {:.0}% (paper: 91%)",
+        eff * 100.0
+    );
+    println!(
+        "Gflop/s at 3072 nodes: {:.0} (paper: ~227 with 2 CPUs/node on the flux phase,",
+        pts.last().unwrap().gflops
+    );
     println!("~120 single-threaded; this model charges one CPU per node — see table5 for the");
     println!("multithreaded flux phase).");
+
+    let mut perf =
+        fun3d_telemetry::report::PerfReport::new("figure1").with_meta("machine", "asci_red");
+    args.annotate(&mut perf);
+    perf.push_metric("eta_impl_per_step_256_2048", eff);
+    for p in &pts {
+        perf.push_metric(format!("time_s_p{}", p.nprocs), p.time);
+        perf.push_metric(format!("gflops_p{}", p.nprocs), p.gflops);
+    }
+    args.emit_report(&perf);
 }

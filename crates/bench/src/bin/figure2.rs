@@ -15,7 +15,7 @@ use fun3d_core::scaling::{Calibration, FixedSizeModel, ProblemShape};
 use fun3d_memmodel::machine::MachineSpec;
 
 fn main() {
-    let _args = BenchArgs::parse(1.0);
+    let args = BenchArgs::parse(1.0);
     let machines = [
         MachineSpec::asci_red(),
         MachineSpec::asci_blue_pacific(),
@@ -55,16 +55,42 @@ fn main() {
     }
     print_table(
         "Figure 2a: aggregate Gflop/s vs nodes",
-        &["Nodes", "ASCI Red", "Blue Pacific", "Cray T3E", "ideal (Red)"],
+        &[
+            "Nodes",
+            "ASCI Red",
+            "Blue Pacific",
+            "Cray T3E",
+            "ideal (Red)",
+        ],
         &gflop_rows,
     );
     print_table(
         "Figure 2b: execution time vs nodes",
-        &["Nodes", "ASCI Red", "Blue Pacific", "Cray T3E", "ideal (Red)"],
+        &[
+            "Nodes",
+            "ASCI Red",
+            "Blue Pacific",
+            "Cray T3E",
+            "ideal (Red)",
+        ],
         &time_rows,
     );
     println!("\nShape to check: Gflop/s nearly linear on Red but time above the ideal line");
     println!("(growing redundant work); T3E fastest per node on the bandwidth-bound solve;");
     println!("Blue Pacific limited by its interconnect; T3E/Blue curves stop at their");
     println!("machine sizes (1024/1464 nodes) as in the paper.");
+
+    let mut perf = fun3d_telemetry::report::PerfReport::new("figure2");
+    args.annotate(&mut perf);
+    for (m, model) in machines.iter().zip(&models) {
+        for &p in &procs {
+            if p > m.max_nodes {
+                continue;
+            }
+            let pt = model.predict(p);
+            perf.push_metric(format!("gflops_{}_p{p}", m.name), pt.gflops);
+            perf.push_metric(format!("time_s_{}_p{p}", m.name), pt.time);
+        }
+    }
+    args.emit_report(&perf);
 }

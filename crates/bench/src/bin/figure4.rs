@@ -36,7 +36,12 @@ fn main() {
         args.scale
     );
 
-    let jac = representative_jacobian(&mesh, FlowModel::incompressible(), FieldLayout::Interlaced, 50.0);
+    let jac = representative_jacobian(
+        &mesh,
+        FlowModel::incompressible(),
+        FieldLayout::Interlaced,
+        50.0,
+    );
     let n = jac.nrows();
     let rhs: Vec<f64> = (0..n).map(|i| ((i % 11) as f64 - 5.0) / 5.0).collect();
     let graph = mesh.vertex_graph();
@@ -63,7 +68,8 @@ fn main() {
                 owned_sets[pp as usize].push(v * ncomp + c);
             }
         }
-        let pc = AdditiveSchwarz::block_jacobi(&jac, &owned_sets, &IluOptions::with_fill(0)).unwrap();
+        let pc =
+            AdditiveSchwarz::block_jacobi(&jac, &owned_sets, &IluOptions::with_fill(0)).unwrap();
         let mut x = vec![0.0; n];
         let t0 = std::time::Instant::now();
         let res = gmres(&CsrOperator::new(&jac), &pc, &rhs, &mut x, &opts);
@@ -81,12 +87,22 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut base: Option<(f64, f64)> = None;
+    let mut perf = fun3d_telemetry::report::PerfReport::new("figure4")
+        .with_meta("machine", "cray_t3e")
+        .with_meta("nverts", mesh.nverts().to_string());
+    args.annotate(&mut perf);
     for &p in &procs {
         let (its_k, t_k, frag_k, imb_k) = run(&partition_kway(&graph, p, 3));
         let (its_p, t_p, frag_p, imb_p) = run(&partition_fragmented(&graph, p, 2, 3));
         // Common reference (the k-way base time), as in the paper's figure
         // where both curves are normalized at 128 processors.
         let (b_k, _b_p) = *base.get_or_insert((t_k, t_p));
+        perf.push_metric(format!("its_kway_p{p}"), its_k as f64);
+        perf.push_metric(format!("its_pway_p{p}"), its_p as f64);
+        perf.push_metric(format!("time_kway_p{p}"), t_k);
+        perf.push_metric(format!("time_pway_p{p}"), t_p);
+        perf.push_metric(format!("fragments_pway_p{p}"), frag_p as f64);
+        perf.push_metric(format!("imbalance_kway_p{p}"), imb_k);
         rows.push(vec![
             p.to_string(),
             format!("{:.2}", b_k / t_k),
@@ -117,4 +133,5 @@ fn main() {
     println!("\nPaper shape to check: the k-partitioner scales better at large subdomain");
     println!("counts even though the p-partitioner balances perfectly — fragmentation");
     println!("means more effective blocks and slower convergence.");
+    args.emit_report(&perf);
 }

@@ -102,4 +102,13 @@ fn main() {
     );
     println!("\nPaper shape to check: every curve eventually turns superlinear; small initial");
     println!("CFL suffers a long induction phase; the most aggressive CFL converges first.");
+
+    let mut perf = fun3d_telemetry::report::PerfReport::new("figure5")
+        .with_meta("nverts", mesh_spec.nverts().to_string());
+    args.annotate(&mut perf);
+    for (cfl0, h) in cfl0s.iter().zip(&histories) {
+        perf.push_metric(format!("steps_cfl{cfl0}"), h.nsteps() as f64);
+        perf.push_metric(format!("reduction_cfl{cfl0}"), h.reduction());
+    }
+    args.emit_report(&perf);
 }

@@ -52,6 +52,8 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut perf = fun3d_telemetry::report::PerfReport::new("miss_bounds");
+    args.annotate(&mut perf);
     // beta values chosen away from the exact capacity boundary (C = 4096
     // dwords), where the bound's step function is trivially fuzzy.
     for beta in [1_000usize, 2_500, 8_000, 16_000, 30_000] {
@@ -77,12 +79,20 @@ fn main() {
         let tlb_compulsory = (n * 8) as u64 / page as u64 + 1;
         let tlb_excess = tlb.misses().saturating_sub(tlb_compulsory);
         let tlb_bound = tlb_miss_bound_banded(n, beta, tlb_entries, page / 8);
+        perf.push_metric(format!("l1_excess_beta{beta}"), excess as f64);
+        perf.push_metric(format!("l1_bound_beta{beta}"), bound as f64);
+        perf.push_metric(format!("tlb_excess_beta{beta}"), tlb_excess as f64);
+        perf.push_metric(format!("tlb_bound_beta{beta}"), tlb_bound as f64);
         rows.push(vec![
             beta.to_string(),
             excess.to_string(),
             bound.to_string(),
             if bound == 0 {
-                if excess < n as u64 / 10 { "ok (≈0)" } else { "VIOLATED" }
+                if excess < n as u64 / 10 {
+                    "ok (≈0)"
+                } else {
+                    "VIOLATED"
+                }
             } else if excess <= bound {
                 "ok"
             } else {
@@ -92,7 +102,11 @@ fn main() {
             tlb_excess.to_string(),
             tlb_bound.to_string(),
             if tlb_bound == 0 {
-                if tlb_excess < n as u64 / 10 { "ok (≈0)" } else { "VIOLATED" }
+                if tlb_excess < n as u64 / 10 {
+                    "ok (≈0)"
+                } else {
+                    "VIOLATED"
+                }
             } else if tlb_excess <= tlb_bound {
                 "ok"
             } else {
@@ -117,4 +131,5 @@ fn main() {
     println!("\nThe bound is loose by design (it counts every out-of-cache row reference as a");
     println!("miss); what matters is that measured conflict misses stay below it and hit ~0");
     println!("once beta fits in the cache / TLB reach — the regime interlacing + RCM buys.");
+    args.emit_report(&perf);
 }

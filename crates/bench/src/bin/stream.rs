@@ -38,10 +38,7 @@ fn main() {
             m.name.to_string(),
             format!("{:.0}", m.stream_bytes_per_s / 1e6),
             format!("{:.0}", m.peak_flops_per_cpu() / 1e6),
-            format!(
-                "{:.2}",
-                m.stream_bytes_per_s / 8.0 / m.peak_flops_per_cpu()
-            ),
+            format!("{:.2}", m.stream_bytes_per_s / 8.0 / m.peak_flops_per_cpu()),
         ]
     })
     .collect();
@@ -53,4 +50,13 @@ fn main() {
     println!("\nThe paper's point: sparse kernels need ~1 double of memory traffic per flop,");
     println!("but every machine above sustains only ~0.1-0.25 — so SpMV and triangular solves");
     println!("run at a small fraction of peak no matter how well scheduled.");
+
+    let mut perf = fun3d_telemetry::report::PerfReport::new("stream")
+        .with_meta("array_doubles", r.n.to_string());
+    args.annotate(&mut perf);
+    perf.push_metric("copy_bytes_per_s", r.copy);
+    perf.push_metric("scale_bytes_per_s", r.scale);
+    perf.push_metric("add_bytes_per_s", r.add);
+    perf.push_metric("triad_bytes_per_s", r.triad);
+    args.emit_report(&perf);
 }

@@ -111,4 +111,15 @@ fn main() {
     println!("compressible 1.00 / 2.44 / 3.25 / 2.37 / 3.92 / 5.71.");
     println!("(Absolute times differ — modern cache hierarchies are far more forgiving than a");
     println!("1997 R10000 — but every enhancement must still help, and the combined row wins.)");
+
+    let mut perf = fun3d_telemetry::report::PerfReport::new("table1")
+        .with_meta("nverts", spec.nverts().to_string());
+    args.annotate(&mut perf);
+    for (mi, model) in ["inc", "comp"].iter().enumerate() {
+        for (i, t) in results[mi].iter().enumerate() {
+            perf.push_metric(format!("time_per_step_{model}_row{i}"), *t);
+            perf.push_metric(format!("ratio_{model}_row{i}"), results[mi][0] / t);
+        }
+    }
+    args.emit_report(&perf);
 }

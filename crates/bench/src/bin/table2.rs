@@ -37,7 +37,12 @@ fn main() {
         args.scale
     );
 
-    let jac = representative_jacobian(&mesh, FlowModel::incompressible(), FieldLayout::Interlaced, 50.0);
+    let jac = representative_jacobian(
+        &mesh,
+        FlowModel::incompressible(),
+        FieldLayout::Interlaced,
+        50.0,
+    );
     let n = jac.nrows();
     let b_rhs: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) / 6.0).collect();
     let graph = mesh.vertex_graph();
@@ -85,7 +90,10 @@ fn main() {
         };
         let mut iters = [0usize; 2];
         let mut factor_bytes = [0usize; 2];
-        for (si, storage) in [PrecStorage::Double, PrecStorage::Single].iter().enumerate() {
+        for (si, storage) in [PrecStorage::Double, PrecStorage::Single]
+            .iter()
+            .enumerate()
+        {
             let ilu = IluOptions {
                 fill_level: 0,
                 storage: *storage,
@@ -149,7 +157,22 @@ fn main() {
         ],
         &rows,
     );
-    println!("\nPaper: Linear solve 223/136s (16p) ... 31/16s (120p); overall 746/657s ... 122/106s.");
+    println!(
+        "\nPaper: Linear solve 223/136s (16p) ... 31/16s (120p); overall 746/657s ... 122/106s."
+    );
     println!("Key claims to check: solve-phase ratio ~2x from storage precision alone; iteration");
     println!("counts identical between precisions (the preconditioner is approximate by design).");
+
+    let mut perf = fun3d_telemetry::report::PerfReport::new("table2")
+        .with_meta("machine", "origin2000")
+        .with_meta("nverts", mesh.nverts().to_string());
+    args.annotate(&mut perf);
+    perf.push_metric("trisolve_f32_speedup", ratio);
+    for pt in &points {
+        perf.push_metric(format!("solve_dbl_p{}", pt.p), pt.t_double);
+        perf.push_metric(format!("solve_sgl_p{}", pt.p), pt.t_single);
+        perf.push_metric(format!("its_dbl_p{}", pt.p), pt.its[0] as f64);
+        perf.push_metric(format!("its_sgl_p{}", pt.p), pt.its[1] as f64);
+    }
+    args.emit_report(&perf);
 }

@@ -35,7 +35,12 @@ fn main() {
         args.scale
     );
 
-    let jac = representative_jacobian(&mesh, FlowModel::incompressible(), FieldLayout::Interlaced, 50.0);
+    let jac = representative_jacobian(
+        &mesh,
+        FlowModel::incompressible(),
+        FieldLayout::Interlaced,
+        50.0,
+    );
     let n = jac.nrows();
     let rhs: Vec<f64> = (0..n).map(|i| ((i % 17) as f64 - 8.0) / 8.0).collect();
     let graph = mesh.vertex_graph();
@@ -48,6 +53,10 @@ fn main() {
         ..Default::default()
     };
 
+    let mut perf = fun3d_telemetry::report::PerfReport::new("table4")
+        .with_meta("machine", "asci_red")
+        .with_meta("nverts", mesh.nverts().to_string());
+    args.annotate(&mut perf);
     for fill in [0usize, 1, 2] {
         let mut rows = Vec::new();
         for &p in &[16usize, 32, 64] {
@@ -76,12 +85,14 @@ fn main() {
                 // exchanged volume and the setup traffic).
                 let comm_per_it = 6.0 * machine.net_latency_s * (1.0 + overlap as f64);
                 let t = (setup_time + solve_time) / p as f64 + res.iterations as f64 * comm_per_it;
+                perf.push_metric(format!("time_f{fill}_p{p}_ov{overlap}"), t);
+                perf.push_metric(
+                    format!("its_f{fill}_p{p}_ov{overlap}"),
+                    res.iterations as f64,
+                );
                 cells.push((t, res.iterations));
             }
-            let best = cells
-                .iter()
-                .map(|&(t, _)| t)
-                .fold(f64::INFINITY, f64::min);
+            let best = cells.iter().map(|&(t, _)| t).fold(f64::INFINITY, f64::min);
             let fmt_cell = |(t, its): (f64, usize)| {
                 let star = if t == best { "*" } else { "" };
                 (format!("{t:.2}s{star}"), its.to_string())
@@ -114,4 +125,5 @@ fn main() {
     println!("\nPaper shape to check: iterations fall with overlap and with fill; time per");
     println!("iteration rises with both; zero overlap wins at the larger processor counts,");
     println!("and ILU(1) gives the best overall times (the paper's new default).");
+    args.emit_report(&perf);
 }

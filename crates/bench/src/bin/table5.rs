@@ -107,7 +107,9 @@ fn main() {
             }
         });
     });
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("\nHost measurements of one flux evaluation ({host_cpus} host CPU(s) available —");
     println!("with a single CPU the threaded variants cannot show real speedup; the");
     println!("measurement then only exposes the private-array/duplication overheads):");
@@ -133,7 +135,8 @@ fn main() {
     let flux_flops_per_edge = 400.0;
     let eff = 0.13;
     // Interface fraction at s subdomains of N vertices (edges cut / total).
-    let cut_fraction = |s: f64| (2.7 * s.powf(0.47) * 2.8e6f64.powf(2.0 / 3.0) / shape_edges).min(0.5);
+    let cut_fraction =
+        |s: f64| (2.7 * s.powf(0.47) * 2.8e6f64.powf(2.0 / 3.0) / shape_edges).min(0.5);
     let mut rows = Vec::new();
     for &nodes in &[256usize, 2560, 3072] {
         let per_cpu_flops = |subdomains: f64, cpus: f64| {
@@ -169,4 +172,16 @@ fn main() {
     );
     println!("\nPaper: 256 nodes: 483/261 vs 456/258 (MPI slightly ahead); 2560: 76/39 vs 72/45");
     println!("and 3072: 66/33 vs 62/40 (hybrid ahead — doubling subdomains costs more at scale).");
+
+    let mut perf = fun3d_telemetry::report::PerfReport::new("table5")
+        .with_meta("machine", "asci_red")
+        .with_meta("nverts", mesh.nverts().to_string());
+    args.annotate(&mut perf);
+    perf.push_metric("flux_1thread_s", t1);
+    perf.push_metric("flux_2thread_omp_s", t2_omp);
+    perf.push_metric("flux_2proc_mpi_s", t2_mpi);
+    perf.push_metric("omp_speedup", t1 / t2_omp);
+    perf.push_metric("mpi_speedup", t1 / t2_mpi);
+    perf.push_metric("cut_edge_fraction", duplicated as f64 / nedges as f64);
+    args.emit_report(&perf);
 }

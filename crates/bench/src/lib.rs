@@ -12,46 +12,103 @@ use fun3d_mesh::generator::{BumpChannelSpec, MeshFamily};
 use fun3d_mesh::tet::TetMesh;
 use fun3d_sparse::csr::CsrMatrix;
 use fun3d_sparse::layout::FieldLayout;
+use fun3d_telemetry::report::PerfReport;
+use fun3d_telemetry::Snapshot;
 
 /// Command-line options shared by the regenerators.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// Fraction of the paper's vertex count to use.
     pub scale: f64,
     /// Number of measured pseudo-timesteps (where applicable).
     pub steps: usize,
+    /// Write a `fun3d-perf/1` JSON report here (`--json <path>`).
+    pub json: Option<String>,
+    /// Write a chrome-trace JSON here (`--trace <path>`); only bins that
+    /// record per-rank trace events honor it.
+    pub trace: Option<String>,
 }
 
 impl BenchArgs {
-    /// Parse from `std::env::args`: `--scale <f>`, `--full`, `--steps <n>`.
+    /// Parse from `std::env::args`: `--scale <f>`, `--full`, `--steps <n>`,
+    /// `--json <path>`, `--trace <path>`.
     pub fn parse(default_scale: f64) -> Self {
-        let mut scale = default_scale;
-        let mut steps = 3;
+        let mut out = Self {
+            scale: default_scale,
+            steps: 3,
+            json: None,
+            trace: None,
+        };
         let args: Vec<String> = std::env::args().collect();
+        let value = |i: usize, flag: &str| -> &String {
+            args.get(i)
+                .unwrap_or_else(|| panic!("{flag} expects a value"))
+        };
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
                 "--scale" => {
                     i += 1;
-                    scale = args[i].parse().expect("--scale expects a number");
+                    out.scale = value(i, "--scale")
+                        .parse()
+                        .expect("--scale expects a number");
                 }
-                "--full" => scale = 1.0,
+                "--full" => out.scale = 1.0,
                 "--steps" => {
                     i += 1;
-                    steps = args[i].parse().expect("--steps expects an integer");
+                    out.steps = value(i, "--steps")
+                        .parse()
+                        .expect("--steps expects an integer");
                 }
-                other => panic!("unknown argument: {other} (expected --scale/--full/--steps)"),
+                "--json" => {
+                    i += 1;
+                    out.json = Some(value(i, "--json").clone());
+                }
+                "--trace" => {
+                    i += 1;
+                    out.trace = Some(value(i, "--trace").clone());
+                }
+                other => panic!(
+                    "unknown argument: {other} (expected --scale/--full/--steps/--json/--trace)"
+                ),
             }
             i += 1;
         }
-        assert!(scale > 0.0 && scale <= 4.0, "scale out of range");
-        Self { scale, steps }
+        assert!(out.scale > 0.0 && out.scale <= 4.0, "scale out of range");
+        out
     }
 
     /// A mesh spec for the given paper family, scaled by `self.scale`.
     pub fn family_spec(&self, family: MeshFamily) -> BumpChannelSpec {
         let target = (family.paper_vertices() as f64 * self.scale) as usize;
         BumpChannelSpec::with_target_vertices(target.max(500))
+    }
+
+    /// Stamp the shared CLI context into `report` (scale, steps).
+    pub fn annotate(&self, report: &mut PerfReport) {
+        report
+            .meta
+            .push(("scale".into(), format!("{}", self.scale)));
+        report.meta.push(("steps".into(), self.steps.to_string()));
+    }
+
+    /// Write `report` to the `--json` path when one was given.
+    pub fn emit_report(&self, report: &PerfReport) {
+        if let Some(path) = &self.json {
+            report
+                .write_json(path)
+                .expect("writing --json report failed");
+            println!("\nwrote perf report to {path}");
+        }
+    }
+
+    /// Write a chrome trace of `snaps` to the `--trace` path when given.
+    pub fn emit_trace(&self, snaps: &[Snapshot]) {
+        if let Some(path) = &self.trace {
+            std::fs::write(path, fun3d_telemetry::chrome_trace(snaps))
+                .expect("writing --trace chrome trace failed");
+            println!("wrote chrome trace to {path}");
+        }
     }
 }
 
@@ -108,10 +165,8 @@ pub fn perturbed_state(disc: &Discretization, amplitude: f64) -> FieldVec {
         let x = mesh.coords()[v];
         let mut s = q.get(v);
         for c in 0..disc.ncomp() {
-            s[c] += amplitude
-                * ((c + 1) as f64)
-                * (1.3 * x[0] + 0.7 * x[1]).sin()
-                * (0.9 * x[2]).cos();
+            s[c] +=
+                amplitude * ((c + 1) as f64) * (1.3 * x[0] + 0.7 * x[1]).sin() * (0.9 * x[2]).cos();
         }
         q.set(v, &s);
     }
@@ -174,6 +229,7 @@ mod tests {
         let args = BenchArgs {
             scale: 0.1,
             steps: 3,
+            ..Default::default()
         };
         let spec = args.family_spec(MeshFamily::Small);
         let got = spec.nverts() as f64;

@@ -8,6 +8,7 @@
 //! decomposition can be reported for any run.
 
 use fun3d_memmodel::machine::MachineSpec;
+use fun3d_telemetry::{Registry, TimeDomain};
 
 /// Accumulated simulated time by category (seconds).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -23,24 +24,69 @@ pub struct PhaseBreakdown {
     pub implicit_sync: f64,
 }
 
+/// Overhead categories as percentages of total simulated time, in Table 3's
+/// taxonomy.  Named replacement for the old bare `(f64, f64, f64)` tuple,
+/// whose field order was easy to get wrong at call sites.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OverheadShares {
+    /// Global reductions, % of total time.
+    pub reductions_pct: f64,
+    /// Implicit synchronizations (imbalance waits), % of total time.
+    pub implicit_sync_pct: f64,
+    /// Ghost-point scatters, % of total time.
+    pub scatters_pct: f64,
+}
+
+impl OverheadShares {
+    /// Sum of all overhead categories (100 − compute share).
+    pub fn total_pct(&self) -> f64 {
+        self.reductions_pct + self.implicit_sync_pct + self.scatters_pct
+    }
+}
+
 impl PhaseBreakdown {
     /// Total accounted time.
     pub fn total(&self) -> f64 {
         self.compute + self.scatter + self.reduction + self.implicit_sync
     }
 
-    /// Percentage of total spent in each non-compute category, in the order
-    /// Table 3 reports them: (reductions, implicit syncs, scatters).
-    pub fn overhead_percentages(&self) -> (f64, f64, f64) {
+    /// Percentage of total time spent in each non-compute category, with
+    /// Table 3's names attached.
+    pub fn overhead_shares(&self) -> OverheadShares {
         let t = self.total();
         if t == 0.0 {
-            return (0.0, 0.0, 0.0);
+            return OverheadShares::default();
         }
-        (
-            100.0 * self.reduction / t,
-            100.0 * self.implicit_sync / t,
-            100.0 * self.scatter / t,
-        )
+        OverheadShares {
+            reductions_pct: 100.0 * self.reduction / t,
+            implicit_sync_pct: 100.0 * self.implicit_sync / t,
+            scatters_pct: 100.0 * self.scatter / t,
+        }
+    }
+
+    /// Percentage of total spent in each non-compute category, in the order
+    /// Table 3 reports them: (reductions, implicit syncs, scatters).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `overhead_shares()`, which names the fields"
+    )]
+    pub fn overhead_percentages(&self) -> (f64, f64, f64) {
+        let s = self.overhead_shares();
+        (s.reductions_pct, s.implicit_sync_pct, s.scatters_pct)
+    }
+
+    /// Record this breakdown into a telemetry registry as simulated-time
+    /// spans under `sim/`, so modeled runs share the measured-run schema.
+    pub fn ingest_into(&self, reg: &Registry) {
+        reg.record_span("sim/compute", TimeDomain::Simulated, self.compute, 1);
+        reg.record_span("sim/scatter", TimeDomain::Simulated, self.scatter, 1);
+        reg.record_span("sim/reduction", TimeDomain::Simulated, self.reduction, 1);
+        reg.record_span(
+            "sim/implicit_sync",
+            TimeDomain::Simulated,
+            self.implicit_sync,
+            1,
+        );
     }
 }
 
@@ -125,6 +171,14 @@ impl SimClock {
         self.now += dt;
         self.breakdown.reduction += dt;
     }
+
+    /// Record this clock's accumulated state (phase breakdown plus data
+    /// volume / flop counters) into a telemetry registry as simulated time.
+    pub fn ingest_into(&self, reg: &Registry) {
+        self.breakdown.ingest_into(reg);
+        reg.counter_at("sim", TimeDomain::Simulated, "bytes_sent", self.bytes_sent);
+        reg.counter_at("sim", TimeDomain::Simulated, "flops", self.flops);
+    }
 }
 
 #[cfg(test)]
@@ -173,14 +227,51 @@ mod tests {
     }
 
     #[test]
-    fn percentages_sum_to_overheads() {
+    fn shares_sum_to_overheads() {
         let mut c = clock();
         c.compute(333e6, 0.0, 1.0);
         c.allreduce_sync(128, 2.0);
-        let (r, s, g) = c.breakdown().overhead_percentages();
-        assert!(r > 0.0 && s > 0.0);
-        assert_eq!(g, 0.0);
-        assert!(r + s < 100.0);
+        let s = c.breakdown().overhead_shares();
+        assert!(s.reductions_pct > 0.0 && s.implicit_sync_pct > 0.0);
+        assert_eq!(s.scatters_pct, 0.0);
+        assert!(s.total_pct() < 100.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_tuple_matches_named_shares() {
+        let mut c = clock();
+        c.compute(333e6, 0.0, 1.0);
+        c.allreduce_sync(128, 2.0);
+        let s = c.breakdown().overhead_shares();
+        let (r, i, g) = c.breakdown().overhead_percentages();
+        assert_eq!(
+            (r, i, g),
+            (s.reductions_pct, s.implicit_sync_pct, s.scatters_pct)
+        );
+    }
+
+    #[test]
+    fn ingest_into_registry_as_simulated_time() {
+        let mut c = clock();
+        c.compute(333e6, 0.0, 1.0);
+        c.send_message(4096.0);
+        c.allreduce_sync(16, 2.0);
+        let reg = fun3d_telemetry::Registry::enabled(0);
+        c.ingest_into(&reg);
+        let snap = reg.snapshot();
+        let compute = snap.span("sim/compute").unwrap();
+        assert_eq!(compute.domain, fun3d_telemetry::TimeDomain::Simulated);
+        assert!((compute.total_s - c.breakdown().compute).abs() < 1e-15);
+        assert!(
+            (snap.span("sim/implicit_sync").unwrap().total_s - c.breakdown().implicit_sync).abs()
+                < 1e-15
+        );
+        assert_eq!(
+            snap.span("sim").unwrap().counter("bytes_sent"),
+            Some(4096.0)
+        );
+        assert_eq!(snap.span("sim").unwrap().counter("flops"), Some(333e6));
     }
 
     #[test]

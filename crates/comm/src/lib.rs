@@ -24,7 +24,7 @@ pub mod scatter;
 pub mod smp;
 pub mod world;
 
-pub use clock::{PhaseBreakdown, SimClock};
+pub use clock::{OverheadShares, PhaseBreakdown, SimClock};
 pub use scatter::ScatterPlan;
 pub use smp::ThreadTeam;
-pub use world::{run_world, Rank};
+pub use world::{run_world, run_world_instrumented, Rank};

@@ -47,7 +47,20 @@ impl ScatterPlan {
     /// `local` holds owned values in its first `nowned * ncomp` entries and
     /// receives ghost values behind them (plan layout). All sends are posted
     /// before any receive, so the exchange cannot deadlock.
-    pub fn execute(&self, rank: &mut Rank, local: &mut [f64], nowned: usize, ncomp: usize, tag: u32) {
+    pub fn execute(
+        &self,
+        rank: &mut Rank,
+        local: &mut [f64],
+        nowned: usize,
+        ncomp: usize,
+        tag: u32,
+    ) {
+        let tel = rank.telemetry.clone();
+        let _span = tel.span("comm/scatter");
+        tel.counter(
+            "scatter_bytes",
+            ((self.nsends() + self.nghosts()) * ncomp * 8) as f64,
+        );
         // Post sends.
         for (ni, &nbr) in self.neighbors.iter().enumerate() {
             let idx = &self.send_indices[ni];

@@ -4,11 +4,18 @@
 //! The collectives are implemented star-wise through rank 0 with a fixed
 //! reduction order, so results (including floating-point rounding) are
 //! bit-reproducible across runs — a property the numerical regression tests
-//! rely on.
+//! rely on.  Channels are `std::sync::mpsc` (one per ordered rank pair), so
+//! the substrate has no dependencies outside the standard library.
+//!
+//! Each rank carries a [`fun3d_telemetry::Registry`]: disabled (zero-cost)
+//! under [`run_world`], enabled per rank under [`run_world_instrumented`],
+//! where collectives and scatters record spans under the same schema the
+//! solver uses.
 
 use crate::clock::SimClock;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use fun3d_memmodel::machine::MachineSpec;
+use fun3d_telemetry::Registry;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// A message: tag, payload, and the sender's simulated send time.
 #[derive(Debug)]
@@ -28,6 +35,10 @@ pub struct Rank {
     rx: Vec<Receiver<Msg>>,
     /// The simulated clock.
     pub clock: SimClock,
+    /// Per-rank profiling registry (disabled unless the world was started
+    /// with [`run_world_instrumented`]).  Cloning it is cheap; clone before
+    /// opening spans around calls that need `&mut self`.
+    pub telemetry: Registry,
 }
 
 impl Rank {
@@ -58,7 +69,11 @@ impl Rank {
     /// (messages between a pair are ordered, so tags act as assertions).
     pub fn recv(&mut self, from: usize, tag: u32) -> Vec<f64> {
         let msg = self.rx[from].recv().expect("sender hung up");
-        assert_eq!(msg.tag, tag, "tag mismatch on rank {} from {}", self.id, from);
+        assert_eq!(
+            msg.tag, tag,
+            "tag mismatch on rank {} from {}",
+            self.id, from
+        );
         self.clock
             .receive_message((msg.data.len() * 8) as f64, msg.sim_sent);
         msg.data
@@ -95,12 +110,21 @@ impl Rank {
 
     /// Barrier (an empty allreduce).
     pub fn barrier(&mut self) {
+        let tel = self.telemetry.clone();
+        let _span = tel.span("comm/barrier");
         self.allreduce_sum(&[]);
     }
 
-    fn allreduce_with(&mut self, x: &[f64], mut combine: impl FnMut(&mut [f64], &[f64])) -> Vec<f64> {
+    fn allreduce_with(
+        &mut self,
+        x: &[f64],
+        mut combine: impl FnMut(&mut [f64], &[f64]),
+    ) -> Vec<f64> {
         const TAG_GATHER: u32 = u32::MAX - 1;
         const TAG_BCAST: u32 = u32::MAX - 2;
+        let tel = self.telemetry.clone();
+        let _span = tel.span("comm/allreduce");
+        tel.counter("allreduce_elems", x.len() as f64);
         let p = self.nranks;
         // Piggyback the local simulated time as the last element.
         let mut payload: Vec<f64> = Vec::with_capacity(x.len() + 1);
@@ -148,11 +172,28 @@ impl Rank {
 }
 
 /// Run an SPMD program: `nranks` threads each execute `f(rank)`; returns the
-/// per-rank results in rank order.
+/// per-rank results in rank order.  Telemetry is disabled (zero overhead);
+/// use [`run_world_instrumented`] to profile.
 ///
 /// # Panics
 /// Propagates any rank's panic.
 pub fn run_world<R, F>(nranks: usize, machine: &MachineSpec, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Sync,
+{
+    run_world_instrumented(nranks, machine, false, f)
+}
+
+/// Like [`run_world`] but with per-rank telemetry registries enabled when
+/// `instrument` is true; each rank's profile is read back via
+/// `rank.telemetry.snapshot()` inside `f`.
+pub fn run_world_instrumented<R, F>(
+    nranks: usize,
+    machine: &MachineSpec,
+    instrument: bool,
+    f: F,
+) -> Vec<R>
 where
     R: Send,
     F: Fn(&mut Rank) -> R + Sync,
@@ -167,7 +208,7 @@ where
         .collect();
     for from in 0..nranks {
         for to in 0..nranks {
-            let (s, r) = unbounded();
+            let (s, r) = channel();
             senders[from][to] = Some(s);
             receivers[to][from] = Some(r);
         }
@@ -182,6 +223,11 @@ where
             tx: tx.into_iter().map(Option::unwrap).collect(),
             rx: rx.into_iter().map(Option::unwrap).collect(),
             clock: SimClock::new(machine.clone()),
+            telemetry: if instrument {
+                Registry::enabled(id)
+            } else {
+                Registry::disabled()
+            },
         })
         .collect();
 
@@ -230,9 +276,7 @@ mod tests {
     #[test]
     fn allreduce_sum_agrees_with_sequential() {
         let p = 6;
-        let out = run_world(p, &machine(), |r| {
-            r.allreduce_sum(&[r.id() as f64, 1.0])
-        });
+        let out = run_world(p, &machine(), |r| r.allreduce_sum(&[r.id() as f64, 1.0]));
         for o in out {
             assert_eq!(o, vec![15.0, 6.0]);
         }
@@ -271,7 +315,11 @@ mod tests {
             r.clock.breakdown()
         });
         assert!(out[0].implicit_sync > 0.8, "idle rank waits: {:?}", out[0]);
-        assert!(out[1].implicit_sync < 1e-9, "busy rank never waits: {:?}", out[1]);
+        assert!(
+            out[1].implicit_sync < 1e-9,
+            "busy rank never waits: {:?}",
+            out[1]
+        );
     }
 
     #[test]
@@ -312,5 +360,28 @@ mod tests {
                 let _ = r.recv(0, 2);
             }
         });
+    }
+
+    #[test]
+    fn instrumented_world_records_collective_spans() {
+        let snaps = run_world_instrumented(3, &machine(), true, |r| {
+            r.barrier();
+            r.allreduce_sum_scalar(1.0);
+            r.telemetry.snapshot()
+        });
+        let merged = fun3d_telemetry::merge(&snaps);
+        // One barrier (which nests an allreduce) plus one bare allreduce.
+        assert_eq!(merged.span("comm/barrier").unwrap().calls, 3);
+        assert_eq!(merged.span("comm/barrier/comm/allreduce").unwrap().calls, 3);
+        assert_eq!(merged.span("comm/allreduce").unwrap().calls, 3);
+    }
+
+    #[test]
+    fn uninstrumented_world_records_nothing() {
+        let snaps = run_world(2, &machine(), |r| {
+            r.barrier();
+            r.telemetry.snapshot()
+        });
+        assert!(snaps.iter().all(|s| s.spans.is_empty()));
     }
 }

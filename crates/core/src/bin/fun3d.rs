@@ -19,9 +19,7 @@ use fun3d_mesh::generator::BumpChannelSpec;
 use fun3d_mesh::metrics::{mesh_quality, ordering_metrics};
 use fun3d_partition::partition_kway;
 use fun3d_solver::gmres::GmresOptions;
-use fun3d_solver::pseudo::{
-    solve_pseudo_transient, Forcing, PrecondSpec, PseudoTransientOptions,
-};
+use fun3d_solver::pseudo::{solve_pseudo_transient, Forcing, PrecondSpec, PseudoTransientOptions};
 use fun3d_sparse::ilu::IluOptions;
 
 struct Options {
@@ -179,14 +177,23 @@ fn main() {
     let g = mesh.vertex_graph();
     let id: Vec<usize> = (0..g.n()).collect();
     let om = ordering_metrics(&g, &id);
-    println!("mesh: {} vertices, {} tets, {} edges", mesh.nverts(), mesh.ntets(), mesh.nedges());
+    println!(
+        "mesh: {} vertices, {} tets, {} edges",
+        mesh.nverts(),
+        mesh.ntets(),
+        mesh.nedges()
+    );
     println!(
         "      bandwidth {} | mean wavefront {:.0} | mean degree {:.1} | min tet volume {:.2e}",
         om.bandwidth, om.mean_wavefront, quality.mean_degree, quality.min_volume
     );
     println!(
         "model: {} ({} unknowns/vertex, {} total), order {:?}{}",
-        if ncomp == 4 { "incompressible Euler" } else { "compressible Euler" },
+        if ncomp == 4 {
+            "incompressible Euler"
+        } else {
+            "compressible Euler"
+        },
         ncomp,
         mesh.nverts() * ncomp,
         o.order,
@@ -264,11 +271,15 @@ fn main() {
             );
         }
     }
-    let (tr, tj, tp, tk) = history.phase_times();
+    let phases = history.phases();
     println!("---");
     println!(
         "{} in {} steps, {} linear iterations, {:.3}s wall",
-        if history.converged { "CONVERGED" } else { "NOT CONVERGED" },
+        if history.converged {
+            "CONVERGED"
+        } else {
+            "NOT CONVERGED"
+        },
         history.nsteps(),
         history.total_linear_iters(),
         wall
@@ -281,14 +292,17 @@ fn main() {
     );
     println!(
         "phases: residual {:.2}s | jacobian {:.2}s | preconditioner {:.2}s | krylov {:.2}s",
-        tr, tj, tp, tk
+        phases.residual, phases.jacobian, phases.precond, phases.krylov
     );
 
     // --- Forces & output ---
     let field = FieldVec::from_vec(q, mesh.nverts(), ncomp, layout_cfg.field_layout());
     let disc = Discretization::new(&mesh, o.model, layout_cfg.field_layout(), o.order);
     let f = disc.wall_forces(&field);
-    println!("wall pressure force: [{:+.5e}, {:+.5e}, {:+.5e}]", f[0], f[1], f[2]);
+    println!(
+        "wall pressure force: [{:+.5e}, {:+.5e}, {:+.5e}]",
+        f[0], f[1], f[2]
+    );
     if let Some(path) = &o.vtk {
         write_vtk_file(std::path::Path::new(path), &mesh, Some((&field, &o.model)))
             .expect("VTK write failed");

@@ -106,7 +106,14 @@ mod tests {
             step: 17,
             residual_norm: 3.125e-7,
             ser_reference: 0.998877,
-            q: vec![1.0, -2.5, std::f64::consts::PI, 1e-300, -0.0, f64::MIN_POSITIVE],
+            q: vec![
+                1.0,
+                -2.5,
+                std::f64::consts::PI,
+                1e-300,
+                -0.0,
+                f64::MIN_POSITIVE,
+            ],
         }
     }
 
@@ -200,7 +207,11 @@ mod tests {
         let disc = Discretization::new(&mesh, cfg.model, cfg.layout.field_layout(), cfg.order);
         let mut p2 = EulerProblem::new(disc);
         let h2 = solve_pseudo_transient(&mut p2, &mut q2, &opts2);
-        assert!(h2.converged, "resumed run must finish: {:.2e}", h2.reduction());
+        assert!(
+            h2.converged,
+            "resumed run must finish: {:.2e}",
+            h2.reduction()
+        );
         // The two end states agree to solver tolerance.
         let scale = q_full.iter().fold(1.0f64, |m, v| m.max(v.abs()));
         for (a, b) in q_full.iter().zip(&q2) {

@@ -7,7 +7,6 @@ use fun3d_mesh::reorder::{edge_order, vertex_permutation, EdgeOrdering, VertexOr
 use fun3d_mesh::tet::TetMesh;
 use fun3d_solver::pseudo::PseudoTransientOptions;
 use fun3d_sparse::layout::FieldLayout;
-use serde::Serialize;
 
 /// The three data-layout enhancements of Table 1 plus the orderings behind
 /// them.
@@ -145,8 +144,9 @@ pub fn apply_orderings(mesh: TetMesh, vord: VertexOrdering, eord: EdgeOrdering) 
     mesh
 }
 
-/// A record of one configured run, serializable for EXPERIMENTS.md tooling.
-#[derive(Debug, Clone, Serialize)]
+/// A record of one configured run, convertible to a
+/// [`fun3d_telemetry::report::PerfReport`] for EXPERIMENTS.md tooling.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
     /// Human-readable experiment id (e.g. "table1-row3").
     pub experiment: String,
@@ -154,6 +154,18 @@ pub struct RunRecord {
     pub nverts: usize,
     /// Quantity name -> value.
     pub metrics: Vec<(String, f64)>,
+}
+
+impl RunRecord {
+    /// Convert into the stable `fun3d-perf/1` JSON report schema.
+    pub fn to_perf_report(&self) -> fun3d_telemetry::report::PerfReport {
+        let mut r = fun3d_telemetry::report::PerfReport::new(self.experiment.clone())
+            .with_meta("nverts", self.nverts.to_string());
+        for (k, v) in &self.metrics {
+            r.push_metric(k.clone(), *v);
+        }
+        r
+    }
 }
 
 #[cfg(test)]

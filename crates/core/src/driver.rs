@@ -155,8 +155,8 @@ mod tests {
         cfg.nks = quick_nks(5);
         cfg.nks.target_reduction = 1e-30; // force all 5 steps
         let report = run_case(&cfg);
-        let (tr, tj, tp, tk) = report.history.phase_times();
-        assert!(tr > 0.0 && tj > 0.0 && tp > 0.0 && tk > 0.0);
+        let t = report.history.phases();
+        assert!(t.residual > 0.0 && t.jacobian > 0.0 && t.precond > 0.0 && t.krylov > 0.0);
         assert_eq!(report.history.nsteps(), 5);
     }
 }

@@ -9,6 +9,8 @@
 //! `eta_alg(p) = its(p0) / its(p)` and
 //! `eta_overall(p) = T(p0) * p0 / (T(p) * p)`.
 
+use fun3d_telemetry::report::PerfReport;
+
 /// One measured (or simulated) scaling point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalingPoint {
@@ -86,6 +88,46 @@ pub fn implementation_efficiency(base: &ScalingPoint, at: &ScalingPoint) -> f64 
     eta_overall / eta_alg
 }
 
+/// Extract a scaling point from a telemetry [`PerfReport`].
+///
+/// Looks for the metrics `nprocs`, `linear_its`, and `time_s`; when absent,
+/// falls back to the instrumented span tree: the `nks` span's `linear_iters`
+/// counter and wall time, and the report's rank count. Returns `None` when
+/// neither form carries enough information.
+///
+/// The span fallback treats the span tree as a *single timeline*. Merged
+/// multi-rank snapshots sum times and counters over ranks, and GMRES
+/// iterations are global (every rank counts the same ones) — so producers
+/// of merged reports must push explicit per-run `linear_its`/`time_s`
+/// metrics rather than rely on the fallback (as `parallel_nks` does).
+pub fn scaling_point_from_report(report: &PerfReport) -> Option<ScalingPoint> {
+    let nks = report.span("nks");
+    let nprocs = report
+        .metric("nprocs")
+        .or_else(|| report.meta("nranks").and_then(|s| s.parse().ok()))? as usize;
+    let its = report
+        .metric("linear_its")
+        .or_else(|| nks.and_then(|s| s.counter("linear_iters")))?
+        .round() as usize;
+    let time = report.metric("time_s").or_else(|| nks.map(|s| s.total_s))?;
+    Some(ScalingPoint { nprocs, its, time })
+}
+
+/// Build the Table-3 efficiency decomposition directly from a series of
+/// telemetry reports (one per processor count, sorted ascending).
+///
+/// Reports that lack the required metrics/spans are skipped.
+pub fn efficiency_from_reports(reports: &[PerfReport]) -> Vec<EfficiencyRow> {
+    let points: Vec<ScalingPoint> = reports
+        .iter()
+        .filter_map(scaling_point_from_report)
+        .collect();
+    if points.is_empty() {
+        return Vec::new();
+    }
+    efficiency_table(&points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,7 +173,10 @@ mod tests {
         let expect_impl = [1.00, 0.97, 0.94, 0.95, 0.93];
         for (i, row) in rows.iter().enumerate() {
             assert!((row.speedup - expect_speedup[i]).abs() < 0.01, "{row:?}");
-            assert!((row.eta_overall - expect_overall[i]).abs() < 0.01, "{row:?}");
+            assert!(
+                (row.eta_overall - expect_overall[i]).abs() < 0.01,
+                "{row:?}"
+            );
             assert!((row.eta_alg - expect_alg[i]).abs() < 0.01, "{row:?}");
             assert!((row.eta_impl - expect_impl[i]).abs() < 0.015, "{row:?}");
         }
@@ -171,5 +216,43 @@ mod tests {
         let mut pts = table3_points();
         pts.swap(0, 1);
         efficiency_table(&pts);
+    }
+
+    fn report_for(p: &ScalingPoint) -> PerfReport {
+        let mut r = PerfReport::new("table3");
+        r.push_metric("nprocs", p.nprocs as f64);
+        r.push_metric("linear_its", p.its as f64);
+        r.push_metric("time_s", p.time);
+        r
+    }
+
+    #[test]
+    fn efficiency_from_reports_matches_direct_table() {
+        let pts = table3_points();
+        let reports: Vec<PerfReport> = pts.iter().map(report_for).collect();
+        assert_eq!(efficiency_from_reports(&reports), efficiency_table(&pts));
+    }
+
+    #[test]
+    fn scaling_point_falls_back_to_span_tree() {
+        use fun3d_telemetry::{Registry, SpanRow, TimeDomain};
+        let reg = Registry::enabled(0);
+        reg.record_span("nks", TimeDomain::Measured, 362.0, 1);
+        reg.counter_at("nks", TimeDomain::Measured, "linear_iters", 29.0);
+        let mut r = PerfReport::new("run")
+            .with_meta("nranks", "1024")
+            .with_snapshot(&reg.snapshot());
+        // Drop the synthetic root row so only real spans remain.
+        r.spans.retain(|s: &SpanRow| !s.path.is_empty());
+        let p = scaling_point_from_report(&r).unwrap();
+        assert_eq!(p.nprocs, 1024);
+        assert_eq!(p.its, 29);
+        assert!((p.time - 362.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_reports_are_skipped() {
+        assert!(scaling_point_from_report(&PerfReport::new("empty")).is_none());
+        assert!(efficiency_from_reports(&[PerfReport::new("empty")]).is_empty());
     }
 }

@@ -17,7 +17,7 @@
 use crate::problem::EulerProblem;
 use fun3d_comm::clock::PhaseBreakdown;
 use fun3d_comm::scatter::{build_scatter_plans, ScatterPlan};
-use fun3d_comm::world::{run_world, Rank};
+use fun3d_comm::world::{run_world_instrumented, Rank};
 use fun3d_euler::field::FieldVec;
 use fun3d_euler::model::FlowModel;
 use fun3d_euler::residual::{Discretization, SpatialOrder};
@@ -28,6 +28,7 @@ use fun3d_sparse::csr::CsrMatrix;
 use fun3d_sparse::ilu::{IluFactors, IluOptions};
 use fun3d_sparse::layout::FieldLayout;
 use fun3d_sparse::triplet::TripletMatrix;
+use fun3d_telemetry::Snapshot;
 
 use crate::dist::{dist_gmres, DistributedMatrix};
 
@@ -195,7 +196,8 @@ impl LocalSubdomain {
         let ncomp = model.ncomp();
         let n_rows = self.nowned * ncomp;
         let n_cols = self.nlocal() * ncomp;
-        let mut t = TripletMatrix::with_capacity(n_rows, n_cols, self.edges.len() * 2 * ncomp * ncomp);
+        let mut t =
+            TripletMatrix::with_capacity(n_rows, n_cols, self.edges.len() * 2 * ncomp * ncomp);
         let get = |v: usize| -> fun3d_euler::model::Comp {
             let mut s = [0.0; MAX_COMP];
             s[..ncomp].copy_from_slice(&q[v * ncomp..(v + 1) * ncomp]);
@@ -462,6 +464,12 @@ pub struct ParallelNksReport {
     pub sim_time: f64,
     /// Assembled global solution (interlaced layout).
     pub solution: Vec<f64>,
+    /// Per-rank telemetry snapshots: measured span trees for
+    /// flux/jacobian/ilu/gmres plus nested scatter/allreduce comm spans, and
+    /// the simulated phase breakdown ingested under `sim/`.  Merge with
+    /// [`fun3d_telemetry::merge`]; export with
+    /// [`fun3d_telemetry::chrome_trace`].
+    pub telemetry: Vec<Snapshot>,
 }
 
 /// Run the distributed ΨNKS solve on `nranks` message-passing ranks.
@@ -477,8 +485,10 @@ pub fn solve_parallel_nks(
     let plans = build_scatter_plans(mesh.nverts(), owner, mesh.edges(), nranks);
     let freestream = model.freestream();
 
-    let outputs = run_world(nranks, machine, |rank| {
+    let outputs = run_world_instrumented(nranks, machine, true, |rank| {
         let me = rank.id();
+        let tel = rank.telemetry.clone();
+        let solve_span = tel.span("nks");
         let sub = LocalSubdomain::from_plan(mesh, owner, &plans[me], me);
         let nowned = sub.nowned;
         let nloc = sub.nlocal();
@@ -494,7 +504,10 @@ pub fn solve_parallel_nks(
             sub.plan.execute(rank, q, nowned, ncomp, *tag);
         };
         scatter(rank, &mut q, &mut tag);
-        sub.residual(&model, &q, &mut res, rank, &freestream);
+        {
+            let _g = tel.span("flux");
+            sub.residual(&model, &q, &mut res, rank, &freestream);
+        }
         let norm_local: f64 = res.iter().map(|v| v * v).sum();
         let r0 = rank.allreduce_sum_scalar(norm_local).sqrt();
         let mut rnorm = r0;
@@ -510,7 +523,10 @@ pub fn solve_parallel_nks(
             let cfl = (opts.cfl0 * (r0 / rnorm).powf(opts.cfl_exponent)).min(opts.cfl_max);
             let d = sub.inverse_timestep_scale(&model, &q);
             let shift: Vec<f64> = d.iter().map(|&v| v / cfl).collect();
-            let jac_local = sub.jacobian(&model, &q, &shift, rank, &freestream);
+            let jac_local = {
+                let _g = tel.span("jacobian");
+                sub.jacobian(&model, &q, &shift, rank, &freestream)
+            };
             // Wire into the distributed-matrix machinery: unknown-level plan.
             let mat = DistributedMatrix {
                 // Unknown-level bookkeeping: dist_gmres sizes itself from
@@ -520,14 +536,21 @@ pub fn solve_parallel_nks(
                 local: jac_local,
                 plan: expand_plan(&sub.plan, ncomp),
             };
-            let diag = mat.diagonal_block();
-            let prec = IluFactors::factor(&diag, &opts.ilu).expect("subdomain ILU failed");
+            let prec = {
+                let _g = tel.span("ilu");
+                let diag = mat.diagonal_block();
+                IluFactors::factor(&diag, &opts.ilu).expect("subdomain ILU failed")
+            };
             let mut rhs = vec![0.0; nowned * ncomp];
             for (o, r) in rhs.iter_mut().zip(&res) {
                 *o = -r;
             }
             let mut delta = vec![0.0; nowned * ncomp];
-            let lin = dist_gmres(rank, &mat, &prec, &rhs, &mut delta, &opts.krylov);
+            let lin = {
+                let _g = tel.span("gmres");
+                dist_gmres(rank, &mat, &prec, &rhs, &mut delta, &opts.krylov)
+            };
+            tel.counter("linear_iters", lin.iterations as f64);
             lin_iters.push(lin.iterations);
             // Line search matching the sequential driver: back off while the
             // residual grows more than 20%, and fall back to the full step
@@ -543,7 +566,10 @@ pub fn solve_parallel_nks(
                     q[i] = q_base[i] + alpha * delta[i];
                 }
                 scatter(rank, &mut q, &mut tag);
-                sub.residual(&model, &q, &mut res, rank, &freestream);
+                {
+                    let _g = tel.span("flux");
+                    sub.residual(&model, &q, &mut res, rank, &freestream);
+                }
                 let norm_local: f64 = res.iter().map(|v| v * v).sum();
                 let tnorm = rank.allreduce_sum_scalar(norm_local).sqrt();
                 if k == 0 {
@@ -562,7 +588,10 @@ pub fn solve_parallel_nks(
                     q[i] = q_base[i] + delta[i];
                 }
                 scatter(rank, &mut q, &mut tag);
-                sub.residual(&model, &q, &mut res, rank, &freestream);
+                {
+                    let _g = tel.span("flux");
+                    sub.residual(&model, &q, &mut res, rank, &freestream);
+                }
                 let norm_local: f64 = res.iter().map(|v| v * v).sum();
                 let check = rank.allreduce_sum_scalar(norm_local).sqrt();
                 debug_assert!((check - full_norm).abs() <= 1e-9 * full_norm.max(1.0));
@@ -573,6 +602,11 @@ pub fn solve_parallel_nks(
         if rnorm / r0 <= opts.target_reduction {
             converged = true;
         }
+        tel.counter("steps", lin_iters.len() as f64);
+        // Fold the simulated clock into the registry so measured and modeled
+        // time share one schema, then close the solve span and snapshot.
+        rank.clock.ingest_into(&tel);
+        drop(solve_span);
         (
             sub.verts[..nowned].to_vec(),
             q[..nowned * ncomp].to_vec(),
@@ -581,21 +615,24 @@ pub fn solve_parallel_nks(
             converged,
             rank.clock.breakdown(),
             rank.clock.now(),
+            tel.snapshot(),
         )
     });
 
     // Assemble the report from rank 0's history (identical on all ranks).
     let mut solution = vec![0.0; mesh.nverts() * ncomp];
     let mut breakdowns = Vec::with_capacity(nranks);
+    let mut telemetry = Vec::with_capacity(nranks);
     let mut sim_time: f64 = 0.0;
-    for (verts, ql, _, _, _, bd, t) in &outputs {
+    for (verts, ql, _, _, _, bd, t, snap) in &outputs {
         for (l, &g) in verts.iter().enumerate() {
             solution[g * ncomp..(g + 1) * ncomp].copy_from_slice(&ql[l * ncomp..(l + 1) * ncomp]);
         }
         breakdowns.push(*bd);
+        telemetry.push(snap.clone());
         sim_time = sim_time.max(*t);
     }
-    let (_, _, history, lin_iters, converged, _, _) = outputs.into_iter().next().unwrap();
+    let (_, _, history, lin_iters, converged, _, _, _) = outputs.into_iter().next().unwrap();
     let final_residual = *history.last().unwrap();
     ParallelNksReport {
         residual_history: history,
@@ -605,6 +642,7 @@ pub fn solve_parallel_nks(
         breakdowns,
         sim_time,
         solution,
+        telemetry,
     }
 }
 
@@ -684,6 +722,7 @@ pub fn solution_field(mesh: &TetMesh, model: &FlowModel, solution: Vec<f64>) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fun3d_comm::world::run_world;
     use fun3d_mesh::generator::BumpChannelSpec;
     use fun3d_partition::partition_kway;
 
@@ -777,6 +816,63 @@ mod tests {
         }
         assert!(report.sim_time > 0.0);
         assert_eq!(report.breakdowns.len(), nranks);
+    }
+
+    #[test]
+    fn telemetry_records_phase_spans_per_rank() {
+        let nranks = 2;
+        let (mesh, owner) = setup((6, 5, 5), nranks);
+        let model = FlowModel::incompressible();
+        let opts = ParallelNksOptions {
+            max_steps: 3,
+            target_reduction: 1e-30, // force all 3 steps
+            ..Default::default()
+        };
+        let report = solve_parallel_nks(
+            &mesh,
+            model,
+            &owner,
+            nranks,
+            &MachineSpec::asci_red(),
+            &opts,
+        );
+        assert_eq!(report.telemetry.len(), nranks);
+        for (rank, snap) in report.telemetry.iter().enumerate() {
+            assert_eq!(snap.rank, rank);
+            for path in [
+                "nks",
+                "nks/flux",
+                "nks/jacobian",
+                "nks/ilu",
+                "nks/gmres",
+                "nks/comm/scatter",
+                "nks/gmres/comm/allreduce",
+                "sim/compute",
+                "sim/scatter",
+            ] {
+                assert!(snap.span(path).is_some(), "rank {rank} missing span {path}");
+            }
+            // Measured child spans fit inside the solve span.
+            let nks = snap.span("nks").unwrap().total_s;
+            let children: f64 = ["nks/flux", "nks/jacobian", "nks/ilu", "nks/gmres"]
+                .iter()
+                .map(|p| snap.span(p).unwrap().total_s)
+                .sum();
+            assert!(children <= nks * 1.0001 + 1e-9, "{children} > {nks}");
+            // Counters recorded under the solve span.
+            assert!(snap.span("nks").unwrap().counter("linear_iters").unwrap() > 0.0);
+            assert_eq!(snap.span("nks").unwrap().counter("steps"), Some(3.0));
+            // Simulated spans carry the simulated domain tag.
+            assert_eq!(
+                snap.span("sim/compute").unwrap().domain,
+                fun3d_telemetry::TimeDomain::Simulated
+            );
+        }
+        // Chrome trace over all ranks parses and has per-rank tids.
+        let trace = fun3d_telemetry::chrome_trace(&report.telemetry);
+        let v = fun3d_telemetry::json::Value::parse(&trace).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
     }
 
     #[test]

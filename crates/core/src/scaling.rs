@@ -221,7 +221,8 @@ impl FixedSizeModel {
         // Solve phase per linear iteration: the ILU triangular solves
         // (~12 B/nnz; the matvec is matrix-free and counted in the flux
         // phase) + BLAS-1 traffic; all bandwidth bound.
-        let solve_bytes_per_it = 12.0 * s.nnz / pf + c.dots_per_iteration * 16.0 * s.nverts * s.ncomp / pf;
+        let solve_bytes_per_it =
+            12.0 * s.nnz / pf + c.dots_per_iteration * 16.0 * s.nverts * s.ncomp / pf;
         let solve_flops_per_it = 2.0 * s.nnz / pf;
         let t_solve_it = (solve_bytes_per_it / m.stream_bytes_per_s)
             .max(solve_flops_per_it / m.peak_flops_per_cpu());
@@ -237,8 +238,7 @@ impl FixedSizeModel {
         let scatter_bytes_per_node = scatter_bytes_total / pf;
         // ~6 neighbors per subdomain in 3-D; packing overhead dominates.
         let t_scatter = 2.0 * lin * 6.0 * m.net_latency_s
-            + scatter_bytes_per_node
-                * (1.0 / m.net_bytes_per_s + c.scatter_overhead_s_per_byte);
+            + scatter_bytes_per_node * (1.0 / m.net_bytes_per_s + c.scatter_overhead_s_per_byte);
         let t_reduce = if p > 1 {
             lin * c.dots_per_iteration * (pf.log2().ceil()) * c.reduce_stage_latency_s
         } else {

@@ -1,0 +1,283 @@
+//! In-tree, std-only stand-in for the subset of `criterion` this workspace's
+//! benches use: `Criterion`, benchmark groups, `Bencher::iter` /
+//! `iter_batched`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Methodology is deliberately simple — warm up once, time `sample_size`
+//! samples of an auto-calibrated batch, report the median — which is enough
+//! to compare kernel variants locally and keeps the workspace building with
+//! no network access.  Results print as `name  median  (throughput)` lines.
+
+use std::time::Instant;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not interpreted).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honor the harness CLI loosely: any free argument filters benchmark
+        // names, `--bench`/`--test` and flag-like arguments are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        let sample_size = self.sample_size;
+        let filter = self.filter.clone();
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+            throughput: None,
+            filter,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let filter = self.filter.clone();
+        run_one(&name.into(), self.sample_size, None, filter.as_deref(), f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    filter: Option<String>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(
+            &full,
+            self.sample_size,
+            self.throughput,
+            self.filter.as_deref(),
+            f,
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    filter: Option<&str>,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let mut samples = Vec::with_capacity(sample_size);
+    // Warmup sample (calibrates the batch size), then timed samples.
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        elapsed_s: 0.0,
+    };
+    f(&mut b);
+    b.calibrate();
+    for _ in 0..sample_size {
+        f(&mut b);
+        samples.push(b.elapsed_s / b.iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:.1} Melem/s", n as f64 / median / 1e6),
+        Throughput::Bytes(n) => format!("  {:.1} MB/s", n as f64 / median / 1e6),
+    });
+    println!(
+        "  {name:<40} {}{}",
+        fmt_time(median),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    iters_per_sample: u64,
+    elapsed_s: f64,
+}
+
+impl Bencher {
+    /// Grow the batch so one sample takes a measurable amount of time.
+    fn calibrate(&mut self) {
+        let per_iter = self.elapsed_s / self.iters_per_sample as f64;
+        if per_iter > 0.0 {
+            // Target ~5 ms per sample, capped to keep total runtime sane.
+            let target = (5e-3 / per_iter).ceil() as u64;
+            self.iters_per_sample = target.clamp(1, 1_000_000);
+        }
+    }
+
+    /// Time `routine`, called in a calibrated batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_s = t0.elapsed().as_secs_f64();
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = 0.0;
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t0.elapsed().as_secs_f64();
+        }
+        self.elapsed_s = total;
+    }
+}
+
+/// Declare a group of benchmark functions (both criterion forms accepted).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Emit `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("test");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut setups = 0u64;
+        c.benchmark_group("g").bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert!(setups >= 2);
+    }
+
+    #[test]
+    fn fmt_time_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" us"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

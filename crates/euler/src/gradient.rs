@@ -151,7 +151,12 @@ mod tests {
     #[test]
     fn gradient_of_constant_field_is_zero() {
         let mesh = BumpChannelSpec::with_dims(6, 5, 4).build();
-        let q = FieldVec::constant(mesh.nverts(), 4, FieldLayout::Interlaced, &[2.0, 1.0, 0.5, -1.0, 0.0]);
+        let q = FieldVec::constant(
+            mesh.nverts(),
+            4,
+            FieldLayout::Interlaced,
+            &[2.0, 1.0, 0.5, -1.0, 0.0],
+        );
         let mut g = Gradients::zeros(mesh.nverts(), 4);
         g.compute(&mesh, &q);
         for v in 0..mesh.nverts() {
@@ -193,7 +198,8 @@ mod tests {
         assert!(!interior.is_empty());
         for &v in &interior {
             let gr = g.get(v, 0);
-            let err = ((gr[0] - 2.0).powi(2) + (gr[1] - 3.0).powi(2) + (gr[2] + 1.0).powi(2)).sqrt();
+            let err =
+                ((gr[0] - 2.0).powi(2) + (gr[1] - 3.0).powi(2) + (gr[2] + 1.0).powi(2)).sqrt();
             assert!(err < 1e-9, "v={v} at {:?}: grad {gr:?}", coords[v]);
         }
     }

@@ -187,8 +187,8 @@ impl FlowModel {
                     let r = (i + 1) * m;
                     a[r] = phi2 * n[i] - vel[i] * theta;
                     for j in 0..3 {
-                        a[r + 1 + j] = vel[i] * n[j] - g1 * vel[j] * n[i]
-                            + if i == j { theta } else { 0.0 };
+                        a[r + 1 + j] =
+                            vel[i] * n[j] - g1 * vel[j] * n[i] + if i == j { theta } else { 0.0 };
                     }
                     a[r + 4] = g1 * n[i];
                 }
@@ -286,9 +286,7 @@ mod tests {
             let lam = model.max_wavespeed(&q, n);
             let theta = match model {
                 FlowModel::Incompressible { .. } => q[1] * n[0] + q[2] * n[1] + q[3] * n[2],
-                FlowModel::Compressible { .. } => {
-                    (q[1] * n[0] + q[2] * n[1] + q[3] * n[2]) / q[0]
-                }
+                FlowModel::Compressible { .. } => (q[1] * n[0] + q[2] * n[1] + q[3] * n[2]) / q[0],
             };
             assert!(lam >= theta.abs());
         }

@@ -58,7 +58,12 @@ pub struct Discretization<'m> {
 
 impl<'m> Discretization<'m> {
     /// Create a discretization.
-    pub fn new(mesh: &'m TetMesh, model: FlowModel, layout: FieldLayout, order: SpatialOrder) -> Self {
+    pub fn new(
+        mesh: &'m TetMesh,
+        model: FlowModel,
+        layout: FieldLayout,
+        order: SpatialOrder,
+    ) -> Self {
         let freestream = model.freestream();
         Self {
             mesh,
@@ -120,7 +125,12 @@ impl<'m> Discretization<'m> {
 
     /// Freestream initial state.
     pub fn initial_state(&self) -> FieldVec {
-        FieldVec::constant(self.mesh.nverts(), self.ncomp(), self.layout, &self.freestream)
+        FieldVec::constant(
+            self.mesh.nverts(),
+            self.ncomp(),
+            self.layout,
+            &self.freestream,
+        )
     }
 
     /// Allocate the reusable workspace.
@@ -234,7 +244,12 @@ impl<'m> Discretization<'m> {
     /// boundary terms — the kernel Table 5 parallelizes across threads
     /// (OpenMP analogue) or subdomain processes.  `res` must be zeroed (or
     /// hold a partial sum) on entry; contributions are added.
-    pub fn edge_flux_residual(&self, q: &FieldVec, res: &mut FieldVec, range: std::ops::Range<usize>) {
+    pub fn edge_flux_residual(
+        &self,
+        q: &FieldVec,
+        res: &mut FieldVec,
+        range: std::ops::Range<usize>,
+    ) {
         assert!(range.end <= self.mesh.nedges());
         let ncomp = self.ncomp();
         let normals = self.mesh.edge_normals();
@@ -388,14 +403,13 @@ impl<'m> Discretization<'m> {
             let ja = self.model.flux_jacobian(&qa, n);
             let jb = self.model.flux_jacobian(&qb, n);
             // dF/dqa = A(qa)/2 + lam/2 I ; dF/dqb = A(qb)/2 - lam/2 I.
-            let scaled =
-                |m: &[f64; MAX_COMP * MAX_COMP]| -> [f64; MAX_COMP * MAX_COMP] {
-                    let mut s = *m;
-                    for v in s.iter_mut() {
-                        *v *= half;
-                    }
-                    s
-                };
+            let scaled = |m: &[f64; MAX_COMP * MAX_COMP]| -> [f64; MAX_COMP * MAX_COMP] {
+                let mut s = *m;
+                for v in s.iter_mut() {
+                    *v *= half;
+                }
+                s
+            };
             let ja2 = scaled(&ja);
             let jb2 = scaled(&jb);
             // R_a += F  => rows of a.
@@ -581,7 +595,10 @@ mod tests {
         let mut res = FieldVec::zeros(mesh.nverts(), 4, FieldLayout::Interlaced);
         let mut ws = disc.workspace();
         disc.residual(&q, &mut res, &mut ws);
-        assert!(disc.residual_norm(&res) > 1e-6, "the bump must deflect the flow");
+        assert!(
+            disc.residual_norm(&res) > 1e-6,
+            "the bump must deflect the flow"
+        );
     }
 
     #[test]
@@ -589,8 +606,10 @@ mod tests {
         let mesh = BumpChannelSpec::with_dims(6, 5, 4).build();
         for model in both_models() {
             let ncomp = model.ncomp();
-            let di = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
-            let ds = Discretization::new(&mesh, model, FieldLayout::Segregated, SpatialOrder::First);
+            let di =
+                Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+            let ds =
+                Discretization::new(&mesh, model, FieldLayout::Segregated, SpatialOrder::First);
             // A non-trivial state: freestream + smooth perturbation.
             let mut qi = di.initial_state();
             for v in 0..mesh.nverts() {
@@ -628,7 +647,8 @@ mod tests {
         let mesh = BumpChannelSpec::with_dims(5, 4, 4).build();
         for model in both_models() {
             let ncomp = model.ncomp();
-            let disc = Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
+            let disc =
+                Discretization::new(&mesh, model, FieldLayout::Interlaced, SpatialOrder::First);
             // Small smooth perturbation so the frozen-lambda error is O(perturbation).
             let mut q = disc.initial_state();
             for v in 0..mesh.nverts() {
@@ -642,7 +662,9 @@ mod tests {
             let jac = disc.jacobian(&q);
             let n = disc.nunknowns();
             // Random direction.
-            let dir: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 13) as f64 / 13.0 - 0.5).collect();
+            let dir: Vec<f64> = (0..n)
+                .map(|i| ((i * 31 + 7) % 13) as f64 / 13.0 - 0.5)
+                .collect();
             let mut jd = vec![0.0; n];
             jac.spmv(&dir, &mut jd);
             // FD directional derivative.
@@ -840,7 +862,9 @@ mod tests {
         }
         let jac = disc.jacobian(&q);
         let n = disc.nunknowns();
-        let dir: Vec<f64> = (0..n).map(|i| ((i * 17 + 3) % 11) as f64 / 11.0 - 0.5).collect();
+        let dir: Vec<f64> = (0..n)
+            .map(|i| ((i * 17 + 3) % 11) as f64 / 11.0 - 0.5)
+            .collect();
         let mut jd = vec![0.0; n];
         jac.spmv(&dir, &mut jd);
         let eps = 1e-7;

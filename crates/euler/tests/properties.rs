@@ -19,8 +19,14 @@ fn incompressible_state() -> impl Strategy<Value = Comp> {
 }
 
 fn compressible_state() -> impl Strategy<Value = Comp> {
-    (0.3f64..2.0, -0.8f64..0.8, -0.5f64..0.5, -0.5f64..0.5, 0.3f64..2.0).prop_map(
-        |(rho, u, v, w, p)| {
+    (
+        0.3f64..2.0,
+        -0.8f64..0.8,
+        -0.5f64..0.5,
+        -0.5f64..0.5,
+        0.3f64..2.0,
+    )
+        .prop_map(|(rho, u, v, w, p)| {
             let gamma = 1.4;
             let e = p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v + w * w);
             let mut q = [0.0; MAX_COMP];
@@ -30,8 +36,7 @@ fn compressible_state() -> impl Strategy<Value = Comp> {
             q[3] = rho * w;
             q[4] = e;
             q
-        },
-    )
+        })
 }
 
 fn normal() -> impl Strategy<Value = [f64; 3]> {

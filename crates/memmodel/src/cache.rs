@@ -70,7 +70,10 @@ impl SetAssocCache {
     /// Panics unless line size and set count are powers of two and the
     /// geometry divides evenly.
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.assoc >= 1);
         assert_eq!(
             cfg.size_bytes % (cfg.line_bytes * cfg.assoc),
@@ -214,8 +217,8 @@ mod tests {
     #[test]
     fn working_set_larger_than_capacity_thrashes() {
         let mut c = tiny(); // 512 B capacity
-        // Cycle through 1024 B repeatedly, one access per line: with LRU and
-        // a round-robin pattern, every access misses after warmup.
+                            // Cycle through 1024 B repeatedly, one access per line: with LRU and
+                            // a round-robin pattern, every access misses after warmup.
         c.flush();
         for _ in 0..4 {
             for line in 0..16u64 {
@@ -235,7 +238,11 @@ mod tests {
             c.access(512);
             c.access(1024);
         }
-        assert_eq!(c.misses(), 3, "only compulsory misses in a big-enough FA cache");
+        assert_eq!(
+            c.misses(),
+            3,
+            "only compulsory misses in a big-enough FA cache"
+        );
     }
 
     #[test]

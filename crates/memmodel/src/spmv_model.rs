@@ -77,7 +77,11 @@ pub fn predicted_time(traffic: &SpmvTraffic, bandwidth_bytes_per_s: f64) -> f64 
 }
 
 /// Predicted Mflop/s of an SpMV bound by memory bandwidth.
-pub fn predicted_mflops(nnz_scalars: usize, traffic: &SpmvTraffic, bandwidth_bytes_per_s: f64) -> f64 {
+pub fn predicted_mflops(
+    nnz_scalars: usize,
+    traffic: &SpmvTraffic,
+    bandwidth_bytes_per_s: f64,
+) -> f64 {
     spmv_flops(nnz_scalars) / predicted_time(traffic, bandwidth_bytes_per_s) / 1e6
 }
 
@@ -117,7 +121,10 @@ mod tests {
         let csr = csr_traffic(nb * b, blocks * b * b, 1.0);
         let bcsr = bcsr_traffic(nb, blocks, b, 1.0);
         assert!(bcsr.total() < csr.total());
-        assert!(bcsr.indices * 10.0 < csr.indices, "indices shrink ~16x for b=4");
+        assert!(
+            bcsr.indices * 10.0 < csr.indices,
+            "indices shrink ~16x for b=4"
+        );
         let speedup = predicted_blocking_speedup(nb, blocks, b, 1.0);
         assert!(
             speedup > 1.15 && speedup < 1.6,

@@ -283,7 +283,9 @@ mod tests {
         let mut t = TripletMatrix::new(nb * b, nb * b);
         for i in 0..nb {
             for j in i.saturating_sub(1)..(i + 2).min(nb) {
-                let blk: Vec<f64> = (0..b * b).map(|k| if k % (b + 1) == 0 { 4.0 } else { 0.5 }).collect();
+                let blk: Vec<f64> = (0..b * b)
+                    .map(|k| if k % (b + 1) == 0 { 4.0 } else { 0.5 })
+                    .collect();
                 t.push_block(i, j, b, &blk);
             }
         }
@@ -308,7 +310,10 @@ mod tests {
         let mut m2 = tiny_mem();
         let si = flux_edge_trace(&edges, nverts, ncomp, FieldLayout::Interlaced, &mut m1);
         let ss = flux_edge_trace(&edges, nverts, ncomp, FieldLayout::Segregated, &mut m2);
-        assert_eq!(si.accesses, ss.accesses, "same reference count, different addresses");
+        assert_eq!(
+            si.accesses, ss.accesses,
+            "same reference count, different addresses"
+        );
         assert!(
             ss.tlb_misses > 2 * si.tlb_misses,
             "segregated should TLB-thrash: {} vs {}",
@@ -325,8 +330,22 @@ mod tests {
         let edges: Vec<[u32; 2]> = (0..nverts as u32 - 1).map(|i| [i, i + 1]).collect();
         let mut m1 = tiny_mem();
         let mut m2 = tiny_mem();
-        let s1 = flux_edge_trace_order(&edges, nverts, ncomp, FieldLayout::Interlaced, false, &mut m1);
-        let s2 = flux_edge_trace_order(&edges, nverts, ncomp, FieldLayout::Interlaced, true, &mut m2);
+        let s1 = flux_edge_trace_order(
+            &edges,
+            nverts,
+            ncomp,
+            FieldLayout::Interlaced,
+            false,
+            &mut m1,
+        );
+        let s2 = flux_edge_trace_order(
+            &edges,
+            nverts,
+            ncomp,
+            FieldLayout::Interlaced,
+            true,
+            &mut m2,
+        );
         assert!(s2.accesses > 2 * s1.accesses);
         assert!(s2.tlb_misses >= s1.tlb_misses);
     }
@@ -334,7 +353,9 @@ mod tests {
     #[test]
     fn tri_solve_trace_counts_value_bytes() {
         let a = banded(500, 3);
-        let f = fun3d_sparse::ilu::IluFactors::factor(&a, &fun3d_sparse::ilu::IluOptions::with_fill(0)).unwrap();
+        let f =
+            fun3d_sparse::ilu::IluFactors::factor(&a, &fun3d_sparse::ilu::IluOptions::with_fill(0))
+                .unwrap();
         let (lp, li) = f.l_pattern();
         let (up, ui) = f.u_pattern();
         let mut m8 = tiny_mem();

@@ -152,8 +152,14 @@ impl BumpChannelSpec {
 
     /// Generate the mesh.
     pub fn build(&self) -> TetMesh {
-        assert!(self.nx >= 2 && self.ny >= 2 && self.nz >= 2, "need >= 2 points per axis");
-        assert!(self.jitter < 0.35, "jitter too large for guaranteed positive volumes");
+        assert!(
+            self.nx >= 2 && self.ny >= 2 && self.nz >= 2,
+            "need >= 2 points per axis"
+        );
+        assert!(
+            self.jitter < 0.35,
+            "jitter too large for guaranteed positive volumes"
+        );
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let vid = |i: usize, j: usize, k: usize| -> u32 { ((i * ny + j) * nz + k) as u32 };
@@ -244,7 +250,11 @@ mod tests {
         let m = spec.build();
         assert_eq!(m.nverts(), 120);
         assert_eq!(m.ntets(), 5 * 4 * 3 * 6);
-        assert!(m.closure_residual() < 1e-10, "closure {}", m.closure_residual());
+        assert!(
+            m.closure_residual() < 1e-10,
+            "closure {}",
+            m.closure_residual()
+        );
         assert!(m.dual_volumes().iter().all(|&v| v > 0.0));
     }
 
@@ -284,7 +294,10 @@ mod tests {
         let g = m.vertex_graph();
         // Kuhn-split interior vertices have degree 14.
         let interior_max = g.max_degree();
-        assert!(interior_max >= 12 && interior_max <= 16, "max degree {interior_max}");
+        assert!(
+            (12..=16).contains(&interior_max),
+            "max degree {interior_max}"
+        );
         assert!(g.mean_degree() > 8.0);
     }
 

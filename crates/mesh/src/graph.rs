@@ -19,7 +19,10 @@ impl Graph {
     pub fn from_edges(n: usize, edges: &[[u32; 2]]) -> Self {
         let mut deg = vec![0usize; n + 1];
         for &[a, b] in edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge endpoint out of range"
+            );
             if a != b {
                 deg[a as usize + 1] += 1;
                 deg[b as usize + 1] += 1;
@@ -267,7 +270,7 @@ mod tests {
     #[test]
     fn components_within_subset() {
         let g = path(6); // 0-1-2-3-4-5
-        // Subset {0,1,3,4} splits into {0,1} and {3,4}.
+                         // Subset {0,1,3,4} splits into {0,1} and {3,4}.
         assert_eq!(g.components_within(&[0, 1, 3, 4]), 2);
         assert_eq!(g.components_within(&[1, 2, 3]), 1);
         assert_eq!(g.components_within(&[]), 0);

@@ -21,8 +21,8 @@
 //!   coloring the original FUN3D used — the "NOER" baseline of Figure 3).
 
 pub mod generator;
-pub mod metrics;
 pub mod graph;
+pub mod metrics;
 pub mod reorder;
 pub mod tet;
 

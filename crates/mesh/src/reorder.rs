@@ -81,7 +81,12 @@ pub fn rcm(g: &Graph) -> Vec<usize> {
             let v = order[cursor] as usize;
             cursor += 1;
             nbrs.clear();
-            nbrs.extend(g.neighbors(v).iter().copied().filter(|&u| !visited[u as usize]));
+            nbrs.extend(
+                g.neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| !visited[u as usize]),
+            );
             nbrs.sort_unstable_by_key(|&u| g.degree(u as usize));
             for &u in &nbrs {
                 visited[u as usize] = true;
@@ -223,7 +228,7 @@ mod tests {
     fn rcm_handles_disconnected_graphs() {
         let g = Graph::from_edges(6, &[[0, 1], [3, 4]]);
         let perm = rcm(&g);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for &p in &perm {
             assert!(!seen[p]);
             seen[p] = true;
@@ -273,7 +278,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(share, 0, "{share}/{total} same-color neighbors share a vertex");
+        assert_eq!(
+            share, 0,
+            "{share}/{total} same-color neighbors share a vertex"
+        );
     }
 
     #[test]

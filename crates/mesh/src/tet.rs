@@ -308,9 +308,7 @@ impl TetMesh {
                 acc[v as usize] = add3(acc[v as usize], share);
             }
         }
-        acc.iter()
-            .map(|v| dot(*v, *v).sqrt())
-            .fold(0.0, f64::max)
+        acc.iter().map(|v| dot(*v, *v).sqrt()).fold(0.0, f64::max)
     }
 
     /// Renumber vertices by `perm` (old index -> new index), producing a new
@@ -471,7 +469,11 @@ mod tests {
     #[test]
     fn control_surfaces_close() {
         let m = unit_cube();
-        assert!(m.closure_residual() < 1e-12, "residual {}", m.closure_residual());
+        assert!(
+            m.closure_residual() < 1e-12,
+            "residual {}",
+            m.closure_residual()
+        );
     }
 
     #[test]

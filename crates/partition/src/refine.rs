@@ -13,7 +13,12 @@ use fun3d_mesh::graph::Graph;
 ///
 /// `balance_tol` is the allowed max-part-size ratio over ideal (e.g. 1.03);
 /// `max_passes` bounds the sweeps (each pass visits every vertex once).
-pub fn refine_boundary(g: &Graph, part: &mut Partition, balance_tol: f64, max_passes: usize) -> usize {
+pub fn refine_boundary(
+    g: &Graph,
+    part: &mut Partition,
+    balance_tol: f64,
+    max_passes: usize,
+) -> usize {
     let n = g.n();
     let k = part.nparts;
     assert_eq!(part.part.len(), n);

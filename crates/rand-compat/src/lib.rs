@@ -1,0 +1,204 @@
+//! In-tree, std-only stand-in for the tiny subset of the `rand` crate this
+//! workspace uses: `SmallRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` over half-open/inclusive integer and float ranges, and
+//! `seq::SliceRandom::shuffle`.
+//!
+//! The container this repo builds in has no network access, so registry
+//! crates cannot be fetched; this shim keeps every `use rand::...` in the
+//! workspace compiling unchanged.  The generator is xorshift64* seeded
+//! through SplitMix64 — deterministic for a given seed, which is all the
+//! tests and mesh generators require (they never ask for cryptographic or
+//! cross-version-stable streams).
+
+/// Core uniform-bits interface.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                // 53 uniform mantissa bits in [0, 1).
+                let u01 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + (self.end - self.start) * u01 as $t
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let u01 = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u01 < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xorshift64*).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 scrambles low-entropy seeds (0, 1, 2, ...) into
+            // well-distributed nonzero xorshift states.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            Self { state: z | 1 }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice extension trait providing in-place shuffling.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let i = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&i));
+            let k = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&k));
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_decorrelate() {
+        let mut a = SmallRng::seed_from_u64(0);
+        let mut b = SmallRng::seed_from_u64(1);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0..2u32) == b.gen_range(0..2u32))
+            .count();
+        assert!(
+            same < 56,
+            "streams for seeds 0/1 nearly identical: {same}/64"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut SmallRng::seed_from_u64(3));
+        let mut seen = [false; 50];
+        for &x in &v {
+            assert!(!seen[x]);
+            seen[x] = true;
+        }
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn floats_cover_the_range() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -10,6 +10,7 @@
 use crate::op::LinearOperator;
 use crate::precond::Preconditioner;
 use fun3d_sparse::vec_ops::{axpy, norm2};
+use fun3d_telemetry::Registry;
 
 /// Options for a GMRES solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +56,22 @@ pub fn gmres<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
     x: &mut [f64],
     opts: &GmresOptions,
 ) -> GmresResult {
+    gmres_with_telemetry(a, m, b, x, opts, &Registry::disabled())
+}
+
+/// [`gmres`] with profiling: records `gmres` / `gmres/precond` /
+/// `gmres/apply` / `gmres/orth` spans in `tel` (relative to whatever span is
+/// currently open).  With a disabled registry each span is one branch, so
+/// [`gmres`] simply delegates here.
+pub fn gmres_with_telemetry<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
+    a: &A,
+    m: &M,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &GmresOptions,
+    tel: &Registry,
+) -> GmresResult {
+    let _gmres_span = tel.span("gmres");
     let n = a.n();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
@@ -78,7 +95,10 @@ pub fn gmres<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
 
     loop {
         // r = b - A x.
-        a.apply(x, &mut r);
+        {
+            let _g = tel.span("apply");
+            a.apply(x, &mut r);
+        }
         for (ri, bi) in r.iter_mut().zip(b) {
             *ri = bi - *ri;
         }
@@ -103,10 +123,17 @@ pub fn gmres<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
         let mut j = 0usize;
         while j < restart && total_iters < opts.max_iters {
             // w = A M^{-1} v_j.
-            m.apply(&v[j], &mut z);
-            a.apply(&z, &mut w);
+            {
+                let _g = tel.span("precond");
+                m.apply(&v[j], &mut z);
+            }
+            {
+                let _g = tel.span("apply");
+                a.apply(&z, &mut w);
+            }
             total_iters += 1;
             // Modified Gram-Schmidt.
+            let _orth = tel.span("orth");
             let mut hj = vec![0.0f64; j + 2];
             for (i, vi) in v.iter().enumerate().take(j + 1) {
                 let hij = fun3d_sparse::vec_ops::dot(&w, vi);
@@ -167,7 +194,10 @@ pub fn gmres<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
         for (l, yl) in y.iter().enumerate() {
             axpy(*yl, &v[l], &mut update);
         }
-        m.apply(&update, &mut z);
+        {
+            let _g = tel.span("precond");
+            m.apply(&update, &mut z);
+        }
         axpy(1.0, &z, x);
         // Loop back: recompute the true residual and re-test.
     }

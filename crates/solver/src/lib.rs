@@ -24,7 +24,10 @@ pub mod op;
 pub mod precond;
 pub mod pseudo;
 
-pub use gmres::{gmres, GmresOptions, GmresResult};
+pub use gmres::{gmres, gmres_with_telemetry, GmresOptions, GmresResult};
 pub use op::{CsrOperator, LinearOperator, PseudoTransientProblem};
 pub use precond::{AdditiveSchwarz, BlockIluPrecond, IdentityPrecond, IluPrecond, Preconditioner};
-pub use pseudo::{solve_pseudo_transient, PrecondSpec, PseudoTransientOptions, SolveHistory, StepRecord};
+pub use pseudo::{
+    solve_pseudo_transient, solve_pseudo_transient_instrumented, PhaseTimes, PrecondSpec,
+    PseudoTransientOptions, SolveHistory, StepRecord,
+};

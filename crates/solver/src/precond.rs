@@ -195,7 +195,11 @@ impl Preconditioner for AdditiveSchwarz {
             rl.extend(s.rows.iter().map(|&g| r[g]));
             zl.resize(rl.len(), 0.0);
             s.factors.solve(&rl, &mut zl);
-            let take = if self.restricted { s.nowned } else { s.rows.len() };
+            let take = if self.restricted {
+                s.nowned
+            } else {
+                s.rows.len()
+            };
             for (l, &g) in s.rows.iter().enumerate().take(take) {
                 z[g] += zl[l];
             }
@@ -378,7 +382,8 @@ mod tests {
         let owned = strip_partition(n, 4);
         let mut iters = Vec::new();
         for fill in [0usize, 1, 2] {
-            let pc = AdditiveSchwarz::block_jacobi(&a, &owned, &IluOptions::with_fill(fill)).unwrap();
+            let pc =
+                AdditiveSchwarz::block_jacobi(&a, &owned, &IluOptions::with_fill(fill)).unwrap();
             iters.push(solve_iters(&a, &pc));
         }
         assert!(

@@ -14,12 +14,13 @@
 //! Figure 5 sweeps `CFL_0`; Section 2.4.1 discusses `p` (0.75 with shocks,
 //! up to 1.5 for first-order phases).
 
-use crate::gmres::{gmres, GmresOptions};
+use crate::gmres::{gmres_with_telemetry, GmresOptions};
 use crate::op::{CsrOperator, FdJacobianOperator, PseudoTransientProblem};
 use crate::precond::{AdditiveSchwarz, BlockIluPrecond, IluPrecond, Preconditioner};
 use fun3d_sparse::bcsr::BcsrMatrix;
 use fun3d_sparse::ilu::IluOptions;
 use fun3d_sparse::vec_ops::norm2;
+use fun3d_telemetry::Registry;
 
 /// Which preconditioner the Krylov solver uses.
 #[derive(Debug, Clone)]
@@ -125,6 +126,27 @@ impl Default for PseudoTransientOptions {
     }
 }
 
+/// Wall time per solver phase, summed over all pseudo-timesteps (seconds).
+/// Named replacement for the old bare `(f64, f64, f64, f64)` tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseTimes {
+    /// Residual (flux) evaluations, including line-search trials.
+    pub residual: f64,
+    /// Jacobian assembly and diagonal shifting.
+    pub jacobian: f64,
+    /// Preconditioner construction (ILU factorization / Schwarz setup).
+    pub precond: f64,
+    /// Krylov (GMRES) solve time.
+    pub krylov: f64,
+}
+
+impl PhaseTimes {
+    /// Total accounted wall time.
+    pub fn total(&self) -> f64 {
+        self.residual + self.jacobian + self.precond + self.krylov
+    }
+}
+
 /// One pseudo-timestep's record.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepRecord {
@@ -174,23 +196,29 @@ impl SolveHistory {
         self.steps.len()
     }
 
+    /// Total wall time per phase across all steps, with names attached.
+    pub fn phases(&self) -> PhaseTimes {
+        self.steps
+            .iter()
+            .fold(PhaseTimes::default(), |acc, s| PhaseTimes {
+                residual: acc.residual + s.t_residual,
+                jacobian: acc.jacobian + s.t_jacobian,
+                precond: acc.precond + s.t_precond,
+                krylov: acc.krylov + s.t_krylov,
+            })
+    }
+
     /// Total wall time per phase across all steps:
     /// `(residual, jacobian, preconditioner, krylov)`.
+    #[deprecated(since = "0.2.0", note = "use `phases()`, which names the fields")]
     pub fn phase_times(&self) -> (f64, f64, f64, f64) {
-        self.steps.iter().fold((0.0, 0.0, 0.0, 0.0), |acc, s| {
-            (
-                acc.0 + s.t_residual,
-                acc.1 + s.t_jacobian,
-                acc.2 + s.t_precond,
-                acc.3 + s.t_krylov,
-            )
-        })
+        let p = self.phases();
+        (p.residual, p.jacobian, p.precond, p.krylov)
     }
 
     /// Total wall time accounted across phases (seconds).
     pub fn total_time(&self) -> f64 {
-        let (a, b, c, d) = self.phase_times();
-        a + b + c + d
+        self.phases().total()
     }
 
     /// Mean wall time per pseudo-timestep (Table 1's "Time/Step").
@@ -249,11 +277,29 @@ pub fn solve_pseudo_transient<P: PseudoTransientProblem>(
     q: &mut [f64],
     opts: &PseudoTransientOptions,
 ) -> SolveHistory {
+    solve_pseudo_transient_instrumented(problem, q, opts, &Registry::disabled())
+}
+
+/// [`solve_pseudo_transient`] with profiling: records an `nks` span tree
+/// (`nks/residual`, `nks/jacobian`, `nks/precond`, `nks/krylov/gmres/...`)
+/// plus `steps` / `linear_iters` counters in `tel`.  Instrumentation only
+/// observes the clock, so the residual history is bitwise identical to the
+/// uninstrumented solve.
+pub fn solve_pseudo_transient_instrumented<P: PseudoTransientProblem>(
+    problem: &mut P,
+    q: &mut [f64],
+    opts: &PseudoTransientOptions,
+    tel: &Registry,
+) -> SolveHistory {
+    let _solve_span = tel.span("nks");
     let n = problem.n();
     assert_eq!(q.len(), n);
     let mut r = vec![0.0; n];
     let t0 = std::time::Instant::now();
-    problem.residual(q, &mut r);
+    {
+        let _g = tel.span("residual");
+        problem.residual(q, &mut r);
+    }
     let mut t_residual_carry = t0.elapsed().as_secs_f64();
     let r0_norm = norm2(&r);
     let mut history = SolveHistory {
@@ -295,6 +341,7 @@ pub fn solve_pseudo_transient<P: PseudoTransientProblem>(
                 if rnorm / r0_norm < thresh {
                     problem.set_second_order(true);
                     switched = true;
+                    let _g = tel.span("residual");
                     problem.residual(q, &mut r);
                     rnorm = norm2(&r);
                     ser_ref = rnorm;
@@ -306,23 +353,25 @@ pub fn solve_pseudo_transient<P: PseudoTransientProblem>(
 
         // Shifted first-order Jacobian.
         let t0 = std::time::Instant::now();
+        let jac_span = tel.span("jacobian");
         let d = problem.inverse_timestep_scale(q);
         let mut jac = problem.jacobian(q);
         jac.shift_diagonal_by(1.0 / cfl, &d);
+        drop(jac_span);
         let t_jacobian = t0.elapsed().as_secs_f64();
 
         // Preconditioner from the shifted matrix, rebuilt only every
         // `pc_refresh` steps (lagged preconditioning — the paper's "refresh
         // frequency for Jacobian preconditioner" knob).
         let t0 = std::time::Instant::now();
+        let pc_span = tel.span("precond");
         if pc_age >= opts.pc_refresh.max(1) {
             pc_cache = Some(match &opts.precond {
                 PrecondSpec::Ilu(ilu) => BuiltPrecond::Ilu(
                     IluPrecond::factor(&jac, ilu).expect("ILU factorization failed"),
                 ),
                 PrecondSpec::BlockIlu { block } => BuiltPrecond::BlockIlu(
-                    BlockIluPrecond::factor(&jac, *block)
-                        .expect("block ILU factorization failed"),
+                    BlockIluPrecond::factor(&jac, *block).expect("block ILU factorization failed"),
                 ),
                 PrecondSpec::Schwarz {
                     owned_sets,
@@ -338,6 +387,7 @@ pub fn solve_pseudo_transient<P: PseudoTransientProblem>(
         }
         pc_age += 1;
         let pc = pc_cache.as_ref().unwrap();
+        drop(pc_span);
         let t_precond = t0.elapsed().as_secs_f64();
 
         // Inexact Newton: J delta = -R, with the step's forcing term.
@@ -360,10 +410,11 @@ pub fn solve_pseudo_transient<P: PseudoTransientProblem>(
         }
         delta.iter_mut().for_each(|v| *v = 0.0);
         let t0 = std::time::Instant::now();
+        let krylov_span = tel.span("krylov");
         let lin = if opts.matrix_free {
             let shift: Vec<f64> = d.iter().map(|&v| v / cfl).collect();
             let op = FdJacobianOperator::new(&*problem, q.to_vec(), r.clone(), shift);
-            gmres(&op, pc, &rhs, &mut delta, &krylov)
+            gmres_with_telemetry(&op, pc, &rhs, &mut delta, &krylov, tel)
         } else if let Some(b) = opts.bcsr_block {
             match &mut bcsr_cache {
                 Some(cached) => cached.refill_from_csr(&jac),
@@ -372,10 +423,12 @@ pub fn solve_pseudo_transient<P: PseudoTransientProblem>(
             let op = BcsrOperator {
                 a: bcsr_cache.as_ref().unwrap(),
             };
-            gmres(&op, pc, &rhs, &mut delta, &krylov)
+            gmres_with_telemetry(&op, pc, &rhs, &mut delta, &krylov, tel)
         } else {
-            gmres(&CsrOperator::new(&jac), pc, &rhs, &mut delta, &krylov)
+            gmres_with_telemetry(&CsrOperator::new(&jac), pc, &rhs, &mut delta, &krylov, tel)
         };
+        drop(krylov_span);
+        tel.counter("linear_iters", lin.iterations as f64);
         let t_krylov = t0.elapsed().as_secs_f64();
 
         // Line search. Pseudo-transient continuation is globalized by the
@@ -385,6 +438,7 @@ pub fn solve_pseudo_transient<P: PseudoTransientProblem>(
         // anyway (a mild transient hump is normal and creeping with tiny
         // steps stalls the continuation).
         let t0 = std::time::Instant::now();
+        let res_span = tel.span("residual");
         let mut alpha = 1.0f64;
         let mut accepted = false;
         let mut full: Option<(f64, Vec<f64>, Vec<f64>)> = None;
@@ -419,6 +473,7 @@ pub fn solve_pseudo_transient<P: PseudoTransientProblem>(
                 alpha = 0.0;
             }
         }
+        drop(res_span);
         let t_residual = t_residual_carry + t0.elapsed().as_secs_f64();
         t_residual_carry = 0.0;
         history.steps.push(StepRecord {
@@ -438,6 +493,7 @@ pub fn solve_pseudo_transient<P: PseudoTransientProblem>(
     if rnorm / r0_norm <= opts.target_reduction {
         history.converged = true;
     }
+    tel.counter("steps", history.steps.len() as f64);
     history
 }
 
@@ -539,7 +595,9 @@ mod tests {
         let mut q = vec![0.0; n];
         let mut opts = default_opts();
         opts.precond = PrecondSpec::Schwarz {
-            owned_sets: (0..4).map(|k| (k * n / 4..(k + 1) * n / 4).collect()).collect(),
+            owned_sets: (0..4)
+                .map(|k| (k * n / 4..(k + 1) * n / 4).collect())
+                .collect(),
             overlap: 1,
             ilu: IluOptions::with_fill(0),
             restricted: true,
@@ -617,7 +675,10 @@ mod tests {
             assert!((a - b).abs() < 1e-5);
         }
         assert!(s4 <= 3 * s1.max(1));
-        assert!(l4 + 1 >= l1, "lagging shouldn't reduce linear work: {l4} vs {l1}");
+        assert!(
+            l4 + 1 >= l1,
+            "lagging shouldn't reduce linear work: {l4} vs {l1}"
+        );
     }
 
     #[test]

@@ -218,6 +218,24 @@ fn find_block(cols: &[u32], c: u32) -> Option<usize> {
     cols.binary_search(&c).ok()
 }
 
+impl PartialEq for BlockIluFactors {
+    fn eq(&self, other: &Self) -> bool {
+        self.b == other.b && self.nb == other.nb && self.l_idx == other.l_idx
+    }
+}
+
+impl std::fmt::Display for BlockIluFactors {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BlockIlu(b={}, nb={}, blocks={})",
+            self.b,
+            self.nb,
+            self.nnz_blocks()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,23 +396,5 @@ mod tests {
         // block — a 16x index reduction at b = 4.
         assert!(fb.nnz_blocks() * b * b >= fp.nnz());
         assert!(fb.nnz_blocks() * 12 < fp.nnz());
-    }
-}
-
-impl PartialEq for BlockIluFactors {
-    fn eq(&self, other: &Self) -> bool {
-        self.b == other.b && self.nb == other.nb && self.l_idx == other.l_idx
-    }
-}
-
-impl std::fmt::Display for BlockIluFactors {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "BlockIlu(b={}, nb={}, blocks={})",
-            self.b,
-            self.nb,
-            self.nnz_blocks()
-        )
     }
 }

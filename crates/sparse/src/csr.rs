@@ -29,10 +29,25 @@ impl CsrMatrix {
         col_idx: Vec<u32>,
         values: Vec<f64>,
     ) -> Self {
-        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr must have nrows+1 entries");
-        assert_eq!(col_idx.len(), values.len(), "col_idx/values length mismatch");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end != nnz");
-        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr not monotone");
+        assert_eq!(
+            row_ptr.len(),
+            nrows + 1,
+            "row_ptr must have nrows+1 entries"
+        );
+        assert_eq!(
+            col_idx.len(),
+            values.len(),
+            "col_idx/values length mismatch"
+        );
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "row_ptr end != nnz"
+        );
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr not monotone"
+        );
         assert!(
             col_idx.iter().all(|&c| (c as usize) < ncols),
             "column index out of range"
@@ -166,7 +181,10 @@ impl CsrMatrix {
     /// `perm` maps old index -> new index; this is how RCM vertex orderings
     /// are applied to assembled Jacobians.
     pub fn permute_symmetric(&self, perm: &[usize]) -> CsrMatrix {
-        assert_eq!(self.nrows, self.ncols, "symmetric permute needs square matrix");
+        assert_eq!(
+            self.nrows, self.ncols,
+            "symmetric permute needs square matrix"
+        );
         assert_eq!(perm.len(), self.nrows, "permutation length mismatch");
         let mut inv = vec![usize::MAX; perm.len()];
         for (old, &new) in perm.iter().enumerate() {

@@ -130,7 +130,11 @@ impl IluFactors {
         self.refactor_with_storage(a, storage)
     }
 
-    fn refactor_with_storage(&mut self, a: &CsrMatrix, storage: PrecStorage) -> Result<(), IluError> {
+    fn refactor_with_storage(
+        &mut self,
+        a: &CsrMatrix,
+        storage: PrecStorage,
+    ) -> Result<(), IluError> {
         let n = self.n;
         assert_eq!(a.nrows(), n, "refactor dimension mismatch");
         let mut lvals = vec![0.0f64; self.l_idx.len()];
@@ -256,12 +260,26 @@ impl IluFactors {
     /// Section 2.2: each factor value is touched exactly once per solve.
     pub fn solve_in_place(&self, x: &mut [f64]) {
         match &self.vals {
-            FactorValues::F64 { l, u, inv_diag } => {
-                tri_solve(&self.l_ptr, &self.l_idx, l, &self.u_ptr, &self.u_idx, u, inv_diag, x)
-            }
-            FactorValues::F32 { l, u, inv_diag } => {
-                tri_solve(&self.l_ptr, &self.l_idx, l, &self.u_ptr, &self.u_idx, u, inv_diag, x)
-            }
+            FactorValues::F64 { l, u, inv_diag } => tri_solve(
+                &self.l_ptr,
+                &self.l_idx,
+                l,
+                &self.u_ptr,
+                &self.u_idx,
+                u,
+                inv_diag,
+                x,
+            ),
+            FactorValues::F32 { l, u, inv_diag } => tri_solve(
+                &self.l_ptr,
+                &self.l_idx,
+                l,
+                &self.u_ptr,
+                &self.u_idx,
+                u,
+                inv_diag,
+                x,
+            ),
         }
     }
 }
@@ -478,7 +496,10 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
         let mut x = vec![0.0; n];
         f.solve(&b, &mut x);
-        assert!(residual(&a, &x, &b) < 1e-10, "tridiagonal ILU(0) must solve exactly");
+        assert!(
+            residual(&a, &x, &b) < 1e-10,
+            "tridiagonal ILU(0) must solve exactly"
+        );
     }
 
     #[test]
@@ -505,7 +526,11 @@ mod tests {
         let mut last = 0;
         for k in 0..4 {
             let f = IluFactors::factor(&a, &IluOptions::with_fill(k)).unwrap();
-            assert!(f.nnz() >= last, "ILU({k}) pattern must contain ILU({}) pattern", k - 1);
+            assert!(
+                f.nnz() >= last,
+                "ILU({k}) pattern must contain ILU({}) pattern",
+                k - 1
+            );
             last = f.nnz();
         }
     }
@@ -536,9 +561,16 @@ mod tests {
         let mut xs = vec![0.0; n];
         fd.solve(&b, &mut xd);
         fs.solve(&b, &mut xs);
-        let diff: f64 = xd.iter().zip(&xs).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        let diff: f64 = xd
+            .iter()
+            .zip(&xs)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max);
         let scale = xd.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-        assert!(diff / scale < 1e-4, "f32 storage should be a small perturbation: {diff}");
+        assert!(
+            diff / scale < 1e-4,
+            "f32 storage should be a small perturbation: {diff}"
+        );
         assert_eq!(fs.value_bytes() * 2, fd.value_bytes());
     }
 
@@ -560,7 +592,10 @@ mod tests {
         let mut x1 = vec![0.0; n];
         f1.solve(&b, &mut x1);
         for (u, v) in x1.iter().zip(&x2) {
-            assert!((u - 2.0 * v).abs() < 1e-12, "scaling A by 2 halves the solution");
+            assert!(
+                (u - 2.0 * v).abs() < 1e-12,
+                "scaling A by 2 halves the solution"
+            );
         }
     }
 

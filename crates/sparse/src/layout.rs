@@ -27,7 +27,13 @@ pub enum FieldLayout {
 
 /// Global index of component `c` at point `p`.
 #[inline]
-pub fn unknown_index(layout: FieldLayout, npoints: usize, ncomp: usize, p: usize, c: usize) -> usize {
+pub fn unknown_index(
+    layout: FieldLayout,
+    npoints: usize,
+    ncomp: usize,
+    p: usize,
+    c: usize,
+) -> usize {
     debug_assert!(p < npoints && c < ncomp);
     match layout {
         FieldLayout::Interlaced => p * ncomp + c,

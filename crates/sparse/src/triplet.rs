@@ -65,7 +65,10 @@ impl TripletMatrix {
     /// # Panics
     /// Panics if `(i, j)` is out of bounds.
     pub fn push(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.nrows && j < self.ncols, "triplet ({i},{j}) out of bounds");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "triplet ({i},{j}) out of bounds"
+        );
         self.rows.push(i as u32);
         self.cols.push(j as u32);
         self.vals.push(v);

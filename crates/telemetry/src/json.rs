@@ -1,0 +1,416 @@
+//! A minimal JSON value type with a writer and a recursive-descent parser.
+//!
+//! The telemetry exporters need machine-readable output (PerfReport files,
+//! chrome-trace), and the round-trip tests need to read it back.  The
+//! container this repo builds in has no network access, so instead of serde
+//! this module implements the small JSON subset required: objects keep
+//! insertion order (stable output), numbers are `f64` (written in shortest
+//! round-trip form), and non-finite floats serialize as `null`.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also the serialization of non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; JSON does not distinguish integer from float.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order (duplicate keys are not merged).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number in this value, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string in this value, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements of this value, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The fields of this value, if it is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialize compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(v) => render_num(*v, out),
+            Value::Str(s) => render_str(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (must consume the whole input).
+    pub fn parse(s: &str) -> Result<Value, ParseError> {
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(ParseError::at(pos, "trailing data after JSON value"));
+        }
+        Ok(v)
+    }
+}
+
+fn render_num(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 9.0e15 && !(v == 0.0 && v.is_sign_negative()) {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        // `{:?}` for f64 is the shortest representation that parses back to
+        // the same bits — exactly what the round-trip schema needs.
+        let _ = write!(out, "{v:?}");
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    fn at(offset: usize, message: &str) -> Self {
+        Self {
+            offset,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), ParseError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(ParseError::at(*pos, "unexpected token"))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(ParseError::at(*pos, "unexpected end of input")),
+        Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(ParseError::at(*pos, "expected ',' or ']'")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(ParseError::at(*pos, "expected ':'"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(ParseError::at(*pos, "expected ',' or '}'")),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Value::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(ParseError::at(*pos, "expected '\"'"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(ParseError::at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(b, *pos + 1)
+                            .ok_or_else(|| ParseError::at(*pos, "bad \\u escape"))?;
+                        *pos += 4;
+                        let cp = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: expect a following \uXXXX.
+                            if b.get(*pos + 1) == Some(&b'\\') && b.get(*pos + 2) == Some(&b'u') {
+                                let lo = parse_hex4(b, *pos + 3)
+                                    .ok_or_else(|| ParseError::at(*pos, "bad low surrogate"))?;
+                                *pos += 6;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                return Err(ParseError::at(*pos, "lone high surrogate"));
+                            }
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(cp)
+                                .ok_or_else(|| ParseError::at(*pos, "invalid code point"))?,
+                        );
+                    }
+                    _ => return Err(ParseError::at(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (input is a &str, so valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).expect("input was a str"));
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], pos: usize) -> Option<u32> {
+    if pos + 4 > b.len() {
+        return None;
+    }
+    let s = std::str::from_utf8(&b[pos..pos + 4]).ok()?;
+    u32::from_str_radix(s, 16).ok()
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, ParseError> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    if start == *pos {
+        return Err(ParseError::at(start, "expected a value"));
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .ok_or_else(|| ParseError::at(start, "malformed number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (src, v) in [
+            ("null", Value::Null),
+            ("true", Value::Bool(true)),
+            ("false", Value::Bool(false)),
+            ("42", Value::Num(42.0)),
+            ("-1.5e-3", Value::Num(-1.5e-3)),
+            ("\"hi\"", Value::Str("hi".into())),
+        ] {
+            assert_eq!(Value::parse(src).unwrap(), v);
+            assert_eq!(Value::parse(&v.render()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn float_shortest_form_round_trips_exactly() {
+        for v in [0.1, 1.0 / 3.0, 1e300, 5e-324, -0.0, 123456.789012345] {
+            let rendered = Value::Num(v).render();
+            let back = Value::parse(&rendered).unwrap().as_f64().unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} -> {rendered}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_serializes_as_null() {
+        assert_eq!(Value::Num(f64::NAN).render(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Value::Obj(vec![
+            ("a".into(), Value::Arr(vec![Value::Num(1.0), Value::Null])),
+            (
+                "quote\"\n".into(),
+                Value::Obj(vec![("x".into(), Value::Bool(false))]),
+            ),
+        ]);
+        assert_eq!(Value::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn object_get_and_accessors() {
+        let v = Value::parse(r#"{"name":"t","n":3,"xs":[1,2]}"#).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("t"));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("xs").unwrap().as_arr().unwrap().len(), 2);
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = Value::parse(r#""é😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("é😀"));
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in ["{", "[1,", "\"abc", "{\"a\":}", "tru", "1 2"] {
+            assert!(Value::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = Value::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,742 @@
+//! `fun3d-telemetry`: unified span/counter instrumentation for the
+//! PETSc-FUN3D reproduction.
+//!
+//! The paper's performance story (Table 3's phase breakdown, the
+//! η_overall = η_alg · η_impl decomposition) needs one measurement schema
+//! shared by *measured* wall-clock runs and *simulated* `SimClock` runs.
+//! This crate provides it:
+//!
+//! * a hierarchical span profiler ([`Registry`], RAII [`SpanGuard`]s, nested
+//!   path keys like `nks/step/gmres/precond`) accumulating wall time, call
+//!   counts, and user counters (flops, bytes moved, GMRES iterations, ...);
+//! * per-rank registries that snapshot ([`Snapshot`]) and [`merge`] across
+//!   ranks, with simulated time ingested under the same schema
+//!   ([`TimeDomain::Simulated`]);
+//! * exporters: a human-readable table ([`render_table`]), chrome-trace JSON
+//!   ([`chrome_trace`]) loadable in `chrome://tracing` / Perfetto, and a
+//!   stable [`report::PerfReport`] JSON schema for regression tooling.
+//!
+//! [`Registry::disabled()`] is a `const fn` producing a no-op registry whose
+//! span/counter calls compile to an `Option` check — hot kernels keep their
+//! instrumentation callsites with near-zero cost when profiling is off.
+
+pub mod json;
+pub mod report;
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Whether a span's time came from a real clock or a machine-model clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TimeDomain {
+    /// Wall-clock time measured with `std::time::Instant`.
+    Measured,
+    /// Virtual time accumulated by a `SimClock`-style machine model.
+    Simulated,
+}
+
+impl TimeDomain {
+    /// Stable string tag used in JSON exports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TimeDomain::Measured => "measured",
+            TimeDomain::Simulated => "simulated",
+        }
+    }
+
+    /// Parse the stable string tag.
+    pub fn from_tag(s: &str) -> Option<Self> {
+        match s {
+            "measured" => Some(TimeDomain::Measured),
+            "simulated" => Some(TimeDomain::Simulated),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    /// Full slash-separated path, e.g. `nks/krylov/gmres/precond`.
+    path: String,
+    children: Vec<usize>,
+    domain: TimeDomain,
+    calls: u64,
+    total_s: f64,
+    counters: BTreeMap<String, f64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    node: usize,
+    t_start_s: f64,
+    dur_s: f64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    rank: usize,
+    epoch: Instant,
+    /// `nodes[0]` is a synthetic root with an empty path.
+    nodes: Vec<Node>,
+    /// Indices of currently-open spans, outermost first.
+    stack: Vec<usize>,
+    events: Vec<Event>,
+}
+
+impl Inner {
+    fn new(rank: usize) -> Self {
+        Self {
+            rank,
+            epoch: Instant::now(),
+            nodes: vec![Node {
+                path: String::new(),
+                children: Vec::new(),
+                domain: TimeDomain::Measured,
+                calls: 0,
+                total_s: 0.0,
+                counters: BTreeMap::new(),
+            }],
+            stack: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Find or create the child of `parent` named `name` (a single segment).
+    fn child(&mut self, parent: usize, name: &str, domain: TimeDomain) -> usize {
+        if let Some(&c) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| last_segment(&self.nodes[c].path) == name)
+        {
+            return c;
+        }
+        let path = if self.nodes[parent].path.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.nodes[parent].path, name)
+        };
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            path,
+            children: Vec::new(),
+            domain,
+            calls: 0,
+            total_s: 0.0,
+            counters: BTreeMap::new(),
+        });
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+
+    /// Resolve a (possibly multi-segment) path relative to `base`.
+    fn resolve(&mut self, base: usize, rel_path: &str, domain: TimeDomain) -> usize {
+        let mut at = base;
+        for seg in rel_path.split('/').filter(|s| !s.is_empty()) {
+            at = self.child(at, seg, domain);
+        }
+        at
+    }
+
+    fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+fn last_segment(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+/// A handle to a profiling registry.
+///
+/// Cloning is cheap (an `Arc` clone) and all clones share the same data, so
+/// a guard can outlive the borrow it was created from.  A registry built
+/// with [`Registry::disabled`] carries no allocation at all and every
+/// operation on it is a single `Option` discriminant check.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl Registry {
+    /// An enabled registry recording under the given rank id.
+    pub fn enabled(rank: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(Inner::new(rank)))),
+        }
+    }
+
+    /// A no-op registry: spans and counters cost one branch.
+    pub const fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock(inner: &Arc<Mutex<Inner>>) -> MutexGuard<'_, Inner> {
+        // Recover from poisoning: a panicked span drop must not cascade into
+        // every later telemetry call.
+        inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Open a span named `name` (may contain `/` for several levels) nested
+    /// under the innermost open span.  Close it by dropping the guard.
+    #[must_use = "the span closes when the guard drops; binding it to _ closes it immediately"]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard { state: None },
+            Some(arc) => {
+                let (node, start) = {
+                    let mut g = Self::lock(arc);
+                    let base = *g.stack.last().unwrap_or(&0);
+                    let node = g.resolve(base, name, TimeDomain::Measured);
+                    g.stack.push(node);
+                    (node, g.now_s())
+                };
+                SpanGuard {
+                    state: Some(GuardState {
+                        inner: Arc::clone(arc),
+                        node,
+                        start,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Add `delta` to counter `name` on the innermost open span (or the
+    /// root if no span is open).
+    pub fn counter(&self, name: &str, delta: f64) {
+        if let Some(arc) = &self.inner {
+            let mut g = Self::lock(arc);
+            let at = *g.stack.last().unwrap_or(&0);
+            *g.nodes[at].counters.entry(name.to_string()).or_insert(0.0) += delta;
+        }
+    }
+
+    /// Add `delta` to counter `name` on the node at absolute path `path`,
+    /// creating the path if needed (used when ingesting model output).
+    pub fn counter_at(&self, path: &str, domain: TimeDomain, name: &str, delta: f64) {
+        if let Some(arc) = &self.inner {
+            let mut g = Self::lock(arc);
+            let at = g.resolve(0, path, domain);
+            *g.nodes[at].counters.entry(name.to_string()).or_insert(0.0) += delta;
+        }
+    }
+
+    /// Record `calls` invocations totalling `dur_s` seconds on the node at
+    /// absolute path `path` without opening a live span.  This is how
+    /// simulated time (`SimClock`, `PhaseBreakdown`) enters the registry
+    /// under the same schema as measured spans.
+    pub fn record_span(&self, path: &str, domain: TimeDomain, dur_s: f64, calls: u64) {
+        if let Some(arc) = &self.inner {
+            let mut g = Self::lock(arc);
+            let at = g.resolve(0, path, domain);
+            g.nodes[at].calls += calls;
+            g.nodes[at].total_s += dur_s;
+        }
+    }
+
+    /// Like [`Registry::record_span`] but also emits a trace event placed at
+    /// `t_start_s` on this rank's timeline (for simulated phases in
+    /// chrome-trace output).
+    pub fn record_event(&self, path: &str, domain: TimeDomain, t_start_s: f64, dur_s: f64) {
+        if let Some(arc) = &self.inner {
+            let mut g = Self::lock(arc);
+            let at = g.resolve(0, path, domain);
+            g.nodes[at].calls += 1;
+            g.nodes[at].total_s += dur_s;
+            g.events.push(Event {
+                node: at,
+                t_start_s,
+                dur_s,
+            });
+        }
+    }
+
+    /// Immutable copy of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.inner {
+            None => Snapshot::default(),
+            Some(arc) => {
+                let g = Self::lock(arc);
+                let mut spans: Vec<SpanRow> = g
+                    .nodes
+                    .iter()
+                    .skip(1)
+                    .map(|n| SpanRow {
+                        path: n.path.clone(),
+                        domain: n.domain,
+                        calls: n.calls,
+                        total_s: n.total_s,
+                        counters: n.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+                    })
+                    .collect();
+                // Root-level counters (no open span) surface under "(root)".
+                if !g.nodes[0].counters.is_empty() {
+                    spans.push(SpanRow {
+                        path: "(root)".to_string(),
+                        domain: TimeDomain::Measured,
+                        calls: g.nodes[0].calls,
+                        total_s: g.nodes[0].total_s,
+                        counters: g.nodes[0]
+                            .counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), *v))
+                            .collect(),
+                    });
+                }
+                spans.sort_by(|a, b| a.path.cmp(&b.path));
+                let mut events: Vec<TraceEvent> = g
+                    .events
+                    .iter()
+                    .map(|e| TraceEvent {
+                        path: g.nodes[e.node].path.clone(),
+                        domain: g.nodes[e.node].domain,
+                        rank: g.rank,
+                        t_start_s: e.t_start_s,
+                        dur_s: e.dur_s,
+                    })
+                    .collect();
+                events.sort_by(|a, b| a.t_start_s.total_cmp(&b.t_start_s));
+                Snapshot {
+                    rank: g.rank,
+                    nranks: 1,
+                    spans,
+                    events,
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct GuardState {
+    inner: Arc<Mutex<Inner>>,
+    node: usize,
+    start: f64,
+}
+
+/// RAII guard for an open span; closes (and accumulates) on drop.
+///
+/// Guards must drop in strict LIFO order.  In debug builds an out-of-order
+/// drop panics (nesting discipline); in release builds it is recorded
+/// best-effort.
+#[derive(Debug)]
+#[must_use = "the span closes when the guard drops; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    state: Option<GuardState>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(st) = self.state.take() else { return };
+        let mismatch;
+        {
+            let mut g = Registry::lock(&st.inner);
+            let top = g.stack.pop();
+            mismatch = top != Some(st.node);
+            let now = g.now_s();
+            let dur = (now - st.start).max(0.0);
+            let node = &mut g.nodes[st.node];
+            node.calls += 1;
+            node.total_s += dur;
+            g.events.push(Event {
+                node: st.node,
+                t_start_s: st.start,
+                dur_s: dur,
+            });
+        }
+        // Panic outside the lock so the mutex is not poisoned, and never
+        // during an unwind already in progress (double panic aborts).
+        if mismatch && cfg!(debug_assertions) && !std::thread::panicking() {
+            panic!("span guards dropped out of nesting order (unbalanced spans)");
+        }
+    }
+}
+
+/// One accumulated span in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRow {
+    /// Full slash-separated path.
+    pub path: String,
+    /// Measured or simulated time.
+    pub domain: TimeDomain,
+    /// Number of completed calls.
+    pub calls: u64,
+    /// Total seconds across all calls.
+    pub total_s: f64,
+    /// User counters attributed to this span, sorted by name.
+    pub counters: Vec<(String, f64)>,
+}
+
+impl SpanRow {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// One interval on a rank's timeline (chrome-trace "complete" event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Full slash-separated span path.
+    pub path: String,
+    /// Measured or simulated time.
+    pub domain: TimeDomain,
+    /// Rank (becomes the trace `tid`).
+    pub rank: usize,
+    /// Start, seconds since the registry epoch.
+    pub t_start_s: f64,
+    /// Duration in seconds.
+    pub dur_s: f64,
+}
+
+/// An immutable copy of a registry's accumulated state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Rank this snapshot came from (0 for merged snapshots).
+    pub rank: usize,
+    /// How many rank snapshots were merged into this one.
+    pub nranks: usize,
+    /// Accumulated spans, sorted by path.
+    pub spans: Vec<SpanRow>,
+    /// Timeline events, sorted by (rank, start).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Snapshot {
+    /// Look up a span row by its full path.
+    pub fn span(&self, path: &str) -> Option<&SpanRow> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Total seconds over every span row whose last path segment is `name`
+    /// (e.g. summing `scatter` wherever it nests).
+    pub fn total_for_segment(&self, name: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| last_segment(&s.path) == name)
+            .map(|s| s.total_s)
+            .sum()
+    }
+
+    /// Sum of a counter over all span rows.
+    pub fn counter_total(&self, name: &str) -> f64 {
+        self.spans.iter().filter_map(|s| s.counter(name)).sum()
+    }
+}
+
+/// Merge per-rank snapshots into one: span times, call counts, and counters
+/// sum across ranks; events keep their source rank.
+///
+/// The result is independent of input order: contributions are sorted by
+/// source rank before any floating-point accumulation, so every permutation
+/// of `snaps` sums in the same order and produces bitwise-identical totals.
+pub fn merge(snaps: &[Snapshot]) -> Snapshot {
+    let mut order: Vec<&Snapshot> = snaps.iter().collect();
+    order.sort_by_key(|s| s.rank);
+
+    let mut paths: Vec<(String, TimeDomain)> = Vec::new();
+    for s in &order {
+        for row in &s.spans {
+            if !paths.iter().any(|(p, _)| *p == row.path) {
+                paths.push((row.path.clone(), row.domain));
+            }
+        }
+    }
+    paths.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut spans = Vec::with_capacity(paths.len());
+    for (path, domain) in paths {
+        let mut calls = 0u64;
+        let mut total_s = 0.0f64;
+        let mut counters: Vec<(String, f64)> = Vec::new();
+        for s in &order {
+            if let Some(row) = s.span(&path) {
+                calls += row.calls;
+                total_s += row.total_s;
+                for (k, v) in &row.counters {
+                    match counters.iter_mut().find(|(ck, _)| ck == k) {
+                        Some((_, cv)) => *cv += *v,
+                        None => counters.push((k.clone(), *v)),
+                    }
+                }
+            }
+        }
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        spans.push(SpanRow {
+            path,
+            domain,
+            calls,
+            total_s,
+            counters,
+        });
+    }
+
+    let mut events: Vec<TraceEvent> = order
+        .iter()
+        .flat_map(|s| s.events.iter().cloned())
+        .collect();
+    events.sort_by(|a, b| {
+        a.rank
+            .cmp(&b.rank)
+            .then(a.t_start_s.total_cmp(&b.t_start_s))
+    });
+    Snapshot {
+        rank: 0,
+        nranks: order.iter().map(|s| s.nranks.max(1)).sum(),
+        spans,
+        events,
+    }
+}
+
+/// Serialize snapshots as chrome trace-event JSON (the
+/// `{"traceEvents":[...]}` object form): one `ph:"X"` complete event per
+/// span interval, `tid` = rank, timestamps in microseconds, sorted by
+/// (tid, ts).  Load in `chrome://tracing` or Perfetto.
+pub fn chrome_trace(snaps: &[Snapshot]) -> String {
+    use json::Value;
+    let mut evs: Vec<&TraceEvent> = snaps.iter().flat_map(|s| s.events.iter()).collect();
+    evs.sort_by(|a, b| {
+        a.rank
+            .cmp(&b.rank)
+            .then(a.t_start_s.total_cmp(&b.t_start_s))
+    });
+    let items: Vec<Value> = evs
+        .iter()
+        .map(|e| {
+            Value::Obj(vec![
+                ("name".into(), Value::Str(last_segment(&e.path).to_string())),
+                ("cat".into(), Value::Str(e.domain.tag().to_string())),
+                ("ph".into(), Value::Str("X".into())),
+                ("ts".into(), Value::Num(e.t_start_s * 1e6)),
+                ("dur".into(), Value::Num(e.dur_s * 1e6)),
+                ("pid".into(), Value::Num(0.0)),
+                ("tid".into(), Value::Num(e.rank as f64)),
+                (
+                    "args".into(),
+                    Value::Obj(vec![("path".into(), Value::Str(e.path.clone()))]),
+                ),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("traceEvents".into(), Value::Arr(items)),
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+    ])
+    .render()
+}
+
+/// Render a snapshot as an indented human-readable profile table.
+pub fn render_table(snap: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let total: f64 = snap
+        .spans
+        .iter()
+        .filter(|s| !s.path.contains('/') && s.path != "(root)")
+        .map(|s| s.total_s)
+        .sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<44} {:>8} {:>12} {:>7}  counters",
+        "span", "calls", "total", "%"
+    );
+    for row in &snap.spans {
+        let depth = row.path.matches('/').count();
+        let label = format!(
+            "{}{}{}",
+            "  ".repeat(depth),
+            last_segment(&row.path),
+            if row.domain == TimeDomain::Simulated {
+                " [sim]"
+            } else {
+                ""
+            }
+        );
+        let pct = if total > 0.0 {
+            100.0 * row.total_s / total
+        } else {
+            0.0
+        };
+        let counters = row
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{k}={v:.3e}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            "{label:<44} {:>8} {:>10.4}ms {pct:>6.1}%  {counters}",
+            row.calls,
+            row.total_s * 1e3,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = Registry::disabled();
+        assert!(!reg.is_enabled());
+        {
+            let _g = reg.span("a/b");
+            reg.counter("flops", 10.0);
+        }
+        let snap = reg.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_accumulate_under_paths() {
+        let reg = Registry::enabled(3);
+        for _ in 0..2 {
+            let _outer = reg.span("nks");
+            {
+                let _inner = reg.span("krylov/gmres");
+                reg.counter("its", 5.0);
+            }
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.rank, 3);
+        let outer = snap.span("nks").unwrap();
+        assert_eq!(outer.calls, 2);
+        let inner = snap.span("nks/krylov/gmres").unwrap();
+        assert_eq!(inner.calls, 2);
+        assert_eq!(inner.counter("its"), Some(10.0));
+        assert!(snap.span("nks/krylov").is_some());
+        // Events recorded for each completed guard (2 outer + 2 inner).
+        assert_eq!(snap.events.len(), 4);
+    }
+
+    #[test]
+    fn child_time_bounded_by_parent() {
+        let reg = Registry::enabled(0);
+        {
+            let _outer = reg.span("outer");
+            let _inner = reg.span("inner");
+            std::hint::black_box((0..1000).sum::<u64>());
+        }
+        let snap = reg.snapshot();
+        let outer = snap.span("outer").unwrap().total_s;
+        let inner = snap.span("outer/inner").unwrap().total_s;
+        assert!(inner <= outer + 1e-9, "inner {inner} > outer {outer}");
+    }
+
+    #[test]
+    fn record_span_ingests_simulated_time() {
+        let reg = Registry::enabled(0);
+        reg.record_span("sim/scatter", TimeDomain::Simulated, 0.25, 12);
+        reg.record_span("sim/scatter", TimeDomain::Simulated, 0.75, 3);
+        reg.counter_at("sim", TimeDomain::Simulated, "bytes", 4096.0);
+        let snap = reg.snapshot();
+        let row = snap.span("sim/scatter").unwrap();
+        assert_eq!(row.domain, TimeDomain::Simulated);
+        assert_eq!(row.calls, 15);
+        assert!((row.total_s - 1.0).abs() < 1e-12);
+        assert_eq!(snap.span("sim").unwrap().counter("bytes"), Some(4096.0));
+    }
+
+    #[test]
+    fn merge_sums_across_ranks() {
+        let mk = |rank: usize, t: f64| {
+            let reg = Registry::enabled(rank);
+            reg.record_span("nks/flux", TimeDomain::Measured, t, 2);
+            reg.counter_at("nks/flux", TimeDomain::Measured, "flops", 100.0 * t);
+            reg.snapshot()
+        };
+        let merged = merge(&[mk(0, 1.0), mk(1, 2.0), mk(2, 4.0)]);
+        assert_eq!(merged.nranks, 3);
+        let row = merged.span("nks/flux").unwrap();
+        assert_eq!(row.calls, 6);
+        assert!((row.total_s - 7.0).abs() < 1e-12);
+        assert_eq!(row.counter("flops"), Some(700.0));
+    }
+
+    #[test]
+    fn segment_and_counter_totals() {
+        let reg = Registry::enabled(0);
+        reg.record_span("a/scatter", TimeDomain::Measured, 1.0, 1);
+        reg.record_span("b/c/scatter", TimeDomain::Measured, 2.0, 1);
+        reg.counter_at("a/scatter", TimeDomain::Measured, "bytes", 7.0);
+        reg.counter_at("b/c/scatter", TimeDomain::Measured, "bytes", 9.0);
+        let snap = reg.snapshot();
+        assert!((snap.total_for_segment("scatter") - 3.0).abs() < 1e-12);
+        assert!((snap.counter_total("bytes") - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let reg = Registry::enabled(1);
+        {
+            let _a = reg.span("nks");
+            let _b = reg.span("gmres");
+        }
+        let trace = chrome_trace(&[reg.snapshot()]);
+        let v = json::Value::parse(&trace).expect("chrome trace must parse");
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(evs.len(), 2);
+        for e in evs {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+            assert!(e.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+            assert_eq!(e.get("tid").unwrap().as_f64(), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn table_renders_every_span() {
+        let reg = Registry::enabled(0);
+        {
+            let _a = reg.span("solve");
+            let _b = reg.span("flux");
+            reg.counter("flops", 123.0);
+        }
+        let txt = render_table(&reg.snapshot());
+        assert!(txt.contains("solve"));
+        assert!(txt.contains("flux"));
+        assert!(txt.contains("flops"));
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "nesting discipline only enforced in debug builds"
+    )]
+    fn unbalanced_guard_drop_panics_in_debug() {
+        let result = std::panic::catch_unwind(|| {
+            let reg = Registry::enabled(0);
+            let a = reg.span("a");
+            let b = reg.span("b");
+            drop(a); // out of order: b is still open
+            drop(b);
+        });
+        assert!(
+            result.is_err(),
+            "out-of-order guard drop must panic in debug"
+        );
+    }
+
+    #[test]
+    fn guard_survives_original_borrow() {
+        // Guards hold their own Arc, so they can be returned from functions.
+        fn open(reg: &Registry) -> SpanGuard {
+            reg.span("escaped")
+        }
+        let reg = Registry::enabled(0);
+        let g = open(&reg);
+        drop(g);
+        assert_eq!(reg.snapshot().span("escaped").unwrap().calls, 1);
+    }
+}

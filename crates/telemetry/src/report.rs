@@ -1,0 +1,292 @@
+//! The stable `fun3d-perf/1` JSON report schema.
+//!
+//! Every bench regenerator can emit one of these via `--json <path>`; the
+//! efficiency tooling reads them back to derive η_alg / η_impl columns.
+//! The schema is versioned (`"schema": "fun3d-perf/1"`) and round-trips
+//! exactly: floats are written in shortest round-trip form, and
+//! [`PerfReport::from_json_str`] of [`PerfReport::to_json_string`] is
+//! identity (checked by tests).
+
+use crate::json::Value;
+use crate::{Snapshot, SpanRow, TimeDomain};
+
+/// Schema identifier written into every report.
+pub const SCHEMA: &str = "fun3d-perf/1";
+
+/// A machine-readable performance report for one run of a regenerator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfReport {
+    /// Report name, usually the regenerator binary (`table3`, `spmv`, ...).
+    pub name: String,
+    /// Free-form string metadata (machine, scale, git describe, ...).
+    pub meta: Vec<(String, String)>,
+    /// Named scalar results (times, rates, iteration counts, η values).
+    pub metrics: Vec<(String, f64)>,
+    /// Merged span profile for the run (may be empty).
+    pub spans: Vec<SpanRow>,
+}
+
+impl PerfReport {
+    /// An empty report with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Attach the merged span profile of `snap`.
+    pub fn with_snapshot(mut self, snap: &Snapshot) -> Self {
+        self.spans = snap.spans.clone();
+        self
+    }
+
+    /// Append a string metadata entry (builder style).
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.meta.push((key.into(), value.into()));
+        self
+    }
+
+    /// Append a scalar metric.
+    pub fn push_metric(&mut self, key: impl Into<String>, value: f64) {
+        self.metrics.push((key.into(), value));
+    }
+
+    /// Look up a metric by name (first match).
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    /// Look up a string metadata entry by key (first match).
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Look up a span row by full path.
+    pub fn span(&self, path: &str) -> Option<&SpanRow> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Build the JSON tree for this report.
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("schema".into(), Value::Str(SCHEMA.into())),
+            ("name".into(), Value::Str(self.name.clone())),
+            (
+                "meta".into(),
+                Value::Obj(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "metrics".into(),
+                Value::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "spans".into(),
+                Value::Arr(self.spans.iter().map(span_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Serialize to a JSON string (compact, single line).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse a report back from JSON text.
+    pub fn from_json_str(s: &str) -> Result<Self, String> {
+        let v = Value::parse(s).map_err(|e| e.to_string())?;
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing schema field")?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?}, expected {SCHEMA:?}"
+            ));
+        }
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("missing name field")?
+            .to_string();
+        let meta = v
+            .get("meta")
+            .and_then(Value::as_obj)
+            .unwrap_or(&[])
+            .iter()
+            .map(|(k, val)| {
+                val.as_str()
+                    .map(|s| (k.clone(), s.to_string()))
+                    .ok_or_else(|| format!("meta entry {k:?} is not a string"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let metrics = v
+            .get("metrics")
+            .and_then(Value::as_obj)
+            .unwrap_or(&[])
+            .iter()
+            .map(|(k, val)| {
+                val.as_f64()
+                    .map(|x| (k.clone(), x))
+                    .ok_or_else(|| format!("metric {k:?} is not a number"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let spans = v
+            .get("spans")
+            .and_then(Value::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(span_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            name,
+            meta,
+            metrics,
+            spans,
+        })
+    }
+
+    /// Write the report to `path` as JSON.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string() + "\n")
+    }
+
+    /// Read a report from a JSON file.
+    pub fn read_json(path: &str) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+fn span_to_json(row: &SpanRow) -> Value {
+    Value::Obj(vec![
+        ("path".into(), Value::Str(row.path.clone())),
+        ("domain".into(), Value::Str(row.domain.tag().into())),
+        ("calls".into(), Value::Num(row.calls as f64)),
+        ("total_s".into(), Value::Num(row.total_s)),
+        (
+            "counters".into(),
+            Value::Obj(
+                row.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn span_from_json(v: &Value) -> Result<SpanRow, String> {
+    let path = v
+        .get("path")
+        .and_then(Value::as_str)
+        .ok_or("span missing path")?
+        .to_string();
+    let domain = v
+        .get("domain")
+        .and_then(Value::as_str)
+        .and_then(TimeDomain::from_tag)
+        .ok_or("span missing/invalid domain")?;
+    let calls = v
+        .get("calls")
+        .and_then(Value::as_f64)
+        .ok_or("span missing calls")? as u64;
+    let total_s = v
+        .get("total_s")
+        .and_then(Value::as_f64)
+        .ok_or("span missing total_s")?;
+    let counters = v
+        .get("counters")
+        .and_then(Value::as_obj)
+        .unwrap_or(&[])
+        .iter()
+        .map(|(k, val)| {
+            val.as_f64()
+                .map(|x| (k.clone(), x))
+                .ok_or_else(|| format!("counter {k:?} is not a number"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SpanRow {
+        path,
+        domain,
+        calls,
+        total_s,
+        counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_report() -> PerfReport {
+        let reg = Registry::enabled(0);
+        {
+            let _s = reg.span("nks");
+            let _k = reg.span("krylov");
+            reg.counter("its", 17.0);
+        }
+        reg.record_span("sim/scatter", TimeDomain::Simulated, 0.125, 4);
+        let mut r = PerfReport::new("unit-test")
+            .with_meta("machine", "asci_red")
+            .with_meta("scale", "0.1")
+            .with_snapshot(&reg.snapshot());
+        r.push_metric("time_s", 1.0 / 3.0);
+        r.push_metric("eta_overall", 0.8125);
+        r
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let r = sample_report();
+        let text = r.to_json_string();
+        let back = PerfReport::from_json_str(&text).unwrap();
+        assert_eq!(r, back);
+        // And the JSON text itself is a fixed point.
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn accessors_find_entries() {
+        let r = sample_report();
+        assert_eq!(r.metric("eta_overall"), Some(0.8125));
+        assert!(r.metric("absent").is_none());
+        assert_eq!(r.span("nks/krylov").unwrap().counter("its"), Some(17.0));
+        assert_eq!(r.span("sim/scatter").unwrap().domain, TimeDomain::Simulated);
+    }
+
+    #[test]
+    fn schema_is_enforced() {
+        let bad = r#"{"schema":"fun3d-perf/999","name":"x","meta":{},"metrics":{},"spans":[]}"#;
+        assert!(PerfReport::from_json_str(bad).is_err());
+        assert!(PerfReport::from_json_str("{}").is_err());
+        assert!(PerfReport::from_json_str("not json").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let r = sample_report();
+        let dir = std::env::temp_dir();
+        let path = dir.join("fun3d_perf_report_test.json");
+        let path = path.to_str().unwrap();
+        r.write_json(path).unwrap();
+        let back = PerfReport::read_json(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert_eq!(r, back);
+    }
+}

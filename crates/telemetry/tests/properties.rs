@@ -1,0 +1,139 @@
+//! Property tests for the telemetry registry: merge order-independence
+//! across simulated ranks, chrome-trace structural validity with monotone
+//! timestamps per thread, and PerfReport round-tripping of arbitrary data.
+
+use fun3d_telemetry::report::PerfReport;
+use fun3d_telemetry::{chrome_trace, json, merge, Registry, Snapshot, TimeDomain};
+use proptest::prelude::*;
+
+const PHASES: &[&str] = &[
+    "nks/flux",
+    "nks/jacobian",
+    "nks/gmres",
+    "comm/scatter",
+    "comm/allreduce",
+];
+
+/// Build a simulated-rank snapshot from (phase index, dur, counter) triples.
+fn rank_snapshot(rank: usize, items: &[(usize, f64, f64)]) -> Snapshot {
+    let reg = Registry::enabled(rank);
+    let mut t = 0.0;
+    for &(phase, dur, counter) in items {
+        let path = PHASES[phase % PHASES.len()];
+        reg.record_event(path, TimeDomain::Simulated, t, dur);
+        reg.counter_at(path, TimeDomain::Simulated, "work", counter);
+        t += dur;
+    }
+    reg.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn merge_is_order_independent(
+        ranks in proptest::collection::vec(
+            proptest::collection::vec((0usize..5, 1e-6f64..1.0, 0.0f64..1e6), 1..12),
+            2..6,
+        ),
+        rot in 0usize..6,
+    ) {
+        let snaps: Vec<Snapshot> = ranks
+            .iter()
+            .enumerate()
+            .map(|(r, items)| rank_snapshot(r, items))
+            .collect();
+        let forward = merge(&snaps);
+
+        // Any permutation (rotation + reversal covers enough of S_n to catch
+        // order-dependent float accumulation) must give bitwise-equal totals.
+        let mut rotated = snaps.clone();
+        let len = rotated.len();
+        rotated.rotate_left(rot % len);
+        let mut reversed = snaps.clone();
+        reversed.reverse();
+
+        for permuted in [merge(&rotated), merge(&reversed)] {
+            prop_assert_eq!(&forward.spans, &permuted.spans);
+            prop_assert_eq!(&forward.events, &permuted.events);
+            prop_assert_eq!(forward.nranks, permuted.nranks);
+        }
+    }
+
+    #[test]
+    fn chrome_trace_valid_and_monotone_per_tid(
+        ranks in proptest::collection::vec(
+            proptest::collection::vec((0usize..5, 1e-6f64..0.5, 0.0f64..10.0), 1..10),
+            1..5,
+        ),
+    ) {
+        let snaps: Vec<Snapshot> = ranks
+            .iter()
+            .enumerate()
+            .map(|(r, items)| rank_snapshot(r, items))
+            .collect();
+        let text = chrome_trace(&snaps);
+        let v = json::Value::parse(&text).expect("chrome trace must be valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let total: usize = ranks.iter().map(Vec::len).sum();
+        prop_assert_eq!(events.len(), total);
+
+        let mut last_ts: Vec<Option<f64>> = vec![None; ranks.len()];
+        for e in events {
+            prop_assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+            let ts = e.get("ts").unwrap().as_f64().unwrap();
+            let dur = e.get("dur").unwrap().as_f64().unwrap();
+            prop_assert!(ts >= 0.0 && dur >= 0.0);
+            let tid = e.get("tid").unwrap().as_f64().unwrap() as usize;
+            prop_assert!(tid < ranks.len());
+            if let Some(prev) = last_ts[tid] {
+                prop_assert!(ts >= prev, "ts must be monotone within tid {}: {} < {}", tid, ts, prev);
+            }
+            last_ts[tid] = Some(ts);
+            prop_assert!(e.get("args").unwrap().get("path").unwrap().as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn perf_report_round_trips_arbitrary_metrics(
+        metrics in proptest::collection::vec((0usize..1000, -1e12f64..1e12), 0..20),
+        durs in proptest::collection::vec(1e-9f64..1e3, 1..8),
+    ) {
+        let reg = Registry::enabled(0);
+        for (i, &d) in durs.iter().enumerate() {
+            reg.record_span(PHASES[i % PHASES.len()], TimeDomain::Measured, d, 1 + i as u64);
+        }
+        let mut r = PerfReport::new("prop-test")
+            .with_meta("k", "v \"quoted\" \n line")
+            .with_snapshot(&reg.snapshot());
+        for (i, &(id, v)) in metrics.iter().enumerate() {
+            r.push_metric(format!("m{id}_{i}"), v);
+        }
+        let text = r.to_json_string();
+        let back = PerfReport::from_json_str(&text).expect("round-trip parse");
+        prop_assert_eq!(&r, &back);
+        prop_assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn merged_totals_equal_sum_of_parts(
+        ranks in proptest::collection::vec(
+            proptest::collection::vec((0usize..5, 1e-6f64..1.0, 0.0f64..1e3), 1..10),
+            1..5,
+        ),
+    ) {
+        let snaps: Vec<Snapshot> = ranks
+            .iter()
+            .enumerate()
+            .map(|(r, items)| rank_snapshot(r, items))
+            .collect();
+        let merged = merge(&snaps);
+        for phase in PHASES {
+            let calls: u64 = snaps.iter().filter_map(|s| s.span(phase)).map(|r| r.calls).sum();
+            let merged_calls = merged.span(phase).map_or(0, |r| r.calls);
+            prop_assert_eq!(calls, merged_calls);
+        }
+        let events: usize = snaps.iter().map(|s| s.events.len()).sum();
+        prop_assert_eq!(events, merged.events.len());
+    }
+}

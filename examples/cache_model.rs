@@ -20,7 +20,10 @@ use petsc_fun3d_repro::sparse::layout::FieldLayout;
 
 fn main() {
     let base = BumpChannelSpec::with_target_vertices(10_000).build();
-    println!("kernels on a {}-vertex mesh, R10000/Origin-2000 cache hierarchy\n", base.nverts());
+    println!(
+        "kernels on a {}-vertex mesh, R10000/Origin-2000 cache hierarchy\n",
+        base.nverts()
+    );
 
     // --- 1. The flux kernel's misses under good and bad orderings ---
     println!("flux kernel (second order, 4 components):");

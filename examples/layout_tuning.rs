@@ -17,7 +17,10 @@ use petsc_fun3d_repro::sparse::ilu::IluOptions;
 
 fn main() {
     let mesh = BumpChannelSpec::with_target_vertices(8_000);
-    println!("Euler flow over a bump, {} vertices; 3 timed steps per layout\n", mesh.nverts());
+    println!(
+        "Euler flow over a bump, {} vertices; 3 timed steps per layout\n",
+        mesh.nverts()
+    );
     println!("interlace  block  reorder   time/step   speedup");
 
     let mut baseline = None;

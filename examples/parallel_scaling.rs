@@ -35,7 +35,7 @@ fn main() {
     let mut jac = disc.jacobian(&q);
     let scale = disc.wavespeed_sums(&q);
     let d: Vec<f64> = (0..mesh.nverts())
-        .flat_map(|v| std::iter::repeat(scale[v]).take(ncomp))
+        .flat_map(|v| std::iter::repeat_n(scale[v], ncomp))
         .collect();
     jac.shift_diagonal_by(1.0 / 50.0, &d);
     let n = jac.nrows();
@@ -51,7 +51,7 @@ fn main() {
         let owner: Vec<u32> = part
             .part
             .iter()
-            .flat_map(|&pp| std::iter::repeat(pp).take(ncomp))
+            .flat_map(|&pp| std::iter::repeat_n(pp, ncomp))
             .collect();
         let report = parallel_block_jacobi_solve(
             &jac,

@@ -87,8 +87,12 @@ fn main() {
         use petsc_fun3d_repro::core::output::write_vtk_file;
         use petsc_fun3d_repro::euler::field::FieldVec;
         let field = FieldVec::from_vec(q, mesh.nverts(), 4, cfg.layout.field_layout());
-        write_vtk_file(std::path::Path::new(&path), &mesh, Some((&field, &cfg.model)))
-            .expect("VTK write failed");
+        write_vtk_file(
+            std::path::Path::new(&path),
+            &mesh,
+            Some((&field, &cfg.model)),
+        )
+        .expect("VTK write failed");
         println!("wrote {path}");
     }
 }

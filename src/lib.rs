@@ -16,7 +16,7 @@
 //!
 //! See the individual crates for the substance:
 //! [`mesh`], [`sparse`], [`partition`], [`memmodel`], [`comm`], [`euler`],
-//! [`solver`], and [`core`] (the application layer).
+//! [`solver`], [`telemetry`], and [`core`] (the application layer).
 
 pub use fun3d_comm as comm;
 pub use fun3d_core as core;
@@ -26,3 +26,4 @@ pub use fun3d_mesh as mesh;
 pub use fun3d_partition as partition;
 pub use fun3d_solver as solver;
 pub use fun3d_sparse as sparse;
+pub use fun3d_telemetry as telemetry;

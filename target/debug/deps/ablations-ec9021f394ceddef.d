@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ec9021f394ceddef.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-ec9021f394ceddef: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

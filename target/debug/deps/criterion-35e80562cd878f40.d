@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-35e80562cd878f40.d: crates/criterion-compat/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-35e80562cd878f40: crates/criterion-compat/src/lib.rs
+
+crates/criterion-compat/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-56d020e13c86dae2.d: crates/criterion-compat/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-56d020e13c86dae2.rmeta: crates/criterion-compat/src/lib.rs Cargo.toml
+
+crates/criterion-compat/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-b37977f63ec452d6.d: crates/criterion-compat/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b37977f63ec452d6.rlib: crates/criterion-compat/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b37977f63ec452d6.rmeta: crates/criterion-compat/src/lib.rs
+
+crates/criterion-compat/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-c5716499f47d831b.d: crates/criterion-compat/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-c5716499f47d831b.rmeta: crates/criterion-compat/src/lib.rs Cargo.toml
+
+crates/criterion-compat/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

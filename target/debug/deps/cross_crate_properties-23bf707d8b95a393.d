@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_properties-23bf707d8b95a393.d: tests/cross_crate_properties.rs
+
+/root/repo/target/debug/deps/cross_crate_properties-23bf707d8b95a393: tests/cross_crate_properties.rs
+
+tests/cross_crate_properties.rs:

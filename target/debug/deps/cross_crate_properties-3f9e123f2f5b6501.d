@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_crate_properties-3f9e123f2f5b6501.d: tests/cross_crate_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_crate_properties-3f9e123f2f5b6501.rmeta: tests/cross_crate_properties.rs Cargo.toml
+
+tests/cross_crate_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

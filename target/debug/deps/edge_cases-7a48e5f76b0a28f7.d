@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_cases-7a48e5f76b0a28f7.d: tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_cases-7a48e5f76b0a28f7.rmeta: tests/edge_cases.rs Cargo.toml
+
+tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

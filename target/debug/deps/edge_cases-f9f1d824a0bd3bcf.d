@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-f9f1d824a0bd3bcf.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-f9f1d824a0bd3bcf: tests/edge_cases.rs
+
+tests/edge_cases.rs:

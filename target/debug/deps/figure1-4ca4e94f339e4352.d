@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure1-4ca4e94f339e4352.d: crates/bench/src/bin/figure1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1-4ca4e94f339e4352.rmeta: crates/bench/src/bin/figure1.rs Cargo.toml
+
+crates/bench/src/bin/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

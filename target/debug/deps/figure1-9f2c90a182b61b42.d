@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-9f2c90a182b61b42.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-9f2c90a182b61b42: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure2-1ee4a0fbe71d233d.d: crates/bench/src/bin/figure2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure2-1ee4a0fbe71d233d.rmeta: crates/bench/src/bin/figure2.rs Cargo.toml
+
+crates/bench/src/bin/figure2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

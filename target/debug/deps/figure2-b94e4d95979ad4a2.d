@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-b94e4d95979ad4a2.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-b94e4d95979ad4a2: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-8b9247e2570cdf15.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-8b9247e2570cdf15: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure3-929fc7b98e7066b4.d: crates/bench/src/bin/figure3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure3-929fc7b98e7066b4.rmeta: crates/bench/src/bin/figure3.rs Cargo.toml
+
+crates/bench/src/bin/figure3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

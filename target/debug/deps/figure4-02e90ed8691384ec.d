@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-02e90ed8691384ec.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-02e90ed8691384ec: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

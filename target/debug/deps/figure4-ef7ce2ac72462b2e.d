@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure4-ef7ce2ac72462b2e.d: crates/bench/src/bin/figure4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure4-ef7ce2ac72462b2e.rmeta: crates/bench/src/bin/figure4.rs Cargo.toml
+
+crates/bench/src/bin/figure4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure4-f5c9a7221463f8d5.d: crates/bench/src/bin/figure4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure4-f5c9a7221463f8d5.rmeta: crates/bench/src/bin/figure4.rs Cargo.toml
+
+crates/bench/src/bin/figure4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

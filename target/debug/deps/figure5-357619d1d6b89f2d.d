@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure5-357619d1d6b89f2d.d: crates/bench/src/bin/figure5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5-357619d1d6b89f2d.rmeta: crates/bench/src/bin/figure5.rs Cargo.toml
+
+crates/bench/src/bin/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

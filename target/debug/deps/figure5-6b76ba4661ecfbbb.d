@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-6b76ba4661ecfbbb.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-6b76ba4661ecfbbb: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

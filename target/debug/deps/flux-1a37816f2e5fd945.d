@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flux-1a37816f2e5fd945.d: crates/bench/benches/flux.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflux-1a37816f2e5fd945.rmeta: crates/bench/benches/flux.rs Cargo.toml
+
+crates/bench/benches/flux.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_solve-56a3c955772c81a2.d: tests/full_solve.rs
+
+/root/repo/target/debug/deps/full_solve-56a3c955772c81a2: tests/full_solve.rs
+
+tests/full_solve.rs:

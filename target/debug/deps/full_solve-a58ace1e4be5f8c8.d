@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_solve-a58ace1e4be5f8c8.d: tests/full_solve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_solve-a58ace1e4be5f8c8.rmeta: tests/full_solve.rs Cargo.toml
+
+tests/full_solve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fun3d-170da0db15403d47.d: crates/core/src/bin/fun3d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfun3d-170da0db15403d47.rmeta: crates/core/src/bin/fun3d.rs Cargo.toml
+
+crates/core/src/bin/fun3d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fun3d-6b6534c327fef981.d: crates/core/src/bin/fun3d.rs
+
+/root/repo/target/debug/deps/fun3d-6b6534c327fef981: crates/core/src/bin/fun3d.rs
+
+crates/core/src/bin/fun3d.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fun3d_bench-1e4c3a3bbfef4396.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfun3d_bench-1e4c3a3bbfef4396.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

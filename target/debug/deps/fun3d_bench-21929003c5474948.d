@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fun3d_bench-21929003c5474948.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fun3d_bench-21929003c5474948: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

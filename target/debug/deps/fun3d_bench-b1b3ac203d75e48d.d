@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fun3d_bench-b1b3ac203d75e48d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfun3d_bench-b1b3ac203d75e48d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfun3d_bench-b1b3ac203d75e48d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fun3d_comm-4466ccf5c5ec3f30.d: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/scatter.rs crates/comm/src/smp.rs crates/comm/src/world.rs
+
+/root/repo/target/debug/deps/fun3d_comm-4466ccf5c5ec3f30: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/scatter.rs crates/comm/src/smp.rs crates/comm/src/world.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/clock.rs:
+crates/comm/src/scatter.rs:
+crates/comm/src/smp.rs:
+crates/comm/src/world.rs:

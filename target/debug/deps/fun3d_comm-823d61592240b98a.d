@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fun3d_comm-823d61592240b98a.d: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/scatter.rs crates/comm/src/smp.rs crates/comm/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfun3d_comm-823d61592240b98a.rmeta: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/scatter.rs crates/comm/src/smp.rs crates/comm/src/world.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/clock.rs:
+crates/comm/src/scatter.rs:
+crates/comm/src/smp.rs:
+crates/comm/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fun3d_comm-d8709c619c09c6a4.d: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/scatter.rs crates/comm/src/smp.rs crates/comm/src/world.rs
+
+/root/repo/target/debug/deps/libfun3d_comm-d8709c619c09c6a4.rlib: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/scatter.rs crates/comm/src/smp.rs crates/comm/src/world.rs
+
+/root/repo/target/debug/deps/libfun3d_comm-d8709c619c09c6a4.rmeta: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/scatter.rs crates/comm/src/smp.rs crates/comm/src/world.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/clock.rs:
+crates/comm/src/scatter.rs:
+crates/comm/src/smp.rs:
+crates/comm/src/world.rs:

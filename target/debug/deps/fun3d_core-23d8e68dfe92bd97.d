@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fun3d_core-23d8e68dfe92bd97.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/dist.rs crates/core/src/driver.rs crates/core/src/efficiency.rs crates/core/src/output.rs crates/core/src/parallel_nks.rs crates/core/src/problem.rs crates/core/src/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfun3d_core-23d8e68dfe92bd97.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/dist.rs crates/core/src/driver.rs crates/core/src/efficiency.rs crates/core/src/output.rs crates/core/src/parallel_nks.rs crates/core/src/problem.rs crates/core/src/scaling.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/dist.rs:
+crates/core/src/driver.rs:
+crates/core/src/efficiency.rs:
+crates/core/src/output.rs:
+crates/core/src/parallel_nks.rs:
+crates/core/src/problem.rs:
+crates/core/src/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

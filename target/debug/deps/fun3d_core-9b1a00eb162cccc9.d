@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fun3d_core-9b1a00eb162cccc9.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/dist.rs crates/core/src/driver.rs crates/core/src/efficiency.rs crates/core/src/output.rs crates/core/src/parallel_nks.rs crates/core/src/problem.rs crates/core/src/scaling.rs
+
+/root/repo/target/debug/deps/libfun3d_core-9b1a00eb162cccc9.rlib: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/dist.rs crates/core/src/driver.rs crates/core/src/efficiency.rs crates/core/src/output.rs crates/core/src/parallel_nks.rs crates/core/src/problem.rs crates/core/src/scaling.rs
+
+/root/repo/target/debug/deps/libfun3d_core-9b1a00eb162cccc9.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/dist.rs crates/core/src/driver.rs crates/core/src/efficiency.rs crates/core/src/output.rs crates/core/src/parallel_nks.rs crates/core/src/problem.rs crates/core/src/scaling.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/dist.rs:
+crates/core/src/driver.rs:
+crates/core/src/efficiency.rs:
+crates/core/src/output.rs:
+crates/core/src/parallel_nks.rs:
+crates/core/src/problem.rs:
+crates/core/src/scaling.rs:

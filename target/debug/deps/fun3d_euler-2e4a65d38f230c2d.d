@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fun3d_euler-2e4a65d38f230c2d.d: crates/euler/src/lib.rs crates/euler/src/field.rs crates/euler/src/gradient.rs crates/euler/src/model.rs crates/euler/src/residual.rs
+
+/root/repo/target/debug/deps/libfun3d_euler-2e4a65d38f230c2d.rlib: crates/euler/src/lib.rs crates/euler/src/field.rs crates/euler/src/gradient.rs crates/euler/src/model.rs crates/euler/src/residual.rs
+
+/root/repo/target/debug/deps/libfun3d_euler-2e4a65d38f230c2d.rmeta: crates/euler/src/lib.rs crates/euler/src/field.rs crates/euler/src/gradient.rs crates/euler/src/model.rs crates/euler/src/residual.rs
+
+crates/euler/src/lib.rs:
+crates/euler/src/field.rs:
+crates/euler/src/gradient.rs:
+crates/euler/src/model.rs:
+crates/euler/src/residual.rs:

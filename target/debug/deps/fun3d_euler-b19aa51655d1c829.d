@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fun3d_euler-b19aa51655d1c829.d: crates/euler/src/lib.rs crates/euler/src/field.rs crates/euler/src/gradient.rs crates/euler/src/model.rs crates/euler/src/residual.rs
+
+/root/repo/target/debug/deps/fun3d_euler-b19aa51655d1c829: crates/euler/src/lib.rs crates/euler/src/field.rs crates/euler/src/gradient.rs crates/euler/src/model.rs crates/euler/src/residual.rs
+
+crates/euler/src/lib.rs:
+crates/euler/src/field.rs:
+crates/euler/src/gradient.rs:
+crates/euler/src/model.rs:
+crates/euler/src/residual.rs:

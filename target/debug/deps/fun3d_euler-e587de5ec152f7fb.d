@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fun3d_euler-e587de5ec152f7fb.d: crates/euler/src/lib.rs crates/euler/src/field.rs crates/euler/src/gradient.rs crates/euler/src/model.rs crates/euler/src/residual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfun3d_euler-e587de5ec152f7fb.rmeta: crates/euler/src/lib.rs crates/euler/src/field.rs crates/euler/src/gradient.rs crates/euler/src/model.rs crates/euler/src/residual.rs Cargo.toml
+
+crates/euler/src/lib.rs:
+crates/euler/src/field.rs:
+crates/euler/src/gradient.rs:
+crates/euler/src/model.rs:
+crates/euler/src/residual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fun3d_memmodel-11a33b91f96855c2.d: crates/memmodel/src/lib.rs crates/memmodel/src/bounds.rs crates/memmodel/src/cache.rs crates/memmodel/src/hierarchy.rs crates/memmodel/src/machine.rs crates/memmodel/src/sched.rs crates/memmodel/src/spmv_model.rs crates/memmodel/src/stream.rs crates/memmodel/src/trace.rs
+
+/root/repo/target/debug/deps/libfun3d_memmodel-11a33b91f96855c2.rlib: crates/memmodel/src/lib.rs crates/memmodel/src/bounds.rs crates/memmodel/src/cache.rs crates/memmodel/src/hierarchy.rs crates/memmodel/src/machine.rs crates/memmodel/src/sched.rs crates/memmodel/src/spmv_model.rs crates/memmodel/src/stream.rs crates/memmodel/src/trace.rs
+
+/root/repo/target/debug/deps/libfun3d_memmodel-11a33b91f96855c2.rmeta: crates/memmodel/src/lib.rs crates/memmodel/src/bounds.rs crates/memmodel/src/cache.rs crates/memmodel/src/hierarchy.rs crates/memmodel/src/machine.rs crates/memmodel/src/sched.rs crates/memmodel/src/spmv_model.rs crates/memmodel/src/stream.rs crates/memmodel/src/trace.rs
+
+crates/memmodel/src/lib.rs:
+crates/memmodel/src/bounds.rs:
+crates/memmodel/src/cache.rs:
+crates/memmodel/src/hierarchy.rs:
+crates/memmodel/src/machine.rs:
+crates/memmodel/src/sched.rs:
+crates/memmodel/src/spmv_model.rs:
+crates/memmodel/src/stream.rs:
+crates/memmodel/src/trace.rs:

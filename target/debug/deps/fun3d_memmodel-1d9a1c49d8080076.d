@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fun3d_memmodel-1d9a1c49d8080076.d: crates/memmodel/src/lib.rs crates/memmodel/src/bounds.rs crates/memmodel/src/cache.rs crates/memmodel/src/hierarchy.rs crates/memmodel/src/machine.rs crates/memmodel/src/sched.rs crates/memmodel/src/spmv_model.rs crates/memmodel/src/stream.rs crates/memmodel/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfun3d_memmodel-1d9a1c49d8080076.rmeta: crates/memmodel/src/lib.rs crates/memmodel/src/bounds.rs crates/memmodel/src/cache.rs crates/memmodel/src/hierarchy.rs crates/memmodel/src/machine.rs crates/memmodel/src/sched.rs crates/memmodel/src/spmv_model.rs crates/memmodel/src/stream.rs crates/memmodel/src/trace.rs Cargo.toml
+
+crates/memmodel/src/lib.rs:
+crates/memmodel/src/bounds.rs:
+crates/memmodel/src/cache.rs:
+crates/memmodel/src/hierarchy.rs:
+crates/memmodel/src/machine.rs:
+crates/memmodel/src/sched.rs:
+crates/memmodel/src/spmv_model.rs:
+crates/memmodel/src/stream.rs:
+crates/memmodel/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

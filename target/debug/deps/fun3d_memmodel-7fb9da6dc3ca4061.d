@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fun3d_memmodel-7fb9da6dc3ca4061.d: crates/memmodel/src/lib.rs crates/memmodel/src/bounds.rs crates/memmodel/src/cache.rs crates/memmodel/src/hierarchy.rs crates/memmodel/src/machine.rs crates/memmodel/src/sched.rs crates/memmodel/src/spmv_model.rs crates/memmodel/src/stream.rs crates/memmodel/src/trace.rs
+
+/root/repo/target/debug/deps/fun3d_memmodel-7fb9da6dc3ca4061: crates/memmodel/src/lib.rs crates/memmodel/src/bounds.rs crates/memmodel/src/cache.rs crates/memmodel/src/hierarchy.rs crates/memmodel/src/machine.rs crates/memmodel/src/sched.rs crates/memmodel/src/spmv_model.rs crates/memmodel/src/stream.rs crates/memmodel/src/trace.rs
+
+crates/memmodel/src/lib.rs:
+crates/memmodel/src/bounds.rs:
+crates/memmodel/src/cache.rs:
+crates/memmodel/src/hierarchy.rs:
+crates/memmodel/src/machine.rs:
+crates/memmodel/src/sched.rs:
+crates/memmodel/src/spmv_model.rs:
+crates/memmodel/src/stream.rs:
+crates/memmodel/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fun3d_mesh-06aa6432b0797113.d: crates/mesh/src/lib.rs crates/mesh/src/generator.rs crates/mesh/src/graph.rs crates/mesh/src/metrics.rs crates/mesh/src/reorder.rs crates/mesh/src/tet.rs
+
+/root/repo/target/debug/deps/libfun3d_mesh-06aa6432b0797113.rlib: crates/mesh/src/lib.rs crates/mesh/src/generator.rs crates/mesh/src/graph.rs crates/mesh/src/metrics.rs crates/mesh/src/reorder.rs crates/mesh/src/tet.rs
+
+/root/repo/target/debug/deps/libfun3d_mesh-06aa6432b0797113.rmeta: crates/mesh/src/lib.rs crates/mesh/src/generator.rs crates/mesh/src/graph.rs crates/mesh/src/metrics.rs crates/mesh/src/reorder.rs crates/mesh/src/tet.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/generator.rs:
+crates/mesh/src/graph.rs:
+crates/mesh/src/metrics.rs:
+crates/mesh/src/reorder.rs:
+crates/mesh/src/tet.rs:

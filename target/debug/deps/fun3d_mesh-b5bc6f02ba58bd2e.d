@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fun3d_mesh-b5bc6f02ba58bd2e.d: crates/mesh/src/lib.rs crates/mesh/src/generator.rs crates/mesh/src/graph.rs crates/mesh/src/metrics.rs crates/mesh/src/reorder.rs crates/mesh/src/tet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfun3d_mesh-b5bc6f02ba58bd2e.rmeta: crates/mesh/src/lib.rs crates/mesh/src/generator.rs crates/mesh/src/graph.rs crates/mesh/src/metrics.rs crates/mesh/src/reorder.rs crates/mesh/src/tet.rs Cargo.toml
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/generator.rs:
+crates/mesh/src/graph.rs:
+crates/mesh/src/metrics.rs:
+crates/mesh/src/reorder.rs:
+crates/mesh/src/tet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fun3d_mesh-ec951edb461632de.d: crates/mesh/src/lib.rs crates/mesh/src/generator.rs crates/mesh/src/graph.rs crates/mesh/src/metrics.rs crates/mesh/src/reorder.rs crates/mesh/src/tet.rs
+
+/root/repo/target/debug/deps/fun3d_mesh-ec951edb461632de: crates/mesh/src/lib.rs crates/mesh/src/generator.rs crates/mesh/src/graph.rs crates/mesh/src/metrics.rs crates/mesh/src/reorder.rs crates/mesh/src/tet.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/generator.rs:
+crates/mesh/src/graph.rs:
+crates/mesh/src/metrics.rs:
+crates/mesh/src/reorder.rs:
+crates/mesh/src/tet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fun3d_partition-09182738e8e84d27.d: crates/partition/src/lib.rs crates/partition/src/overlap.rs crates/partition/src/refine.rs
+
+/root/repo/target/debug/deps/libfun3d_partition-09182738e8e84d27.rlib: crates/partition/src/lib.rs crates/partition/src/overlap.rs crates/partition/src/refine.rs
+
+/root/repo/target/debug/deps/libfun3d_partition-09182738e8e84d27.rmeta: crates/partition/src/lib.rs crates/partition/src/overlap.rs crates/partition/src/refine.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/overlap.rs:
+crates/partition/src/refine.rs:

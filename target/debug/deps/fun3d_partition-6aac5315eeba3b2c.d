@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fun3d_partition-6aac5315eeba3b2c.d: crates/partition/src/lib.rs crates/partition/src/overlap.rs crates/partition/src/refine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfun3d_partition-6aac5315eeba3b2c.rmeta: crates/partition/src/lib.rs crates/partition/src/overlap.rs crates/partition/src/refine.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/overlap.rs:
+crates/partition/src/refine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

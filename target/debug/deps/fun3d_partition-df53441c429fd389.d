@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fun3d_partition-df53441c429fd389.d: crates/partition/src/lib.rs crates/partition/src/overlap.rs crates/partition/src/refine.rs
+
+/root/repo/target/debug/deps/fun3d_partition-df53441c429fd389: crates/partition/src/lib.rs crates/partition/src/overlap.rs crates/partition/src/refine.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/overlap.rs:
+crates/partition/src/refine.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fun3d_solver-1ec3b6b08667800e.d: crates/solver/src/lib.rs crates/solver/src/gmres.rs crates/solver/src/op.rs crates/solver/src/precond.rs crates/solver/src/pseudo.rs
+
+/root/repo/target/debug/deps/libfun3d_solver-1ec3b6b08667800e.rlib: crates/solver/src/lib.rs crates/solver/src/gmres.rs crates/solver/src/op.rs crates/solver/src/precond.rs crates/solver/src/pseudo.rs
+
+/root/repo/target/debug/deps/libfun3d_solver-1ec3b6b08667800e.rmeta: crates/solver/src/lib.rs crates/solver/src/gmres.rs crates/solver/src/op.rs crates/solver/src/precond.rs crates/solver/src/pseudo.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/gmres.rs:
+crates/solver/src/op.rs:
+crates/solver/src/precond.rs:
+crates/solver/src/pseudo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fun3d_solver-b516259aa2869cb5.d: crates/solver/src/lib.rs crates/solver/src/gmres.rs crates/solver/src/op.rs crates/solver/src/precond.rs crates/solver/src/pseudo.rs
+
+/root/repo/target/debug/deps/fun3d_solver-b516259aa2869cb5: crates/solver/src/lib.rs crates/solver/src/gmres.rs crates/solver/src/op.rs crates/solver/src/precond.rs crates/solver/src/pseudo.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/gmres.rs:
+crates/solver/src/op.rs:
+crates/solver/src/precond.rs:
+crates/solver/src/pseudo.rs:

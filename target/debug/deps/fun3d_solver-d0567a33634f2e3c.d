@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fun3d_solver-d0567a33634f2e3c.d: crates/solver/src/lib.rs crates/solver/src/gmres.rs crates/solver/src/op.rs crates/solver/src/precond.rs crates/solver/src/pseudo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfun3d_solver-d0567a33634f2e3c.rmeta: crates/solver/src/lib.rs crates/solver/src/gmres.rs crates/solver/src/op.rs crates/solver/src/precond.rs crates/solver/src/pseudo.rs Cargo.toml
+
+crates/solver/src/lib.rs:
+crates/solver/src/gmres.rs:
+crates/solver/src/op.rs:
+crates/solver/src/precond.rs:
+crates/solver/src/pseudo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

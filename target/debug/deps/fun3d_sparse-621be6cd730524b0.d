@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fun3d_sparse-621be6cd730524b0.d: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/block_ilu.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ilu.rs crates/sparse/src/layout.rs crates/sparse/src/triplet.rs crates/sparse/src/vec_ops.rs
+
+/root/repo/target/debug/deps/fun3d_sparse-621be6cd730524b0: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/block_ilu.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ilu.rs crates/sparse/src/layout.rs crates/sparse/src/triplet.rs crates/sparse/src/vec_ops.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bcsr.rs:
+crates/sparse/src/block_ilu.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/ilu.rs:
+crates/sparse/src/layout.rs:
+crates/sparse/src/triplet.rs:
+crates/sparse/src/vec_ops.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fun3d_sparse-923104fcb74be7ec.d: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/block_ilu.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ilu.rs crates/sparse/src/layout.rs crates/sparse/src/triplet.rs crates/sparse/src/vec_ops.rs
+
+/root/repo/target/debug/deps/libfun3d_sparse-923104fcb74be7ec.rlib: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/block_ilu.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ilu.rs crates/sparse/src/layout.rs crates/sparse/src/triplet.rs crates/sparse/src/vec_ops.rs
+
+/root/repo/target/debug/deps/libfun3d_sparse-923104fcb74be7ec.rmeta: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/block_ilu.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ilu.rs crates/sparse/src/layout.rs crates/sparse/src/triplet.rs crates/sparse/src/vec_ops.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bcsr.rs:
+crates/sparse/src/block_ilu.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/ilu.rs:
+crates/sparse/src/layout.rs:
+crates/sparse/src/triplet.rs:
+crates/sparse/src/vec_ops.rs:

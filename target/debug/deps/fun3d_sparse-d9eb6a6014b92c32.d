@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fun3d_sparse-d9eb6a6014b92c32.d: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/block_ilu.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ilu.rs crates/sparse/src/layout.rs crates/sparse/src/triplet.rs crates/sparse/src/vec_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfun3d_sparse-d9eb6a6014b92c32.rmeta: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/block_ilu.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ilu.rs crates/sparse/src/layout.rs crates/sparse/src/triplet.rs crates/sparse/src/vec_ops.rs Cargo.toml
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bcsr.rs:
+crates/sparse/src/block_ilu.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/ilu.rs:
+crates/sparse/src/layout.rs:
+crates/sparse/src/triplet.rs:
+crates/sparse/src/vec_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

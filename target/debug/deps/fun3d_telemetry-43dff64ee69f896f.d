@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fun3d_telemetry-43dff64ee69f896f.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs
+
+/root/repo/target/debug/deps/libfun3d_telemetry-43dff64ee69f896f.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs
+
+/root/repo/target/debug/deps/libfun3d_telemetry-43dff64ee69f896f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/report.rs:

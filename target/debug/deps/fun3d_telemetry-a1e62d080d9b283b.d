@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fun3d_telemetry-a1e62d080d9b283b.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfun3d_telemetry-a1e62d080d9b283b.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fun3d_telemetry-d1dc7f38b9fd048e.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs
+
+/root/repo/target/debug/deps/fun3d_telemetry-d1dc7f38b9fd048e: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/report.rs:

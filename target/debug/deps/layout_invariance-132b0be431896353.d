@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/layout_invariance-132b0be431896353.d: tests/layout_invariance.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblayout_invariance-132b0be431896353.rmeta: tests/layout_invariance.rs Cargo.toml
+
+tests/layout_invariance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/layout_invariance-d648ab9d890fc0e3.d: tests/layout_invariance.rs
+
+/root/repo/target/debug/deps/layout_invariance-d648ab9d890fc0e3: tests/layout_invariance.rs
+
+tests/layout_invariance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/miss_bounds-0282a5745cc371d6.d: crates/bench/src/bin/miss_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmiss_bounds-0282a5745cc371d6.rmeta: crates/bench/src/bin/miss_bounds.rs Cargo.toml
+
+crates/bench/src/bin/miss_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

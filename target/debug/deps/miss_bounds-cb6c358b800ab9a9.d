@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/miss_bounds-cb6c358b800ab9a9.d: crates/bench/src/bin/miss_bounds.rs
+
+/root/repo/target/debug/deps/miss_bounds-cb6c358b800ab9a9: crates/bench/src/bin/miss_bounds.rs
+
+crates/bench/src/bin/miss_bounds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_consistency-61d68b403d70ebd8.d: tests/parallel_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_consistency-61d68b403d70ebd8.rmeta: tests/parallel_consistency.rs Cargo.toml
+
+tests/parallel_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_consistency-b715603afeb22dfc.d: tests/parallel_consistency.rs
+
+/root/repo/target/debug/deps/parallel_consistency-b715603afeb22dfc: tests/parallel_consistency.rs
+
+tests/parallel_consistency.rs:

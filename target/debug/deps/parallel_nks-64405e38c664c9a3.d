@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_nks-64405e38c664c9a3.d: crates/bench/src/bin/parallel_nks.rs
+
+/root/repo/target/debug/deps/parallel_nks-64405e38c664c9a3: crates/bench/src/bin/parallel_nks.rs
+
+crates/bench/src/bin/parallel_nks.rs:

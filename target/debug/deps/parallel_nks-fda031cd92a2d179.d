@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_nks-fda031cd92a2d179.d: crates/bench/src/bin/parallel_nks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_nks-fda031cd92a2d179.rmeta: crates/bench/src/bin/parallel_nks.rs Cargo.toml
+
+crates/bench/src/bin/parallel_nks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partition-89f41f93df8062f8.d: crates/bench/benches/partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartition-89f41f93df8062f8.rmeta: crates/bench/benches/partition.rs Cargo.toml
+
+crates/bench/benches/partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/petsc_fun3d_repro-3671a25a101977af.d: src/lib.rs
+
+/root/repo/target/debug/deps/petsc_fun3d_repro-3671a25a101977af: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/petsc_fun3d_repro-8b3e0f11656d8e2a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpetsc_fun3d_repro-8b3e0f11656d8e2a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

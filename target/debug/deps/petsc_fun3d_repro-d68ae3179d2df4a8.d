@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/petsc_fun3d_repro-d68ae3179d2df4a8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpetsc_fun3d_repro-d68ae3179d2df4a8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpetsc_fun3d_repro-d68ae3179d2df4a8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2ccd6a9a08e24482.d: crates/comm/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2ccd6a9a08e24482.rmeta: crates/comm/tests/properties.rs Cargo.toml
+
+crates/comm/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-74f08960c7358178.d: crates/euler/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-74f08960c7358178: crates/euler/tests/properties.rs
+
+crates/euler/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7a9c88807db6a92e.d: crates/solver/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7a9c88807db6a92e.rmeta: crates/solver/tests/properties.rs Cargo.toml
+
+crates/solver/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

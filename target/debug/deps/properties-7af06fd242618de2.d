@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7af06fd242618de2.d: crates/comm/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7af06fd242618de2: crates/comm/tests/properties.rs
+
+crates/comm/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8504b13087771882.d: crates/sparse/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8504b13087771882: crates/sparse/tests/properties.rs
+
+crates/sparse/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-85825af51c7d2f75.d: crates/sparse/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-85825af51c7d2f75.rmeta: crates/sparse/tests/properties.rs Cargo.toml
+
+crates/sparse/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a779625309b41dc8.d: crates/telemetry/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a779625309b41dc8: crates/telemetry/tests/properties.rs
+
+crates/telemetry/tests/properties.rs:

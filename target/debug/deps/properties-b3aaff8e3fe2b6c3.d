@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b3aaff8e3fe2b6c3.d: crates/mesh/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b3aaff8e3fe2b6c3: crates/mesh/tests/properties.rs
+
+crates/mesh/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-b85bdd1d27215bcc.d: crates/telemetry/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b85bdd1d27215bcc.rmeta: crates/telemetry/tests/properties.rs Cargo.toml
+
+crates/telemetry/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

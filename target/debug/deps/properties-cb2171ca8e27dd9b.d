@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cb2171ca8e27dd9b.d: crates/solver/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cb2171ca8e27dd9b: crates/solver/tests/properties.rs
+
+crates/solver/tests/properties.rs:

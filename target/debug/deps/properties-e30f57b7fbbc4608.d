@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-e30f57b7fbbc4608.d: crates/mesh/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-e30f57b7fbbc4608.rmeta: crates/mesh/tests/properties.rs Cargo.toml
+
+crates/mesh/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

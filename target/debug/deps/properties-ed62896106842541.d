@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ed62896106842541.d: crates/euler/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ed62896106842541.rmeta: crates/euler/tests/properties.rs Cargo.toml
+
+crates/euler/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-07cab5d3e739b8dc.d: crates/proptest-compat/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-07cab5d3e739b8dc: crates/proptest-compat/src/lib.rs
+
+crates/proptest-compat/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-56db88649c37d58f.d: crates/proptest-compat/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-56db88649c37d58f.rlib: crates/proptest-compat/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-56db88649c37d58f.rmeta: crates/proptest-compat/src/lib.rs
+
+crates/proptest-compat/src/lib.rs:

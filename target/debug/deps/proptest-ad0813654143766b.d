@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-ad0813654143766b.d: crates/proptest-compat/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-ad0813654143766b.rmeta: crates/proptest-compat/src/lib.rs Cargo.toml
+
+crates/proptest-compat/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-b2bf3a52201642e9.d: crates/proptest-compat/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-b2bf3a52201642e9.rmeta: crates/proptest-compat/src/lib.rs Cargo.toml
+
+crates/proptest-compat/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

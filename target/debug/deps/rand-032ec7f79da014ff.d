@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-032ec7f79da014ff.d: crates/rand-compat/src/lib.rs
+
+/root/repo/target/debug/deps/librand-032ec7f79da014ff.rlib: crates/rand-compat/src/lib.rs
+
+/root/repo/target/debug/deps/librand-032ec7f79da014ff.rmeta: crates/rand-compat/src/lib.rs
+
+crates/rand-compat/src/lib.rs:

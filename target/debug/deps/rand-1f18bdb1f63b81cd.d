@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-1f18bdb1f63b81cd.d: crates/rand-compat/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-1f18bdb1f63b81cd.rmeta: crates/rand-compat/src/lib.rs Cargo.toml
+
+crates/rand-compat/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-950212428255939d.d: crates/rand-compat/src/lib.rs
+
+/root/repo/target/debug/deps/rand-950212428255939d: crates/rand-compat/src/lib.rs
+
+crates/rand-compat/src/lib.rs:

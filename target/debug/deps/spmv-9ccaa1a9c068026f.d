@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmv-9ccaa1a9c068026f.d: crates/bench/benches/spmv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmv-9ccaa1a9c068026f.rmeta: crates/bench/benches/spmv.rs Cargo.toml
+
+crates/bench/benches/spmv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

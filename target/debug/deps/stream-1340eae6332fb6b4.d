@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream-1340eae6332fb6b4.d: crates/bench/src/bin/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream-1340eae6332fb6b4.rmeta: crates/bench/src/bin/stream.rs Cargo.toml
+
+crates/bench/src/bin/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

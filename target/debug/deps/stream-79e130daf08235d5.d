@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream-79e130daf08235d5.d: crates/bench/src/bin/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream-79e130daf08235d5.rmeta: crates/bench/src/bin/stream.rs Cargo.toml
+
+crates/bench/src/bin/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream-b0d1a7f5bdd40866.d: crates/bench/src/bin/stream.rs
+
+/root/repo/target/debug/deps/stream-b0d1a7f5bdd40866: crates/bench/src/bin/stream.rs
+
+crates/bench/src/bin/stream.rs:

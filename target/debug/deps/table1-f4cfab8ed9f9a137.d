@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f4cfab8ed9f9a137.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f4cfab8ed9f9a137: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

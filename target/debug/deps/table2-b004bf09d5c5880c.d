@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-b004bf09d5c5880c.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-b004bf09d5c5880c: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-b2d7e08de7257fdc.d: crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-b2d7e08de7257fdc.rmeta: crates/bench/src/bin/table3.rs Cargo.toml
+
+crates/bench/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

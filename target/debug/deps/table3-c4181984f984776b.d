@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-c4181984f984776b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-c4181984f984776b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

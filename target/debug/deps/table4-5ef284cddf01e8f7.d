@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-5ef284cddf01e8f7.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-5ef284cddf01e8f7: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5-4080246d6e4a84e2.d: crates/bench/src/bin/table5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5-4080246d6e4a84e2.rmeta: crates/bench/src/bin/table5.rs Cargo.toml
+
+crates/bench/src/bin/table5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-cac4ab386a03b6fa.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-cac4ab386a03b6fa: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-8b26404c6082ee2b.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-8b26404c6082ee2b: tests/telemetry.rs
+
+tests/telemetry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-c525d1e07e5b9de4.d: tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-c525d1e07e5b9de4.rmeta: tests/telemetry.rs Cargo.toml
+
+tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

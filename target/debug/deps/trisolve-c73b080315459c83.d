@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trisolve-c73b080315459c83.d: crates/bench/benches/trisolve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrisolve-c73b080315459c83.rmeta: crates/bench/benches/trisolve.rs Cargo.toml
+
+crates/bench/benches/trisolve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

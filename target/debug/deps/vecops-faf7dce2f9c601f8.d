@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vecops-faf7dce2f9c601f8.d: crates/bench/benches/vecops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvecops-faf7dce2f9c601f8.rmeta: crates/bench/benches/vecops.rs Cargo.toml
+
+crates/bench/benches/vecops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

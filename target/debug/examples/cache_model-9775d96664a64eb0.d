@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cache_model-9775d96664a64eb0.d: examples/cache_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcache_model-9775d96664a64eb0.rmeta: examples/cache_model.rs Cargo.toml
+
+examples/cache_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

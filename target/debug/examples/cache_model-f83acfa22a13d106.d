@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_model-f83acfa22a13d106.d: examples/cache_model.rs
+
+/root/repo/target/debug/examples/cache_model-f83acfa22a13d106: examples/cache_model.rs
+
+examples/cache_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/layout_tuning-759f1e36a17a1f51.d: examples/layout_tuning.rs
+
+/root/repo/target/debug/examples/layout_tuning-759f1e36a17a1f51: examples/layout_tuning.rs
+
+examples/layout_tuning.rs:

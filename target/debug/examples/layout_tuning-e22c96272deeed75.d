@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/layout_tuning-e22c96272deeed75.d: examples/layout_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblayout_tuning-e22c96272deeed75.rmeta: examples/layout_tuning.rs Cargo.toml
+
+examples/layout_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

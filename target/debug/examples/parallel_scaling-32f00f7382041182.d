@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_scaling-32f00f7382041182.d: examples/parallel_scaling.rs
+
+/root/repo/target/debug/examples/parallel_scaling-32f00f7382041182: examples/parallel_scaling.rs
+
+examples/parallel_scaling.rs:

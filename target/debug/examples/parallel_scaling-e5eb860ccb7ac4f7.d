@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_scaling-e5eb860ccb7ac4f7.d: examples/parallel_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_scaling-e5eb860ccb7ac4f7.rmeta: examples/parallel_scaling.rs Cargo.toml
+
+examples/parallel_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

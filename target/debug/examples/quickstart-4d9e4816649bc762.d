@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4d9e4816649bc762.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4d9e4816649bc762: examples/quickstart.rs
+
+examples/quickstart.rs:

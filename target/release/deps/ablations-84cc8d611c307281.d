@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-84cc8d611c307281.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-84cc8d611c307281: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

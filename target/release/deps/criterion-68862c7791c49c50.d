@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-68862c7791c49c50.d: crates/criterion-compat/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-68862c7791c49c50.rlib: crates/criterion-compat/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-68862c7791c49c50.rmeta: crates/criterion-compat/src/lib.rs
+
+crates/criterion-compat/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-0dfa8dbdc08c1597.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/release/deps/figure1-0dfa8dbdc08c1597: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

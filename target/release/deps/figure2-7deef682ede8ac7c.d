@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-7deef682ede8ac7c.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-7deef682ede8ac7c: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-d1450fb7dba7852a.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-d1450fb7dba7852a: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

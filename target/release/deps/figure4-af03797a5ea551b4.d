@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-af03797a5ea551b4.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-af03797a5ea551b4: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-8760a76f428c0736.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-8760a76f428c0736: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fun3d-c3ed693add072f35.d: crates/core/src/bin/fun3d.rs
+
+/root/repo/target/release/deps/fun3d-c3ed693add072f35: crates/core/src/bin/fun3d.rs
+
+crates/core/src/bin/fun3d.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fun3d_bench-410845a4ff07751c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfun3d_bench-410845a4ff07751c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfun3d_bench-410845a4ff07751c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

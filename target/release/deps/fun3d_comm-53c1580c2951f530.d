@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fun3d_comm-53c1580c2951f530.d: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/scatter.rs crates/comm/src/smp.rs crates/comm/src/world.rs
+
+/root/repo/target/release/deps/libfun3d_comm-53c1580c2951f530.rlib: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/scatter.rs crates/comm/src/smp.rs crates/comm/src/world.rs
+
+/root/repo/target/release/deps/libfun3d_comm-53c1580c2951f530.rmeta: crates/comm/src/lib.rs crates/comm/src/clock.rs crates/comm/src/scatter.rs crates/comm/src/smp.rs crates/comm/src/world.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/clock.rs:
+crates/comm/src/scatter.rs:
+crates/comm/src/smp.rs:
+crates/comm/src/world.rs:

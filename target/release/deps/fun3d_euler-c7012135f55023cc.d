@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fun3d_euler-c7012135f55023cc.d: crates/euler/src/lib.rs crates/euler/src/field.rs crates/euler/src/gradient.rs crates/euler/src/model.rs crates/euler/src/residual.rs
+
+/root/repo/target/release/deps/libfun3d_euler-c7012135f55023cc.rlib: crates/euler/src/lib.rs crates/euler/src/field.rs crates/euler/src/gradient.rs crates/euler/src/model.rs crates/euler/src/residual.rs
+
+/root/repo/target/release/deps/libfun3d_euler-c7012135f55023cc.rmeta: crates/euler/src/lib.rs crates/euler/src/field.rs crates/euler/src/gradient.rs crates/euler/src/model.rs crates/euler/src/residual.rs
+
+crates/euler/src/lib.rs:
+crates/euler/src/field.rs:
+crates/euler/src/gradient.rs:
+crates/euler/src/model.rs:
+crates/euler/src/residual.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fun3d_memmodel-4874437ae8a2d108.d: crates/memmodel/src/lib.rs crates/memmodel/src/bounds.rs crates/memmodel/src/cache.rs crates/memmodel/src/hierarchy.rs crates/memmodel/src/machine.rs crates/memmodel/src/sched.rs crates/memmodel/src/spmv_model.rs crates/memmodel/src/stream.rs crates/memmodel/src/trace.rs
+
+/root/repo/target/release/deps/libfun3d_memmodel-4874437ae8a2d108.rlib: crates/memmodel/src/lib.rs crates/memmodel/src/bounds.rs crates/memmodel/src/cache.rs crates/memmodel/src/hierarchy.rs crates/memmodel/src/machine.rs crates/memmodel/src/sched.rs crates/memmodel/src/spmv_model.rs crates/memmodel/src/stream.rs crates/memmodel/src/trace.rs
+
+/root/repo/target/release/deps/libfun3d_memmodel-4874437ae8a2d108.rmeta: crates/memmodel/src/lib.rs crates/memmodel/src/bounds.rs crates/memmodel/src/cache.rs crates/memmodel/src/hierarchy.rs crates/memmodel/src/machine.rs crates/memmodel/src/sched.rs crates/memmodel/src/spmv_model.rs crates/memmodel/src/stream.rs crates/memmodel/src/trace.rs
+
+crates/memmodel/src/lib.rs:
+crates/memmodel/src/bounds.rs:
+crates/memmodel/src/cache.rs:
+crates/memmodel/src/hierarchy.rs:
+crates/memmodel/src/machine.rs:
+crates/memmodel/src/sched.rs:
+crates/memmodel/src/spmv_model.rs:
+crates/memmodel/src/stream.rs:
+crates/memmodel/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fun3d_mesh-31d7ceb6155a2395.d: crates/mesh/src/lib.rs crates/mesh/src/generator.rs crates/mesh/src/graph.rs crates/mesh/src/metrics.rs crates/mesh/src/reorder.rs crates/mesh/src/tet.rs
+
+/root/repo/target/release/deps/libfun3d_mesh-31d7ceb6155a2395.rlib: crates/mesh/src/lib.rs crates/mesh/src/generator.rs crates/mesh/src/graph.rs crates/mesh/src/metrics.rs crates/mesh/src/reorder.rs crates/mesh/src/tet.rs
+
+/root/repo/target/release/deps/libfun3d_mesh-31d7ceb6155a2395.rmeta: crates/mesh/src/lib.rs crates/mesh/src/generator.rs crates/mesh/src/graph.rs crates/mesh/src/metrics.rs crates/mesh/src/reorder.rs crates/mesh/src/tet.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/generator.rs:
+crates/mesh/src/graph.rs:
+crates/mesh/src/metrics.rs:
+crates/mesh/src/reorder.rs:
+crates/mesh/src/tet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fun3d_partition-9b5b28c247a89334.d: crates/partition/src/lib.rs crates/partition/src/overlap.rs crates/partition/src/refine.rs
+
+/root/repo/target/release/deps/libfun3d_partition-9b5b28c247a89334.rlib: crates/partition/src/lib.rs crates/partition/src/overlap.rs crates/partition/src/refine.rs
+
+/root/repo/target/release/deps/libfun3d_partition-9b5b28c247a89334.rmeta: crates/partition/src/lib.rs crates/partition/src/overlap.rs crates/partition/src/refine.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/overlap.rs:
+crates/partition/src/refine.rs:

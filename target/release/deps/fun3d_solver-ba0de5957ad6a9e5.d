@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fun3d_solver-ba0de5957ad6a9e5.d: crates/solver/src/lib.rs crates/solver/src/gmres.rs crates/solver/src/op.rs crates/solver/src/precond.rs crates/solver/src/pseudo.rs
+
+/root/repo/target/release/deps/libfun3d_solver-ba0de5957ad6a9e5.rlib: crates/solver/src/lib.rs crates/solver/src/gmres.rs crates/solver/src/op.rs crates/solver/src/precond.rs crates/solver/src/pseudo.rs
+
+/root/repo/target/release/deps/libfun3d_solver-ba0de5957ad6a9e5.rmeta: crates/solver/src/lib.rs crates/solver/src/gmres.rs crates/solver/src/op.rs crates/solver/src/precond.rs crates/solver/src/pseudo.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/gmres.rs:
+crates/solver/src/op.rs:
+crates/solver/src/precond.rs:
+crates/solver/src/pseudo.rs:

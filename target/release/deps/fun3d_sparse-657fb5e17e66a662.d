@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fun3d_sparse-657fb5e17e66a662.d: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/block_ilu.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ilu.rs crates/sparse/src/layout.rs crates/sparse/src/triplet.rs crates/sparse/src/vec_ops.rs
+
+/root/repo/target/release/deps/libfun3d_sparse-657fb5e17e66a662.rlib: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/block_ilu.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ilu.rs crates/sparse/src/layout.rs crates/sparse/src/triplet.rs crates/sparse/src/vec_ops.rs
+
+/root/repo/target/release/deps/libfun3d_sparse-657fb5e17e66a662.rmeta: crates/sparse/src/lib.rs crates/sparse/src/bcsr.rs crates/sparse/src/block_ilu.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/ilu.rs crates/sparse/src/layout.rs crates/sparse/src/triplet.rs crates/sparse/src/vec_ops.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bcsr.rs:
+crates/sparse/src/block_ilu.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/ilu.rs:
+crates/sparse/src/layout.rs:
+crates/sparse/src/triplet.rs:
+crates/sparse/src/vec_ops.rs:

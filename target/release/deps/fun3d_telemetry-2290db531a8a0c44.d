@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fun3d_telemetry-2290db531a8a0c44.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs
+
+/root/repo/target/release/deps/libfun3d_telemetry-2290db531a8a0c44.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs
+
+/root/repo/target/release/deps/libfun3d_telemetry-2290db531a8a0c44.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/report.rs:

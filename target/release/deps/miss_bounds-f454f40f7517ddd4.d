@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/miss_bounds-f454f40f7517ddd4.d: crates/bench/src/bin/miss_bounds.rs
+
+/root/repo/target/release/deps/miss_bounds-f454f40f7517ddd4: crates/bench/src/bin/miss_bounds.rs
+
+crates/bench/src/bin/miss_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_nks-72afdf1abff2eb2e.d: crates/bench/src/bin/parallel_nks.rs
+
+/root/repo/target/release/deps/parallel_nks-72afdf1abff2eb2e: crates/bench/src/bin/parallel_nks.rs
+
+crates/bench/src/bin/parallel_nks.rs:

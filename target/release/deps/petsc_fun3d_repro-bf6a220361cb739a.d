@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/petsc_fun3d_repro-bf6a220361cb739a.d: src/lib.rs
+
+/root/repo/target/release/deps/libpetsc_fun3d_repro-bf6a220361cb739a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpetsc_fun3d_repro-bf6a220361cb739a.rmeta: src/lib.rs
+
+src/lib.rs:

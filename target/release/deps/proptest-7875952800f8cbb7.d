@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-7875952800f8cbb7.d: crates/proptest-compat/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7875952800f8cbb7.rlib: crates/proptest-compat/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7875952800f8cbb7.rmeta: crates/proptest-compat/src/lib.rs
+
+crates/proptest-compat/src/lib.rs:

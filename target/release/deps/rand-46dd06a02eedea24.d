@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-46dd06a02eedea24.d: crates/rand-compat/src/lib.rs
+
+/root/repo/target/release/deps/librand-46dd06a02eedea24.rlib: crates/rand-compat/src/lib.rs
+
+/root/repo/target/release/deps/librand-46dd06a02eedea24.rmeta: crates/rand-compat/src/lib.rs
+
+crates/rand-compat/src/lib.rs:

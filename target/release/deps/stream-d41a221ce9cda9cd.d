@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stream-d41a221ce9cda9cd.d: crates/bench/src/bin/stream.rs
+
+/root/repo/target/release/deps/stream-d41a221ce9cda9cd: crates/bench/src/bin/stream.rs
+
+crates/bench/src/bin/stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-a37c98d9bc7855e6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-a37c98d9bc7855e6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-d3d583004a5691e8.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-d3d583004a5691e8: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-487fc092aa88d57a.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-487fc092aa88d57a: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-4c413b629314958a.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-4c413b629314958a: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

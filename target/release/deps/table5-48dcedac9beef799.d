@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-48dcedac9beef799.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-48dcedac9beef799: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

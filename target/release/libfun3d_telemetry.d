@@ -1,0 +1,1 @@
+/root/repo/target/release/libfun3d_telemetry.rlib: /root/repo/crates/telemetry/src/json.rs /root/repo/crates/telemetry/src/lib.rs /root/repo/crates/telemetry/src/report.rs

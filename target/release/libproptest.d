@@ -1,0 +1,1 @@
+/root/repo/target/release/libproptest.rlib: /root/repo/crates/proptest-compat/src/lib.rs /root/repo/crates/rand-compat/src/lib.rs

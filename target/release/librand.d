@@ -1,0 +1,1 @@
+/root/repo/target/release/librand.rlib: /root/repo/crates/rand-compat/src/lib.rs

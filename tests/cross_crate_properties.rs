@@ -58,8 +58,8 @@ proptest! {
         for v in 0..mesh.nverts() {
             let mut s = qi.get(v);
             let x = mesh.coords()[v];
-            for c in 0..4 {
-                s[c] += amp * ((c + 1) as f64) * (x[0] + x[1] - x[2]).sin();
+            for (c, sc) in s.iter_mut().take(4).enumerate() {
+                *sc += amp * ((c + 1) as f64) * (x[0] + x[1] - x[2]).sin();
             }
             qi.set(v, &s);
         }

@@ -123,8 +123,7 @@ fn blocked_and_unblocked_operators_agree() {
     for (a, b) in r1.history.steps.iter().zip(&r2.history.steps) {
         assert_eq!(a.linear_iters, b.linear_iters, "step {}", a.step);
         assert!(
-            (a.residual_norm - b.residual_norm).abs()
-                <= 1e-9 * a.residual_norm.abs().max(1e-30),
+            (a.residual_norm - b.residual_norm).abs() <= 1e-9 * a.residual_norm.abs().max(1e-30),
             "step {}: {} vs {}",
             a.step,
             a.residual_norm,

@@ -11,8 +11,8 @@ use petsc_fun3d_repro::mesh::generator::BumpChannelSpec;
 use petsc_fun3d_repro::mesh::reorder::{EdgeOrdering, VertexOrdering};
 use petsc_fun3d_repro::solver::gmres::GmresOptions;
 use petsc_fun3d_repro::solver::pseudo::{Forcing, PrecondSpec, PseudoTransientOptions};
-use petsc_fun3d_repro::sparse::layout::FieldLayout;
 use petsc_fun3d_repro::sparse::ilu::IluOptions;
+use petsc_fun3d_repro::sparse::layout::FieldLayout;
 
 /// The residual norm of the initial state is a pure function of the mesh
 /// geometry — not of the vertex numbering, edge ordering, or field layout.
@@ -27,8 +27,12 @@ fn initial_residual_norm_is_ordering_invariant() {
     ] {
         for layout in [FieldLayout::Interlaced, FieldLayout::Segregated] {
             let mesh = apply_orderings(base.clone(), vord, eord);
-            let disc =
-                Discretization::new(&mesh, FlowModel::compressible(), layout, SpatialOrder::First);
+            let disc = Discretization::new(
+                &mesh,
+                FlowModel::compressible(),
+                layout,
+                SpatialOrder::First,
+            );
             let q = disc.initial_state();
             let mut r = FieldVec::zeros(mesh.nverts(), disc.ncomp(), layout);
             let mut ws = disc.workspace();

@@ -30,7 +30,7 @@ fn euler_system() -> (CsrMatrix, Vec<f64>, Vec<u32>, usize) {
     let mut jac = disc.jacobian(&q);
     let sums = disc.wavespeed_sums(&q);
     let d: Vec<f64> = (0..mesh.nverts())
-        .flat_map(|v| std::iter::repeat(sums[v]).take(ncomp))
+        .flat_map(|v| std::iter::repeat_n(sums[v], ncomp))
         .collect();
     jac.shift_diagonal_by(1.0 / 20.0, &d);
     let n = jac.nrows();
@@ -40,7 +40,7 @@ fn euler_system() -> (CsrMatrix, Vec<f64>, Vec<u32>, usize) {
     let owner: Vec<u32> = part
         .part
         .iter()
-        .flat_map(|&p| std::iter::repeat(p).take(ncomp))
+        .flat_map(|&p| std::iter::repeat_n(p, ncomp))
         .collect();
     (jac, b, owner, nranks)
 }
@@ -93,10 +93,8 @@ fn distributed_spmv_matches_sequential_on_euler_jacobian() {
     jac.spmv(&x, &mut y_ref);
 
     let plans = build_plans_for_matrix(&jac, &owner, nranks);
-    let outs = petsc_fun3d_repro::comm::world::run_world(
-        nranks,
-        &MachineSpec::cray_t3e(),
-        |rank| {
+    let outs =
+        petsc_fun3d_repro::comm::world::run_world(nranks, &MachineSpec::cray_t3e(), |rank| {
             let mat = DistributedMatrix::from_plan(&jac, &plans[rank.id()]);
             let mut full = vec![0.0; mat.nowned() + mat.nghosts()];
             for (l, &g) in mat.owned_rows.iter().enumerate() {
@@ -105,8 +103,7 @@ fn distributed_spmv_matches_sequential_on_euler_jacobian() {
             let mut y = vec![0.0; mat.nowned()];
             mat.spmv(rank, &mut full, &mut y, 9);
             (mat.owned_rows.clone(), y)
-        },
-    );
+        });
     let mut count = 0;
     for (rows, y) in outs {
         for (l, &g) in rows.iter().enumerate() {
