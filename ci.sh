@@ -8,4 +8,15 @@ cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 
+# Harness smoke gate: save a baseline then compare against it in the same
+# environment. Tiny sizes, 1 rep; the huge relative tolerance means this
+# asserts the registry -> stats -> baseline pipeline, never wall-clock.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/fun3d-bench run --suite smoke \
+    --save-baseline "$smoke_dir/smoke.json" > "$smoke_dir/save.log"
+./target/release/fun3d-bench run --suite smoke \
+    --baseline "$smoke_dir/smoke.json" --tol-rel 1000 > "$smoke_dir/gate.log"
+grep -q "overall:" "$smoke_dir/gate.log"
+
 echo "ci: all checks passed"

@@ -1,304 +1,14 @@
-//! Ablation studies for the Section 2.4 algorithmic tunings that don't have
-//! a dedicated table in the paper but are discussed in the text:
+//! Thin CLI wrapper: Section 2.4 ablation studies.
+//! The core loop lives in `fun3d_bench::runners::ablations`.
 //!
-//! 1. GMRES restart dimension ("values in the range of 10-30"),
-//! 2. inexact-Newton inner tolerance, constant vs Eisenstat-Walker
-//!    ("progressively tighter tolerances ... saved Newton iterations ...
-//!    but did not save time"),
-//! 3. SER exponent `p` ("damped to 0.75 ... may be as large as 1.5"),
-//! 4. vertex ordering quality for the global ILU ("natural ordering in each
-//!    subdomain block"; RCM for locality),
-//! 5. RASM vs classic ASM ("only one communication phase ... as opposed to
-//!    two").
-//!
-//! Usage: `cargo run --release -p fun3d-bench --bin ablations [--scale f]`
+//! Usage: `cargo run --release -p fun3d-bench --bin ablations [--scale f]
+//!   [--json out.json] [--trace trace.json]`
 
-use fun3d_bench::{print_table, representative_jacobian, BenchArgs};
-use fun3d_core::config::{apply_orderings, CaseConfig, LayoutConfig};
-use fun3d_core::driver::run_case;
-use fun3d_euler::model::FlowModel;
-use fun3d_euler::residual::SpatialOrder;
-use fun3d_mesh::generator::MeshFamily;
-use fun3d_mesh::reorder::{EdgeOrdering, VertexOrdering};
-use fun3d_partition::partition_kway;
-use fun3d_solver::gmres::{gmres, GmresOptions};
-use fun3d_solver::op::CsrOperator;
-use fun3d_solver::precond::{AdditiveSchwarz, IluPrecond, Preconditioner};
-use fun3d_solver::pseudo::{Forcing, PrecondSpec, PseudoTransientOptions};
-use fun3d_sparse::ilu::IluOptions;
-use fun3d_sparse::layout::FieldLayout;
-
-fn base_nks() -> PseudoTransientOptions {
-    PseudoTransientOptions {
-        cfl0: 5.0,
-        cfl_exponent: 1.2,
-        cfl_max: 1e6,
-        max_steps: 80,
-        target_reduction: 1e-8,
-        krylov: GmresOptions {
-            restart: 20,
-            rtol: 1e-2,
-            max_iters: 120,
-            ..Default::default()
-        },
-        precond: PrecondSpec::Ilu(IluOptions::with_fill(1)),
-        second_order_switch: None,
-        matrix_free: false,
-        line_search: true,
-        bcsr_block: None,
-        forcing: Forcing::Constant,
-        pc_refresh: 1,
-    }
-}
+use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse(0.3);
-    let spec = args.family_spec(MeshFamily::Small);
-    println!(
-        "Ablations on {} vertices (scale {:.2})",
-        spec.nverts(),
-        args.scale
-    );
-    let mut perf = fun3d_telemetry::report::PerfReport::new("ablations")
-        .with_meta("nverts", spec.nverts().to_string());
-    args.annotate(&mut perf);
-
-    // --- 1. Restart dimension ---
-    let mut rows = Vec::new();
-    for restart in [10usize, 20, 30] {
-        let mut cfg = CaseConfig {
-            mesh: spec,
-            model: FlowModel::incompressible(),
-            layout: LayoutConfig::tuned(),
-            order: SpatialOrder::First,
-            nks: base_nks(),
-        };
-        cfg.nks.krylov.restart = restart;
-        let r = run_case(&cfg);
-        perf.push_metric(format!("restart{restart}_steps"), r.history.nsteps() as f64);
-        perf.push_metric(
-            format!("restart{restart}_linear_its"),
-            r.history.total_linear_iters() as f64,
-        );
-        rows.push(vec![
-            restart.to_string(),
-            r.history.nsteps().to_string(),
-            r.history.total_linear_iters().to_string(),
-            format!("{:.2}s", r.history.total_time()),
-            r.history.converged.to_string(),
-        ]);
-    }
-    print_table(
-        "Ablation 1: GMRES restart dimension",
-        &["restart", "steps", "linear its", "time", "converged"],
-        &rows,
-    );
-
-    // --- 2. Inner tolerance / forcing ---
-    let mut rows = Vec::new();
-    for (name, rtol, forcing) in [
-        ("constant 1e-1", 1e-1, Forcing::Constant),
-        ("constant 1e-2", 1e-2, Forcing::Constant),
-        ("constant 1e-3", 1e-3, Forcing::Constant),
-        (
-            "Eisenstat-Walker",
-            1e-2,
-            // Safeguarded ceiling: without it the plateau phase picks
-            // near-unity tolerances and the continuation stalls.
-            Forcing::EisenstatWalker {
-                gamma: 0.9,
-                eta_min: 1e-6,
-                eta_max: 0.1,
-            },
-        ),
-    ] {
-        let mut cfg = CaseConfig {
-            mesh: spec,
-            model: FlowModel::incompressible(),
-            layout: LayoutConfig::tuned(),
-            order: SpatialOrder::First,
-            nks: base_nks(),
-        };
-        cfg.nks.krylov.rtol = rtol;
-        cfg.nks.forcing = forcing;
-        let r = run_case(&cfg);
-        rows.push(vec![
-            name.to_string(),
-            r.history.nsteps().to_string(),
-            r.history.total_linear_iters().to_string(),
-            format!("{:.2}s", r.history.total_time()),
-        ]);
-    }
-    print_table(
-        "Ablation 2: inexact-Newton inner tolerance (paper: loose+constant wins on time)",
-        &["forcing", "steps", "linear its", "time"],
-        &rows,
-    );
-
-    // --- 3. SER exponent ---
-    let mut rows = Vec::new();
-    for p in [0.75f64, 1.0, 1.5] {
-        let mut cfg = CaseConfig {
-            mesh: spec,
-            model: FlowModel::incompressible(),
-            layout: LayoutConfig::tuned(),
-            order: SpatialOrder::First,
-            nks: base_nks(),
-        };
-        cfg.nks.max_steps = 200; // small exponents need a longer leash
-        cfg.nks.cfl_exponent = p;
-        let r = run_case(&cfg);
-        rows.push(vec![
-            format!("{p}"),
-            r.history.nsteps().to_string(),
-            r.history.total_linear_iters().to_string(),
-            r.history.converged.to_string(),
-        ]);
-    }
-    print_table(
-        "Ablation 3: SER exponent p (smooth flow: larger p converges in fewer steps)",
-        &["p", "steps", "linear its", "converged"],
-        &rows,
-    );
-
-    // --- 4. Vertex ordering and global ILU quality ---
-    let base_mesh = spec.build();
-    let mut rows = Vec::new();
-    for (name, vord) in [
-        ("natural", VertexOrdering::Natural),
-        ("RCM", VertexOrdering::ReverseCuthillMcKee),
-        ("random", VertexOrdering::Random(11)),
-    ] {
-        let mesh = apply_orderings(base_mesh.clone(), vord, EdgeOrdering::VertexSorted);
-        let jac = representative_jacobian(
-            &mesh,
-            FlowModel::incompressible(),
-            FieldLayout::Interlaced,
-            50.0,
-        );
-        let n = jac.nrows();
-        let rhs = vec![1.0; n];
-        let pc = IluPrecond::factor(&jac, &IluOptions::with_fill(0)).unwrap();
-        let mut x = vec![0.0; n];
-        let res = gmres(
-            &CsrOperator::new(&jac),
-            &pc,
-            &rhs,
-            &mut x,
-            &GmresOptions {
-                restart: 30,
-                rtol: 1e-8,
-                max_iters: 3000,
-                ..Default::default()
-            },
-        );
-        rows.push(vec![
-            name.to_string(),
-            jac.bandwidth().to_string(),
-            res.iterations.to_string(),
-            res.converged.to_string(),
-        ]);
-    }
-    print_table(
-        "Ablation 4: vertex ordering -> matrix bandwidth and ILU(0)-GMRES iterations",
-        &["ordering", "bandwidth", "its", "converged"],
-        &rows,
-    );
-
-    // --- 5. RASM vs classic ASM ---
-    let graph = base_mesh.vertex_graph();
-    let jac = representative_jacobian(
-        &base_mesh,
-        FlowModel::incompressible(),
-        FieldLayout::Interlaced,
-        50.0,
-    );
-    let n = jac.nrows();
-    let rhs = vec![1.0; n];
-    let part = partition_kway(&graph, 8, 3);
-    let owned_sets: Vec<Vec<usize>> = {
-        let mut sets = vec![Vec::new(); 8];
-        for (v, &p) in part.part.iter().enumerate() {
-            for c in 0..4 {
-                sets[p as usize].push(v * 4 + c);
-            }
-        }
-        sets
-    };
-    let mut rows = Vec::new();
-    for (name, restricted) in [("RASM", true), ("classic ASM", false)] {
-        let pc = AdditiveSchwarz::new(&jac, &owned_sets, 1, &IluOptions::with_fill(0), restricted)
-            .unwrap();
-        let mut x = vec![0.0; n];
-        let res = gmres(
-            &CsrOperator::new(&jac),
-            &pc,
-            &rhs,
-            &mut x,
-            &GmresOptions {
-                restart: 30,
-                rtol: 1e-8,
-                max_iters: 3000,
-                ..Default::default()
-            },
-        );
-        let comms = if restricted { 1 } else { 2 };
-        rows.push(vec![
-            name.to_string(),
-            res.iterations.to_string(),
-            comms.to_string(),
-            res.converged.to_string(),
-        ]);
-        let mut z = vec![0.0; n];
-        pc.apply(&rhs, &mut z); // touch to keep symmetry of work between rows
-    }
-    print_table(
-        "Ablation 5: restricted vs classic ASM (overlap 1, 8 subdomains)",
-        &["variant", "its", "comm phases/apply", "converged"],
-        &rows,
-    );
-    println!("\nRASM converges at least as well with half the communication — the paper's choice.");
-
-    // --- 6. Preconditioner refresh frequency (lagged Jacobian PC) ---
-    let mut rows = Vec::new();
-    for refresh in [1usize, 2, 4, 8] {
-        let mut cfg = CaseConfig {
-            mesh: spec,
-            model: FlowModel::incompressible(),
-            layout: LayoutConfig::tuned(),
-            order: SpatialOrder::First,
-            nks: base_nks(),
-        };
-        cfg.nks.pc_refresh = refresh;
-        let r = run_case(&cfg);
-        let t_pc = r.history.phases().precond;
-        perf.push_metric(format!("refresh{refresh}_pc_setup_s"), t_pc);
-        perf.push_metric(
-            format!("refresh{refresh}_linear_its"),
-            r.history.total_linear_iters() as f64,
-        );
-        rows.push(vec![
-            refresh.to_string(),
-            r.history.nsteps().to_string(),
-            r.history.total_linear_iters().to_string(),
-            format!("{:.2}s", t_pc),
-            format!("{:.2}s", r.history.total_time()),
-            r.history.converged.to_string(),
-        ]);
-    }
-    print_table(
-        "Ablation 6: preconditioner refresh frequency (rebuild every k steps)",
-        &[
-            "refresh",
-            "steps",
-            "linear its",
-            "PC setup time",
-            "total time",
-            "converged",
-        ],
-        &rows,
-    );
-    println!("\nLagging trades factorization time for Krylov iterations — the 'refresh");
-    println!("frequency for Jacobian preconditioner' knob of the paper's Newton list.");
-    args.emit_report(&perf);
+    let out = runners::ablations::run(&args);
+    args.emit_report(&out.report);
+    args.emit_trace(&out.telemetry);
 }

@@ -1,96 +1,14 @@
-//! Regenerates **Figure 1**: average vertices per processor and the parallel
-//! performance metrics for the fixed-size 2.8M-vertex problem on up to 3072
-//! nodes of ASCI Red (dual 333 MHz Pentium Pro nodes).
+//! Thin CLI wrapper: Figure 1 fixed-size scaling on the ASCI Red model.
+//! The core loop lives in `fun3d_bench::runners::figure1`.
 //!
-//! The hardware is simulated through the calibrated fixed-size scaling model
-//! (see `fun3d_core::scaling`); the headline numbers to reproduce are the
-//! ~91% implementation efficiency per time step from 256 to 2048 nodes and
-//! aggregate Gflop/s in the low hundreds at the top of the range.
-//!
-//! Usage: `cargo run --release -p fun3d-bench --bin figure1`
+//! Usage: `cargo run --release -p fun3d-bench --bin figure1 [--scale f]
+//!   [--json out.json] [--trace trace.json]`
 
-use fun3d_bench::{print_table, BenchArgs};
-use fun3d_core::efficiency::{implementation_efficiency, ScalingPoint};
-use fun3d_core::scaling::{Calibration, FixedSizeModel, ProblemShape};
-use fun3d_memmodel::machine::MachineSpec;
+use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse(1.0);
-    let model = FixedSizeModel {
-        machine: MachineSpec::asci_red(),
-        shape: ProblemShape::large_euler(),
-        cal: Calibration::paper_defaults(),
-    };
-    let procs = [128usize, 256, 512, 768, 1024, 1536, 2048, 3072];
-    let pts = model.series(&procs);
-    let base = &pts[0];
-
-    let rows: Vec<Vec<String>> = pts
-        .iter()
-        .map(|p| {
-            let eta_overall = (base.time / p.time) * base.nprocs as f64 / p.nprocs as f64;
-            let eta_alg = base.its / p.its;
-            vec![
-                p.nprocs.to_string(),
-                format!("{:.0}", p.verts_per_proc),
-                format!("{:.0}s", p.time),
-                format!("{:.2}", base.time / p.time),
-                format!("{:.2}", eta_overall),
-                format!("{:.2}", eta_overall / eta_alg),
-                format!("{:.1}", p.gflops),
-                format!("{:.1}", 1e3 * p.time / p.its),
-            ]
-        })
-        .collect();
-    print_table(
-        "Figure 1: fixed-size scaling of the 2.8M-vertex case on the ASCI Red model",
-        &[
-            "Nodes",
-            "Verts/node",
-            "Exec time",
-            "Speedup",
-            "eta_overall",
-            "eta_impl/step",
-            "Gflop/s",
-            "ms/step(x1000)",
-        ],
-        &rows,
-    );
-
-    // The paper's headline: implementation efficiency per time step from
-    // 256 to 2048 nodes is 91%.
-    let p256 = pts.iter().find(|p| p.nprocs == 256).unwrap();
-    let p2048 = pts.iter().find(|p| p.nprocs == 2048).unwrap();
-    let eff = implementation_efficiency(
-        &ScalingPoint {
-            nprocs: 256,
-            its: p256.its.round() as usize,
-            time: p256.time,
-        },
-        &ScalingPoint {
-            nprocs: 2048,
-            its: p2048.its.round() as usize,
-            time: p2048.time,
-        },
-    );
-    println!(
-        "\nImplementation efficiency per step, 256 -> 2048 nodes: {:.0}% (paper: 91%)",
-        eff * 100.0
-    );
-    println!(
-        "Gflop/s at 3072 nodes: {:.0} (paper: ~227 with 2 CPUs/node on the flux phase,",
-        pts.last().unwrap().gflops
-    );
-    println!("~120 single-threaded; this model charges one CPU per node — see table5 for the");
-    println!("multithreaded flux phase).");
-
-    let mut perf =
-        fun3d_telemetry::report::PerfReport::new("figure1").with_meta("machine", "asci_red");
-    args.annotate(&mut perf);
-    perf.push_metric("eta_impl_per_step_256_2048", eff);
-    for p in &pts {
-        perf.push_metric(format!("time_s_p{}", p.nprocs), p.time);
-        perf.push_metric(format!("gflops_p{}", p.nprocs), p.gflops);
-    }
-    args.emit_report(&perf);
+    let out = runners::figure1::run(&args);
+    args.emit_report(&out.report);
+    args.emit_trace(&out.telemetry);
 }

@@ -1,96 +1,14 @@
-//! Regenerates **Figure 2**: aggregate Gflop/s and execution time for the
-//! 2.8M-vertex case on the paper's three most capable machines — ASCI Red,
-//! ASCI Blue Pacific, and the Cray T3E — with the ideal-scaling reference.
+//! Thin CLI wrapper: Figure 2 Gflop/s and time across the paper's machines.
+//! The core loop lives in `fun3d_bench::runners::figure2`.
 //!
-//! The machines are long gone; each is represented by its calibrated
-//! [`fun3d_memmodel::machine::MachineSpec`] inside the fixed-size scaling
-//! model.  Shape to reproduce: near-linear Gflop/s on Red, T3E the fastest
-//! per node on memory-bound phases, execution time flattening as the
-//! surface-to-volume ratio and iteration growth bite.
-//!
-//! Usage: `cargo run --release -p fun3d-bench --bin figure2`
+//! Usage: `cargo run --release -p fun3d-bench --bin figure2 [--scale f]
+//!   [--json out.json] [--trace trace.json]`
 
-use fun3d_bench::{print_table, BenchArgs};
-use fun3d_core::scaling::{Calibration, FixedSizeModel, ProblemShape};
-use fun3d_memmodel::machine::MachineSpec;
+use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse(1.0);
-    let machines = [
-        MachineSpec::asci_red(),
-        MachineSpec::asci_blue_pacific(),
-        MachineSpec::cray_t3e(),
-    ];
-    let procs = [128usize, 256, 512, 1024, 2048, 3072];
-
-    let mut gflop_rows: Vec<Vec<String>> = Vec::new();
-    let mut time_rows: Vec<Vec<String>> = Vec::new();
-    let mut models = Vec::new();
-    for m in &machines {
-        models.push(FixedSizeModel {
-            machine: m.clone(),
-            shape: ProblemShape::large_euler(),
-            cal: Calibration::paper_defaults(),
-        });
-    }
-    for &p in &procs {
-        let mut grow = vec![p.to_string()];
-        let mut trow = vec![p.to_string()];
-        for (m, model) in machines.iter().zip(&models) {
-            if p > m.max_nodes {
-                grow.push("-".to_string());
-                trow.push("-".to_string());
-                continue;
-            }
-            let pt = model.predict(p);
-            grow.push(format!("{:.1}", pt.gflops));
-            trow.push(format!("{:.0}s", pt.time));
-        }
-        // Ideal scaling lines (linear from the 128-node Red point).
-        let base = models[0].predict(128);
-        grow.push(format!("{:.1}", base.gflops * p as f64 / 128.0));
-        trow.push(format!("{:.0}s", base.time * 128.0 / p as f64));
-        gflop_rows.push(grow);
-        time_rows.push(trow);
-    }
-    print_table(
-        "Figure 2a: aggregate Gflop/s vs nodes",
-        &[
-            "Nodes",
-            "ASCI Red",
-            "Blue Pacific",
-            "Cray T3E",
-            "ideal (Red)",
-        ],
-        &gflop_rows,
-    );
-    print_table(
-        "Figure 2b: execution time vs nodes",
-        &[
-            "Nodes",
-            "ASCI Red",
-            "Blue Pacific",
-            "Cray T3E",
-            "ideal (Red)",
-        ],
-        &time_rows,
-    );
-    println!("\nShape to check: Gflop/s nearly linear on Red but time above the ideal line");
-    println!("(growing redundant work); T3E fastest per node on the bandwidth-bound solve;");
-    println!("Blue Pacific limited by its interconnect; T3E/Blue curves stop at their");
-    println!("machine sizes (1024/1464 nodes) as in the paper.");
-
-    let mut perf = fun3d_telemetry::report::PerfReport::new("figure2");
-    args.annotate(&mut perf);
-    for (m, model) in machines.iter().zip(&models) {
-        for &p in &procs {
-            if p > m.max_nodes {
-                continue;
-            }
-            let pt = model.predict(p);
-            perf.push_metric(format!("gflops_{}_p{p}", m.name), pt.gflops);
-            perf.push_metric(format!("time_s_{}_p{p}", m.name), pt.time);
-        }
-    }
-    args.emit_report(&perf);
+    let out = runners::figure2::run(&args);
+    args.emit_report(&out.report);
+    args.emit_trace(&out.telemetry);
 }

@@ -1,145 +1,14 @@
-//! Regenerates **Figure 3**: TLB misses (log scale) and secondary-cache
-//! misses for the 22,677-vertex case under the data-ordering options, via
-//! the trace-driven cache/TLB simulator configured as the paper's Origin
-//! 2000 R10000 (32 KB L1, 4 MB L2, 64-entry TLB over 16 KB pages).
+//! Thin CLI wrapper: Figure 3 simulated TLB/L2 misses under data orderings.
+//! The core loop lives in `fun3d_bench::runners::figure3`.
 //!
-//! The paper's bars contrast the vector-machine edge coloring ("NOER") with
-//! reordered edges, and non-interlaced with interlaced/blocked storage; edge
-//! reordering cuts TLB misses by ~two orders of magnitude and the full
-//! stack cuts L2 misses ~3.5x.
-//!
-//! Usage: `cargo run --release -p fun3d-bench --bin figure3 [--scale f]`
+//! Usage: `cargo run --release -p fun3d-bench --bin figure3 [--scale f]
+//!   [--json out.json] [--trace trace.json]`
 
-use fun3d_bench::{print_table, BenchArgs};
-use fun3d_core::config::apply_orderings;
-use fun3d_memmodel::hierarchy::MemoryHierarchy;
-use fun3d_memmodel::trace::{bcsr_spmv_trace, csr_spmv_trace, flux_edge_trace_order};
-use fun3d_mesh::generator::MeshFamily;
-use fun3d_mesh::reorder::{EdgeOrdering, VertexOrdering};
-use fun3d_sparse::bcsr::BcsrMatrix;
-use fun3d_sparse::layout::FieldLayout;
+use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse(1.0);
-    let spec = args.family_spec(MeshFamily::Small);
-    println!(
-        "Figure 3 regenerator: {} vertices (paper: 22,677), R10000-like hierarchy",
-        spec.nverts()
-    );
-    let ncomp = 4usize;
-
-    struct Config {
-        name: &'static str,
-        edge: EdgeOrdering,
-        vert: VertexOrdering,
-        layout: FieldLayout,
-        blocked: bool,
-    }
-    // "NOER" rows model the original FUN3D: vector-colored edges and no
-    // cache-aware vertex numbering (seeded shuffle).
-    let configs = [
-        Config {
-            name: "NOER + noninterlaced",
-            edge: EdgeOrdering::VectorColored,
-            vert: VertexOrdering::Random(0xF3D0),
-            layout: FieldLayout::Segregated,
-            blocked: false,
-        },
-        Config {
-            name: "NOER + interlaced",
-            edge: EdgeOrdering::VectorColored,
-            vert: VertexOrdering::Random(0xF3D0),
-            layout: FieldLayout::Interlaced,
-            blocked: false,
-        },
-        Config {
-            name: "reordered + noninterlaced",
-            edge: EdgeOrdering::VertexSorted,
-            vert: VertexOrdering::ReverseCuthillMcKee,
-            layout: FieldLayout::Segregated,
-            blocked: false,
-        },
-        Config {
-            name: "reordered + interlaced",
-            edge: EdgeOrdering::VertexSorted,
-            vert: VertexOrdering::ReverseCuthillMcKee,
-            layout: FieldLayout::Interlaced,
-            blocked: false,
-        },
-        Config {
-            name: "reordered + interlaced + blocked",
-            edge: EdgeOrdering::VertexSorted,
-            vert: VertexOrdering::ReverseCuthillMcKee,
-            layout: FieldLayout::Interlaced,
-            blocked: true,
-        },
-    ];
-
-    let base_mesh = spec.build();
-    let mut rows = Vec::new();
-    let mut baseline_tlb = 0u64;
-    let mut baseline_l2 = 0u64;
-    let mut perf = fun3d_telemetry::report::PerfReport::new("figure3")
-        .with_meta("machine", "origin2000")
-        .with_meta("nverts", spec.nverts().to_string());
-    args.annotate(&mut perf);
-    for (ci, cfg) in configs.iter().enumerate() {
-        let mesh = apply_orderings(base_mesh.clone(), cfg.vert, cfg.edge);
-        let mut mem = MemoryHierarchy::origin2000();
-        // Flux phase trace (the second-order edge loop, as the paper ran).
-        let flux = flux_edge_trace_order(
-            mesh.edges(),
-            mesh.nverts(),
-            ncomp,
-            cfg.layout,
-            true,
-            &mut mem,
-        );
-        // Solve phase trace (SpMV over the Jacobian in the matching layout).
-        let jac = fun3d_bench::representative_jacobian(
-            &mesh,
-            fun3d_euler::model::FlowModel::incompressible(),
-            cfg.layout,
-            10.0,
-        );
-        let solve = if cfg.blocked {
-            let jb = BcsrMatrix::from_csr(&jac, ncomp);
-            bcsr_spmv_trace(&jb, &mut mem)
-        } else {
-            csr_spmv_trace(&jac, &mut mem)
-        };
-        let tlb = flux.tlb_misses + solve.tlb_misses;
-        let l2 = flux.l2_misses + solve.l2_misses;
-        let l1 = flux.l1_misses + solve.l1_misses;
-        if rows.is_empty() {
-            baseline_tlb = tlb;
-            baseline_l2 = l2;
-        }
-        perf.push_metric(format!("tlb_misses_row{ci}"), tlb as f64);
-        perf.push_metric(format!("l2_misses_row{ci}"), l2 as f64);
-        perf.push_metric(format!("l1_misses_row{ci}"), l1 as f64);
-        rows.push(vec![
-            cfg.name.to_string(),
-            format!("{tlb}"),
-            format!("{:.1}x", baseline_tlb as f64 / tlb as f64),
-            format!("{l2}"),
-            format!("{:.1}x", baseline_l2 as f64 / l2 as f64),
-            format!("{l1}"),
-        ]);
-    }
-    print_table(
-        "Figure 3: simulated TLB and secondary-cache misses (flux + SpMV pass)",
-        &[
-            "configuration",
-            "TLB misses",
-            "vs base",
-            "L2 misses",
-            "vs base",
-            "L1 misses",
-        ],
-        &rows,
-    );
-    println!("\nPaper: edge reordering cuts TLB misses by ~two orders of magnitude;");
-    println!("interlacing+blocking+reordering cuts secondary-cache misses ~3.5x.");
-    args.emit_report(&perf);
+    let out = runners::figure3::run(&args);
+    args.emit_report(&out.report);
+    args.emit_trace(&out.telemetry);
 }

@@ -1,114 +1,14 @@
-//! Regenerates **Figure 5**: residual norm versus pseudo-timestep for a
-//! range of initial CFL numbers, showing the effect of the SER continuation
-//! parameter on convergence.
+//! Thin CLI wrapper: Figure 5 residual vs pseudo-timestep across CFL choices.
+//! The core loop lives in `fun3d_bench::runners::figure5`.
 //!
-//! Paper baseline: the 2.8M-vertex case; small initial CFL adds nonlinear
-//! stability far from the solution but drags out the "induction" period;
-//! aggressive CFL converges fastest on smooth flows.
-//!
-//! Usage: `cargo run --release -p fun3d-bench --bin figure5 [--scale f]`
+//! Usage: `cargo run --release -p fun3d-bench --bin figure5 [--scale f]
+//!   [--json out.json] [--trace trace.json]`
 
-use fun3d_bench::{print_table, BenchArgs};
-use fun3d_core::config::{CaseConfig, LayoutConfig};
-use fun3d_core::problem::EulerProblem;
-use fun3d_euler::model::FlowModel;
-use fun3d_euler::residual::{Discretization, SpatialOrder};
-use fun3d_mesh::generator::MeshFamily;
-use fun3d_solver::gmres::GmresOptions;
-use fun3d_solver::pseudo::{solve_pseudo_transient, Forcing, PrecondSpec, PseudoTransientOptions};
-use fun3d_sparse::ilu::IluOptions;
+use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
-    // Figure 5 uses the 2.8M mesh; the convergence *behaviour* is visible at
-    // a small fraction of that.
     let args = BenchArgs::parse(0.005);
-    let spec = args.family_spec(MeshFamily::Large);
-    let mesh_spec = spec;
-    println!(
-        "Figure 5 regenerator: {} vertices (paper: 2.8M; scale {:.3})",
-        mesh_spec.nverts(),
-        args.scale
-    );
-
-    let cfl0s = [0.5f64, 1.0, 5.0, 10.0, 50.0];
-    let max_steps = 60usize;
-    let mut histories = Vec::new();
-    for &cfl0 in &cfl0s {
-        let cfg = CaseConfig {
-            mesh: mesh_spec,
-            model: FlowModel::incompressible(),
-            layout: LayoutConfig::tuned(),
-            order: SpatialOrder::First,
-            nks: PseudoTransientOptions::default(),
-        };
-        let mesh = cfg.build_mesh();
-        let disc = Discretization::new(&mesh, cfg.model, cfg.layout.field_layout(), cfg.order);
-        let mut problem = EulerProblem::new(disc);
-        let mut q = problem.initial_state();
-        let opts = PseudoTransientOptions {
-            cfl0,
-            cfl_exponent: 1.0,
-            cfl_max: 1e6,
-            max_steps,
-            target_reduction: 1e-10,
-            krylov: GmresOptions {
-                restart: 20,
-                rtol: 1e-2,
-                max_iters: 120,
-                ..Default::default()
-            },
-            precond: PrecondSpec::Ilu(IluOptions::with_fill(1)),
-            second_order_switch: None,
-            // Matrix-free J-v products: the exact first-order Newton operator
-            // (the assembled matrix freezes the Rusanov dissipation
-            // coefficient, which stalls mid-continuation on some meshes).
-            matrix_free: true,
-            line_search: true,
-            bcsr_block: None,
-            forcing: Forcing::Constant,
-            pc_refresh: 1,
-        };
-        let h = solve_pseudo_transient(&mut problem, &mut q, &opts);
-        println!(
-            "  CFL0 = {cfl0:6.1}: {} steps to reduction {:.1e} (converged: {})",
-            h.nsteps(),
-            h.reduction(),
-            h.converged
-        );
-        histories.push(h);
-    }
-
-    // Residual-vs-iteration series, sampled every few steps.
-    let mut rows = Vec::new();
-    let max_len = histories.iter().map(|h| h.nsteps()).max().unwrap_or(0);
-    for step in (0..max_len).step_by(4) {
-        let mut row = vec![step.to_string()];
-        for h in &histories {
-            row.push(match h.steps.get(step) {
-                Some(s) => format!("{:.2e}", s.residual_norm / h.initial_residual),
-                None => "-".to_string(),
-            });
-        }
-        rows.push(row);
-    }
-    let headers: Vec<String> = std::iter::once("step".to_string())
-        .chain(cfl0s.iter().map(|c| format!("CFL0={c}")))
-        .collect();
-    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-    print_table(
-        "Figure 5: relative residual norm vs pseudo-timestep",
-        &headers_ref,
-        &rows,
-    );
-    println!("\nPaper shape to check: every curve eventually turns superlinear; small initial");
-    println!("CFL suffers a long induction phase; the most aggressive CFL converges first.");
-
-    let mut perf = fun3d_telemetry::report::PerfReport::new("figure5")
-        .with_meta("nverts", mesh_spec.nverts().to_string());
-    args.annotate(&mut perf);
-    for (cfl0, h) in cfl0s.iter().zip(&histories) {
-        perf.push_metric(format!("steps_cfl{cfl0}"), h.nsteps() as f64);
-        perf.push_metric(format!("reduction_cfl{cfl0}"), h.reduction());
-    }
-    args.emit_report(&perf);
+    let out = runners::figure5::run(&args);
+    args.emit_report(&out.report);
+    args.emit_trace(&out.telemetry);
 }

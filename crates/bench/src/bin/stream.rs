@@ -1,62 +1,14 @@
-//! Measures the host's STREAM bandwidth (McCalpin) — the yardstick the
-//! paper uses for the memory-bound sparse solve phase (Section 2.2) — and
-//! compares it with the bandwidth-model predictions for the paper's
-//! machines.
+//! Thin CLI wrapper: host STREAM bandwidth vs the machine models.
+//! The core loop lives in `fun3d_bench::runners::stream`.
 //!
-//! Usage: `cargo run --release -p fun3d-bench --bin stream [--scale f]`
-//! (`--scale` multiplies the default 8M-element array length.)
+//! Usage: `cargo run --release -p fun3d-bench --bin stream [--scale f]
+//!   [--json out.json] [--trace trace.json]`
 
-use fun3d_bench::{print_table, BenchArgs};
-use fun3d_memmodel::machine::MachineSpec;
-use fun3d_memmodel::stream::run_stream;
+use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse(1.0);
-    let n = ((8 * 1024 * 1024) as f64 * args.scale) as usize;
-    let r = run_stream(n.max(64 * 1024), 3);
-    let rows = vec![
-        vec!["copy".to_string(), format!("{:.0}", r.copy / 1e6)],
-        vec!["scale".to_string(), format!("{:.0}", r.scale / 1e6)],
-        vec!["add".to_string(), format!("{:.0}", r.add / 1e6)],
-        vec!["triad".to_string(), format!("{:.0}", r.triad / 1e6)],
-    ];
-    print_table(
-        &format!("STREAM on this host ({} doubles per array)", r.n),
-        &["kernel", "MB/s"],
-        &rows,
-    );
-
-    let rows: Vec<Vec<String>> = [
-        MachineSpec::asci_red(),
-        MachineSpec::asci_blue_pacific(),
-        MachineSpec::cray_t3e(),
-        MachineSpec::origin2000(),
-    ]
-    .iter()
-    .map(|m| {
-        vec![
-            m.name.to_string(),
-            format!("{:.0}", m.stream_bytes_per_s / 1e6),
-            format!("{:.0}", m.peak_flops_per_cpu() / 1e6),
-            format!("{:.2}", m.stream_bytes_per_s / 8.0 / m.peak_flops_per_cpu()),
-        ]
-    })
-    .collect();
-    print_table(
-        "Machine models: STREAM vs peak (the balance the paper's analysis turns on)",
-        &["machine", "STREAM MB/s", "peak Mflop/s", "doubles/flop"],
-        &rows,
-    );
-    println!("\nThe paper's point: sparse kernels need ~1 double of memory traffic per flop,");
-    println!("but every machine above sustains only ~0.1-0.25 — so SpMV and triangular solves");
-    println!("run at a small fraction of peak no matter how well scheduled.");
-
-    let mut perf = fun3d_telemetry::report::PerfReport::new("stream")
-        .with_meta("array_doubles", r.n.to_string());
-    args.annotate(&mut perf);
-    perf.push_metric("copy_bytes_per_s", r.copy);
-    perf.push_metric("scale_bytes_per_s", r.scale);
-    perf.push_metric("add_bytes_per_s", r.add);
-    perf.push_metric("triad_bytes_per_s", r.triad);
-    args.emit_report(&perf);
+    let out = runners::stream::run(&args);
+    args.emit_report(&out.report);
+    args.emit_trace(&out.telemetry);
 }

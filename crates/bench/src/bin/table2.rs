@@ -1,178 +1,14 @@
-//! Regenerates **Table 2**: the effect of storing the ILU preconditioner in
-//! *single precision* (arithmetic stays double) on the linear-solve and
-//! overall execution times at 16–120 processors.
+//! Thin CLI wrapper: Table 2 single- vs double-precision preconditioner storage.
+//! The core loop lives in `fun3d_bench::runners::table2`.
 //!
-//! Paper baseline: 357,900-vertex mesh on a 250 MHz Origin 2000; the f32
-//! version runs the solve phase at almost twice the rate, identifying memory
-//! bandwidth as the bottleneck, and iteration counts are unaffected.
-//!
-//! Method here: block-Jacobi GMRES on the real Euler Jacobian with the
-//! ownership split at each processor count.  Iteration counts and the
-//! convergence identity (f32 vs f64) are *measured*; the per-processor solve
-//! time combines the measured iterations with the machine model's bandwidth
-//! arithmetic (factor bytes / STREAM), and the host-measured f64/f32
-//! triangular-solve ratio is reported alongside.
-//!
-//! Usage: `cargo run --release -p fun3d-bench --bin table2 [--scale f]`
+//! Usage: `cargo run --release -p fun3d-bench --bin table2 [--scale f]
+//!   [--json out.json] [--trace trace.json]`
 
-use fun3d_bench::{print_table, representative_jacobian, time_median, BenchArgs};
-use fun3d_euler::model::FlowModel;
-use fun3d_memmodel::machine::MachineSpec;
-use fun3d_mesh::generator::MeshFamily;
-use fun3d_partition::partition_kway;
-use fun3d_solver::gmres::{gmres, GmresOptions};
-use fun3d_solver::op::CsrOperator;
-use fun3d_solver::precond::AdditiveSchwarz;
-use fun3d_sparse::ilu::{IluFactors, IluOptions, PrecStorage};
-use fun3d_sparse::layout::FieldLayout;
+use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse(0.08);
-    let spec = args.family_spec(MeshFamily::Medium);
-    let mesh = spec.build();
-    let ncomp = 4usize;
-    println!(
-        "Table 2 regenerator: {} vertices (paper: 357,900; scale {:.2})",
-        mesh.nverts(),
-        args.scale
-    );
-
-    let jac = representative_jacobian(
-        &mesh,
-        FlowModel::incompressible(),
-        FieldLayout::Interlaced,
-        50.0,
-    );
-    let n = jac.nrows();
-    let b_rhs: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) / 6.0).collect();
-    let graph = mesh.vertex_graph();
-    let machine = MachineSpec::origin2000();
-
-    // Host-measured f64 vs f32 triangular-solve rate (the paper's ~2x).
-    let ratio = {
-        let f64f = IluFactors::factor(&jac, &IluOptions::with_fill(0)).unwrap();
-        let f32f = IluFactors::factor(
-            &jac,
-            &IluOptions {
-                fill_level: 0,
-                storage: PrecStorage::Single,
-            },
-        )
-        .unwrap();
-        let mut x = vec![0.0; n];
-        let t64 = time_median(5, || f64f.solve(&b_rhs, &mut x));
-        let t32 = time_median(5, || f32f.solve(&b_rhs, &mut x));
-        t64 / t32
-    };
-    println!("Host-measured triangular solve speedup f64 -> f32 storage: {ratio:.2}x");
-
-    struct Point {
-        p: usize,
-        t_double: f64,
-        t_single: f64,
-        its: [usize; 2],
-    }
-    let mut points: Vec<Point> = Vec::new();
-    for &p in &[16usize, 32, 64, 120] {
-        // Partition vertices, lift to unknown row sets (interlaced layout).
-        let part = partition_kway(&graph, p, 7);
-        let mut owned_sets: Vec<Vec<usize>> = vec![Vec::new(); p];
-        for (v, &pp) in part.part.iter().enumerate() {
-            for c in 0..ncomp {
-                owned_sets[pp as usize].push(v * ncomp + c);
-            }
-        }
-        let opts = GmresOptions {
-            restart: 20,
-            rtol: 1e-6,
-            max_iters: 4000,
-            ..Default::default()
-        };
-        let mut iters = [0usize; 2];
-        let mut factor_bytes = [0usize; 2];
-        for (si, storage) in [PrecStorage::Double, PrecStorage::Single]
-            .iter()
-            .enumerate()
-        {
-            let ilu = IluOptions {
-                fill_level: 0,
-                storage: *storage,
-            };
-            let pc = AdditiveSchwarz::block_jacobi(&jac, &owned_sets, &ilu).unwrap();
-            let mut x = vec![0.0; n];
-            let res = gmres(&CsrOperator::new(&jac), &pc, &b_rhs, &mut x, &opts);
-            assert!(res.converged, "p={p} {storage:?}: {res:?}");
-            iters[si] = res.iterations;
-            // Factor value bytes per triangular-solve pass. The paper's code
-            // stores the factors in BAIJ blocks (one u32 index per 4x4
-            // block, i.e. 0.25 B per value), which is what we charge here.
-            factor_bytes[si] = match storage {
-                PrecStorage::Double => pc.total_factor_nnz() * 8,
-                PrecStorage::Single => pc.total_factor_nnz() * 4,
-            } + pc.total_factor_nnz() / 4;
-        }
-        // Simulated per-processor solve time on the Origin: per iteration
-        // the triangular solves stream the factors plus the Krylov vector
-        // traffic. (The matvec is matrix-free — charged to the flux phase.)
-        let vec_bytes = 6.0 * 16.0 * n as f64;
-        let scale_up = 1.0 / args.scale; // scale volumes to the paper's mesh
-        let solve_time = |its: usize, fb: usize| -> f64 {
-            its as f64 * (fb as f64 + vec_bytes) * scale_up
-                / (machine.stream_bytes_per_s * p as f64)
-        };
-        points.push(Point {
-            p,
-            t_double: solve_time(iters[0], factor_bytes[0]),
-            t_single: solve_time(iters[1], factor_bytes[1]),
-            its: iters,
-        });
-    }
-    // The flux/assembly phase is precision-independent and perfectly
-    // parallel: other(p) = K / p, with K calibrated so the solve phase is
-    // ~30% of overall at p=16 in double precision (the paper's 223s/746s).
-    let k_other = 16.0 * points[0].t_double * (746.0 - 223.0) / 223.0;
-    let mut rows = Vec::new();
-    for pt in &points {
-        let other = k_other / pt.p as f64;
-        rows.push(vec![
-            pt.p.to_string(),
-            format!("{:.1}s", pt.t_double),
-            format!("{:.1}s", pt.t_single),
-            format!("{:.1}s", pt.t_double + other),
-            format!("{:.1}s", pt.t_single + other),
-            pt.its[0].to_string(),
-            pt.its[1].to_string(),
-        ]);
-    }
-    print_table(
-        "Table 2: single vs double precision preconditioner storage (simulated Origin 2000 times, measured iterations)",
-        &[
-            "Procs",
-            "Solve (dbl)",
-            "Solve (sgl)",
-            "Overall (dbl)",
-            "Overall (sgl)",
-            "Its (dbl)",
-            "Its (sgl)",
-        ],
-        &rows,
-    );
-    println!(
-        "\nPaper: Linear solve 223/136s (16p) ... 31/16s (120p); overall 746/657s ... 122/106s."
-    );
-    println!("Key claims to check: solve-phase ratio ~2x from storage precision alone; iteration");
-    println!("counts identical between precisions (the preconditioner is approximate by design).");
-
-    let mut perf = fun3d_telemetry::report::PerfReport::new("table2")
-        .with_meta("machine", "origin2000")
-        .with_meta("nverts", mesh.nverts().to_string());
-    args.annotate(&mut perf);
-    perf.push_metric("trisolve_f32_speedup", ratio);
-    for pt in &points {
-        perf.push_metric(format!("solve_dbl_p{}", pt.p), pt.t_double);
-        perf.push_metric(format!("solve_sgl_p{}", pt.p), pt.t_single);
-        perf.push_metric(format!("its_dbl_p{}", pt.p), pt.its[0] as f64);
-        perf.push_metric(format!("its_sgl_p{}", pt.p), pt.its[1] as f64);
-    }
-    args.emit_report(&perf);
+    let out = runners::table2::run(&args);
+    args.emit_report(&out.report);
+    args.emit_trace(&out.telemetry);
 }

@@ -1,129 +1,14 @@
-//! Regenerates **Table 4**: the additive-Schwarz design space — subdomain
-//! overlap {0, 1, 2} x ILU fill level {0, 1, 2} x processor count
-//! {16, 32, 64} — measuring execution time and total linear iterations.
+//! Thin CLI wrapper: Table 4 additive-Schwarz design space.
+//! The core loop lives in `fun3d_bench::runners::table4`.
 //!
-//! Paper baseline: 357,900-vertex case, GMRES(20), one subdomain per
-//! processor, RASM.  The paper's findings to reproduce: more overlap and
-//! more fill cut the iteration count, but both cost memory and per-iteration
-//! work; ILU(1) with zero overlap wins at scale.
-//!
-//! Here the preconditioner mathematics (and hence iteration counts) run for
-//! real on a scaled mesh; times are real sequential work divided across the
-//! notional processors plus the machine model's communication terms.
-//!
-//! Usage: `cargo run --release -p fun3d-bench --bin table4 [--scale f]`
+//! Usage: `cargo run --release -p fun3d-bench --bin table4 [--scale f]
+//!   [--json out.json] [--trace trace.json]`
 
-use fun3d_bench::{print_table, representative_jacobian, BenchArgs};
-use fun3d_euler::model::FlowModel;
-use fun3d_memmodel::machine::MachineSpec;
-use fun3d_mesh::generator::MeshFamily;
-use fun3d_partition::partition_kway;
-use fun3d_solver::gmres::{gmres, GmresOptions};
-use fun3d_solver::op::CsrOperator;
-use fun3d_solver::precond::AdditiveSchwarz;
-use fun3d_sparse::ilu::IluOptions;
-use fun3d_sparse::layout::FieldLayout;
+use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse(0.06);
-    let spec = args.family_spec(MeshFamily::Medium);
-    let mesh = spec.build();
-    let ncomp = 4usize;
-    println!(
-        "Table 4 regenerator: {} vertices (paper: 357,900; scale {:.2}), GMRES(20), RASM",
-        mesh.nverts(),
-        args.scale
-    );
-
-    let jac = representative_jacobian(
-        &mesh,
-        FlowModel::incompressible(),
-        FieldLayout::Interlaced,
-        50.0,
-    );
-    let n = jac.nrows();
-    let rhs: Vec<f64> = (0..n).map(|i| ((i % 17) as f64 - 8.0) / 8.0).collect();
-    let graph = mesh.vertex_graph();
-    let machine = MachineSpec::asci_red();
-
-    let opts = GmresOptions {
-        restart: 20,
-        rtol: 1e-6,
-        max_iters: 6000,
-        ..Default::default()
-    };
-
-    let mut perf = fun3d_telemetry::report::PerfReport::new("table4")
-        .with_meta("machine", "asci_red")
-        .with_meta("nverts", mesh.nverts().to_string());
-    args.annotate(&mut perf);
-    for fill in [0usize, 1, 2] {
-        let mut rows = Vec::new();
-        for &p in &[16usize, 32, 64] {
-            let part = partition_kway(&graph, p, 7);
-            let mut owned_sets: Vec<Vec<usize>> = vec![Vec::new(); p];
-            for (v, &pp) in part.part.iter().enumerate() {
-                for c in 0..ncomp {
-                    owned_sets[pp as usize].push(v * ncomp + c);
-                }
-            }
-            let mut cells = Vec::new();
-            for overlap in [0usize, 1, 2] {
-                let ilu = IluOptions::with_fill(fill);
-                let t0 = std::time::Instant::now();
-                let pc = AdditiveSchwarz::new(&jac, &owned_sets, overlap, &ilu, true).unwrap();
-                let setup_time = t0.elapsed().as_secs_f64();
-                let mut x = vec![0.0; n];
-                let t0 = std::time::Instant::now();
-                let res = gmres(&CsrOperator::new(&jac), &pc, &rhs, &mut x, &opts);
-                let solve_time = t0.elapsed().as_secs_f64();
-                assert!(res.converged, "p={p} fill={fill} ov={overlap}: {res:?}");
-                // Model time: the sequential work done here is (nearly)
-                // perfectly divisible across p processors; add the per-
-                // iteration communication of the overlap variant (RASM has
-                // one ghost exchange per application; overlap multiplies the
-                // exchanged volume and the setup traffic).
-                let comm_per_it = 6.0 * machine.net_latency_s * (1.0 + overlap as f64);
-                let t = (setup_time + solve_time) / p as f64 + res.iterations as f64 * comm_per_it;
-                perf.push_metric(format!("time_f{fill}_p{p}_ov{overlap}"), t);
-                perf.push_metric(
-                    format!("its_f{fill}_p{p}_ov{overlap}"),
-                    res.iterations as f64,
-                );
-                cells.push((t, res.iterations));
-            }
-            let best = cells.iter().map(|&(t, _)| t).fold(f64::INFINITY, f64::min);
-            let fmt_cell = |(t, its): (f64, usize)| {
-                let star = if t == best { "*" } else { "" };
-                (format!("{t:.2}s{star}"), its.to_string())
-            };
-            let c: Vec<(String, String)> = cells.into_iter().map(fmt_cell).collect();
-            rows.push(vec![
-                p.to_string(),
-                c[0].0.clone(),
-                c[0].1.clone(),
-                c[1].0.clone(),
-                c[1].1.clone(),
-                c[2].0.clone(),
-                c[2].1.clone(),
-            ]);
-        }
-        print_table(
-            &format!("Table 4: ILU({fill}) in each subdomain (RASM; * = best time in row)"),
-            &[
-                "Procs",
-                "Time ov=0",
-                "Its ov=0",
-                "Time ov=1",
-                "Its ov=1",
-                "Time ov=2",
-                "Its ov=2",
-            ],
-            &rows,
-        );
-    }
-    println!("\nPaper shape to check: iterations fall with overlap and with fill; time per");
-    println!("iteration rises with both; zero overlap wins at the larger processor counts,");
-    println!("and ILU(1) gives the best overall times (the paper's new default).");
-    args.emit_report(&perf);
+    let out = runners::table4::run(&args);
+    args.emit_report(&out.report);
+    args.emit_trace(&out.telemetry);
 }

@@ -4,10 +4,18 @@
 //! actually run; default keeps runs to seconds) and `--full` (the paper's
 //! size — minutes to hours).  Measured numbers regenerate the paper's *rows*;
 //! EXPERIMENTS.md records the paper-vs-measured comparison.
+//!
+//! Since the harness PR, every regenerator's core loop lives in [`runners`]
+//! as a library function returning a [`RunOutcome`]; the binaries are thin
+//! CLI wrappers, and `fun3d-harness` schedules the same runners with warmup
+//! and repetitions behind the [`Experiment`] trait.
+
+pub mod runners;
 
 use fun3d_euler::field::FieldVec;
 use fun3d_euler::model::FlowModel;
 use fun3d_euler::residual::{Discretization, SpatialOrder};
+use fun3d_memmodel::machine::MachineSpec;
 use fun3d_mesh::generator::{BumpChannelSpec, MeshFamily};
 use fun3d_mesh::tet::TetMesh;
 use fun3d_sparse::csr::CsrMatrix;
@@ -22,6 +30,14 @@ pub struct BenchArgs {
     pub scale: f64,
     /// Number of measured pseudo-timesteps (where applicable).
     pub steps: usize,
+    /// Number of repetitions for timed sections (`--reps <n>`).
+    pub reps: usize,
+    /// Suite selector (`--suite <name>`); consumed by the `fun3d-bench`
+    /// driver, ignored by the single-experiment binaries.
+    pub suite: Option<String>,
+    /// Suppress human-readable tables and commentary ([`say!`],
+    /// [`BenchArgs::table`]); machine-readable outputs are unaffected.
+    pub quiet: bool,
     /// Write a `fun3d-perf/1` JSON report here (`--json <path>`).
     pub json: Option<String>,
     /// Write a chrome-trace JSON here (`--trace <path>`); only bins that
@@ -30,23 +46,47 @@ pub struct BenchArgs {
 }
 
 impl BenchArgs {
-    /// Parse from `std::env::args`: `--scale <f>`, `--full`, `--steps <n>`,
-    /// `--json <path>`, `--trace <path>`.
-    pub fn parse(default_scale: f64) -> Self {
-        let mut out = Self {
+    /// Baseline values before any flags are applied.
+    pub fn defaults(default_scale: f64) -> Self {
+        Self {
             scale: default_scale,
             steps: 3,
+            reps: 1,
+            suite: None,
+            quiet: false,
             json: None,
             trace: None,
-        };
-        let args: Vec<String> = std::env::args().collect();
+        }
+    }
+
+    /// Parse from `std::env::args`: `--scale <f>`, `--full`, `--steps <n>`,
+    /// `--reps <n>`, `--suite <name>`, `--quiet`, `--json <path>`,
+    /// `--trace <path>`.  Panics on unknown flags.
+    pub fn parse(default_scale: f64) -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let (out, rest) = Self::parse_known(default_scale, &argv);
+        if let Some(other) = rest.first() {
+            panic!(
+                "unknown argument: {other} (expected --scale/--full/--steps/--reps/--suite/--quiet/--json/--trace)"
+            );
+        }
+        out
+    }
+
+    /// Parse the shared flags out of `argv`, returning the parsed options
+    /// and the arguments that were not recognized (in order).  This is the
+    /// single flag-parsing helper: the per-table binaries reject leftovers,
+    /// the `fun3d-bench` driver layers its own flags on top of them.
+    pub fn parse_known(default_scale: f64, argv: &[String]) -> (Self, Vec<String>) {
+        let mut out = Self::defaults(default_scale);
+        let mut rest = Vec::new();
         let value = |i: usize, flag: &str| -> &String {
-            args.get(i)
+            argv.get(i)
                 .unwrap_or_else(|| panic!("{flag} expects a value"))
         };
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
                 "--scale" => {
                     i += 1;
                     out.scale = value(i, "--scale")
@@ -60,6 +100,17 @@ impl BenchArgs {
                         .parse()
                         .expect("--steps expects an integer");
                 }
+                "--reps" => {
+                    i += 1;
+                    out.reps = value(i, "--reps")
+                        .parse()
+                        .expect("--reps expects an integer");
+                }
+                "--suite" => {
+                    i += 1;
+                    out.suite = Some(value(i, "--suite").clone());
+                }
+                "--quiet" => out.quiet = true,
                 "--json" => {
                     i += 1;
                     out.json = Some(value(i, "--json").clone());
@@ -68,14 +119,20 @@ impl BenchArgs {
                     i += 1;
                     out.trace = Some(value(i, "--trace").clone());
                 }
-                other => panic!(
-                    "unknown argument: {other} (expected --scale/--full/--steps/--json/--trace)"
-                ),
+                other => rest.push(other.to_string()),
             }
             i += 1;
         }
         assert!(out.scale > 0.0 && out.scale <= 4.0, "scale out of range");
-        out
+        assert!(out.reps >= 1, "--reps must be at least 1");
+        (out, rest)
+    }
+
+    /// Print a table unless `--quiet` was given.
+    pub fn table(&self, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+        if !self.quiet {
+            print_table(title, headers, rows);
+        }
     }
 
     /// A mesh spec for the given paper family, scaled by `self.scale`.
@@ -109,6 +166,67 @@ impl BenchArgs {
                 .expect("writing --trace chrome trace failed");
             println!("wrote chrome trace to {path}");
         }
+    }
+}
+
+/// `println!` gated on the shared `--quiet` flag: the first argument is a
+/// `&BenchArgs`, the rest is a normal format string.
+#[macro_export]
+macro_rules! say {
+    ($args:expr) => {
+        if !$args.quiet { println!(); }
+    };
+    ($args:expr, $($fmt:tt)*) => {
+        if !$args.quiet { println!($($fmt)*); }
+    };
+}
+
+/// The result of one experiment run: a `fun3d-perf/1` report plus the
+/// per-rank telemetry snapshots (empty when the runner records no timeline).
+#[derive(Debug, Clone, Default)]
+pub struct RunOutcome {
+    /// The machine-readable report (`--json` serializes exactly this).
+    pub report: PerfReport,
+    /// Per-rank snapshots for chrome-trace export (`--trace`).
+    pub telemetry: Vec<Snapshot>,
+}
+
+impl From<PerfReport> for RunOutcome {
+    fn from(report: PerfReport) -> Self {
+        Self {
+            report,
+            telemetry: Vec::new(),
+        }
+    }
+}
+
+/// A model-predicted value for one measured metric of a report, in the
+/// metric's own units — the harness prints these as model-vs-measured
+/// columns the way the paper reports predicted vs. observed rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelEstimate {
+    /// Metric key in the report this estimate corresponds to.
+    pub metric: String,
+    /// The machine model's prediction for that metric.
+    pub predicted: f64,
+}
+
+/// A runnable benchmark: one paper table/figure regenerator (or kernel
+/// microbenchmark) exposed as a library call, so the harness can schedule
+/// warmup and repetitions in-process instead of shelling out to the bins.
+pub trait Experiment: Send + Sync {
+    /// Stable name (equals the binary name: `table1`, `stream`, ...).
+    fn name(&self) -> &'static str;
+    /// One-line description for `fun3d-bench list`.
+    fn description(&self) -> &'static str;
+    /// The scale the standalone binary defaults to.
+    fn default_scale(&self) -> f64;
+    /// Execute once with the given options.
+    fn run(&self, args: &BenchArgs) -> RunOutcome;
+    /// Machine-model predictions for metrics of `report` on `machine`
+    /// (empty when the experiment has no analytic model).
+    fn model(&self, _report: &PerfReport, _machine: &MachineSpec) -> Vec<ModelEstimate> {
+        Vec::new()
     }
 }
 

@@ -1,0 +1,121 @@
+//! Regenerates **Figure 2**: aggregate Gflop/s and execution time for the
+//! 2.8M-vertex case on the paper's three most capable machines — ASCI Red,
+//! ASCI Blue Pacific, and the Cray T3E — with the ideal-scaling reference.
+//!
+//! The machines are long gone; each is represented by its calibrated
+//! [`fun3d_memmodel::machine::MachineSpec`] inside the fixed-size scaling
+//! model.  Shape to reproduce: near-linear Gflop/s on Red, T3E the fastest
+//! per node on memory-bound phases, execution time flattening as the
+//! surface-to-volume ratio and iteration growth bite.
+
+use crate::{say, BenchArgs, Experiment, RunOutcome};
+use fun3d_core::scaling::{Calibration, FixedSizeModel, ProblemShape};
+use fun3d_memmodel::machine::MachineSpec;
+
+/// `figure2` as a harness experiment.
+pub struct Figure2;
+
+impl Experiment for Figure2 {
+    fn name(&self) -> &'static str {
+        "figure2"
+    }
+    fn description(&self) -> &'static str {
+        "Gflop/s and execution time across the paper's three big machines"
+    }
+    fn default_scale(&self) -> f64 {
+        1.0
+    }
+    fn run(&self, args: &BenchArgs) -> RunOutcome {
+        run(args)
+    }
+}
+
+/// Regenerate Figure 2 once.
+pub fn run(args: &BenchArgs) -> RunOutcome {
+    let machines = [
+        MachineSpec::asci_red(),
+        MachineSpec::asci_blue_pacific(),
+        MachineSpec::cray_t3e(),
+    ];
+    let procs = [128usize, 256, 512, 1024, 2048, 3072];
+
+    let mut gflop_rows: Vec<Vec<String>> = Vec::new();
+    let mut time_rows: Vec<Vec<String>> = Vec::new();
+    let mut models = Vec::new();
+    for m in &machines {
+        models.push(FixedSizeModel {
+            machine: m.clone(),
+            shape: ProblemShape::large_euler(),
+            cal: Calibration::paper_defaults(),
+        });
+    }
+    for &p in &procs {
+        let mut grow = vec![p.to_string()];
+        let mut trow = vec![p.to_string()];
+        for (m, model) in machines.iter().zip(&models) {
+            if p > m.max_nodes {
+                grow.push("-".to_string());
+                trow.push("-".to_string());
+                continue;
+            }
+            let pt = model.predict(p);
+            grow.push(format!("{:.1}", pt.gflops));
+            trow.push(format!("{:.0}s", pt.time));
+        }
+        // Ideal scaling lines (linear from the 128-node Red point).
+        let base = models[0].predict(128);
+        grow.push(format!("{:.1}", base.gflops * p as f64 / 128.0));
+        trow.push(format!("{:.0}s", base.time * 128.0 / p as f64));
+        gflop_rows.push(grow);
+        time_rows.push(trow);
+    }
+    args.table(
+        "Figure 2a: aggregate Gflop/s vs nodes",
+        &[
+            "Nodes",
+            "ASCI Red",
+            "Blue Pacific",
+            "Cray T3E",
+            "ideal (Red)",
+        ],
+        &gflop_rows,
+    );
+    args.table(
+        "Figure 2b: execution time vs nodes",
+        &[
+            "Nodes",
+            "ASCI Red",
+            "Blue Pacific",
+            "Cray T3E",
+            "ideal (Red)",
+        ],
+        &time_rows,
+    );
+    say!(
+        args,
+        "\nShape to check: Gflop/s nearly linear on Red but time above the ideal line"
+    );
+    say!(
+        args,
+        "(growing redundant work); T3E fastest per node on the bandwidth-bound solve;"
+    );
+    say!(
+        args,
+        "Blue Pacific limited by its interconnect; T3E/Blue curves stop at their"
+    );
+    say!(args, "machine sizes (1024/1464 nodes) as in the paper.");
+
+    let mut perf = fun3d_telemetry::report::PerfReport::new("figure2");
+    args.annotate(&mut perf);
+    for (m, model) in machines.iter().zip(&models) {
+        for &p in &procs {
+            if p > m.max_nodes {
+                continue;
+            }
+            let pt = model.predict(p);
+            perf.push_metric(format!("gflops_{}_p{p}", m.name), pt.gflops);
+            perf.push_metric(format!("time_s_{}_p{p}", m.name), pt.time);
+        }
+    }
+    perf.into()
+}

@@ -1,0 +1,161 @@
+//! Validates the paper's analytic conflict-miss bounds — Equations (1) and
+//! (2) — against the trace-driven cache simulator.
+//!
+//! The bounds say: SpMV on an `N`-row matrix whose gathered source-vector
+//! working set is `beta` double words suffers at most
+//! `N * ceil((beta - C) / W)` conflict misses beyond the compulsory ones
+//! (`C` = cache capacity, `W` = line size, in double words), with `beta ~ N`
+//! for the non-interlaced layout and `beta ~ bandwidth` for the interlaced
+//! one.  The regenerator sweeps the bandwidth and compares measured excess
+//! misses on the gathered vector with the bound.
+
+use crate::{say, BenchArgs, Experiment, RunOutcome};
+use fun3d_memmodel::bounds::{conflict_miss_bound_banded, tlb_miss_bound_banded};
+use fun3d_memmodel::cache::{CacheConfig, SetAssocCache};
+use fun3d_sparse::csr::CsrMatrix;
+use fun3d_sparse::triplet::TripletMatrix;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// `miss_bounds` as a harness experiment.
+pub struct MissBounds;
+
+impl Experiment for MissBounds {
+    fn name(&self) -> &'static str {
+        "miss_bounds"
+    }
+    fn description(&self) -> &'static str {
+        "analytic conflict-miss bounds vs the trace-driven cache simulator"
+    }
+    fn default_scale(&self) -> f64 {
+        1.0
+    }
+    fn run(&self, args: &BenchArgs) -> RunOutcome {
+        run(args)
+    }
+}
+
+/// Banded random matrix: `nnz_per_row` entries spread across a band of
+/// half-width `beta/2`.
+fn banded_matrix(n: usize, beta: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = TripletMatrix::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 4.0);
+        for _ in 0..nnz_per_row - 1 {
+            let lo = i.saturating_sub(beta / 2);
+            let hi = (i + beta / 2).min(n - 1);
+            let j = rng.gen_range(lo..=hi);
+            t.push(i, j, -0.1);
+        }
+    }
+    t.to_csr()
+}
+
+/// Run the miss-bound validation once.
+pub fn run(args: &BenchArgs) -> RunOutcome {
+    let n = (30_000.0 * args.scale) as usize;
+    // The paper's bound reasons about an idealized LRU cache (conflicts are
+    // *capacity*-driven by the working set), so the validation cache is
+    // fully associative; a TLB is fully associative anyway.
+    let l1 = CacheConfig::fully_associative(32 * 1024, 32);
+    let tlb_entries = 16;
+    let page = 4096;
+    say!(
+        args,
+        "Miss-bound validation: N = {n}, L1 = 32 KB (C = {} dwords, W = {} dwords), TLB = {} x 4 KB",
+        l1.capacity_dwords(),
+        l1.line_dwords(),
+        tlb_entries
+    );
+
+    let mut rows = Vec::new();
+    let mut perf = fun3d_telemetry::report::PerfReport::new("miss_bounds");
+    args.annotate(&mut perf);
+    // beta values chosen away from the exact capacity boundary (C = 4096
+    // dwords), where the bound's step function is trivially fuzzy.
+    for beta in [1_000usize, 2_500, 8_000, 16_000, 30_000] {
+        let a = banded_matrix(n, beta.min(n), 8, 42);
+        // The bounds concern the *gathered source vector* alone (the other
+        // arrays are streamed and cost exactly their compulsory misses), so
+        // replay only the x-gather address stream: x[col] for every stored
+        // entry, in row order.
+        let mut cache = SetAssocCache::new(l1);
+        let mut tlb = SetAssocCache::new(CacheConfig::tlb(tlb_entries, page));
+        for i in 0..n {
+            for &c in a.row_cols(i) {
+                let addr = 8 * c as u64;
+                cache.access(addr);
+                tlb.access(addr);
+            }
+        }
+        // Compulsory: the band slides over the whole vector, so every x
+        // line / page is touched at least once.
+        let compulsory_l1 = (n * 8) as u64 / l1.line_bytes as u64 + 1;
+        let excess = cache.misses().saturating_sub(compulsory_l1);
+        let bound = conflict_miss_bound_banded(n, beta, l1.capacity_dwords(), l1.line_dwords());
+        let tlb_compulsory = (n * 8) as u64 / page as u64 + 1;
+        let tlb_excess = tlb.misses().saturating_sub(tlb_compulsory);
+        let tlb_bound = tlb_miss_bound_banded(n, beta, tlb_entries, page / 8);
+        perf.push_metric(format!("l1_excess_beta{beta}"), excess as f64);
+        perf.push_metric(format!("l1_bound_beta{beta}"), bound as f64);
+        perf.push_metric(format!("tlb_excess_beta{beta}"), tlb_excess as f64);
+        perf.push_metric(format!("tlb_bound_beta{beta}"), tlb_bound as f64);
+        rows.push(vec![
+            beta.to_string(),
+            excess.to_string(),
+            bound.to_string(),
+            if bound == 0 {
+                if excess < n as u64 / 10 {
+                    "ok (≈0)"
+                } else {
+                    "VIOLATED"
+                }
+            } else if excess <= bound {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
+            .to_string(),
+            tlb_excess.to_string(),
+            tlb_bound.to_string(),
+            if tlb_bound == 0 {
+                if tlb_excess < n as u64 / 10 {
+                    "ok (≈0)"
+                } else {
+                    "VIOLATED"
+                }
+            } else if tlb_excess <= tlb_bound {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
+            .to_string(),
+        ]);
+    }
+    args.table(
+        "Eqs. (1)-(2): measured excess misses vs analytic bound (SpMV, sweep over bandwidth beta)",
+        &[
+            "beta",
+            "L1 excess",
+            "Eq.2 bound",
+            "check",
+            "TLB excess",
+            "TLB bound",
+            "check",
+        ],
+        &rows,
+    );
+    say!(
+        args,
+        "\nThe bound is loose by design (it counts every out-of-cache row reference as a"
+    );
+    say!(
+        args,
+        "miss); what matters is that measured conflict misses stay below it and hit ~0"
+    );
+    say!(
+        args,
+        "once beta fits in the cache / TLB reach — the regime interlacing + RCM buys."
+    );
+    perf.into()
+}

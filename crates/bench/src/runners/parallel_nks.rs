@@ -1,0 +1,189 @@
+//! Measured parallel ΨNKS scaling: the real distributed solver (threads +
+//! messages) at laptop-feasible rank counts, reporting the same efficiency
+//! decomposition and phase breakdown as Table 3 — fully *measured*, as a
+//! complement to the `table3` regenerator's model extrapolation.
+//!
+//! Every number in the two tables below is derived from the per-rank
+//! telemetry registries (`fun3d-telemetry`): linear iterations come from the
+//! `nks` span's `linear_iters` counter, phase percentages from the simulated
+//! `sim/*` spans of the busiest rank, and the efficiency decomposition from
+//! per-rank-count `fun3d-perf/1` reports.
+
+use crate::{say, BenchArgs, Experiment, RunOutcome};
+use fun3d_core::efficiency::efficiency_from_reports;
+use fun3d_core::parallel_nks::{solve_parallel_nks, ParallelNksOptions};
+use fun3d_euler::model::FlowModel;
+use fun3d_memmodel::machine::MachineSpec;
+use fun3d_mesh::generator::MeshFamily;
+use fun3d_partition::partition_kway;
+use fun3d_telemetry::report::PerfReport;
+use fun3d_telemetry::{merge, Snapshot};
+
+/// `parallel_nks` as a harness experiment.
+pub struct ParallelNks;
+
+impl Experiment for ParallelNks {
+    fn name(&self) -> &'static str {
+        "parallel_nks"
+    }
+    fn description(&self) -> &'static str {
+        "measured distributed NKS scaling with efficiency decomposition"
+    }
+    fn default_scale(&self) -> f64 {
+        0.03
+    }
+    fn run(&self, args: &BenchArgs) -> RunOutcome {
+        run(args)
+    }
+}
+
+/// Reduction / implicit-sync / scatter overhead percentages of the busiest
+/// rank, read back from its simulated-time span tree.
+fn phase_percentages(snaps: &[Snapshot]) -> (f64, f64, f64) {
+    let busiest = snaps
+        .iter()
+        .max_by(|a, b| {
+            let t = |s: &Snapshot| {
+                s.spans
+                    .iter()
+                    .filter(|r| r.path.starts_with("sim/"))
+                    .map(|r| r.total_s)
+                    .sum::<f64>()
+            };
+            t(a).partial_cmp(&t(b)).unwrap()
+        })
+        .expect("at least one rank snapshot");
+    let total: f64 = busiest
+        .spans
+        .iter()
+        .filter(|r| r.path.starts_with("sim/"))
+        .map(|r| r.total_s)
+        .sum();
+    let pct = |path: &str| {
+        100.0 * busiest.span(path).map_or(0.0, |r| r.total_s) / total.max(f64::MIN_POSITIVE)
+    };
+    (
+        pct("sim/reduction"),
+        pct("sim/implicit_sync"),
+        pct("sim/scatter"),
+    )
+}
+
+/// Run the measured parallel-NKS scaling study once.
+pub fn run(args: &BenchArgs) -> RunOutcome {
+    let spec = args.family_spec(MeshFamily::Medium);
+    let mesh = spec.build();
+    say!(
+        args,
+        "Parallel NKS (real message-passing ranks): {} vertices, ASCI Red simulated clock",
+        mesh.nverts()
+    );
+    let graph = mesh.vertex_graph();
+    let machine = MachineSpec::asci_red();
+    // Fixed work: exactly 20 pseudo-timesteps per rank count (the paper's
+    // per-time-step framing). Chasing a fixed *reduction* instead couples
+    // the comparison to case-specific continuation plateaus (see figure5).
+    let opts = ParallelNksOptions {
+        max_steps: 20,
+        target_reduction: 0.0,
+        ..Default::default()
+    };
+
+    let mut reports = Vec::new();
+    let mut rows = Vec::new();
+    let mut last_telemetry: Vec<Snapshot> = Vec::new();
+    for p in [1usize, 2, 4, 8] {
+        let part = partition_kway(&graph, p, 3);
+        let report = solve_parallel_nks(
+            &mesh,
+            FlowModel::incompressible(),
+            &part.part,
+            p,
+            &machine,
+            &opts,
+        );
+        say!(
+            args,
+            "  p={p}: residual reduction {:.1e} after 20 steps",
+            report.final_residual / report.residual_history[0]
+        );
+        let steps = report.residual_history.len() - 1;
+        let merged = merge(&report.telemetry);
+        // GMRES iterations are global: every rank counts the same ones, so
+        // the merged per-rank sum overstates the count by a factor of p.
+        let lin = merged.counter_total("linear_iters") / p as f64;
+        let (red, sync, scat) = phase_percentages(&report.telemetry);
+        rows.push(vec![
+            p.to_string(),
+            steps.to_string(),
+            format!("{lin:.0}"),
+            format!("{:.3}s", report.sim_time),
+            format!("{red:.1}"),
+            format!("{sync:.1}"),
+            format!("{scat:.1}"),
+        ]);
+        let mut perf = PerfReport::new("parallel_nks")
+            .with_meta("nranks", p.to_string())
+            .with_snapshot(&merged);
+        args.annotate(&mut perf);
+        perf.push_metric("nprocs", p as f64);
+        perf.push_metric("linear_its", lin.max(1.0));
+        perf.push_metric("time_s", report.sim_time);
+        reports.push(perf);
+        last_telemetry = report.telemetry;
+    }
+    args.table(
+        "Measured parallel NKS (simulated ASCI Red time; percentages from the busiest rank's telemetry)",
+        &[
+            "Ranks",
+            "Steps",
+            "Linear its",
+            "Sim time",
+            "Reductions %",
+            "Impl. sync %",
+            "Scatters %",
+        ],
+        &rows,
+    );
+
+    let eff = efficiency_from_reports(&reports);
+    let rows: Vec<Vec<String>> = eff
+        .iter()
+        .map(|r| {
+            vec![
+                r.nprocs.to_string(),
+                format!("{:.2}", r.speedup),
+                format!("{:.2}", r.eta_overall),
+                format!("{:.2}", r.eta_alg),
+                format!("{:.2}", r.eta_impl),
+            ]
+        })
+        .collect();
+    args.table(
+        "Efficiency decomposition (eta_overall = eta_alg x eta_impl, from telemetry reports)",
+        &["Ranks", "Speedup", "eta_overall", "eta_alg", "eta_impl"],
+        &rows,
+    );
+    say!(
+        args,
+        "\nSame conclusion as Table 3, here fully measured: the algorithmic term (more"
+    );
+    say!(
+        args,
+        "Jacobi blocks -> more iterations) dominates the degradation; the implementation"
+    );
+    say!(args, "term stays close to 1 at these scales.");
+
+    // Summary: the largest-rank-count run's report, annotated with the full
+    // efficiency decomposition; the telemetry is its per-rank snapshots.
+    let mut summary = reports.pop().expect("non-empty rank series");
+    for r in &eff {
+        summary.push_metric(format!("eta_overall_p{}", r.nprocs), r.eta_overall);
+        summary.push_metric(format!("eta_alg_p{}", r.nprocs), r.eta_alg);
+        summary.push_metric(format!("eta_impl_p{}", r.nprocs), r.eta_impl);
+    }
+    RunOutcome {
+        report: summary,
+        telemetry: last_telemetry,
+    }
+}

@@ -1,0 +1,125 @@
+//! Host SpMV timing for the representative Euler Jacobian in point CSR and
+//! 4x4-block BCSR, against the bandwidth model of
+//! [`fun3d_memmodel::spmv_model`] — the companion-paper bound the whole
+//! tuning story rests on.
+//!
+//! With a calibrated machine model (STREAM measured on this host), the
+//! predicted times should land within a few tens of percent of the measured
+//! ones; the harness reports the delta per metric.
+
+use crate::{
+    representative_jacobian, say, time_median, BenchArgs, Experiment, ModelEstimate, RunOutcome,
+};
+use fun3d_euler::model::FlowModel;
+use fun3d_memmodel::machine::MachineSpec;
+use fun3d_memmodel::spmv_model::{bcsr_traffic, csr_traffic, predicted_time, spmv_flops};
+use fun3d_mesh::generator::MeshFamily;
+use fun3d_sparse::bcsr::BcsrMatrix;
+use fun3d_sparse::layout::FieldLayout;
+use fun3d_telemetry::report::PerfReport;
+
+/// `spmv` as a harness experiment.
+pub struct Spmv;
+
+impl Experiment for Spmv {
+    fn name(&self) -> &'static str {
+        "spmv"
+    }
+    fn description(&self) -> &'static str {
+        "measured CSR/BCSR SpMV vs the bandwidth model's predicted times"
+    }
+    fn default_scale(&self) -> f64 {
+        0.5
+    }
+    fn run(&self, args: &BenchArgs) -> RunOutcome {
+        run(args)
+    }
+    fn model(&self, report: &PerfReport, machine: &MachineSpec) -> Vec<ModelEstimate> {
+        // Re-derive the traffic from the matrix shape recorded in the
+        // report, then price it at the machine's sustained bandwidth.
+        let (Some(nrows), Some(nnz)) = (report.metric("nrows"), report.metric("nnz")) else {
+            return Vec::new();
+        };
+        let (nrows, nnz) = (nrows as usize, nnz as usize);
+        let mut out = vec![ModelEstimate {
+            metric: "time_csr_s".to_string(),
+            predicted: predicted_time(&csr_traffic(nrows, nnz, 1.0), machine.stream_bytes_per_s),
+        }];
+        if let (Some(nbrows), Some(nblocks)) =
+            (report.metric("nbrows"), report.metric("nnz_blocks"))
+        {
+            out.push(ModelEstimate {
+                metric: "time_bcsr_s".to_string(),
+                predicted: predicted_time(
+                    &bcsr_traffic(nbrows as usize, nblocks as usize, 4, 1.0),
+                    machine.stream_bytes_per_s,
+                ),
+            });
+        }
+        out
+    }
+}
+
+/// Time CSR and BCSR SpMV on the representative Jacobian once.
+pub fn run(args: &BenchArgs) -> RunOutcome {
+    let ncomp = 4usize;
+    let spec = args.family_spec(MeshFamily::Small);
+    let mesh = spec.build();
+    say!(
+        args,
+        "SpMV benchmark: {} vertices (scale {:.2}), 4x4 blocks",
+        mesh.nverts(),
+        args.scale
+    );
+    let jac = representative_jacobian(
+        &mesh,
+        FlowModel::incompressible(),
+        FieldLayout::Interlaced,
+        50.0,
+    );
+    let n = jac.nrows();
+    let x: Vec<f64> = (0..n).map(|i| ((i % 23) as f64 - 11.0) / 11.0).collect();
+    let mut y = vec![0.0; n];
+    let t_csr = time_median(7, || jac.spmv(&x, &mut y));
+    let jb = BcsrMatrix::from_csr(&jac, ncomp);
+    let t_bcsr = time_median(7, || jb.spmv(&x, &mut y));
+
+    let flops = spmv_flops(jac.nnz());
+    let rows = vec![
+        vec![
+            "CSR".to_string(),
+            format!("{:.3} ms", t_csr * 1e3),
+            format!("{:.0}", flops / t_csr / 1e6),
+        ],
+        vec![
+            "BCSR 4x4".to_string(),
+            format!("{:.3} ms", t_bcsr * 1e3),
+            format!("{:.0}", flops / t_bcsr / 1e6),
+        ],
+    ];
+    args.table(
+        "Measured SpMV on the Euler Jacobian (median of 7)",
+        &["format", "time", "Mflop/s"],
+        &rows,
+    );
+    say!(
+        args,
+        "\nBlocking speedup: {:.2}x measured (bandwidth model predicts ~1.2-1.4x from",
+        t_csr / t_bcsr
+    );
+    say!(
+        args,
+        "index-traffic savings alone; more when the block structure helps the prefetcher)."
+    );
+
+    let mut perf = PerfReport::new("spmv").with_meta("nverts", mesh.nverts().to_string());
+    args.annotate(&mut perf);
+    perf.push_metric("nrows", n as f64);
+    perf.push_metric("nnz", jac.nnz() as f64);
+    perf.push_metric("nbrows", jb.nbrows() as f64);
+    perf.push_metric("nnz_blocks", jb.nnz_blocks() as f64);
+    perf.push_metric("time_csr_s", t_csr);
+    perf.push_metric("time_bcsr_s", t_bcsr);
+    perf.push_metric("blocking_speedup", t_csr / t_bcsr);
+    perf.into()
+}

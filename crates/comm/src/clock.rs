@@ -64,17 +64,6 @@ impl PhaseBreakdown {
         }
     }
 
-    /// Percentage of total spent in each non-compute category, in the order
-    /// Table 3 reports them: (reductions, implicit syncs, scatters).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `overhead_shares()`, which names the fields"
-    )]
-    pub fn overhead_percentages(&self) -> (f64, f64, f64) {
-        let s = self.overhead_shares();
-        (s.reductions_pct, s.implicit_sync_pct, s.scatters_pct)
-    }
-
     /// Record this breakdown into a telemetry registry as simulated-time
     /// spans under `sim/`, so modeled runs share the measured-run schema.
     pub fn ingest_into(&self, reg: &Registry) {
@@ -238,16 +227,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_tuple_matches_named_shares() {
+    fn overhead_shares_sum_to_total_pct() {
         let mut c = clock();
         c.compute(333e6, 0.0, 1.0);
         c.allreduce_sync(128, 2.0);
         let s = c.breakdown().overhead_shares();
-        let (r, i, g) = c.breakdown().overhead_percentages();
-        assert_eq!(
-            (r, i, g),
-            (s.reductions_pct, s.implicit_sync_pct, s.scatters_pct)
+        assert!(
+            (s.reductions_pct + s.implicit_sync_pct + s.scatters_pct - s.total_pct()).abs() < 1e-12
         );
     }
 

@@ -251,6 +251,35 @@ mod tests {
     }
 
     #[test]
+    fn explicit_metrics_win_over_span_fallback() {
+        use fun3d_telemetry::{Registry, TimeDomain};
+        // A merged multi-rank snapshot whose span tree would give the wrong
+        // answer (summed-over-ranks time); the explicit metrics must win.
+        let reg = Registry::enabled(0);
+        reg.record_span("nks", TimeDomain::Measured, 9999.0, 1);
+        reg.counter_at("nks", TimeDomain::Measured, "linear_iters", 777.0);
+        let mut r = PerfReport::new("merged")
+            .with_meta("nranks", "4")
+            .with_snapshot(&reg.snapshot());
+        r.push_metric("nprocs", 1024.0);
+        r.push_metric("linear_its", 29.0);
+        r.push_metric("time_s", 362.0);
+        let p = scaling_point_from_report(&r).unwrap();
+        assert_eq!(p.nprocs, 1024);
+        assert_eq!(p.its, 29);
+        assert!((p.time - 362.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_report_series_skips_only_the_incomplete_ones() {
+        let pts = table3_points();
+        let mut reports: Vec<PerfReport> = pts.iter().map(report_for).collect();
+        reports.insert(2, PerfReport::new("broken"));
+        let rows = efficiency_from_reports(&reports);
+        assert_eq!(rows, efficiency_table(&pts));
+    }
+
+    #[test]
     fn incomplete_reports_are_skipped() {
         assert!(scaling_point_from_report(&PerfReport::new("empty")).is_none());
         assert!(efficiency_from_reports(&[PerfReport::new("empty")]).is_empty());

@@ -1,0 +1,239 @@
+//! Versioned baseline store: the robust summaries of a reference run,
+//! serialized as `fun3d-baseline/1` JSON so later runs can be gated against
+//! them.
+//!
+//! The format is hand-rolled over [`fun3d_telemetry::json::Value`], like
+//! every other machine-readable artifact in this workspace: an object with
+//! `schema`, free-form `meta`, and one entry per experiment mapping metric
+//! keys to `{median, mad, n}`.
+
+use crate::stats::Summary;
+use fun3d_telemetry::json::Value;
+
+/// Schema tag written to (and required from) every baseline file.
+pub const SCHEMA: &str = "fun3d-baseline/1";
+
+/// Stored summary of one metric in the reference run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricBaseline {
+    /// Median over the reference repetitions.
+    pub median: f64,
+    /// Median absolute deviation over the reference repetitions.
+    pub mad: f64,
+    /// Reference repetition count.
+    pub n: usize,
+}
+
+impl From<Summary> for MetricBaseline {
+    fn from(s: Summary) -> Self {
+        Self {
+            median: s.median,
+            mad: s.mad,
+            n: s.n,
+        }
+    }
+}
+
+/// All stored metrics of one experiment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExperimentBaseline {
+    /// Experiment name (registry key).
+    pub name: String,
+    /// Metric key -> stored summary, in report order.
+    pub metrics: Vec<(String, MetricBaseline)>,
+}
+
+impl ExperimentBaseline {
+    /// Stored summary for a metric key.
+    pub fn metric(&self, key: &str) -> Option<MetricBaseline> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, m)| *m)
+    }
+}
+
+/// A whole baseline file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Baseline {
+    /// Free-form context (suite name, scale, host STREAM figure...).
+    pub meta: Vec<(String, String)>,
+    /// Per-experiment stored summaries.
+    pub experiments: Vec<ExperimentBaseline>,
+}
+
+impl Baseline {
+    /// Stored baseline for an experiment name.
+    pub fn experiment(&self, name: &str) -> Option<&ExperimentBaseline> {
+        self.experiments.iter().find(|e| e.name == name)
+    }
+
+    /// Serialize to the `fun3d-baseline/1` JSON value.
+    pub fn to_json(&self) -> Value {
+        let meta = Value::Obj(
+            self.meta
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                .collect(),
+        );
+        let experiments = Value::Obj(
+            self.experiments
+                .iter()
+                .map(|e| {
+                    let metrics = Value::Obj(
+                        e.metrics
+                            .iter()
+                            .map(|(k, m)| {
+                                (
+                                    k.clone(),
+                                    Value::Obj(vec![
+                                        ("median".into(), Value::Num(m.median)),
+                                        ("mad".into(), Value::Num(m.mad)),
+                                        ("n".into(), Value::Num(m.n as f64)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    );
+                    (e.name.clone(), metrics)
+                })
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("schema".into(), Value::Str(SCHEMA.into())),
+            ("meta".into(), meta),
+            ("experiments".into(), experiments),
+        ])
+    }
+
+    /// Parse from a `fun3d-baseline/1` JSON string.
+    pub fn from_json_str(s: &str) -> Result<Self, String> {
+        let v = Value::parse(s).map_err(|e| format!("baseline parse error: {e:?}"))?;
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported baseline schema {schema:?} (want {SCHEMA})"
+            ));
+        }
+        let mut out = Baseline::default();
+        if let Some(meta) = v.get("meta").and_then(Value::as_obj) {
+            for (k, mv) in meta {
+                if let Some(s) = mv.as_str() {
+                    out.meta.push((k.clone(), s.to_string()));
+                }
+            }
+        }
+        let exps = v
+            .get("experiments")
+            .and_then(Value::as_obj)
+            .ok_or("missing experiments object")?;
+        for (name, metrics) in exps {
+            let mut e = ExperimentBaseline {
+                name: name.clone(),
+                metrics: Vec::new(),
+            };
+            let fields = metrics
+                .as_obj()
+                .ok_or_else(|| format!("experiment {name}: metrics must be an object"))?;
+            for (key, mv) in fields {
+                let num = |field: &str| -> Result<f64, String> {
+                    mv.get(field)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("experiment {name}, metric {key}: missing {field}"))
+                };
+                e.metrics.push((
+                    key.clone(),
+                    MetricBaseline {
+                        median: num("median")?,
+                        mad: num("mad")?,
+                        n: num("n")? as usize,
+                    },
+                ));
+            }
+            out.experiments.push(e);
+        }
+        Ok(out)
+    }
+
+    /// Write to `path` (pretty enough: one compact JSON document).
+    pub fn save(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().render())
+    }
+
+    /// Read from `path`.
+    pub fn load(path: &str) -> std::io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        Self::from_json_str(&s).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        Baseline {
+            meta: vec![("suite".into(), "quick".into())],
+            experiments: vec![ExperimentBaseline {
+                name: "spmv".into(),
+                metrics: vec![
+                    (
+                        "time_csr_s".into(),
+                        MetricBaseline {
+                            median: 1.5e-3,
+                            mad: 2.0e-5,
+                            n: 5,
+                        },
+                    ),
+                    (
+                        "blocking_speedup".into(),
+                        MetricBaseline {
+                            median: 2.2,
+                            mad: 0.01,
+                            n: 5,
+                        },
+                    ),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let b = sample();
+        let s = b.to_json().render();
+        let back = Baseline::from_json_str(&s).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn schema_tag_is_enforced() {
+        let s = sample()
+            .to_json()
+            .render()
+            .replace(SCHEMA, "fun3d-baseline/99");
+        let err = Baseline::from_json_str(&s).unwrap_err();
+        assert!(err.contains("unsupported"), "{err}");
+        assert!(Baseline::from_json_str("{}").is_err());
+    }
+
+    #[test]
+    fn lookups_resolve() {
+        let b = sample();
+        let e = b.experiment("spmv").unwrap();
+        assert_eq!(e.metric("blocking_speedup").unwrap().median, 2.2);
+        assert!(e.metric("nonesuch").is_none());
+        assert!(b.experiment("nonesuch").is_none());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let b = sample();
+        let path = std::env::temp_dir().join("fun3d_baseline_test.json");
+        let path = path.to_str().unwrap();
+        b.save(path).unwrap();
+        let back = Baseline::load(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert_eq!(b, back);
+    }
+}

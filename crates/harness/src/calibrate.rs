@@ -1,0 +1,49 @@
+//! Machine calibration: measure this host's STREAM bandwidth and build a
+//! [`MachineSpec`] around it, so the analytic models predict *this* machine
+//! instead of a 1999 testbed.
+//!
+//! The paper's methodology (Section 2.2) prices every memory-bound phase at
+//! the machine's sustainable bandwidth; the harness does the same, then
+//! reports model-vs-measured deltas per experiment.
+
+use fun3d_memmodel::machine::MachineSpec;
+use fun3d_memmodel::stream::{run_stream, StreamResult};
+
+/// The calibration outcome: the raw STREAM measurement and the machine spec
+/// built from it.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Measured STREAM numbers.
+    pub stream: StreamResult,
+    /// Host machine model with the measured triad bandwidth.
+    pub machine: MachineSpec,
+}
+
+/// Run STREAM (`n` doubles per array, a few reps) and wrap the result.
+/// `n` is clamped to at least 64k elements so the arrays exceed any L2.
+pub fn calibrate_host(n: usize, reps: usize) -> Calibration {
+    let stream = run_stream(n.max(64 * 1024), reps.max(1));
+    let machine = MachineSpec::calibrated_host(stream.triad);
+    Calibration { stream, machine }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_feeds_measured_bandwidth_into_the_spec() {
+        let cal = calibrate_host(64 * 1024, 1);
+        assert!(cal.stream.triad > 0.0);
+        assert_eq!(cal.machine.stream_bytes_per_s, cal.stream.triad);
+        assert_eq!(cal.machine.name, "calibrated host");
+    }
+
+    #[test]
+    fn with_stream_bandwidth_overrides_only_bandwidth() {
+        let m = MachineSpec::asci_red().with_stream_bandwidth(123.0);
+        assert_eq!(m.stream_bytes_per_s, 123.0);
+        assert_eq!(m.name, "ASCI Red");
+        assert_eq!(m.max_nodes, MachineSpec::asci_red().max_nodes);
+    }
+}

@@ -1,0 +1,21 @@
+//! Experiment orchestration and perf-regression gating for the PETSc-FUN3D
+//! reproduction.
+//!
+//! The workspace's benchmarks are library calls (`fun3d_bench::runners`)
+//! behind the [`fun3d_bench::Experiment`] trait; this crate schedules them
+//! in suites with warmup and repetitions ([`run`]), reduces the per-rep
+//! `fun3d-perf/1` reports with robust statistics ([`stats`]), stores and
+//! compares versioned baselines with noise-aware verdicts ([`baseline`],
+//! [`compare`]), and calibrates the analytic machine model against the
+//! host's measured STREAM bandwidth ([`calibrate`]).  The `fun3d-bench`
+//! binary is the CLI over [`gate`].
+//!
+//! Pipeline: registry -> runs -> stats -> baseline gate.
+
+pub mod baseline;
+pub mod calibrate;
+pub mod compare;
+pub mod gate;
+pub mod run;
+pub mod stats;
+pub mod suite;

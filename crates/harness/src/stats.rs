@@ -1,0 +1,140 @@
+//! Robust statistics over repeated measurements.
+//!
+//! Benchmark timings are contaminated by one-sided noise (scheduler
+//! preemption, cache warmup, frequency transitions), so the harness
+//! summarizes repetitions with the *median* and the *median absolute
+//! deviation* (MAD) rather than mean and standard deviation: one slow
+//! outlier among five reps moves the mean by 20% of its excess but the
+//! median not at all.
+
+/// Scale factor turning a MAD into a consistent estimate of the standard
+/// deviation for normally distributed data (1 / Phi^-1(3/4)).
+pub const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// Robust summary of one metric's repetitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of repetitions.
+    pub n: usize,
+    /// Median value.
+    pub median: f64,
+    /// Median absolute deviation from the median (unscaled).
+    pub mad: f64,
+    /// Smallest observation — for timings, the least-noise estimate.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// MAD scaled to a normal-consistent sigma estimate.
+    pub fn sigma(&self) -> f64 {
+        MAD_TO_SIGMA * self.mad
+    }
+
+    /// Half-width of a crude confidence interval on the median: the scaled
+    /// MAD shrunk by sqrt(n), floored at zero for single observations.
+    pub fn confidence(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.sigma() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Median of a slice. Even lengths average the two middle order statistics.
+/// Returns `None` on an empty slice or any NaN.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    })
+}
+
+/// Median absolute deviation about `center`.
+pub fn mad(xs: &[f64], center: f64) -> Option<f64> {
+    let devs: Vec<f64> = xs.iter().map(|x| (x - center).abs()).collect();
+    median(&devs)
+}
+
+/// Robust summary of `xs`; `None` when empty or containing NaN.
+pub fn summarize(xs: &[f64]) -> Option<Summary> {
+    let med = median(xs)?;
+    let mad = mad(xs, med)?;
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Some(Summary {
+        n: xs.len(),
+        median: med,
+        mad,
+        min,
+        max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_is_middle_order_statistic() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn median_even_averages_middle_two() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 10.0]), Some(2.5));
+        assert_eq!(median(&[4.0, 1.0]), Some(2.5));
+    }
+
+    #[test]
+    fn median_rejects_empty_and_nan() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[1.0, f64::NAN]), None);
+    }
+
+    #[test]
+    fn mad_known_answer() {
+        // xs = [1, 1, 2, 2, 4, 6, 9]: median 2, |dev| = [1,1,0,0,2,4,7],
+        // median of deviations = 1.
+        let xs = [1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0];
+        let med = median(&xs).unwrap();
+        assert_eq!(med, 2.0);
+        assert_eq!(mad(&xs, med), Some(1.0));
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        let clean = summarize(&[10.0, 10.1, 9.9, 10.05, 9.95]).unwrap();
+        let dirty = summarize(&[10.0, 10.1, 9.9, 10.05, 1000.0]).unwrap();
+        // The outlier barely moves the median and MAD.
+        assert!((clean.median - dirty.median).abs() < 0.1);
+        assert!(dirty.mad < 0.2, "{}", dirty.mad);
+        assert_eq!(dirty.max, 1000.0);
+    }
+
+    #[test]
+    fn summary_fields_and_confidence() {
+        let s = summarize(&[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.mad, 2.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert!((s.sigma() - 2.0 * MAD_TO_SIGMA).abs() < 1e-12);
+        assert!(s.confidence() > 0.0);
+        // Single observation: no spread information.
+        let one = summarize(&[3.0]).unwrap();
+        assert_eq!(one.mad, 0.0);
+        assert_eq!(one.confidence(), 0.0);
+    }
+}

@@ -152,6 +152,44 @@ impl MachineSpec {
         }
     }
 
+    /// This spec with its sustainable bandwidth replaced by a *measured*
+    /// figure — the calibration hook the harness feeds STREAM results into.
+    pub fn with_stream_bandwidth(mut self, bytes_per_s: f64) -> Self {
+        assert!(bytes_per_s > 0.0, "bandwidth must be positive");
+        self.stream_bytes_per_s = bytes_per_s;
+        self
+    }
+
+    /// A spec describing *this* host, calibrated from a measured STREAM
+    /// triad bandwidth.  Only the bandwidth is measured; the remaining
+    /// parameters are a generic modern layout and only matter to the
+    /// simulated-network experiments, which don't use this spec.
+    pub fn calibrated_host(triad_bytes_per_s: f64) -> Self {
+        Self {
+            name: "calibrated host",
+            clock_hz: 3e9,
+            flops_per_cycle: 4.0,
+            cpus_per_node: 1,
+            net_latency_s: 1e-6,
+            net_bytes_per_s: 10e9,
+            reduce_latency_s: 1e-6,
+            max_nodes: 1,
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                assoc: 8,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                line_bytes: 64,
+                assoc: 16,
+            },
+            tlb: CacheConfig::tlb(64, 4 * 1024),
+            ..Self::origin2000()
+        }
+        .with_stream_bandwidth(triad_bytes_per_s)
+    }
+
     /// Peak flop/s of one CPU.
     pub fn peak_flops_per_cpu(&self) -> f64 {
         self.clock_hz * self.flops_per_cycle

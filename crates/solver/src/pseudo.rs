@@ -208,14 +208,6 @@ impl SolveHistory {
             })
     }
 
-    /// Total wall time per phase across all steps:
-    /// `(residual, jacobian, preconditioner, krylov)`.
-    #[deprecated(since = "0.2.0", note = "use `phases()`, which names the fields")]
-    pub fn phase_times(&self) -> (f64, f64, f64, f64) {
-        let p = self.phases();
-        (p.residual, p.jacobian, p.precond, p.krylov)
-    }
-
     /// Total wall time accounted across phases (seconds).
     pub fn total_time(&self) -> f64 {
         self.phases().total()
