@@ -3,10 +3,11 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo build --release
-cargo test -q
+cargo build --release --workspace
+cargo test -q --workspace
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
 # Harness smoke gate: save a baseline then compare against it in the same
 # environment. Tiny sizes, 1 rep; the huge relative tolerance means this
@@ -14,9 +15,20 @@ cargo fmt --check
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 ./target/release/fun3d-bench run --suite smoke \
-    --save-baseline "$smoke_dir/smoke.json" > "$smoke_dir/save.log"
+    --save-baseline "$smoke_dir/smoke.json" \
+    --events-dir "$smoke_dir/runs" > "$smoke_dir/save.log"
 ./target/release/fun3d-bench run --suite smoke \
     --baseline "$smoke_dir/smoke.json" --tol-rel 1000 > "$smoke_dir/gate.log"
 grep -q "overall:" "$smoke_dir/gate.log"
+
+# Run inspection: `fun3d-report show` on a gate-written report must render
+# the Figure 5 convergence table (from the sibling event stream) and the
+# Table 3 phase breakdown; a self-diff must report zero regressions.
+./target/release/fun3d-report show "$smoke_dir/runs/table1.json" > "$smoke_dir/show.log"
+grep -q "Convergence (Figure 5)" "$smoke_dir/show.log"
+grep -q "Phase breakdown (Table 3)" "$smoke_dir/show.log"
+./target/release/fun3d-report diff "$smoke_dir/runs/table1.json" \
+    "$smoke_dir/runs/table1.json" > "$smoke_dir/diff.log"
+grep -q "regressions: 0" "$smoke_dir/diff.log"
 
 echo "ci: all checks passed"

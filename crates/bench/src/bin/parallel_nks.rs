@@ -2,7 +2,7 @@
 //! The core loop lives in `fun3d_bench::runners::parallel_nks`.
 //!
 //! Usage: `cargo run --release -p fun3d-bench --bin parallel_nks [--scale f]
-//!   [--json out.json] [--trace trace.json]`
+//!   [--json out.json] [--trace trace.json] [--events ev.jsonl]`
 
 use fun3d_bench::{runners, BenchArgs};
 
@@ -11,4 +11,5 @@ fn main() {
     let out = runners::parallel_nks::run(&args);
     args.emit_report(&out.report);
     args.emit_trace(&out.telemetry);
+    args.emit_events(&out.events);
 }

@@ -20,6 +20,7 @@ use fun3d_mesh::generator::{BumpChannelSpec, MeshFamily};
 use fun3d_mesh::tet::TetMesh;
 use fun3d_sparse::csr::CsrMatrix;
 use fun3d_sparse::layout::FieldLayout;
+use fun3d_telemetry::events::EventStream;
 use fun3d_telemetry::report::PerfReport;
 use fun3d_telemetry::Snapshot;
 
@@ -43,6 +44,9 @@ pub struct BenchArgs {
     /// Write a chrome-trace JSON here (`--trace <path>`); only bins that
     /// record per-rank trace events honor it.
     pub trace: Option<String>,
+    /// Write a `fun3d-events/1` JSONL event stream here (`--events <path>`);
+    /// only bins whose runner emits an event stream honor it.
+    pub events: Option<String>,
 }
 
 impl BenchArgs {
@@ -56,18 +60,19 @@ impl BenchArgs {
             quiet: false,
             json: None,
             trace: None,
+            events: None,
         }
     }
 
     /// Parse from `std::env::args`: `--scale <f>`, `--full`, `--steps <n>`,
     /// `--reps <n>`, `--suite <name>`, `--quiet`, `--json <path>`,
-    /// `--trace <path>`.  Panics on unknown flags.
+    /// `--trace <path>`, `--events <path>`.  Panics on unknown flags.
     pub fn parse(default_scale: f64) -> Self {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let (out, rest) = Self::parse_known(default_scale, &argv);
         if let Some(other) = rest.first() {
             panic!(
-                "unknown argument: {other} (expected --scale/--full/--steps/--reps/--suite/--quiet/--json/--trace)"
+                "unknown argument: {other} (expected --scale/--full/--steps/--reps/--suite/--quiet/--json/--trace/--events)"
             );
         }
         out
@@ -119,6 +124,10 @@ impl BenchArgs {
                     i += 1;
                     out.trace = Some(value(i, "--trace").clone());
                 }
+                "--events" => {
+                    i += 1;
+                    out.events = Some(value(i, "--events").clone());
+                }
                 other => rest.push(other.to_string()),
             }
             i += 1;
@@ -167,6 +176,18 @@ impl BenchArgs {
             println!("wrote chrome trace to {path}");
         }
     }
+
+    /// Write `events` as `fun3d-events/1` JSONL to the `--events` path when
+    /// one was given.  An empty stream still writes its schema header, so
+    /// downstream tools can tell "no events" from "no file".
+    pub fn emit_events(&self, events: &EventStream) {
+        if let Some(path) = &self.events {
+            events
+                .write_jsonl(path)
+                .expect("writing --events stream failed");
+            println!("wrote event stream to {path}");
+        }
+    }
 }
 
 /// `println!` gated on the shared `--quiet` flag: the first argument is a
@@ -189,6 +210,9 @@ pub struct RunOutcome {
     pub report: PerfReport,
     /// Per-rank snapshots for chrome-trace export (`--trace`).
     pub telemetry: Vec<Snapshot>,
+    /// The run's `fun3d-events/1` stream (`--events` serializes exactly
+    /// this; empty when the runner emits no events).
+    pub events: EventStream,
 }
 
 impl From<PerfReport> for RunOutcome {
@@ -196,6 +220,7 @@ impl From<PerfReport> for RunOutcome {
         Self {
             report,
             telemetry: Vec::new(),
+            events: EventStream::default(),
         }
     }
 }

@@ -96,6 +96,9 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
     let mut rows = Vec::new();
     let mut baseline_tlb = 0u64;
     let mut baseline_l2 = 0u64;
+    // Modeled counters land under per-row span paths so the report carries
+    // the full Figure 3 matrix, not just the scalar metrics.
+    let tel = fun3d_telemetry::Registry::enabled(0);
     let mut perf = fun3d_telemetry::report::PerfReport::new("figure3")
         .with_meta("machine", "origin2000")
         .with_meta("nverts", spec.nverts().to_string());
@@ -125,6 +128,9 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
         } else {
             csr_spmv_trace(&jac, &mut mem)
         };
+        let row_path = format!("figure3/row{ci}");
+        flux.ingest_into(&tel, &format!("{row_path}/flux"));
+        solve.ingest_into(&tel, &format!("{row_path}/spmv"));
         let tlb = flux.tlb_misses + solve.tlb_misses;
         let l2 = flux.l2_misses + solve.l2_misses;
         let l1 = flux.l1_misses + solve.l1_misses;
@@ -164,5 +170,11 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
         args,
         "interlacing+blocking+reordering cuts secondary-cache misses ~3.5x."
     );
-    perf.into()
+    let snapshot = tel.snapshot();
+    let perf = perf.with_snapshot(&snapshot);
+    RunOutcome {
+        report: perf,
+        telemetry: vec![snapshot],
+        events: Default::default(),
+    }
 }

@@ -13,8 +13,12 @@ use fun3d_euler::model::FlowModel;
 use fun3d_euler::residual::{Discretization, SpatialOrder};
 use fun3d_mesh::generator::MeshFamily;
 use fun3d_solver::gmres::GmresOptions;
-use fun3d_solver::pseudo::{solve_pseudo_transient, Forcing, PrecondSpec, PseudoTransientOptions};
+use fun3d_solver::pseudo::{
+    solve_pseudo_transient_with_events, Forcing, PrecondSpec, PseudoTransientOptions,
+};
 use fun3d_sparse::ilu::IluOptions;
+use fun3d_telemetry::events::{EventRecord, EventSink, EventStream};
+use fun3d_telemetry::Registry;
 
 /// `figure5` as a harness experiment.
 pub struct Figure5;
@@ -49,6 +53,9 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
 
     let cfl0s = [0.5f64, 1.0, 5.0, 10.0, 50.0];
     let max_steps = 60usize;
+    // One sink for all five curves: each gets its own RunMeta, so the stream
+    // renders as five convergence-table series (the literal Figure 5).
+    let sink = EventSink::enabled();
     let mut histories = Vec::new();
     for &cfl0 in &cfl0s {
         let cfg = CaseConfig {
@@ -85,7 +92,17 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
             forcing: Forcing::Constant,
             pc_refresh: 1,
         };
-        let h = solve_pseudo_transient(&mut problem, &mut q, &opts);
+        sink.emit(EventRecord::RunMeta {
+            name: format!("CFL0={cfl0}"),
+            meta: vec![("nverts".into(), mesh.nverts().to_string())],
+        });
+        let h = solve_pseudo_transient_with_events(
+            &mut problem,
+            &mut q,
+            &opts,
+            &Registry::disabled(),
+            &sink,
+        );
         say!(
             args,
             "  CFL0 = {cfl0:6.1}: {} steps to reduction {:.1e} (converged: {})",
@@ -134,5 +151,9 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
         perf.push_metric(format!("steps_cfl{cfl0}"), h.nsteps() as f64);
         perf.push_metric(format!("reduction_cfl{cfl0}"), h.reduction());
     }
-    perf.into()
+    RunOutcome {
+        report: perf,
+        telemetry: Vec::new(),
+        events: EventStream::new(sink.drain()),
+    }
 }

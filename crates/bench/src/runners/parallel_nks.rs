@@ -92,6 +92,7 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
     let mut reports = Vec::new();
     let mut rows = Vec::new();
     let mut last_telemetry: Vec<Snapshot> = Vec::new();
+    let mut last_events = fun3d_telemetry::events::EventStream::default();
     for p in [1usize, 2, 4, 8] {
         let part = partition_kway(&graph, p, 3);
         let report = solve_parallel_nks(
@@ -131,6 +132,7 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
         perf.push_metric("time_s", report.sim_time);
         reports.push(perf);
         last_telemetry = report.telemetry;
+        last_events = report.events;
     }
     args.table(
         "Measured parallel NKS (simulated ASCI Red time; percentages from the busiest rank's telemetry)",
@@ -185,5 +187,6 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
     RunOutcome {
         report: summary,
         telemetry: last_telemetry,
+        events: last_events,
     }
 }

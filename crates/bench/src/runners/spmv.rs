@@ -11,12 +11,15 @@ use crate::{
     representative_jacobian, say, time_median, BenchArgs, Experiment, ModelEstimate, RunOutcome,
 };
 use fun3d_euler::model::FlowModel;
+use fun3d_memmodel::hierarchy::MemoryHierarchy;
 use fun3d_memmodel::machine::MachineSpec;
 use fun3d_memmodel::spmv_model::{bcsr_traffic, csr_traffic, predicted_time, spmv_flops};
+use fun3d_memmodel::trace::{bcsr_spmv_trace, csr_spmv_trace};
 use fun3d_mesh::generator::MeshFamily;
 use fun3d_sparse::bcsr::BcsrMatrix;
 use fun3d_sparse::layout::FieldLayout;
 use fun3d_telemetry::report::PerfReport;
+use fun3d_telemetry::Registry;
 
 /// `spmv` as a harness experiment.
 pub struct Spmv;
@@ -80,9 +83,24 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
     let n = jac.nrows();
     let x: Vec<f64> = (0..n).map(|i| ((i % 23) as f64 - 11.0) / 11.0).collect();
     let mut y = vec![0.0; n];
-    let t_csr = time_median(7, || jac.spmv(&x, &mut y));
+    // Spans around every timed call give the report per-call latency
+    // histograms (p50/p95/p99) on top of the median the table prints.
+    let tel = Registry::enabled(0);
+    let t_csr = time_median(7, || {
+        let _g = tel.span("spmv/csr");
+        jac.spmv(&x, &mut y)
+    });
     let jb = BcsrMatrix::from_csr(&jac, ncomp);
-    let t_bcsr = time_median(7, || jb.spmv(&x, &mut y));
+    let t_bcsr = time_median(7, || {
+        let _g = tel.span("spmv/bcsr");
+        jb.spmv(&x, &mut y)
+    });
+    // Modeled R10000 cache/TLB misses for the same kernels, recorded under
+    // the same span paths so measured time and modeled misses share a row.
+    let mut mem = MemoryHierarchy::origin2000();
+    csr_spmv_trace(&jac, &mut mem).ingest_into(&tel, "spmv/csr");
+    mem.flush();
+    bcsr_spmv_trace(&jb, &mut mem).ingest_into(&tel, "spmv/bcsr");
 
     let flops = spmv_flops(jac.nnz());
     let rows = vec![
@@ -121,5 +139,11 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
     perf.push_metric("time_csr_s", t_csr);
     perf.push_metric("time_bcsr_s", t_bcsr);
     perf.push_metric("blocking_speedup", t_csr / t_bcsr);
-    perf.into()
+    let snapshot = tel.snapshot();
+    let perf = perf.with_snapshot(&snapshot);
+    RunOutcome {
+        report: perf,
+        telemetry: vec![snapshot],
+        events: Default::default(),
+    }
 }

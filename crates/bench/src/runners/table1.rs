@@ -4,13 +4,15 @@
 
 use crate::{say, BenchArgs, Experiment, RunOutcome};
 use fun3d_core::config::{CaseConfig, LayoutConfig};
-use fun3d_core::driver::run_case;
+use fun3d_core::driver::run_case_instrumented;
 use fun3d_euler::model::FlowModel;
 use fun3d_euler::residual::SpatialOrder;
 use fun3d_mesh::generator::MeshFamily;
 use fun3d_solver::gmres::GmresOptions;
 use fun3d_solver::pseudo::{Forcing, PrecondSpec, PseudoTransientOptions};
 use fun3d_sparse::ilu::IluOptions;
+use fun3d_telemetry::events::{EventSink, EventStream};
+use fun3d_telemetry::Registry;
 
 /// `table1` as a harness experiment.
 pub struct Table1;
@@ -41,11 +43,20 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
         args.steps
     );
 
+    // One registry + sink across all sub-cases: the span tree aggregates the
+    // whole table, and the event stream's RunMeta records split it back into
+    // per-row convergence series.
+    let tel = Registry::enabled(0);
+    let sink = EventSink::enabled();
     let mut rows = Vec::new();
     let mut results: Vec<Vec<f64>> = Vec::new();
-    for model in [FlowModel::incompressible(), FlowModel::compressible()] {
+    for (mi, model) in [FlowModel::incompressible(), FlowModel::compressible()]
+        .into_iter()
+        .enumerate()
+    {
+        let model_tag = ["inc", "comp"][mi];
         let mut times = Vec::new();
-        for (layout, _flags) in LayoutConfig::table1_rows() {
+        for (ri, (layout, _flags)) in LayoutConfig::table1_rows().into_iter().enumerate() {
             let cfg = CaseConfig {
                 mesh: spec,
                 model,
@@ -75,7 +86,7 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
                     pc_refresh: 1,
                 },
             };
-            let report = run_case(&cfg);
+            let report = run_case_instrumented(&cfg, &format!("{model_tag} row{ri}"), &tel, &sink);
             // Per-step cost excluding the first step: symbolic setup (BCSR
             // structure, first ILU pattern) amortizes over a production
             // run's hundreds of steps, exactly as in the paper's timings.
@@ -143,5 +154,11 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
             perf.push_metric(format!("ratio_{model}_row{i}"), results[mi][0] / t);
         }
     }
-    perf.into()
+    let snapshot = tel.snapshot();
+    let perf = perf.with_snapshot(&snapshot);
+    RunOutcome {
+        report: perf,
+        telemetry: vec![snapshot],
+        events: EventStream::new(sink.drain()),
+    }
 }

@@ -7,6 +7,7 @@
 //! the surface-to-volume ratio of the subdomains degrades.
 
 use crate::world::Rank;
+use fun3d_telemetry::events::EventRecord;
 
 /// A rank's ghost-exchange plan.
 ///
@@ -57,10 +58,9 @@ impl ScatterPlan {
     ) {
         let tel = rank.telemetry.clone();
         let _span = tel.span("comm/scatter");
-        tel.counter(
-            "scatter_bytes",
-            ((self.nsends() + self.nghosts()) * ncomp * 8) as f64,
-        );
+        let bytes = (self.nsends() + self.nghosts()) * ncomp * 8;
+        tel.counter("scatter_bytes", bytes as f64);
+        let t0 = rank.events.is_enabled().then(std::time::Instant::now);
         // Post sends.
         for (ni, &nbr) in self.neighbors.iter().enumerate() {
             let idx = &self.send_indices[ni];
@@ -82,6 +82,13 @@ impl ScatterPlan {
             );
             local[ghost_base..ghost_base + data.len()].copy_from_slice(&data);
             ghost_base += data.len();
+        }
+        if let Some(t0) = t0 {
+            rank.events.emit(EventRecord::Scatter {
+                bytes: bytes as u64,
+                neighbors: self.neighbors.len() as u64,
+                t: t0.elapsed().as_secs_f64(),
+            });
         }
     }
 }
@@ -250,6 +257,48 @@ mod tests {
         }
         // Middle rank has two neighbors.
         assert_eq!(plans[1].2.neighbors, vec![0, 2]);
+    }
+
+    #[test]
+    fn instrumented_scatter_emits_events() {
+        use crate::world::run_world_instrumented;
+        let (n, owner, edges) = path_setup();
+        let plans = build_scatter_plans(n, &owner, &edges, 2);
+        let out = run_world_instrumented(2, &MachineSpec::asci_red(), true, |r| {
+            let (owned, ghosts, plan) = &plans[r.id()];
+            let mut local = vec![0.0; owned.len() + ghosts.len()];
+            for (li, &g) in owned.iter().enumerate() {
+                local[li] = g as f64;
+            }
+            plan.execute(r, &mut local, owned.len(), 1, 9);
+            plan.execute(r, &mut local, owned.len(), 1, 9);
+            r.events.drain()
+        });
+        for (rank, evs) in out.iter().enumerate() {
+            assert_eq!(evs.len(), 2, "rank {rank} scatter events");
+            for ev in evs {
+                let fun3d_telemetry::events::EventRecord::Scatter {
+                    bytes,
+                    neighbors,
+                    t,
+                } = ev
+                else {
+                    panic!("unexpected event {ev:?}");
+                };
+                // 1 send + 1 ghost, 1 component, 8 bytes each.
+                assert_eq!(*bytes, 16);
+                assert_eq!(*neighbors, 1);
+                assert!(*t >= 0.0);
+            }
+        }
+        // Uninstrumented worlds emit nothing.
+        let out = run_world(2, &MachineSpec::asci_red(), |r| {
+            let (owned, ghosts, plan) = &plans[r.id()];
+            let mut local = vec![0.0; owned.len() + ghosts.len()];
+            plan.execute(r, &mut local, owned.len(), 1, 9);
+            r.events.drain().len()
+        });
+        assert_eq!(out, vec![0, 0]);
     }
 
     #[test]

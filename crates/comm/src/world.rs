@@ -14,6 +14,7 @@
 
 use crate::clock::SimClock;
 use fun3d_memmodel::machine::MachineSpec;
+use fun3d_telemetry::events::EventSink;
 use fun3d_telemetry::Registry;
 use std::sync::mpsc::{channel, Receiver, Sender};
 
@@ -39,6 +40,10 @@ pub struct Rank {
     /// with [`run_world_instrumented`]).  Cloning it is cheap; clone before
     /// opening spans around calls that need `&mut self`.
     pub telemetry: Registry,
+    /// Per-rank structured event sink (enabled together with `telemetry`
+    /// under [`run_world_instrumented`]); scatters emit
+    /// [`fun3d_telemetry::events::EventRecord::Scatter`] records into it.
+    pub events: EventSink,
 }
 
 impl Rank {
@@ -227,6 +232,11 @@ where
                 Registry::enabled(id)
             } else {
                 Registry::disabled()
+            },
+            events: if instrument {
+                EventSink::enabled()
+            } else {
+                EventSink::disabled()
             },
         })
         .collect();

@@ -95,6 +95,21 @@ impl Checkpoint {
         let mut f = io::BufReader::new(std::fs::File::open(path)?);
         Self::load(&mut f)
     }
+
+    /// [`Self::save_file`] plus a `Checkpoint` record in the run's event
+    /// stream, so `fun3d-report` can show where a run saved its state.
+    pub fn save_file_with_events(
+        &self,
+        path: &std::path::Path,
+        events: &fun3d_telemetry::events::EventSink,
+    ) -> io::Result<()> {
+        self.save_file(path)?;
+        events.emit(fun3d_telemetry::events::EventRecord::Checkpoint {
+            step: self.step as u64,
+            path: path.display().to_string(),
+        });
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +170,28 @@ mod tests {
         c.save_file(&path).unwrap();
         let d = Checkpoint::load_file(&path).unwrap();
         assert_eq!(c, d);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_with_events_emits_checkpoint_record() {
+        use fun3d_telemetry::events::{EventRecord, EventSink};
+        let c = sample();
+        let dir = std::env::temp_dir();
+        let path = dir.join("fun3d_ckpt_event_test.txt");
+        let sink = EventSink::enabled();
+        c.save_file_with_events(&path, &sink).unwrap();
+        let evs = sink.drain();
+        assert_eq!(evs.len(), 1);
+        match &evs[0] {
+            EventRecord::Checkpoint { step, path: p } => {
+                assert_eq!(*step, 17);
+                assert!(p.ends_with("fun3d_ckpt_event_test.txt"));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // The file itself is still a valid checkpoint.
+        assert_eq!(Checkpoint::load_file(&path).unwrap(), c);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -3,7 +3,9 @@
 use crate::config::CaseConfig;
 use crate::problem::EulerProblem;
 use fun3d_euler::residual::Discretization;
-use fun3d_solver::pseudo::{solve_pseudo_transient, SolveHistory};
+use fun3d_solver::pseudo::{solve_pseudo_transient_with_events, SolveHistory};
+use fun3d_telemetry::events::{EventRecord, EventSink};
+use fun3d_telemetry::Registry;
 
 /// Results of one sequential case run.
 #[derive(Debug, Clone)]
@@ -26,7 +28,28 @@ impl CaseReport {
 /// Run a case sequentially: build the mesh with its orderings, assemble the
 /// discretization and solve with ΨNKS, returning the instrumented history.
 pub fn run_case(cfg: &CaseConfig) -> CaseReport {
+    run_case_instrumented(cfg, "case", &Registry::disabled(), &EventSink::disabled())
+}
+
+/// [`run_case`] with observability: profiling spans land in `tel` and a
+/// `RunMeta`-prefixed event stream (one `NewtonStep` per pseudo-timestep,
+/// `KrylovIter`s from the inner solves) lands in `events`.  `label` names
+/// the run in its `RunMeta` record, so several sub-cases written into one
+/// sink render as separate convergence-table series.
+pub fn run_case_instrumented(
+    cfg: &CaseConfig,
+    label: &str,
+    tel: &Registry,
+    events: &EventSink,
+) -> CaseReport {
     let mesh = cfg.build_mesh();
+    events.emit(EventRecord::RunMeta {
+        name: label.to_string(),
+        meta: vec![
+            ("nverts".into(), mesh.nverts().to_string()),
+            ("ncomp".into(), cfg.model.ncomp().to_string()),
+        ],
+    });
     let disc = Discretization::new(&mesh, cfg.model, cfg.layout.field_layout(), cfg.order);
     let mut problem = EulerProblem::new(disc);
     let mut q = problem.initial_state();
@@ -37,7 +60,7 @@ pub fn run_case(cfg: &CaseConfig) -> CaseReport {
     } else {
         nks.bcsr_block = None;
     }
-    let history = solve_pseudo_transient(&mut problem, &mut q, &nks);
+    let history = solve_pseudo_transient_with_events(&mut problem, &mut q, &nks, tel, events);
     CaseReport {
         nverts: mesh.nverts(),
         nunknowns: mesh.nverts() * cfg.model.ncomp(),
@@ -147,6 +170,30 @@ mod tests {
             "reduction {:.2e}",
             report.history.reduction()
         );
+    }
+
+    #[test]
+    fn instrumented_case_emits_run_meta_and_steps() {
+        let mut cfg = CaseConfig::small();
+        cfg.nks = quick_nks(4);
+        cfg.nks.target_reduction = 1e-30; // force all 4 steps
+        let tel = Registry::enabled(0);
+        let sink = EventSink::enabled();
+        let report = run_case_instrumented(&cfg, "bump-small", &tel, &sink);
+        let evs = sink.drain();
+        assert!(matches!(
+            &evs[0],
+            EventRecord::RunMeta { name, .. } if name == "bump-small"
+        ));
+        let steps = evs
+            .iter()
+            .filter(|e| matches!(e, EventRecord::NewtonStep { .. }))
+            .count();
+        assert_eq!(steps, report.history.nsteps());
+        // Spans landed under the nks tree.
+        let snap = tel.snapshot();
+        assert!(snap.span("nks").is_some());
+        assert!(snap.span("nks/krylov/gmres").is_some());
     }
 
     #[test]

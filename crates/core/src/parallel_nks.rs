@@ -28,6 +28,7 @@ use fun3d_sparse::csr::CsrMatrix;
 use fun3d_sparse::ilu::{IluFactors, IluOptions};
 use fun3d_sparse::layout::FieldLayout;
 use fun3d_sparse::triplet::TripletMatrix;
+use fun3d_telemetry::events::{EventRecord, EventStream};
 use fun3d_telemetry::Snapshot;
 
 use crate::dist::{dist_gmres, DistributedMatrix};
@@ -470,6 +471,12 @@ pub struct ParallelNksReport {
     /// [`fun3d_telemetry::merge`]; export with
     /// [`fun3d_telemetry::chrome_trace`].
     pub telemetry: Vec<Snapshot>,
+    /// Structured event stream for the run: a `RunMeta` header, one
+    /// synthesized `NewtonStep` per pseudo-timestep (timers are zero — the
+    /// per-phase clock here is simulated, not wall), and rank 0's `Scatter`
+    /// records.  Feed to `fun3d_telemetry::events::convergence_table` or
+    /// write as `fun3d-events/1` JSONL.
+    pub events: EventStream,
 }
 
 /// Run the distributed ΨNKS solve on `nranks` message-passing ranks.
@@ -616,6 +623,7 @@ pub fn solve_parallel_nks(
             rank.clock.breakdown(),
             rank.clock.now(),
             tel.snapshot(),
+            rank.events.drain(),
         )
     });
 
@@ -624,7 +632,7 @@ pub fn solve_parallel_nks(
     let mut breakdowns = Vec::with_capacity(nranks);
     let mut telemetry = Vec::with_capacity(nranks);
     let mut sim_time: f64 = 0.0;
-    for (verts, ql, _, _, _, bd, t, snap) in &outputs {
+    for (verts, ql, _, _, _, bd, t, snap, _) in &outputs {
         for (l, &g) in verts.iter().enumerate() {
             solution[g * ncomp..(g + 1) * ncomp].copy_from_slice(&ql[l * ncomp..(l + 1) * ncomp]);
         }
@@ -632,8 +640,43 @@ pub fn solve_parallel_nks(
         telemetry.push(snap.clone());
         sim_time = sim_time.max(*t);
     }
-    let (_, _, history, lin_iters, converged, _, _, _) = outputs.into_iter().next().unwrap();
+    let (_, _, history, lin_iters, converged, _, _, _, rank0_events) =
+        outputs.into_iter().next().unwrap();
     let final_residual = *history.last().unwrap();
+
+    // Synthesize the event stream from the (rank-invariant) history.  The
+    // per-step timers are simulated here rather than wall-measured, so the
+    // NewtonStep timer fields stay zero; CFL is reconstructed from the SER
+    // law the loop above applied.
+    let mut events = EventStream::new(Vec::new());
+    events.records.push(EventRecord::RunMeta {
+        name: "parallel_nks".to_string(),
+        meta: vec![
+            ("nranks".into(), nranks.to_string()),
+            ("nverts".into(), mesh.nverts().to_string()),
+        ],
+    });
+    let r0 = history[0];
+    for (i, &iters) in lin_iters.iter().enumerate() {
+        let cfl = (opts.cfl0 * (r0 / history[i]).powf(opts.cfl_exponent)).min(opts.cfl_max);
+        events.records.push(EventRecord::NewtonStep {
+            step: i as u64,
+            residual_norm: history[i + 1],
+            cfl,
+            gmres_iters: iters as u64,
+            eta: opts.krylov.rtol,
+            t_residual: 0.0,
+            t_jacobian: 0.0,
+            t_precond: 0.0,
+            t_krylov: 0.0,
+        });
+    }
+    events.records.extend(
+        rank0_events
+            .into_iter()
+            .filter(|e| matches!(e, EventRecord::Scatter { .. })),
+    );
+
     ParallelNksReport {
         residual_history: history,
         linear_iters: lin_iters,
@@ -643,6 +686,7 @@ pub fn solve_parallel_nks(
         sim_time,
         solution,
         telemetry,
+        events,
     }
 }
 
@@ -873,6 +917,56 @@ mod tests {
         let v = fun3d_telemetry::json::Value::parse(&trace).unwrap();
         let events = v.get("traceEvents").unwrap().as_arr().unwrap();
         assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn event_stream_mirrors_history_and_carries_scatters() {
+        let nranks = 2;
+        let (mesh, owner) = setup((6, 5, 5), nranks);
+        let model = FlowModel::incompressible();
+        let opts = ParallelNksOptions {
+            max_steps: 3,
+            target_reduction: 1e-30, // force all 3 steps
+            ..Default::default()
+        };
+        let report = solve_parallel_nks(
+            &mesh,
+            model,
+            &owner,
+            nranks,
+            &MachineSpec::asci_red(),
+            &opts,
+        );
+        assert!(matches!(
+            &report.events.records[0],
+            EventRecord::RunMeta { name, .. } if name == "parallel_nks"
+        ));
+        let steps = report.events.newton_steps();
+        assert_eq!(steps.len(), report.linear_iters.len());
+        for (i, s) in steps.iter().enumerate() {
+            if let EventRecord::NewtonStep {
+                step,
+                residual_norm,
+                gmres_iters,
+                ..
+            } = *s
+            {
+                assert_eq!(*step, i as u64);
+                assert_eq!(*residual_norm, report.residual_history[i + 1]);
+                assert_eq!(*gmres_iters, report.linear_iters[i] as u64);
+            } else {
+                unreachable!()
+            }
+        }
+        let scatters = report
+            .events
+            .records
+            .iter()
+            .filter(|e| matches!(e, EventRecord::Scatter { .. }))
+            .count();
+        assert!(scatters > 0, "rank 0 scatter events missing");
+        let table = fun3d_telemetry::events::convergence_table(&report.events);
+        assert!(table.contains("Convergence (Figure 5)"));
     }
 
     #[test]

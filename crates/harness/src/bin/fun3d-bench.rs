@@ -5,7 +5,7 @@
 //! fun3d-bench run --suite quick [--reps n] [--scale f] [--verbose]
 //!     [--baseline b.json] [--save-baseline b.json]
 //!     [--markdown report.md] [--json report.json]
-//!     [--tol-rel f] [--tol-mad-k f] [--tol-abs f]
+//!     [--events-dir dir] [--tol-rel f] [--tol-mad-k f] [--tol-abs f]
 //! ```
 //!
 //! Exit status: 0 when no experiment regressed against the baseline (or no
@@ -20,7 +20,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: fun3d-bench list\n       fun3d-bench run --suite <smoke|quick|full|EXPERIMENT> \
          [--reps n] [--scale f] [--verbose]\n           [--baseline b.json] [--save-baseline b.json] \
-         [--markdown out.md] [--json out.json]\n           [--tol-rel f] [--tol-mad-k f] [--tol-abs f]"
+         [--markdown out.md] [--json out.json]\n           [--events-dir dir] \
+         [--tol-rel f] [--tol-mad-k f] [--tol-abs f]"
     );
     std::process::exit(2);
 }
@@ -113,9 +114,16 @@ fn run(argv: &[String]) {
                     usage()
                 });
             }
+            "--events-dir" => {
+                i += 1;
+                cfg.events_dir = Some(value(&rest, i, "--events-dir"));
+            }
             "--verbose" => cfg.verbose = true,
             other => {
-                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "unknown argument: {other} (while configuring suite {:?})",
+                    cfg.suite
+                );
                 usage();
             }
         }

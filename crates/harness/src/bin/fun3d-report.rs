@@ -1,0 +1,114 @@
+//! `fun3d-report`: inspect and diff `fun3d-perf/1` runs.
+//!
+//! ```text
+//! fun3d-report show <report.json> [--events stream.jsonl]
+//! fun3d-report <report.json>                  # implicit show
+//! fun3d-report diff <a.json> <b.json> [--tol-rel f] [--tol-mad-k f] [--tol-abs f]
+//! ```
+//!
+//! `show` renders the run: metrics, the Table 3-style phase breakdown with
+//! p50/p95/p99 tail latencies and modeled cache/TLB counters, the Figure
+//! 5-style convergence table from the event stream (autodiscovered as the
+//! sibling `<stem>.events.jsonl` unless `--events` names one), scatter
+//! traffic, and checkpoints.
+//!
+//! `diff` judges run B against run A with the gate's noise-aware verdicts.
+//! Exit status: 0 with no regressions, 1 when any metric regressed, 2 on
+//! usage or I/O errors.
+
+use fun3d_harness::compare::Tolerance;
+use fun3d_harness::report_cli::{render_diff, render_show, LoadedRun};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fun3d-report [show] <report.json> [--events stream.jsonl]\n       \
+         fun3d-report diff <a.json> <b.json> [--tol-rel f] [--tol-mad-k f] [--tol-abs f]"
+    );
+    std::process::exit(2);
+}
+
+fn load_or_die(report: &str, events: Option<&str>) -> LoadedRun {
+    LoadedRun::load(report, events).unwrap_or_else(|e| {
+        eprintln!("failed to load {report}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else { usage() };
+    match command.as_str() {
+        "diff" => diff(&argv[1..]),
+        "show" => show(&argv[1..]),
+        _ => show(&argv),
+    }
+}
+
+fn show(argv: &[String]) {
+    let mut report: Option<&String> = None;
+    let mut events: Option<&String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--events" => {
+                i += 1;
+                events = Some(argv.get(i).unwrap_or_else(|| usage()));
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+            _ if report.is_none() => report = Some(&argv[i]),
+            other => {
+                eprintln!("unexpected extra argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    let Some(report) = report else { usage() };
+    let run = load_or_die(report, events.map(String::as_str));
+    print!("{}", render_show(&run));
+}
+
+fn diff(argv: &[String]) {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut tol = Tolerance::default();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> f64 {
+        argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} expects a number");
+            usage()
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--tol-rel" => {
+                i += 1;
+                tol.rel = value(argv, i, "--tol-rel");
+            }
+            "--tol-mad-k" => {
+                i += 1;
+                tol.mad_k = value(argv, i, "--tol-mad-k");
+            }
+            "--tol-abs" => {
+                i += 1;
+                tol.abs_floor = value(argv, i, "--tol-abs");
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+            _ => paths.push(&argv[i]),
+        }
+        i += 1;
+    }
+    let [a, b] = paths.as_slice() else { usage() };
+    let a = load_or_die(a, None);
+    let b = load_or_die(b, None);
+    let d = render_diff(&a, &b, &tol);
+    print!("{}", d.text);
+    if d.regressions > 0 {
+        std::process::exit(1);
+    }
+}

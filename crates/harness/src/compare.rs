@@ -208,6 +208,31 @@ mod tests {
     }
 
     #[test]
+    fn p95_tail_metric_gates_as_lower_is_better() {
+        // Span tail metrics are keyed `{path}:p95_s`; a fatter tail must
+        // regress even when the median metric is unchanged.
+        let b = ExperimentBaseline {
+            name: "spmv".into(),
+            metrics: vec![(
+                "spmv/csr:p95_s".into(),
+                MetricBaseline {
+                    median: 1e-3,
+                    mad: 0.0,
+                    n: 5,
+                },
+            )],
+        };
+        assert!(!higher_is_better("spmv/csr:p95_s"));
+        let tol = Tolerance::default();
+        let cur = vec![("spmv/csr:p95_s".to_string(), summary(2e-3, 0.0, 3))];
+        let cmp = compare_experiment(&cur, Some(&b), &tol);
+        assert_eq!(cmp[0].verdict, Verdict::Regressed);
+        let cur = vec![("spmv/csr:p95_s".to_string(), summary(4e-4, 0.0, 3))];
+        let cmp = compare_experiment(&cur, Some(&b), &tol);
+        assert_eq!(cmp[0].verdict, Verdict::Improved);
+    }
+
+    #[test]
     fn within_relative_band_passes() {
         let b = base(1.0, 0.0);
         let tol = Tolerance::default(); // rel 0.2

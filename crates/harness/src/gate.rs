@@ -25,6 +25,10 @@ pub struct GateConfig {
     pub verbose: bool,
     /// STREAM array length for calibration (doubles per array).
     pub calibrate_n: usize,
+    /// When set, write each experiment's representative report to
+    /// `<dir>/<name>.json` and its event stream to
+    /// `<dir>/<name>.events.jsonl` (the inputs `fun3d-report` inspects).
+    pub events_dir: Option<String>,
 }
 
 impl Default for GateConfig {
@@ -36,6 +40,7 @@ impl Default for GateConfig {
             tol: Tolerance::default(),
             verbose: false,
             calibrate_n: 2 * 1024 * 1024,
+            events_dir: None,
         }
     }
 }
@@ -283,6 +288,18 @@ pub fn run_suite(cfg: &GateConfig, baseline: Option<&Baseline>) -> Result<SuiteO
             ..BenchArgs::defaults(entry.scale)
         };
         let run = run_experiment(exp.as_ref(), &args, entry.warmup);
+        if let Some(dir) = &cfg.events_dir {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("creating events dir {dir} failed: {e}"));
+            let json_path = format!("{dir}/{}.json", entry.name);
+            run.representative()
+                .write_json(&json_path)
+                .unwrap_or_else(|e| panic!("writing {json_path} failed: {e}"));
+            let ev_path = format!("{dir}/{}.events.jsonl", entry.name);
+            run.representative_events()
+                .write_jsonl(&ev_path)
+                .unwrap_or_else(|e| panic!("writing {ev_path} failed: {e}"));
+        }
         let comparisons = compare_experiment(
             &run.summaries,
             baseline.and_then(|b| b.experiment(entry.name)),

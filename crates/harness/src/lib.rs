@@ -16,6 +16,7 @@ pub mod baseline;
 pub mod calibrate;
 pub mod compare;
 pub mod gate;
+pub mod report_cli;
 pub mod run;
 pub mod stats;
 pub mod suite;

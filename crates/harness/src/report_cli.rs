@@ -1,0 +1,454 @@
+//! Run inspection behind the `fun3d-report` binary: render one
+//! `fun3d-perf/1` report (plus its `fun3d-events/1` stream) as human-readable
+//! tables, or diff two reports with the same noise-aware verdicts the gate
+//! uses.
+//!
+//! `show` answers "what did this run do": a Figure 5-style convergence table
+//! from the event stream, a Table 3-style phase breakdown from the span
+//! tree (with p50/p95/p99 tail latencies and modeled cache/TLB counters),
+//! scatter traffic, and checkpoints.  `diff` answers "what changed": every
+//! metric of run B judged against run A as a single-sample baseline.
+
+use crate::baseline::{ExperimentBaseline, MetricBaseline};
+use crate::compare::{compare_experiment, Tolerance, Verdict};
+use crate::stats::Summary;
+use fun3d_telemetry::events::{convergence_table, EventRecord, EventStream};
+use fun3d_telemetry::report::PerfReport;
+
+/// A report plus the event stream that rode along with it.
+#[derive(Debug, Clone)]
+pub struct LoadedRun {
+    /// Path the report was loaded from (for headings).
+    pub path: String,
+    /// The parsed report.
+    pub report: PerfReport,
+    /// The run's event stream; empty when none was found.
+    pub events: EventStream,
+}
+
+/// The sibling event-stream path the gate writes next to a report:
+/// `runs/table1.json` -> `runs/table1.events.jsonl`.
+pub fn sibling_events_path(report_path: &str) -> String {
+    let stem = report_path.strip_suffix(".json").unwrap_or(report_path);
+    format!("{stem}.events.jsonl")
+}
+
+impl LoadedRun {
+    /// Load a report and its event stream.  `events_path = None`
+    /// autodiscovers the sibling `<stem>.events.jsonl`; a missing sibling is
+    /// fine (empty stream), but an explicitly named file must parse.
+    pub fn load(report_path: &str, events_path: Option<&str>) -> std::io::Result<Self> {
+        let report = PerfReport::read_json(report_path)?;
+        let events = match events_path {
+            Some(p) => EventStream::read_jsonl(p)?,
+            None => {
+                let sibling = sibling_events_path(report_path);
+                if std::path::Path::new(&sibling).exists() {
+                    EventStream::read_jsonl(&sibling)?
+                } else {
+                    EventStream::default()
+                }
+            }
+        };
+        Ok(Self {
+            path: report_path.to_string(),
+            report,
+            events,
+        })
+    }
+}
+
+/// Scalar metrics plus the derived span tail metrics, deduplicated — the
+/// metric set `diff` judges.  Raw `--json` reports from the bench bins have
+/// not been through the harness, so their `{path}:p95_s` entries exist only
+/// in span histograms; fold them in here so both flavors diff identically.
+pub fn effective_metrics(report: &PerfReport) -> Vec<(String, f64)> {
+    let mut out = report.metrics.clone();
+    for (key, v) in report.tail_metrics() {
+        if !out.iter().any(|(k, _)| *k == key) {
+            out.push((key, v));
+        }
+    }
+    out
+}
+
+fn fmt_sig(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e4 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn fmt_opt_s(v: Option<f64>) -> String {
+    v.map_or("-".to_string(), |x| format!("{x:.2e}"))
+}
+
+fn render_table(out: &mut String, headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |out: &mut String, cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        out.push_str(&format!("| {} |\n", padded.join(" | ")));
+    };
+    line(
+        out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    out.push_str(&format!(
+        "|{}|\n",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    ));
+    for row in rows {
+        line(out, row);
+    }
+}
+
+/// Render one run as the full inspection view.
+pub fn render_show(run: &LoadedRun) -> String {
+    let r = &run.report;
+    let mut out = String::new();
+    out.push_str(&format!("# fun3d-report: {} ({})\n", r.name, run.path));
+    if !r.meta.is_empty() {
+        let pairs: Vec<String> = r.meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        out.push_str(&format!("meta: {}\n", pairs.join(", ")));
+    }
+
+    if !r.metrics.is_empty() {
+        out.push_str("\n## Metrics\n\n");
+        let rows: Vec<Vec<String>> = r
+            .metrics
+            .iter()
+            .map(|(k, v)| vec![k.clone(), fmt_sig(*v)])
+            .collect();
+        render_table(&mut out, &["metric", "value"], &rows);
+    }
+
+    if !r.spans.is_empty() {
+        // The paper's Table 3 reports per-phase percentages of execution
+        // time; the denominator here is the top-level spans (children nest
+        // inside them, so summing every row would double-count).
+        let total: f64 = r
+            .spans
+            .iter()
+            .filter(|s| !s.path.contains('/'))
+            .map(|s| s.total_s)
+            .sum();
+        out.push_str("\n## Phase breakdown (Table 3)\n\n");
+        let rows: Vec<Vec<String>> = r
+            .spans
+            .iter()
+            .map(|s| {
+                let counters: Vec<String> = s
+                    .counters
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", fmt_sig(*v)))
+                    .collect();
+                vec![
+                    s.path.clone(),
+                    s.domain.tag().to_string(),
+                    s.calls.to_string(),
+                    format!("{:.4e}", s.total_s),
+                    if total > 0.0 && !s.path.contains('/') {
+                        format!("{:.1}", 100.0 * s.total_s / total)
+                    } else {
+                        "-".to_string()
+                    },
+                    fmt_opt_s(s.p50()),
+                    fmt_opt_s(s.p95()),
+                    fmt_opt_s(s.p99()),
+                    counters.join(" "),
+                ]
+            })
+            .collect();
+        render_table(
+            &mut out,
+            &[
+                "span", "domain", "calls", "total_s", "%", "p50_s", "p95_s", "p99_s", "counters",
+            ],
+            &rows,
+        );
+    }
+
+    if !run.events.newton_steps().is_empty() {
+        out.push('\n');
+        out.push_str(&convergence_table(&run.events));
+    }
+
+    let (mut n_scatter, mut bytes, mut t_scatter) = (0u64, 0u64, 0.0f64);
+    let mut checkpoints = Vec::new();
+    for ev in &run.events.records {
+        match ev {
+            EventRecord::Scatter { bytes: b, t, .. } => {
+                n_scatter += 1;
+                bytes += b;
+                t_scatter += t;
+            }
+            EventRecord::Checkpoint { step, path } => {
+                checkpoints.push(format!("  step {step}: {path}"));
+            }
+            _ => {}
+        }
+    }
+    if n_scatter > 0 {
+        out.push_str(&format!(
+            "\n## Ghost scatters\n\n{n_scatter} scatters, {bytes} bytes total, {:.3e} s total\n",
+            t_scatter
+        ));
+    }
+    if !checkpoints.is_empty() {
+        out.push_str("\n## Checkpoints\n\n");
+        out.push_str(&checkpoints.join("\n"));
+        out.push('\n');
+    }
+    out
+}
+
+/// One metric's row in a diff plus the count of regressions.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    /// Rendered text.
+    pub text: String,
+    /// Metrics judged `Regressed` (run B worse than run A).
+    pub regressions: usize,
+}
+
+/// Diff run `b` against run `a` (`a` is the baseline side).  Single runs
+/// have no spread, so the verdicts come entirely from the tolerance's
+/// relative band and absolute floor.
+pub fn render_diff(a: &LoadedRun, b: &LoadedRun, tol: &Tolerance) -> DiffOutcome {
+    let base = ExperimentBaseline {
+        name: a.report.name.clone(),
+        metrics: effective_metrics(&a.report)
+            .into_iter()
+            .map(|(k, v)| {
+                (
+                    k,
+                    MetricBaseline {
+                        median: v,
+                        mad: 0.0,
+                        n: 1,
+                    },
+                )
+            })
+            .collect(),
+    };
+    let current: Vec<(String, Summary)> = effective_metrics(&b.report)
+        .into_iter()
+        .map(|(k, v)| {
+            (
+                k,
+                Summary {
+                    n: 1,
+                    median: v,
+                    mad: 0.0,
+                    min: v,
+                    max: v,
+                },
+            )
+        })
+        .collect();
+    let comparisons = compare_experiment(&current, Some(&base), tol);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# fun3d-report diff: {} (A) vs {} (B)\n\n",
+        a.path, b.path
+    ));
+    let rows: Vec<Vec<String>> = comparisons
+        .iter()
+        .map(|c| {
+            vec![
+                c.key.clone(),
+                c.baseline
+                    .map_or("-".to_string(), |bl| format!("{:.4e}", bl.median)),
+                format!("{:.4e}", c.current.median),
+                format!("{:+.4e}", c.delta),
+                c.verdict.label().to_string(),
+            ]
+        })
+        .collect();
+    render_table(&mut out, &["metric", "A", "B", "delta", "verdict"], &rows);
+
+    // Span-level deltas for paths both runs profiled.
+    let span_rows: Vec<Vec<String>> = b
+        .report
+        .spans
+        .iter()
+        .filter_map(|sb| {
+            a.report.span(&sb.path).map(|sa| {
+                vec![
+                    sb.path.clone(),
+                    format!("{:.4e}", sa.total_s),
+                    format!("{:.4e}", sb.total_s),
+                    format!("{:+.4e}", sb.total_s - sa.total_s),
+                    fmt_opt_s(sa.p95()),
+                    fmt_opt_s(sb.p95()),
+                ]
+            })
+        })
+        .collect();
+    if !span_rows.is_empty() {
+        out.push_str("\n## Span deltas\n\n");
+        render_table(
+            &mut out,
+            &[
+                "span",
+                "A total_s",
+                "B total_s",
+                "delta",
+                "A p95_s",
+                "B p95_s",
+            ],
+            &span_rows,
+        );
+    }
+
+    let regressions = comparisons
+        .iter()
+        .filter(|c| c.verdict == Verdict::Regressed)
+        .count();
+    let improved = comparisons
+        .iter()
+        .filter(|c| c.verdict == Verdict::Improved)
+        .count();
+    out.push_str(&format!(
+        "\nregressions: {regressions}  improved: {improved}  metrics: {}\n",
+        comparisons.len()
+    ));
+    DiffOutcome {
+        text: out,
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fun3d_telemetry::events::EventSink;
+    use fun3d_telemetry::Registry;
+
+    fn sample_run(time_s: f64) -> LoadedRun {
+        let tel = Registry::enabled(0);
+        for _ in 0..4 {
+            let _g = tel.span("nks");
+        }
+        let mut report = PerfReport::new("unit")
+            .with_meta("scale", "0.1")
+            .with_snapshot(&tel.snapshot());
+        report.push_metric("time_s", time_s);
+        let sink = EventSink::enabled();
+        sink.emit(EventRecord::RunMeta {
+            name: "unit".into(),
+            meta: vec![],
+        });
+        for step in 0..3u64 {
+            sink.emit(EventRecord::NewtonStep {
+                step,
+                residual_norm: 1.0 / (step + 1) as f64,
+                cfl: 5.0 * (step + 1) as f64,
+                gmres_iters: 7,
+                eta: 1e-2,
+                t_residual: 0.1,
+                t_jacobian: 0.2,
+                t_precond: 0.05,
+                t_krylov: 0.3,
+            });
+        }
+        sink.emit(EventRecord::Scatter {
+            bytes: 1024,
+            neighbors: 3,
+            t: 1e-5,
+        });
+        sink.emit(EventRecord::Checkpoint {
+            step: 2,
+            path: "ck.txt".into(),
+        });
+        LoadedRun {
+            path: "unit.json".into(),
+            report,
+            events: EventStream::new(sink.drain()),
+        }
+    }
+
+    #[test]
+    fn show_renders_all_sections() {
+        let run = sample_run(1.0);
+        let text = render_show(&run);
+        assert!(text.contains("# fun3d-report: unit"));
+        assert!(text.contains("## Metrics"));
+        assert!(text.contains("## Phase breakdown (Table 3)"));
+        assert!(text.contains("Convergence (Figure 5)"));
+        assert!(text.contains("## Ghost scatters"));
+        assert!(text.contains("## Checkpoints"));
+        assert!(text.contains("p95_s"));
+    }
+
+    #[test]
+    fn self_diff_has_zero_regressions() {
+        let run = sample_run(1.0);
+        let d = render_diff(&run, &run, &Tolerance::default());
+        assert_eq!(d.regressions, 0);
+        assert!(d.text.contains("regressions: 0"));
+        assert!(d.text.contains("## Span deltas"));
+    }
+
+    #[test]
+    fn slower_run_regresses() {
+        let a = sample_run(1.0);
+        let b = sample_run(2.0);
+        let d = render_diff(&a, &b, &Tolerance::default());
+        assert!(d.regressions >= 1, "{}", d.text);
+        assert!(d.text.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn effective_metrics_fold_in_span_tails_once() {
+        let run = sample_run(1.0);
+        let m = effective_metrics(&run.report);
+        assert_eq!(m.iter().filter(|(k, _)| k == "nks:p95_s").count(), 1);
+        // Already-present keys are not duplicated.
+        let mut r2 = run.report.clone();
+        let tails = r2.tail_metrics();
+        for (k, v) in tails {
+            r2.push_metric(k, v);
+        }
+        let m2 = effective_metrics(&r2);
+        assert_eq!(m2.iter().filter(|(k, _)| k == "nks:p95_s").count(), 1);
+    }
+
+    #[test]
+    fn load_autodiscovers_sibling_events() {
+        let dir = std::env::temp_dir();
+        let rp = dir.join("fun3d_report_cli_test.json");
+        let rp = rp.to_str().unwrap().to_string();
+        let run = sample_run(1.0);
+        run.report.write_json(&rp).unwrap();
+        run.events.write_jsonl(&sibling_events_path(&rp)).unwrap();
+        let loaded = LoadedRun::load(&rp, None).unwrap();
+        assert_eq!(loaded.events, run.events);
+        std::fs::remove_file(&rp).ok();
+        std::fs::remove_file(sibling_events_path(&rp)).ok();
+        // Without the sibling the stream is empty, not an error.
+        let rp2 = dir.join("fun3d_report_cli_test2.json");
+        let rp2 = rp2.to_str().unwrap().to_string();
+        run.report.write_json(&rp2).unwrap();
+        let loaded = LoadedRun::load(&rp2, None).unwrap();
+        assert!(loaded.events.is_empty());
+        std::fs::remove_file(&rp2).ok();
+    }
+}

@@ -32,6 +32,9 @@ pub struct ExperimentRun {
     pub name: String,
     /// One report per repetition, in order.
     pub reports: Vec<PerfReport>,
+    /// One `fun3d-events/1` stream per repetition, in report order (empty
+    /// streams for experiments that emit no events).
+    pub events: Vec<fun3d_telemetry::events::EventStream>,
     /// Robust summary per metric key, in first-report order.
     pub summaries: Vec<(String, Summary)>,
 }
@@ -41,6 +44,12 @@ impl ExperimentRun {
     /// comparison and `--json` export.
     pub fn representative(&self) -> &PerfReport {
         &self.reports[self.reports.len() / 2]
+    }
+
+    /// The middle repetition's event stream (pairs with
+    /// [`Self::representative`]).
+    pub fn representative_events(&self) -> &fun3d_telemetry::events::EventStream {
+        &self.events[self.events.len() / 2]
     }
 }
 
@@ -57,17 +66,26 @@ pub fn run_experiment(exp: &dyn Experiment, args: &BenchArgs, warmup: usize) -> 
         exp.run(args);
     }
     let mut reports = Vec::with_capacity(args.reps);
+    let mut events = Vec::with_capacity(args.reps);
     for _ in 0..args.reps {
         let mut out = exp.run(args);
+        // Tail-latency metrics from the span histograms join the scalar
+        // metrics *before* any injected slowdown, so the gate's p95 columns
+        // degrade (and regress) exactly like the primary timings.
+        for (key, v) in out.report.tail_metrics() {
+            out.report.push_metric(key, v);
+        }
         if let Some(f) = slowdown {
             apply_slowdown(&mut out.report, f);
         }
         reports.push(out.report);
+        events.push(out.events);
     }
     let summaries = summarize_reports(&reports);
     ExperimentRun {
         name: exp.name().to_string(),
         reports,
+        events,
         summaries,
     }
 }
@@ -145,6 +163,39 @@ mod tests {
         assert_eq!(s.median, 13.0);
         assert_eq!(s.n, 3);
         assert_eq!(run.representative().name, "fake");
+    }
+
+    #[test]
+    fn tail_metrics_join_the_scalar_metrics() {
+        struct WithSpans;
+        impl Experiment for WithSpans {
+            fn name(&self) -> &'static str {
+                "with_spans"
+            }
+            fn description(&self) -> &'static str {
+                "test double with a span tree"
+            }
+            fn default_scale(&self) -> f64 {
+                1.0
+            }
+            fn run(&self, _args: &BenchArgs) -> RunOutcome {
+                let tel = fun3d_telemetry::Registry::enabled(0);
+                for _ in 0..8 {
+                    let _g = tel.span("kernel");
+                }
+                let mut r = PerfReport::new("with_spans").with_snapshot(&tel.snapshot());
+                r.push_metric("time_s", 1.0);
+                r.into()
+            }
+        }
+        let run = run_experiment(&WithSpans, &BenchArgs::defaults(1.0), 0);
+        assert!(
+            run.summaries.iter().any(|(k, _)| k == "kernel:p95_s"),
+            "p95 summary missing: {:?}",
+            run.summaries.iter().map(|(k, _)| k).collect::<Vec<_>>()
+        );
+        assert_eq!(run.events.len(), run.reports.len());
+        assert!(run.representative_events().is_empty());
     }
 
     #[test]

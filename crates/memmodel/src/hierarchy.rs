@@ -21,6 +21,25 @@ impl MemStats {
     pub fn stall_cycles(&self, l1_penalty: u64, l2_penalty: u64, tlb_penalty: u64) -> u64 {
         self.l1_misses * l1_penalty + self.l2_misses * l2_penalty + self.tlb_misses * tlb_penalty
     }
+
+    /// Ingest these modeled counters into a telemetry registry under `path`,
+    /// as `model_accesses` / `model_l1_misses` / `model_l2_misses` /
+    /// `model_tlb_misses`.  Recording under the same span path a kernel
+    /// timed itself with puts modeled cache/TLB misses next to measured
+    /// time in every report (the Figure 3 model-vs-measured story as a
+    /// permanent column).
+    pub fn ingest_into(&self, reg: &fun3d_telemetry::Registry, path: &str) {
+        use fun3d_telemetry::TimeDomain;
+        let pairs = [
+            ("model_accesses", self.accesses),
+            ("model_l1_misses", self.l1_misses),
+            ("model_l2_misses", self.l2_misses),
+            ("model_tlb_misses", self.tlb_misses),
+        ];
+        for (name, v) in pairs {
+            reg.counter_at(path, TimeDomain::Simulated, name, v as f64);
+        }
+    }
 }
 
 /// An inclusive two-level cache hierarchy with a TLB, all LRU.
@@ -193,5 +212,31 @@ mod tests {
         let m = MemoryHierarchy::origin2000();
         let s = m.stats();
         assert_eq!(s.accesses, 0);
+    }
+
+    #[test]
+    fn ingest_into_records_model_counters() {
+        let s = MemStats {
+            accesses: 100,
+            l1_misses: 10,
+            l2_misses: 5,
+            tlb_misses: 2,
+        };
+        let reg = fun3d_telemetry::Registry::enabled(0);
+        // Attach under an existing measured span path: the counters land on
+        // the same node the kernel timed itself with.
+        {
+            let _g = reg.span("spmv/csr");
+        }
+        s.ingest_into(&reg, "spmv/csr");
+        s.ingest_into(&reg, "spmv/csr"); // accumulates
+        let snap = reg.snapshot();
+        let row = snap.span("spmv/csr").unwrap();
+        assert_eq!(row.domain, fun3d_telemetry::TimeDomain::Measured);
+        assert_eq!(row.calls, 1);
+        assert_eq!(row.counter("model_accesses"), Some(200.0));
+        assert_eq!(row.counter("model_l1_misses"), Some(20.0));
+        assert_eq!(row.counter("model_l2_misses"), Some(10.0));
+        assert_eq!(row.counter("model_tlb_misses"), Some(4.0));
     }
 }

@@ -10,6 +10,7 @@
 use crate::op::LinearOperator;
 use crate::precond::Preconditioner;
 use fun3d_sparse::vec_ops::{axpy, norm2};
+use fun3d_telemetry::events::{EventRecord, EventSink};
 use fun3d_telemetry::Registry;
 
 /// Options for a GMRES solve.
@@ -70,6 +71,25 @@ pub fn gmres_with_telemetry<A: LinearOperator + ?Sized, M: Preconditioner + ?Siz
     x: &mut [f64],
     opts: &GmresOptions,
     tel: &Registry,
+) -> GmresResult {
+    gmres_with_events(a, m, b, x, opts, tel, &EventSink::disabled(), 0)
+}
+
+/// [`gmres_with_telemetry`] that additionally emits one
+/// [`EventRecord::KrylovIter`] per inner iteration into `events`, tagged
+/// with the enclosing pseudo-timestep `newton_step`.  The residual norm in
+/// each record is the Arnoldi estimate, which with right preconditioning is
+/// the *true* residual norm.
+#[allow(clippy::too_many_arguments)]
+pub fn gmres_with_events<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
+    a: &A,
+    m: &M,
+    b: &[f64],
+    x: &mut [f64],
+    opts: &GmresOptions,
+    tel: &Registry,
+    events: &EventSink,
+    newton_step: u64,
 ) -> GmresResult {
     let _gmres_span = tel.span("gmres");
     let n = a.n();
@@ -162,6 +182,11 @@ pub fn gmres_with_telemetry<A: LinearOperator + ?Sized, M: Preconditioner + ?Siz
             g[j + 1] = -sn[j] * g[j];
             g[j] *= cs[j];
             let res_est = g[j + 1].abs();
+            events.emit(EventRecord::KrylovIter {
+                step: newton_step,
+                iter: total_iters as u64,
+                residual_norm: res_est,
+            });
             h.push(hj);
             j += 1;
             if wnorm == 0.0 {
@@ -416,6 +441,51 @@ mod tests {
         );
         assert!(!r.converged);
         assert_eq!(r.iterations, 7);
+    }
+
+    #[test]
+    fn krylov_iter_events_track_iterations() {
+        let a = laplacian_2d(10);
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let sink = EventSink::enabled();
+        let r = gmres_with_events(
+            &CsrOperator::new(&a),
+            &IdentityPrecond,
+            &b,
+            &mut x,
+            &GmresOptions {
+                restart: 30,
+                rtol: 1e-6,
+                max_iters: 2000,
+                ..Default::default()
+            },
+            &Registry::disabled(),
+            &sink,
+            7,
+        );
+        assert!(r.converged);
+        let evs = sink.drain();
+        assert_eq!(evs.len(), r.iterations);
+        // Every record carries the enclosing step and a positive iteration
+        // index; the trajectory as a whole descends toward the target.
+        let mut norms = Vec::new();
+        for ev in &evs {
+            let EventRecord::KrylovIter {
+                step,
+                iter,
+                residual_norm,
+            } = ev
+            else {
+                panic!("unexpected event {ev:?}");
+            };
+            assert_eq!(*step, 7);
+            assert!(*iter >= 1 && *iter <= r.iterations as u64);
+            norms.push(*residual_norm);
+        }
+        assert!(norms.last().unwrap() < &(1e-6 * norm2(&b) * 1.01));
+        assert!(norms.first().unwrap() > norms.last().unwrap());
     }
 
     #[test]

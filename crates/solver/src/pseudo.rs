@@ -14,12 +14,13 @@
 //! Figure 5 sweeps `CFL_0`; Section 2.4.1 discusses `p` (0.75 with shocks,
 //! up to 1.5 for first-order phases).
 
-use crate::gmres::{gmres_with_telemetry, GmresOptions};
+use crate::gmres::{gmres_with_events, GmresOptions};
 use crate::op::{CsrOperator, FdJacobianOperator, PseudoTransientProblem};
 use crate::precond::{AdditiveSchwarz, BlockIluPrecond, IluPrecond, Preconditioner};
 use fun3d_sparse::bcsr::BcsrMatrix;
 use fun3d_sparse::ilu::IluOptions;
 use fun3d_sparse::vec_ops::norm2;
+use fun3d_telemetry::events::{EventRecord, EventSink};
 use fun3d_telemetry::Registry;
 
 /// Which preconditioner the Krylov solver uses.
@@ -283,6 +284,21 @@ pub fn solve_pseudo_transient_instrumented<P: PseudoTransientProblem>(
     opts: &PseudoTransientOptions,
     tel: &Registry,
 ) -> SolveHistory {
+    solve_pseudo_transient_with_events(problem, q, opts, tel, &EventSink::disabled())
+}
+
+/// [`solve_pseudo_transient_instrumented`] that additionally emits one
+/// [`EventRecord::NewtonStep`] per pseudo-timestep (mirroring the
+/// [`StepRecord`] pushed into the history, plus the step's linear forcing
+/// tolerance η) and per-iteration [`EventRecord::KrylovIter`] records from
+/// the inner GMRES solves into `events`.
+pub fn solve_pseudo_transient_with_events<P: PseudoTransientProblem>(
+    problem: &mut P,
+    q: &mut [f64],
+    opts: &PseudoTransientOptions,
+    tel: &Registry,
+    events: &EventSink,
+) -> SolveHistory {
     let _solve_span = tel.span("nks");
     let n = problem.n();
     assert_eq!(q.len(), n);
@@ -403,10 +419,11 @@ pub fn solve_pseudo_transient_instrumented<P: PseudoTransientProblem>(
         delta.iter_mut().for_each(|v| *v = 0.0);
         let t0 = std::time::Instant::now();
         let krylov_span = tel.span("krylov");
+        let nstep = step as u64;
         let lin = if opts.matrix_free {
             let shift: Vec<f64> = d.iter().map(|&v| v / cfl).collect();
             let op = FdJacobianOperator::new(&*problem, q.to_vec(), r.clone(), shift);
-            gmres_with_telemetry(&op, pc, &rhs, &mut delta, &krylov, tel)
+            gmres_with_events(&op, pc, &rhs, &mut delta, &krylov, tel, events, nstep)
         } else if let Some(b) = opts.bcsr_block {
             match &mut bcsr_cache {
                 Some(cached) => cached.refill_from_csr(&jac),
@@ -415,9 +432,10 @@ pub fn solve_pseudo_transient_instrumented<P: PseudoTransientProblem>(
             let op = BcsrOperator {
                 a: bcsr_cache.as_ref().unwrap(),
             };
-            gmres_with_telemetry(&op, pc, &rhs, &mut delta, &krylov, tel)
+            gmres_with_events(&op, pc, &rhs, &mut delta, &krylov, tel, events, nstep)
         } else {
-            gmres_with_telemetry(&CsrOperator::new(&jac), pc, &rhs, &mut delta, &krylov, tel)
+            let op = CsrOperator::new(&jac);
+            gmres_with_events(&op, pc, &rhs, &mut delta, &krylov, tel, events, nstep)
         };
         drop(krylov_span);
         tel.counter("linear_iters", lin.iterations as f64);
@@ -475,6 +493,17 @@ pub fn solve_pseudo_transient_instrumented<P: PseudoTransientProblem>(
             linear_iters: lin.iterations,
             linear_converged: lin.converged,
             step_length: alpha,
+            t_residual,
+            t_jacobian,
+            t_precond,
+            t_krylov,
+        });
+        events.emit(EventRecord::NewtonStep {
+            step: nstep,
+            residual_norm: rnorm,
+            cfl,
+            gmres_iters: lin.iterations as u64,
+            eta: krylov.rtol,
             t_residual,
             t_jacobian,
             t_precond,
@@ -671,6 +700,58 @@ mod tests {
             l4 + 1 >= l1,
             "lagging shouldn't reduce linear work: {l4} vs {l1}"
         );
+    }
+
+    #[test]
+    fn newton_step_events_mirror_history() {
+        let mut p = Bratu1d::new(25, 1.0);
+        let mut q = vec![0.0; 25];
+        let sink = EventSink::enabled();
+        let h = solve_pseudo_transient_with_events(
+            &mut p,
+            &mut q,
+            &default_opts(),
+            &Registry::disabled(),
+            &sink,
+        );
+        assert!(h.converged);
+        let evs = sink.drain();
+        let steps: Vec<&EventRecord> = evs
+            .iter()
+            .filter(|e| matches!(e, EventRecord::NewtonStep { .. }))
+            .collect();
+        assert_eq!(steps.len(), h.nsteps());
+        for (rec, ev) in h.steps.iter().zip(&steps) {
+            let EventRecord::NewtonStep {
+                step,
+                residual_norm,
+                cfl,
+                gmres_iters,
+                eta,
+                ..
+            } = ev
+            else {
+                unreachable!()
+            };
+            assert_eq!(*step, rec.step as u64);
+            assert_eq!(*residual_norm, rec.residual_norm);
+            assert_eq!(*cfl, rec.cfl);
+            assert_eq!(*gmres_iters, rec.linear_iters as u64);
+            // Constant forcing: η is the configured Krylov tolerance.
+            assert_eq!(*eta, default_opts().krylov.rtol);
+        }
+        // Krylov iterations ride along, totalling the history's count.
+        let kry = evs
+            .iter()
+            .filter(|e| matches!(e, EventRecord::KrylovIter { .. }))
+            .count();
+        assert_eq!(kry, h.total_linear_iters());
+        // Event emission must not perturb the solve itself.
+        let mut p2 = Bratu1d::new(25, 1.0);
+        let mut q2 = vec![0.0; 25];
+        let h2 = solve_pseudo_transient(&mut p2, &mut q2, &default_opts());
+        assert_eq!(q, q2);
+        assert_eq!(h.final_residual, h2.final_residual);
     }
 
     #[test]

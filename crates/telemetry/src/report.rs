@@ -7,6 +7,7 @@
 //! [`PerfReport::from_json_str`] of [`PerfReport::to_json_string`] is
 //! identity (checked by tests).
 
+use crate::hist::LogHistogram;
 use crate::json::Value;
 use crate::{Snapshot, SpanRow, TimeDomain};
 
@@ -68,6 +69,16 @@ impl PerfReport {
     /// Look up a span row by full path.
     pub fn span(&self, path: &str) -> Option<&SpanRow> {
         self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Derived tail-latency metrics: one `"{path}:p95_s"` entry per span
+    /// with a non-empty latency histogram.  The harness appends these to
+    /// each rep's metric list so baselines gate on p95, not just medians.
+    pub fn tail_metrics(&self) -> Vec<(String, f64)> {
+        self.spans
+            .iter()
+            .filter_map(|s| s.p95().map(|p| (format!("{}:p95_s", s.path), p)))
+            .collect()
     }
 
     /// Build the JSON tree for this report.
@@ -173,7 +184,7 @@ impl PerfReport {
 }
 
 fn span_to_json(row: &SpanRow) -> Value {
-    Value::Obj(vec![
+    let mut fields = vec![
         ("path".into(), Value::Str(row.path.clone())),
         ("domain".into(), Value::Str(row.domain.tag().into())),
         ("calls".into(), Value::Num(row.calls as f64)),
@@ -187,7 +198,22 @@ fn span_to_json(row: &SpanRow) -> Value {
                     .collect(),
             ),
         ),
-    ])
+    ];
+    // Omitted when empty so pre-histogram reports stay parseable and the
+    // JSON fixed-point property holds for spans without samples.
+    if !row.hist.is_empty() {
+        fields.push((
+            "hist".into(),
+            Value::Arr(
+                row.hist
+                    .buckets()
+                    .iter()
+                    .map(|&(b, c)| Value::Arr(vec![Value::Num(b as f64), Value::Num(c as f64)]))
+                    .collect(),
+            ),
+        ));
+    }
+    Value::Obj(fields)
 }
 
 fn span_from_json(v: &Value) -> Result<SpanRow, String> {
@@ -220,12 +246,29 @@ fn span_from_json(v: &Value) -> Result<SpanRow, String> {
                 .ok_or_else(|| format!("counter {k:?} is not a number"))
         })
         .collect::<Result<Vec<_>, _>>()?;
+    let hist = match v.get("hist").and_then(Value::as_arr) {
+        // Absent (or empty) means no samples were recorded.
+        None => LogHistogram::new(),
+        Some(pairs) => {
+            let pairs = pairs
+                .iter()
+                .map(|p| {
+                    let p = p.as_arr().filter(|p| p.len() == 2).ok_or("bad hist pair")?;
+                    let b = p[0].as_f64().ok_or("bad hist bucket")? as u32;
+                    let c = p[1].as_f64().ok_or("bad hist count")? as u64;
+                    Ok::<(u32, u64), String>((b, c))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            LogHistogram::from_buckets(&pairs)?
+        }
+    };
     Ok(SpanRow {
         path,
         domain,
         calls,
         total_s,
         counters,
+        hist,
     })
 }
 
@@ -276,6 +319,27 @@ mod tests {
         assert!(PerfReport::from_json_str(bad).is_err());
         assert!(PerfReport::from_json_str("{}").is_err());
         assert!(PerfReport::from_json_str("not json").is_err());
+    }
+
+    #[test]
+    fn hist_survives_round_trip_and_feeds_tail_metrics() {
+        let r = sample_report();
+        // Live spans recorded real durations, so their histograms are
+        // non-empty and p95 tail metrics exist for them.
+        let nks = r.span("nks").unwrap();
+        assert!(!nks.hist.is_empty());
+        let tails = r.tail_metrics();
+        assert!(tails.iter().any(|(k, _)| k == "nks:p95_s"));
+        assert!(tails.iter().any(|(k, _)| k == "sim/scatter:p95_s"));
+        assert!(tails.iter().all(|(_, v)| *v > 0.0));
+        let back = PerfReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back.span("nks").unwrap().hist, nks.hist);
+        assert_eq!(back.tail_metrics(), tails);
+        // Pre-histogram reports (no "hist" key) still parse, with empty hists.
+        let legacy = r#"{"schema":"fun3d-perf/1","name":"x","meta":{},"metrics":{},"spans":[{"path":"a","domain":"measured","calls":1,"total_s":0.5,"counters":{}}]}"#;
+        let old = PerfReport::from_json_str(legacy).unwrap();
+        assert!(old.span("a").unwrap().hist.is_empty());
+        assert!(old.tail_metrics().is_empty());
     }
 
     #[test]

@@ -12,9 +12,11 @@ use petsc_fun3d_repro::euler::residual::{Discretization, SpatialOrder};
 use petsc_fun3d_repro::mesh::generator::BumpChannelSpec;
 use petsc_fun3d_repro::solver::gmres::GmresOptions;
 use petsc_fun3d_repro::solver::pseudo::{
-    solve_pseudo_transient, Forcing, PrecondSpec, PseudoTransientOptions,
+    solve_pseudo_transient_with_events, Forcing, PrecondSpec, PseudoTransientOptions,
 };
 use petsc_fun3d_repro::sparse::ilu::IluOptions;
+use petsc_fun3d_repro::telemetry::events::{convergence_table, EventSink, EventStream};
+use petsc_fun3d_repro::telemetry::Registry;
 
 fn main() {
     // 1. A mesh: a graded, jittered tetrahedral channel with a wing-like
@@ -63,15 +65,16 @@ fn main() {
         forcing: Forcing::Constant,
         pc_refresh: 1,
     };
-    let history = solve_pseudo_transient(&mut problem, &mut q, &opts);
+    // Telemetry on: spans (with latency histograms) land in `tel`, the
+    // per-iteration event stream (`fun3d-events/1`) lands in `sink`.
+    let tel = Registry::enabled(0);
+    let sink = EventSink::enabled();
+    let history = solve_pseudo_transient_with_events(&mut problem, &mut q, &opts, &tel, &sink);
 
-    // 4. Report.
-    for s in history.steps.iter().step_by(5) {
-        println!(
-            "  step {:3}  CFL {:9.2e}  |R| {:10.3e}  {} linear its",
-            s.step, s.cfl, s.residual_norm, s.linear_iters
-        );
-    }
+    // 4. Report: the Figure 5-style convergence table straight from the
+    //    event stream, then the run summary.
+    let events = EventStream::new(sink.drain());
+    println!("\n{}", convergence_table(&events));
     println!(
         "converged: {} — residual reduced {:.1e}x in {} steps ({} total linear its, {:.2}s)",
         history.converged,
@@ -80,6 +83,18 @@ fn main() {
         history.total_linear_iters(),
         history.total_time()
     );
+
+    // Phase breakdown with tail latencies from the span histograms.
+    println!("\nphase breakdown (p95 per call from log-bucket histograms):");
+    for row in &tel.snapshot().spans {
+        println!(
+            "  {:<24} {:4} calls  {:8.3}s total  p95 {}",
+            row.path,
+            row.calls,
+            row.total_s,
+            row.p95().map_or("    -".into(), |p| format!("{p:.2e}s")),
+        );
+    }
 
     // 5. Optionally dump the converged field for ParaView:
     //    `cargo run --release --example quickstart -- flow.vtk`
