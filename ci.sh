@@ -9,11 +9,19 @@ cargo clippy --workspace -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
+# Smoke logs land in CI_LOG_DIR when set (the GitHub workflow uploads it as
+# an artifact on failure); otherwise in a throwaway tempdir.
+if [ -n "${CI_LOG_DIR:-}" ]; then
+    smoke_dir="$CI_LOG_DIR"
+    mkdir -p "$smoke_dir"
+else
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+fi
+
 # Harness smoke gate: save a baseline then compare against it in the same
 # environment. Tiny sizes, 1 rep; the huge relative tolerance means this
 # asserts the registry -> stats -> baseline pipeline, never wall-clock.
-smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
 ./target/release/fun3d-bench run --suite smoke \
     --save-baseline "$smoke_dir/smoke.json" \
     --events-dir "$smoke_dir/runs" > "$smoke_dir/save.log"
@@ -30,5 +38,21 @@ grep -q "Phase breakdown (Table 3)" "$smoke_dir/show.log"
 ./target/release/fun3d-report diff "$smoke_dir/runs/table1.json" \
     "$smoke_dir/runs/table1.json" > "$smoke_dir/diff.log"
 grep -q "regressions: 0" "$smoke_dir/diff.log"
+
+# Threaded leg: the same workspace tests and smoke gate with a 2-thread
+# team, so the _par kernels and their determinism contract run in CI.  The
+# report must record the thread count, and a threaded self-diff must be
+# clean (threading cannot perturb the metrics the gate compares).
+FUN3D_THREADS=2 cargo test -q --workspace
+./target/release/fun3d-bench run --suite smoke --threads 2 \
+    --save-baseline "$smoke_dir/smoke-t2.json" \
+    --events-dir "$smoke_dir/runs-t2" > "$smoke_dir/save-t2.log"
+./target/release/fun3d-bench run --suite smoke --threads 2 \
+    --baseline "$smoke_dir/smoke-t2.json" --tol-rel 1000 > "$smoke_dir/gate-t2.log"
+grep -q "overall:" "$smoke_dir/gate-t2.log"
+grep -q '"nthreads":"2"' "$smoke_dir/runs-t2/table1.json"
+./target/release/fun3d-report diff "$smoke_dir/runs-t2/table1.json" \
+    "$smoke_dir/runs-t2/table1.json" > "$smoke_dir/diff-t2.log"
+grep -q "regressions: 0" "$smoke_dir/diff-t2.log"
 
 echo "ci: all checks passed"

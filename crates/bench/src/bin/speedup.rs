@@ -1,0 +1,10 @@
+//! Thread-scaling sweep binary: see `runners::speedup`.
+
+use fun3d_bench::{runners, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse(0.5);
+    let out = runners::speedup::run(&args);
+    args.emit_report(&out.report);
+    args.emit_trace(&out.telemetry);
+}

@@ -47,10 +47,15 @@ pub struct BenchArgs {
     /// Write a `fun3d-events/1` JSONL event stream here (`--events <path>`);
     /// only bins whose runner emits an event stream honor it.
     pub events: Option<String>,
+    /// Thread-team size for the `_par` kernels (`--threads <n>`; defaults to
+    /// `FUN3D_THREADS` or 1).
+    pub threads: usize,
 }
 
 impl BenchArgs {
-    /// Baseline values before any flags are applied.
+    /// Baseline values before any flags are applied.  The thread count
+    /// honors `FUN3D_THREADS` so whole suites can be threaded without
+    /// touching every invocation.
     pub fn defaults(default_scale: f64) -> Self {
         Self {
             scale: default_scale,
@@ -61,18 +66,24 @@ impl BenchArgs {
             json: None,
             trace: None,
             events: None,
+            threads: std::env::var("FUN3D_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1),
         }
     }
 
     /// Parse from `std::env::args`: `--scale <f>`, `--full`, `--steps <n>`,
     /// `--reps <n>`, `--suite <name>`, `--quiet`, `--json <path>`,
-    /// `--trace <path>`, `--events <path>`.  Panics on unknown flags.
+    /// `--trace <path>`, `--events <path>`, `--threads <n>`.  Panics on
+    /// unknown flags.
     pub fn parse(default_scale: f64) -> Self {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let (out, rest) = Self::parse_known(default_scale, &argv);
         if let Some(other) = rest.first() {
             panic!(
-                "unknown argument: {other} (expected --scale/--full/--steps/--reps/--suite/--quiet/--json/--trace/--events)"
+                "unknown argument: {other} (expected --scale/--full/--steps/--reps/--suite/--quiet/--json/--trace/--events/--threads)"
             );
         }
         out
@@ -128,13 +139,26 @@ impl BenchArgs {
                     i += 1;
                     out.events = Some(value(i, "--events").clone());
                 }
+                "--threads" => {
+                    i += 1;
+                    out.threads = value(i, "--threads")
+                        .parse()
+                        .expect("--threads expects an integer");
+                }
                 other => rest.push(other.to_string()),
             }
             i += 1;
         }
         assert!(out.scale > 0.0 && out.scale <= 4.0, "scale out of range");
         assert!(out.reps >= 1, "--reps must be at least 1");
+        assert!(out.threads >= 1, "--threads must be at least 1");
         (out, rest)
+    }
+
+    /// The thread context the `--threads` flag selects (`threads == 0`,
+    /// as in a struct-literal `Default`, means sequential).
+    pub fn par(&self) -> fun3d_sparse::par::ParCtx {
+        fun3d_sparse::par::ParCtx::new(self.threads.max(1))
     }
 
     /// Print a table unless `--quiet` was given.
@@ -150,12 +174,15 @@ impl BenchArgs {
         BumpChannelSpec::with_target_vertices(target.max(500))
     }
 
-    /// Stamp the shared CLI context into `report` (scale, steps).
+    /// Stamp the shared CLI context into `report` (scale, steps, nthreads).
     pub fn annotate(&self, report: &mut PerfReport) {
         report
             .meta
             .push(("scale".into(), format!("{}", self.scale)));
         report.meta.push(("steps".into(), self.steps.to_string()));
+        report
+            .meta
+            .push(("nthreads".into(), self.threads.max(1).to_string()));
     }
 
     /// Write `report` to the `--json` path when one was given.

@@ -79,6 +79,7 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
                 restart: 20,
                 rtol: 1e-2,
                 max_iters: 120,
+                par: args.par(),
                 ..Default::default()
             },
             precond: PrecondSpec::Ilu(IluOptions::with_fill(1)),
@@ -94,7 +95,10 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
         };
         sink.emit(EventRecord::RunMeta {
             name: format!("CFL0={cfl0}"),
-            meta: vec![("nverts".into(), mesh.nverts().to_string())],
+            meta: vec![
+                ("nverts".into(), mesh.nverts().to_string()),
+                ("nthreads".into(), args.par().nthreads().to_string()),
+            ],
         });
         let h = solve_pseudo_transient_with_events(
             &mut problem,

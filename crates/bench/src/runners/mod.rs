@@ -13,6 +13,7 @@ pub mod figure4;
 pub mod figure5;
 pub mod miss_bounds;
 pub mod parallel_nks;
+pub mod speedup;
 pub mod spmv;
 pub mod stream;
 pub mod table1;
@@ -34,6 +35,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(figure5::Figure5),
         Box::new(miss_bounds::MissBounds),
         Box::new(parallel_nks::ParallelNks),
+        Box::new(speedup::Speedup),
         Box::new(spmv::Spmv),
         Box::new(stream::Stream),
         Box::new(table1::Table1),
@@ -60,7 +62,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(names, sorted, "registry must be sorted and duplicate-free");
-        assert_eq!(names.len(), 15);
+        assert_eq!(names.len(), 16);
     }
 
     #[test]

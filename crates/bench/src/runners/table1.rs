@@ -75,6 +75,7 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
                         restart: 20,
                         rtol: 0.0,
                         max_iters: 20,
+                        par: args.par(),
                         ..Default::default()
                     },
                     precond: PrecondSpec::Ilu(IluOptions::with_fill(0)),

@@ -7,47 +7,68 @@
 //! vector reduction), combined afterwards by a gather that is itself memory-
 //! bandwidth-bound — the caveat the paper calls out.  [`ThreadTeam`]
 //! reproduces that exact structure.
+//!
+//! The partitioning and fork/join machinery is shared with the production
+//! kernels: `ThreadTeam` wraps [`fun3d_sparse::par::ParCtx`], the context
+//! the `_par` SpMV / BLAS-1 / triangular-solve variants take, so the Table 5
+//! experiment and the threaded solver hot path use identical chunk math.
+
+use fun3d_sparse::par::ParCtx;
 
 /// A team of worker threads with static loop scheduling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreadTeam {
-    nthreads: usize,
+    ctx: ParCtx,
 }
 
 impl ThreadTeam {
     /// A team of `nthreads` workers (1 = sequential).
     pub fn new(nthreads: usize) -> Self {
         assert!(nthreads >= 1);
-        Self { nthreads }
+        Self {
+            ctx: ParCtx::new(nthreads),
+        }
     }
 
     /// Team size.
     pub fn nthreads(&self) -> usize {
-        self.nthreads
+        self.ctx.nthreads()
     }
 
-    /// The contiguous static chunk of `0..n` assigned to thread `t`.
+    /// The shared-kernel context this team wraps.
+    pub fn ctx(&self) -> &ParCtx {
+        &self.ctx
+    }
+
+    /// The contiguous static chunk of `0..n` assigned to thread `t`:
+    /// `n / nthreads` items each, the remainder spread one-per-thread over
+    /// the lowest-numbered threads; `nthreads > n` leaves the trailing
+    /// threads with empty (zero-length) ranges.
+    ///
+    /// # Panics
+    /// Panics if `t >= nthreads`.
     pub fn chunk(&self, n: usize, t: usize) -> std::ops::Range<usize> {
-        let per = n / self.nthreads;
-        let rem = n % self.nthreads;
-        let start = t * per + t.min(rem);
-        let len = per + usize::from(t < rem);
-        start..start + len
+        self.ctx.chunk(n, t)
     }
 
     /// Run `f(thread_id, chunk)` on every thread over the index space
-    /// `0..n` with static scheduling (OpenMP `schedule(static)`).
+    /// `0..n` with static scheduling (OpenMP `schedule(static)`).  Threads
+    /// whose chunk is empty are never spawned and `f` is not called for
+    /// them.
     pub fn parallel_for<F>(&self, n: usize, f: F)
     where
         F: Fn(usize, std::ops::Range<usize>) + Sync,
     {
-        if self.nthreads == 1 {
+        if self.nthreads() == 1 {
             f(0, 0..n);
             return;
         }
         std::thread::scope(|scope| {
-            for t in 0..self.nthreads {
+            for t in 0..self.nthreads() {
                 let range = self.chunk(n, t);
+                if range.is_empty() {
+                    continue;
+                }
                 let f = &f;
                 scope.spawn(move || f(t, range));
             }
@@ -56,21 +77,29 @@ impl ThreadTeam {
 
     /// The private-array reduction of the paper: each thread accumulates
     /// into its own copy of the residual; afterwards the copies are summed
-    /// into the shared array (a bandwidth-bound gather).
+    /// into the shared array *in thread order* (a bandwidth-bound gather,
+    /// deterministic for a fixed team size).
     ///
     /// `body(thread, chunk, private)` fills the thread's private array.
+    /// Threads with empty chunks neither run nor allocate a private copy.
     pub fn parallel_for_private_reduce<F>(&self, n: usize, result: &mut [f64], body: F)
     where
         F: Fn(usize, std::ops::Range<usize>, &mut [f64]) + Sync,
     {
         let width = result.len();
-        let mut privates: Vec<Vec<f64>> = (0..self.nthreads).map(|_| vec![0.0; width]).collect();
-        if self.nthreads == 1 {
-            body(0, 0..n, &mut privates[0]);
+        let mut privates: Vec<(usize, Vec<f64>)> = (0..self.nthreads())
+            .filter(|&t| !self.chunk(n, t).is_empty() || (n == 0 && t == 0))
+            .map(|t| (t, vec![0.0; width]))
+            .collect();
+        if self.nthreads() == 1 {
+            if let Some((t, private)) = privates.first_mut() {
+                body(*t, self.chunk(n, *t), private);
+            }
         } else {
             std::thread::scope(|scope| {
-                for (t, private) in privates.iter_mut().enumerate() {
-                    let range = self.chunk(n, t);
+                for (t, private) in privates.iter_mut() {
+                    let range = self.chunk(n, *t);
+                    let t = *t;
                     let body = &body;
                     scope.spawn(move || body(t, range, private));
                 }
@@ -78,7 +107,7 @@ impl ThreadTeam {
         }
         // The gather: redundant memory traffic proportional to
         // nthreads * len(result).
-        for private in &privates {
+        for (_, private) in &privates {
             for (r, p) in result.iter_mut().zip(private) {
                 *r += p;
             }
@@ -156,5 +185,64 @@ mod tests {
         let mut result = vec![0.0; 4];
         team.parallel_for_private_reduce(0, &mut result, |_, _, _| {});
         assert_eq!(result, vec![0.0; 4]);
+    }
+
+    // Regression tests for the partition edge cases: an oversized team must
+    // produce empty (not out-of-bounds) trailing chunks, never call user
+    // code for them, and still cover every index exactly once.
+
+    #[test]
+    fn oversized_team_covers_exactly_once() {
+        for (n, nthreads) in [(3usize, 8usize), (1, 16), (7, 7), (5, 6)] {
+            let team = ThreadTeam::new(nthreads);
+            let mut next = 0;
+            for t in 0..nthreads {
+                let r = team.chunk(n, t);
+                assert_eq!(r.start, next, "n={n} nthreads={nthreads} t={t}");
+                assert!(r.end <= n, "chunk past the end: {r:?}");
+                next = r.end;
+            }
+            assert_eq!(next, n);
+        }
+    }
+
+    #[test]
+    fn oversized_team_skips_empty_chunks() {
+        let team = ThreadTeam::new(8);
+        let called = AtomicUsize::new(0);
+        team.parallel_for(3, |t, range| {
+            assert!(t < 3, "thread {t} should have an empty chunk");
+            assert!(!range.is_empty());
+            called.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(called.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn oversized_team_private_reduce_matches() {
+        let n = 3;
+        let team = ThreadTeam::new(16);
+        let mut result = vec![0.0; 2];
+        team.parallel_for_private_reduce(n, &mut result, |_, range, private| {
+            for i in range {
+                private[i % 2] += 1.0 + i as f64;
+            }
+        });
+        assert_eq!(result, vec![4.0, 2.0]); // i=0,2 -> slot 0; i=1 -> slot 1
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn chunk_rejects_out_of_range_thread() {
+        // Previously this silently returned a range past the end of the
+        // data; now it panics at the call site.
+        ThreadTeam::new(4).chunk(10, 4);
+    }
+
+    #[test]
+    fn remainder_is_spread_over_low_threads() {
+        let team = ThreadTeam::new(4);
+        let sizes: Vec<usize> = (0..4).map(|t| team.chunk(10, t).len()).collect();
+        assert_eq!(sizes, [3, 3, 2, 2]);
     }
 }

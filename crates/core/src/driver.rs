@@ -48,6 +48,7 @@ pub fn run_case_instrumented(
         meta: vec![
             ("nverts".into(), mesh.nverts().to_string()),
             ("ncomp".into(), cfg.model.ncomp().to_string()),
+            ("nthreads".into(), cfg.nks.krylov.par.nthreads().to_string()),
         ],
     });
     let disc = Discretization::new(&mesh, cfg.model, cfg.layout.field_layout(), cfg.order);

@@ -654,6 +654,7 @@ pub fn solve_parallel_nks(
         meta: vec![
             ("nranks".into(), nranks.to_string()),
             ("nverts".into(), mesh.nverts().to_string()),
+            ("nthreads".into(), opts.krylov.par.nthreads().to_string()),
         ],
     });
     let r0 = history[0];

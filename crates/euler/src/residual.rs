@@ -20,6 +20,7 @@ use crate::model::{Comp, FlowModel, MAX_COMP};
 use fun3d_mesh::tet::{BoundaryKind, TetMesh};
 use fun3d_sparse::csr::CsrMatrix;
 use fun3d_sparse::layout::FieldLayout;
+use fun3d_sparse::par::ParCtx;
 use fun3d_sparse::triplet::TripletMatrix;
 
 /// Spatial accuracy of the flux evaluation.
@@ -151,22 +152,81 @@ impl<'m> Discretization<'m> {
         if second {
             ws.grads.compute(self.mesh, q);
         }
+        let grads = second.then_some(&ws.grads);
+        let nedges = self.mesh.nedges();
+        self.flux_pass(q, grads, limited, res, 0..nedges);
+        if let Some(mu) = self.viscosity {
+            self.viscous_pass(mu, q, res, 0..nedges);
+        }
+        self.boundary_pass(q, res);
+    }
+
+    /// Threaded [`residual`](Self::residual): the edge loops are partitioned
+    /// across the team with per-thread *private* residual arrays, gathered
+    /// into `res` in ascending thread order afterwards — the paper's
+    /// OpenMP private-array scheme (Section 2.5), where the gather is the
+    /// ghost-accumulation step.  Gradients and boundary fluxes stay
+    /// sequential.  The gather reorders floating-point additions, so the
+    /// result matches the sequential kernel to rounding (~1e-15 relative),
+    /// deterministically for a fixed thread count.
+    pub fn residual_par(&self, q: &FieldVec, res: &mut FieldVec, ws: &mut Workspace, ctx: &ParCtx) {
+        if ctx.nthreads() == 1 {
+            return self.residual(q, res, ws);
+        }
+        assert_eq!(q.nverts(), self.mesh.nverts());
+        assert_eq!(q.ncomp(), self.ncomp());
+        assert_eq!(q.layout(), self.layout);
+        res.as_mut_slice().iter_mut().for_each(|x| *x = 0.0);
+        let second = !matches!(self.order, SpatialOrder::First);
+        let limited = matches!(self.order, SpatialOrder::SecondLimited);
+        if second {
+            ws.grads.compute(self.mesh, q);
+        }
+        let grads = second.then_some(&ws.grads);
+        let nedges = self.mesh.nedges();
+        let privates = ctx.map_chunks(nedges, |_, range| {
+            let mut local = FieldVec::zeros(self.mesh.nverts(), self.ncomp(), self.layout);
+            self.flux_pass(q, grads, limited, &mut local, range.clone());
+            if let Some(mu) = self.viscosity {
+                self.viscous_pass(mu, q, &mut local, range);
+            }
+            local
+        });
+        for private in &privates {
+            for (r, p) in res.as_mut_slice().iter_mut().zip(private.as_slice()) {
+                *r += p;
+            }
+        }
+        self.boundary_pass(q, res);
+    }
+
+    /// Rusanov flux accumulation over a range of interior edges — the
+    /// kernel of Table 1 / Figure 3.  Contributions are *added* to `res`.
+    fn flux_pass(
+        &self,
+        q: &FieldVec,
+        grads: Option<&Gradients>,
+        limited: bool,
+        res: &mut FieldVec,
+        range: std::ops::Range<usize>,
+    ) {
         let ncomp = self.ncomp();
         let normals = self.mesh.edge_normals();
         let coords = self.mesh.coords();
-        // Interior edge loop — the kernel of Table 1 / Figure 3.
-        for (e, &[a, b]) in self.mesh.edges().iter().enumerate() {
+        let edges = self.mesh.edges();
+        for e in range {
+            let [a, b] = edges[e];
             let (a, b) = (a as usize, b as usize);
             let n = normals[e];
             let qa = q.get(a);
             let qb = q.get(b);
-            let (ql, qr) = if second {
+            let (ql, qr) = if let Some(g) = grads {
                 let r_ab = [
                     coords[b][0] - coords[a][0],
                     coords[b][1] - coords[a][1],
                     coords[b][2] - coords[a][2],
                 ];
-                reconstruct_edge(&ws.grads, a, b, r_ab, &qa, &qb, ncomp, limited)
+                reconstruct_edge(g, a, b, r_ab, &qa, &qb, ncomp, limited)
             } else {
                 (qa, qb)
             };
@@ -178,34 +238,50 @@ impl<'m> Discretization<'m> {
             res.add(a, &f);
             res.add(b, &fneg);
         }
-        // Viscous (edge-based diffusion) term on the momentum components.
-        if let Some(mu) = self.viscosity {
-            for (e, &[a, b]) in self.mesh.edges().iter().enumerate() {
-                let (a, b) = (a as usize, b as usize);
-                let n = normals[e];
-                let area = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt();
-                let dx = [
-                    coords[b][0] - coords[a][0],
-                    coords[b][1] - coords[a][1],
-                    coords[b][2] - coords[a][2],
-                ];
-                let dist = (dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2]).sqrt();
-                let kappa = mu * area / dist;
-                let qa = q.get(a);
-                let qb = q.get(b);
-                let mut fa = [0.0; MAX_COMP];
-                for c in 1..4 {
-                    fa[c] = kappa * (qa[c] - qb[c]);
-                }
-                let mut fb = [0.0; MAX_COMP];
-                for c in 1..4 {
-                    fb[c] = -fa[c];
-                }
-                res.add(a, &fa);
-                res.add(b, &fb);
+    }
+
+    /// Viscous (edge-based diffusion) term on the momentum components, over
+    /// a range of edges.
+    fn viscous_pass(
+        &self,
+        mu: f64,
+        q: &FieldVec,
+        res: &mut FieldVec,
+        range: std::ops::Range<usize>,
+    ) {
+        let normals = self.mesh.edge_normals();
+        let coords = self.mesh.coords();
+        let edges = self.mesh.edges();
+        for e in range {
+            let [a, b] = edges[e];
+            let (a, b) = (a as usize, b as usize);
+            let n = normals[e];
+            let area = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt();
+            let dx = [
+                coords[b][0] - coords[a][0],
+                coords[b][1] - coords[a][1],
+                coords[b][2] - coords[a][2],
+            ];
+            let dist = (dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2]).sqrt();
+            let kappa = mu * area / dist;
+            let qa = q.get(a);
+            let qb = q.get(b);
+            let mut fa = [0.0; MAX_COMP];
+            for c in 1..4 {
+                fa[c] = kappa * (qa[c] - qb[c]);
             }
+            let mut fb = [0.0; MAX_COMP];
+            for c in 1..4 {
+                fb[c] = -fa[c];
+            }
+            res.add(a, &fa);
+            res.add(b, &fb);
         }
-        // Boundary faces.
+    }
+
+    /// Boundary-face fluxes (always sequential: the face count is small and
+    /// faces of one vertex may repeat).
+    fn boundary_pass(&self, q: &FieldVec, res: &mut FieldVec) {
         for face in self.mesh.boundary_faces() {
             let n3 = [
                 face.normal[0] / 3.0,
@@ -637,6 +713,51 @@ mod tests {
                         a[c],
                         b[c]
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_residual_matches_sequential() {
+        // The private-array gather reorders additions, so compare to a tight
+        // tolerance rather than bitwise — across orders, models, viscosity,
+        // and team sizes (including more threads than edges would ever need).
+        let mesh = BumpChannelSpec::with_dims(6, 5, 4).build();
+        for model in both_models() {
+            let ncomp = model.ncomp();
+            for order in [
+                SpatialOrder::First,
+                SpatialOrder::Second,
+                SpatialOrder::SecondLimited,
+            ] {
+                for mu in [0.0, 0.05] {
+                    let disc = Discretization::new(&mesh, model, FieldLayout::Interlaced, order)
+                        .with_viscosity(mu);
+                    let mut q = disc.initial_state();
+                    for v in 0..mesh.nverts() {
+                        let mut s = q.get(v);
+                        let x = mesh.coords()[v];
+                        for c in 0..ncomp {
+                            s[c] += 0.02 * ((c + 1) as f64) * (x[0] - 0.3 * x[2]).cos();
+                        }
+                        q.set(v, &s);
+                    }
+                    let mut rs = FieldVec::zeros(mesh.nverts(), ncomp, FieldLayout::Interlaced);
+                    let mut ws = disc.workspace();
+                    disc.residual(&q, &mut rs, &mut ws);
+                    for nthreads in [1usize, 2, 3, 8] {
+                        let ctx = ParCtx::new(nthreads);
+                        let mut rp = FieldVec::zeros(mesh.nverts(), ncomp, FieldLayout::Interlaced);
+                        let mut wp = disc.workspace();
+                        disc.residual_par(&q, &mut rp, &mut wp, &ctx);
+                        for (a, b) in rs.as_slice().iter().zip(rp.as_slice()) {
+                            assert!(
+                                (a - b).abs() <= 1e-12 * (1.0 + a.abs()),
+                                "{model:?} {order:?} mu={mu} nthreads={nthreads}: {a} vs {b}"
+                            );
+                        }
+                    }
                 }
             }
         }

@@ -19,6 +19,9 @@ pub struct GateConfig {
     pub reps: Option<usize>,
     /// Override every entry's mesh scale.
     pub scale: Option<f64>,
+    /// Override the thread-team size for every entry (`--threads`); `None`
+    /// keeps each run's `BenchArgs` default (`FUN3D_THREADS` or 1).
+    pub threads: Option<usize>,
     /// Comparison tolerances.
     pub tol: Tolerance,
     /// Show per-experiment tables and commentary while running.
@@ -37,6 +40,7 @@ impl Default for GateConfig {
             suite: "quick".into(),
             reps: None,
             scale: None,
+            threads: None,
             tol: Tolerance::default(),
             verbose: false,
             calibrate_n: 2 * 1024 * 1024,
@@ -280,12 +284,14 @@ pub fn run_suite(cfg: &GateConfig, baseline: Option<&Baseline>) -> Result<SuiteO
     let mut outcomes = Vec::new();
     for entry in entries {
         let exp = runners::find(entry.name).expect("suites only reference registered names");
+        let defaults = BenchArgs::defaults(entry.scale);
         let args = BenchArgs {
             scale: cfg.scale.unwrap_or(entry.scale),
             steps: entry.steps,
             reps: cfg.reps.unwrap_or(entry.reps),
             quiet: !cfg.verbose,
-            ..BenchArgs::defaults(entry.scale)
+            threads: cfg.threads.unwrap_or(defaults.threads),
+            ..defaults
         };
         let run = run_experiment(exp.as_ref(), &args, entry.warmup);
         if let Some(dir) = &cfg.events_dir {

@@ -269,6 +269,15 @@ pub fn render_diff(a: &LoadedRun, b: &LoadedRun, tol: &Tolerance) -> DiffOutcome
         "# fun3d-report diff: {} (A) vs {} (B)\n\n",
         a.path, b.path
     ));
+    // Label threaded runs so a cross-thread-count diff is legible at a
+    // glance (nthreads comes from the shared --threads/FUN3D_THREADS flag).
+    if a.report.meta("nthreads").is_some() || b.report.meta("nthreads").is_some() {
+        out.push_str(&format!(
+            "threads: A={} B={}\n\n",
+            a.report.meta("nthreads").unwrap_or("1"),
+            b.report.meta("nthreads").unwrap_or("1"),
+        ));
+    }
     let rows: Vec<Vec<String>> = comparisons
         .iter()
         .map(|c| {

@@ -9,7 +9,8 @@
 
 use crate::op::LinearOperator;
 use crate::precond::Preconditioner;
-use fun3d_sparse::vec_ops::{axpy, norm2};
+use fun3d_sparse::par::ParCtx;
+use fun3d_sparse::vec_ops::{axpy_par, dot_par, norm2_par};
 use fun3d_telemetry::events::{EventRecord, EventSink};
 use fun3d_telemetry::Registry;
 
@@ -24,6 +25,11 @@ pub struct GmresOptions {
     pub atol: f64,
     /// Overall iteration (matvec) limit.
     pub max_iters: usize,
+    /// Thread context for the BLAS-1 kernels inside the Arnoldi loop
+    /// (dots, norms, axpys).  Sequential by default; reductions are ordered
+    /// sums of per-thread partials, so results are deterministic for a
+    /// fixed team size.
+    pub par: ParCtx,
 }
 
 impl Default for GmresOptions {
@@ -33,6 +39,7 @@ impl Default for GmresOptions {
             rtol: 1e-2,
             atol: 1e-50,
             max_iters: 200,
+            par: ParCtx::seq(),
         }
     }
 }
@@ -97,7 +104,8 @@ pub fn gmres_with_events<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>
     assert_eq!(x.len(), n);
     assert!(opts.restart >= 1);
     let restart = opts.restart;
-    let norm_b = norm2(b);
+    let par = &opts.par;
+    let norm_b = norm2_par(b, par);
     let target = (opts.rtol * norm_b).max(opts.atol);
 
     let mut total_iters = 0usize;
@@ -122,7 +130,7 @@ pub fn gmres_with_events<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>
         for (ri, bi) in r.iter_mut().zip(b) {
             *ri = bi - *ri;
         }
-        let beta = norm2(&r);
+        let beta = norm2_par(&r, par);
         if beta <= target || total_iters >= opts.max_iters {
             return GmresResult {
                 iterations: total_iters,
@@ -156,11 +164,11 @@ pub fn gmres_with_events<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>
             let _orth = tel.span("orth");
             let mut hj = vec![0.0f64; j + 2];
             for (i, vi) in v.iter().enumerate().take(j + 1) {
-                let hij = fun3d_sparse::vec_ops::dot(&w, vi);
+                let hij = dot_par(&w, vi, par);
                 hj[i] = hij;
-                axpy(-hij, vi, &mut w);
+                axpy_par(-hij, vi, &mut w, par);
             }
-            let wnorm = norm2(&w);
+            let wnorm = norm2_par(&w, par);
             hj[j + 1] = wnorm;
             // Apply existing Givens rotations to the new column.
             for i in 0..j {
@@ -217,13 +225,13 @@ pub fn gmres_with_events<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>
         // x += M^{-1} (V y).
         let mut update = vec![0.0; n];
         for (l, yl) in y.iter().enumerate() {
-            axpy(*yl, &v[l], &mut update);
+            axpy_par(*yl, &v[l], &mut update, par);
         }
         {
             let _g = tel.span("precond");
             m.apply(&update, &mut z);
         }
-        axpy(1.0, &z, x);
+        axpy_par(1.0, &z, x, par);
         // Loop back: recompute the true residual and re-test.
     }
 }
@@ -236,6 +244,7 @@ mod tests {
     use fun3d_sparse::csr::CsrMatrix;
     use fun3d_sparse::ilu::{IluFactors, IluOptions};
     use fun3d_sparse::triplet::TripletMatrix;
+    use fun3d_sparse::vec_ops::norm2;
     use rand::{rngs::SmallRng, Rng, SeedableRng};
 
     fn laplacian_2d(nx: usize) -> CsrMatrix {
@@ -486,6 +495,44 @@ mod tests {
         }
         assert!(norms.last().unwrap() < &(1e-6 * norm2(&b) * 1.01));
         assert!(norms.first().unwrap() > norms.last().unwrap());
+    }
+
+    #[test]
+    fn threaded_solve_matches_sequential() {
+        // Threaded matvecs and axpys are bitwise sequential; the dots are
+        // ordered partial sums, so the whole Arnoldi process — and therefore
+        // the iterate sequence — stays reproducible and lands on the same
+        // solution to rounding.
+        use fun3d_sparse::par::ParCtx;
+        let a = laplacian_2d(14);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 11) as f64 * 0.4).sin()).collect();
+        let base = GmresOptions {
+            restart: 25,
+            rtol: 1e-9,
+            max_iters: 3000,
+            ..Default::default()
+        };
+        let mut xs = vec![0.0; n];
+        let rs = gmres(&CsrOperator::new(&a), &IdentityPrecond, &b, &mut xs, &base);
+        assert!(rs.converged);
+        for nthreads in [2usize, 3, 8] {
+            let par = ParCtx::new(nthreads);
+            let opts = GmresOptions { par, ..base };
+            let mut xp = vec![0.0; n];
+            let rp = gmres(
+                &CsrOperator::with_par(&a, par),
+                &IdentityPrecond,
+                &b,
+                &mut xp,
+                &opts,
+            );
+            assert!(rp.converged, "nthreads={nthreads}: {rp:?}");
+            assert_eq!(rp.iterations, rs.iterations, "nthreads={nthreads}");
+            for (u, v) in xp.iter().zip(&xs) {
+                assert!((u - v).abs() < 1e-10, "nthreads={nthreads}: {u} vs {v}");
+            }
+        }
     }
 
     #[test]

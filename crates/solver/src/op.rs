@@ -1,6 +1,7 @@
 //! Operator and problem abstractions for the solver stack.
 
 use fun3d_sparse::csr::CsrMatrix;
+use fun3d_sparse::par::ParCtx;
 
 /// A linear operator `y = A x`.
 pub trait LinearOperator {
@@ -13,13 +14,20 @@ pub trait LinearOperator {
 /// A CSR matrix as an operator.
 pub struct CsrOperator<'a> {
     a: &'a CsrMatrix,
+    par: ParCtx,
 }
 
 impl<'a> CsrOperator<'a> {
-    /// Wrap a square CSR matrix.
+    /// Wrap a square CSR matrix (sequential matvec).
     pub fn new(a: &'a CsrMatrix) -> Self {
+        Self::with_par(a, ParCtx::seq())
+    }
+
+    /// Wrap a square CSR matrix, applying it with the given thread context
+    /// (row-block-parallel matvec; bitwise identical to sequential).
+    pub fn with_par(a: &'a CsrMatrix, par: ParCtx) -> Self {
         assert_eq!(a.nrows(), a.ncols());
-        Self { a }
+        Self { a, par }
     }
 }
 
@@ -29,7 +37,7 @@ impl LinearOperator for CsrOperator<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.a.spmv(x, y);
+        self.a.spmv_par(x, y, &self.par);
     }
 }
 

@@ -11,6 +11,7 @@ use fun3d_sparse::bcsr::BcsrMatrix;
 use fun3d_sparse::block_ilu::BlockIluFactors;
 use fun3d_sparse::csr::CsrMatrix;
 use fun3d_sparse::ilu::{IluError, IluFactors, IluOptions};
+use fun3d_sparse::par::ParCtx;
 
 /// Application of an approximate inverse: `z ~ A^{-1} r`.
 pub trait Preconditioner {
@@ -30,19 +31,28 @@ impl Preconditioner for IdentityPrecond {
 /// Global ILU(k) — the single-subdomain limit.
 pub struct IluPrecond {
     factors: IluFactors,
+    par: ParCtx,
 }
 
 impl IluPrecond {
     /// Wrap existing factors.
     pub fn new(factors: IluFactors) -> Self {
-        Self { factors }
+        Self {
+            factors,
+            par: ParCtx::seq(),
+        }
     }
 
     /// Factor `a` with the given options.
     pub fn factor(a: &CsrMatrix, opts: &IluOptions) -> Result<Self, IluError> {
-        Ok(Self {
-            factors: IluFactors::factor(a, opts)?,
-        })
+        Ok(Self::new(IluFactors::factor(a, opts)?))
+    }
+
+    /// Apply with level-scheduled parallel triangular solves on this team
+    /// (bitwise identical to the sequential sweep).
+    pub fn with_par(mut self, par: ParCtx) -> Self {
+        self.par = par;
+        self
     }
 
     /// The underlying factors.
@@ -53,7 +63,7 @@ impl IluPrecond {
 
 impl Preconditioner for IluPrecond {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        self.factors.solve(r, z);
+        self.factors.solve_par(r, z, &self.par);
     }
 }
 
@@ -61,20 +71,29 @@ impl Preconditioner for IluPrecond {
 /// PETSc-FUN3D applies when structural blocking is active.
 pub struct BlockIluPrecond {
     factors: BlockIluFactors,
+    par: ParCtx,
 }
 
 impl BlockIluPrecond {
     /// Factor the BCSR form of `a` with block size `b`.
     pub fn factor(a: &CsrMatrix, b: usize) -> Result<Self, IluError> {
         let ab = BcsrMatrix::from_csr(a, b);
-        Ok(Self {
-            factors: BlockIluFactors::factor(&ab)?,
-        })
+        Ok(Self::new(BlockIluFactors::factor(&ab)?))
     }
 
     /// Wrap existing factors.
     pub fn new(factors: BlockIluFactors) -> Self {
-        Self { factors }
+        Self {
+            factors,
+            par: ParCtx::seq(),
+        }
+    }
+
+    /// Apply with level-scheduled parallel triangular solves on this team
+    /// (bitwise identical to the sequential sweep).
+    pub fn with_par(mut self, par: ParCtx) -> Self {
+        self.par = par;
+        self
     }
 
     /// The underlying factors.
@@ -85,7 +104,7 @@ impl BlockIluPrecond {
 
 impl Preconditioner for BlockIluPrecond {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        self.factors.solve(r, z);
+        self.factors.solve_par(r, z, &self.par);
     }
 }
 

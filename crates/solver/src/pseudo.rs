@@ -236,6 +236,7 @@ impl SolveHistory {
 /// BCSR matvec operator for the structural-blocking variant.
 struct BcsrOperator<'a> {
     a: &'a BcsrMatrix,
+    par: fun3d_sparse::par::ParCtx,
 }
 
 impl crate::op::LinearOperator for BcsrOperator<'_> {
@@ -244,7 +245,7 @@ impl crate::op::LinearOperator for BcsrOperator<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.a.spmv(x, y);
+        self.a.spmv_par(x, y, &self.par);
     }
 }
 
@@ -376,10 +377,14 @@ pub fn solve_pseudo_transient_with_events<P: PseudoTransientProblem>(
         if pc_age >= opts.pc_refresh.max(1) {
             pc_cache = Some(match &opts.precond {
                 PrecondSpec::Ilu(ilu) => BuiltPrecond::Ilu(
-                    IluPrecond::factor(&jac, ilu).expect("ILU factorization failed"),
+                    IluPrecond::factor(&jac, ilu)
+                        .expect("ILU factorization failed")
+                        .with_par(opts.krylov.par),
                 ),
                 PrecondSpec::BlockIlu { block } => BuiltPrecond::BlockIlu(
-                    BlockIluPrecond::factor(&jac, *block).expect("block ILU factorization failed"),
+                    BlockIluPrecond::factor(&jac, *block)
+                        .expect("block ILU factorization failed")
+                        .with_par(opts.krylov.par),
                 ),
                 PrecondSpec::Schwarz {
                     owned_sets,
@@ -431,10 +436,11 @@ pub fn solve_pseudo_transient_with_events<P: PseudoTransientProblem>(
             }
             let op = BcsrOperator {
                 a: bcsr_cache.as_ref().unwrap(),
+                par: krylov.par,
             };
             gmres_with_events(&op, pc, &rhs, &mut delta, &krylov, tel, events, nstep)
         } else {
-            let op = CsrOperator::new(&jac);
+            let op = CsrOperator::with_par(&jac, krylov.par);
             gmres_with_events(&op, pc, &rhs, &mut delta, &krylov, tel, events, nstep)
         };
         drop(krylov_span);

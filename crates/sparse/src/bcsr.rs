@@ -9,6 +9,8 @@
 //! Blocking" column measures.
 
 use crate::csr::CsrMatrix;
+use crate::par::ParCtx;
+use std::ops::Range;
 
 /// A square-blocked sparse matrix with dense `b x b` blocks in row-major
 /// order within each block.
@@ -238,19 +240,40 @@ impl BcsrMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols(), "spmv x length mismatch");
         assert_eq!(y.len(), self.nrows(), "spmv y length mismatch");
+        self.spmv_rows(x, 0..self.nbrows, y);
+    }
+
+    /// Block-row-partitioned parallel [`spmv`](Self::spmv): each thread
+    /// computes its contiguous chunk of block rows into the matching
+    /// disjoint `b`-aligned slice of `y`.  Block rows are independent, so
+    /// the result is bitwise identical to the sequential kernel for any
+    /// thread count.
+    pub fn spmv_par(&self, x: &[f64], y: &mut [f64], ctx: &ParCtx) {
+        assert_eq!(x.len(), self.ncols(), "spmv x length mismatch");
+        assert_eq!(y.len(), self.nrows(), "spmv y length mismatch");
+        if ctx.nthreads() == 1 {
+            return self.spmv(x, y);
+        }
+        ctx.parallel_for_slices(y, self.b, |_, brows, ysub| self.spmv_rows(x, brows, ysub));
+    }
+
+    /// Compute block rows `brows` into `y`, which holds exactly those rows
+    /// (`y[0]` is point row `brows.start * b`).
+    fn spmv_rows(&self, x: &[f64], brows: Range<usize>, y: &mut [f64]) {
         match self.b {
-            4 => self.spmv_b::<4>(x, y),
-            5 => self.spmv_b::<5>(x, y),
-            3 => self.spmv_b::<3>(x, y),
-            2 => self.spmv_b::<2>(x, y),
-            1 => self.spmv_b::<1>(x, y),
-            _ => self.spmv_generic(x, y),
+            4 => self.spmv_rows_b::<4>(x, brows, y),
+            5 => self.spmv_rows_b::<5>(x, brows, y),
+            3 => self.spmv_rows_b::<3>(x, brows, y),
+            2 => self.spmv_rows_b::<2>(x, brows, y),
+            1 => self.spmv_rows_b::<1>(x, brows, y),
+            _ => self.spmv_rows_generic(x, brows, y),
         }
     }
 
-    fn spmv_b<const B: usize>(&self, x: &[f64], y: &mut [f64]) {
+    fn spmv_rows_b<const B: usize>(&self, x: &[f64], brows: Range<usize>, y: &mut [f64]) {
         debug_assert_eq!(self.b, B);
-        for bi in 0..self.nbrows {
+        let base = brows.start;
+        for bi in brows {
             let mut acc = [0.0f64; B];
             for k in self.row_ptr[bi]..self.row_ptr[bi + 1] {
                 let bc = self.col_idx[k] as usize;
@@ -264,22 +287,22 @@ impl BcsrMatrix {
                     acc[r] = s;
                 }
             }
-            y[bi * B..bi * B + B].copy_from_slice(&acc);
+            let o = (bi - base) * B;
+            y[o..o + B].copy_from_slice(&acc);
         }
     }
 
-    fn spmv_generic(&self, x: &[f64], y: &mut [f64]) {
+    fn spmv_rows_generic(&self, x: &[f64], brows: Range<usize>, y: &mut [f64]) {
         let b = self.b;
         let bb = b * b;
-        for yi in y.iter_mut() {
-            *yi = 0.0;
-        }
-        for bi in 0..self.nbrows {
+        let base = brows.start;
+        for bi in brows {
+            let ys = &mut y[(bi - base) * b..(bi - base + 1) * b];
+            ys.fill(0.0);
             for k in self.row_ptr[bi]..self.row_ptr[bi + 1] {
                 let bc = self.col_idx[k] as usize;
                 let xs = &x[bc * b..(bc + 1) * b];
                 let blk = &self.values[k * bb..(k + 1) * bb];
-                let ys = &mut y[bi * b..(bi + 1) * b];
                 for r in 0..b {
                     let mut s = ys[r];
                     for c in 0..b {

@@ -147,6 +147,28 @@ impl CsrMatrix {
         }
     }
 
+    /// Row-partitioned parallel [`spmv`](Self::spmv): each thread computes
+    /// the rows of its contiguous chunk into the matching disjoint slice of
+    /// `y`.  Every `y[i]` is the same left-to-right row sum as the
+    /// sequential kernel, so the result is bitwise identical for any thread
+    /// count.
+    pub fn spmv_par(&self, x: &[f64], y: &mut [f64], ctx: &crate::par::ParCtx) {
+        assert_eq!(x.len(), self.ncols, "spmv x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv y length mismatch");
+        if ctx.nthreads() == 1 {
+            return self.spmv(x, y);
+        }
+        ctx.parallel_for_slices(y, 1, |_, rows, ysub| {
+            for (yi, i) in ysub.iter_mut().zip(rows) {
+                let mut sum = 0.0;
+                for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                    sum += self.values[k] * x[self.col_idx[k] as usize];
+                }
+                *yi = sum;
+            }
+        });
+    }
+
     /// `y <- y + A x`.
     pub fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "spmv x length mismatch");

@@ -19,6 +19,9 @@
 //!   the block preconditioners.
 //! * [`vec_ops`] — the BLAS-1 style vector kernels (dot, axpy, norms) that the
 //!   Krylov solvers are built from.
+//! * [`par`] — the shared-memory execution context ([`par::ParCtx`]) behind
+//!   the `_par` variants of the hot kernels (SpMV, BLAS-1, level-scheduled
+//!   triangular solves), mirroring the paper's SMP worksharing experiments.
 //!
 //! All kernels are written so that their memory reference streams mirror the
 //! Fortran/C kernels discussed in the paper; the `fun3d-memmodel` crate
@@ -30,6 +33,7 @@ pub mod csr;
 pub mod dense;
 pub mod ilu;
 pub mod layout;
+pub mod par;
 pub mod triplet;
 pub mod vec_ops;
 
@@ -37,4 +41,5 @@ pub use bcsr::BcsrMatrix;
 pub use block_ilu::BlockIluFactors;
 pub use csr::CsrMatrix;
 pub use ilu::{IluFactors, IluOptions, PrecStorage};
+pub use par::ParCtx;
 pub use triplet::TripletMatrix;

@@ -4,6 +4,14 @@
 //! mirroring the PETSc `Vec` operations the paper's code used.  They are kept
 //! free of allocation so that the memory traffic of a GMRES iteration is
 //! exactly the traffic of these loops plus the SpMV / triangular solves.
+//!
+//! The `_par` variants partition the vectors across a [`ParCtx`] thread
+//! team.  Elementwise updates are bitwise identical to the sequential
+//! kernels; the reductions (`dot_par`/`norm2_par`) combine per-thread
+//! partial sums in thread order, so they are deterministic for a fixed
+//! thread count and agree with the sequential result to rounding.
+
+use crate::par::ParCtx;
 
 /// `y <- alpha * x + y`.
 ///
@@ -60,6 +68,55 @@ pub fn norm_inf(x: &[f64]) -> f64 {
 /// Copy `x` into `y`.
 pub fn copy(x: &[f64], y: &mut [f64]) {
     y.copy_from_slice(x);
+}
+
+/// Parallel [`axpy`]: each thread updates its contiguous chunk of `y`.
+/// Elementwise, so bitwise identical to the sequential kernel.
+pub fn axpy_par(alpha: f64, x: &[f64], y: &mut [f64], ctx: &ParCtx) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    if ctx.nthreads() == 1 {
+        return axpy(alpha, x, y);
+    }
+    ctx.parallel_for_slices(y, 1, |_, r, ysub| axpy(alpha, &x[r], ysub));
+}
+
+/// Parallel [`axpby`] (elementwise; bitwise identical to sequential).
+pub fn axpby_par(alpha: f64, x: &[f64], beta: f64, y: &mut [f64], ctx: &ParCtx) {
+    assert_eq!(x.len(), y.len(), "axpby length mismatch");
+    if ctx.nthreads() == 1 {
+        return axpby(alpha, x, beta, y);
+    }
+    ctx.parallel_for_slices(y, 1, |_, r, ysub| axpby(alpha, &x[r], beta, ysub));
+}
+
+/// Parallel [`waxpby`] (elementwise; bitwise identical to sequential).
+pub fn waxpby_par(alpha: f64, x: &[f64], beta: f64, y: &[f64], w: &mut [f64], ctx: &ParCtx) {
+    assert_eq!(x.len(), w.len(), "waxpby length mismatch");
+    assert_eq!(y.len(), w.len(), "waxpby length mismatch");
+    if ctx.nthreads() == 1 {
+        return waxpby(alpha, x, beta, y, w);
+    }
+    ctx.parallel_for_slices(w, 1, |_, r, wsub| {
+        waxpby(alpha, &x[r.clone()], beta, &y[r], wsub)
+    });
+}
+
+/// Parallel [`dot`]: per-thread partial sums over the chunk partition,
+/// reduced in ascending thread order.  Deterministic for a fixed thread
+/// count; matches the sequential `dot` to rounding (not bitwise).
+pub fn dot_par(x: &[f64], y: &[f64], ctx: &ParCtx) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    if ctx.nthreads() == 1 {
+        return dot(x, y);
+    }
+    ctx.map_chunks(x.len(), |_, r| dot(&x[r.clone()], &y[r]))
+        .iter()
+        .sum()
+}
+
+/// Parallel [`norm2`] built on [`dot_par`]'s ordered reduction.
+pub fn norm2_par(x: &[f64], ctx: &ParCtx) -> f64 {
+    dot_par(x, x, ctx).sqrt()
 }
 
 /// Set every entry of `x` to `v`.

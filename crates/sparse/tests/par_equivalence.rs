@@ -1,0 +1,225 @@
+//! Threaded-vs-sequential equivalence for the `_par` kernels.
+//!
+//! Property tests over random shapes — including empty rows, `nthreads >
+//! nrows`, and one thread — plus deterministic large cases that cross the
+//! spawn threshold so the actually-threaded code paths run under the test
+//! harness (and under `cargo miri`/TSan if ever enabled).
+
+use fun3d_sparse::bcsr::BcsrMatrix;
+use fun3d_sparse::block_ilu::BlockIluFactors;
+use fun3d_sparse::ilu::{IluFactors, IluOptions};
+use fun3d_sparse::par::ParCtx;
+use fun3d_sparse::triplet::TripletMatrix;
+use fun3d_sparse::{vec_ops, CsrMatrix};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+/// A random square matrix that may have completely empty rows.
+fn sparse_from_entries(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut t = TripletMatrix::new(n, n);
+    for &(i, j, v) in entries {
+        if i < n && j < n {
+            t.push(i, j, v);
+        }
+    }
+    t.to_csr()
+}
+
+/// A diagonally dominant matrix (factorizable) with a few couplings per row.
+fn dd_from_entries(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut t = TripletMatrix::new(n, n);
+    let mut rowsum = vec![0.0f64; n];
+    for &(i, j, v) in entries {
+        if i < n && j < n && i != j {
+            t.push(i, j, v);
+            rowsum[i] += v.abs();
+        }
+    }
+    for (i, s) in rowsum.iter().enumerate() {
+        t.push(i, i, s + 1.0);
+    }
+    t.to_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn csr_spmv_par_matches_sequential(
+        n in 1usize..80,
+        entries in proptest::collection::vec((0usize..80, 0usize..80, -1.0f64..1.0), 0..250),
+    ) {
+        let a = sparse_from_entries(n, &entries);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 29) as f64) / 7.0 - 2.0).collect();
+        let mut ys = vec![0.0; n];
+        a.spmv(&x, &mut ys);
+        for nthreads in THREAD_COUNTS {
+            let mut yp = vec![f64::NAN; n];
+            a.spmv_par(&x, &mut yp, &ParCtx::new(nthreads));
+            // Row sums are computed identically: bitwise equal.
+            prop_assert_eq!(&ys, &yp, "nthreads={}", nthreads);
+        }
+    }
+
+    #[test]
+    fn bcsr_spmv_par_matches_sequential(
+        nb in 1usize..16,
+        b in 1usize..7,
+        entries in proptest::collection::vec((0usize..16, 0usize..16, -1.0f64..1.0), 0..80),
+    ) {
+        let mut t = TripletMatrix::new(nb * b, nb * b);
+        for &(bi, bj, v) in &entries {
+            if bi < nb && bj < nb {
+                let blk: Vec<f64> = (0..b * b).map(|q| v + q as f64 * 0.01).collect();
+                t.push_block(bi, bj, b, &blk);
+            }
+        }
+        let a = t.to_csr();
+        let ab = BcsrMatrix::from_csr(&a, b);
+        let x: Vec<f64> = (0..nb * b).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut ys = vec![0.0; nb * b];
+        ab.spmv(&x, &mut ys);
+        for nthreads in THREAD_COUNTS {
+            let mut yp = vec![f64::NAN; nb * b];
+            ab.spmv_par(&x, &mut yp, &ParCtx::new(nthreads));
+            prop_assert_eq!(&ys, &yp, "b={} nthreads={}", b, nthreads);
+        }
+    }
+
+    #[test]
+    fn vec_ops_par_match_sequential(
+        x in proptest::collection::vec(-10.0f64..10.0, 1..200),
+        alpha in -3.0f64..3.0,
+        beta in -3.0f64..3.0,
+    ) {
+        let n = x.len();
+        let y: Vec<f64> = x.iter().map(|v| v * 0.5 - 1.0).collect();
+        for nthreads in THREAD_COUNTS {
+            let ctx = ParCtx::new(nthreads);
+            // Elementwise ops: bitwise identical.
+            let mut ys = y.clone();
+            let mut yp = y.clone();
+            vec_ops::axpy(alpha, &x, &mut ys);
+            vec_ops::axpy_par(alpha, &x, &mut yp, &ctx);
+            prop_assert_eq!(&ys, &yp);
+            vec_ops::axpby(alpha, &x, beta, &mut ys);
+            vec_ops::axpby_par(alpha, &x, beta, &mut yp, &ctx);
+            prop_assert_eq!(&ys, &yp);
+            let mut ws = vec![0.0; n];
+            let mut wp = vec![0.0; n];
+            vec_ops::waxpby(alpha, &x, beta, &y, &mut ws);
+            vec_ops::waxpby_par(alpha, &x, beta, &y, &mut wp, &ctx);
+            prop_assert_eq!(&ws, &wp);
+            // Reductions: within rounding of sequential, and exactly the
+            // ordered sum of the per-chunk partials (determinism contract).
+            let ds = vec_ops::dot(&x, &y);
+            let dp = vec_ops::dot_par(&x, &y, &ctx);
+            prop_assert!((ds - dp).abs() <= 1e-12 * (1.0 + ds.abs()));
+            if nthreads > 1 {
+                let ordered: f64 = (0..nthreads)
+                    .map(|t| {
+                        let r = ctx.chunk(n, t);
+                        vec_ops::dot(&x[r.clone()], &y[r])
+                    })
+                    .sum();
+                prop_assert_eq!(dp, ordered);
+            }
+            let np = vec_ops::norm2_par(&x, &ctx);
+            prop_assert!((vec_ops::norm2(&x) - np).abs() <= 1e-12 * (1.0 + np));
+        }
+    }
+
+    #[test]
+    fn ilu_solve_par_matches_sequential(
+        n in 1usize..60,
+        fill in 0usize..2,
+        entries in proptest::collection::vec((0usize..60, 0usize..60, -1.0f64..1.0), 0..150),
+    ) {
+        let a = dd_from_entries(n, &entries);
+        let f = IluFactors::factor(&a, &IluOptions::with_fill(fill)).unwrap();
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).cos()).collect();
+        let mut xs = vec![0.0; n];
+        f.solve(&rhs, &mut xs);
+        for nthreads in THREAD_COUNTS {
+            let mut xp = vec![0.0; n];
+            f.solve_par(&rhs, &mut xp, &ParCtx::new(nthreads));
+            prop_assert_eq!(&xs, &xp, "fill={} nthreads={}", fill, nthreads);
+        }
+    }
+}
+
+#[test]
+fn large_kernels_cross_the_spawn_threshold() {
+    // Big enough that the helpers actually fork worker threads; everything
+    // above ran on the inline fallback with identical chunking.
+    let n = 9000usize;
+    let mut t = TripletMatrix::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 4.0);
+        if i > 0 {
+            t.push(i, i - 1, -1.0);
+        }
+        if i + 1 < n {
+            t.push(i, i + 1, -1.0);
+        }
+        t.push(i, (i * 7919) % n, 0.25);
+    }
+    let a = t.to_csr();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let ctx = ParCtx::new(4);
+
+    let mut ys = vec![0.0; n];
+    let mut yp = vec![0.0; n];
+    a.spmv(&x, &mut ys);
+    a.spmv_par(&x, &mut yp, &ctx);
+    assert_eq!(ys, yp, "threaded CSR SpMV");
+
+    let b = 2usize;
+    let ab = BcsrMatrix::from_csr(&a, b);
+    ab.spmv(&x, &mut ys);
+    ab.spmv_par(&x, &mut yp, &ctx);
+    assert_eq!(ys, yp, "threaded BCSR SpMV");
+
+    let ds = vec_ops::dot(&x, &ys);
+    let dp = vec_ops::dot_par(&x, &ys, &ctx);
+    assert!((ds - dp).abs() <= 1e-12 * ds.abs().max(1.0), "{ds} vs {dp}");
+
+    let mut w = x.clone();
+    let mut wp = x.clone();
+    vec_ops::axpy(0.3, &ys, &mut w);
+    vec_ops::axpy_par(0.3, &ys, &mut wp, &ctx);
+    assert_eq!(w, wp, "threaded axpy");
+}
+
+#[test]
+fn block_ilu_solve_par_with_wide_levels() {
+    // A block matrix whose rows mostly depend on one hub row: nearly all
+    // block rows land in one wide level, so the level sweep actually
+    // partitions work across threads.
+    let b = 3usize;
+    let nb = 50usize;
+    let mut t = TripletMatrix::new(nb * b, nb * b);
+    let diag: Vec<f64> = (0..b * b)
+        .map(|q| if q % (b + 1) == 0 { 5.0 } else { 0.2 })
+        .collect();
+    let off: Vec<f64> = (0..b * b).map(|q| 0.1 + (q as f64) * 0.01).collect();
+    for i in 0..nb {
+        t.push_block(i, i, b, &diag);
+        if i > 0 {
+            t.push_block(i, 0, b, &off);
+            t.push_block(0, i, b, &off);
+        }
+    }
+    let ab = BcsrMatrix::from_csr(&t.to_csr(), b);
+    let f = BlockIluFactors::factor(&ab).unwrap();
+    assert_eq!(f.level_counts(), (2, 2));
+    let rhs: Vec<f64> = (0..nb * b).map(|i| (i as f64 * 0.23).sin()).collect();
+    let mut xs = vec![0.0; nb * b];
+    f.solve(&rhs, &mut xs);
+    for nthreads in [2usize, 5, 100] {
+        let mut xp = vec![0.0; nb * b];
+        f.solve_par(&rhs, &mut xp, &ParCtx::new(nthreads));
+        assert_eq!(xs, xp, "nthreads={nthreads}");
+    }
+}
