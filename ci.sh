@@ -55,4 +55,38 @@ grep -q '"nthreads":"2"' "$smoke_dir/runs-t2/table1.json"
     "$smoke_dir/runs-t2/table1.json" > "$smoke_dir/diff-t2.log"
 grep -q "regressions: 0" "$smoke_dir/diff-t2.log"
 
+# Profiling leg: the smoke suite with per-thread region profiling on at 2
+# threads.  The spmv run must emit ParRegion events, achieved-bandwidth
+# (gbps) metrics, and a renderable `fun3d-report profile` view with both
+# the imbalance and roofline tables.
+./target/release/fun3d-bench run --suite smoke --threads 2 --profile \
+    --events-dir "$smoke_dir/runs-prof" > "$smoke_dir/gate-prof.log"
+grep -q "overall:" "$smoke_dir/gate-prof.log"
+grep -q '"ev":"par_region"' "$smoke_dir/runs-prof/spmv.events.jsonl"
+grep -q 'gbps' "$smoke_dir/runs-prof/spmv.json"
+grep -q '"par/spmv_csr"' "$smoke_dir/runs-prof/spmv.json"
+./target/release/fun3d-report profile "$smoke_dir/runs-prof/spmv.json" \
+    > "$smoke_dir/profile.log"
+grep -q "load imbalance (Table 3)" "$smoke_dir/profile.log"
+grep -q "Achieved bandwidth (Table 2)" "$smoke_dir/profile.log"
+grep -q "spmv_csr" "$smoke_dir/profile.log"
+# `show` must fold the imbalance summary in; pre-profile reports (earlier
+# legs wrote them without --profile) must still render without it.
+./target/release/fun3d-report show "$smoke_dir/runs-prof/spmv.json" > "$smoke_dir/show-prof.log"
+grep -q "Parallel regions (2 threads)" "$smoke_dir/show-prof.log"
+! grep -q "Parallel regions" "$smoke_dir/show.log"
+
+# Profiling overhead on the standalone spmv bin must stay under 5% (median
+# CSR time, profiling off vs on).  One retry damps scheduler noise.
+check_overhead() {
+    t_off=$(./target/release/spmv --scale 0.2 --threads 2 --quiet \
+        --json "$smoke_dir/spmv-off.json" > /dev/null \
+        && grep -o '"time_csr_s":[0-9.e-]*' "$smoke_dir/spmv-off.json" | cut -d: -f2)
+    t_on=$(./target/release/spmv --scale 0.2 --threads 2 --quiet --profile \
+        --json "$smoke_dir/spmv-on.json" > /dev/null \
+        && grep -o '"time_csr_s":[0-9.e-]*' "$smoke_dir/spmv-on.json" | cut -d: -f2)
+    awk -v off="$t_off" -v on="$t_on" 'BEGIN { exit !(on <= off * 1.05) }'
+}
+check_overhead || { echo "ci: profiling overhead check retrying"; check_overhead; }
+
 echo "ci: all checks passed"

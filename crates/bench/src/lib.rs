@@ -20,9 +20,10 @@ use fun3d_mesh::generator::{BumpChannelSpec, MeshFamily};
 use fun3d_mesh::tet::TetMesh;
 use fun3d_sparse::csr::CsrMatrix;
 use fun3d_sparse::layout::FieldLayout;
-use fun3d_telemetry::events::EventStream;
+use fun3d_sparse::profile::RegionStats;
+use fun3d_telemetry::events::{EventRecord, EventStream};
 use fun3d_telemetry::report::PerfReport;
-use fun3d_telemetry::Snapshot;
+use fun3d_telemetry::{Registry, Snapshot};
 
 /// Command-line options shared by the regenerators.
 #[derive(Debug, Clone, Default)]
@@ -50,6 +51,11 @@ pub struct BenchArgs {
     /// Thread-team size for the `_par` kernels (`--threads <n>`; defaults to
     /// `FUN3D_THREADS` or 1).
     pub threads: usize,
+    /// Record per-thread region profiles (`--profile`; defaults to the
+    /// `FUN3D_PROFILE` environment variable).  Runners that honor it wrap
+    /// their timed work in [`BenchArgs::profile_begin`] /
+    /// [`BenchArgs::profile_finish`].
+    pub profile: bool,
 }
 
 impl BenchArgs {
@@ -71,19 +77,25 @@ impl BenchArgs {
                 .and_then(|v| v.parse().ok())
                 .filter(|&n| n >= 1)
                 .unwrap_or(1),
+            profile: std::env::var("FUN3D_PROFILE")
+                .map(|v| {
+                    let v = v.trim().to_string();
+                    !v.is_empty() && v != "0"
+                })
+                .unwrap_or(false),
         }
     }
 
     /// Parse from `std::env::args`: `--scale <f>`, `--full`, `--steps <n>`,
     /// `--reps <n>`, `--suite <name>`, `--quiet`, `--json <path>`,
-    /// `--trace <path>`, `--events <path>`, `--threads <n>`.  Panics on
-    /// unknown flags.
+    /// `--trace <path>`, `--events <path>`, `--threads <n>`, `--profile`.
+    /// Panics on unknown flags.
     pub fn parse(default_scale: f64) -> Self {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let (out, rest) = Self::parse_known(default_scale, &argv);
         if let Some(other) = rest.first() {
             panic!(
-                "unknown argument: {other} (expected --scale/--full/--steps/--reps/--suite/--quiet/--json/--trace/--events/--threads)"
+                "unknown argument: {other} (expected --scale/--full/--steps/--reps/--suite/--quiet/--json/--trace/--events/--threads/--profile)"
             );
         }
         out
@@ -145,6 +157,7 @@ impl BenchArgs {
                         .parse()
                         .expect("--threads expects an integer");
                 }
+                "--profile" => out.profile = true,
                 other => rest.push(other.to_string()),
             }
             i += 1;
@@ -213,6 +226,76 @@ impl BenchArgs {
                 .write_jsonl(path)
                 .expect("writing --events stream failed");
             println!("wrote event stream to {path}");
+        }
+    }
+
+    /// When `--profile` is on, arm the global region profiler (enable and
+    /// clear it) ahead of the runner's timed work.  A no-op otherwise, so
+    /// profiling-off runs execute the exact PR-4 kernel paths.
+    pub fn profile_begin(&self) {
+        if self.profile {
+            fun3d_sparse::profile::set_enabled(true);
+            fun3d_sparse::profile::reset();
+        }
+    }
+
+    /// When `--profile` is on, drain the region profiler into `reg` and
+    /// `events`, then disarm it (so later runs in the same process start
+    /// clean).  Each region becomes a `par/{label}` span carrying the wall
+    /// time plus derived counters (`nthreads`, `busy_max_s`, `busy_mean_s`,
+    /// `join_wait_s`, `imbalance`, and per-thread `busy_t{t}_s`), and one
+    /// [`EventRecord::ParRegion`] per region is appended to `events`.
+    /// Returns the drained stats for runners that want to print them.
+    pub fn profile_finish(&self, reg: &Registry, events: &mut EventStream) -> Vec<RegionStats> {
+        if !self.profile {
+            return Vec::new();
+        }
+        let stats = fun3d_sparse::profile::drain();
+        fun3d_sparse::profile::set_enabled(false);
+        ingest_regions(reg, &stats);
+        for s in &stats {
+            events.records.push(EventRecord::ParRegion {
+                label: s.label.to_string(),
+                nthreads: s.nthreads as u64,
+                invocations: s.invocations,
+                wall_s: s.wall_s,
+                busy_max_s: s.busy_max_s(),
+                busy_mean_s: s.busy_mean_s(),
+                join_wait_s: s.join_wait_s(),
+                imbalance: s.imbalance(),
+            });
+        }
+        stats
+    }
+}
+
+/// Fold drained [`RegionStats`] into a telemetry registry as `par/{label}`
+/// spans with derived counters, the shape [`PerfReport::region_metrics`]
+/// reads back.  When the same label ran at several team sizes in one run
+/// (the `speedup` sweep does this), each team size gets its own
+/// `par/{label}@n{nthreads}` span so the derived stats never mix.
+pub fn ingest_regions(reg: &Registry, stats: &[RegionStats]) {
+    use fun3d_telemetry::TimeDomain;
+    for s in stats {
+        let multi = stats
+            .iter()
+            .filter(|o| o.label == s.label && o.nthreads != s.nthreads)
+            .count()
+            > 0;
+        let path = if multi {
+            format!("par/{}@n{}", s.label, s.nthreads)
+        } else {
+            format!("par/{}", s.label)
+        };
+        reg.record_span(&path, TimeDomain::Measured, s.wall_s, s.invocations);
+        let c = |name: &str, v: f64| reg.counter_at(&path, TimeDomain::Measured, name, v);
+        c("nthreads", s.nthreads as f64);
+        c("busy_max_s", s.busy_max_s());
+        c("busy_mean_s", s.busy_mean_s());
+        c("join_wait_s", s.join_wait_s());
+        c("imbalance", s.imbalance());
+        for (t, b) in s.busy_s.iter().enumerate() {
+            c(&format!("busy_t{t}_s"), *b);
         }
     }
 }

@@ -13,7 +13,9 @@
 //! the `_par` SpMV / BLAS-1 / triangular-solve variants take, so the Table 5
 //! experiment and the threaded solver hot path use identical chunk math.
 
-use fun3d_sparse::par::ParCtx;
+use fun3d_sparse::par::{DisjointSliceMut, ParCtx};
+use fun3d_sparse::profile;
+use std::time::Instant;
 
 /// A team of worker threads with static loop scheduling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +61,9 @@ impl ThreadTeam {
     where
         F: Fn(usize, std::ops::Range<usize>) + Sync,
     {
+        if profile::is_enabled() {
+            return self.parallel_for_profiled(n, f);
+        }
         if self.nthreads() == 1 {
             f(0, 0..n);
             return;
@@ -75,6 +80,45 @@ impl ThreadTeam {
         });
     }
 
+    /// [`Self::parallel_for`] recording wall + per-thread busy time under
+    /// the `team_for` region label — same chunks, same spawn decision.
+    fn parallel_for_profiled<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Sync,
+    {
+        let wall0 = Instant::now();
+        let mut busy = vec![0.0f64; self.nthreads()];
+        if self.nthreads() == 1 {
+            let b0 = Instant::now();
+            f(0, 0..n);
+            busy[0] = b0.elapsed().as_secs_f64();
+        } else {
+            let view = DisjointSliceMut::new(&mut busy);
+            std::thread::scope(|scope| {
+                for t in 0..self.nthreads() {
+                    let range = self.chunk(n, t);
+                    if range.is_empty() {
+                        continue;
+                    }
+                    let f = &f;
+                    let view = &view;
+                    scope.spawn(move || {
+                        let b0 = Instant::now();
+                        f(t, range);
+                        // SAFETY: each thread writes only its own slot `t`.
+                        unsafe { view.set(t, b0.elapsed().as_secs_f64()) };
+                    });
+                }
+            });
+        }
+        profile::record(
+            "team_for",
+            self.nthreads(),
+            wall0.elapsed().as_secs_f64(),
+            &busy,
+        );
+    }
+
     /// The private-array reduction of the paper: each thread accumulates
     /// into its own copy of the residual; afterwards the copies are summed
     /// into the shared array *in thread order* (a bandwidth-bound gather,
@@ -86,6 +130,9 @@ impl ThreadTeam {
     where
         F: Fn(usize, std::ops::Range<usize>, &mut [f64]) + Sync,
     {
+        let profiled = profile::is_enabled();
+        let wall0 = profiled.then(Instant::now);
+        let mut busy = vec![0.0f64; self.nthreads()];
         let width = result.len();
         let mut privates: Vec<(usize, Vec<f64>)> = (0..self.nthreads())
             .filter(|&t| !self.chunk(n, t).is_empty() || (n == 0 && t == 0))
@@ -93,15 +140,26 @@ impl ThreadTeam {
             .collect();
         if self.nthreads() == 1 {
             if let Some((t, private)) = privates.first_mut() {
+                let b0 = Instant::now();
                 body(*t, self.chunk(n, *t), private);
+                busy[0] = b0.elapsed().as_secs_f64();
             }
         } else {
+            let view = DisjointSliceMut::new(&mut busy);
             std::thread::scope(|scope| {
                 for (t, private) in privates.iter_mut() {
                     let range = self.chunk(n, *t);
                     let t = *t;
                     let body = &body;
-                    scope.spawn(move || body(t, range, private));
+                    let view = &view;
+                    scope.spawn(move || {
+                        let b0 = Instant::now();
+                        body(t, range, private);
+                        if profiled {
+                            // SAFETY: each thread writes only its own slot.
+                            unsafe { view.set(t, b0.elapsed().as_secs_f64()) };
+                        }
+                    });
                 }
             });
         }
@@ -111,6 +169,17 @@ impl ThreadTeam {
             for (r, p) in result.iter_mut().zip(private) {
                 *r += p;
             }
+        }
+        if let Some(wall0) = wall0 {
+            // The serial gather sits inside the region wall but outside any
+            // thread's busy time, so it lands in join-wait — exactly where
+            // the paper's Table 3 charges the private-array combine.
+            profile::record(
+                "team_reduce",
+                self.nthreads(),
+                wall0.elapsed().as_secs_f64(),
+                &busy,
+            );
         }
     }
 }

@@ -184,7 +184,7 @@ impl<'m> Discretization<'m> {
         }
         let grads = second.then_some(&ws.grads);
         let nedges = self.mesh.nedges();
-        let privates = ctx.map_chunks(nedges, |_, range| {
+        let privates = ctx.map_chunks("residual_flux", nedges, |_, range| {
             let mut local = FieldVec::zeros(self.mesh.nverts(), self.ncomp(), self.layout);
             self.flux_pass(q, grads, limited, &mut local, range.clone());
             if let Some(mu) = self.viscosity {
@@ -198,6 +198,19 @@ impl<'m> Discretization<'m> {
             }
         }
         self.boundary_pass(q, res);
+    }
+
+    /// Analytic bytes moved by one [`residual`](Self::residual) evaluation
+    /// under perfect vertex-state reuse: per edge, two `ncomp`-wide states
+    /// read, one 24-byte normal, and two read-modify-write residual
+    /// updates; plus one streaming write to zero `res`.  A lower bound in
+    /// the spirit of the paper's Eq. 1 edge-loop traffic model (gather
+    /// locality decides how far reality sits above it).
+    pub fn residual_traffic_bytes(&self) -> f64 {
+        let ncomp = self.ncomp() as f64;
+        let nedges = self.mesh.nedges() as f64;
+        let n = (self.mesh.nverts() as f64) * ncomp;
+        nedges * (2.0 * 8.0 * ncomp + 24.0 + 4.0 * 8.0 * ncomp) + 8.0 * n
     }
 
     /// Rusanov flux accumulation over a range of interior edges — the

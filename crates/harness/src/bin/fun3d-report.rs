@@ -3,25 +3,35 @@
 //! ```text
 //! fun3d-report show <report.json> [--events stream.jsonl]
 //! fun3d-report <report.json>                  # implicit show
+//! fun3d-report profile <report.json> [<other.json>]
 //! fun3d-report diff <a.json> <b.json> [--tol-rel f] [--tol-mad-k f] [--tol-abs f]
 //! ```
 //!
 //! `show` renders the run: metrics, the Table 3-style phase breakdown with
-//! p50/p95/p99 tail latencies and modeled cache/TLB counters, the Figure
-//! 5-style convergence table from the event stream (autodiscovered as the
-//! sibling `<stem>.events.jsonl` unless `--events` names one), scatter
-//! traffic, and checkpoints.
+//! p50/p95/p99 tail latencies and modeled cache/TLB counters, a per-region
+//! load-imbalance summary when the run was profiled, the Figure 5-style
+//! convergence table from the event stream (autodiscovered as the sibling
+//! `<stem>.events.jsonl` unless `--events` names one), scatter traffic, and
+//! checkpoints.
+//!
+//! `profile` renders the thread-profile view of a `--profile` run: per
+//! parallel region the max/mean per-thread busy time, imbalance factor, and
+//! join-wait (the paper's Table 3 implementation-efficiency terms), plus
+//! achieved GB/s and %-of-STREAM per byte-counted span (a live Table 2).
+//! Naming a second report appends a region-by-region A/B comparison —
+//! intended for diffing two `--threads` settings of one experiment.
 //!
 //! `diff` judges run B against run A with the gate's noise-aware verdicts.
 //! Exit status: 0 with no regressions, 1 when any metric regressed, 2 on
 //! usage or I/O errors.
 
 use fun3d_harness::compare::Tolerance;
-use fun3d_harness::report_cli::{render_diff, render_show, LoadedRun};
+use fun3d_harness::report_cli::{render_diff, render_profile, render_show, LoadedRun};
 
 fn usage() -> ! {
     eprintln!(
         "usage: fun3d-report [show] <report.json> [--events stream.jsonl]\n       \
+         fun3d-report profile <report.json> [<other.json>]\n       \
          fun3d-report diff <a.json> <b.json> [--tol-rel f] [--tol-mad-k f] [--tol-abs f]"
     );
     std::process::exit(2);
@@ -40,8 +50,28 @@ fn main() {
     match command.as_str() {
         "diff" => diff(&argv[1..]),
         "show" => show(&argv[1..]),
+        "profile" => profile(&argv[1..]),
         _ => show(&argv),
     }
+}
+
+fn profile(argv: &[String]) {
+    let mut paths: Vec<&String> = Vec::new();
+    for arg in argv {
+        if arg.starts_with("--") {
+            eprintln!("unknown argument: {arg}");
+            usage();
+        }
+        paths.push(arg);
+    }
+    let (report, other) = match paths.as_slice() {
+        [r] => (*r, None),
+        [r, o] => (*r, Some(*o)),
+        _ => usage(),
+    };
+    let run = load_or_die(report, None);
+    let other = other.map(|o| load_or_die(o, None));
+    print!("{}", render_profile(&run, other.as_ref()));
 }
 
 fn show(argv: &[String]) {

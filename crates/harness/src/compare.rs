@@ -76,6 +76,7 @@ pub fn higher_is_better(key: &str) -> bool {
     [
         "bytes_per_s",
         "bandwidth",
+        "gbps",
         "gflops",
         "mflops",
         "speedup",
@@ -202,6 +203,10 @@ mod tests {
         assert!(higher_is_better("gflops_p128"));
         assert!(higher_is_better("omp_speedup"));
         assert!(higher_is_better("eta_overall_p1024"));
+        // Profile-derived columns: achieved bandwidth improves upward,
+        // load imbalance (1.0 = balanced) improves downward.
+        assert!(higher_is_better("spmv/csr:gbps"));
+        assert!(!higher_is_better("spmv_csr:imbalance"));
         assert!(!higher_is_better("time_csr_s"));
         assert!(!higher_is_better("tlb_misses_row0"));
         assert!(!higher_is_better("linear_its"));

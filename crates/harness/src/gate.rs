@@ -22,6 +22,10 @@ pub struct GateConfig {
     /// Override the thread-team size for every entry (`--threads`); `None`
     /// keeps each run's `BenchArgs` default (`FUN3D_THREADS` or 1).
     pub threads: Option<usize>,
+    /// Force per-thread region profiling on or off for every entry
+    /// (`--profile`); `None` keeps each run's `BenchArgs` default
+    /// (`FUN3D_PROFILE` or off).
+    pub profile: Option<bool>,
     /// Comparison tolerances.
     pub tol: Tolerance,
     /// Show per-experiment tables and commentary while running.
@@ -41,6 +45,7 @@ impl Default for GateConfig {
             reps: None,
             scale: None,
             threads: None,
+            profile: None,
             tol: Tolerance::default(),
             verbose: false,
             calibrate_n: 2 * 1024 * 1024,
@@ -291,6 +296,7 @@ pub fn run_suite(cfg: &GateConfig, baseline: Option<&Baseline>) -> Result<SuiteO
             reps: cfg.reps.unwrap_or(entry.reps),
             quiet: !cfg.verbose,
             threads: cfg.threads.unwrap_or(defaults.threads),
+            profile: cfg.profile.unwrap_or(defaults.profile),
             ..defaults
         };
         let run = run_experiment(exp.as_ref(), &args, entry.warmup);

@@ -64,7 +64,12 @@ impl LoadedRun {
 /// in span histograms; fold them in here so both flavors diff identically.
 pub fn effective_metrics(report: &PerfReport) -> Vec<(String, f64)> {
     let mut out = report.metrics.clone();
-    for (key, v) in report.tail_metrics() {
+    let derived = report
+        .tail_metrics()
+        .into_iter()
+        .chain(report.region_metrics())
+        .chain(report.bandwidth_metrics());
+    for (key, v) in derived {
         if !out.iter().any(|(k, _)| *k == key) {
             out.push((key, v));
         }
@@ -184,6 +189,27 @@ pub fn render_show(run: &LoadedRun) -> String {
         );
     }
 
+    // Thread-profile summary: one line per parallel region when the run
+    // recorded them (`--profile`).  Pre-profile reports simply have no
+    // `par/` spans, so this section is a graceful no-op for them.
+    let regions = region_spans(r);
+    if !regions.is_empty() {
+        let nthr = r.meta("nthreads").unwrap_or("?");
+        out.push_str(&format!("\n## Parallel regions ({nthr} threads)\n\n"));
+        for s in &regions {
+            let label = s.path.strip_prefix("par/").unwrap_or(&s.path);
+            out.push_str(&format!(
+                "{label}: {} thread(s) x {} calls, imbalance {:.2}, busy max/mean {:.3e}/{:.3e} s, join wait {:.3e} s\n",
+                s.counter("nthreads").map_or(0, |v| v as u64),
+                s.calls,
+                s.counter("imbalance").unwrap_or(1.0),
+                s.counter("busy_max_s").unwrap_or(0.0),
+                s.counter("busy_mean_s").unwrap_or(0.0),
+                s.counter("join_wait_s").unwrap_or(0.0),
+            ));
+        }
+    }
+
     if !run.events.newton_steps().is_empty() {
         out.push('\n');
         out.push_str(&convergence_table(&run.events));
@@ -214,6 +240,181 @@ pub fn render_show(run: &LoadedRun) -> String {
         out.push_str("\n## Checkpoints\n\n");
         out.push_str(&checkpoints.join("\n"));
         out.push('\n');
+    }
+    out
+}
+
+/// The parallel-region spans of a report (`par/{label}` paths carrying an
+/// `imbalance` counter), in span order.
+fn region_spans(r: &PerfReport) -> Vec<&fun3d_telemetry::SpanRow> {
+    r.spans
+        .iter()
+        .filter(|s| s.path.starts_with("par/") && s.counter("imbalance").is_some())
+        .collect()
+}
+
+/// Spans carrying an analytic `bytes` traffic counter and nonzero time —
+/// the rows of the achieved-bandwidth (roofline) table.
+fn bandwidth_spans(r: &PerfReport) -> Vec<&fun3d_telemetry::SpanRow> {
+    r.spans
+        .iter()
+        .filter(|s| s.counter("bytes").is_some() && s.total_s > 0.0)
+        .collect()
+}
+
+/// Region label for A/B matching: the `par/` prefix and the `@n{k}`
+/// team-size disambiguator both stripped.
+fn region_label(path: &str) -> &str {
+    let stem = path.strip_prefix("par/").unwrap_or(path);
+    stem.split("@n").next().unwrap_or(stem)
+}
+
+/// Render the profiling view of one run: a Table 3-style load-imbalance
+/// breakdown per parallel region (max/mean per-thread busy time, imbalance
+/// factor, join-wait) and a Table 2-style roofline table per byte-counted
+/// span (achieved GB/s, % of the run's measured STREAM triad).  With a
+/// second run, appends an A/B comparison per region — the intended use is
+/// diffing two `--threads` settings of the same experiment.
+pub fn render_profile(run: &LoadedRun, other: Option<&LoadedRun>) -> String {
+    let r = &run.report;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# fun3d-report profile: {} ({})\n",
+        r.name, run.path
+    ));
+
+    let regions = region_spans(r);
+    let bw = bandwidth_spans(r);
+    if regions.is_empty() && bw.is_empty() {
+        out.push_str(
+            "\nno profile data in this report: rerun with --profile (or FUN3D_PROFILE=1)\n\
+             to record per-thread region timings and byte-traffic counters.\n",
+        );
+        return out;
+    }
+
+    if !regions.is_empty() {
+        out.push_str("\n## Parallel regions: load imbalance (Table 3)\n\n");
+        let rows: Vec<Vec<String>> = regions
+            .iter()
+            .map(|s| {
+                let busy: Vec<String> = s
+                    .counters
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("busy_t"))
+                    .map(|(k, v)| format!("{}={:.2e}", k.trim_end_matches("_s"), v))
+                    .collect();
+                vec![
+                    region_label(&s.path).to_string(),
+                    s.counter("nthreads").map_or(0, |v| v as u64).to_string(),
+                    s.calls.to_string(),
+                    format!("{:.3e}", s.total_s),
+                    format!("{:.3e}", s.counter("busy_max_s").unwrap_or(0.0)),
+                    format!("{:.3e}", s.counter("busy_mean_s").unwrap_or(0.0)),
+                    format!("{:.2}", s.counter("imbalance").unwrap_or(1.0)),
+                    format!("{:.3e}", s.counter("join_wait_s").unwrap_or(0.0)),
+                    busy.join(" "),
+                ]
+            })
+            .collect();
+        render_table(
+            &mut out,
+            &[
+                "region",
+                "nthr",
+                "calls",
+                "wall_s",
+                "busy max_s",
+                "busy mean_s",
+                "imbal",
+                "join wait_s",
+                "per-thread busy",
+            ],
+            &rows,
+        );
+    }
+
+    if !bw.is_empty() {
+        out.push_str("\n## Achieved bandwidth (Table 2)\n\n");
+        let stream = r.metric("stream_triad_bytes_per_s");
+        let rows: Vec<Vec<String>> = bw
+            .iter()
+            .map(|s| {
+                let gbps = s.counter("bytes").unwrap_or(0.0) / s.total_s / 1e9;
+                vec![
+                    s.path.clone(),
+                    s.calls.to_string(),
+                    format!("{:.3e}", s.total_s),
+                    format!("{:.3e}", s.counter("bytes").unwrap_or(0.0)),
+                    format!("{gbps:.2}"),
+                    stream.map_or("-".to_string(), |t| {
+                        format!("{:.0}%", 100.0 * gbps * 1e9 / t)
+                    }),
+                ]
+            })
+            .collect();
+        render_table(
+            &mut out,
+            &["span", "calls", "total_s", "bytes", "GB/s", "% of STREAM"],
+            &rows,
+        );
+        match stream {
+            Some(t) => out.push_str(&format!(
+                "\nSTREAM triad measured alongside this run: {:.2} GB/s (the roofline).\n",
+                t / 1e9
+            )),
+            None => out.push_str(
+                "\nno stream_triad_bytes_per_s metric in this report; % of STREAM omitted.\n",
+            ),
+        }
+    }
+
+    if let Some(o) = other {
+        let ro = &o.report;
+        out.push_str(&format!("\n## Region A/B: {} vs {}\n\n", run.path, o.path));
+        let others = region_spans(ro);
+        let rows: Vec<Vec<String>> = regions
+            .iter()
+            .filter_map(|sa| {
+                let sb = others
+                    .iter()
+                    .find(|s| region_label(&s.path) == region_label(&sa.path))?;
+                let (ca, cb) = (sa.calls.max(1) as f64, sb.calls.max(1) as f64);
+                let (wa, wb) = (sa.total_s / ca, sb.total_s / cb);
+                Some(vec![
+                    region_label(&sa.path).to_string(),
+                    sa.counter("nthreads").map_or(0, |v| v as u64).to_string(),
+                    sb.counter("nthreads").map_or(0, |v| v as u64).to_string(),
+                    format!("{wa:.3e}"),
+                    format!("{wb:.3e}"),
+                    if wb > 0.0 {
+                        format!("{:.2}x", wa / wb)
+                    } else {
+                        "-".to_string()
+                    },
+                    format!("{:.2}", sa.counter("imbalance").unwrap_or(1.0)),
+                    format!("{:.2}", sb.counter("imbalance").unwrap_or(1.0)),
+                ])
+            })
+            .collect();
+        if rows.is_empty() {
+            out.push_str("no region labels in common between the two runs.\n");
+        } else {
+            render_table(
+                &mut out,
+                &[
+                    "region",
+                    "A nthr",
+                    "B nthr",
+                    "A wall/call_s",
+                    "B wall/call_s",
+                    "A/B speedup",
+                    "A imbal",
+                    "B imbal",
+                ],
+                &rows,
+            );
+        }
     }
     out
 }
@@ -438,6 +639,104 @@ mod tests {
         }
         let m2 = effective_metrics(&r2);
         assert_eq!(m2.iter().filter(|(k, _)| k == "nks:p95_s").count(), 1);
+    }
+
+    /// A run the way a `--profile --threads N` bench run produces it:
+    /// `par/{label}` region spans with derived counters, a byte-counted
+    /// kernel span, and the STREAM anchor metric.
+    fn profiled_run(nthreads: u64) -> LoadedRun {
+        use fun3d_telemetry::TimeDomain;
+        let tel = Registry::enabled(0);
+        let m = TimeDomain::Measured;
+        tel.record_span("par/spmv_csr", m, 0.5, 7);
+        tel.counter_at("par/spmv_csr", m, "nthreads", nthreads as f64);
+        tel.counter_at("par/spmv_csr", m, "busy_max_s", 0.45);
+        tel.counter_at("par/spmv_csr", m, "busy_mean_s", 0.40);
+        tel.counter_at("par/spmv_csr", m, "join_wait_s", 0.20);
+        tel.counter_at("par/spmv_csr", m, "imbalance", 1.125);
+        for t in 0..nthreads {
+            tel.counter_at("par/spmv_csr", m, &format!("busy_t{t}_s"), 0.40);
+        }
+        tel.record_span("spmv/csr", m, 2.0, 10);
+        tel.counter_at("spmv/csr", m, "bytes", 30e9);
+        let mut report = PerfReport::new("spmv")
+            .with_meta("nthreads", nthreads.to_string())
+            .with_snapshot(&tel.snapshot());
+        report.push_metric("stream_triad_bytes_per_s", 20e9);
+        LoadedRun {
+            path: format!("spmv_t{nthreads}.json"),
+            report,
+            events: EventStream::default(),
+        }
+    }
+
+    #[test]
+    fn profile_renders_imbalance_and_roofline_tables() {
+        let run = profiled_run(2);
+        let text = render_profile(&run, None);
+        assert!(text.contains("load imbalance (Table 3)"), "{text}");
+        assert!(text.contains("Achieved bandwidth (Table 2)"), "{text}");
+        assert!(text.contains("spmv_csr"), "{text}");
+        assert!(text.contains("busy_t0"), "{text}");
+        // 30e9 bytes over 2.0 s = 15 GB/s, 75% of the 20 GB/s triad.
+        assert!(text.contains("15.00"), "{text}");
+        assert!(text.contains("75%"), "{text}");
+        assert!(text.contains("1.12"), "{text}");
+    }
+
+    #[test]
+    fn profile_without_data_says_so() {
+        let run = sample_run(1.0);
+        let text = render_profile(&run, None);
+        assert!(text.contains("no profile data"), "{text}");
+        assert!(!text.contains("Table 2"), "{text}");
+    }
+
+    #[test]
+    fn profile_ab_diff_pairs_regions_across_thread_counts() {
+        let a = profiled_run(1);
+        let b = profiled_run(4);
+        let text = render_profile(&a, Some(&b));
+        assert!(text.contains("Region A/B"), "{text}");
+        assert!(text.contains("spmv_csr"), "{text}");
+        // Same wall/call on both sides -> 1.00x speedup column.
+        assert!(text.contains("1.00x"), "{text}");
+        // No shared labels: the section degrades to a note, not a panic.
+        let text = render_profile(&a, Some(&sample_run(1.0)));
+        assert!(text.contains("no region labels in common"), "{text}");
+    }
+
+    #[test]
+    fn show_prints_region_summary_only_when_present() {
+        let run = profiled_run(2);
+        let text = render_show(&run);
+        assert!(text.contains("## Parallel regions (2 threads)"), "{text}");
+        assert!(text.contains("imbalance 1.12"), "{text}");
+        // Runs without profile data keep the pre-profile rendering.
+        let plain = sample_run(1.0);
+        assert!(!render_show(&plain).contains("Parallel regions"));
+    }
+
+    #[test]
+    fn old_reports_without_profile_data_round_trip_and_render() {
+        // A pre-profile report exactly as PR-4-era tooling wrote it: no
+        // `par/` spans, no byte counters, no histograms.  It must still
+        // parse, render without the profile sections, and round-trip.
+        let legacy = r#"{"schema":"fun3d-perf/1","name":"spmv","meta":{"nthreads":"1"},"metrics":{"time_csr_s":0.002},"spans":[{"path":"spmv/csr","domain":"measured","calls":8,"total_s":0.016,"counters":{}}]}"#;
+        let report = PerfReport::from_json_str(legacy).unwrap();
+        assert_eq!(
+            PerfReport::from_json_str(&report.to_json_string()).unwrap(),
+            report
+        );
+        let run = LoadedRun {
+            path: "legacy.json".into(),
+            report,
+            events: EventStream::default(),
+        };
+        let show = render_show(&run);
+        assert!(!show.contains("Parallel regions"), "{show}");
+        let profile = render_profile(&run, None);
+        assert!(profile.contains("no profile data"), "{profile}");
     }
 
     #[test]

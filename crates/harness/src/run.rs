@@ -75,6 +75,15 @@ pub fn run_experiment(exp: &dyn Experiment, args: &BenchArgs, warmup: usize) -> 
         for (key, v) in out.report.tail_metrics() {
             out.report.push_metric(key, v);
         }
+        // Likewise the profile-derived metrics: load imbalance per parallel
+        // region and achieved GB/s per byte-counted span become gateable
+        // columns (`<region>:imbalance`, `<span>:gbps`).
+        for (key, v) in out.report.region_metrics() {
+            out.report.push_metric(key, v);
+        }
+        for (key, v) in out.report.bandwidth_metrics() {
+            out.report.push_metric(key, v);
+        }
         if let Some(f) = slowdown {
             apply_slowdown(&mut out.report, f);
         }

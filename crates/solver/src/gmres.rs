@@ -99,6 +99,11 @@ pub fn gmres_with_events<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>
     newton_step: u64,
 ) -> GmresResult {
     let _gmres_span = tel.span("gmres");
+    // Analytic per-apply traffic, when the operator/preconditioner know it:
+    // attached as a `bytes` counter on each apply/precond span so profiled
+    // runs derive achieved GB/s per phase (PerfReport::bandwidth_metrics).
+    let apply_bytes = a.traffic_bytes();
+    let precond_bytes = m.traffic_bytes();
     let n = a.n();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
@@ -125,6 +130,9 @@ pub fn gmres_with_events<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>
         // r = b - A x.
         {
             let _g = tel.span("apply");
+            if let Some(bytes) = apply_bytes {
+                tel.counter("bytes", bytes);
+            }
             a.apply(x, &mut r);
         }
         for (ri, bi) in r.iter_mut().zip(b) {
@@ -153,10 +161,16 @@ pub fn gmres_with_events<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>
             // w = A M^{-1} v_j.
             {
                 let _g = tel.span("precond");
+                if let Some(bytes) = precond_bytes {
+                    tel.counter("bytes", bytes);
+                }
                 m.apply(&v[j], &mut z);
             }
             {
                 let _g = tel.span("apply");
+                if let Some(bytes) = apply_bytes {
+                    tel.counter("bytes", bytes);
+                }
                 a.apply(&z, &mut w);
             }
             total_iters += 1;
@@ -229,6 +243,9 @@ pub fn gmres_with_events<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>
         }
         {
             let _g = tel.span("precond");
+            if let Some(bytes) = precond_bytes {
+                tel.counter("bytes", bytes);
+            }
             m.apply(&update, &mut z);
         }
         axpy_par(1.0, &z, x, par);
@@ -533,6 +550,54 @@ mod tests {
                 assert!((u - v).abs() < 1e-10, "nthreads={nthreads}: {u} vs {v}");
             }
         }
+    }
+
+    #[test]
+    fn apply_and_precond_spans_carry_byte_traffic() {
+        // With a telemetry registry on, the solver's apply/precond spans
+        // must accumulate the analytic Eq. (1)/(2) traffic — one matvec's
+        // (resp. one triangular solve's) worth per call — so a profiled run
+        // derives achieved bandwidth per solver phase.
+        let a = laplacian_2d(12);
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let f = IluFactors::factor(&a, &IluOptions::with_fill(0)).unwrap();
+        let pc = IluPrecond::new(f);
+        let op = CsrOperator::new(&a);
+        assert_eq!(op.traffic_bytes(), Some(a.spmv_traffic_bytes()));
+        let pc_bytes = pc.traffic_bytes().unwrap();
+        assert!(pc_bytes > 0.0);
+        let tel = Registry::enabled(0);
+        let mut x = vec![0.0; n];
+        let r = gmres_with_telemetry(
+            &op,
+            &pc,
+            &b,
+            &mut x,
+            &GmresOptions {
+                rtol: 1e-8,
+                max_iters: 500,
+                ..Default::default()
+            },
+            &tel,
+        );
+        assert!(r.converged);
+        let snap = tel.snapshot();
+        let apply = snap.span("gmres/apply").expect("apply span");
+        let expected_apply = apply.calls as f64 * a.spmv_traffic_bytes();
+        assert!((apply.counter("bytes").unwrap() - expected_apply).abs() < 1e-6);
+        let precond = snap.span("gmres/precond").expect("precond span");
+        let expected_pc = precond.calls as f64 * pc_bytes;
+        assert!((precond.counter("bytes").unwrap() - expected_pc).abs() < 1e-6);
+        // The matrix-free operator declines: no footprint of its own.
+        use crate::op::test_problems::Bratu1d;
+        use crate::op::{FdJacobianOperator, PseudoTransientProblem};
+        let p = Bratu1d::new(8, 0.0);
+        let q = vec![0.0; 8];
+        let mut r0 = vec![0.0; 8];
+        p.residual(&q, &mut r0);
+        let fd = FdJacobianOperator::new(&p, q, r0, vec![0.0; 8]);
+        assert_eq!(fd.traffic_bytes(), None);
     }
 
     #[test]

@@ -9,6 +9,14 @@ pub trait LinearOperator {
     fn n(&self) -> usize;
     /// `y <- A x`.
     fn apply(&self, x: &[f64], y: &mut [f64]);
+    /// Analytic minimum memory traffic of one `apply` in bytes (the Eq. (1)
+    /// perfect-cache bound), when the operator knows its own footprint.
+    /// `None` for matrix-free operators whose traffic rides on the residual
+    /// evaluation instead.  GMRES attaches this as a `bytes` counter on its
+    /// `apply` spans so profiled solver runs get achieved-bandwidth rows.
+    fn traffic_bytes(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// A CSR matrix as an operator.
@@ -38,6 +46,10 @@ impl LinearOperator for CsrOperator<'_> {
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         self.a.spmv_par(x, y, &self.par);
+    }
+
+    fn traffic_bytes(&self) -> Option<f64> {
+        Some(self.a.spmv_traffic_bytes())
     }
 }
 

@@ -17,6 +17,13 @@ use fun3d_sparse::par::ParCtx;
 pub trait Preconditioner {
     /// `z <- M^{-1} r`.
     fn apply(&self, r: &[f64], z: &mut [f64]);
+    /// Analytic minimum memory traffic of one `apply` in bytes (the Eq. (2)
+    /// perfect-cache bound for the triangular sweeps), when known.  GMRES
+    /// attaches this as a `bytes` counter on its `precond` spans so profiled
+    /// solver runs get achieved-bandwidth rows.
+    fn traffic_bytes(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// No preconditioning.
@@ -65,6 +72,10 @@ impl Preconditioner for IluPrecond {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         self.factors.solve_par(r, z, &self.par);
     }
+
+    fn traffic_bytes(&self) -> Option<f64> {
+        Some(self.factors.solve_traffic_bytes())
+    }
 }
 
 /// Point-block ILU(0) on the blocked matrix — the preconditioner
@@ -105,6 +116,10 @@ impl BlockIluPrecond {
 impl Preconditioner for BlockIluPrecond {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         self.factors.solve_par(r, z, &self.par);
+    }
+
+    fn traffic_bytes(&self) -> Option<f64> {
+        Some(self.factors.solve_traffic_bytes())
     }
 }
 
@@ -224,12 +239,25 @@ impl Preconditioner for AdditiveSchwarz {
             }
         }
     }
+
+    fn traffic_bytes(&self) -> Option<f64> {
+        Some(
+            self.subdomains
+                .iter()
+                .map(|s| s.factors.solve_traffic_bytes())
+                .sum(),
+        )
+    }
 }
 
 /// Blanket impl so `&P` works wherever a preconditioner is expected.
 impl<P: Preconditioner + ?Sized> Preconditioner for &P {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         (**self).apply(r, z);
+    }
+
+    fn traffic_bytes(&self) -> Option<f64> {
+        (**self).traffic_bytes()
     }
 }
 
@@ -241,6 +269,10 @@ impl<A: LinearOperator + ?Sized> LinearOperator for &A {
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         (**self).apply(x, y);
+    }
+
+    fn traffic_bytes(&self) -> Option<f64> {
+        (**self).traffic_bytes()
     }
 }
 

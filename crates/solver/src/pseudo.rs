@@ -263,6 +263,14 @@ impl Preconditioner for BuiltPrecond {
             BuiltPrecond::Schwarz(p) => p.apply(r, z),
         }
     }
+
+    fn traffic_bytes(&self) -> Option<f64> {
+        match self {
+            BuiltPrecond::Ilu(p) => p.traffic_bytes(),
+            BuiltPrecond::BlockIlu(p) => p.traffic_bytes(),
+            BuiltPrecond::Schwarz(p) => p.traffic_bytes(),
+        }
+    }
 }
 
 /// Run ΨNKS continuation on `problem` starting from `q` (updated in place).

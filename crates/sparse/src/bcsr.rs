@@ -254,7 +254,22 @@ impl BcsrMatrix {
         if ctx.nthreads() == 1 {
             return self.spmv(x, y);
         }
-        ctx.parallel_for_slices(y, self.b, |_, brows, ysub| self.spmv_rows(x, brows, ysub));
+        ctx.parallel_for_slices("spmv_bcsr", y, self.b, |_, brows, ysub| {
+            self.spmv_rows(x, brows, ysub)
+        });
+    }
+
+    /// Analytic bytes moved by one [`spmv`](Self::spmv) call under perfect
+    /// source reuse — the blocked Eq. 1 traffic floor with `miss_factor =
+    /// 1`: streamed block values (8 B per block entry), one 4-byte block
+    /// column index per block, the block-row pointer (8 B/block row), plus
+    /// one read of the source and one write of the destination vector.
+    pub fn spmv_traffic_bytes(&self) -> f64 {
+        let b = self.b as f64;
+        let nblocks = (self.values.len() as f64) / (b * b);
+        let nbrows = self.nbrows as f64;
+        let n = nbrows * b;
+        8.0 * nblocks * b * b + 4.0 * nblocks + 8.0 * (nbrows + 1.0) + 8.0 * n + 8.0 * n
     }
 
     /// Compute block rows `brows` into `y`, which holds exactly those rows

@@ -316,6 +316,18 @@ impl IluFactors {
         }
     }
 
+    /// Analytic bytes moved by one triangular solve (forward + backward):
+    /// every factor value is touched exactly once (4 or 8 B each per
+    /// [`Self::value_bytes`]), each off-diagonal entry carries a 4-byte
+    /// column index, the two row-pointer arrays stream once, and `x` is
+    /// read and written through both sweeps (Section 2.2's
+    /// bandwidth-bound loop).
+    pub fn solve_traffic_bytes(&self) -> f64 {
+        let n = self.n as f64;
+        let offdiag = (self.l_idx.len() + self.u_idx.len()) as f64;
+        self.value_bytes() as f64 + 4.0 * offdiag + 2.0 * 8.0 * (n + 1.0) + 4.0 * 8.0 * n
+    }
+
     /// Strictly-lower pattern arrays `(ptr, idx)`.
     pub fn l_pattern(&self) -> (&[usize], &[u32]) {
         (&self.l_ptr, &self.l_idx)
@@ -405,7 +417,7 @@ impl IluFactors {
         // and reads x[j] finalized in an earlier level.
         for lev in 0..self.l_levels.nlevels() {
             let rows = self.l_levels.level(lev);
-            ctx.parallel_for(rows.len(), |_, r| {
+            ctx.parallel_for("ilu_lower", rows.len(), |_, r| {
                 for &iu in &rows[r] {
                     let i = iu as usize;
                     // SAFETY: rows within a level are distinct (each writes
@@ -424,7 +436,7 @@ impl IluFactors {
         // Backward: U x = y.
         for lev in 0..self.u_levels.nlevels() {
             let rows = self.u_levels.level(lev);
-            ctx.parallel_for(rows.len(), |_, r| {
+            ctx.parallel_for("ilu_upper", rows.len(), |_, r| {
                 for &iu in &rows[r] {
                     let i = iu as usize;
                     // SAFETY: as above, with dependencies pointing upward.

@@ -22,6 +22,10 @@
 //! * [`par`] — the shared-memory execution context ([`par::ParCtx`]) behind
 //!   the `_par` variants of the hot kernels (SpMV, BLAS-1, level-scheduled
 //!   triangular solves), mirroring the paper's SMP worksharing experiments.
+//! * [`profile`] — the global region profiler behind `fun3d-profile`:
+//!   per-thread busy time, fork/join wall time, and load-imbalance
+//!   accounting for every labeled parallel region (the measured analogue of
+//!   the paper's Table 3 implementation-efficiency decomposition).
 //!
 //! All kernels are written so that their memory reference streams mirror the
 //! Fortran/C kernels discussed in the paper; the `fun3d-memmodel` crate
@@ -34,6 +38,7 @@ pub mod dense;
 pub mod ilu;
 pub mod layout;
 pub mod par;
+pub mod profile;
 pub mod triplet;
 pub mod vec_ops;
 

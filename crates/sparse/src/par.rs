@@ -13,9 +13,17 @@
 //! `n`) on the calling thread, and reductions always combine partials in
 //! ascending thread order.  A result therefore depends only on the inputs
 //! and `nthreads`, never on scheduling.
+//!
+//! Every helper takes a stable `&'static str` region label.  When the
+//! global [`crate::profile`] layer is enabled, each fork/join records its
+//! wall time and per-thread busy times under that label; when disabled (the
+//! default) the label costs one relaxed atomic load and the execution path
+//! is the unprofiled one above — bitwise identical results either way.
 
+use crate::profile;
 use std::marker::PhantomData;
 use std::ops::Range;
+use std::time::Instant;
 
 /// Below this many work items the helpers run their chunks on the calling
 /// thread instead of spawning: a thread spawn costs ~10µs, which dwarfs a
@@ -95,11 +103,15 @@ impl ParCtx {
 
     /// Run `body(t, range)` over each thread's chunk of `0..n`.  Empty
     /// chunks (possible when `nthreads > n`) are skipped entirely — no
-    /// thread is spawned and `body` is not called for them.
-    pub fn parallel_for<F>(&self, n: usize, body: F)
+    /// thread is spawned and `body` is not called for them.  `label` names
+    /// the region in [`crate::profile`] output.
+    pub fn parallel_for<F>(&self, label: &'static str, n: usize, body: F)
     where
         F: Fn(usize, Range<usize>) + Sync,
     {
+        if profile::is_enabled() {
+            return self.parallel_for_profiled(label, n, body);
+        }
         if !self.should_spawn(n) {
             for t in 0..self.nthreads {
                 let r = self.chunk(n, t);
@@ -121,15 +133,59 @@ impl ParCtx {
         });
     }
 
+    /// [`Self::parallel_for`] with per-thread busy timing: same chunks, same
+    /// spawn decision, plus one `Instant` pair around each body call and one
+    /// around the whole fork/join.
+    fn parallel_for_profiled<F>(&self, label: &'static str, n: usize, body: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let wall0 = Instant::now();
+        let mut busy = vec![0.0f64; self.nthreads];
+        if !self.should_spawn(n) {
+            for t in 0..self.nthreads {
+                let r = self.chunk(n, t);
+                if !r.is_empty() {
+                    let b0 = Instant::now();
+                    body(t, r);
+                    busy[t] = b0.elapsed().as_secs_f64();
+                }
+            }
+        } else {
+            let view = DisjointSliceMut::new(&mut busy);
+            std::thread::scope(|s| {
+                for t in 0..self.nthreads {
+                    let r = self.chunk(n, t);
+                    if r.is_empty() {
+                        continue;
+                    }
+                    let body = &body;
+                    let view = &view;
+                    s.spawn(move || {
+                        let b0 = Instant::now();
+                        body(t, r);
+                        // SAFETY: each thread writes only its own slot `t`.
+                        unsafe { view.set(t, b0.elapsed().as_secs_f64()) };
+                    });
+                }
+            });
+        }
+        profile::record(label, self.nthreads, wall0.elapsed().as_secs_f64(), &busy);
+    }
+
     /// Map each thread's chunk of `0..n` to a value and return the values in
     /// ascending thread order — the ordered-partials half of the determinism
     /// contract.  `f` *is* called for empty chunks so the result always has
     /// `nthreads` entries (an empty chunk contributes its identity value).
-    pub fn map_chunks<R, F>(&self, n: usize, f: F) -> Vec<R>
+    /// `label` names the region in [`crate::profile`] output.
+    pub fn map_chunks<R, F>(&self, label: &'static str, n: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize, Range<usize>) -> R + Sync,
     {
+        if profile::is_enabled() {
+            return self.map_chunks_profiled(label, n, f);
+        }
         if !self.should_spawn(n) {
             return (0..self.nthreads).map(|t| f(t, self.chunk(n, t))).collect();
         }
@@ -148,16 +204,67 @@ impl ParCtx {
         })
     }
 
+    /// [`Self::map_chunks`] with per-thread busy timing.
+    fn map_chunks_profiled<R, F>(&self, label: &'static str, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, Range<usize>) -> R + Sync,
+    {
+        let wall0 = Instant::now();
+        let mut busy = vec![0.0f64; self.nthreads];
+        let out: Vec<R> = if !self.should_spawn(n) {
+            (0..self.nthreads)
+                .map(|t| {
+                    let b0 = Instant::now();
+                    let v = f(t, self.chunk(n, t));
+                    busy[t] = b0.elapsed().as_secs_f64();
+                    v
+                })
+                .collect()
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..self.nthreads)
+                    .map(|t| {
+                        let r = self.chunk(n, t);
+                        let f = &f;
+                        s.spawn(move || {
+                            let b0 = Instant::now();
+                            let v = f(t, r);
+                            (v, b0.elapsed().as_secs_f64())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .zip(busy.iter_mut())
+                    .map(|(h, slot)| {
+                        let (v, b) = h.join().expect("parallel_for worker panicked");
+                        *slot = b;
+                        v
+                    })
+                    .collect()
+            })
+        };
+        profile::record(label, self.nthreads, wall0.elapsed().as_secs_f64(), &busy);
+        out
+    }
+
     /// Partition `data` by thread chunk and run `body(t, units, sub)` on
     /// each piece, where `units` is the chunk of `0..data.len() /
     /// granularity` and `sub` the matching sub-slice.  `granularity` is the
     /// number of elements per work unit (1 for point vectors, the block size
-    /// `b` for BCSR block rows).
+    /// `b` for BCSR block rows).  `label` names the region in
+    /// [`crate::profile`] output.
     ///
     /// # Panics
     /// Panics if `granularity` is zero or does not divide `data.len()`.
-    pub fn parallel_for_slices<T, F>(&self, data: &mut [T], granularity: usize, body: F)
-    where
+    pub fn parallel_for_slices<T, F>(
+        &self,
+        label: &'static str,
+        data: &mut [T],
+        granularity: usize,
+        body: F,
+    ) where
         T: Send,
         F: Fn(usize, Range<usize>, &mut [T]) + Sync,
     {
@@ -169,6 +276,9 @@ impl ParCtx {
             data.len()
         );
         let n = data.len() / granularity;
+        if profile::is_enabled() {
+            return self.parallel_for_slices_profiled(label, data, granularity, n, body);
+        }
         if !self.should_spawn(n) {
             for t in 0..self.nthreads {
                 let r = self.chunk(n, t);
@@ -194,6 +304,55 @@ impl ParCtx {
                 s.spawn(move || body(t, r, sub));
             }
         });
+    }
+
+    /// [`Self::parallel_for_slices`] with per-thread busy timing.
+    fn parallel_for_slices_profiled<T, F>(
+        &self,
+        label: &'static str,
+        data: &mut [T],
+        granularity: usize,
+        n: usize,
+        body: F,
+    ) where
+        T: Send,
+        F: Fn(usize, Range<usize>, &mut [T]) + Sync,
+    {
+        let wall0 = Instant::now();
+        let mut busy = vec![0.0f64; self.nthreads];
+        if !self.should_spawn(n) {
+            for t in 0..self.nthreads {
+                let r = self.chunk(n, t);
+                if !r.is_empty() {
+                    let sub = &mut data[r.start * granularity..r.end * granularity];
+                    let b0 = Instant::now();
+                    body(t, r, sub);
+                    busy[t] = b0.elapsed().as_secs_f64();
+                }
+            }
+        } else {
+            let view = DisjointSliceMut::new(&mut busy);
+            std::thread::scope(|s| {
+                let mut rest = data;
+                for t in 0..self.nthreads {
+                    let r = self.chunk(n, t);
+                    if r.is_empty() {
+                        continue;
+                    }
+                    let (sub, tail) = std::mem::take(&mut rest).split_at_mut(r.len() * granularity);
+                    rest = tail;
+                    let body = &body;
+                    let view = &view;
+                    s.spawn(move || {
+                        let b0 = Instant::now();
+                        body(t, r, sub);
+                        // SAFETY: each thread writes only its own slot `t`.
+                        unsafe { view.set(t, b0.elapsed().as_secs_f64()) };
+                    });
+                }
+            });
+        }
+        profile::record(label, self.nthreads, wall0.elapsed().as_secs_f64(), &busy);
     }
 }
 
@@ -325,7 +484,7 @@ mod tests {
             let ctx = ParCtx::new(nthreads);
             for n in [0usize, 5, PAR_MIN_N + 17] {
                 let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-                ctx.parallel_for(n, |_, r| {
+                ctx.parallel_for("test_for", n, |_, r| {
                     for i in r {
                         counts[i].fetch_add(1, Ordering::Relaxed);
                     }
@@ -342,7 +501,7 @@ mod tests {
         let n = PAR_MIN_N + 123;
         let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
         let ctx = ParCtx::new(4);
-        let threaded = ctx.map_chunks(n, |_, r| x[r].iter().sum::<f64>());
+        let threaded = ctx.map_chunks("test_map", n, |_, r| x[r].iter().sum::<f64>());
         let inline: Vec<f64> = (0..4).map(|t| x[ctx.chunk(n, t)].iter().sum()).collect();
         assert_eq!(threaded, inline);
     }
@@ -354,7 +513,7 @@ mod tests {
                 let n_units = PAR_MIN_N + 7;
                 let mut data = vec![0.0f64; n_units * granularity];
                 let ctx = ParCtx::new(nthreads);
-                ctx.parallel_for_slices(&mut data, granularity, |t, units, sub| {
+                ctx.parallel_for_slices("test_slices", &mut data, granularity, |t, units, sub| {
                     assert_eq!(sub.len(), units.len() * granularity);
                     for v in sub {
                         *v += (t + 1) as f64;
@@ -372,12 +531,94 @@ mod tests {
         }
     }
 
+    /// Every profiled invariant in one sweep: for each helper shape, at team
+    /// sizes straddling `n` and the spawn threshold, the recorded region
+    /// satisfies `sum(busy) + join_wait == nthreads * wall` (exact, by
+    /// construction), `busy_max <= wall + eps`, and `join_wait >= -eps`.
+    #[test]
+    fn profiled_regions_honor_busy_wall_identity() {
+        let _g = crate::profile::test_lock();
+        crate::profile::set_enabled(true);
+        crate::profile::reset();
+        for nthreads in [1usize, 2, 5] {
+            let ctx = ParCtx::new(nthreads);
+            for n in [3usize, PAR_MIN_N + 31] {
+                let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                let mut y = vec![0.0f64; n];
+                ctx.parallel_for("id_for", n, |_, r| {
+                    for i in r {
+                        std::hint::black_box(x[i].sqrt());
+                    }
+                });
+                let sums = ctx.map_chunks("id_map", n, |_, r| x[r].iter().sum::<f64>());
+                assert_eq!(sums.len(), nthreads);
+                ctx.parallel_for_slices("id_slices", &mut y, 1, |_, r, sub| {
+                    for (v, i) in sub.iter_mut().zip(r) {
+                        *v = x[i] * 2.0;
+                    }
+                });
+            }
+        }
+        let stats = crate::profile::drain();
+        crate::profile::set_enabled(false);
+        let labels: Vec<&str> = stats.iter().map(|s| s.label).collect();
+        for want in ["id_for", "id_map", "id_slices"] {
+            assert!(labels.contains(&want), "missing region {want}: {labels:?}");
+        }
+        const EPS: f64 = 1e-6;
+        for s in &stats {
+            assert_eq!(s.invocations, 2, "{s:?}");
+            assert!(s.wall_s >= 0.0, "{s:?}");
+            assert!(s.busy_s.len() <= s.nthreads, "{s:?}");
+            let sum: f64 = s.busy_s.iter().sum();
+            let team_seconds = s.nthreads as f64 * s.wall_s;
+            assert!(
+                (sum + s.join_wait_s() - team_seconds).abs() <= 1e-12,
+                "identity violated: {s:?}"
+            );
+            assert!(s.busy_max_s() <= s.wall_s + EPS, "busy exceeds wall: {s:?}");
+            assert!(s.join_wait_s() >= -EPS * s.nthreads as f64, "{s:?}");
+            assert!(s.imbalance() >= 1.0 - 1e-12, "{s:?}");
+        }
+    }
+
+    /// Profiling must not change what the helpers compute: same values from
+    /// `map_chunks`, same writes from `parallel_for_slices`, bit for bit.
+    #[test]
+    fn profiling_is_bitwise_invisible_to_results() {
+        let _g = crate::profile::test_lock();
+        let n = PAR_MIN_N + 257;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let ctx = ParCtx::new(4);
+        crate::profile::set_enabled(false);
+        let off = ctx.map_chunks("bitwise_map", n, |_, r| x[r].iter().sum::<f64>());
+        let mut y_off = vec![0.0f64; n];
+        ctx.parallel_for_slices("bitwise_slices", &mut y_off, 1, |_, r, sub| {
+            for (v, i) in sub.iter_mut().zip(r) {
+                *v = x[i] * 3.0 + 1.0;
+            }
+        });
+        crate::profile::set_enabled(true);
+        crate::profile::reset();
+        let on = ctx.map_chunks("bitwise_map", n, |_, r| x[r].iter().sum::<f64>());
+        let mut y_on = vec![0.0f64; n];
+        ctx.parallel_for_slices("bitwise_slices", &mut y_on, 1, |_, r, sub| {
+            for (v, i) in sub.iter_mut().zip(r) {
+                *v = x[i] * 3.0 + 1.0;
+            }
+        });
+        crate::profile::set_enabled(false);
+        crate::profile::reset();
+        assert_eq!(off, on);
+        assert_eq!(y_off, y_on);
+    }
+
     #[test]
     fn disjoint_slice_round_trips() {
         let mut data = vec![0.0f64; 64];
         let view = DisjointSliceMut::new(&mut data);
         let ctx = ParCtx::new(4);
-        ctx.parallel_for(64, |_, r| {
+        ctx.parallel_for("test_disjoint", 64, |_, r| {
             for i in r {
                 // SAFETY: chunks are disjoint, each index written once.
                 unsafe { view.set(i, i as f64) };

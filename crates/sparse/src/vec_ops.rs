@@ -77,7 +77,7 @@ pub fn axpy_par(alpha: f64, x: &[f64], y: &mut [f64], ctx: &ParCtx) {
     if ctx.nthreads() == 1 {
         return axpy(alpha, x, y);
     }
-    ctx.parallel_for_slices(y, 1, |_, r, ysub| axpy(alpha, &x[r], ysub));
+    ctx.parallel_for_slices("axpy", y, 1, |_, r, ysub| axpy(alpha, &x[r], ysub));
 }
 
 /// Parallel [`axpby`] (elementwise; bitwise identical to sequential).
@@ -86,7 +86,7 @@ pub fn axpby_par(alpha: f64, x: &[f64], beta: f64, y: &mut [f64], ctx: &ParCtx) 
     if ctx.nthreads() == 1 {
         return axpby(alpha, x, beta, y);
     }
-    ctx.parallel_for_slices(y, 1, |_, r, ysub| axpby(alpha, &x[r], beta, ysub));
+    ctx.parallel_for_slices("axpby", y, 1, |_, r, ysub| axpby(alpha, &x[r], beta, ysub));
 }
 
 /// Parallel [`waxpby`] (elementwise; bitwise identical to sequential).
@@ -96,7 +96,7 @@ pub fn waxpby_par(alpha: f64, x: &[f64], beta: f64, y: &[f64], w: &mut [f64], ct
     if ctx.nthreads() == 1 {
         return waxpby(alpha, x, beta, y, w);
     }
-    ctx.parallel_for_slices(w, 1, |_, r, wsub| {
+    ctx.parallel_for_slices("waxpby", w, 1, |_, r, wsub| {
         waxpby(alpha, &x[r.clone()], beta, &y[r], wsub)
     });
 }
@@ -109,7 +109,7 @@ pub fn dot_par(x: &[f64], y: &[f64], ctx: &ParCtx) -> f64 {
     if ctx.nthreads() == 1 {
         return dot(x, y);
     }
-    ctx.map_chunks(x.len(), |_, r| dot(&x[r.clone()], &y[r]))
+    ctx.map_chunks("dot", x.len(), |_, r| dot(&x[r.clone()], &y[r]))
         .iter()
         .sum()
 }
@@ -117,6 +117,22 @@ pub fn dot_par(x: &[f64], y: &[f64], ctx: &ParCtx) -> f64 {
 /// Parallel [`norm2`] built on [`dot_par`]'s ordered reduction.
 pub fn norm2_par(x: &[f64], ctx: &ParCtx) -> f64 {
     dot_par(x, x, ctx).sqrt()
+}
+
+/// Analytic bytes moved by one [`axpy`]/[`axpby`] on length-`n` vectors:
+/// stream `x` in, read-modify-write `y` (8 B each way).
+pub fn axpy_traffic_bytes(n: usize) -> f64 {
+    24.0 * n as f64
+}
+
+/// Analytic bytes moved by one [`waxpby`]: read `x` and `y`, write `w`.
+pub fn waxpby_traffic_bytes(n: usize) -> f64 {
+    24.0 * n as f64
+}
+
+/// Analytic bytes moved by one [`dot`] (or [`norm2`]): read both operands.
+pub fn dot_traffic_bytes(n: usize) -> f64 {
+    16.0 * n as f64
 }
 
 /// Set every entry of `x` to `v`.

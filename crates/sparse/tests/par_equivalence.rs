@@ -223,3 +223,55 @@ fn block_ilu_solve_par_with_wide_levels() {
         assert_eq!(xs, xp, "nthreads={nthreads}");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The fun3d-profile accounting identity over random shapes: for every
+    /// recorded region, per-thread busy times sum to within the join-wait of
+    /// `nthreads * wall` (exactly, by construction), no thread is busier
+    /// than the region wall, and profiling never perturbs kernel results.
+    ///
+    /// The profiler is process-global, so this drains whatever regions any
+    /// concurrently running test recorded too — the invariants are
+    /// per-invocation and additive, so they must hold for all of them.
+    #[test]
+    fn profiled_busy_sums_within_join_wait_of_wall(
+        n in 1usize..6000,
+        nthreads in 1usize..6,
+    ) {
+        use fun3d_sparse::profile;
+        let ctx = ParCtx::new(nthreads);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| 1.0 - (i % 17) as f64 * 0.25).collect();
+        let mut w_off = vec![0.0; n];
+        profile::set_enabled(false);
+        let d_off = vec_ops::dot_par(&x, &y, &ctx);
+        vec_ops::waxpby_par(2.0, &x, -1.0, &y, &mut w_off, &ctx);
+
+        profile::set_enabled(true);
+        let mut w_on = vec![0.0; n];
+        let d_on = vec_ops::dot_par(&x, &y, &ctx);
+        vec_ops::waxpby_par(2.0, &x, -1.0, &y, &mut w_on, &ctx);
+        profile::set_enabled(false);
+        let stats = profile::drain();
+
+        prop_assert_eq!(d_off, d_on, "profiling perturbed a reduction");
+        prop_assert_eq!(w_off, w_on, "profiling perturbed an elementwise kernel");
+        const EPS: f64 = 1e-6;
+        for s in &stats {
+            let sum: f64 = s.busy_s.iter().sum();
+            let team = s.nthreads as f64 * s.wall_s;
+            prop_assert!((sum + s.join_wait_s() - team).abs() <= 1e-9,
+                "identity violated: {:?}", s);
+            prop_assert!(s.busy_max_s() <= s.wall_s + EPS, "busy > wall: {:?}", s);
+            prop_assert!(s.join_wait_s() >= -EPS * s.nthreads as f64, "{:?}", s);
+        }
+        // nthreads == 1 short-circuits to the sequential kernels: the _par
+        // wrappers never enter a region, so labels only appear for teams.
+        if nthreads > 1 {
+            prop_assert!(stats.iter().any(|s| s.label == "dot" && s.nthreads == nthreads));
+            prop_assert!(stats.iter().any(|s| s.label == "waxpby" && s.nthreads == nthreads));
+        }
+    }
+}

@@ -75,6 +75,26 @@ pub enum EventRecord {
         /// File path it was written to.
         path: String,
     },
+    /// Aggregated fun3d-profile timings for one parallel region at one team
+    /// size — the shared-memory imbalance accounting of Table 3.
+    ParRegion {
+        /// Stable region label (e.g. `spmv_csr`, `residual_flux`).
+        label: String,
+        /// Thread-team size the region ran with.
+        nthreads: u64,
+        /// Fork/join invocations aggregated into this record.
+        invocations: u64,
+        /// Total fork-to-join wall seconds.
+        wall_s: f64,
+        /// Busiest thread's total seconds.
+        busy_max_s: f64,
+        /// Mean busy seconds over all team slots.
+        busy_mean_s: f64,
+        /// Idle team-seconds: `nthreads * wall - sum(busy)`.
+        join_wait_s: f64,
+        /// Load imbalance factor `busy_max / busy_mean` (1.0 = balanced).
+        imbalance: f64,
+    },
 }
 
 /// A cheaply-cloneable handle events are emitted into.
@@ -262,6 +282,26 @@ fn record_to_json(r: &EventRecord) -> Value {
             ("step".into(), num_u64(*step)),
             ("path".into(), Value::Str(path.clone())),
         ]),
+        EventRecord::ParRegion {
+            label,
+            nthreads,
+            invocations,
+            wall_s,
+            busy_max_s,
+            busy_mean_s,
+            join_wait_s,
+            imbalance,
+        } => Value::Obj(vec![
+            ("ev".into(), Value::Str("par_region".into())),
+            ("label".into(), Value::Str(label.clone())),
+            ("nthreads".into(), num_u64(*nthreads)),
+            ("invocations".into(), num_u64(*invocations)),
+            ("wall_s".into(), Value::Num(*wall_s)),
+            ("busy_max_s".into(), Value::Num(*busy_max_s)),
+            ("busy_mean_s".into(), Value::Num(*busy_mean_s)),
+            ("join_wait_s".into(), Value::Num(*join_wait_s)),
+            ("imbalance".into(), Value::Num(*imbalance)),
+        ]),
     }
 }
 
@@ -327,6 +367,20 @@ fn record_from_json(v: &Value) -> Result<EventRecord, String> {
                 .and_then(Value::as_str)
                 .ok_or("checkpoint missing path")?
                 .to_string(),
+        }),
+        "par_region" => Ok(EventRecord::ParRegion {
+            label: v
+                .get("label")
+                .and_then(Value::as_str)
+                .ok_or("par_region missing label")?
+                .to_string(),
+            nthreads: field_u64(v, "nthreads")?,
+            invocations: field_u64(v, "invocations")?,
+            wall_s: field(v, "wall_s")?,
+            busy_max_s: field(v, "busy_max_s")?,
+            busy_mean_s: field(v, "busy_mean_s")?,
+            join_wait_s: field(v, "join_wait_s")?,
+            imbalance: field(v, "imbalance")?,
         }),
         other => Err(format!("unknown event tag {other:?}")),
     }
@@ -462,6 +516,16 @@ mod tests {
             EventRecord::Checkpoint {
                 step: 1,
                 path: "/tmp/ck.bin".into(),
+            },
+            EventRecord::ParRegion {
+                label: "spmv_csr".into(),
+                nthreads: 2,
+                invocations: 7,
+                wall_s: 0.5,
+                busy_max_s: 0.45,
+                busy_mean_s: 0.4,
+                join_wait_s: 0.2,
+                imbalance: 1.125,
             },
         ])
     }

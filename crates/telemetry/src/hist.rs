@@ -155,7 +155,26 @@ mod tests {
         let h = LogHistogram::new();
         assert!(h.is_empty());
         assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile(0.5), None);
+        // Every quantile of an empty histogram is None — never NaN, never a
+        // panic — including the q=0/q=1 edges and out-of-range inputs.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0, -1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_defines_every_quantile() {
+        let mut h = LogHistogram::new();
+        h.record(1e-3);
+        assert_eq!(h.count(), 1);
+        // With one sample the nearest rank is 1 for every q (ceil(q*1)
+        // clamped up to 1), so p0 through p100 all land on that sample's
+        // bucket midpoint: well-defined, finite, and mutually equal.
+        let p50 = h.quantile(0.5).expect("single sample has a median");
+        assert!(p50.is_finite() && p50 > 0.0);
+        for q in [0.0, 0.25, 0.95, 0.99, 1.0, -1.0, 2.0] {
+            assert_eq!(h.quantile(q), Some(p50), "q={q}");
+        }
     }
 
     #[test]

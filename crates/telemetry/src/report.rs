@@ -81,6 +81,38 @@ impl PerfReport {
             .collect()
     }
 
+    /// Derived load-imbalance metrics: one `"{label}:imbalance"` entry per
+    /// parallel-region span (ingested under `par/{label}` with an
+    /// `imbalance` counter).  Lower is better; 1.0 is a perfectly balanced
+    /// team, matching the imbalance factor of the paper's Table 3.
+    pub fn region_metrics(&self) -> Vec<(String, f64)> {
+        self.spans
+            .iter()
+            .filter_map(|s| {
+                let label = s.path.strip_prefix("par/")?;
+                let imb = s.counter("imbalance")?;
+                Some((format!("{label}:imbalance"), imb))
+            })
+            .collect()
+    }
+
+    /// Derived achieved-bandwidth metrics: one `"{path}:gbps"` entry per
+    /// span carrying a `bytes` traffic counter and nonzero time — the
+    /// analytic Eq. 1-style byte count divided by the measured span time,
+    /// i.e. a live version of the paper's Table 2 columns.
+    pub fn bandwidth_metrics(&self) -> Vec<(String, f64)> {
+        self.spans
+            .iter()
+            .filter_map(|s| {
+                let bytes = s.counter("bytes")?;
+                if s.total_s <= 0.0 {
+                    return None;
+                }
+                Some((format!("{}:gbps", s.path), bytes / s.total_s / 1e9))
+            })
+            .collect()
+    }
+
     /// Build the JSON tree for this report.
     pub fn to_json(&self) -> Value {
         Value::Obj(vec![
@@ -340,6 +372,40 @@ mod tests {
         let old = PerfReport::from_json_str(legacy).unwrap();
         assert!(old.span("a").unwrap().hist.is_empty());
         assert!(old.tail_metrics().is_empty());
+    }
+
+    #[test]
+    fn region_and_bandwidth_metrics_derive_from_spans() {
+        let reg = Registry::enabled(0);
+        // A parallel region ingested the way the bench drains the profiler:
+        // wall time on the span, derived stats as counters.
+        reg.record_span("par/spmv_csr", TimeDomain::Measured, 0.5, 7);
+        reg.counter_at("par/spmv_csr", TimeDomain::Measured, "imbalance", 1.25);
+        reg.counter_at("par/spmv_csr", TimeDomain::Measured, "busy_max_s", 0.45);
+        // A timed kernel span with an analytic byte-traffic counter.
+        reg.record_span("spmv", TimeDomain::Measured, 2.0, 10);
+        reg.counter_at("spmv", TimeDomain::Measured, "bytes", 30e9);
+        // A span with bytes but zero time must not divide by zero.
+        reg.counter_at("empty", TimeDomain::Measured, "bytes", 1e9);
+        let r = PerfReport::new("t").with_snapshot(&reg.snapshot());
+
+        let regions = r.region_metrics();
+        assert_eq!(regions, vec![("spmv_csr:imbalance".to_string(), 1.25)]);
+
+        let bw = r.bandwidth_metrics();
+        assert_eq!(bw.len(), 1, "zero-time span must be skipped: {bw:?}");
+        assert_eq!(bw[0].0, "spmv:gbps");
+        assert!((bw[0].1 - 15.0).abs() < 1e-12);
+
+        // Both survive a JSON round trip (they are pure span derivations).
+        let back = PerfReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back.region_metrics(), regions);
+        assert_eq!(back.bandwidth_metrics(), bw);
+
+        // Reports without profile spans (pre-profile fixtures) yield none.
+        let plain = sample_report();
+        assert!(plain.region_metrics().is_empty());
+        assert!(plain.bandwidth_metrics().is_empty());
     }
 
     #[test]
