@@ -89,4 +89,47 @@ check_overhead() {
 }
 check_overhead || { echo "ci: profiling overhead check retrying"; check_overhead; }
 
+# Rank-tracing leg: the `ranks` sweep at 4 simulated ranks with per-rank
+# tracing.  The chrome trace must carry one lane per rank plus message
+# flow arrows, the report the critical-path and wait-fraction gate
+# metrics with eta_impl in (0, 1], and `fun3d-report comm` the per-rank
+# phase table with a laggard called out.
+./target/release/ranks --scale 0.01 --ranks 4 --trace-ranks --quiet \
+    --json "$smoke_dir/ranks.json" --trace "$smoke_dir/ranks.trace.json" \
+    > "$smoke_dir/ranks.log"
+lanes=$(grep -o '"tid":[0-9]*' "$smoke_dir/ranks.trace.json" | sort -u | wc -l)
+[ "$lanes" -eq 4 ] || { echo "ci: expected 4 trace lanes, got $lanes"; exit 1; }
+grep -q '"ph":"s"' "$smoke_dir/ranks.trace.json"
+eta=$(grep -o '"eta_impl":[0-9.e-]*' "$smoke_dir/ranks.json" | cut -d: -f2)
+awk -v e="$eta" 'BEGIN { exit !(e > 0 && e <= 1) }' \
+    || { echo "ci: eta_impl out of (0,1]: $eta"; exit 1; }
+grep -q '"cp:total_s"' "$smoke_dir/ranks.json"
+grep -q '"rank:scatter:wait_frac"' "$smoke_dir/ranks.json"
+grep -q '"comm:bytes_per_iter"' "$smoke_dir/ranks.json"
+./target/release/fun3d-report comm "$smoke_dir/ranks.json" > "$smoke_dir/comm.log"
+grep -q "Per-rank phases" "$smoke_dir/comm.log"
+grep -q "laggard" "$smoke_dir/comm.log"
+grep -q "Critical path" "$smoke_dir/comm.log"
+# The rank sweep must also gate cleanly against its own baseline.
+./target/release/fun3d-bench run --suite ranks --scale 0.01 --ranks 4 --trace-ranks \
+    --save-baseline "$smoke_dir/ranks-base.json" > "$smoke_dir/ranks-save.log"
+./target/release/fun3d-bench run --suite ranks --scale 0.01 --ranks 4 --trace-ranks \
+    --baseline "$smoke_dir/ranks-base.json" --tol-rel 1000 > "$smoke_dir/ranks-gate.log"
+grep -q "overall:" "$smoke_dir/ranks-gate.log"
+
+# Rank tracing off must cost <5% wall clock (the traced run above already
+# pinned the simulated results; bitwise identity is a unit test).  One
+# retry damps scheduler noise.
+check_trace_overhead() {
+    t_off=$(./target/release/ranks --scale 0.01 --ranks 4 --quiet \
+        --json "$smoke_dir/ranks-off.json" > /dev/null \
+        && grep -o '"wall_s":[0-9.e-]*' "$smoke_dir/ranks-off.json" | cut -d: -f2)
+    t_on=$(./target/release/ranks --scale 0.01 --ranks 4 --trace-ranks --quiet \
+        --json "$smoke_dir/ranks-on.json" > /dev/null \
+        && grep -o '"wall_s":[0-9.e-]*' "$smoke_dir/ranks-on.json" | cut -d: -f2)
+    awk -v off="$t_off" -v on="$t_on" 'BEGIN { exit !(on <= off * 1.05) }'
+}
+check_trace_overhead \
+    || { echo "ci: rank-trace overhead check retrying"; check_trace_overhead; }
+
 echo "ci: all checks passed"

@@ -7,7 +7,7 @@
 use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
-    let args = BenchArgs::parse(0.3);
+    let args = BenchArgs::parse_for("ablations", 0.3);
     let out = runners::ablations::run(&args);
     args.emit_report(&out.report);
     args.emit_trace(&out.telemetry);

@@ -7,7 +7,7 @@
 use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
-    let args = BenchArgs::parse(1.0);
+    let args = BenchArgs::parse_for("figure1", 1.0);
     let out = runners::figure1::run(&args);
     args.emit_report(&out.report);
     args.emit_trace(&out.telemetry);

@@ -7,7 +7,7 @@
 use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
-    let args = BenchArgs::parse(0.01);
+    let args = BenchArgs::parse_for("figure4", 0.01);
     let out = runners::figure4::run(&args);
     args.emit_report(&out.report);
     args.emit_trace(&out.telemetry);

@@ -7,7 +7,7 @@
 use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
-    let args = BenchArgs::parse(0.03);
+    let args = BenchArgs::parse_for("parallel_nks", 0.03);
     let out = runners::parallel_nks::run(&args);
     args.emit_report(&out.report);
     args.emit_trace(&out.telemetry);

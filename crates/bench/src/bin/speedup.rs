@@ -3,7 +3,7 @@
 use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
-    let args = BenchArgs::parse(0.5);
+    let args = BenchArgs::parse_for("speedup", 0.5);
     let out = runners::speedup::run(&args);
     args.emit_report(&out.report);
     args.emit_trace(&out.telemetry);

@@ -7,7 +7,7 @@
 use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
-    let args = BenchArgs::parse(0.25);
+    let args = BenchArgs::parse_for("table1", 0.25);
     let out = runners::table1::run(&args);
     args.emit_report(&out.report);
     args.emit_trace(&out.telemetry);

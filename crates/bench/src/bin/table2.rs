@@ -7,7 +7,7 @@
 use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
-    let args = BenchArgs::parse(0.08);
+    let args = BenchArgs::parse_for("table2", 0.08);
     let out = runners::table2::run(&args);
     args.emit_report(&out.report);
     args.emit_trace(&out.telemetry);

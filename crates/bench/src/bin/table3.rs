@@ -7,7 +7,7 @@
 use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
-    let args = BenchArgs::parse(0.008);
+    let args = BenchArgs::parse_for("table3", 0.008);
     let out = runners::table3::run(&args);
     args.emit_report(&out.report);
     args.emit_trace(&out.telemetry);

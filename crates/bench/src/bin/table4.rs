@@ -7,7 +7,7 @@
 use fun3d_bench::{runners, BenchArgs};
 
 fn main() {
-    let args = BenchArgs::parse(0.06);
+    let args = BenchArgs::parse_for("table4", 0.06);
     let out = runners::table4::run(&args);
     args.emit_report(&out.report);
     args.emit_trace(&out.telemetry);

@@ -56,6 +56,13 @@ pub struct BenchArgs {
     /// their timed work in [`BenchArgs::profile_begin`] /
     /// [`BenchArgs::profile_finish`].
     pub profile: bool,
+    /// Simulated rank-count cap for the message-passing experiments
+    /// (`--ranks <n>`; 0 keeps each runner's default sweep).
+    pub ranks: usize,
+    /// Record per-rank span timelines, message ledgers, and cross-rank flow
+    /// arrows in the message-passing experiments (`--trace-ranks`; defaults
+    /// to the `FUN3D_TRACE_RANKS` environment variable).
+    pub trace_ranks: bool,
 }
 
 impl BenchArgs {
@@ -83,22 +90,37 @@ impl BenchArgs {
                     !v.is_empty() && v != "0"
                 })
                 .unwrap_or(false),
+            ranks: 0,
+            trace_ranks: std::env::var("FUN3D_TRACE_RANKS")
+                .map(|v| {
+                    let v = v.trim().to_string();
+                    !v.is_empty() && v != "0"
+                })
+                .unwrap_or(false),
         }
     }
 
-    /// Parse from `std::env::args`: `--scale <f>`, `--full`, `--steps <n>`,
-    /// `--reps <n>`, `--suite <name>`, `--quiet`, `--json <path>`,
-    /// `--trace <path>`, `--events <path>`, `--threads <n>`, `--profile`.
-    /// Panics on unknown flags.
-    pub fn parse(default_scale: f64) -> Self {
+    /// Parse from `std::env::args` for the experiment named `suite`: the
+    /// shared flags of [`BenchArgs::parse_known`] (`--scale <f>`, `--full`,
+    /// `--steps <n>`, `--reps <n>`, `--suite <name>`, `--quiet`,
+    /// `--json <path>`, `--trace <path>`, `--events <path>`,
+    /// `--threads <n>`, `--profile`, `--ranks <n>`, `--trace-ranks`).
+    /// Panics on unknown flags, naming the suite.
+    pub fn parse_for(suite: &str, default_scale: f64) -> Self {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let (out, rest) = Self::parse_known(default_scale, &argv);
+        Self::reject_leftovers(suite, &rest);
+        out
+    }
+
+    /// Panic on the first unrecognized argument, naming the suite so the
+    /// message says *which* experiment rejected the flag.
+    pub fn reject_leftovers(suite: &str, rest: &[String]) {
         if let Some(other) = rest.first() {
             panic!(
-                "unknown argument: {other} (expected --scale/--full/--steps/--reps/--suite/--quiet/--json/--trace/--events/--threads/--profile)"
+                "unknown argument: {other} (suite {suite}; expected --scale/--full/--steps/--reps/--suite/--quiet/--json/--trace/--events/--threads/--profile/--ranks/--trace-ranks)"
             );
         }
-        out
     }
 
     /// Parse the shared flags out of `argv`, returning the parsed options
@@ -158,6 +180,13 @@ impl BenchArgs {
                         .expect("--threads expects an integer");
                 }
                 "--profile" => out.profile = true,
+                "--ranks" => {
+                    i += 1;
+                    out.ranks = value(i, "--ranks")
+                        .parse()
+                        .expect("--ranks expects an integer");
+                }
+                "--trace-ranks" => out.trace_ranks = true,
                 other => rest.push(other.to_string()),
             }
             i += 1;
@@ -165,6 +194,7 @@ impl BenchArgs {
         assert!(out.scale > 0.0 && out.scale <= 4.0, "scale out of range");
         assert!(out.reps >= 1, "--reps must be at least 1");
         assert!(out.threads >= 1, "--threads must be at least 1");
+        assert!(out.ranks <= 1024, "--ranks out of range");
         (out, rest)
     }
 
@@ -499,6 +529,43 @@ mod tests {
             10.0,
         );
         IluFactors::factor(&jac, &IluOptions::with_fill(0)).expect("factorable");
+    }
+
+    #[test]
+    fn parse_known_accepts_rank_flags_and_returns_leftovers() {
+        let argv: Vec<String> = ["--ranks", "8", "--trace-ranks", "--whoops"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (args, rest) = BenchArgs::parse_known(0.5, &argv);
+        assert_eq!(args.ranks, 8);
+        assert!(args.trace_ranks);
+        assert_eq!(rest, vec!["--whoops".to_string()]);
+    }
+
+    #[test]
+    fn every_experiment_rejects_typoed_flags_by_suite_name() {
+        // Every binary funnels through `parse_for(name, ..)`, which calls
+        // `reject_leftovers`; the panic must name the suite and the flag so
+        // a typo in a 17-binary sweep is attributable from the message.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for e in crate::runners::all() {
+            let name = e.name();
+            let err = std::panic::catch_unwind(|| {
+                BenchArgs::reject_leftovers(name, &["--typo".to_string()]);
+            })
+            .expect_err("typo'd flag must be rejected");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+            assert!(
+                msg.contains(name) && msg.contains("--typo"),
+                "suite {name}: {msg}"
+            );
+        }
+        std::panic::set_hook(prev);
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod figure4;
 pub mod figure5;
 pub mod miss_bounds;
 pub mod parallel_nks;
+pub mod ranks;
 pub mod speedup;
 pub mod spmv;
 pub mod stream;
@@ -35,6 +36,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(figure5::Figure5),
         Box::new(miss_bounds::MissBounds),
         Box::new(parallel_nks::ParallelNks),
+        Box::new(ranks::Ranks),
         Box::new(speedup::Speedup),
         Box::new(spmv::Spmv),
         Box::new(stream::Stream),
@@ -62,7 +64,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(names, sorted, "registry must be sorted and duplicate-free");
-        assert_eq!(names.len(), 16);
+        assert_eq!(names.len(), 17);
     }
 
     #[test]

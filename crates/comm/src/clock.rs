@@ -7,6 +7,7 @@
 //! per-rank virtual clock through exactly these categories so the
 //! decomposition can be reported for any run.
 
+use crate::ranktrace::{RankTracer, TracePhase};
 use fun3d_memmodel::machine::MachineSpec;
 use fun3d_telemetry::{Registry, TimeDomain};
 
@@ -79,6 +80,16 @@ impl PhaseBreakdown {
     }
 }
 
+/// Wait-vs-transfer split of one communication event's simulated cost, as
+/// booked by the clock (both in seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CommCost {
+    /// Implicit-synchronization wait (imbalance).
+    pub wait_s: f64,
+    /// Transfer / reduction time from the machine model.
+    pub active_s: f64,
+}
+
 /// A simulated clock tied to a machine model.
 #[derive(Debug, Clone)]
 pub struct SimClock {
@@ -89,6 +100,9 @@ pub struct SimClock {
     pub bytes_sent: f64,
     /// Total flops this rank executed (for Gflop/s reporting).
     pub flops: f64,
+    /// When tracing, every clock advance also lands on the rank's
+    /// simulated-time span timeline.  `None` is the zero-cost default.
+    tracer: Option<RankTracer>,
 }
 
 impl SimClock {
@@ -100,6 +114,26 @@ impl SimClock {
             breakdown: PhaseBreakdown::default(),
             bytes_sent: 0.0,
             flops: 0.0,
+            tracer: None,
+        }
+    }
+
+    /// Attach a per-rank tracer: subsequent advances are mirrored onto the
+    /// rank's telemetry timeline as simulated spans.
+    pub fn set_tracer(&mut self, tracer: RankTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Whether a tracer is attached.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Flush any coalesced pending trace interval; call before taking a
+    /// telemetry snapshot.
+    pub fn flush_trace(&mut self) {
+        if let Some(tr) = &mut self.tracer {
+            tr.flush();
         }
     }
 
@@ -122,6 +156,9 @@ impl SimClock {
     /// touching `bytes` of memory, at the given scheduling efficiency.
     pub fn compute(&mut self, flops: f64, bytes: f64, efficiency: f64) {
         let dt = self.machine.compute_time(flops, bytes, efficiency);
+        if let Some(tr) = &mut self.tracer {
+            tr.compute(self.now, dt);
+        }
         self.now += dt;
         self.breakdown.compute += dt;
         self.flops += flops;
@@ -129,36 +166,68 @@ impl SimClock {
 
     /// Record the receipt of a message of `bytes` sent at simulated time
     /// `sent_at`.  Wait (sender later than us) is booked as implicit
-    /// synchronization; the transfer itself as scatter time.
-    pub fn receive_message(&mut self, bytes: f64, sent_at: f64) {
-        if sent_at > self.now {
-            self.breakdown.implicit_sync += sent_at - self.now;
+    /// synchronization; the transfer itself as scatter time.  Returns the
+    /// wait-vs-transfer split for ledger accounting.
+    pub fn receive_message(&mut self, bytes: f64, sent_at: f64) -> CommCost {
+        let wait = (sent_at - self.now).max(0.0);
+        if wait > 0.0 {
+            if let Some(tr) = &mut self.tracer {
+                tr.comm(TracePhase::Wait, self.now, wait);
+            }
+            self.breakdown.implicit_sync += wait;
             self.now = sent_at;
         }
         let transfer = self.machine.message_time(bytes);
+        if let Some(tr) = &mut self.tracer {
+            tr.comm(TracePhase::Scatter, self.now, transfer);
+        }
         self.now += transfer;
         self.breakdown.scatter += transfer;
+        CommCost {
+            wait_s: wait,
+            active_s: transfer,
+        }
     }
 
     /// Record the send side of a message (sender does not block; only the
     /// injection overhead, modeled as the latency term, is charged).
-    pub fn send_message(&mut self, bytes: f64) {
+    /// Returns the injection cost for ledger accounting.
+    pub fn send_message(&mut self, bytes: f64) -> CommCost {
         self.bytes_sent += bytes;
         let dt = self.machine.net_latency_s;
+        if let Some(tr) = &mut self.tracer {
+            tr.comm(TracePhase::Scatter, self.now, dt);
+        }
         self.now += dt;
         self.breakdown.scatter += dt;
+        CommCost {
+            wait_s: 0.0,
+            active_s: dt,
+        }
     }
 
     /// Synchronize with a global reduction over `p` ranks whose maximum
     /// clock is `t_max`: imbalance wait plus the log-tree reduction term.
-    pub fn allreduce_sync(&mut self, p: usize, t_max: f64) {
-        if t_max > self.now {
-            self.breakdown.implicit_sync += t_max - self.now;
+    /// Returns the wait-vs-reduction split for ledger accounting.
+    pub fn allreduce_sync(&mut self, p: usize, t_max: f64) -> CommCost {
+        let wait = (t_max - self.now).max(0.0);
+        if wait > 0.0 {
+            if let Some(tr) = &mut self.tracer {
+                tr.comm(TracePhase::Wait, self.now, wait);
+            }
+            self.breakdown.implicit_sync += wait;
             self.now = t_max;
         }
         let dt = self.machine.allreduce_time(p);
+        if let Some(tr) = &mut self.tracer {
+            tr.comm(TracePhase::Reduction, self.now, dt);
+        }
         self.now += dt;
         self.breakdown.reduction += dt;
+        CommCost {
+            wait_s: wait,
+            active_s: dt,
+        }
     }
 
     /// Record this clock's accumulated state (phase breakdown plus data
@@ -258,6 +327,57 @@ mod tests {
             Some(4096.0)
         );
         assert_eq!(snap.span("sim").unwrap().counter("flops"), Some(333e6));
+    }
+
+    #[test]
+    fn comm_costs_match_breakdown_deltas() {
+        let mut c = clock();
+        c.compute(33.3e6, 0.0, 1.0); // now = 0.1
+        let recv = c.receive_message(8000.0, 0.5);
+        assert!((recv.wait_s - 0.4).abs() < 1e-12);
+        assert!((recv.active_s - c.breakdown().scatter).abs() < 1e-15);
+        let red = c.allreduce_sync(64, c.now() + 0.25);
+        assert!((red.wait_s - 0.25).abs() < 1e-12);
+        assert!((red.active_s - c.breakdown().reduction).abs() < 1e-15);
+        let send = c.send_message(1024.0);
+        assert_eq!(send.wait_s, 0.0);
+        assert!(send.active_s > 0.0);
+        assert!((c.breakdown().total() - c.now()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_clock_mirrors_phases_onto_timeline() {
+        use crate::ranktrace::RankTracer;
+        let reg = fun3d_telemetry::Registry::enabled(1);
+        let mut c = clock();
+        c.set_tracer(RankTracer::new(reg.clone(), 1));
+        assert!(c.trace_enabled());
+        c.compute(333e6, 0.0, 1.0);
+        c.receive_message(8000.0, 2.0); // waits 1.0, then transfer
+        c.allreduce_sync(16, c.now());
+        c.flush_trace();
+        let snap = reg.snapshot();
+        let b = c.breakdown();
+        for (path, want) in [
+            ("rank1/compute", b.compute),
+            ("rank1/scatter", b.scatter),
+            ("rank1/reduction", b.reduction),
+            ("rank1/wait", b.implicit_sync),
+        ] {
+            let row = snap.span(path).unwrap_or_else(|| panic!("missing {path}"));
+            assert!(
+                (row.total_s - want).abs() < 1e-12,
+                "{path}: {} != {want}",
+                row.total_s
+            );
+        }
+        // Untraced clock with the same program books identically.
+        let mut c2 = clock();
+        c2.compute(333e6, 0.0, 1.0);
+        c2.receive_message(8000.0, 2.0);
+        c2.allreduce_sync(16, c2.now());
+        assert_eq!(c2.now(), c.now());
+        assert_eq!(c2.breakdown(), c.breakdown());
     }
 
     #[test]

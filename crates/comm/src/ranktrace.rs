@@ -1,0 +1,737 @@
+//! `fun3d-ranktrace`: per-rank distributed tracing and communication
+//! accounting for simulated multi-rank runs.
+//!
+//! The paper's parallel analysis (Tables 3–5) is a per-rank story: ghost
+//! exchange volume, synchronization waits, and the η_alg · η_impl efficiency
+//! split.  This module gives each simulated rank
+//!
+//! * a [`RankTracer`]: a span timeline on the rank's telemetry registry in
+//!   simulated time, one lane per rank in the chrome trace.  Rank-labelled
+//!   span paths (`rank3/compute`, ...) are interned **once per (rank,
+//!   label)** at construction — the per-call path is a `&str` borrow, never
+//!   a `format!`, keeping the hot path allocation-free (the same discipline
+//!   as `Registry`'s `bump_counter`);
+//! * a [`MessageLedger`]: one [`LedgerOp`] per ghost-exchange message and
+//!   collective — bytes, peer rank, simulated cost from the machine model,
+//!   and the wait-vs-transfer split the clock computed;
+//! * a [`critical_path`] walk over the rank×op DAG the ledgers encode,
+//!   attributing end-to-end simulated time to compute / exchange / wait.
+//!
+//! Both tracer and ledger are disabled by default; an untraced world runs
+//! the identical arithmetic (tracing never feeds back into the clock), so
+//! results are bitwise-identical with tracing off.
+
+use fun3d_telemetry::{Registry, TimeDomain};
+
+/// The four timeline lanes a rank's simulated time divides into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Local computation (roofline time).
+    Compute,
+    /// Ghost-point scatter transfer / injection.
+    Scatter,
+    /// Global reduction tree time.
+    Reduction,
+    /// Implicit-synchronization wait (imbalance).
+    Wait,
+}
+
+/// Per-rank span paths, formatted once at construction (satellite: no
+/// per-call `format!` in the span path).
+#[derive(Debug, Clone)]
+struct RankPaths {
+    compute: String,
+    scatter: String,
+    reduction: String,
+    wait: String,
+}
+
+impl RankPaths {
+    fn new(rank: usize) -> Self {
+        Self {
+            compute: format!("rank{rank}/compute"),
+            scatter: format!("rank{rank}/scatter"),
+            reduction: format!("rank{rank}/reduction"),
+            wait: format!("rank{rank}/wait"),
+        }
+    }
+
+    fn path(&self, phase: TracePhase) -> &str {
+        match phase {
+            TracePhase::Compute => &self.compute,
+            TracePhase::Scatter => &self.scatter,
+            TracePhase::Reduction => &self.reduction,
+            TracePhase::Wait => &self.wait,
+        }
+    }
+}
+
+/// Places a rank's simulated phases on its telemetry timeline.
+///
+/// Adjacent compute intervals are coalesced (kernels advance the clock many
+/// times between communication events); communication phases flush the
+/// pending compute interval and record immediately.
+#[derive(Debug, Clone)]
+pub struct RankTracer {
+    reg: Registry,
+    paths: RankPaths,
+    /// Coalesced compute interval not yet recorded: (start, end).
+    pending: Option<(f64, f64)>,
+}
+
+impl RankTracer {
+    /// A tracer recording rank-labelled simulated spans into `reg`.
+    pub fn new(reg: Registry, rank: usize) -> Self {
+        Self {
+            reg,
+            paths: RankPaths::new(rank),
+            pending: None,
+        }
+    }
+
+    /// Record a compute advance `[t0, t0+dt]`, merging with the pending
+    /// interval when contiguous.
+    pub fn compute(&mut self, t0: f64, dt: f64) {
+        if dt <= 0.0 {
+            return;
+        }
+        match &mut self.pending {
+            Some((_, end)) if *end == t0 => *end = t0 + dt,
+            _ => {
+                self.flush();
+                self.pending = Some((t0, t0 + dt));
+            }
+        }
+    }
+
+    /// Record a communication-phase interval `[t0, t0+dt]`.
+    pub fn comm(&mut self, phase: TracePhase, t0: f64, dt: f64) {
+        self.flush();
+        if dt <= 0.0 {
+            return;
+        }
+        self.reg
+            .record_event(self.paths.path(phase), TimeDomain::Simulated, t0, dt);
+    }
+
+    /// Flush the pending coalesced compute interval, if any.  Call before
+    /// snapshotting the registry.
+    pub fn flush(&mut self) {
+        if let Some((start, end)) = self.pending.take() {
+            self.reg.record_event(
+                &self.paths.compute,
+                TimeDomain::Simulated,
+                start,
+                end - start,
+            );
+        }
+    }
+}
+
+/// One communication operation on a rank's simulated timeline.  Timestamps
+/// are simulated seconds; every op occupies `[t_start, end()]` on its rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LedgerOp {
+    /// Message injection toward `peer` (sender side does not block).
+    Send {
+        /// Destination rank.
+        peer: usize,
+        /// Payload bytes.
+        bytes: f64,
+        /// Simulated time at injection.
+        t_start: f64,
+        /// Injection overhead charged (the latency term).
+        inject_s: f64,
+    },
+    /// Message receipt from `peer`.
+    Recv {
+        /// Source rank.
+        peer: usize,
+        /// Payload bytes.
+        bytes: f64,
+        /// Simulated time the receive was posted.
+        t_start: f64,
+        /// Sender's simulated send time (the cross-rank dependency).
+        sent_at: f64,
+        /// Implicit-synchronization wait booked (sender later than us).
+        wait_s: f64,
+        /// Transfer time from the machine model (latency + bytes/bandwidth).
+        transfer_s: f64,
+    },
+    /// Global collective over `p` ranks.
+    Collective {
+        /// World size.
+        p: usize,
+        /// Reduced payload length in elements.
+        elems: usize,
+        /// Simulated time this rank entered the collective.
+        t_start: f64,
+        /// Maximum clock over participants (everyone syncs to it).
+        t_max: f64,
+        /// The rank that set `t_max` (the collective's critical rank).
+        critical_rank: usize,
+        /// Wait to `t_max`.
+        wait_s: f64,
+        /// Log-tree reduction time.
+        reduce_s: f64,
+    },
+}
+
+impl LedgerOp {
+    /// Simulated time at which this op started.
+    pub fn t_start(&self) -> f64 {
+        match *self {
+            LedgerOp::Send { t_start, .. }
+            | LedgerOp::Recv { t_start, .. }
+            | LedgerOp::Collective { t_start, .. } => t_start,
+        }
+    }
+
+    /// Simulated time at which this op completed on its rank.
+    pub fn end(&self) -> f64 {
+        match *self {
+            LedgerOp::Send {
+                t_start, inject_s, ..
+            } => t_start + inject_s,
+            LedgerOp::Recv {
+                t_start,
+                wait_s,
+                transfer_s,
+                ..
+            } => t_start + wait_s + transfer_s,
+            LedgerOp::Collective {
+                t_start,
+                wait_s,
+                reduce_s,
+                ..
+            } => t_start + wait_s + reduce_s,
+        }
+    }
+}
+
+/// Per-rank message ledger: every ghost exchange and collective this rank
+/// took part in, in timeline order.  Disabled ledgers cost one branch per
+/// communication call and record nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MessageLedger {
+    rank: usize,
+    enabled: bool,
+    ops: Vec<LedgerOp>,
+    /// Simulated clock at the end of the run (set by [`MessageLedger::close`]).
+    finish_s: f64,
+}
+
+impl MessageLedger {
+    /// An enabled ledger for `rank`.
+    pub fn enabled(rank: usize) -> Self {
+        Self {
+            rank,
+            enabled: true,
+            ops: Vec::new(),
+            finish_s: 0.0,
+        }
+    }
+
+    /// A disabled (no-op) ledger.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether this ledger records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The rank this ledger belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Recorded operations in timeline order.
+    pub fn ops(&self) -> &[LedgerOp] {
+        &self.ops
+    }
+
+    /// Final simulated clock, set by [`MessageLedger::close`].
+    pub fn finish_s(&self) -> f64 {
+        self.finish_s
+    }
+
+    /// Append an operation (no-op when disabled).
+    pub fn record(&mut self, op: LedgerOp) {
+        if self.enabled {
+            self.ops.push(op);
+        }
+    }
+
+    /// Seal the ledger with the rank's final simulated clock.
+    pub fn close(&mut self, now_s: f64) {
+        self.finish_s = self.finish_s.max(now_s);
+    }
+
+    /// Number of point-to-point messages sent.
+    pub fn nsends(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, LedgerOp::Send { .. }))
+            .count()
+    }
+
+    /// Number of point-to-point messages received.
+    pub fn nrecvs(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, LedgerOp::Recv { .. }))
+            .count()
+    }
+
+    /// Number of collectives joined.
+    pub fn ncollectives(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, LedgerOp::Collective { .. }))
+            .count()
+    }
+
+    /// Total point-to-point bytes sent.
+    pub fn bytes_sent(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                LedgerOp::Send { bytes, .. } => *bytes,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Total point-to-point bytes received.
+    pub fn bytes_received(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                LedgerOp::Recv { bytes, .. } => *bytes,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Bytes sent per destination rank: `(peer, message count, bytes)`,
+    /// sorted by peer.
+    pub fn sends_by_peer(&self) -> Vec<(usize, usize, f64)> {
+        let mut acc: Vec<(usize, usize, f64)> = Vec::new();
+        for op in &self.ops {
+            if let LedgerOp::Send { peer, bytes, .. } = op {
+                match acc.iter_mut().find(|(p, _, _)| p == peer) {
+                    Some((_, n, b)) => {
+                        *n += 1;
+                        *b += bytes;
+                    }
+                    None => acc.push((*peer, 1, *bytes)),
+                }
+            }
+        }
+        acc.sort_by_key(|&(p, _, _)| p);
+        acc
+    }
+
+    /// Wait booked at point-to-point receives (implicit sync at scatters).
+    pub fn wait_at_recv_s(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                LedgerOp::Recv { wait_s, .. } => *wait_s,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Wait booked entering collectives (implicit sync at reductions).
+    pub fn wait_at_collective_s(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                LedgerOp::Collective { wait_s, .. } => *wait_s,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Transfer + injection time at point-to-point messages.
+    pub fn transfer_s(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                LedgerOp::Send { inject_s, .. } => *inject_s,
+                LedgerOp::Recv { transfer_s, .. } => *transfer_s,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Reduction-tree time at collectives.
+    pub fn reduce_s(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                LedgerOp::Collective { reduce_s, .. } => *reduce_s,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Write the ledger's aggregates into a telemetry registry as counters
+    /// on the rank's simulated spans, so merged reports carry per-rank
+    /// communication accounting.  Called once at end of run; the per-peer
+    /// counter names are formatted here, never on the message path.
+    pub fn ingest_into(&self, reg: &Registry) {
+        if !self.enabled {
+            return;
+        }
+        let paths = RankPaths::new(self.rank);
+        let scatter = paths.path(TracePhase::Scatter);
+        reg.counter_at(
+            scatter,
+            TimeDomain::Simulated,
+            "bytes_sent",
+            self.bytes_sent(),
+        );
+        reg.counter_at(
+            scatter,
+            TimeDomain::Simulated,
+            "bytes_recv",
+            self.bytes_received(),
+        );
+        reg.counter_at(
+            scatter,
+            TimeDomain::Simulated,
+            "msgs_sent",
+            self.nsends() as f64,
+        );
+        reg.counter_at(
+            scatter,
+            TimeDomain::Simulated,
+            "msgs_recv",
+            self.nrecvs() as f64,
+        );
+        for (peer, count, bytes) in self.sends_by_peer() {
+            reg.counter_at(
+                scatter,
+                TimeDomain::Simulated,
+                &format!("to{peer}_bytes"),
+                bytes,
+            );
+            reg.counter_at(
+                scatter,
+                TimeDomain::Simulated,
+                &format!("to{peer}_msgs"),
+                count as f64,
+            );
+        }
+        let wait = paths.path(TracePhase::Wait);
+        reg.counter_at(
+            wait,
+            TimeDomain::Simulated,
+            "at_scatter_s",
+            self.wait_at_recv_s(),
+        );
+        reg.counter_at(
+            wait,
+            TimeDomain::Simulated,
+            "at_reduction_s",
+            self.wait_at_collective_s(),
+        );
+    }
+}
+
+/// Critical-path attribution over the rank×op DAG: end-to-end simulated
+/// time split into compute, exchange (transfer + injection + reduction
+/// tree), and wait that no cross-rank dependency explains.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CriticalPath {
+    /// End-to-end simulated time (the last rank's finish).
+    pub total_s: f64,
+    /// Compute time along the path.
+    pub compute_s: f64,
+    /// Message transfer / injection / reduction time along the path.
+    pub exchange_s: f64,
+    /// Residual wait along the path (ties, self-dependencies).
+    pub wait_s: f64,
+    /// Rank whose finish time ends the path.
+    pub end_rank: usize,
+    /// Number of rank-to-rank jumps the walk took.
+    pub hops: usize,
+}
+
+impl CriticalPath {
+    /// `compute_s + exchange_s + wait_s` — equals `total_s` up to rounding.
+    pub fn accounted_s(&self) -> f64 {
+        self.compute_s + self.exchange_s + self.wait_s
+    }
+}
+
+/// Walk the critical path backwards from the last rank to finish.
+///
+/// Each rank's ledger is a chain of communication ops; the gaps between
+/// them are compute.  At a receive whose wait was caused by a late sender
+/// the walk jumps to the sender at its send time; at a collective it jumps
+/// to the rank that set `t_max`.  Every simulated second in `[0, total]`
+/// is attributed exactly once, so the parts sum to the total.
+///
+/// Ledgers must be closed ([`MessageLedger::close`]) and indexed by rank
+/// (`ledgers[r].rank() == r`).
+pub fn critical_path(ledgers: &[MessageLedger]) -> CriticalPath {
+    if ledgers.is_empty() {
+        return CriticalPath::default();
+    }
+    let end_rank = (0..ledgers.len())
+        .max_by(|&a, &b| ledgers[a].finish_s().total_cmp(&ledgers[b].finish_s()))
+        .unwrap();
+    let total = ledgers[end_rank].finish_s();
+    let mut cp = CriticalPath {
+        total_s: total,
+        end_rank,
+        ..Default::default()
+    };
+    // Per-rank pointer one past the last op still eligible; cursor time is
+    // globally non-increasing, so pointers only ever move left.
+    let mut ptr: Vec<usize> = ledgers.iter().map(|l| l.ops().len()).collect();
+    let mut r = end_rank;
+    let mut t = total;
+    while t > 0.0 {
+        let ops = ledgers[r].ops();
+        while ptr[r] > 0 && ops[ptr[r] - 1].end() > t {
+            ptr[r] -= 1;
+        }
+        if ptr[r] == 0 {
+            // Only compute (or idle start) remains on this rank.
+            cp.compute_s += t;
+            break;
+        }
+        let op = ops[ptr[r] - 1];
+        ptr[r] -= 1;
+        // Gap between the op's completion and the cursor is compute.
+        cp.compute_s += (t - op.end()).max(0.0);
+        t = op.end();
+        match op {
+            LedgerOp::Send { inject_s, .. } => {
+                cp.exchange_s += inject_s;
+                t -= inject_s;
+            }
+            LedgerOp::Recv {
+                peer,
+                sent_at,
+                wait_s,
+                transfer_s,
+                ..
+            } => {
+                cp.exchange_s += transfer_s;
+                t -= transfer_s;
+                if wait_s > 0.0 && peer != r {
+                    // The sender was the bottleneck: follow the message.
+                    r = peer;
+                    t = sent_at;
+                    cp.hops += 1;
+                } else {
+                    cp.wait_s += wait_s;
+                    t -= wait_s;
+                }
+            }
+            LedgerOp::Collective {
+                critical_rank,
+                t_max,
+                wait_s,
+                reduce_s,
+                ..
+            } => {
+                cp.exchange_s += reduce_s;
+                t -= reduce_s;
+                if wait_s > 0.0 && critical_rank != r {
+                    r = critical_rank;
+                    t = t_max;
+                    cp.hops += 1;
+                } else {
+                    cp.wait_s += wait_s;
+                    t -= wait_s;
+                }
+            }
+        }
+    }
+    cp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracer_coalesces_adjacent_compute() {
+        let reg = Registry::enabled(2);
+        let mut tr = RankTracer::new(reg.clone(), 2);
+        tr.compute(0.0, 1.0);
+        tr.compute(1.0, 1.0); // contiguous: merges
+        tr.comm(TracePhase::Scatter, 2.0, 0.5); // flushes the compute pair
+        tr.compute(2.5, 0.25);
+        tr.flush();
+        let snap = reg.snapshot();
+        let compute = snap.span("rank2/compute").unwrap();
+        assert_eq!(compute.calls, 2, "two coalesced intervals, not three");
+        assert!((compute.total_s - 2.25).abs() < 1e-12);
+        assert!((snap.span("rank2/scatter").unwrap().total_s - 0.5).abs() < 1e-12);
+        // Timeline events carry simulated placement.
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.path == "rank2/compute" && e.t_start_s == 0.0 && e.dur_s == 2.0));
+    }
+
+    #[test]
+    fn ledger_aggregates_by_kind_and_peer() {
+        let mut l = MessageLedger::enabled(0);
+        l.record(LedgerOp::Send {
+            peer: 1,
+            bytes: 64.0,
+            t_start: 0.0,
+            inject_s: 0.01,
+        });
+        l.record(LedgerOp::Send {
+            peer: 1,
+            bytes: 36.0,
+            t_start: 0.1,
+            inject_s: 0.01,
+        });
+        l.record(LedgerOp::Recv {
+            peer: 2,
+            bytes: 80.0,
+            t_start: 0.2,
+            sent_at: 0.5,
+            wait_s: 0.3,
+            transfer_s: 0.05,
+        });
+        l.record(LedgerOp::Collective {
+            p: 3,
+            elems: 1,
+            t_start: 0.9,
+            t_max: 1.0,
+            critical_rank: 2,
+            wait_s: 0.1,
+            reduce_s: 0.02,
+        });
+        l.close(1.12);
+        assert_eq!((l.nsends(), l.nrecvs(), l.ncollectives()), (2, 1, 1));
+        assert_eq!(l.bytes_sent(), 100.0);
+        assert_eq!(l.bytes_received(), 80.0);
+        assert_eq!(l.sends_by_peer(), vec![(1, 2, 100.0)]);
+        assert!((l.wait_at_recv_s() - 0.3).abs() < 1e-12);
+        assert!((l.wait_at_collective_s() - 0.1).abs() < 1e-12);
+        assert!((l.transfer_s() - 0.07).abs() < 1e-12);
+        assert!((l.reduce_s() - 0.02).abs() < 1e-12);
+
+        let reg = Registry::enabled(0);
+        l.ingest_into(&reg);
+        let snap = reg.snapshot();
+        let sc = snap.span("rank0/scatter").unwrap();
+        assert_eq!(sc.counter("bytes_sent"), Some(100.0));
+        assert_eq!(sc.counter("to1_bytes"), Some(100.0));
+        assert_eq!(sc.counter("to1_msgs"), Some(2.0));
+        let w = snap.span("rank0/wait").unwrap();
+        assert_eq!(w.counter("at_scatter_s"), Some(0.3));
+        assert_eq!(w.counter("at_reduction_s"), Some(0.1));
+    }
+
+    #[test]
+    fn disabled_ledger_records_nothing() {
+        let mut l = MessageLedger::disabled();
+        l.record(LedgerOp::Send {
+            peer: 0,
+            bytes: 8.0,
+            t_start: 0.0,
+            inject_s: 0.0,
+        });
+        assert!(l.ops().is_empty());
+        let reg = Registry::enabled(0);
+        l.ingest_into(&reg);
+        assert!(reg.snapshot().spans.is_empty());
+    }
+
+    /// Two ranks: rank 1 computes 1.0 s then sends; rank 0 posts its
+    /// receive at 0.1 s and waits.  The critical path runs through rank 1's
+    /// compute, not rank 0's wait.
+    #[test]
+    fn critical_path_follows_the_late_sender() {
+        let mut r0 = MessageLedger::enabled(0);
+        let mut r1 = MessageLedger::enabled(1);
+        r1.record(LedgerOp::Send {
+            peer: 0,
+            bytes: 800.0,
+            t_start: 1.0,
+            inject_s: 0.01,
+        });
+        r1.close(1.01);
+        r0.record(LedgerOp::Recv {
+            peer: 1,
+            bytes: 800.0,
+            t_start: 0.1,
+            sent_at: 1.0,
+            wait_s: 0.9,
+            transfer_s: 0.05,
+        });
+        r0.close(1.05);
+        let cp = critical_path(&[r0, r1]);
+        assert_eq!(cp.end_rank, 0);
+        assert_eq!(cp.hops, 1);
+        assert!((cp.total_s - 1.05).abs() < 1e-12);
+        // 1.0 of rank 1's compute + 0.05 transfer; the wait is explained.
+        assert!(
+            (cp.compute_s - 1.0).abs() < 1e-12,
+            "compute {}",
+            cp.compute_s
+        );
+        assert!((cp.exchange_s - 0.05).abs() < 1e-12);
+        assert!(cp.wait_s.abs() < 1e-12);
+        assert!((cp.accounted_s() - cp.total_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_jumps_to_collective_critical_rank() {
+        // Rank 1 computes 2.0 s; both join a collective syncing to 2.0.
+        let mut r0 = MessageLedger::enabled(0);
+        let mut r1 = MessageLedger::enabled(1);
+        r0.record(LedgerOp::Collective {
+            p: 2,
+            elems: 1,
+            t_start: 0.5,
+            t_max: 2.0,
+            critical_rank: 1,
+            wait_s: 1.5,
+            reduce_s: 0.1,
+        });
+        r0.close(2.1);
+        r1.record(LedgerOp::Collective {
+            p: 2,
+            elems: 1,
+            t_start: 2.0,
+            t_max: 2.0,
+            critical_rank: 1,
+            wait_s: 0.0,
+            reduce_s: 0.1,
+        });
+        r1.close(2.1);
+        let cp = critical_path(&[r0, r1]);
+        assert!((cp.total_s - 2.1).abs() < 1e-12);
+        assert!((cp.compute_s - 2.0).abs() < 1e-12);
+        assert!((cp.exchange_s - 0.1).abs() < 1e-12);
+        assert_eq!(cp.hops, if cp.end_rank == 0 { 1 } else { 0 });
+        assert!((cp.accounted_s() - cp.total_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_empty_and_single() {
+        assert_eq!(critical_path(&[]), CriticalPath::default());
+        let mut l = MessageLedger::enabled(0);
+        l.close(3.0);
+        let cp = critical_path(&[l]);
+        assert!((cp.total_s - 3.0).abs() < 1e-12);
+        assert!((cp.compute_s - 3.0).abs() < 1e-12);
+        assert_eq!(cp.hops, 0);
+    }
+}

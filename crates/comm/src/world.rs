@@ -13,9 +13,10 @@
 //! solver uses.
 
 use crate::clock::SimClock;
+use crate::ranktrace::{LedgerOp, MessageLedger, RankTracer};
 use fun3d_memmodel::machine::MachineSpec;
 use fun3d_telemetry::events::EventSink;
-use fun3d_telemetry::Registry;
+use fun3d_telemetry::{FlowEdge, Registry};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// A message: tag, payload, and the sender's simulated send time.
@@ -44,6 +45,10 @@ pub struct Rank {
     /// under [`run_world_instrumented`]); scatters emit
     /// [`fun3d_telemetry::events::EventRecord::Scatter`] records into it.
     pub events: EventSink,
+    /// Per-rank message ledger (enabled under [`run_world_with`] when
+    /// `trace_ranks` is set): every send, receive, and collective with its
+    /// simulated cost and wait-vs-transfer split.
+    pub ledger: MessageLedger,
 }
 
 impl Rank {
@@ -61,12 +66,19 @@ impl Rank {
     /// unbounded); charges injection overhead to the simulated clock.
     pub fn send(&mut self, to: usize, tag: u32, data: Vec<f64>) {
         let bytes = (data.len() * 8) as f64;
+        let t_start = self.clock.now();
         let msg = Msg {
             tag,
             data,
-            sim_sent: self.clock.now(),
+            sim_sent: t_start,
         };
-        self.clock.send_message(bytes);
+        let cost = self.clock.send_message(bytes);
+        self.ledger.record(LedgerOp::Send {
+            peer: to,
+            bytes,
+            t_start,
+            inject_s: cost.active_s,
+        });
         self.tx[to].send(msg).expect("receiver hung up");
     }
 
@@ -79,8 +91,27 @@ impl Rank {
             "tag mismatch on rank {} from {}",
             self.id, from
         );
-        self.clock
-            .receive_message((msg.data.len() * 8) as f64, msg.sim_sent);
+        let bytes = (msg.data.len() * 8) as f64;
+        let t_start = self.clock.now();
+        let cost = self.clock.receive_message(bytes, msg.sim_sent);
+        if self.ledger.is_enabled() {
+            self.ledger.record(LedgerOp::Recv {
+                peer: from,
+                bytes,
+                t_start,
+                sent_at: msg.sim_sent,
+                wait_s: cost.wait_s,
+                transfer_s: cost.active_s,
+            });
+            // Scatter edge for the chrome trace: sender's lane at send time
+            // to this rank's lane at receive completion.
+            self.telemetry.record_flow(FlowEdge {
+                src_rank: from,
+                src_ts_s: msg.sim_sent,
+                dst_rank: self.id,
+                dst_ts_s: self.clock.now(),
+            });
+        }
         msg.data
     }
 
@@ -135,19 +166,27 @@ impl Rank {
         let mut payload: Vec<f64> = Vec::with_capacity(x.len() + 1);
         payload.extend_from_slice(x);
         payload.push(self.clock.now());
+        let t_start = self.clock.now();
+        let (acc, t_max, critical_rank);
         if self.id == 0 {
-            let mut acc = payload[..x.len()].to_vec();
-            let mut t_max = self.clock.now();
+            let mut a = payload[..x.len()].to_vec();
+            let mut tm = self.clock.now();
+            // First-max-wins ties make the critical rank deterministic.
+            let mut argmax = 0usize;
             for from in 1..p {
                 // Collective bookkeeping bypasses the scatter-time model:
                 // raw channel receive, time handled by allreduce_sync below.
                 let msg = self.rx[from].recv().expect("sender hung up");
                 assert_eq!(msg.tag, TAG_GATHER);
-                combine(&mut acc, &msg.data[..x.len()]);
-                t_max = t_max.max(msg.data[x.len()]);
+                combine(&mut a, &msg.data[..x.len()]);
+                if msg.data[x.len()] > tm {
+                    tm = msg.data[x.len()];
+                    argmax = from;
+                }
             }
-            let mut out = acc.clone();
-            out.push(t_max);
+            let mut out = a.clone();
+            out.push(tm);
+            out.push(argmax as f64);
             for to in 1..p {
                 self.tx[to]
                     .send(Msg {
@@ -157,8 +196,7 @@ impl Rank {
                     })
                     .expect("receiver hung up");
             }
-            self.clock.allreduce_sync(p, t_max);
-            acc
+            (acc, t_max, critical_rank) = (a, tm, argmax);
         } else {
             self.tx[0]
                 .send(Msg {
@@ -169,11 +207,35 @@ impl Rank {
                 .expect("receiver hung up");
             let msg = self.rx[0].recv().expect("root hung up");
             assert_eq!(msg.tag, TAG_BCAST);
-            let t_max = msg.data[x.len()];
-            self.clock.allreduce_sync(p, t_max);
-            msg.data[..x.len()].to_vec()
+            (acc, t_max, critical_rank) = (
+                msg.data[..x.len()].to_vec(),
+                msg.data[x.len()],
+                msg.data[x.len() + 1] as usize,
+            );
         }
+        let cost = self.clock.allreduce_sync(p, t_max);
+        self.ledger.record(LedgerOp::Collective {
+            p,
+            elems: x.len(),
+            t_start,
+            t_max,
+            critical_rank,
+            wait_s: cost.wait_s,
+            reduce_s: cost.active_s,
+        });
+        acc
     }
+}
+
+/// What a world records beyond the simulation itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldOptions {
+    /// Enable per-rank telemetry registries and event sinks.
+    pub instrument: bool,
+    /// Enable per-rank message ledgers and simulated span timelines
+    /// (implies `instrument`).  Tracing never feeds back into the clock,
+    /// so traced and untraced runs produce bitwise-identical results.
+    pub trace_ranks: bool,
 }
 
 /// Run an SPMD program: `nranks` threads each execute `f(rank)`; returns the
@@ -203,6 +265,32 @@ where
     R: Send,
     F: Fn(&mut Rank) -> R + Sync,
 {
+    run_world_with(
+        nranks,
+        machine,
+        WorldOptions {
+            instrument,
+            trace_ranks: false,
+        },
+        f,
+    )
+}
+
+/// Like [`run_world`] with explicit [`WorldOptions`]: `instrument` enables
+/// per-rank telemetry/events, `trace_ranks` additionally attaches a
+/// [`RankTracer`] to each clock and an enabled [`MessageLedger`] to each
+/// rank (read them back inside `f`, e.g. via `std::mem::take`).
+pub fn run_world_with<R, F>(
+    nranks: usize,
+    machine: &MachineSpec,
+    opts: WorldOptions,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Sync,
+{
+    let instrument = opts.instrument || opts.trace_ranks;
     assert!(nranks >= 1);
     // Build the channel mesh: channels[from][to].
     let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..nranks)
@@ -222,22 +310,36 @@ where
         .into_iter()
         .zip(receivers)
         .enumerate()
-        .map(|(id, (tx, rx))| Rank {
-            id,
-            nranks,
-            tx: tx.into_iter().map(Option::unwrap).collect(),
-            rx: rx.into_iter().map(Option::unwrap).collect(),
-            clock: SimClock::new(machine.clone()),
-            telemetry: if instrument {
+        .map(|(id, (tx, rx))| {
+            let telemetry = if instrument {
                 Registry::enabled(id)
             } else {
                 Registry::disabled()
-            },
-            events: if instrument {
-                EventSink::enabled()
-            } else {
-                EventSink::disabled()
-            },
+            };
+            let mut clock = SimClock::new(machine.clone());
+            if opts.trace_ranks {
+                // Rank-labelled span paths are interned here, once per
+                // (rank, label) — never formatted on the per-call path.
+                clock.set_tracer(RankTracer::new(telemetry.clone(), id));
+            }
+            Rank {
+                id,
+                nranks,
+                tx: tx.into_iter().map(Option::unwrap).collect(),
+                rx: rx.into_iter().map(Option::unwrap).collect(),
+                clock,
+                telemetry,
+                events: if instrument {
+                    EventSink::enabled()
+                } else {
+                    EventSink::disabled()
+                },
+                ledger: if opts.trace_ranks {
+                    MessageLedger::enabled(id)
+                } else {
+                    MessageLedger::disabled()
+                },
+            }
         })
         .collect();
 
@@ -384,6 +486,95 @@ mod tests {
         assert_eq!(merged.span("comm/barrier").unwrap().calls, 3);
         assert_eq!(merged.span("comm/barrier/comm/allreduce").unwrap().calls, 3);
         assert_eq!(merged.span("comm/allreduce").unwrap().calls, 3);
+    }
+
+    fn traced() -> WorldOptions {
+        WorldOptions {
+            instrument: true,
+            trace_ranks: true,
+        }
+    }
+
+    #[test]
+    fn traced_world_builds_per_rank_timelines_and_ledgers() {
+        let p = 3;
+        let out = run_world_with(p, &machine(), traced(), |r| {
+            r.clock.compute(33.3e6 * (r.id() + 1) as f64, 0.0, 1.0);
+            let next = (r.id() + 1) % r.nranks();
+            let prev = (r.id() + r.nranks() - 1) % r.nranks();
+            r.send(next, 9, vec![r.id() as f64; 16]);
+            let _ = r.recv(prev, 9);
+            r.allreduce_sum_scalar(1.0);
+            r.clock.flush_trace();
+            let mut ledger = std::mem::take(&mut r.ledger);
+            ledger.close(r.clock.now());
+            (r.telemetry.snapshot(), ledger)
+        });
+        // One lane per rank with the four phase spans.
+        for (rank, (snap, ledger)) in out.iter().enumerate() {
+            assert!(snap.span(&format!("rank{rank}/compute")).is_some());
+            assert_eq!(ledger.rank(), rank);
+            assert_eq!(ledger.nsends(), 1);
+            assert_eq!(ledger.nrecvs(), 1);
+            assert_eq!(ledger.ncollectives(), 1);
+            assert_eq!(ledger.bytes_sent(), 128.0);
+            // Rank timeline is fully accounted: phases sum to the clock.
+            let phases: f64 = ["compute", "scatter", "reduction", "wait"]
+                .iter()
+                .filter_map(|ph| snap.span(&format!("rank{rank}/{ph}")))
+                .map(|s| s.total_s)
+                .sum();
+            assert!(
+                (phases - ledger.finish_s()).abs() < 1e-9 * ledger.finish_s().max(1.0),
+                "rank {rank}: phases {phases} != finish {}",
+                ledger.finish_s()
+            );
+        }
+        // Flows recorded on the receiving rank, one per p2p message.
+        let snaps: Vec<_> = out.iter().map(|(s, _)| s.clone()).collect();
+        let merged = fun3d_telemetry::merge(&snaps);
+        assert_eq!(merged.flows.len(), p);
+        // Collectives agree on the critical rank (the heavy last rank).
+        for (_, ledger) in &out {
+            let crit = ledger.ops().iter().find_map(|op| match op {
+                crate::ranktrace::LedgerOp::Collective { critical_rank, .. } => {
+                    Some(*critical_rank)
+                }
+                _ => None,
+            });
+            assert_eq!(crit, Some(p - 1));
+        }
+        // Critical path is consistent: parts sum to the end-to-end time.
+        let ledgers: Vec<_> = out.into_iter().map(|(_, l)| l).collect();
+        let cp = crate::ranktrace::critical_path(&ledgers);
+        assert!(cp.total_s > 0.0);
+        assert!((cp.accounted_s() - cp.total_s).abs() < 1e-9 * cp.total_s);
+    }
+
+    #[test]
+    fn tracing_does_not_change_results_or_clocks() {
+        let program = |r: &mut Rank| {
+            r.clock.compute(3.33e6 * (r.id() + 1) as f64, 1e5, 0.8);
+            let s = r.allreduce_sum_scalar(0.1 * (r.id() as f64 + 1.0));
+            (s, r.clock.now(), r.clock.breakdown())
+        };
+        let plain = run_world(4, &machine(), program);
+        let traced_out = run_world_with(4, &machine(), traced(), program);
+        assert_eq!(plain, traced_out);
+    }
+
+    #[test]
+    fn uninstrumented_world_has_disabled_ledgers() {
+        let out = run_world(2, &machine(), |r| {
+            if r.id() == 0 {
+                r.send(1, 1, vec![0.0; 8]);
+            } else {
+                let _ = r.recv(0, 1);
+            }
+            r.allreduce_sum_scalar(1.0);
+            (r.ledger.is_enabled(), r.ledger.ops().len())
+        });
+        assert!(out.iter().all(|&(enabled, n)| !enabled && n == 0));
     }
 
     #[test]

@@ -16,8 +16,9 @@
 
 use crate::problem::EulerProblem;
 use fun3d_comm::clock::PhaseBreakdown;
+use fun3d_comm::ranktrace::MessageLedger;
 use fun3d_comm::scatter::{build_scatter_plans, ScatterPlan};
-use fun3d_comm::world::{run_world_instrumented, Rank};
+use fun3d_comm::world::{run_world_with, Rank, WorldOptions};
 use fun3d_euler::field::FieldVec;
 use fun3d_euler::model::FlowModel;
 use fun3d_euler::residual::{Discretization, SpatialOrder};
@@ -427,6 +428,15 @@ pub struct ParallelNksOptions {
     pub krylov: GmresOptions,
     /// Subdomain ILU options.
     pub ilu: IluOptions,
+    /// Record per-rank span timelines, message ledgers, and cross-rank flow
+    /// edges in simulated time (one chrome-trace lane per rank, consumed by
+    /// `fun3d-report comm` and the critical-path walk).  Tracing is pure
+    /// observation: results and simulated clocks are bitwise identical with
+    /// it on or off.
+    pub trace_ranks: bool,
+    /// Partition family label recorded in the run's `RunMeta` (the solver is
+    /// partition-agnostic; callers pass whatever produced `owner`).
+    pub partition_family: &'static str,
 }
 
 impl Default for ParallelNksOptions {
@@ -444,6 +454,8 @@ impl Default for ParallelNksOptions {
                 ..Default::default()
             },
             ilu: IluOptions::with_fill(1),
+            trace_ranks: false,
+            partition_family: "kway",
         }
     }
 }
@@ -477,6 +489,15 @@ pub struct ParallelNksReport {
     /// records.  Feed to `fun3d_telemetry::events::convergence_table` or
     /// write as `fun3d-events/1` JSONL.
     pub events: EventStream,
+    /// Per-rank message ledgers (empty ops unless `trace_ranks` was set):
+    /// every point-to-point message and collective with its wait/transfer
+    /// split, in timeline order.  Feed to [`fun3d_comm::critical_path`].
+    pub ledgers: Vec<MessageLedger>,
+    /// Per-rank simulated-clock marks: `step_marks[r][0]` at the start of
+    /// the Newton loop, then one entry after each pseudo-timestep, so
+    /// `marks[i + 1] - marks[i]` is step `i`'s simulated duration on rank
+    /// `r`.  Recorded on every run (observation only, no communication).
+    pub step_marks: Vec<Vec<f64>>,
 }
 
 /// Run the distributed ΨNKS solve on `nranks` message-passing ranks.
@@ -492,7 +513,11 @@ pub fn solve_parallel_nks(
     let plans = build_scatter_plans(mesh.nverts(), owner, mesh.edges(), nranks);
     let freestream = model.freestream();
 
-    let outputs = run_world_instrumented(nranks, machine, true, |rank| {
+    let world_opts = WorldOptions {
+        instrument: true,
+        trace_ranks: opts.trace_ranks,
+    };
+    let outputs = run_world_with(nranks, machine, world_opts, |rank| {
         let me = rank.id();
         let tel = rank.telemetry.clone();
         let solve_span = tel.span("nks");
@@ -521,6 +546,7 @@ pub fn solve_parallel_nks(
         let mut history = vec![r0];
         let mut lin_iters = Vec::new();
         let mut converged = false;
+        let mut marks = vec![rank.clock.now()];
 
         for _step in 0..opts.max_steps {
             if rnorm / r0 <= opts.target_reduction {
@@ -605,6 +631,7 @@ pub fn solve_parallel_nks(
                 rnorm = full_norm;
             }
             history.push(rnorm);
+            marks.push(rank.clock.now());
         }
         if rnorm / r0 <= opts.target_reduction {
             converged = true;
@@ -612,7 +639,11 @@ pub fn solve_parallel_nks(
         tel.counter("steps", lin_iters.len() as f64);
         // Fold the simulated clock into the registry so measured and modeled
         // time share one schema, then close the solve span and snapshot.
+        rank.clock.flush_trace();
         rank.clock.ingest_into(&tel);
+        rank.ledger.close(rank.clock.now());
+        rank.ledger.ingest_into(&tel);
+        let ledger = std::mem::take(&mut rank.ledger);
         drop(solve_span);
         (
             sub.verts[..nowned].to_vec(),
@@ -624,6 +655,8 @@ pub fn solve_parallel_nks(
             rank.clock.now(),
             tel.snapshot(),
             rank.events.drain(),
+            ledger,
+            marks,
         )
     });
 
@@ -631,16 +664,20 @@ pub fn solve_parallel_nks(
     let mut solution = vec![0.0; mesh.nverts() * ncomp];
     let mut breakdowns = Vec::with_capacity(nranks);
     let mut telemetry = Vec::with_capacity(nranks);
+    let mut ledgers = Vec::with_capacity(nranks);
+    let mut step_marks = Vec::with_capacity(nranks);
     let mut sim_time: f64 = 0.0;
-    for (verts, ql, _, _, _, bd, t, snap, _) in &outputs {
+    for (verts, ql, _, _, _, bd, t, snap, _, ledger, marks) in &outputs {
         for (l, &g) in verts.iter().enumerate() {
             solution[g * ncomp..(g + 1) * ncomp].copy_from_slice(&ql[l * ncomp..(l + 1) * ncomp]);
         }
         breakdowns.push(*bd);
         telemetry.push(snap.clone());
+        ledgers.push(ledger.clone());
+        step_marks.push(marks.clone());
         sim_time = sim_time.max(*t);
     }
-    let (_, _, history, lin_iters, converged, _, _, _, rank0_events) =
+    let (_, _, history, lin_iters, converged, _, _, _, rank0_events, _, _) =
         outputs.into_iter().next().unwrap();
     let final_residual = *history.last().unwrap();
 
@@ -655,6 +692,7 @@ pub fn solve_parallel_nks(
             ("nranks".into(), nranks.to_string()),
             ("nverts".into(), mesh.nverts().to_string()),
             ("nthreads".into(), opts.krylov.par.nthreads().to_string()),
+            ("partition".into(), opts.partition_family.to_string()),
         ],
     });
     let r0 = history[0];
@@ -688,6 +726,8 @@ pub fn solve_parallel_nks(
         solution,
         telemetry,
         events,
+        ledgers,
+        step_marks,
     }
 }
 
@@ -968,6 +1008,55 @@ mod tests {
         assert!(scatters > 0, "rank 0 scatter events missing");
         let table = fun3d_telemetry::events::convergence_table(&report.events);
         assert!(table.contains("Convergence (Figure 5)"));
+    }
+
+    #[test]
+    fn traced_solve_is_bitwise_identical_and_yields_ledgers() {
+        let nranks = 3;
+        let (mesh, owner) = setup((6, 5, 5), nranks);
+        let model = FlowModel::incompressible();
+        let base = ParallelNksOptions {
+            max_steps: 3,
+            target_reduction: 1e-30, // force all 3 steps
+            ..Default::default()
+        };
+        let machine = MachineSpec::asci_red();
+        let plain = solve_parallel_nks(&mesh, model, &owner, nranks, &machine, &base);
+        let traced_opts = ParallelNksOptions {
+            trace_ranks: true,
+            ..base.clone()
+        };
+        let traced = solve_parallel_nks(&mesh, model, &owner, nranks, &machine, &traced_opts);
+        // Tracing is pure observation: identical results and clocks.
+        assert_eq!(plain.solution, traced.solution);
+        assert_eq!(plain.residual_history, traced.residual_history);
+        assert_eq!(plain.sim_time, traced.sim_time);
+        assert_eq!(plain.step_marks, traced.step_marks);
+        // Ledgers fill only when traced.
+        assert!(plain.ledgers.iter().all(|l| l.ops().is_empty()));
+        assert_eq!(traced.ledgers.len(), nranks);
+        for l in &traced.ledgers {
+            assert!(l.nsends() > 0, "rank {} sent nothing", l.rank());
+            assert!(l.ncollectives() > 0);
+        }
+        // One mark before the loop plus one per pseudo-timestep, monotone.
+        for marks in &traced.step_marks {
+            assert_eq!(marks.len(), traced.linear_iters.len() + 1);
+            assert!(marks.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // The critical path covers the whole run and is fully attributed.
+        let cp = fun3d_comm::critical_path(&traced.ledgers);
+        assert!(cp.total_s > 0.0);
+        assert!((cp.accounted_s() - cp.total_s).abs() <= 1e-9 * cp.total_s);
+        // Per-rank timeline spans exist; merged trace carries flow edges.
+        for (r, snap) in traced.telemetry.iter().enumerate() {
+            for phase in ["compute", "scatter", "reduction"] {
+                let path = format!("rank{r}/{phase}");
+                assert!(snap.span(&path).is_some(), "missing {path}");
+            }
+        }
+        let merged = fun3d_telemetry::merge(&traced.telemetry);
+        assert!(!merged.flows.is_empty());
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! fun3d-bench list
-//! fun3d-bench run --suite quick [--reps n] [--scale f] [--threads n] [--profile] [--verbose]
+//! fun3d-bench run --suite quick [--reps n] [--scale f] [--threads n] [--profile]
+//!     [--ranks n] [--trace-ranks] [--verbose]
 //!     [--baseline b.json] [--save-baseline b.json]
 //!     [--markdown report.md] [--json report.json]
 //!     [--events-dir dir] [--tol-rel f] [--tol-mad-k f] [--tol-abs f]
@@ -19,7 +20,7 @@ use fun3d_harness::gate::{run_suite, GateConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: fun3d-bench list\n       fun3d-bench run --suite <smoke|quick|full|EXPERIMENT> \
-         [--reps n] [--scale f] [--threads n] [--profile] [--verbose]\n           [--baseline b.json] [--save-baseline b.json] \
+         [--reps n] [--scale f] [--threads n] [--profile] [--ranks n] [--trace-ranks] [--verbose]\n           [--baseline b.json] [--save-baseline b.json] \
          [--markdown out.md] [--json out.json]\n           [--events-dir dir] \
          [--tol-rel f] [--tol-mad-k f] [--tol-abs f]"
     );
@@ -69,6 +70,8 @@ fn run(argv: &[String]) {
             .any(|a| a == "--threads")
             .then_some(args.threads),
         profile: argv.iter().any(|a| a == "--profile").then_some(true),
+        ranks: argv.iter().any(|a| a == "--ranks").then_some(args.ranks),
+        trace_ranks: argv.iter().any(|a| a == "--trace-ranks").then_some(true),
         verbose: false,
         ..Default::default()
     };

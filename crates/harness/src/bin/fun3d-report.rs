@@ -4,6 +4,7 @@
 //! fun3d-report show <report.json> [--events stream.jsonl]
 //! fun3d-report <report.json>                  # implicit show
 //! fun3d-report profile <report.json> [<other.json>]
+//! fun3d-report comm <report.json> [<other.json>]
 //! fun3d-report diff <a.json> <b.json> [--tol-rel f] [--tol-mad-k f] [--tol-abs f]
 //! ```
 //!
@@ -21,17 +22,24 @@
 //! Naming a second report appends a region-by-region A/B comparison —
 //! intended for diffing two `--threads` settings of one experiment.
 //!
+//! `comm` renders the communication view of a `--trace-ranks` run: the
+//! per-rank compute / exchange / wait table with the laggard rank flagged,
+//! the neighbor byte-volume matrix, the critical-path breakdown, and the
+//! η = η_alg · η_impl decomposition. Naming a second report appends a
+//! per-rank wait-fraction A/B comparison.
+//!
 //! `diff` judges run B against run A with the gate's noise-aware verdicts.
 //! Exit status: 0 with no regressions, 1 when any metric regressed, 2 on
 //! usage or I/O errors.
 
 use fun3d_harness::compare::Tolerance;
-use fun3d_harness::report_cli::{render_diff, render_profile, render_show, LoadedRun};
+use fun3d_harness::report_cli::{render_comm, render_diff, render_profile, render_show, LoadedRun};
 
 fn usage() -> ! {
     eprintln!(
         "usage: fun3d-report [show] <report.json> [--events stream.jsonl]\n       \
          fun3d-report profile <report.json> [<other.json>]\n       \
+         fun3d-report comm <report.json> [<other.json>]\n       \
          fun3d-report diff <a.json> <b.json> [--tol-rel f] [--tol-mad-k f] [--tol-abs f]"
     );
     std::process::exit(2);
@@ -51,8 +59,28 @@ fn main() {
         "diff" => diff(&argv[1..]),
         "show" => show(&argv[1..]),
         "profile" => profile(&argv[1..]),
+        "comm" => comm(&argv[1..]),
         _ => show(&argv),
     }
+}
+
+fn comm(argv: &[String]) {
+    let mut paths: Vec<&String> = Vec::new();
+    for arg in argv {
+        if arg.starts_with("--") {
+            eprintln!("unknown argument: {arg}");
+            usage();
+        }
+        paths.push(arg);
+    }
+    let (report, other) = match paths.as_slice() {
+        [r] => (*r, None),
+        [r, o] => (*r, Some(*o)),
+        _ => usage(),
+    };
+    let run = load_or_die(report, None);
+    let other = other.map(|o| load_or_die(o, None));
+    print!("{}", render_comm(&run, other.as_ref()));
 }
 
 fn profile(argv: &[String]) {

@@ -26,6 +26,13 @@ pub struct GateConfig {
     /// (`--profile`); `None` keeps each run's `BenchArgs` default
     /// (`FUN3D_PROFILE` or off).
     pub profile: Option<bool>,
+    /// Override the simulated rank-count cap for every entry (`--ranks`);
+    /// `None` keeps each runner's default sweep.
+    pub ranks: Option<usize>,
+    /// Force per-rank tracing on or off for every entry (`--trace-ranks`);
+    /// `None` keeps each run's `BenchArgs` default (`FUN3D_TRACE_RANKS` or
+    /// off).
+    pub trace_ranks: Option<bool>,
     /// Comparison tolerances.
     pub tol: Tolerance,
     /// Show per-experiment tables and commentary while running.
@@ -46,6 +53,8 @@ impl Default for GateConfig {
             scale: None,
             threads: None,
             profile: None,
+            ranks: None,
+            trace_ranks: None,
             tol: Tolerance::default(),
             verbose: false,
             calibrate_n: 2 * 1024 * 1024,
@@ -297,6 +306,8 @@ pub fn run_suite(cfg: &GateConfig, baseline: Option<&Baseline>) -> Result<SuiteO
             quiet: !cfg.verbose,
             threads: cfg.threads.unwrap_or(defaults.threads),
             profile: cfg.profile.unwrap_or(defaults.profile),
+            ranks: cfg.ranks.unwrap_or(defaults.ranks),
+            trace_ranks: cfg.trace_ranks.unwrap_or(defaults.trace_ranks),
             ..defaults
         };
         let run = run_experiment(exp.as_ref(), &args, entry.warmup);

@@ -132,6 +132,15 @@ pub fn render_show(run: &LoadedRun) -> String {
         let pairs: Vec<String> = r.meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
         out.push_str(&format!("meta: {}\n", pairs.join(", ")));
     }
+    // Label multi-rank runs the way threaded runs are labelled (nranks and
+    // partition family arrived with the rank-trace schema; older reports
+    // simply lack the keys).
+    if let Some(n) = r.meta("nranks") {
+        out.push_str(&format!(
+            "ranks: {n} (partition: {})\n",
+            r.meta("partition").unwrap_or("unknown")
+        ));
+    }
 
     if !r.metrics.is_empty() {
         out.push_str("\n## Metrics\n\n");
@@ -419,6 +428,276 @@ pub fn render_profile(run: &LoadedRun, other: Option<&LoadedRun>) -> String {
     out
 }
 
+/// One rank's aggregated phase times, parsed from the `rank{N}/{phase}`
+/// simulated-time spans the rank tracer records.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct RankPhases {
+    compute: f64,
+    scatter: f64,
+    reduction: f64,
+    wait: f64,
+    bytes_sent: f64,
+    msgs_sent: f64,
+}
+
+impl RankPhases {
+    fn exchange(&self) -> f64 {
+        self.scatter + self.reduction
+    }
+    fn total(&self) -> f64 {
+        self.compute + self.scatter + self.reduction + self.wait
+    }
+    fn wait_frac(&self) -> f64 {
+        self.wait / self.total().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Per-rank phase rows of a report, indexed by rank id (empty when the run
+/// was not traced with `--trace-ranks`).
+fn rank_phase_rows(r: &PerfReport) -> Vec<RankPhases> {
+    let mut rows: Vec<RankPhases> = Vec::new();
+    for s in &r.spans {
+        let Some(rest) = s.path.strip_prefix("rank") else {
+            continue;
+        };
+        let Some((num, phase)) = rest.split_once('/') else {
+            continue;
+        };
+        let Ok(rank) = num.parse::<usize>() else {
+            continue;
+        };
+        if rank >= rows.len() {
+            rows.resize(rank + 1, RankPhases::default());
+        }
+        let row = &mut rows[rank];
+        match phase {
+            "compute" => row.compute += s.total_s,
+            "scatter" => {
+                row.scatter += s.total_s;
+                row.bytes_sent += s.counter("bytes_sent").unwrap_or(0.0);
+                row.msgs_sent += s.counter("msgs_sent").unwrap_or(0.0);
+            }
+            "reduction" => row.reduction += s.total_s,
+            "wait" => row.wait += s.total_s,
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Point-to-point byte volume matrix `m[src][dst]` from the per-neighbor
+/// `to{peer}_bytes` counters on each rank's scatter span.
+fn neighbor_bytes(r: &PerfReport, nranks: usize) -> Vec<Vec<f64>> {
+    let mut m = vec![vec![0.0; nranks]; nranks];
+    for s in &r.spans {
+        let Some(rest) = s.path.strip_prefix("rank") else {
+            continue;
+        };
+        let Some((num, "scatter")) = rest.split_once('/') else {
+            continue;
+        };
+        let Ok(rank) = num.parse::<usize>() else {
+            continue;
+        };
+        if rank >= nranks {
+            continue;
+        }
+        for (k, v) in &s.counters {
+            let peer = k
+                .strip_prefix("to")
+                .and_then(|k| k.strip_suffix("_bytes"))
+                .and_then(|p| p.parse::<usize>().ok());
+            if let Some(peer) = peer {
+                if peer < nranks {
+                    m[rank][peer] += *v;
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Render the communication view of one run: per-rank compute / exchange /
+/// wait table with the laggard rank flagged, the neighbor byte-volume
+/// matrix, the critical-path breakdown, and the η decomposition — the
+/// paper's Table 3 story told from a single traced run.  With a second run,
+/// appends a per-rank wait-fraction A/B comparison.
+pub fn render_comm(run: &LoadedRun, other: Option<&LoadedRun>) -> String {
+    let r = &run.report;
+    let mut out = String::new();
+    out.push_str(&format!("# fun3d-report comm: {} ({})\n", r.name, run.path));
+    if let Some(n) = r.meta("nranks") {
+        out.push_str(&format!(
+            "ranks: {n} (partition: {})\n",
+            r.meta("partition").unwrap_or("unknown")
+        ));
+    }
+
+    let rows = rank_phase_rows(r);
+    if rows.is_empty() {
+        out.push_str(
+            "\nno per-rank trace in this report: rerun with --trace-ranks (or\n\
+             FUN3D_TRACE_RANKS=1) to record rank timelines and message ledgers.\n",
+        );
+        return out;
+    }
+    let nranks = rows.len();
+
+    // The laggard is the rank with the most compute time: everyone else
+    // waits for it at the next synchronization point.
+    let laggard = rows
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.compute.partial_cmp(&b.1.compute).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    out.push_str("\n## Per-rank phases (simulated time)\n\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            vec![
+                i.to_string(),
+                format!("{:.4e}", p.compute),
+                format!("{:.4e}", p.exchange()),
+                format!("{:.4e}", p.wait),
+                format!("{:.4e}", p.total()),
+                format!("{:.1}", 100.0 * p.wait_frac()),
+                format!("{:.3e}", p.bytes_sent),
+                if i == laggard { "<- laggard" } else { "" }.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &mut out,
+        &[
+            "rank",
+            "compute_s",
+            "exchange_s",
+            "wait_s",
+            "total_s",
+            "wait %",
+            "bytes sent",
+            "",
+        ],
+        &table,
+    );
+    if let Some(wall) = r.metric("time_s") {
+        let busiest = rows.iter().map(RankPhases::total).fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "\nwall (sim): {wall:.4e} s; busiest rank accounts for {busiest:.4e} s ({:.1}%)\n",
+            100.0 * busiest / wall.max(f64::MIN_POSITIVE)
+        ));
+    }
+
+    let m = neighbor_bytes(r, nranks);
+    if m.iter().flatten().any(|&v| v > 0.0) {
+        out.push_str("\n## Neighbor volume (bytes, src rank -> dst rank)\n\n");
+        let mut headers: Vec<String> = vec!["src\\dst".into()];
+        headers.extend((0..nranks).map(|i| i.to_string()));
+        let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let table: Vec<Vec<String>> = m
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let mut cells = vec![i.to_string()];
+                cells.extend(row.iter().map(|&v| {
+                    if v > 0.0 {
+                        format!("{v:.2e}")
+                    } else {
+                        "-".to_string()
+                    }
+                }));
+                cells
+            })
+            .collect();
+        render_table(&mut out, &headers, &table);
+    }
+
+    if let (Some(total), Some(compute), Some(exchange), Some(wait)) = (
+        r.metric("cp:total_s"),
+        r.metric("cp:compute_s"),
+        r.metric("cp:exchange_s"),
+        r.metric("cp:wait_s"),
+    ) {
+        out.push_str("\n## Critical path\n\n");
+        let pct = |v: f64| 100.0 * v / total.max(f64::MIN_POSITIVE);
+        let table = vec![
+            vec![
+                "compute".to_string(),
+                format!("{compute:.4e}"),
+                format!("{:.1}", pct(compute)),
+            ],
+            vec![
+                "exchange".to_string(),
+                format!("{exchange:.4e}"),
+                format!("{:.1}", pct(exchange)),
+            ],
+            vec![
+                "wait".to_string(),
+                format!("{wait:.4e}"),
+                format!("{:.1}", pct(wait)),
+            ],
+            vec![
+                "total".to_string(),
+                format!("{total:.4e}"),
+                "100.0".to_string(),
+            ],
+        ];
+        render_table(&mut out, &["phase", "time_s", "%"], &table);
+        if let Some(hops) = r.metric("cp:hops") {
+            out.push_str(&format!("{hops:.0} hops along the path\n"));
+        }
+    }
+
+    let etas: Vec<(&str, Option<f64>)> = vec![
+        ("eta_overall", r.metric("eta_overall")),
+        ("eta_alg", r.metric("eta_alg")),
+        ("eta_impl", r.metric("eta_impl")),
+        ("comm:bytes_per_iter", r.metric("comm:bytes_per_iter")),
+        ("rank:scatter:wait_frac", r.metric("rank:scatter:wait_frac")),
+        (
+            "rank:reduction:wait_frac",
+            r.metric("rank:reduction:wait_frac"),
+        ),
+    ];
+    if etas.iter().any(|(_, v)| v.is_some()) {
+        out.push_str("\n## Efficiency and gate metrics\n\n");
+        let table: Vec<Vec<String>> = etas
+            .iter()
+            .filter_map(|(k, v)| v.map(|v| vec![k.to_string(), fmt_sig(v)]))
+            .collect();
+        render_table(&mut out, &["metric", "value"], &table);
+    }
+
+    if let Some(o) = other {
+        let rows_b = rank_phase_rows(&o.report);
+        out.push_str(&format!(
+            "\n## Per-rank wait A/B: {} vs {}\n\n",
+            run.path, o.path
+        ));
+        if rows_b.is_empty() {
+            out.push_str("run B carries no per-rank trace.\n");
+        } else {
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .enumerate()
+                .filter_map(|(i, pa)| {
+                    let pb = rows_b.get(i)?;
+                    Some(vec![
+                        i.to_string(),
+                        format!("{:.1}", 100.0 * pa.wait_frac()),
+                        format!("{:.1}", 100.0 * pb.wait_frac()),
+                        format!("{:+.1}", 100.0 * (pb.wait_frac() - pa.wait_frac())),
+                    ])
+                })
+                .collect();
+            render_table(&mut out, &["rank", "A wait %", "B wait %", "delta"], &table);
+        }
+    }
+    out
+}
+
 /// One metric's row in a diff plus the count of regressions.
 #[derive(Debug, Clone)]
 pub struct DiffOutcome {
@@ -477,6 +756,16 @@ pub fn render_diff(a: &LoadedRun, b: &LoadedRun, tol: &Tolerance) -> DiffOutcome
             "threads: A={} B={}\n\n",
             a.report.meta("nthreads").unwrap_or("1"),
             b.report.meta("nthreads").unwrap_or("1"),
+        ));
+    }
+    // Same treatment for rank counts, so a cross-rank-count diff is labelled.
+    if a.report.meta("nranks").is_some() || b.report.meta("nranks").is_some() {
+        out.push_str(&format!(
+            "ranks: A={} B={} (partition: A={} B={})\n\n",
+            a.report.meta("nranks").unwrap_or("1"),
+            b.report.meta("nranks").unwrap_or("1"),
+            a.report.meta("partition").unwrap_or("-"),
+            b.report.meta("partition").unwrap_or("-"),
         ));
     }
     let rows: Vec<Vec<String>> = comparisons
@@ -737,6 +1026,97 @@ mod tests {
         assert!(!show.contains("Parallel regions"), "{show}");
         let profile = render_profile(&run, None);
         assert!(profile.contains("no profile data"), "{profile}");
+    }
+
+    fn traced_run(rank1_compute: f64) -> LoadedRun {
+        use fun3d_telemetry::TimeDomain;
+        let tel = Registry::enabled(0);
+        let s = TimeDomain::Simulated;
+        tel.record_span("rank0/compute", s, 1.0, 12);
+        tel.record_span("rank0/scatter", s, 0.2, 24);
+        tel.counter_at("rank0/scatter", s, "bytes_sent", 4096.0);
+        tel.counter_at("rank0/scatter", s, "msgs_sent", 24.0);
+        tel.counter_at("rank0/scatter", s, "to1_bytes", 4096.0);
+        tel.record_span("rank0/reduction", s, 0.1, 12);
+        tel.record_span("rank0/wait", s, 0.3, 36);
+        tel.record_span("rank1/compute", s, rank1_compute, 12);
+        tel.record_span("rank1/scatter", s, 0.2, 24);
+        tel.counter_at("rank1/scatter", s, "bytes_sent", 2048.0);
+        tel.counter_at("rank1/scatter", s, "msgs_sent", 24.0);
+        tel.counter_at("rank1/scatter", s, "to0_bytes", 2048.0);
+        tel.record_span("rank1/reduction", s, 0.1, 12);
+        tel.record_span("rank1/wait", s, 0.05, 36);
+        let mut report = PerfReport::new("ranks")
+            .with_meta("nranks", "2")
+            .with_meta("partition", "kway")
+            .with_snapshot(&tel.snapshot());
+        report.push_metric("time_s", 1.0 + rank1_compute.max(1.0));
+        report.push_metric("cp:total_s", 1.9);
+        report.push_metric("cp:compute_s", 1.5);
+        report.push_metric("cp:exchange_s", 0.3);
+        report.push_metric("cp:wait_s", 0.1);
+        report.push_metric("cp:hops", 7.0);
+        report.push_metric("eta_overall", 0.55);
+        report.push_metric("eta_alg", 0.58);
+        report.push_metric("eta_impl", 0.94);
+        LoadedRun {
+            path: "traced.json".into(),
+            report,
+            events: EventStream::default(),
+        }
+    }
+
+    #[test]
+    fn comm_renders_per_rank_table_and_marks_laggard() {
+        let run = traced_run(1.4);
+        let out = render_comm(&run, None);
+        assert!(out.contains("ranks: 2 (partition: kway)"), "{out}");
+        assert!(out.contains("Per-rank phases"), "{out}");
+        // rank 1 has the most compute time, so it is the laggard.
+        let laggard_line = out
+            .lines()
+            .find(|l| l.contains("<- laggard"))
+            .expect("laggard marked");
+        let first_cell = laggard_line
+            .split('|')
+            .nth(1)
+            .map(str::trim)
+            .unwrap_or_default();
+        assert_eq!(first_cell, "1", "{laggard_line}");
+        assert!(out.contains("Neighbor volume"), "{out}");
+        assert!(out.contains("Critical path"), "{out}");
+        assert!(out.contains("eta_impl"), "{out}");
+        assert!(out.contains("busiest rank accounts for"), "{out}");
+    }
+
+    #[test]
+    fn comm_without_trace_suggests_trace_ranks_flag() {
+        let run = sample_run(1.0);
+        let out = render_comm(&run, None);
+        assert!(out.contains("no per-rank trace"), "{out}");
+        assert!(out.contains("--trace-ranks"), "{out}");
+    }
+
+    #[test]
+    fn comm_ab_compares_wait_fractions_per_rank() {
+        let a = traced_run(1.4);
+        let b = traced_run(1.0);
+        let out = render_comm(&a, Some(&b));
+        assert!(out.contains("Per-rank wait A/B"), "{out}");
+        assert!(out.contains("A wait %"), "{out}");
+        // Both runs traced two ranks, so both rows pair up.
+        let rows: Vec<&str> = out
+            .lines()
+            .skip_while(|l| !l.contains("A wait %"))
+            .filter(|l| {
+                let cell = l.split('|').nth(1).map(str::trim).unwrap_or_default();
+                cell == "0" || cell == "1"
+            })
+            .collect();
+        assert_eq!(rows.len(), 2, "{out}");
+        // An untraced B degrades gracefully.
+        let out = render_comm(&a, Some(&sample_run(1.0)));
+        assert!(out.contains("run B carries no per-rank trace"), "{out}");
     }
 
     #[test]

@@ -622,4 +622,33 @@ mod tests {
         // Two header rows: one per series.
         assert_eq!(txt.matches("lin its").count(), 2);
     }
+
+    #[test]
+    fn run_meta_without_rank_keys_still_parses() {
+        // Streams written before rank tracing existed carry run_meta lines
+        // whose meta object has no `nranks`/`partition` keys.  The meta map
+        // is free-form, so such files must keep parsing unchanged — and new
+        // files with the rank keys must round-trip losslessly.
+        let legacy = format!(
+            "{}\n{}\n",
+            r#"{"schema":"fun3d-events/1"}"#,
+            r#"{"ev":"run_meta","name":"table3","meta":{"nverts":"9000","scale":"0.1"}}"#,
+        );
+        let s = EventStream::parse(&legacy).expect("pre-rank-trace stream parses");
+        let EventRecord::RunMeta { name, meta } = &s.records[0] else {
+            panic!("expected run_meta");
+        };
+        assert_eq!(name, "table3");
+        assert!(meta.iter().all(|(k, _)| k != "nranks"));
+
+        let modern = EventStream::new(vec![EventRecord::RunMeta {
+            name: "ranks".into(),
+            meta: vec![
+                ("nranks".into(), "16".into()),
+                ("partition".into(), "kway".into()),
+            ],
+        }]);
+        let round = EventStream::parse(&modern.to_jsonl()).unwrap();
+        assert_eq!(round, modern);
+    }
 }

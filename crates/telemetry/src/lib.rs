@@ -86,6 +86,7 @@ struct Inner {
     /// Indices of currently-open spans, outermost first.
     stack: Vec<usize>,
     events: Vec<Event>,
+    flows: Vec<FlowEdge>,
 }
 
 impl Inner {
@@ -104,6 +105,7 @@ impl Inner {
             }],
             stack: Vec::new(),
             events: Vec::new(),
+            flows: Vec::new(),
         }
     }
 
@@ -284,6 +286,15 @@ impl Registry {
         }
     }
 
+    /// Record a cross-rank message edge (rendered as a chrome-trace flow
+    /// arrow from the sender's lane to the receiver's).  Normally called on
+    /// the *receiving* rank's registry, which knows both endpoints.
+    pub fn record_flow(&self, edge: FlowEdge) {
+        if let Some(arc) = &self.inner {
+            Self::lock(arc).flows.push(edge);
+        }
+    }
+
     /// Immutable copy of everything recorded so far.
     pub fn snapshot(&self) -> Snapshot {
         match &self.inner {
@@ -331,11 +342,14 @@ impl Registry {
                     })
                     .collect();
                 events.sort_by(|a, b| a.t_start_s.total_cmp(&b.t_start_s));
+                let mut flows = g.flows.clone();
+                sort_flows(&mut flows);
                 Snapshot {
                     rank: g.rank,
                     nranks: 1,
                     spans,
                     events,
+                    flows,
                 }
             }
         }
@@ -445,6 +459,30 @@ pub struct TraceEvent {
     pub dur_s: f64,
 }
 
+/// A cross-rank message edge: sender lane/time to receiver lane/time.
+/// Exported as a chrome-trace flow arrow (`ph:"s"` / `ph:"f"` pair).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEdge {
+    /// Sending rank (source lane `tid`).
+    pub src_rank: usize,
+    /// Simulated send time, seconds.
+    pub src_ts_s: f64,
+    /// Receiving rank (destination lane `tid`).
+    pub dst_rank: usize,
+    /// Simulated completion time of the receive, seconds.
+    pub dst_ts_s: f64,
+}
+
+fn sort_flows(flows: &mut [FlowEdge]) {
+    flows.sort_by(|a, b| {
+        a.src_ts_s
+            .total_cmp(&b.src_ts_s)
+            .then(a.src_rank.cmp(&b.src_rank))
+            .then(a.dst_rank.cmp(&b.dst_rank))
+            .then(a.dst_ts_s.total_cmp(&b.dst_ts_s))
+    });
+}
+
 /// An immutable copy of a registry's accumulated state.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
@@ -456,6 +494,8 @@ pub struct Snapshot {
     pub spans: Vec<SpanRow>,
     /// Timeline events, sorted by (rank, start).
     pub events: Vec<TraceEvent>,
+    /// Cross-rank message edges, sorted by (src time, src rank, dst rank).
+    pub flows: Vec<FlowEdge>,
 }
 
 impl Snapshot {
@@ -539,18 +579,23 @@ pub fn merge(snaps: &[Snapshot]) -> Snapshot {
             .cmp(&b.rank)
             .then(a.t_start_s.total_cmp(&b.t_start_s))
     });
+    let mut flows: Vec<FlowEdge> = order.iter().flat_map(|s| s.flows.iter().copied()).collect();
+    sort_flows(&mut flows);
     Snapshot {
         rank: 0,
         nranks: order.iter().map(|s| s.nranks.max(1)).sum(),
         spans,
         events,
+        flows,
     }
 }
 
 /// Serialize snapshots as chrome trace-event JSON (the
 /// `{"traceEvents":[...]}` object form): one `ph:"X"` complete event per
-/// span interval, `tid` = rank, timestamps in microseconds, sorted by
-/// (tid, ts).  Load in `chrome://tracing` or Perfetto.
+/// span interval, `tid` = rank (one lane per rank), timestamps in
+/// microseconds, sorted by (tid, ts).  Cross-rank [`FlowEdge`]s follow as
+/// `ph:"s"` / `ph:"f"` flow-arrow pairs.  Load in `chrome://tracing` or
+/// Perfetto.
 pub fn chrome_trace(snaps: &[Snapshot]) -> String {
     use json::Value;
     let mut evs: Vec<&TraceEvent> = snaps.iter().flat_map(|s| s.events.iter()).collect();
@@ -559,7 +604,7 @@ pub fn chrome_trace(snaps: &[Snapshot]) -> String {
             .cmp(&b.rank)
             .then(a.t_start_s.total_cmp(&b.t_start_s))
     });
-    let items: Vec<Value> = evs
+    let mut items: Vec<Value> = evs
         .iter()
         .map(|e| {
             Value::Obj(vec![
@@ -577,6 +622,28 @@ pub fn chrome_trace(snaps: &[Snapshot]) -> String {
             ])
         })
         .collect();
+    let mut flows: Vec<FlowEdge> = snaps.iter().flat_map(|s| s.flows.iter().copied()).collect();
+    sort_flows(&mut flows);
+    for (id, f) in flows.iter().enumerate() {
+        let endpoint = |ph: &str, rank: usize, ts: f64| {
+            let mut fields = vec![
+                ("name".into(), Value::Str("msg".into())),
+                ("cat".into(), Value::Str("flow".into())),
+                ("ph".into(), Value::Str(ph.into())),
+                ("id".into(), Value::Num(id as f64)),
+                ("ts".into(), Value::Num(ts * 1e6)),
+                ("pid".into(), Value::Num(0.0)),
+                ("tid".into(), Value::Num(rank as f64)),
+            ];
+            if ph == "f" {
+                // Bind to the enclosing slice's end, the receive completion.
+                fields.push(("bp".into(), Value::Str("e".into())));
+            }
+            Value::Obj(fields)
+        };
+        items.push(endpoint("s", f.src_rank, f.src_ts_s));
+        items.push(endpoint("f", f.dst_rank, f.dst_ts_s));
+    }
     Value::Obj(vec![
         ("traceEvents".into(), Value::Arr(items)),
         ("displayTimeUnit".into(), Value::Str("ms".into())),
@@ -881,6 +948,62 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn flows_survive_merge_and_render_as_arrow_pairs() {
+        let mk = |rank: usize| {
+            let reg = Registry::enabled(rank);
+            reg.record_event("rank/compute", TimeDomain::Simulated, 0.0, 0.5);
+            if rank == 1 {
+                reg.record_flow(FlowEdge {
+                    src_rank: 0,
+                    src_ts_s: 0.2,
+                    dst_rank: 1,
+                    dst_ts_s: 0.3,
+                });
+            }
+            reg.snapshot()
+        };
+        let (a, b) = (mk(0), mk(1));
+        let merged = merge(&[b.clone(), a.clone()]);
+        assert_eq!(merged.flows.len(), 1);
+        assert_eq!(merged, merge(&[a.clone(), b.clone()]));
+        let trace = chrome_trace(&[merged]);
+        let v = json::Value::parse(&trace).expect("chrome trace must parse");
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let phs: Vec<&str> = evs
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert!(phs.contains(&"s") && phs.contains(&"f"));
+        let start = evs
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("s"))
+            .unwrap();
+        let finish = evs
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("f"))
+            .unwrap();
+        assert_eq!(start.get("tid").unwrap().as_f64(), Some(0.0));
+        assert_eq!(finish.get("tid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            start.get("id").unwrap().as_f64(),
+            finish.get("id").unwrap().as_f64()
+        );
+        assert_eq!(finish.get("bp").unwrap().as_str(), Some("e"));
+    }
+
+    #[test]
+    fn disabled_registry_records_no_flows() {
+        let reg = Registry::disabled();
+        reg.record_flow(FlowEdge {
+            src_rank: 0,
+            src_ts_s: 0.0,
+            dst_rank: 1,
+            dst_ts_s: 1.0,
+        });
+        assert!(reg.snapshot().flows.is_empty());
     }
 
     #[test]
