@@ -132,4 +132,44 @@ check_trace_overhead() {
 check_trace_overhead \
     || { echo "ci: rank-trace overhead check retrying"; check_trace_overhead; }
 
+# Serving leg: a short open-loop smoke through the fun3d-serve engine (2
+# workers, 2 arrival rates).  The report must carry the throughput and
+# p99 tail gate metrics, a warm cache (hit rate > 0 after the first
+# batch), and the direct-path identity check; `fun3d-report serve` must
+# render the sweep and the knee summary.
+FUN3D_SERVE_WORKERS=2 ./target/release/serve --steps 2 --quiet \
+    --json "$smoke_dir/serve.json" > "$smoke_dir/serve.log"
+grep -q '"rate0:solves_per_s"' "$smoke_dir/serve.json"
+grep -q '"rate1:solves_per_s"' "$smoke_dir/serve.json"
+grep -q '"rate1:p99_s"' "$smoke_dir/serve.json"
+# Keys contain a colon, so the value is awk/cut field 3.
+hit=$(grep -o '"serve:hit_rate":[0-9.e-]*' "$smoke_dir/serve.json" | cut -d: -f3)
+awk -v h="$hit" 'BEGIN { exit !(h > 0.5) }' \
+    || { echo "ci: serve cache hit rate too low: $hit"; exit 1; }
+ident=$(grep -o '"serve:identity_match_ratio":[0-9.e-]*' "$smoke_dir/serve.json" | cut -d: -f3)
+awk -v r="$ident" 'BEGIN { exit !(r == 1) }' \
+    || { echo "ci: served results diverged from the direct path: $ident"; exit 1; }
+./target/release/fun3d-report serve "$smoke_dir/serve.json" > "$smoke_dir/serve-view.log"
+grep -q "Open-loop rate sweep" "$smoke_dir/serve-view.log"
+grep -q "cache hit rate" "$smoke_dir/serve-view.log"
+# The serve experiment must gate cleanly against its own baseline.
+FUN3D_SERVE_WORKERS=2 ./target/release/fun3d-bench run --suite serve --steps 2 \
+    --save-baseline "$smoke_dir/serve-base.json" > "$smoke_dir/serve-save.log"
+FUN3D_SERVE_WORKERS=2 ./target/release/fun3d-bench run --suite serve --steps 2 \
+    --baseline "$smoke_dir/serve-base.json" --tol-rel 1000 > "$smoke_dir/serve-gate.log"
+grep -q "overall:" "$smoke_dir/serve-gate.log"
+# Overload must reject, not hang: one worker at 3.2x its calibrated
+# capacity with a depth-4 queue has to bounce arrivals at the door and
+# still finish (the timeout is the no-deadlock assertion).  One retry
+# damps scheduler noise in the reject count.
+check_serve_rejects() {
+    timeout 300 env FUN3D_SERVE_WORKERS=1 ./target/release/serve --steps 2 --quiet \
+        --json "$smoke_dir/serve-w1.json" > /dev/null || return 1
+    rej=$(grep -o '"serve:rejected_total":[0-9.e-]*' "$smoke_dir/serve-w1.json" | cut -d: -f3)
+    awk -v r="$rej" 'BEGIN { exit !(r > 0) }'
+}
+check_serve_rejects \
+    || { echo "ci: serve reject check retrying"; check_serve_rejects; } \
+    || { echo "ci: overloaded serve engine produced no rejects"; exit 1; }
+
 echo "ci: all checks passed"

@@ -1,0 +1,16 @@
+//! Thin CLI wrapper: open-loop load sweep through the `fun3d-serve` engine.
+//! The core loop lives in `fun3d_bench::runners::serve`.
+//!
+//! Usage: `cargo run --release -p fun3d-bench --bin serve [--scale f]
+//!   [--steps nrates] [--threads n] [--json out.json] [--trace trace.json]`
+//! with `FUN3D_SERVE_WORKERS` selecting the worker-pool size (default 2).
+
+use fun3d_bench::{runners, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse_for("serve", 0.005);
+    let out = runners::serve::run(&args);
+    args.emit_report(&out.report);
+    args.emit_trace(&out.telemetry);
+    args.emit_events(&out.events);
+}

@@ -63,6 +63,11 @@ pub struct BenchArgs {
     /// arrows in the message-passing experiments (`--trace-ranks`; defaults
     /// to the `FUN3D_TRACE_RANKS` environment variable).
     pub trace_ranks: bool,
+    /// Shared flags that appeared more than once on the command line, in
+    /// first-repeat order.  A repeated value flag (`--threads 2 --threads 4`)
+    /// used to silently last-win; callers reject these via
+    /// [`BenchArgs::reject_duplicates`] so the mistake is named instead.
+    pub duplicates: Vec<String>,
 }
 
 impl BenchArgs {
@@ -97,6 +102,7 @@ impl BenchArgs {
                     !v.is_empty() && v != "0"
                 })
                 .unwrap_or(false),
+            duplicates: Vec::new(),
         }
     }
 
@@ -110,6 +116,7 @@ impl BenchArgs {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let (out, rest) = Self::parse_known(default_scale, &argv);
         Self::reject_leftovers(suite, &rest);
+        out.reject_duplicates(suite);
         out
     }
 
@@ -123,19 +130,57 @@ impl BenchArgs {
         }
     }
 
+    /// The error message for a repeated shared flag, naming the suite —
+    /// `None` when every flag appeared at most once.
+    pub fn duplicate_error(&self, suite: &str) -> Option<String> {
+        self.duplicates.first().map(|flag| {
+            format!("duplicate flag: {flag} given more than once (suite {suite}; each shared flag may appear at most once)")
+        })
+    }
+
+    /// Panic when a shared flag was repeated, naming the suite — repeated
+    /// value flags would otherwise silently last-win.
+    pub fn reject_duplicates(&self, suite: &str) {
+        if let Some(msg) = self.duplicate_error(suite) {
+            panic!("{msg}");
+        }
+    }
+
     /// Parse the shared flags out of `argv`, returning the parsed options
     /// and the arguments that were not recognized (in order).  This is the
     /// single flag-parsing helper: the per-table binaries reject leftovers,
     /// the `fun3d-bench` driver layers its own flags on top of them.
     pub fn parse_known(default_scale: f64, argv: &[String]) -> (Self, Vec<String>) {
+        const KNOWN: [&str; 13] = [
+            "--scale",
+            "--full",
+            "--steps",
+            "--reps",
+            "--suite",
+            "--quiet",
+            "--json",
+            "--trace",
+            "--events",
+            "--threads",
+            "--profile",
+            "--ranks",
+            "--trace-ranks",
+        ];
         let mut out = Self::defaults(default_scale);
         let mut rest = Vec::new();
+        let mut seen: Vec<&str> = Vec::new();
         let value = |i: usize, flag: &str| -> &String {
             argv.get(i)
                 .unwrap_or_else(|| panic!("{flag} expects a value"))
         };
         let mut i = 0;
         while i < argv.len() {
+            if let Some(flag) = KNOWN.iter().find(|f| **f == argv[i]) {
+                if seen.contains(flag) && !out.duplicates.iter().any(|d| d == flag) {
+                    out.duplicates.push(flag.to_string());
+                }
+                seen.push(flag);
+            }
             match argv[i].as_str() {
                 "--scale" => {
                     i += 1;
@@ -541,6 +586,48 @@ mod tests {
         assert_eq!(args.ranks, 8);
         assert!(args.trace_ranks);
         assert_eq!(rest, vec!["--whoops".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_flags_are_detected_and_rejected_by_suite_name() {
+        // `--threads 2 --threads 4` used to silently last-win; it must now
+        // be detected by the parser and rejected with the suite named.
+        let argv: Vec<String> = ["--threads", "2", "--scale", "0.1", "--threads", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (args, rest) = BenchArgs::parse_known(0.5, &argv);
+        assert!(rest.is_empty());
+        assert_eq!(args.duplicates, vec!["--threads".to_string()]);
+        let msg = args.duplicate_error("serve").expect("duplicate reported");
+        assert!(msg.contains("--threads") && msg.contains("serve"), "{msg}");
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = std::panic::catch_unwind(|| args.reject_duplicates("serve"))
+            .expect_err("repeated flag must be rejected");
+        std::panic::set_hook(prev);
+        let panic_msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+        assert!(
+            panic_msg.contains("--threads") && panic_msg.contains("serve"),
+            "{panic_msg}"
+        );
+        // Boolean flags repeat-checked too; singles stay clean.
+        let argv: Vec<String> = ["--quiet", "--quiet"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (args, _) = BenchArgs::parse_known(0.5, &argv);
+        assert_eq!(args.duplicates, vec!["--quiet".to_string()]);
+        let argv: Vec<String> = ["--threads", "2", "--quiet"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (args, _) = BenchArgs::parse_known(0.5, &argv);
+        assert!(args.duplicates.is_empty());
+        assert!(args.duplicate_error("spmv").is_none());
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod figure5;
 pub mod miss_bounds;
 pub mod parallel_nks;
 pub mod ranks;
+pub mod serve;
 pub mod speedup;
 pub mod spmv;
 pub mod stream;
@@ -37,6 +38,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(miss_bounds::MissBounds),
         Box::new(parallel_nks::ParallelNks),
         Box::new(ranks::Ranks),
+        Box::new(serve::Serve),
         Box::new(speedup::Speedup),
         Box::new(spmv::Spmv),
         Box::new(stream::Stream),
@@ -53,6 +55,22 @@ pub fn find(name: &str) -> Option<Box<dyn Experiment>> {
     all().into_iter().find(|e| e.name() == name)
 }
 
+/// The rows `fun3d-bench list` prints: one `[name, default scale,
+/// description]` entry per registered experiment, in registry order.  The
+/// driver renders exactly this, so the listing can never drift from [`all`].
+pub fn list_rows() -> Vec<Vec<String>> {
+    all()
+        .iter()
+        .map(|e| {
+            vec![
+                e.name().to_string(),
+                format!("{}", e.default_scale()),
+                e.description().to_string(),
+            ]
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,7 +82,25 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(names, sorted, "registry must be sorted and duplicate-free");
-        assert_eq!(names.len(), 17);
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn list_stays_in_sync_with_registry() {
+        // One listing row per registered experiment, same order, name in
+        // column 0, a nonempty description — the `fun3d-bench list` contract.
+        let rows = list_rows();
+        let names: Vec<&str> = all().iter().map(|e| e.name()).collect();
+        assert_eq!(rows.len(), names.len());
+        for (row, name) in rows.iter().zip(&names) {
+            assert_eq!(row[0], *name);
+            assert!(
+                row[1].parse::<f64>().is_ok_and(|s| s > 0.0),
+                "{name}: bad scale {}",
+                row[1]
+            );
+            assert!(!row[2].trim().is_empty(), "{name}: empty description");
+        }
     }
 
     #[test]

@@ -38,20 +38,10 @@ fn main() {
 }
 
 fn list() {
-    let rows: Vec<Vec<String>> = runners::all()
-        .iter()
-        .map(|e| {
-            vec![
-                e.name().to_string(),
-                format!("{}", e.default_scale()),
-                e.description().to_string(),
-            ]
-        })
-        .collect();
     print_table(
         "Registered experiments",
         &["name", "scale", "description"],
-        &rows,
+        &runners::list_rows(),
     );
     println!("\nNamed suites: smoke (CI, seconds), quick (developer default), full (everything).");
 }
@@ -60,11 +50,19 @@ fn run(argv: &[String]) {
     // Shared flags first (--scale/--reps/--suite/--quiet/--json/...), then
     // the driver-only flags from the leftovers.
     let (args, rest) = BenchArgs::parse_known(1.0, argv);
+    let suite_name = args.suite.clone().unwrap_or_else(|| "quick".into());
+    // A repeated value flag (`--threads 2 --threads 4`) would silently
+    // last-win; name the mistake and the suite instead.
+    if let Some(msg) = args.duplicate_error(&suite_name) {
+        eprintln!("{msg}");
+        usage();
+    }
     let mut cfg = GateConfig {
-        suite: args.suite.clone().unwrap_or_else(|| "quick".into()),
+        suite: suite_name,
         // Treat explicitly-passed shared flags as overrides for every entry.
         reps: argv.iter().any(|a| a == "--reps").then_some(args.reps),
         scale: argv.iter().any(|a| a == "--scale").then_some(args.scale),
+        steps: argv.iter().any(|a| a == "--steps").then_some(args.steps),
         threads: argv
             .iter()
             .any(|a| a == "--threads")

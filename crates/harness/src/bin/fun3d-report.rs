@@ -5,6 +5,7 @@
 //! fun3d-report <report.json>                  # implicit show
 //! fun3d-report profile <report.json> [<other.json>]
 //! fun3d-report comm <report.json> [<other.json>]
+//! fun3d-report serve <report.json>
 //! fun3d-report diff <a.json> <b.json> [--tol-rel f] [--tol-mad-k f] [--tol-abs f]
 //! ```
 //!
@@ -28,18 +29,26 @@
 //! η = η_alg · η_impl decomposition. Naming a second report appends a
 //! per-rank wait-fraction A/B comparison.
 //!
+//! `serve` renders the serving view of a `serve` run: the open-loop rate
+//! sweep (offered vs achieved throughput with p50/p95/p99 latencies and
+//! per-rate rejects), the saturation knee, and the cache / admission
+//! summary.
+//!
 //! `diff` judges run B against run A with the gate's noise-aware verdicts.
 //! Exit status: 0 with no regressions, 1 when any metric regressed, 2 on
 //! usage or I/O errors.
 
 use fun3d_harness::compare::Tolerance;
-use fun3d_harness::report_cli::{render_comm, render_diff, render_profile, render_show, LoadedRun};
+use fun3d_harness::report_cli::{
+    render_comm, render_diff, render_profile, render_serve, render_show, LoadedRun,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: fun3d-report [show] <report.json> [--events stream.jsonl]\n       \
          fun3d-report profile <report.json> [<other.json>]\n       \
          fun3d-report comm <report.json> [<other.json>]\n       \
+         fun3d-report serve <report.json>\n       \
          fun3d-report diff <a.json> <b.json> [--tol-rel f] [--tol-mad-k f] [--tol-abs f]"
     );
     std::process::exit(2);
@@ -60,8 +69,19 @@ fn main() {
         "show" => show(&argv[1..]),
         "profile" => profile(&argv[1..]),
         "comm" => comm(&argv[1..]),
+        "serve" => serve(&argv[1..]),
         _ => show(&argv),
     }
+}
+
+fn serve(argv: &[String]) {
+    let [report] = argv else { usage() };
+    if report.starts_with("--") {
+        eprintln!("unknown argument: {report}");
+        usage();
+    }
+    let run = load_or_die(report, None);
+    print!("{}", render_serve(&run));
 }
 
 fn comm(argv: &[String]) {

@@ -82,6 +82,9 @@ pub fn higher_is_better(key: &str) -> bool {
         "speedup",
         "eta",
         "ratio",
+        "solves_per_s",
+        "throughput",
+        "hit_rate",
     ]
     .iter()
     .any(|tag| key.contains(tag))
@@ -203,6 +206,13 @@ mod tests {
         assert!(higher_is_better("gflops_p128"));
         assert!(higher_is_better("omp_speedup"));
         assert!(higher_is_better("eta_overall_p1024"));
+        // Serving metrics: throughput and cache hit rate improve upward;
+        // tail latency, rejects, and setup cost improve downward.
+        assert!(higher_is_better("rate2:solves_per_s"));
+        assert!(higher_is_better("serve:hit_rate"));
+        assert!(!higher_is_better("rate2:p99_s"));
+        assert!(!higher_is_better("serve:rejected_total"));
+        assert!(!higher_is_better("serve:setup_per_solve_s"));
         // Profile-derived columns: achieved bandwidth improves upward,
         // load imbalance (1.0 = balanced) improves downward.
         assert!(higher_is_better("spmv/csr:gbps"));

@@ -19,6 +19,9 @@ pub struct GateConfig {
     pub reps: Option<usize>,
     /// Override every entry's mesh scale.
     pub scale: Option<f64>,
+    /// Override every entry's measured-step count (`--steps`); the `serve`
+    /// experiment reads it as the number of swept arrival rates.
+    pub steps: Option<usize>,
     /// Override the thread-team size for every entry (`--threads`); `None`
     /// keeps each run's `BenchArgs` default (`FUN3D_THREADS` or 1).
     pub threads: Option<usize>,
@@ -51,6 +54,7 @@ impl Default for GateConfig {
             suite: "quick".into(),
             reps: None,
             scale: None,
+            steps: None,
             threads: None,
             profile: None,
             ranks: None,
@@ -301,7 +305,7 @@ pub fn run_suite(cfg: &GateConfig, baseline: Option<&Baseline>) -> Result<SuiteO
         let defaults = BenchArgs::defaults(entry.scale);
         let args = BenchArgs {
             scale: cfg.scale.unwrap_or(entry.scale),
-            steps: entry.steps,
+            steps: cfg.steps.unwrap_or(entry.steps),
             reps: cfg.reps.unwrap_or(entry.reps),
             quiet: !cfg.verbose,
             threads: cfg.threads.unwrap_or(defaults.threads),

@@ -835,6 +835,122 @@ pub fn render_diff(a: &LoadedRun, b: &LoadedRun, tol: &Tolerance) -> DiffOutcome
     }
 }
 
+/// Render the serving view of a `serve` run: the open-loop rate sweep
+/// (offered vs achieved solves/s with the histogram tail latencies and
+/// per-rate rejects), the detected saturation knee, and the cache /
+/// admission summary.  Reports without `rate{i}:` metrics get the headline
+/// line plus a note, so the command degrades gracefully on other runs.
+pub fn render_serve(run: &LoadedRun) -> String {
+    let r = &run.report;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# fun3d-report serve: {} ({})\n",
+        r.name, run.path
+    ));
+    out.push_str(&format!(
+        "workers: {}  queue depth: {}  max batch: {}  vertices: {}\n",
+        r.meta("workers").unwrap_or("?"),
+        r.meta("queue_depth").unwrap_or("?"),
+        r.meta("max_batch").unwrap_or("?"),
+        r.meta("nverts").unwrap_or("?"),
+    ));
+
+    let mut rows = Vec::new();
+    let mut i = 0;
+    while let Some(achieved) = r.metric(&format!("rate{i}:solves_per_s")) {
+        let offered = r
+            .meta(&format!("rate{i}:offered_per_s"))
+            .unwrap_or("-")
+            .to_string();
+        let q = |name: &str| fmt_opt_s(r.metric(&format!("rate{i}:{name}")));
+        rows.push(vec![
+            i.to_string(),
+            offered,
+            format!("{achieved:.2}"),
+            q("p50_s"),
+            q("p95_s"),
+            q("p99_s"),
+            r.metric(&format!("rate{i}:rejected"))
+                .map_or("-".to_string(), |v| format!("{v:.0}")),
+        ]);
+        i += 1;
+    }
+    if rows.is_empty() {
+        out.push_str("\nno rate-sweep metrics found (not a `serve` report?)\n");
+        return out;
+    }
+    out.push_str("\n## Open-loop rate sweep\n\n");
+    render_table(
+        &mut out,
+        &[
+            "rate",
+            "offered/s",
+            "achieved/s",
+            "p50_s",
+            "p95_s",
+            "p99_s",
+            "rejected",
+        ],
+        &rows,
+    );
+
+    out.push_str("\n## Serving summary\n\n");
+    let line = |out: &mut String, label: &str, key: &str, fmt: &dyn Fn(f64) -> String| {
+        if let Some(v) = r.metric(key) {
+            out.push_str(&format!("{label}: {}\n", fmt(v)));
+        }
+    };
+    line(
+        &mut out,
+        "calibrated capacity",
+        "serve:capacity_solves_per_s",
+        &|v| format!("{v:.2} solves/s"),
+    );
+    line(
+        &mut out,
+        "peak throughput",
+        "serve:peak_solves_per_s",
+        &|v| format!("{v:.2} solves/s"),
+    );
+    line(
+        &mut out,
+        "saturation knee",
+        "serve:knee_solves_per_s",
+        &|v| format!("{v:.2} solves/s sustained"),
+    );
+    line(&mut out, "cache hit rate", "serve:hit_rate", &|v| {
+        format!("{:.1}%", 100.0 * v)
+    });
+    line(
+        &mut out,
+        "rejected arrivals",
+        "serve:rejected_total",
+        &|v| format!("{v:.0}"),
+    );
+    line(
+        &mut out,
+        "direct-path identity",
+        "serve:identity_match_ratio",
+        &|v| {
+            if v >= 1.0 {
+                "all results bitwise identical".to_string()
+            } else {
+                format!("MISMATCH: only {:.1}% identical", 100.0 * v)
+            }
+        },
+    );
+    line(
+        &mut out,
+        "setup per solve",
+        "serve:setup_per_solve_s",
+        &|v| format!("{v:.3e} s (amortized)"),
+    );
+    line(&mut out, "cold family build", "serve:cold_build_s", &|v| {
+        format!("{v:.3e} s")
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1117,6 +1233,46 @@ mod tests {
         // An untraced B degrades gracefully.
         let out = render_comm(&a, Some(&sample_run(1.0)));
         assert!(out.contains("run B carries no per-rank trace"), "{out}");
+    }
+
+    #[test]
+    fn render_serve_tables_rates_and_summary() {
+        let mut report = PerfReport::new("serve")
+            .with_meta("workers", "2")
+            .with_meta("queue_depth", "4")
+            .with_meta("max_batch", "4")
+            .with_meta("nverts", "120");
+        for i in 0..2 {
+            report.meta.push((
+                format!("rate{i}:offered_per_s"),
+                format!("{}.00", 10 * (i + 1)),
+            ));
+            report.push_metric(format!("rate{i}:solves_per_s"), 9.5 + i as f64);
+            report.push_metric(format!("rate{i}:p50_s"), 0.01);
+            report.push_metric(format!("rate{i}:p95_s"), 0.02);
+            report.push_metric(format!("rate{i}:p99_s"), 0.03);
+            report.push_metric(format!("rate{i}:rejected"), i as f64);
+        }
+        report.push_metric("serve:capacity_solves_per_s", 12.0);
+        report.push_metric("serve:peak_solves_per_s", 10.5);
+        report.push_metric("serve:knee_solves_per_s", 10.5);
+        report.push_metric("serve:hit_rate", 0.96);
+        report.push_metric("serve:rejected_total", 1.0);
+        report.push_metric("serve:identity_match_ratio", 1.0);
+        let run = LoadedRun {
+            path: "serve.json".into(),
+            report,
+            events: EventStream::default(),
+        };
+        let out = render_serve(&run);
+        assert!(out.contains("Open-loop rate sweep"), "{out}");
+        assert!(out.contains("10.50"), "{out}");
+        assert!(out.contains("96.0%"), "{out}");
+        assert!(out.contains("all results bitwise identical"), "{out}");
+        // Non-serve reports degrade to a note, not a panic.
+        let other = sample_run(1.0);
+        let out = render_serve(&other);
+        assert!(out.contains("no rate-sweep metrics"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! The shared family-state cache.
+//!
+//! Keyed by [`FamilyKey`], bounded by entry count with LRU eviction.  A
+//! miss inserts an empty entry under the map lock, then builds the
+//! [`FamilyState`] *outside* it behind a per-entry `OnceLock`: concurrent
+//! requests on the same family all block on the one build and receive the
+//! same `Arc`; requests on other families are never blocked by it.
+
+use crate::scenario::{FamilyKey, ScenarioClass};
+use crate::state::FamilyState;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cache hit/miss/eviction counters (monotonic since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a (possibly still-building) entry.
+    pub hits: u64,
+    /// Lookups that inserted a new entry.
+    pub misses: u64,
+    /// Entries dropped by the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    state: OnceLock<Arc<FamilyState>>,
+}
+
+struct Inner {
+    entries: HashMap<FamilyKey, Arc<Entry>>,
+    /// Recency order, oldest first.
+    lru: Vec<FamilyKey>,
+    stats: CacheStats,
+}
+
+/// Bounded, thread-safe cache of [`FamilyState`]s.
+pub struct StateCache {
+    capacity: usize,
+    /// Subdomain count passed to family builds.
+    nsubdomains: usize,
+    inner: Mutex<Inner>,
+}
+
+impl StateCache {
+    /// A cache holding at most `capacity` families (minimum 1), partitioning
+    /// each family's vertex graph into `nsubdomains` parts.
+    pub fn new(capacity: usize, nsubdomains: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            nsubdomains: nsubdomains.max(1),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                lru: Vec::new(),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fetch or build the family state for `scenario`.  Returns the shared
+    /// state and whether the lookup hit an existing entry (a hit on an
+    /// entry still being built waits for the builder rather than
+    /// duplicating the work).
+    pub fn get_or_build(&self, scenario: &ScenarioClass) -> (Arc<FamilyState>, bool) {
+        let key = scenario.key();
+        let (entry, hit) = {
+            let mut g = self.inner.lock().unwrap();
+            if let Some(e) = g.entries.get(&key) {
+                let e = e.clone();
+                g.stats.hits += 1;
+                // Refresh recency.
+                if let Some(p) = g.lru.iter().position(|k| *k == key) {
+                    g.lru.remove(p);
+                }
+                g.lru.push(key);
+                (e, true)
+            } else {
+                g.stats.misses += 1;
+                let e = Arc::new(Entry {
+                    state: OnceLock::new(),
+                });
+                g.entries.insert(key, e.clone());
+                g.lru.push(key);
+                while g.lru.len() > self.capacity {
+                    let victim = g.lru.remove(0);
+                    g.entries.remove(&victim);
+                    g.stats.evictions += 1;
+                }
+                (e, false)
+            }
+        };
+        // Build outside the map lock: only same-family callers wait here.
+        let state = entry
+            .state
+            .get_or_init(|| Arc::new(FamilyState::build(scenario, self.nsubdomains)))
+            .clone();
+        (state, hit)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Number of resident families.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_scenario;
+
+    fn family(nx: usize) -> ScenarioClass {
+        let mut sc = tiny_scenario();
+        sc.mesh.nx = nx;
+        sc
+    }
+
+    #[test]
+    fn repeat_lookups_share_one_state() {
+        let cache = StateCache::new(4, 2);
+        let (a, hit_a) = cache.get_or_build(&family(5));
+        let (b, hit_b) = cache.get_or_build(&family(5));
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the same Arc");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let cache = StateCache::new(2, 1);
+        let (a1, _) = cache.get_or_build(&family(4));
+        cache.get_or_build(&family(5));
+        // Touch family 4 so family 5 is the LRU victim.
+        cache.get_or_build(&family(4));
+        cache.get_or_build(&family(6));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // 4 survived (same Arc); 5 was evicted and rebuilds on next touch.
+        let (a2, hit4) = cache.get_or_build(&family(4));
+        assert!(hit4 && Arc::ptr_eq(&a1, &a2));
+        let (_, hit5) = cache.get_or_build(&family(5));
+        assert!(!hit5, "evicted family must rebuild");
+    }
+
+    #[test]
+    fn concurrent_same_family_lookups_build_once() {
+        let cache = Arc::new(StateCache::new(4, 2));
+        let states: Vec<Arc<FamilyState>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = cache.clone();
+                    s.spawn(move || cache.get_or_build(&family(5)).0)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for st in &states[1..] {
+            assert!(
+                Arc::ptr_eq(&states[0], st),
+                "all concurrent callers must share one build"
+            );
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "exactly one insert");
+        assert_eq!(s.hits, 7);
+    }
+}

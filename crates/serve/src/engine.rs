@@ -1,0 +1,396 @@
+//! The long-running solve engine: worker pool over the bounded queue.
+//!
+//! Workers pull family batches from the [`JobQueue`], acquire the shared
+//! [`FamilyState`] through the [`StateCache`], and run each solve in the
+//! batch against the warm state on their own [`ParCtx`] thread team.  The
+//! engine never blocks a submitter on solver work: admission is a bounded
+//! queue operation, and outcomes are delivered through per-job channels.
+
+use crate::cache::{CacheStats, StateCache};
+use crate::queue::{AdmissionPolicy, Job, JobQueue, QueueStats};
+use crate::scenario::{
+    solution_fingerprint, ScenarioClass, SolveOutcome, SolveRequest, SolveResponse,
+};
+use fun3d_solver::pseudo::PseudoTransientOptions;
+use fun3d_sparse::par::ParCtx;
+use fun3d_telemetry::events::EventSink;
+use fun3d_telemetry::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads pulling from the queue.
+    pub workers: usize,
+    /// Queue depth bound enforced by admission control.
+    pub queue_depth: usize,
+    /// What to do with arrivals past the bound.
+    pub policy: AdmissionPolicy,
+    /// Most same-family jobs one worker pass serves (1 = no batching).
+    pub max_batch: usize,
+    /// Most families resident in the state cache.
+    pub cache_capacity: usize,
+    /// Thread-team width each worker's solves run with (the `ParCtx` the
+    /// kernels of PR 4 parallelize over).  Also the subdomain count family
+    /// partitions are built with.
+    pub solver_threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 32,
+            policy: AdmissionPolicy::Reject,
+            max_batch: 8,
+            cache_capacity: 4,
+            solver_threads: 1,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at its depth bound under [`AdmissionPolicy::Reject`].
+    QueueFull {
+        /// The configured bound that was hit.
+        depth: usize,
+    },
+    /// The engine is shutting down.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { depth } => {
+                write!(f, "queue full (depth bound {depth}); request rejected")
+            }
+            SubmitError::Closed => write!(f, "engine closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Waitable handle for one admitted request.
+pub struct JobHandle {
+    id: u64,
+    rx: Receiver<SolveOutcome>,
+}
+
+impl JobHandle {
+    /// The request id this handle tracks.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the outcome arrives.  A worker panic surfaces as
+    /// [`SolveOutcome::Shed`] rather than a hang.
+    pub fn wait(self) -> SolveOutcome {
+        self.rx.recv().unwrap_or(SolveOutcome::Shed)
+    }
+}
+
+/// Aggregate serving counters at shutdown (or any snapshot).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Solves completed.
+    pub completed: u64,
+    /// Worker passes (one shared state acquisition each).
+    pub batches: u64,
+    /// Completed solves that rode a batch of size > 1.
+    pub batched_jobs: u64,
+    /// Queue counters.
+    pub queue: QueueStats,
+    /// Cache counters.
+    pub cache: CacheStats,
+}
+
+struct Shared {
+    queue: JobQueue,
+    cache: StateCache,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    batched_jobs: AtomicU64,
+}
+
+/// The engine: spawn with [`Engine::start`], feed with [`Engine::submit`],
+/// stop with [`Engine::shutdown`] (drains the queue, joins the workers).
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    solver_threads: usize,
+    queue_depth: usize,
+}
+
+impl Engine {
+    /// Spawn the worker pool and return the running engine.
+    pub fn start(cfg: &EngineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.queue_depth, cfg.policy),
+            cache: StateCache::new(cfg.cache_capacity, cfg.solver_threads.max(1)),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_jobs: AtomicU64::new(0),
+        });
+        let max_batch = cfg.max_batch.max(1);
+        let workers = (0..cfg.workers.max(1))
+            .map(|w| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("fun3d-serve-{w}"))
+                    .spawn(move || worker_loop(&shared, max_batch))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            next_id: AtomicU64::new(0),
+            solver_threads: cfg.solver_threads.max(1),
+            queue_depth: cfg.queue_depth.max(1),
+        }
+    }
+
+    /// Submit one solve request.  Returns immediately: a handle when
+    /// admitted, [`SubmitError::QueueFull`] when rejected at the bound.
+    pub fn submit(
+        &self,
+        scenario: &ScenarioClass,
+        nks: &PseudoTransientOptions,
+    ) -> Result<JobHandle, SubmitError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut nks = nks.clone();
+        // Solves run on the engine's thread team; a fixed width keeps the
+        // PR-4 determinism contract (results depend on the team size, so
+        // the engine pins one).
+        nks.krylov.par = ParCtx::new(self.solver_threads);
+        let (tx, rx) = channel();
+        let job = Job {
+            req: SolveRequest {
+                id,
+                scenario: scenario.clone(),
+                nks,
+            },
+            enqueued_at: Instant::now(),
+            tx,
+        };
+        match self.shared.queue.submit(job) {
+            Ok(()) => Ok(JobHandle { id, rx }),
+            Err(_) => Err(SubmitError::QueueFull {
+                depth: self.queue_depth,
+            }),
+        }
+    }
+
+    /// Live snapshot of the serving counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            batched_jobs: self.shared.batched_jobs.load(Ordering::Relaxed),
+            queue: self.shared.queue.stats(),
+            cache: self.shared.cache.stats(),
+        }
+    }
+
+    /// Current queue depth (jobs admitted, not yet picked up).
+    pub fn queue_depth_now(&self) -> usize {
+        self.shared.queue.depth_now()
+    }
+
+    /// Close the queue, drain remaining jobs, join the workers, and return
+    /// the final counters.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, max_batch: usize) {
+    while let Some(batch) = shared.queue.next_batch(max_batch) {
+        let picked_up = Instant::now();
+        let t0 = Instant::now();
+        let (state, hit) = shared.cache.get_or_build(&batch[0].req.scenario);
+        let t_setup = t0.elapsed().as_secs_f64();
+        let n = batch.len();
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        for (i, job) in batch.into_iter().enumerate() {
+            let t_queue = picked_up.duration_since(job.enqueued_at).as_secs_f64();
+            let t0 = Instant::now();
+            let (history, q) =
+                state.solve(&job.req.nks, &Registry::disabled(), &EventSink::disabled());
+            let t_solve = t0.elapsed().as_secs_f64();
+            let latency = job.enqueued_at.elapsed().as_secs_f64();
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            if n > 1 {
+                shared.batched_jobs.fetch_add(1, Ordering::Relaxed);
+            }
+            let fingerprint = solution_fingerprint(&q);
+            // A dropped handle just means nobody is waiting on this job.
+            let _ = job.tx.send(SolveOutcome::Done(Box::new(SolveResponse {
+                id: job.req.id,
+                history,
+                solution: q,
+                solution_fingerprint: fingerprint,
+                // Only the batch's first job can miss: the rest reuse the
+                // state it just built (or found).
+                cache_hit: hit || i > 0,
+                batch_size: n,
+                t_queue_s: t_queue,
+                // Shared acquisition is attributed to the job that paid it.
+                t_setup_s: if i == 0 { t_setup } else { 0.0 },
+                t_solve_s: t_solve,
+                latency_s: latency,
+            })));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::direct_solve;
+    use crate::test_support::{tiny_nks, tiny_scenario};
+
+    #[test]
+    fn engine_serves_same_family_requests_from_one_cached_state() {
+        let eng = Engine::start(&EngineConfig {
+            workers: 2,
+            queue_depth: 32,
+            max_batch: 4,
+            ..Default::default()
+        });
+        let sc = tiny_scenario();
+        let nks = tiny_nks();
+        let handles: Vec<_> = (0..6).map(|_| eng.submit(&sc, &nks).unwrap()).collect();
+        let (hd, qd) = direct_solve(&sc, &nks);
+        let mut hits = 0;
+        for h in handles {
+            let resp = h.wait().done().expect("no shedding under Reject");
+            assert!(resp.history.converged);
+            assert_eq!(resp.history.nsteps(), hd.nsteps());
+            assert_eq!(resp.solution, qd, "bitwise identical to the direct path");
+            assert_eq!(
+                resp.solution_fingerprint,
+                crate::scenario::solution_fingerprint(&qd)
+            );
+            assert!(resp.latency_s >= resp.t_solve_s);
+            hits += resp.cache_hit as usize;
+        }
+        let stats = eng.shutdown();
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.cache.misses, 1, "one family, one build");
+        assert_eq!(hits, 5);
+        assert_eq!(stats.queue.rejected, 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_hanging() {
+        // One worker, depth 1: a burst must split into admitted + rejected
+        // and every admitted job must resolve.
+        let eng = Engine::start(&EngineConfig {
+            workers: 1,
+            queue_depth: 1,
+            max_batch: 1,
+            ..Default::default()
+        });
+        let sc = tiny_scenario();
+        let nks = tiny_nks();
+        let mut admitted = Vec::new();
+        let mut rejected = 0u64;
+        for _ in 0..12 {
+            match eng.submit(&sc, &nks) {
+                Ok(h) => admitted.push(h),
+                Err(SubmitError::QueueFull { .. }) => rejected += 1,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        for h in admitted {
+            assert!(h.wait().done().is_some());
+        }
+        let stats = eng.shutdown();
+        assert_eq!(stats.queue.rejected, rejected);
+        assert_eq!(stats.completed + rejected, 12);
+        assert!(stats.queue.max_depth <= 1);
+    }
+
+    #[test]
+    fn shed_policy_resolves_dropped_jobs_as_shed() {
+        let eng = Engine::start(&EngineConfig {
+            workers: 1,
+            queue_depth: 1,
+            policy: AdmissionPolicy::ShedOldest,
+            max_batch: 1,
+            ..Default::default()
+        });
+        let sc = tiny_scenario();
+        let nks = tiny_nks();
+        let handles: Vec<_> = (0..10).map(|_| eng.submit(&sc, &nks).unwrap()).collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+        let done = outcomes
+            .iter()
+            .filter(|o| matches!(o, SolveOutcome::Done(_)))
+            .count();
+        let shed = outcomes
+            .iter()
+            .filter(|o| matches!(o, SolveOutcome::Shed))
+            .count();
+        assert_eq!(done + shed, 10);
+        let stats = eng.shutdown();
+        assert_eq!(stats.queue.shed, shed as u64);
+        assert_eq!(stats.queue.rejected, 0, "shedding admits every arrival");
+    }
+
+    #[test]
+    fn batched_jobs_reuse_one_setup() {
+        // One worker and a held queue: submit a burst before the worker can
+        // start, so batching has material to work with.
+        let eng = Engine::start(&EngineConfig {
+            workers: 1,
+            queue_depth: 32,
+            max_batch: 8,
+            ..Default::default()
+        });
+        let sc = tiny_scenario();
+        let nks = tiny_nks();
+        let handles: Vec<_> = (0..8).map(|_| eng.submit(&sc, &nks).unwrap()).collect();
+        let responses: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.wait().done().unwrap())
+            .collect();
+        let stats = eng.shutdown();
+        assert_eq!(stats.completed, 8);
+        // Fewer worker passes than jobs proves batching happened; jobs
+        // beyond the first in a batch carry zero shared-setup cost.
+        assert!(
+            stats.batches < 8,
+            "expected batching, got {} passes",
+            stats.batches
+        );
+        let free_setups = responses
+            .iter()
+            .filter(|r| r.batch_size > 1 && r.t_setup_s == 0.0)
+            .count();
+        assert!(free_setups > 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Bounded job queue with admission control and family batching.
+//!
+//! Arrivals past the configured depth are **rejected** at the door
+//! ([`AdmissionPolicy::Reject`]) or admitted by **shedding** the oldest
+//! queued job ([`AdmissionPolicy::ShedOldest`]); either way the queue never
+//! grows past its bound and a full engine answers immediately instead of
+//! wedging.  Dequeues pull the oldest job plus up to `max_batch - 1`
+//! same-family jobs from anywhere in the queue, so one worker pass reuses
+//! one warm family state across the whole batch.
+
+use crate::scenario::{SolveOutcome, SolveRequest};
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// What to do with an arrival when the queue is at its depth bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Refuse the new arrival; the submitter gets an immediate error.
+    #[default]
+    Reject,
+    /// Admit the new arrival and drop the oldest queued job (its handle
+    /// resolves to [`SolveOutcome::Shed`]).
+    ShedOldest,
+}
+
+/// Queue counters (monotonic since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs admitted into the queue.
+    pub admitted: u64,
+    /// Arrivals refused by [`AdmissionPolicy::Reject`].
+    pub rejected: u64,
+    /// Queued jobs dropped by [`AdmissionPolicy::ShedOldest`].
+    pub shed: u64,
+    /// High-water mark of the queue depth.
+    pub max_depth: u64,
+}
+
+/// One admitted job: the request, its admission timestamp, and the channel
+/// its outcome is delivered on.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub req: SolveRequest,
+    pub enqueued_at: Instant,
+    pub tx: Sender<SolveOutcome>,
+}
+
+struct Inner {
+    jobs: VecDeque<Job>,
+    open: bool,
+    stats: QueueStats,
+}
+
+/// The bounded, policy-guarded job queue.
+pub(crate) struct JobQueue {
+    depth: usize,
+    policy: AdmissionPolicy,
+    inner: Mutex<Inner>,
+    notify: Condvar,
+}
+
+impl JobQueue {
+    pub fn new(depth: usize, policy: AdmissionPolicy) -> Self {
+        Self {
+            depth: depth.max(1),
+            policy,
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                open: true,
+                stats: QueueStats::default(),
+            }),
+            notify: Condvar::new(),
+        }
+    }
+
+    /// Admit `job` or refuse it.  Returns the job back on refusal (closed
+    /// queue or `Reject` at depth) so the caller can surface the error
+    /// without losing the request.
+    #[allow(clippy::result_large_err)] // Err hands the whole job back by design
+    pub fn submit(&self, job: Job) -> Result<(), Job> {
+        let mut g = self.inner.lock().unwrap();
+        if !g.open {
+            return Err(job);
+        }
+        if g.jobs.len() >= self.depth {
+            match self.policy {
+                AdmissionPolicy::Reject => {
+                    g.stats.rejected += 1;
+                    return Err(job);
+                }
+                AdmissionPolicy::ShedOldest => {
+                    if let Some(victim) = g.jobs.pop_front() {
+                        g.stats.shed += 1;
+                        // A dropped receiver just means nobody is waiting.
+                        let _ = victim.tx.send(SolveOutcome::Shed);
+                    }
+                }
+            }
+        }
+        g.jobs.push_back(job);
+        g.stats.admitted += 1;
+        g.stats.max_depth = g.stats.max_depth.max(g.jobs.len() as u64);
+        drop(g);
+        self.notify.notify_one();
+        Ok(())
+    }
+
+    /// Block until a job is available (or the queue is closed and drained),
+    /// then return the oldest job together with up to `max_batch - 1`
+    /// same-family jobs extracted from anywhere in the queue, oldest first.
+    pub fn next_batch(&self, max_batch: usize) -> Option<Vec<Job>> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(first) = g.jobs.pop_front() {
+                let mut batch = vec![first];
+                let key = batch[0].req.scenario.key();
+                let max_batch = max_batch.max(1);
+                let mut i = 0;
+                while i < g.jobs.len() && batch.len() < max_batch {
+                    if g.jobs[i].req.scenario.key() == key {
+                        batch.push(g.jobs.remove(i).unwrap());
+                    } else {
+                        i += 1;
+                    }
+                }
+                return Some(batch);
+            }
+            if !g.open {
+                return None;
+            }
+            g = self.notify.wait(g).unwrap();
+        }
+    }
+
+    /// Close the queue: refuse new arrivals, wake all workers.  Queued jobs
+    /// still drain.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().open = false;
+        self.notify.notify_all();
+    }
+
+    /// Current depth (for tests and status lines).
+    pub fn depth_now(&self) -> usize {
+        self.inner.lock().unwrap().jobs.len()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> QueueStats {
+        self.inner.lock().unwrap().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioClass;
+    use crate::test_support::{tiny_nks, tiny_scenario};
+    use std::sync::mpsc::channel;
+
+    fn job(id: u64, sc: &ScenarioClass) -> (Job, std::sync::mpsc::Receiver<SolveOutcome>) {
+        let (tx, rx) = channel();
+        (
+            Job {
+                req: SolveRequest {
+                    id,
+                    scenario: sc.clone(),
+                    nks: tiny_nks(),
+                },
+                enqueued_at: Instant::now(),
+                tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn reject_policy_bounces_arrivals_at_depth() {
+        let q = JobQueue::new(2, AdmissionPolicy::Reject);
+        let sc = tiny_scenario();
+        assert!(q.submit(job(0, &sc).0).is_ok());
+        assert!(q.submit(job(1, &sc).0).is_ok());
+        let bounced = q.submit(job(2, &sc).0);
+        assert!(bounced.is_err());
+        assert_eq!(bounced.unwrap_err().req.id, 2);
+        let s = q.stats();
+        assert_eq!((s.admitted, s.rejected, s.shed), (2, 1, 0));
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(q.depth_now(), 2);
+    }
+
+    #[test]
+    fn shed_policy_drops_the_oldest_and_resolves_its_handle() {
+        let q = JobQueue::new(2, AdmissionPolicy::ShedOldest);
+        let sc = tiny_scenario();
+        let (j0, rx0) = job(0, &sc);
+        q.submit(j0).unwrap();
+        q.submit(job(1, &sc).0).unwrap();
+        q.submit(job(2, &sc).0).unwrap();
+        assert!(matches!(rx0.recv().unwrap(), SolveOutcome::Shed));
+        let s = q.stats();
+        assert_eq!((s.admitted, s.rejected, s.shed), (3, 0, 1));
+        assert_eq!(q.depth_now(), 2);
+        // The survivors are the two newest.
+        let batch = q.next_batch(8).unwrap();
+        assert_eq!(
+            batch.iter().map(|j| j.req.id).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn batches_group_same_family_jobs_preserving_order() {
+        let q = JobQueue::new(16, AdmissionPolicy::Reject);
+        let a = tiny_scenario();
+        let mut b = tiny_scenario();
+        b.mesh.nx += 1;
+        for (id, sc) in [(0, &a), (1, &b), (2, &a), (3, &b), (4, &a)] {
+            q.submit(job(id, sc).0).unwrap();
+        }
+        let first = q.next_batch(8).unwrap();
+        assert_eq!(
+            first.iter().map(|j| j.req.id).collect::<Vec<_>>(),
+            vec![0, 2, 4],
+            "family-a jobs batch together, oldest first"
+        );
+        let second = q.next_batch(8).unwrap();
+        assert_eq!(
+            second.iter().map(|j| j.req.id).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        // max_batch caps the pull.
+        q.submit(job(5, &a).0).unwrap();
+        q.submit(job(6, &a).0).unwrap();
+        let capped = q.next_batch(1).unwrap();
+        assert_eq!(capped.len(), 1);
+    }
+
+    #[test]
+    fn close_refuses_arrivals_and_drains() {
+        let q = JobQueue::new(4, AdmissionPolicy::Reject);
+        let sc = tiny_scenario();
+        q.submit(job(0, &sc).0).unwrap();
+        q.close();
+        assert!(q.submit(job(1, &sc).0).is_err());
+        assert_eq!(q.next_batch(4).unwrap().len(), 1);
+        assert!(q.next_batch(4).is_none(), "drained + closed ends workers");
+    }
+}

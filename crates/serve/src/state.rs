@@ -1,0 +1,294 @@
+//! Immutable per-family solver state, shared across concurrent solves.
+//!
+//! Everything a solve needs that depends only on the [`ScenarioClass`] —
+//! the generated mesh with its orderings applied, a k-way partition of the
+//! vertex graph, and the symbolic ILU(k) / BCSR structure templates — is
+//! built once per family and shared behind an `Arc`.  A warm solve then
+//! pays only the marginal cost: discretization assembly, numeric
+//! refactorization, and the Krylov iterations.  Results are bitwise
+//! identical to the uncached path (the templates are pattern-only; see
+//! [`fun3d_solver::pseudo::WarmStart`]).
+
+use crate::scenario::{FamilyKey, ScenarioClass};
+use fun3d_core::config::apply_orderings;
+use fun3d_core::problem::EulerProblem;
+use fun3d_euler::residual::Discretization;
+use fun3d_mesh::tet::TetMesh;
+use fun3d_partition::partition_kway;
+use fun3d_solver::op::PseudoTransientProblem;
+use fun3d_solver::pseudo::{
+    solve_pseudo_transient_warm, PrecondSpec, PseudoTransientOptions, SolveHistory, WarmStart,
+};
+use fun3d_sparse::bcsr::BcsrMatrix;
+use fun3d_sparse::csr::CsrMatrix;
+use fun3d_sparse::ilu::{IluFactors, IluOptions, PrecStorage};
+use fun3d_telemetry::events::EventSink;
+use fun3d_telemetry::Registry;
+use std::sync::{Arc, Mutex};
+
+/// Seed for the family partition (deterministic across builds).
+const PARTITION_SEED: u64 = 0x5e7e_5e7e;
+
+/// Structure templates built lazily per (options) and shared thereafter.
+#[derive(Default)]
+struct Templates {
+    /// ILU(k) symbolic templates keyed by (fill level, storage).
+    ilu: Vec<((usize, PrecStorage), Arc<IluFactors>)>,
+    /// BCSR block-structure templates keyed by block size.
+    bcsr: Vec<(usize, Arc<BcsrMatrix>)>,
+}
+
+/// The shared immutable state of one scenario family.
+pub struct FamilyState {
+    key: FamilyKey,
+    scenario: ScenarioClass,
+    mesh: TetMesh,
+    /// Disjoint owned-vertex sets from a k-way partition of the vertex
+    /// graph — reusable by Schwarz-preconditioned requests.
+    subdomains: Vec<Vec<usize>>,
+    templates: Mutex<Templates>,
+    build_time_s: f64,
+}
+
+impl std::fmt::Debug for FamilyState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FamilyState")
+            .field("nverts", &self.mesh.nverts())
+            .field("subdomains", &self.subdomains.len())
+            .field("build_time_s", &self.build_time_s)
+            .finish()
+    }
+}
+
+impl FamilyState {
+    /// Build the family state: generate and order the mesh, partition its
+    /// vertex graph into `nsubdomains` parts.  This is the expensive,
+    /// once-per-family step the cache amortizes.
+    pub fn build(scenario: &ScenarioClass, nsubdomains: usize) -> Self {
+        let t0 = std::time::Instant::now();
+        let mesh = apply_orderings(
+            scenario.mesh.build(),
+            scenario.layout.vertex_ordering,
+            scenario.layout.edge_ordering,
+        );
+        let g = mesh.vertex_graph();
+        let k = nsubdomains.clamp(1, mesh.nverts());
+        let subdomains = partition_kway(&g, k, PARTITION_SEED).subdomains();
+        Self {
+            key: scenario.key(),
+            scenario: scenario.clone(),
+            mesh,
+            subdomains,
+            templates: Mutex::new(Templates::default()),
+            build_time_s: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The family's cache key.
+    pub fn key(&self) -> FamilyKey {
+        self.key
+    }
+
+    /// The scenario class this state was built for.
+    pub fn scenario(&self) -> &ScenarioClass {
+        &self.scenario
+    }
+
+    /// The ordered mesh.
+    pub fn mesh(&self) -> &TetMesh {
+        &self.mesh
+    }
+
+    /// Owned-vertex sets of the family partition.
+    pub fn subdomains(&self) -> &[Vec<usize>] {
+        &self.subdomains
+    }
+
+    /// Mesh vertices.
+    pub fn nverts(&self) -> usize {
+        self.mesh.nverts()
+    }
+
+    /// Unknowns per solve.
+    pub fn nunknowns(&self) -> usize {
+        self.mesh.nverts() * self.scenario.model.ncomp()
+    }
+
+    /// Seconds the one-time build took (mesh + orderings + partition).
+    pub fn build_time_s(&self) -> f64 {
+        self.build_time_s
+    }
+
+    /// A representative shifted first-order Jacobian: the pattern every
+    /// step matrix of this family shares.  The diagonal shift mirrors the
+    /// solver's pseudo-timestep term so the numeric factorization the
+    /// template build runs cannot hit spurious zero pivots.
+    fn representative_jacobian(&self, cfl: f64) -> CsrMatrix {
+        let disc = Discretization::new(
+            &self.mesh,
+            self.scenario.model,
+            self.scenario.layout.field_layout(),
+            self.scenario.order,
+        );
+        let problem = EulerProblem::new(disc);
+        let q = problem.initial_state();
+        let mut jac = problem.jacobian(&q);
+        let d = problem.inverse_timestep_scale(&q);
+        jac.shift_diagonal_by(1.0 / cfl.max(1e-6), &d);
+        jac
+    }
+
+    /// The ILU(k) symbolic template for `opts`, built on first use.  Holding
+    /// the lock across the build serializes first-touch per family but
+    /// guarantees every caller gets the same `Arc` with no duplicate work.
+    fn ilu_template(&self, opts: &IluOptions, cfl: f64) -> Option<Arc<IluFactors>> {
+        let k = (opts.fill_level, opts.storage);
+        let mut g = self.templates.lock().unwrap();
+        if let Some((_, t)) = g.ilu.iter().find(|(key, _)| *key == k) {
+            return Some(t.clone());
+        }
+        let jac = self.representative_jacobian(cfl);
+        let t = Arc::new(IluFactors::factor(&jac, opts).ok()?);
+        g.ilu.push((k, t.clone()));
+        Some(t)
+    }
+
+    /// The BCSR block-structure template for block size `b`.
+    fn bcsr_template(&self, b: usize, cfl: f64) -> Option<Arc<BcsrMatrix>> {
+        let mut g = self.templates.lock().unwrap();
+        if let Some((_, t)) = g.bcsr.iter().find(|(key, _)| *key == b) {
+            return Some(t.clone());
+        }
+        if !self.nunknowns().is_multiple_of(b) {
+            return None;
+        }
+        let jac = self.representative_jacobian(cfl);
+        let t = Arc::new(BcsrMatrix::from_csr(&jac, b));
+        g.bcsr.push((b, t.clone()));
+        Some(t)
+    }
+
+    /// Assemble the [`WarmStart`] for a request's solver options: the ILU
+    /// template when the request uses a global ILU preconditioner, and the
+    /// BCSR template when the layout calls for structural blocking.
+    pub fn warm_start(&self, nks: &PseudoTransientOptions) -> WarmStart {
+        let mut warm = WarmStart::none();
+        if let PrecondSpec::Ilu(ilu) = &nks.precond {
+            warm.ilu = self.ilu_template(ilu, nks.cfl0);
+        }
+        if !nks.matrix_free {
+            if let Some(b) = nks.bcsr_block {
+                warm.bcsr = self.bcsr_template(b, nks.cfl0);
+            }
+        }
+        warm
+    }
+
+    /// Number of structure templates currently held (for tests/metrics).
+    pub fn template_count(&self) -> usize {
+        let g = self.templates.lock().unwrap();
+        g.ilu.len() + g.bcsr.len()
+    }
+
+    /// Run one solve against this family's shared state.  Identical in
+    /// result to [`direct_solve`] on the same scenario and options, but the
+    /// mesh build, orderings, partition, and symbolic setup are all reused.
+    pub fn solve(
+        &self,
+        nks: &PseudoTransientOptions,
+        tel: &Registry,
+        events: &EventSink,
+    ) -> (SolveHistory, Vec<f64>) {
+        let mut nks = nks.clone();
+        nks.bcsr_block = self.scenario.bcsr_block();
+        let warm = self.warm_start(&nks);
+        let disc = Discretization::new(
+            &self.mesh,
+            self.scenario.model,
+            self.scenario.layout.field_layout(),
+            self.scenario.order,
+        );
+        let mut problem = EulerProblem::new(disc);
+        let mut q = problem.initial_state();
+        let history = solve_pseudo_transient_warm(&mut problem, &mut q, &nks, tel, events, &warm);
+        (history, q)
+    }
+}
+
+/// The uncached reference path: build everything from scratch, exactly as
+/// the sequential driver does, and solve cold.  The serve gates pin cached
+/// results bitwise against this.
+pub fn direct_solve(
+    scenario: &ScenarioClass,
+    nks: &PseudoTransientOptions,
+) -> (SolveHistory, Vec<f64>) {
+    let mut nks = nks.clone();
+    nks.bcsr_block = scenario.bcsr_block();
+    let mesh = apply_orderings(
+        scenario.mesh.build(),
+        scenario.layout.vertex_ordering,
+        scenario.layout.edge_ordering,
+    );
+    let disc = Discretization::new(
+        &mesh,
+        scenario.model,
+        scenario.layout.field_layout(),
+        scenario.order,
+    );
+    let mut problem = EulerProblem::new(disc);
+    let mut q = problem.initial_state();
+    let history = solve_pseudo_transient_warm(
+        &mut problem,
+        &mut q,
+        &nks,
+        &Registry::disabled(),
+        &EventSink::disabled(),
+        &WarmStart::none(),
+    );
+    (history, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{tiny_nks, tiny_scenario};
+
+    #[test]
+    fn cached_solve_is_bitwise_identical_to_direct() {
+        let sc = tiny_scenario();
+        let nks = tiny_nks();
+        let state = FamilyState::build(&sc, 2);
+        let (hd, qd) = direct_solve(&sc, &nks);
+        let (hc, qc) = state.solve(&nks, &Registry::disabled(), &EventSink::disabled());
+        assert_eq!(qd, qc, "cached path must match direct path bitwise");
+        assert_eq!(hd.nsteps(), hc.nsteps());
+        assert_eq!(hd.final_residual, hc.final_residual);
+        for (a, b) in hd.steps.iter().zip(&hc.steps) {
+            assert_eq!(a.residual_norm, b.residual_norm);
+            assert_eq!(a.linear_iters, b.linear_iters);
+        }
+        // Repeat solves reuse the same templates and stay identical.
+        assert!(state.template_count() >= 1);
+        let before = state.template_count();
+        let (_, qc2) = state.solve(&nks, &Registry::disabled(), &EventSink::disabled());
+        assert_eq!(qd, qc2);
+        assert_eq!(state.template_count(), before, "no template rebuild");
+    }
+
+    #[test]
+    fn family_partition_covers_all_vertices() {
+        let sc = tiny_scenario();
+        let state = FamilyState::build(&sc, 3);
+        assert_eq!(state.subdomains().len(), 3);
+        let mut seen = vec![false; state.nverts()];
+        for s in state.subdomains() {
+            for &v in s {
+                assert!(!seen[v], "vertex {v} owned twice");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert_eq!(state.nunknowns(), state.nverts() * 4);
+        assert!(state.build_time_s() > 0.0);
+    }
+}

@@ -28,6 +28,6 @@ pub use gmres::{gmres, gmres_with_telemetry, GmresOptions, GmresResult};
 pub use op::{CsrOperator, LinearOperator, PseudoTransientProblem};
 pub use precond::{AdditiveSchwarz, BlockIluPrecond, IdentityPrecond, IluPrecond, Preconditioner};
 pub use pseudo::{
-    solve_pseudo_transient, solve_pseudo_transient_instrumented, PhaseTimes, PrecondSpec,
-    PseudoTransientOptions, SolveHistory, StepRecord,
+    solve_pseudo_transient, solve_pseudo_transient_instrumented, solve_pseudo_transient_warm,
+    PhaseTimes, PrecondSpec, PseudoTransientOptions, SolveHistory, StepRecord, WarmStart,
 };

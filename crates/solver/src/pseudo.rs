@@ -18,10 +18,11 @@ use crate::gmres::{gmres_with_events, GmresOptions};
 use crate::op::{CsrOperator, FdJacobianOperator, PseudoTransientProblem};
 use crate::precond::{AdditiveSchwarz, BlockIluPrecond, IluPrecond, Preconditioner};
 use fun3d_sparse::bcsr::BcsrMatrix;
-use fun3d_sparse::ilu::IluOptions;
+use fun3d_sparse::ilu::{IluFactors, IluOptions};
 use fun3d_sparse::vec_ops::norm2;
 use fun3d_telemetry::events::{EventRecord, EventSink};
 use fun3d_telemetry::Registry;
+use std::sync::Arc;
 
 /// Which preconditioner the Krylov solver uses.
 #[derive(Debug, Clone)]
@@ -273,6 +274,40 @@ impl Preconditioner for BuiltPrecond {
     }
 }
 
+/// Immutable warm-start templates shared across solves of the same scenario
+/// family (same mesh adjacency, ordering, physics, and layout — i.e. the same
+/// Jacobian *pattern*).
+///
+/// Both templates are pattern-only accelerators: the ILU template skips the
+/// symbolic `ILU(k)` analysis and level scheduling (numerics are redone with
+/// [`IluFactors::refactor`], which runs the identical elimination as a fresh
+/// factorization), and the BCSR template skips the block-structure merge
+/// (values are rewritten in full by `refill_from_csr`).  A warm solve is
+/// therefore **bitwise identical** to a cold one; templates that do not match
+/// the problem (dimension, fill level, storage, block size, nnz) are ignored
+/// rather than trusted.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// Symbolic `ILU(k)` template for [`PrecondSpec::Ilu`]; cloned and
+    /// numerically refactored against each step's shifted Jacobian.
+    pub ilu: Option<Arc<IluFactors>>,
+    /// Block-structure template for the [`PseudoTransientOptions::bcsr_block`]
+    /// operator; cloned once and refilled from the point CSR each step.
+    pub bcsr: Option<Arc<BcsrMatrix>>,
+}
+
+impl WarmStart {
+    /// No templates: every solve pays full symbolic setup (the cold path).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any template is present.
+    pub fn is_empty(&self) -> bool {
+        self.ilu.is_none() && self.bcsr.is_none()
+    }
+}
+
 /// Run ΨNKS continuation on `problem` starting from `q` (updated in place).
 pub fn solve_pseudo_transient<P: PseudoTransientProblem>(
     problem: &mut P,
@@ -308,6 +343,22 @@ pub fn solve_pseudo_transient_with_events<P: PseudoTransientProblem>(
     tel: &Registry,
     events: &EventSink,
 ) -> SolveHistory {
+    solve_pseudo_transient_warm(problem, q, opts, tel, events, &WarmStart::none())
+}
+
+/// [`solve_pseudo_transient_with_events`] seeded with [`WarmStart`] templates
+/// from a previous solve on the same scenario family.  With matching
+/// templates the per-solve symbolic setup (ILU(k) analysis, level schedules,
+/// BCSR block-structure merge) is skipped; the numeric results are bitwise
+/// identical to the cold path either way.
+pub fn solve_pseudo_transient_warm<P: PseudoTransientProblem>(
+    problem: &mut P,
+    q: &mut [f64],
+    opts: &PseudoTransientOptions,
+    tel: &Registry,
+    events: &EventSink,
+    warm: &WarmStart,
+) -> SolveHistory {
     let _solve_span = tel.span("nks");
     let n = problem.n();
     assert_eq!(q.len(), n);
@@ -339,8 +390,13 @@ pub fn solve_pseudo_transient_with_events<P: PseudoTransientProblem>(
     let mut q_trial = vec![0.0; n];
     let mut r_trial = vec![0.0; n];
     // Blocked operator cache: the symbolic block structure is computed once
-    // and only values are refilled each step.
-    let mut bcsr_cache: Option<BcsrMatrix> = None;
+    // and only values are refilled each step.  A matching warm template
+    // provides the structure up front (refill overwrites every value, so the
+    // seeded matrix is indistinguishable from a freshly built one).
+    let mut bcsr_cache: Option<BcsrMatrix> = match (opts.bcsr_block, &warm.bcsr) {
+        (Some(b), Some(t)) if t.block_size() == b && t.nrows() == n => Some((**t).clone()),
+        _ => None,
+    };
     // Lagged preconditioner (kept across steps when pc_refresh > 1).
     let mut pc_cache: Option<BuiltPrecond> = None;
     let mut pc_age = usize::MAX; // force a build on the first step
@@ -384,11 +440,25 @@ pub fn solve_pseudo_transient_with_events<P: PseudoTransientProblem>(
         let pc_span = tel.span("precond");
         if pc_age >= opts.pc_refresh.max(1) {
             pc_cache = Some(match &opts.precond {
-                PrecondSpec::Ilu(ilu) => BuiltPrecond::Ilu(
-                    IluPrecond::factor(&jac, ilu)
-                        .expect("ILU factorization failed")
-                        .with_par(opts.krylov.par),
-                ),
+                PrecondSpec::Ilu(ilu) => {
+                    // A matching warm template skips the symbolic ILU(k)
+                    // analysis: clone + refactor runs the same numeric
+                    // elimination as a fresh factorization on the same
+                    // pattern, so the factors are bitwise identical.
+                    let template = warm
+                        .ilu
+                        .as_deref()
+                        .filter(|t| t.is_template_for(jac.nrows(), ilu));
+                    let factors = match template {
+                        Some(t) => {
+                            let mut f = t.clone();
+                            f.refactor(&jac).expect("ILU refactorization failed");
+                            f
+                        }
+                        None => IluFactors::factor(&jac, ilu).expect("ILU factorization failed"),
+                    };
+                    BuiltPrecond::Ilu(IluPrecond::new(factors).with_par(opts.krylov.par))
+                }
                 PrecondSpec::BlockIlu { block } => BuiltPrecond::BlockIlu(
                     BlockIluPrecond::factor(&jac, *block)
                         .expect("block ILU factorization failed")
@@ -439,8 +509,10 @@ pub fn solve_pseudo_transient_with_events<P: PseudoTransientProblem>(
             gmres_with_events(&op, pc, &rhs, &mut delta, &krylov, tel, events, nstep)
         } else if let Some(b) = opts.bcsr_block {
             match &mut bcsr_cache {
-                Some(cached) => cached.refill_from_csr(&jac),
-                None => bcsr_cache = Some(BcsrMatrix::from_csr(&jac, b)),
+                // A seeded template whose source pattern disagrees (wrong
+                // nnz) is discarded, not trusted.
+                Some(cached) if cached.csr_nnz() == jac.nnz() => cached.refill_from_csr(&jac),
+                _ => bcsr_cache = Some(BcsrMatrix::from_csr(&jac, b)),
             }
             let op = BcsrOperator {
                 a: bcsr_cache.as_ref().unwrap(),
@@ -766,6 +838,120 @@ mod tests {
         let h2 = solve_pseudo_transient(&mut p2, &mut q2, &default_opts());
         assert_eq!(q, q2);
         assert_eq!(h.final_residual, h2.final_residual);
+    }
+
+    #[test]
+    fn warm_ilu_template_is_bitwise_identical_to_cold() {
+        let run = |warm: &WarmStart| {
+            let mut p = Bratu1d::new(30, 1.0);
+            let mut q = vec![0.0; 30];
+            let h = solve_pseudo_transient_warm(
+                &mut p,
+                &mut q,
+                &default_opts(),
+                &Registry::disabled(),
+                &EventSink::disabled(),
+                warm,
+            );
+            (h, q)
+        };
+        let (hc, qc) = run(&WarmStart::none());
+        // The template comes from the *unshifted* initial Jacobian: the
+        // pseudo-timestep shift only changes diagonal values, never the
+        // pattern, so the symbolic structure matches every step matrix.
+        let p = Bratu1d::new(30, 1.0);
+        let jac = p.jacobian(&vec![0.0; 30]);
+        let template = IluFactors::factor(&jac, &IluOptions::with_fill(0)).unwrap();
+        let warm = WarmStart {
+            ilu: Some(Arc::new(template)),
+            bcsr: None,
+        };
+        assert!(!warm.is_empty());
+        let (hw, qw) = run(&warm);
+        assert!(hc.converged && hw.converged);
+        assert_eq!(qc, qw, "warm solution must be bitwise identical");
+        assert_eq!(hc.nsteps(), hw.nsteps());
+        assert_eq!(hc.final_residual, hw.final_residual);
+        for (a, b) in hc.steps.iter().zip(&hw.steps) {
+            assert_eq!(a.residual_norm, b.residual_norm);
+            assert_eq!(a.linear_iters, b.linear_iters);
+            assert_eq!(a.cfl, b.cfl);
+        }
+    }
+
+    #[test]
+    fn warm_bcsr_template_is_bitwise_identical_to_cold() {
+        let mut opts = default_opts();
+        opts.bcsr_block = Some(5);
+        let run = |warm: &WarmStart, opts: &PseudoTransientOptions| {
+            let mut p = Bratu1d::new(30, 1.0);
+            let mut q = vec![0.0; 30];
+            let h = solve_pseudo_transient_warm(
+                &mut p,
+                &mut q,
+                opts,
+                &Registry::disabled(),
+                &EventSink::disabled(),
+                warm,
+            );
+            (h, q)
+        };
+        let (hc, qc) = run(&WarmStart::none(), &opts);
+        let p = Bratu1d::new(30, 1.0);
+        let jac = p.jacobian(&vec![0.0; 30]);
+        let warm = WarmStart {
+            ilu: None,
+            bcsr: Some(Arc::new(BcsrMatrix::from_csr(&jac, 5))),
+        };
+        let (hw, qw) = run(&warm, &opts);
+        assert!(hc.converged && hw.converged);
+        assert_eq!(qc, qw);
+        assert_eq!(hc.final_residual, hw.final_residual);
+    }
+
+    #[test]
+    fn mismatched_warm_templates_are_ignored() {
+        // Wrong fill level, wrong dimension, and a BCSR template with a
+        // foreign pattern: all must fall back to the cold path, not corrupt
+        // or panic.
+        let p = Bratu1d::new(30, 1.0);
+        let jac = p.jacobian(&vec![0.0; 30]);
+        let wrong_fill = IluFactors::factor(&jac, &IluOptions::with_fill(2)).unwrap();
+        let small = Bratu1d::new(20, 1.0);
+        let wrong_dim =
+            IluFactors::factor(&small.jacobian(&vec![0.0; 20]), &IluOptions::with_fill(0)).unwrap();
+        // Diagonal-only pattern: same n and block size, different nnz.
+        let eye = fun3d_sparse::csr::CsrMatrix::identity(30);
+        let foreign_bcsr = BcsrMatrix::from_csr(&eye, 5);
+        let mut opts = default_opts();
+        opts.bcsr_block = Some(5);
+        for warm in [
+            WarmStart {
+                ilu: Some(Arc::new(wrong_fill)),
+                bcsr: None,
+            },
+            WarmStart {
+                ilu: Some(Arc::new(wrong_dim)),
+                bcsr: Some(Arc::new(foreign_bcsr)),
+            },
+        ] {
+            let mut p = Bratu1d::new(30, 1.0);
+            let mut q = vec![0.0; 30];
+            let h = solve_pseudo_transient_warm(
+                &mut p,
+                &mut q,
+                &opts,
+                &Registry::disabled(),
+                &EventSink::disabled(),
+                &warm,
+            );
+            assert!(h.converged, "reduction {}", h.reduction());
+            let mut p2 = Bratu1d::new(30, 1.0);
+            let mut q2 = vec![0.0; 30];
+            let h2 = solve_pseudo_transient(&mut p2, &mut q2, &opts);
+            assert_eq!(q, q2, "ignored template must leave results untouched");
+            assert_eq!(h.final_residual, h2.final_residual);
+        }
     }
 
     #[test]

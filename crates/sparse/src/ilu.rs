@@ -302,6 +302,25 @@ impl IluFactors {
         self.fill_level
     }
 
+    /// The precision the factor values are stored in.
+    pub fn storage(&self) -> PrecStorage {
+        match &self.vals {
+            FactorValues::F64 { .. } => PrecStorage::Double,
+            FactorValues::F32 { .. } => PrecStorage::Single,
+        }
+    }
+
+    /// Whether this factorization can serve as a symbolic template for
+    /// factoring matrices with `opts` via clone + [`IluFactors::refactor`]:
+    /// same dimension, fill level, and storage precision.  The caller must
+    /// additionally guarantee the matrix *pattern* matches the one this was
+    /// factored from (e.g. Jacobians of the same mesh family and layout);
+    /// the numeric refactorization is then bitwise identical to a fresh
+    /// [`IluFactors::factor`], with the symbolic analysis skipped.
+    pub fn is_template_for(&self, n: usize, opts: &IluOptions) -> bool {
+        self.n == n && self.fill_level == opts.fill_level && self.storage() == opts.storage
+    }
+
     /// Total stored entries (L + U + diagonal).
     pub fn nnz(&self) -> usize {
         self.l_idx.len() + self.u_idx.len() + self.n
