@@ -172,4 +172,47 @@ check_serve_rejects \
     || { echo "ci: serve reject check retrying"; check_serve_rejects; } \
     || { echo "ci: overloaded serve engine produced no rejects"; exit 1; }
 
+# Live-metrics leg: the same sweep with the collector, request tracing,
+# and SLO layer on.  The metrics sidecar must carry the core series and a
+# parseable Prometheus scrape, every request must leave a trace event, the
+# 1-worker overload must drive health to saturated, and `fun3d-report
+# live` must render sparklines with the health timeline.
+FUN3D_SERVE_WORKERS=1 timeout 300 ./target/release/serve --steps 2 --quiet \
+    --metrics --metrics-out "$smoke_dir/serve-live.metrics.jsonl" \
+    --events "$smoke_dir/serve-live.events.jsonl" \
+    --json "$smoke_dir/serve-live.json" > "$smoke_dir/serve-live.log"
+grep -q '"series":"queue_depth"' "$smoke_dir/serve-live.metrics.jsonl"
+grep -q '"series":"throughput_solves_per_s"' "$smoke_dir/serve-live.metrics.jsonl"
+grep -q '"series":"health_state"' "$smoke_dir/serve-live.metrics.jsonl"
+# The Prometheus exposition parses: every non-comment line is
+# `fun3d_<name> <float>`, and at least one sample is present.
+awk '/^#/ { next }
+     !/^fun3d_[a-z0-9_]+ -?[0-9][0-9.e+-]*$/ { bad = 1 }
+     { n += 1 }
+     END { exit !(n > 0 && !bad) }' "$smoke_dir/serve-live.metrics.jsonl.prom" \
+    || { echo "ci: malformed Prometheus scrape"; exit 1; }
+grep -q '"ev":"request_trace"' "$smoke_dir/serve-live.events.jsonl"
+# Overloading one worker at the top sweep rate must saturate its SLO.
+grep -q '"rate1:health_state":2' "$smoke_dir/serve-live.json" \
+    || { echo "ci: overloaded serve engine not marked saturated"; exit 1; }
+grep -q '"serve:queue_wait_frac"' "$smoke_dir/serve-live.json"
+./target/release/fun3d-report live "$smoke_dir/serve-live.json" > "$smoke_dir/live-view.log"
+grep -q "Time series" "$smoke_dir/live-view.log"
+grep -q "Health timeline" "$smoke_dir/live-view.log"
+grep -q "saturated" "$smoke_dir/live-view.log"
+# Metrics off must cost <5% wall clock vs the run above (same 1-worker
+# sweep; the dark run's single relaxed atomic load per request is the
+# whole overhead budget).  One retry damps scheduler noise.
+check_metrics_overhead() {
+    t_off=$(FUN3D_SERVE_WORKERS=1 timeout 300 ./target/release/serve --steps 2 --quiet \
+        --json "$smoke_dir/serve-dark.json" > /dev/null \
+        && grep -o '"wall_s":[0-9.e-]*' "$smoke_dir/serve-dark.json" | cut -d: -f2)
+    t_on=$(FUN3D_SERVE_WORKERS=1 timeout 300 ./target/release/serve --steps 2 --quiet \
+        --metrics --json "$smoke_dir/serve-on.json" > /dev/null \
+        && grep -o '"wall_s":[0-9.e-]*' "$smoke_dir/serve-on.json" | cut -d: -f2)
+    awk -v off="$t_off" -v on="$t_on" 'BEGIN { exit !(on <= off * 1.05) }'
+}
+check_metrics_overhead \
+    || { echo "ci: metrics overhead check retrying"; check_metrics_overhead; }
+
 echo "ci: all checks passed"

@@ -2,7 +2,8 @@
 //! The core loop lives in `fun3d_bench::runners::serve`.
 //!
 //! Usage: `cargo run --release -p fun3d-bench --bin serve [--scale f]
-//!   [--steps nrates] [--threads n] [--json out.json] [--trace trace.json]`
+//!   [--steps nrates] [--threads n] [--json out.json] [--trace trace.json]
+//!   [--metrics] [--metrics-out metrics.jsonl] [--events events.jsonl]`
 //! with `FUN3D_SERVE_WORKERS` selecting the worker-pool size (default 2).
 
 use fun3d_bench::{runners, BenchArgs};
@@ -13,4 +14,5 @@ fn main() {
     args.emit_report(&out.report);
     args.emit_trace(&out.telemetry);
     args.emit_events(&out.events);
+    args.emit_metrics(&out.metrics);
 }

@@ -22,6 +22,7 @@ use fun3d_sparse::csr::CsrMatrix;
 use fun3d_sparse::layout::FieldLayout;
 use fun3d_sparse::profile::RegionStats;
 use fun3d_telemetry::events::{EventRecord, EventStream};
+use fun3d_telemetry::metrics::SeriesSet;
 use fun3d_telemetry::report::PerfReport;
 use fun3d_telemetry::{Registry, Snapshot};
 
@@ -63,6 +64,14 @@ pub struct BenchArgs {
     /// arrows in the message-passing experiments (`--trace-ranks`; defaults
     /// to the `FUN3D_TRACE_RANKS` environment variable).
     pub trace_ranks: bool,
+    /// Turn on live telemetry in runners that serve requests (`--metrics`;
+    /// defaults to the `FUN3D_METRICS` environment variable): windowed
+    /// time-series sampling, per-request traces, and SLO health.
+    pub metrics: bool,
+    /// Write the collected `fun3d-metrics/1` time series here, plus a
+    /// Prometheus text exposition at `<path>.prom`
+    /// (`--metrics-out <path>`; implies `--metrics`).
+    pub metrics_out: Option<String>,
     /// Shared flags that appeared more than once on the command line, in
     /// first-repeat order.  A repeated value flag (`--threads 2 --threads 4`)
     /// used to silently last-win; callers reject these via
@@ -102,6 +111,13 @@ impl BenchArgs {
                     !v.is_empty() && v != "0"
                 })
                 .unwrap_or(false),
+            metrics: std::env::var("FUN3D_METRICS")
+                .map(|v| {
+                    let v = v.trim().to_string();
+                    !v.is_empty() && v != "0"
+                })
+                .unwrap_or(false),
+            metrics_out: None,
             duplicates: Vec::new(),
         }
     }
@@ -110,7 +126,8 @@ impl BenchArgs {
     /// shared flags of [`BenchArgs::parse_known`] (`--scale <f>`, `--full`,
     /// `--steps <n>`, `--reps <n>`, `--suite <name>`, `--quiet`,
     /// `--json <path>`, `--trace <path>`, `--events <path>`,
-    /// `--threads <n>`, `--profile`, `--ranks <n>`, `--trace-ranks`).
+    /// `--threads <n>`, `--profile`, `--ranks <n>`, `--trace-ranks`,
+    /// `--metrics`, `--metrics-out <path>`).
     /// Panics on unknown flags, naming the suite.
     pub fn parse_for(suite: &str, default_scale: f64) -> Self {
         let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -125,7 +142,7 @@ impl BenchArgs {
     pub fn reject_leftovers(suite: &str, rest: &[String]) {
         if let Some(other) = rest.first() {
             panic!(
-                "unknown argument: {other} (suite {suite}; expected --scale/--full/--steps/--reps/--suite/--quiet/--json/--trace/--events/--threads/--profile/--ranks/--trace-ranks)"
+                "unknown argument: {other} (suite {suite}; expected --scale/--full/--steps/--reps/--suite/--quiet/--json/--trace/--events/--threads/--profile/--ranks/--trace-ranks/--metrics/--metrics-out)"
             );
         }
     }
@@ -151,7 +168,7 @@ impl BenchArgs {
     /// single flag-parsing helper: the per-table binaries reject leftovers,
     /// the `fun3d-bench` driver layers its own flags on top of them.
     pub fn parse_known(default_scale: f64, argv: &[String]) -> (Self, Vec<String>) {
-        const KNOWN: [&str; 13] = [
+        const KNOWN: [&str; 15] = [
             "--scale",
             "--full",
             "--steps",
@@ -165,6 +182,8 @@ impl BenchArgs {
             "--profile",
             "--ranks",
             "--trace-ranks",
+            "--metrics",
+            "--metrics-out",
         ];
         let mut out = Self::defaults(default_scale);
         let mut rest = Vec::new();
@@ -232,6 +251,12 @@ impl BenchArgs {
                         .expect("--ranks expects an integer");
                 }
                 "--trace-ranks" => out.trace_ranks = true,
+                "--metrics" => out.metrics = true,
+                "--metrics-out" => {
+                    i += 1;
+                    out.metrics_out = Some(value(i, "--metrics-out").clone());
+                    out.metrics = true;
+                }
                 other => rest.push(other.to_string()),
             }
             i += 1;
@@ -301,6 +326,21 @@ impl BenchArgs {
                 .write_jsonl(path)
                 .expect("writing --events stream failed");
             println!("wrote event stream to {path}");
+        }
+    }
+
+    /// Write the collected time series to the `--metrics-out` path when one
+    /// was given: `fun3d-metrics/1` JSONL at the path itself, Prometheus
+    /// text exposition at `<path>.prom`.
+    pub fn emit_metrics(&self, metrics: &SeriesSet) {
+        if let Some(path) = &self.metrics_out {
+            metrics
+                .write_jsonl(path)
+                .expect("writing --metrics-out dump failed");
+            let prom = format!("{path}.prom");
+            std::fs::write(&prom, metrics.prometheus("fun3d"))
+                .expect("writing --metrics-out Prometheus exposition failed");
+            println!("wrote metrics time series to {path} (+ {prom})");
         }
     }
 
@@ -398,6 +438,9 @@ pub struct RunOutcome {
     /// The run's `fun3d-events/1` stream (`--events` serializes exactly
     /// this; empty when the runner emits no events).
     pub events: EventStream,
+    /// The run's `fun3d-metrics/1` time series (`--metrics-out` serializes
+    /// exactly this; empty when the runner collects no live metrics).
+    pub metrics: SeriesSet,
 }
 
 impl From<PerfReport> for RunOutcome {
@@ -406,6 +449,7 @@ impl From<PerfReport> for RunOutcome {
             report,
             telemetry: Vec::new(),
             events: EventStream::default(),
+            metrics: SeriesSet::default(),
         }
     }
 }
@@ -586,6 +630,26 @@ mod tests {
         assert_eq!(args.ranks, 8);
         assert!(args.trace_ranks);
         assert_eq!(rest, vec!["--whoops".to_string()]);
+    }
+
+    #[test]
+    fn parse_known_accepts_metrics_flags() {
+        let (args, rest) = BenchArgs::parse_known(0.5, &[]);
+        assert!(rest.is_empty());
+        assert_eq!(args.metrics_out, None);
+        let argv: Vec<String> = ["--metrics"].iter().map(|s| s.to_string()).collect();
+        let (args, rest) = BenchArgs::parse_known(0.5, &argv);
+        assert!(args.metrics);
+        assert!(rest.is_empty());
+        // --metrics-out implies --metrics.
+        let argv: Vec<String> = ["--metrics-out", "m.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (args, rest) = BenchArgs::parse_known(0.5, &argv);
+        assert!(args.metrics);
+        assert_eq!(args.metrics_out.as_deref(), Some("m.jsonl"));
+        assert!(rest.is_empty());
     }
 
     #[test]

@@ -176,5 +176,6 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
         report: perf,
         telemetry: vec![snapshot],
         events: Default::default(),
+        metrics: Default::default(),
     }
 }

@@ -159,5 +159,6 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
         report: perf,
         telemetry: Vec::new(),
         events: EventStream::new(sink.drain()),
+        metrics: Default::default(),
     }
 }

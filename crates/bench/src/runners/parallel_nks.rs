@@ -251,5 +251,6 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
         report: summary,
         telemetry: last_telemetry,
         events: last_events,
+        metrics: Default::default(),
     }
 }

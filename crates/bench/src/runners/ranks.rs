@@ -244,5 +244,6 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
         report: summary,
         telemetry: last.telemetry,
         events: last.events,
+        metrics: Default::default(),
     }
 }

@@ -189,6 +189,7 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
         report: perf,
         telemetry: vec![snapshot],
         events,
+        metrics: Default::default(),
     }
 }
 

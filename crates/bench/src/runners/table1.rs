@@ -161,5 +161,6 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
         report: perf,
         telemetry: vec![snapshot],
         events: EventStream::new(sink.drain()),
+        metrics: Default::default(),
     }
 }

@@ -1,9 +1,9 @@
 //! `fun3d-bench`: the experiment-orchestration driver.
 //!
 //! ```text
-//! fun3d-bench list
+//! fun3d-bench list [--json]
 //! fun3d-bench run --suite quick [--reps n] [--scale f] [--threads n] [--profile]
-//!     [--ranks n] [--trace-ranks] [--verbose]
+//!     [--ranks n] [--trace-ranks] [--metrics] [--verbose]
 //!     [--baseline b.json] [--save-baseline b.json]
 //!     [--markdown report.md] [--json report.json]
 //!     [--events-dir dir] [--tol-rel f] [--tol-mad-k f] [--tol-abs f]
@@ -19,8 +19,8 @@ use fun3d_harness::gate::{run_suite, GateConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fun3d-bench list\n       fun3d-bench run --suite <smoke|quick|full|EXPERIMENT> \
-         [--reps n] [--scale f] [--threads n] [--profile] [--ranks n] [--trace-ranks] [--verbose]\n           [--baseline b.json] [--save-baseline b.json] \
+        "usage: fun3d-bench list [--json]\n       fun3d-bench run --suite <smoke|quick|full|EXPERIMENT> \
+         [--reps n] [--scale f] [--threads n] [--profile] [--ranks n] [--trace-ranks] [--metrics] [--verbose]\n           [--baseline b.json] [--save-baseline b.json] \
          [--markdown out.md] [--json out.json]\n           [--events-dir dir] \
          [--tol-rel f] [--tol-mad-k f] [--tol-abs f]"
     );
@@ -31,13 +31,34 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else { usage() };
     match command.as_str() {
-        "list" => list(),
+        "list" => list(&argv[1..]),
         "run" => run(&argv[1..]),
         _ => usage(),
     }
 }
 
-fn list() {
+fn list(argv: &[String]) {
+    let json = match argv {
+        [] => false,
+        [flag] if flag == "--json" => true,
+        _ => usage(),
+    };
+    if json {
+        // Machine-readable registry: one object per experiment, stable keys.
+        use fun3d_telemetry::json::Value;
+        let items: Vec<Value> = runners::all()
+            .iter()
+            .map(|e| {
+                Value::Obj(vec![
+                    ("name".into(), Value::Str(e.name().into())),
+                    ("default_scale".into(), Value::Num(e.default_scale())),
+                    ("description".into(), Value::Str(e.description().into())),
+                ])
+            })
+            .collect();
+        println!("{}", Value::Arr(items).render());
+        return;
+    }
     print_table(
         "Registered experiments",
         &["name", "scale", "description"],
@@ -70,6 +91,7 @@ fn run(argv: &[String]) {
         profile: argv.iter().any(|a| a == "--profile").then_some(true),
         ranks: argv.iter().any(|a| a == "--ranks").then_some(args.ranks),
         trace_ranks: argv.iter().any(|a| a == "--trace-ranks").then_some(true),
+        metrics: argv.iter().any(|a| a == "--metrics").then_some(true),
         verbose: false,
         ..Default::default()
     };

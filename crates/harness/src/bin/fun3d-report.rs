@@ -6,6 +6,7 @@
 //! fun3d-report profile <report.json> [<other.json>]
 //! fun3d-report comm <report.json> [<other.json>]
 //! fun3d-report serve <report.json>
+//! fun3d-report live <report.json> [<other.json>]
 //! fun3d-report diff <a.json> <b.json> [--tol-rel f] [--tol-mad-k f] [--tol-abs f]
 //! ```
 //!
@@ -34,13 +35,20 @@
 //! per-rate rejects), the saturation knee, and the cache / admission
 //! summary.
 //!
+//! `live` renders the `fun3d-metrics/1` time-series sidecar of a
+//! `--metrics` run (autodiscovered as `<stem>.metrics.jsonl`): one
+//! sparkline trend row per series (queue depth, throughput, windowed
+//! p50/p99, SLO burn), the health-state timeline, and — with a second
+//! report — a noise-aware per-series A/B diff using the gate's polarity
+//! heuristics.
+//!
 //! `diff` judges run B against run A with the gate's noise-aware verdicts.
 //! Exit status: 0 with no regressions, 1 when any metric regressed, 2 on
 //! usage or I/O errors.
 
 use fun3d_harness::compare::Tolerance;
 use fun3d_harness::report_cli::{
-    render_comm, render_diff, render_profile, render_serve, render_show, LoadedRun,
+    render_comm, render_diff, render_live, render_profile, render_serve, render_show, LoadedRun,
 };
 
 fn usage() -> ! {
@@ -49,6 +57,7 @@ fn usage() -> ! {
          fun3d-report profile <report.json> [<other.json>]\n       \
          fun3d-report comm <report.json> [<other.json>]\n       \
          fun3d-report serve <report.json>\n       \
+         fun3d-report live <report.json> [<other.json>]\n       \
          fun3d-report diff <a.json> <b.json> [--tol-rel f] [--tol-mad-k f] [--tol-abs f]"
     );
     std::process::exit(2);
@@ -70,8 +79,28 @@ fn main() {
         "profile" => profile(&argv[1..]),
         "comm" => comm(&argv[1..]),
         "serve" => serve(&argv[1..]),
+        "live" => live(&argv[1..]),
         _ => show(&argv),
     }
+}
+
+fn live(argv: &[String]) {
+    let mut paths: Vec<&String> = Vec::new();
+    for arg in argv {
+        if arg.starts_with("--") {
+            eprintln!("unknown argument: {arg}");
+            usage();
+        }
+        paths.push(arg);
+    }
+    let (report, other) = match paths.as_slice() {
+        [r] => (*r, None),
+        [r, o] => (*r, Some(*o)),
+        _ => usage(),
+    };
+    let run = load_or_die(report, None);
+    let other = other.map(|o| load_or_die(o, None));
+    print!("{}", render_live(&run, other.as_ref()));
 }
 
 fn serve(argv: &[String]) {

@@ -213,6 +213,11 @@ mod tests {
         assert!(!higher_is_better("rate2:p99_s"));
         assert!(!higher_is_better("serve:rejected_total"));
         assert!(!higher_is_better("serve:setup_per_solve_s"));
+        // Live-telemetry metrics: SLO burn, health-state code (0 ok ..
+        // 2 saturated), and queue-wait fraction all improve downward.
+        assert!(!higher_is_better("rate2:burn"));
+        assert!(!higher_is_better("rate2:health_state"));
+        assert!(!higher_is_better("serve:queue_wait_frac"));
         // Profile-derived columns: achieved bandwidth improves upward,
         // load imbalance (1.0 = balanced) improves downward.
         assert!(higher_is_better("spmv/csr:gbps"));

@@ -36,6 +36,10 @@ pub struct GateConfig {
     /// `None` keeps each run's `BenchArgs` default (`FUN3D_TRACE_RANKS` or
     /// off).
     pub trace_ranks: Option<bool>,
+    /// Force live serving telemetry on or off for every entry
+    /// (`--metrics`); `None` keeps each run's `BenchArgs` default
+    /// (`FUN3D_METRICS` or off).  Only runners that serve requests react.
+    pub metrics: Option<bool>,
     /// Comparison tolerances.
     pub tol: Tolerance,
     /// Show per-experiment tables and commentary while running.
@@ -59,6 +63,7 @@ impl Default for GateConfig {
             profile: None,
             ranks: None,
             trace_ranks: None,
+            metrics: None,
             tol: Tolerance::default(),
             verbose: false,
             calibrate_n: 2 * 1024 * 1024,
@@ -312,6 +317,7 @@ pub fn run_suite(cfg: &GateConfig, baseline: Option<&Baseline>) -> Result<SuiteO
             profile: cfg.profile.unwrap_or(defaults.profile),
             ranks: cfg.ranks.unwrap_or(defaults.ranks),
             trace_ranks: cfg.trace_ranks.unwrap_or(defaults.trace_ranks),
+            metrics: cfg.metrics.unwrap_or(defaults.metrics),
             ..defaults
         };
         let run = run_experiment(exp.as_ref(), &args, entry.warmup);
@@ -326,6 +332,13 @@ pub fn run_suite(cfg: &GateConfig, baseline: Option<&Baseline>) -> Result<SuiteO
             run.representative_events()
                 .write_jsonl(&ev_path)
                 .unwrap_or_else(|e| panic!("writing {ev_path} failed: {e}"));
+            let metrics = run.representative_metrics();
+            if !metrics.is_empty() {
+                let m_path = format!("{dir}/{}.metrics.jsonl", entry.name);
+                metrics
+                    .write_jsonl(&m_path)
+                    .unwrap_or_else(|e| panic!("writing {m_path} failed: {e}"));
+            }
         }
         let comparisons = compare_experiment(
             &run.summaries,

@@ -8,14 +8,19 @@
 //! tree (with p50/p95/p99 tail latencies and modeled cache/TLB counters),
 //! scatter traffic, and checkpoints.  `diff` answers "what changed": every
 //! metric of run B judged against run A as a single-sample baseline.
+//! `live` answers "how did it behave over time": the `fun3d-metrics/1`
+//! sidecar rendered as terminal sparkline tables with SLO burn and health
+//! transitions, and a noise-aware per-series A/B diff.
 
 use crate::baseline::{ExperimentBaseline, MetricBaseline};
 use crate::compare::{compare_experiment, Tolerance, Verdict};
-use crate::stats::Summary;
+use crate::stats::{summarize, Summary};
 use fun3d_telemetry::events::{convergence_table, EventRecord, EventStream};
+use fun3d_telemetry::metrics::SeriesSet;
 use fun3d_telemetry::report::PerfReport;
 
-/// A report plus the event stream that rode along with it.
+/// A report plus the event stream and live-metrics time series that rode
+/// along with it.
 #[derive(Debug, Clone)]
 pub struct LoadedRun {
     /// Path the report was loaded from (for headings).
@@ -24,6 +29,8 @@ pub struct LoadedRun {
     pub report: PerfReport,
     /// The run's event stream; empty when none was found.
     pub events: EventStream,
+    /// The run's `fun3d-metrics/1` time series; empty when none was found.
+    pub metrics: SeriesSet,
 }
 
 /// The sibling event-stream path the gate writes next to a report:
@@ -33,10 +40,19 @@ pub fn sibling_events_path(report_path: &str) -> String {
     format!("{stem}.events.jsonl")
 }
 
+/// The sibling metrics path the serve bin and the gate write next to a
+/// report: `runs/serve.json` -> `runs/serve.metrics.jsonl`.
+pub fn sibling_metrics_path(report_path: &str) -> String {
+    let stem = report_path.strip_suffix(".json").unwrap_or(report_path);
+    format!("{stem}.metrics.jsonl")
+}
+
 impl LoadedRun {
-    /// Load a report and its event stream.  `events_path = None`
-    /// autodiscovers the sibling `<stem>.events.jsonl`; a missing sibling is
-    /// fine (empty stream), but an explicitly named file must parse.
+    /// Load a report plus its event stream and metrics sidecar.
+    /// `events_path = None` autodiscovers the sibling `<stem>.events.jsonl`;
+    /// a missing sibling is fine (empty stream), but an explicitly named
+    /// file must parse.  The metrics sidecar `<stem>.metrics.jsonl` is
+    /// always autodiscovered the same way.
     pub fn load(report_path: &str, events_path: Option<&str>) -> std::io::Result<Self> {
         let report = PerfReport::read_json(report_path)?;
         let events = match events_path {
@@ -50,10 +66,17 @@ impl LoadedRun {
                 }
             }
         };
+        let metrics_sibling = sibling_metrics_path(report_path);
+        let metrics = if std::path::Path::new(&metrics_sibling).exists() {
+            SeriesSet::read_jsonl(&metrics_sibling)?
+        } else {
+            SeriesSet::default()
+        };
         Ok(Self {
             path: report_path.to_string(),
             report,
             events,
+            metrics,
         })
     }
 }
@@ -862,7 +885,13 @@ pub fn render_serve(run: &LoadedRun) -> String {
             .meta(&format!("rate{i}:offered_per_s"))
             .unwrap_or("-")
             .to_string();
-        let q = |name: &str| fmt_opt_s(r.metric(&format!("rate{i}:{name}")));
+        // A rate whose latency histogram stayed empty (every arrival shed
+        // or rejected) has no quantile metrics; say "n/a" rather than
+        // dropping or blanking the row so the sweep stays visibly complete.
+        let q = |name: &str| {
+            r.metric(&format!("rate{i}:{name}"))
+                .map_or("n/a".to_string(), |x| format!("{x:.2e}"))
+        };
         rows.push(vec![
             i.to_string(),
             offered,
@@ -872,6 +901,10 @@ pub fn render_serve(run: &LoadedRun) -> String {
             q("p99_s"),
             r.metric(&format!("rate{i}:rejected"))
                 .map_or("-".to_string(), |v| format!("{v:.0}")),
+            r.metric(&format!("rate{i}:burn"))
+                .map_or("-".to_string(), |v| format!("{v:.2}")),
+            r.metric(&format!("rate{i}:health_state"))
+                .map_or("-".to_string(), |v| health_label(v).to_string()),
         ]);
         i += 1;
     }
@@ -890,6 +923,8 @@ pub fn render_serve(run: &LoadedRun) -> String {
             "p95_s",
             "p99_s",
             "rejected",
+            "burn",
+            "health",
         ],
         &rows,
     );
@@ -948,6 +983,196 @@ pub fn render_serve(run: &LoadedRun) -> String {
     line(&mut out, "cold family build", "serve:cold_build_s", &|v| {
         format!("{v:.3e} s")
     });
+    line(
+        &mut out,
+        "queue-wait fraction",
+        "serve:queue_wait_frac",
+        &|v| format!("{:.1}% of end-to-end latency", 100.0 * v),
+    );
+    out
+}
+
+/// Health-state code (0/1/2, the serve engine's `HealthState::code`) to its
+/// label.  Unknown codes read as saturated — fail loud, not quiet.
+fn health_label(code: f64) -> &'static str {
+    match code as i64 {
+        0 => "ok",
+        1 => "degraded",
+        _ => "saturated",
+    }
+}
+
+/// Downsample to at most `width` buckets (mean per bucket) and render as an
+/// eight-level Unicode sparkline.  A flat series renders as a run of
+/// low blocks rather than collapsing to the empty string, so "constant"
+/// and "absent" stay visually distinct.
+fn sparkline(values: &[f64], width: usize) -> String {
+    const LEVELS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
+    if values.is_empty() {
+        return String::new();
+    }
+    let nbins = values.len().min(width.max(1));
+    let mut bins = vec![(0.0f64, 0usize); nbins];
+    for (i, v) in values.iter().enumerate() {
+        let b = (i * nbins / values.len()).min(nbins - 1);
+        bins[b].0 += v;
+        bins[b].1 += 1;
+    }
+    let means: Vec<f64> = bins
+        .iter()
+        .map(|(sum, n)| sum / (*n).max(1) as f64)
+        .collect();
+    let (lo, hi) = means
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    means
+        .iter()
+        .map(|&v| {
+            if hi > lo {
+                let idx = (((v - lo) / (hi - lo)) * 7.0).round() as usize;
+                LEVELS[idx.min(7)]
+            } else {
+                LEVELS[0]
+            }
+        })
+        .collect()
+}
+
+/// Robust per-series summaries of a metrics set, in series order — the
+/// shape `compare_experiment` consumes, so the live A/B diff reuses the
+/// gate's noise-aware verdicts and polarity heuristics verbatim.
+fn series_summaries(set: &SeriesSet) -> Vec<(String, Summary)> {
+    set.series()
+        .iter()
+        .filter_map(|s| summarize(&s.values()).map(|sum| (s.name().to_string(), sum)))
+        .collect()
+}
+
+/// Render the live-telemetry view of a run: every `fun3d-metrics/1` time
+/// series as a sparkline trend row with min/max/last, the health-state
+/// timeline and SLO burn summary when the collector sampled them, and —
+/// with a second run — a noise-aware per-series A/B diff (run B judged
+/// against run A with the gate's polarity-aware verdicts).
+pub fn render_live(run: &LoadedRun, other: Option<&LoadedRun>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# fun3d-report live: {} ({})\n",
+        run.report.name, run.path
+    ));
+    if run.metrics.is_empty() {
+        out.push_str(
+            "\nno live metrics beside this report: rerun with --metrics (or\n\
+             FUN3D_METRICS=1) so the collector writes the <stem>.metrics.jsonl\n\
+             time series this view renders.\n",
+        );
+        return out;
+    }
+    if let (Some(t), Some(b)) = (
+        run.report.meta("slo_target_s"),
+        run.report.meta("slo_budget_frac"),
+    ) {
+        out.push_str(&format!(
+            "SLO: latency objective {t} s, error budget {b} of requests\n"
+        ));
+    }
+
+    out.push_str("\n## Time series\n\n");
+    let rows: Vec<Vec<String>> = run
+        .metrics
+        .series()
+        .iter()
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let vals = s.values();
+            let (lo, hi) = vals
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                    (l.min(v), h.max(v))
+                });
+            vec![
+                s.name().to_string(),
+                sparkline(&vals, 40),
+                fmt_sig(lo),
+                fmt_sig(hi),
+                fmt_sig(*vals.last().unwrap()),
+                s.len().to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &mut out,
+        &["series", "trend", "min", "max", "last", "n"],
+        &rows,
+    );
+
+    if let Some(hs) = run.metrics.get("health_state") {
+        out.push_str("\n## Health timeline\n\n");
+        let mut prev: Option<f64> = None;
+        for (t, v) in hs.points() {
+            if prev != Some(v) {
+                out.push_str(&format!("  {t:.3}s: {}\n", health_label(v)));
+                prev = Some(v);
+            }
+        }
+        if let Some(burn) = run.metrics.get("slo_burn") {
+            let vals = burn.values();
+            let peak = vals.iter().fold(0.0f64, |m, &v| m.max(v));
+            let over = vals.iter().filter(|&&v| v > 1.0).count();
+            out.push_str(&format!(
+                "\npeak burn {peak:.2}x budget; {over} of {} samples above 1.0\n",
+                vals.len()
+            ));
+        }
+    }
+
+    if let Some(o) = other {
+        out.push_str(&format!("\n## Series A/B: {} vs {}\n\n", run.path, o.path));
+        if o.metrics.is_empty() {
+            out.push_str("run B carries no live metrics.\n");
+            return out;
+        }
+        let base = ExperimentBaseline {
+            name: run.report.name.clone(),
+            metrics: series_summaries(&run.metrics)
+                .into_iter()
+                .map(|(k, s)| {
+                    (
+                        k,
+                        MetricBaseline {
+                            median: s.median,
+                            mad: s.mad,
+                            n: s.n,
+                        },
+                    )
+                })
+                .collect(),
+        };
+        let current = series_summaries(&o.metrics);
+        let comparisons = compare_experiment(&current, Some(&base), &Tolerance::default());
+        let rows: Vec<Vec<String>> = comparisons
+            .iter()
+            .map(|c| {
+                vec![
+                    c.key.clone(),
+                    c.baseline
+                        .map_or("-".to_string(), |bl| format!("{:.4e}", bl.median)),
+                    format!("{:.4e}", c.current.median),
+                    format!("{:+.4e}", c.delta),
+                    c.verdict.label().to_string(),
+                ]
+            })
+            .collect();
+        render_table(
+            &mut out,
+            &["series", "A median", "B median", "delta", "verdict"],
+            &rows,
+        );
+    }
     out
 }
 
@@ -997,6 +1222,7 @@ mod tests {
             path: "unit.json".into(),
             report,
             events: EventStream::new(sink.drain()),
+            metrics: Default::default(),
         }
     }
 
@@ -1072,6 +1298,7 @@ mod tests {
             path: format!("spmv_t{nthreads}.json"),
             report,
             events: EventStream::default(),
+            metrics: Default::default(),
         }
     }
 
@@ -1137,6 +1364,7 @@ mod tests {
             path: "legacy.json".into(),
             report,
             events: EventStream::default(),
+            metrics: Default::default(),
         };
         let show = render_show(&run);
         assert!(!show.contains("Parallel regions"), "{show}");
@@ -1179,6 +1407,7 @@ mod tests {
             path: "traced.json".into(),
             report,
             events: EventStream::default(),
+            metrics: Default::default(),
         }
     }
 
@@ -1253,6 +1482,13 @@ mod tests {
             report.push_metric(format!("rate{i}:p99_s"), 0.03);
             report.push_metric(format!("rate{i}:rejected"), i as f64);
         }
+        // A fully-shed rate: achieved throughput but an empty latency
+        // histogram, so no quantile metrics exist for it at all.
+        report
+            .meta
+            .push(("rate2:offered_per_s".into(), "30.00".into()));
+        report.push_metric("rate2:solves_per_s", 0.0);
+        report.push_metric("rate2:rejected", 30.0);
         report.push_metric("serve:capacity_solves_per_s", 12.0);
         report.push_metric("serve:peak_solves_per_s", 10.5);
         report.push_metric("serve:knee_solves_per_s", 10.5);
@@ -1263,16 +1499,92 @@ mod tests {
             path: "serve.json".into(),
             report,
             events: EventStream::default(),
+            metrics: Default::default(),
         };
         let out = render_serve(&run);
         assert!(out.contains("Open-loop rate sweep"), "{out}");
         assert!(out.contains("10.50"), "{out}");
         assert!(out.contains("96.0%"), "{out}");
         assert!(out.contains("all results bitwise identical"), "{out}");
+        // The quantile-less rate keeps its row, with "n/a" latency cells.
+        let rate2 = out
+            .lines()
+            .find(|l| l.split('|').nth(1).map(str::trim).unwrap_or_default() == "2")
+            .expect("rate 2 row present");
+        assert_eq!(rate2.matches("n/a").count(), 3, "{rate2}");
+        assert!(rate2.contains("30"), "{rate2}");
         // Non-serve reports degrade to a note, not a panic.
         let other = sample_run(1.0);
         let out = render_serve(&other);
         assert!(out.contains("no rate-sweep metrics"), "{out}");
+    }
+
+    /// A run the way a `--metrics` serve sweep produces it: a metrics
+    /// sidecar with queue/throughput/latency series plus the SLO burn and
+    /// health-state series the collector samples from `Engine::health`.
+    /// `scale` degrades the run: it divides throughput and multiplies
+    /// queue depth and p99.
+    fn live_run(scale: f64) -> LoadedRun {
+        let mut metrics = SeriesSet::new(64);
+        for i in 0..32u32 {
+            let t = f64::from(i) * 0.1;
+            metrics.record("queue_depth", t, f64::from(i % 4) * scale);
+            metrics.record("throughput_solves_per_s", t, 100.0 / scale);
+            metrics.record("p99_s", t, 0.01 * scale);
+            metrics.record("slo_burn", t, if i >= 16 { 2.0 } else { 0.0 });
+            metrics.record("health_state", t, if i >= 16 { 1.0 } else { 0.0 });
+        }
+        let mut report = PerfReport::new("serve")
+            .with_meta("slo_target_s", "0.25")
+            .with_meta("slo_budget_frac", "0.05");
+        report.push_metric("serve:peak_solves_per_s", 100.0 / scale);
+        LoadedRun {
+            path: format!("serve_x{scale}.json"),
+            report,
+            events: EventStream::default(),
+            metrics,
+        }
+    }
+
+    #[test]
+    fn live_renders_sparklines_and_health_timeline() {
+        let run = live_run(1.0);
+        let out = render_live(&run, None);
+        assert!(out.contains("## Time series"), "{out}");
+        assert!(out.contains("queue_depth"), "{out}");
+        assert!(out.contains('\u{2581}'), "{out}");
+        assert!(out.contains("SLO: latency objective 0.25 s"), "{out}");
+        assert!(out.contains("0.000s: ok"), "{out}");
+        assert!(out.contains("1.600s: degraded"), "{out}");
+        assert!(out.contains("peak burn 2.00x"), "{out}");
+        // Without a metrics sidecar the view degrades to a note.
+        let out = render_live(&sample_run(1.0), None);
+        assert!(out.contains("no live metrics"), "{out}");
+        assert!(out.contains("--metrics"), "{out}");
+    }
+
+    #[test]
+    fn live_ab_diff_is_polarity_aware() {
+        let a = live_run(1.0);
+        // Half the throughput, double the tail latency: a worse run on
+        // both a higher-is-better and a lower-is-better series.
+        let b = live_run(2.0);
+        let out = render_live(&a, Some(&b));
+        assert!(out.contains("## Series A/B"), "{out}");
+        let regressed: Vec<&str> = out.lines().filter(|l| l.contains("REGRESSED")).collect();
+        assert!(
+            regressed
+                .iter()
+                .any(|l| l.contains("throughput_solves_per_s")),
+            "{out}"
+        );
+        assert!(regressed.iter().any(|l| l.contains("p99_s")), "{out}");
+        // Same run on both sides: nothing regresses.
+        let out = render_live(&a, Some(&a));
+        assert!(!out.contains("REGRESSED"), "{out}");
+        // A metrics-less B degrades to a note.
+        let out = render_live(&a, Some(&sample_run(1.0)));
+        assert!(out.contains("run B carries no live metrics"), "{out}");
     }
 
     #[test]

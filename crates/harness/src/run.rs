@@ -35,6 +35,9 @@ pub struct ExperimentRun {
     /// One `fun3d-events/1` stream per repetition, in report order (empty
     /// streams for experiments that emit no events).
     pub events: Vec<fun3d_telemetry::events::EventStream>,
+    /// One `fun3d-metrics/1` time-series set per repetition, in report
+    /// order (empty sets for experiments without live metrics).
+    pub metrics: Vec<fun3d_telemetry::metrics::SeriesSet>,
     /// Robust summary per metric key, in first-report order.
     pub summaries: Vec<(String, Summary)>,
 }
@@ -50,6 +53,12 @@ impl ExperimentRun {
     /// [`Self::representative`]).
     pub fn representative_events(&self) -> &fun3d_telemetry::events::EventStream {
         &self.events[self.events.len() / 2]
+    }
+
+    /// The middle repetition's live-metrics time series (pairs with
+    /// [`Self::representative`]).
+    pub fn representative_metrics(&self) -> &fun3d_telemetry::metrics::SeriesSet {
+        &self.metrics[self.metrics.len() / 2]
     }
 }
 
@@ -67,6 +76,7 @@ pub fn run_experiment(exp: &dyn Experiment, args: &BenchArgs, warmup: usize) -> 
     }
     let mut reports = Vec::with_capacity(args.reps);
     let mut events = Vec::with_capacity(args.reps);
+    let mut metrics = Vec::with_capacity(args.reps);
     for _ in 0..args.reps {
         let mut out = exp.run(args);
         // Tail-latency metrics from the span histograms join the scalar
@@ -89,12 +99,14 @@ pub fn run_experiment(exp: &dyn Experiment, args: &BenchArgs, warmup: usize) -> 
         }
         reports.push(out.report);
         events.push(out.events);
+        metrics.push(out.metrics);
     }
     let summaries = summarize_reports(&reports);
     ExperimentRun {
         name: exp.name().to_string(),
         reports,
         events,
+        metrics,
         summaries,
     }
 }

@@ -20,10 +20,17 @@
 //!   dequeue groups same-family jobs into batches.
 //! * [`engine`] — [`Engine`]: the worker pool.  Workers pull family
 //!   batches, acquire shared state through the cache, and run each solve
-//!   warm on a pinned [`fun3d_sparse::par::ParCtx`] thread team.
+//!   warm on a pinned [`fun3d_sparse::par::ParCtx`] thread team.  With
+//!   [`EngineConfig::live`] set ([`SloConfig`]), the engine additionally
+//!   keeps a live latency histogram, emits one request trace per solve
+//!   (queue → batch → solve → respond segments that partition the
+//!   end-to-end latency), fills one chrome-trace lane per worker, and
+//!   derives windowed SLO health ([`HealthSnapshot`]).
 //!
 //! The serving path is off by default everywhere: nothing in the solver or
-//! driver changes behavior unless an [`Engine`] is constructed.
+//! driver changes behavior unless an [`Engine`] is constructed, and live
+//! telemetry is itself off by default — solutions are bitwise identical
+//! with it on or off.
 
 pub mod cache;
 pub mod engine;
@@ -32,7 +39,10 @@ pub mod scenario;
 pub mod state;
 
 pub use cache::{CacheStats, StateCache};
-pub use engine::{Engine, EngineConfig, EngineStats, JobHandle, SubmitError};
+pub use engine::{
+    Engine, EngineConfig, EngineStats, HealthSnapshot, HealthState, JobHandle, SloConfig,
+    SubmitError,
+};
 pub use queue::{AdmissionPolicy, QueueStats};
 pub use scenario::{
     solution_fingerprint, FamilyKey, ScenarioClass, SolveOutcome, SolveRequest, SolveResponse,

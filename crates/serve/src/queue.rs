@@ -238,6 +238,56 @@ mod tests {
     }
 
     #[test]
+    fn shed_oldest_stays_bounded_under_concurrent_submitters() {
+        // Many threads hammering a tiny ShedOldest queue: every arrival is
+        // admitted (never an error), the depth bound holds, accounting
+        // balances exactly, and every shed handle resolves to Shed.
+        use std::sync::Arc;
+        const NTHREADS: usize = 4;
+        const PER: usize = 25;
+        const TOTAL: u64 = (NTHREADS * PER) as u64;
+        let q = Arc::new(JobQueue::new(4, AdmissionPolicy::ShedOldest));
+        let rx_bins: Vec<_> = (0..NTHREADS)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let sc = tiny_scenario();
+                    let mut rxs = Vec::with_capacity(PER);
+                    for i in 0..PER {
+                        let (j, rx) = job((t * PER + i) as u64, &sc);
+                        assert!(q.submit(j).is_ok(), "ShedOldest never refuses");
+                        rxs.push(rx);
+                    }
+                    rxs
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        let s = q.stats();
+        assert_eq!(s.admitted, TOTAL);
+        assert_eq!(s.rejected, 0);
+        assert!(s.max_depth <= 4, "depth bound violated: {}", s.max_depth);
+        // Conservation: every admitted job is still queued or was shed.
+        assert_eq!(q.depth_now() as u64 + s.shed, TOTAL);
+        assert!(s.shed > 0, "a 100-burst into depth 4 must shed");
+        // Survivors drain; shed handles already resolved.
+        q.close();
+        let mut drained = 0u64;
+        while let Some(b) = q.next_batch(8) {
+            drained += b.len() as u64;
+        }
+        assert_eq!(drained + s.shed, TOTAL);
+        let shed_resolved = rx_bins
+            .iter()
+            .flatten()
+            .filter(|rx| matches!(rx.try_recv(), Ok(SolveOutcome::Shed)))
+            .count() as u64;
+        assert_eq!(shed_resolved, s.shed, "every shed job resolves its handle");
+    }
+
+    #[test]
     fn close_refuses_arrivals_and_drains() {
         let q = JobQueue::new(4, AdmissionPolicy::Reject);
         let sc = tiny_scenario();

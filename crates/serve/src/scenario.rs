@@ -161,12 +161,19 @@ pub struct SolveResponse {
     pub batch_size: usize,
     /// Seconds spent queued before a worker picked the request up.
     pub t_queue_s: f64,
+    /// Seconds from batch pickup to this solve's start: shared state
+    /// acquisition plus any earlier same-batch solves (batch assembly).
+    pub t_batch_s: f64,
     /// Seconds acquiring the family state, attributed to the request that
     /// paid for it (0 for the rest of its batch).
     pub t_setup_s: f64,
     /// Seconds in the ΨNKS solve itself.
     pub t_solve_s: f64,
-    /// End-to-end seconds from admission to completion.
+    /// Seconds fingerprinting and assembling the response.
+    pub t_respond_s: f64,
+    /// End-to-end seconds from admission to completion.  The segments
+    /// partition it: `t_queue_s + t_batch_s + t_solve_s + t_respond_s`
+    /// equals this up to float rounding.
     pub latency_s: f64,
 }
 

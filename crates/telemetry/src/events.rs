@@ -75,6 +75,35 @@ pub enum EventRecord {
         /// File path it was written to.
         path: String,
     },
+    /// One served request's end-to-end trace: where its latency went, from
+    /// admission to response.  The segments partition the latency exactly:
+    /// `t_queue_s + t_batch_s + t_solve_s + t_respond_s = latency_s` (up to
+    /// float rounding), so a stream of these reconstructs the live serving
+    /// timeline request by request.
+    RequestTrace {
+        /// Request id — the trace id propagated queue → batch → worker.
+        id: u64,
+        /// Worker index that served the request (its trace lane).
+        worker: u64,
+        /// Size of the same-family batch the request rode in.
+        batch_size: u64,
+        /// Whether the family state came from the cache.
+        cache_hit: bool,
+        /// Seconds from admission to batch pickup (queue wait).
+        t_queue_s: f64,
+        /// Seconds from batch pickup to this solve's start: shared state
+        /// acquisition plus earlier same-batch solves (batch assembly).
+        t_batch_s: f64,
+        /// Seconds acquiring the family state, attributed to the batch's
+        /// first request (0 for the rest).
+        t_setup_s: f64,
+        /// Seconds in the ΨNKS solve.
+        t_solve_s: f64,
+        /// Seconds fingerprinting and delivering the response.
+        t_respond_s: f64,
+        /// End-to-end seconds from admission to response.
+        latency_s: f64,
+    },
     /// Aggregated fun3d-profile timings for one parallel region at one team
     /// size — the shared-memory imbalance accounting of Table 3.
     ParRegion {
@@ -282,6 +311,30 @@ fn record_to_json(r: &EventRecord) -> Value {
             ("step".into(), num_u64(*step)),
             ("path".into(), Value::Str(path.clone())),
         ]),
+        EventRecord::RequestTrace {
+            id,
+            worker,
+            batch_size,
+            cache_hit,
+            t_queue_s,
+            t_batch_s,
+            t_setup_s,
+            t_solve_s,
+            t_respond_s,
+            latency_s,
+        } => Value::Obj(vec![
+            ("ev".into(), Value::Str("request_trace".into())),
+            ("id".into(), num_u64(*id)),
+            ("worker".into(), num_u64(*worker)),
+            ("batch_size".into(), num_u64(*batch_size)),
+            ("cache_hit".into(), Value::Bool(*cache_hit)),
+            ("t_queue_s".into(), Value::Num(*t_queue_s)),
+            ("t_batch_s".into(), Value::Num(*t_batch_s)),
+            ("t_setup_s".into(), Value::Num(*t_setup_s)),
+            ("t_solve_s".into(), Value::Num(*t_solve_s)),
+            ("t_respond_s".into(), Value::Num(*t_respond_s)),
+            ("latency_s".into(), Value::Num(*latency_s)),
+        ]),
         EventRecord::ParRegion {
             label,
             nthreads,
@@ -367,6 +420,21 @@ fn record_from_json(v: &Value) -> Result<EventRecord, String> {
                 .and_then(Value::as_str)
                 .ok_or("checkpoint missing path")?
                 .to_string(),
+        }),
+        "request_trace" => Ok(EventRecord::RequestTrace {
+            id: field_u64(v, "id")?,
+            worker: field_u64(v, "worker")?,
+            batch_size: field_u64(v, "batch_size")?,
+            cache_hit: match v.get("cache_hit") {
+                Some(Value::Bool(b)) => *b,
+                _ => return Err("request_trace missing/invalid cache_hit".into()),
+            },
+            t_queue_s: field(v, "t_queue_s")?,
+            t_batch_s: field(v, "t_batch_s")?,
+            t_setup_s: field(v, "t_setup_s")?,
+            t_solve_s: field(v, "t_solve_s")?,
+            t_respond_s: field(v, "t_respond_s")?,
+            latency_s: field(v, "latency_s")?,
         }),
         "par_region" => Ok(EventRecord::ParRegion {
             label: v
@@ -527,6 +595,18 @@ mod tests {
                 join_wait_s: 0.2,
                 imbalance: 1.125,
             },
+            EventRecord::RequestTrace {
+                id: 42,
+                worker: 1,
+                batch_size: 3,
+                cache_hit: true,
+                t_queue_s: 0.5,
+                t_batch_s: 0.125,
+                t_setup_s: 0.0625,
+                t_solve_s: 0.25,
+                t_respond_s: 0.125,
+                latency_s: 1.0,
+            },
         ])
     }
 
@@ -621,6 +701,41 @@ mod tests {
         let txt = convergence_table(&s);
         // Two header rows: one per series.
         assert_eq!(txt.matches("lin its").count(), 2);
+    }
+
+    #[test]
+    fn request_trace_round_trips_and_legacy_streams_still_parse() {
+        // The serving trace record must survive the JSONL round trip with
+        // its boolean and every segment intact...
+        let s = EventStream::new(vec![EventRecord::RequestTrace {
+            id: 7,
+            worker: 0,
+            batch_size: 1,
+            cache_hit: false,
+            t_queue_s: 1e-4,
+            t_batch_s: 2e-4,
+            t_setup_s: 2e-4,
+            t_solve_s: 3e-3,
+            t_respond_s: 1e-5,
+            latency_s: 3.31e-3,
+        }]);
+        let back = EventStream::parse(&s.to_jsonl()).unwrap();
+        assert_eq!(back, s);
+        // ...a malformed cache_hit must be named, not coerced...
+        let bad = format!(
+            "{}\n{}\n",
+            r#"{"schema":"fun3d-events/1"}"#,
+            r#"{"ev":"request_trace","id":1,"worker":0,"batch_size":1,"cache_hit":"yes","t_queue_s":0,"t_batch_s":0,"t_setup_s":0,"t_solve_s":0,"t_respond_s":0,"latency_s":0}"#,
+        );
+        assert!(EventStream::parse(&bad).is_err());
+        // ...and streams written before serving tracing existed (no
+        // request_trace lines at all) keep parsing unchanged.
+        let legacy = format!(
+            "{}\n{}\n",
+            r#"{"schema":"fun3d-events/1"}"#,
+            r#"{"ev":"scatter","bytes":64,"neighbors":1,"t":1e-6}"#,
+        );
+        assert!(EventStream::parse(&legacy).is_ok());
     }
 
     #[test]

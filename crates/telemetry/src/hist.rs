@@ -120,6 +120,28 @@ impl LogHistogram {
         self.buckets.last().map(|&(b, _)| midpoint_of(b))
     }
 
+    /// The samples recorded since an earlier snapshot of the same cumulative
+    /// histogram: per-bucket saturating subtraction of `earlier`'s counts.
+    /// Because the bucket layout is fixed and counts only grow, the result
+    /// is *exactly* the histogram of the samples recorded in the window —
+    /// windowed quantiles cost two snapshots and one integer diff, never a
+    /// re-record of the raw samples.
+    pub fn since(&self, earlier: &LogHistogram) -> LogHistogram {
+        let mut out = LogHistogram::new();
+        for &(b, c) in &self.buckets {
+            let prev = earlier
+                .buckets
+                .binary_search_by_key(&b, |&(i, _)| i)
+                .map(|at| earlier.buckets[at].1)
+                .unwrap_or(0);
+            let delta = c.saturating_sub(prev);
+            if delta > 0 {
+                out.buckets.push((b, delta));
+            }
+        }
+        out
+    }
+
     /// The sorted `(bucket, count)` pairs, for serialization.
     pub fn buckets(&self) -> &[(u32, u64)] {
         &self.buckets
@@ -226,6 +248,36 @@ mod tests {
         h.record(1e300);
         assert_eq!(h.count(), 4);
         assert!(h.quantile(0.5).is_some());
+    }
+
+    #[test]
+    fn since_recovers_exactly_the_window_samples() {
+        // Build a cumulative histogram, snapshot it mid-stream, keep
+        // recording: the diff must equal a histogram built from only the
+        // post-snapshot samples — exactly, not approximately.
+        let mut cumulative = LogHistogram::new();
+        cumulative.record_n(1e-4, 40);
+        cumulative.record_n(1e-2, 2);
+        let snap = cumulative.clone();
+        let window_samples: &[(f64, u64)] = &[(1e-4, 7), (1e-2, 3), (2.0, 1)];
+        let mut expected = LogHistogram::new();
+        for &(v, n) in window_samples {
+            cumulative.record_n(v, n);
+            expected.record_n(v, n);
+        }
+        assert_eq!(cumulative.since(&snap), expected);
+        // An empty window diffs to an empty histogram.
+        assert!(cumulative.since(&cumulative.clone()).is_empty());
+        // Diffing against an empty baseline returns the whole run.
+        assert_eq!(cumulative.since(&LogHistogram::new()), cumulative);
+        // Windowed quantiles see only the window's tail, not the body
+        // recorded before the snapshot.
+        let w = cumulative.since(&snap);
+        assert_eq!(w.count(), 11);
+        assert!(
+            w.quantile(0.99).unwrap() > 1.0,
+            "window tail is the 2 s sample"
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!   ([`TimeDomain::Simulated`]);
 //! * exporters: a human-readable table ([`render_table`]), chrome-trace JSON
 //!   ([`chrome_trace`]) loadable in `chrome://tracing` / Perfetto, and a
-//!   stable [`report::PerfReport`] JSON schema for regression tooling.
+//!   stable [`report::PerfReport`] JSON schema for regression tooling;
+//! * live metrics ([`metrics`]): lock-light gauges/counters, fixed-capacity
+//!   ring-buffer time series filled by a background collector, Prometheus
+//!   text exposition, and a `fun3d-metrics/1` JSONL dump.
 //!
 //! [`Registry::disabled()`] is a `const fn` producing a no-op registry whose
 //! span/counter calls compile to an `Option` check — hot kernels keep their
@@ -23,6 +26,7 @@
 pub mod events;
 pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod report;
 
 use hist::LogHistogram;

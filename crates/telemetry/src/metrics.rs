@@ -1,0 +1,528 @@
+//! `fun3d-metrics/1`: windowed time-series metrics for live serving.
+//!
+//! The span registry and event stream answer "where did the time go" after
+//! a run; this module answers "what is the system doing *right now*, and
+//! how has that changed over the last few seconds".  Three pieces:
+//!
+//! * lock-light [`Gauge`]s / [`Counter`]s — one relaxed atomic word each,
+//!   cheap enough to update from a serving hot path;
+//! * fixed-capacity ring-buffer [`TimeSeries`] grouped in a [`SeriesSet`],
+//!   so a long-running engine holds a bounded sliding window of history no
+//!   matter how long it serves;
+//! * a background [`Collector`] thread that samples a caller-supplied
+//!   closure on a fixed cadence into the set.
+//!
+//! Windowed latency quantiles ride on the existing log-bucket histograms:
+//! sample the cumulative [`crate::hist::LogHistogram`] each tick and diff
+//! snapshots with [`crate::hist::LogHistogram::since`] — the integer bucket
+//! subtraction recovers the window's histogram exactly.
+//!
+//! Exports: Prometheus-style text exposition ([`SeriesSet::prometheus`],
+//! latest value per series) and a `fun3d-metrics/1` JSONL dump
+//! ([`SeriesSet::to_jsonl`] / [`SeriesSet::parse`]) that `fun3d-report
+//! live` renders back as sparkline tables.
+
+use crate::json::Value;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Schema identifier written as the JSONL header line.
+pub const SCHEMA: &str = "fun3d-metrics/1";
+
+/// A lock-free instantaneous value (f64 bits in one atomic word).
+///
+/// Reads and writes are `Relaxed`: a gauge is a monitoring estimate, not a
+/// synchronization point, and the serving path must never pay a fence for
+/// it.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge reading 0.
+    pub const fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the current value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Read the current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A lock-free monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    n: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at 0.
+    pub const fn new() -> Self {
+        Self {
+            n: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n` events.
+    pub fn add(&self, n: u64) {
+        self.n.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Read the cumulative count.
+    pub fn get(&self) -> u64 {
+        self.n.load(Ordering::Relaxed)
+    }
+}
+
+/// One named series: a bounded ring of `(t_s, value)` points, oldest
+/// evicted first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    name: String,
+    capacity: usize,
+    points: VecDeque<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series holding at most `capacity` points.
+    pub fn new(name: &str, capacity: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            capacity: capacity.max(1),
+            points: VecDeque::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append one point, evicting the oldest when at capacity.
+    pub fn push(&mut self, t_s: f64, value: f64) {
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+        }
+        self.points.push_back((t_s, value));
+    }
+
+    /// Points currently held, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// The values only, oldest first.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// The most recent point.
+    pub fn latest(&self) -> Option<(f64, f64)> {
+        self.points.back().copied()
+    }
+
+    /// Number of points currently held.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no point has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// An insertion-ordered collection of [`TimeSeries`] sharing one capacity —
+/// the unit a collector fills and the serialization exports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SeriesSet {
+    capacity: usize,
+    series: Vec<TimeSeries>,
+}
+
+impl SeriesSet {
+    /// An empty set whose series each hold at most `capacity` points.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            series: Vec::new(),
+        }
+    }
+
+    /// Record one point on the named series (created on first use).
+    pub fn record(&mut self, name: &str, t_s: f64, value: f64) {
+        match self.series.iter_mut().find(|s| s.name == name) {
+            Some(s) => s.push(t_s, value),
+            None => {
+                let mut s = TimeSeries::new(name, self.capacity);
+                s.push(t_s, value);
+                self.series.push(s);
+            }
+        }
+    }
+
+    /// The named series, if any point was ever recorded on it.
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Every series, in first-recorded order.
+    pub fn series(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// Whether no series holds any point.
+    pub fn is_empty(&self) -> bool {
+        self.series.iter().all(|s| s.is_empty())
+    }
+
+    /// Serialize as `fun3d-metrics/1` JSONL: a schema header line followed
+    /// by one line per series carrying its `[[t_s, value], ...]` ring.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &Value::Obj(vec![
+                ("schema".into(), Value::Str(SCHEMA.into())),
+                ("capacity".into(), Value::Num(self.capacity as f64)),
+            ])
+            .render(),
+        );
+        out.push('\n');
+        for s in &self.series {
+            let points = s
+                .points
+                .iter()
+                .map(|&(t, v)| Value::Arr(vec![Value::Num(t), Value::Num(v)]))
+                .collect();
+            out.push_str(
+                &Value::Obj(vec![
+                    ("series".into(), Value::Str(s.name.clone())),
+                    ("points".into(), Value::Arr(points)),
+                ])
+                .render(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse `fun3d-metrics/1` JSONL (inverse of [`SeriesSet::to_jsonl`]).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty metrics dump")?;
+        let hv = Value::parse(header).map_err(|e| format!("bad header: {e}"))?;
+        let schema = hv
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("header missing schema field")?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?}, expected {SCHEMA:?}"
+            ));
+        }
+        let capacity = hv
+            .get("capacity")
+            .and_then(Value::as_f64)
+            .ok_or("header missing capacity field")? as usize;
+        let mut out = SeriesSet::new(capacity);
+        for (i, line) in lines.enumerate() {
+            let err = |e: &str| format!("line {}: {e}", i + 2);
+            let v = Value::parse(line).map_err(|e| err(&e.to_string()))?;
+            let name = v
+                .get("series")
+                .and_then(Value::as_str)
+                .ok_or_else(|| err("missing series name"))?;
+            let points = v
+                .get("points")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| err("missing points array"))?;
+            for p in points {
+                let pair = p.as_arr().ok_or_else(|| err("point is not a pair"))?;
+                let [t, val] = pair else {
+                    return Err(err("point is not a [t, value] pair"));
+                };
+                let (t, val) = (
+                    t.as_f64().ok_or_else(|| err("non-numeric timestamp"))?,
+                    val.as_f64().ok_or_else(|| err("non-numeric value"))?,
+                );
+                out.record(name, t, val);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Write the dump to `path` as JSONL.
+    pub fn write_jsonl(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Read a dump from a JSONL file.
+    pub fn read_jsonl(path: &str) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::parse(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Prometheus-style text exposition of the latest value of every
+    /// series: a `# TYPE` line and a sample line per series, names
+    /// sanitized to `[a-zA-Z0-9_]` with the given prefix.
+    pub fn prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for s in &self.series {
+            let Some((_, v)) = s.latest() else { continue };
+            let name = format!("{prefix}_{}", sanitize_metric_name(&s.name));
+            out.push_str(&format!(
+                "# TYPE {name} gauge\n{name} {}\n",
+                Value::Num(v).render()
+            ));
+        }
+        out
+    }
+}
+
+/// Map an arbitrary series name onto the Prometheus metric-name alphabet.
+fn sanitize_metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+struct CollectorShared {
+    stop: AtomicBool,
+    parked: Mutex<()>,
+    wake: Condvar,
+    set: Mutex<SeriesSet>,
+}
+
+/// A background sampler: every `interval` it calls the source closure and
+/// records each returned `(name, value)` pair into a shared [`SeriesSet`],
+/// stamped with seconds since collector start.
+///
+/// The sampled engine pays nothing for the collector's existence beyond
+/// what the source closure itself reads; stopping joins the thread and
+/// hands the collected set back.
+pub struct Collector {
+    shared: Arc<CollectorShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Collector {
+    /// Start sampling `source` every `interval` into ring buffers of
+    /// `capacity` points per series.
+    pub fn start(
+        interval: Duration,
+        capacity: usize,
+        mut source: Box<dyn FnMut() -> Vec<(String, f64)> + Send>,
+    ) -> Self {
+        let shared = Arc::new(CollectorShared {
+            stop: AtomicBool::new(false),
+            parked: Mutex::new(()),
+            wake: Condvar::new(),
+            set: Mutex::new(SeriesSet::new(capacity)),
+        });
+        let thread = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("fun3d-metrics".into())
+                .spawn(move || {
+                    let epoch = Instant::now();
+                    loop {
+                        let t_s = epoch.elapsed().as_secs_f64();
+                        let sample = source();
+                        {
+                            let mut set = shared.set.lock().unwrap_or_else(|e| e.into_inner());
+                            for (name, v) in sample {
+                                set.record(&name, t_s, v);
+                            }
+                        }
+                        if shared.stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let g = shared.parked.lock().unwrap_or_else(|e| e.into_inner());
+                        let (_g, _timeout) = shared
+                            .wake
+                            .wait_timeout(g, interval)
+                            .unwrap_or_else(|e| e.into_inner());
+                        // A stop signal received while parked falls through
+                        // to one last sample before the top-of-loop check
+                        // returns: the window between the final tick and
+                        // shutdown (e.g. a serving queue draining its
+                        // slowest requests) must not go unobserved.
+                    }
+                })
+                .expect("spawn metrics collector")
+        };
+        Self {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// A copy of everything collected so far.
+    pub fn snapshot(&self) -> SeriesSet {
+        self.shared
+            .set
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Stop sampling (after one final sample), join the thread, and return
+    /// the collected set.
+    pub fn stop(mut self) -> SeriesSet {
+        self.finish();
+        self.snapshot()
+    }
+
+    fn finish(&mut self) {
+        if let Some(t) = self.thread.take() {
+            self.shared.stop.store(true, Ordering::Release);
+            drop(self.shared.parked.lock().unwrap_or_else(|e| e.into_inner()));
+            self.shared.wake.notify_all();
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn gauge_and_counter_round_trip() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(3.25);
+        assert_eq!(g.get(), 3.25);
+        g.set(-0.0);
+        assert_eq!(g.get().to_bits(), (-0.0f64).to_bits(), "bit-exact store");
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut s = TimeSeries::new("q", 3);
+        for i in 0..5 {
+            s.push(i as f64, (10 * i) as f64);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.values(), vec![20.0, 30.0, 40.0]);
+        assert_eq!(s.latest(), Some((4.0, 40.0)));
+    }
+
+    #[test]
+    fn series_set_records_and_orders() {
+        let mut set = SeriesSet::new(8);
+        set.record("depth", 0.0, 1.0);
+        set.record("p99_s", 0.0, 0.5);
+        set.record("depth", 1.0, 2.0);
+        assert_eq!(set.series().len(), 2);
+        assert_eq!(set.series()[0].name(), "depth", "insertion order kept");
+        assert_eq!(set.get("depth").unwrap().len(), 2);
+        assert!(set.get("nonesuch").is_none());
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let mut set = SeriesSet::new(4);
+        set.record("queue_depth", 0.001, 3.0);
+        set.record("queue_depth", 0.102, 5.0);
+        set.record("p99_s", 0.102, 0.0125);
+        set.record("rate0:solves_per_s", 0.25, 112.5);
+        let text = set.to_jsonl();
+        assert!(text.starts_with("{\"schema\":\"fun3d-metrics/1\""));
+        let back = SeriesSet::parse(&text).unwrap();
+        assert_eq!(set, back);
+        // The serialized text is a fixed point.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_dumps() {
+        assert!(SeriesSet::parse("").is_err());
+        assert!(SeriesSet::parse("{\"schema\":\"fun3d-metrics/999\",\"capacity\":4}\n").is_err());
+        let hdr = "{\"schema\":\"fun3d-metrics/1\",\"capacity\":4}\n";
+        assert!(SeriesSet::parse(&format!("{hdr}{{\"series\":\"x\"}}\n")).is_err());
+        assert!(
+            SeriesSet::parse(&format!("{hdr}{{\"series\":\"x\",\"points\":[[1]]}}\n")).is_err()
+        );
+        // Header alone is a valid empty dump.
+        assert!(SeriesSet::parse(hdr).unwrap().is_empty());
+    }
+
+    #[test]
+    fn prometheus_exposes_latest_values_with_sanitized_names() {
+        let mut set = SeriesSet::new(4);
+        set.record("queue_depth", 0.0, 3.0);
+        set.record("queue_depth", 1.0, 7.0);
+        set.record("rate0:p99_s", 1.0, 0.5);
+        let text = set.prometheus("fun3d_serve");
+        assert!(text.contains("# TYPE fun3d_serve_queue_depth gauge\n"));
+        assert!(text.contains("fun3d_serve_queue_depth 7\n"), "{text}");
+        assert!(text.contains("fun3d_serve_rate0_p99_s 0.5\n"), "{text}");
+        // Every sample line is `name value` over the exposition alphabet.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.split_once(' ').expect("name value");
+            assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
+        assert_eq!(sanitize_metric_name("0weird name"), "_0weird_name");
+    }
+
+    #[test]
+    fn collector_samples_until_stopped() {
+        let ticks = Arc::new(AtomicUsize::new(0));
+        let t2 = ticks.clone();
+        let col = Collector::start(
+            Duration::from_millis(1),
+            64,
+            Box::new(move || {
+                let n = t2.fetch_add(1, Ordering::Relaxed);
+                vec![("tick".into(), n as f64)]
+            }),
+        );
+        while ticks.load(Ordering::Relaxed) < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let live = col.snapshot();
+        assert!(!live.is_empty(), "snapshot sees samples mid-flight");
+        let set = col.stop();
+        let s = set.get("tick").expect("series exists");
+        assert!(s.len() >= 3);
+        // Timestamps are monotone and values are the tick sequence.
+        let pts: Vec<(f64, f64)> = s.points().collect();
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(pts.windows(2).all(|w| w[1].1 == w[0].1 + 1.0));
+    }
+}
