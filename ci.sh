@@ -1,13 +1,34 @@
 #!/usr/bin/env bash
 # Repo CI gate: build, test, lint, format. Run before every push.
+#
+# Knobs (all optional, for the split CI matrix):
+#   CI_LINT_ONLY=1     run only the static checks (clippy/fmt/doc) and exit —
+#                      the fast `lint` job of the workflow matrix.
+#   CI_SKIP_LINT=1     skip those same checks — the `test` job sets this so
+#                      the two jobs partition the work instead of repeating it.
+#   CI_BASELINE_DIR=d  cross-commit gating: if d/smoke.json exists (restored
+#                      from the previous main run), compare against it before
+#                      refreshing it with this run's baseline.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+run_lint() {
+    cargo clippy --workspace -- -D warnings
+    cargo fmt --check
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+}
+
+if [ -n "${CI_LINT_ONLY:-}" ]; then
+    run_lint
+    echo "ci: lint checks passed"
+    exit 0
+fi
+
 cargo build --release --workspace
 cargo test -q --workspace
-cargo clippy --workspace -- -D warnings
-cargo fmt --check
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+if [ -z "${CI_SKIP_LINT:-}" ]; then
+    run_lint
+fi
 
 # Smoke logs land in CI_LOG_DIR when set (the GitHub workflow uploads it as
 # an artifact on failure); otherwise in a throwaway tempdir.
@@ -28,6 +49,34 @@ fi
 ./target/release/fun3d-bench run --suite smoke \
     --baseline "$smoke_dir/smoke.json" --tol-rel 1000 > "$smoke_dir/gate.log"
 grep -q "overall:" "$smoke_dir/gate.log"
+
+# Failure-path smoke: an injected 100x slowdown against the baseline just
+# saved must make the gate exit nonzero and print REGRESSED verdicts — if
+# this leg passes, a real regression cannot slip through a broken gate.
+if FUN3D_BENCH_SLOWDOWN=100 ./target/release/fun3d-bench run --suite smoke \
+    --baseline "$smoke_dir/smoke.json" > "$smoke_dir/slowdown.log" 2>&1; then
+    echo "ci: injected slowdown did not fail the gate"; exit 1
+fi
+grep -q "REGRESSED" "$smoke_dir/slowdown.log"
+grep -q "overall: REGRESSED" "$smoke_dir/slowdown.log"
+
+# Cross-commit gating: when the workflow restores the previous main run's
+# baseline into CI_BASELINE_DIR, gate this commit against it (huge relative
+# tolerance — shared runners are noisy; this asserts metric-set stability
+# commit to commit, the MAD band catches true collapses), then refresh the
+# directory so the next run compares against us.
+if [ -n "${CI_BASELINE_DIR:-}" ]; then
+    mkdir -p "$CI_BASELINE_DIR"
+    if [ -f "$CI_BASELINE_DIR/smoke.json" ]; then
+        ./target/release/fun3d-bench run --suite smoke \
+            --baseline "$CI_BASELINE_DIR/smoke.json" --tol-rel 1000 \
+            > "$smoke_dir/cross-commit.log"
+        grep -q "overall:" "$smoke_dir/cross-commit.log"
+    else
+        echo "ci: no previous baseline in CI_BASELINE_DIR; seeding it"
+    fi
+    cp "$smoke_dir/smoke.json" "$CI_BASELINE_DIR/smoke.json"
+fi
 
 # Run inspection: `fun3d-report show` on a gate-written report must render
 # the Figure 5 convergence table (from the sibling event stream) and the
@@ -75,6 +124,35 @@ grep -q "spmv_csr" "$smoke_dir/profile.log"
 ./target/release/fun3d-report show "$smoke_dir/runs-prof/spmv.json" > "$smoke_dir/show-prof.log"
 grep -q "Parallel regions (2 threads)" "$smoke_dir/show-prof.log"
 ! grep -q "Parallel regions" "$smoke_dir/show.log"
+
+# Micro-kernel identity leg: the Newton solve must produce bit-identical
+# residual histories under all three FUN3D_BLOCK_KERNEL tiers (the JSON
+# float encoding is shortest-round-trip, so string equality is bit
+# equality), and the blockspec experiment must print a >1.0x batched
+# speedup verdict — the tiers are only worth shipping if they pay.
+for k in generic fixed batched; do
+    FUN3D_BLOCK_KERNEL=$k ./target/release/table1 --scale 0.05 --steps 2 \
+        --threads 2 --quiet --json "$smoke_dir/kern-$k.json" \
+        --events "$smoke_dir/kern-$k.events.jsonl" > /dev/null
+    grep -o '"residual_norm":[^,}]*' "$smoke_dir/kern-$k.events.jsonl" \
+        > "$smoke_dir/resid-$k.txt"
+done
+[ -s "$smoke_dir/resid-generic.txt" ] \
+    || { echo "ci: kernel-identity leg recorded no residual norms"; exit 1; }
+cmp -s "$smoke_dir/resid-generic.txt" "$smoke_dir/resid-fixed.txt" \
+    || { echo "ci: fixed kernel residuals diverged from generic"; exit 1; }
+cmp -s "$smoke_dir/resid-generic.txt" "$smoke_dir/resid-batched.txt" \
+    || { echo "ci: batched kernel residuals diverged from generic"; exit 1; }
+./target/release/blockspec --scale 0.15 --threads 2 \
+    --json "$smoke_dir/blockspec.json" > "$smoke_dir/blockspec.log"
+grep -q "blockspec verdict: batched pays off" "$smoke_dir/blockspec.log" \
+    || { echo "ci: batched kernels show no speedup over generic"; exit 1; }
+grep -q '"spmv_bcsr:gbps"' "$smoke_dir/blockspec.json"
+grep -q '"bilu_sweep:gbps"' "$smoke_dir/blockspec.json"
+./target/release/fun3d-report profile "$smoke_dir/blockspec.json" \
+    > "$smoke_dir/blockspec-profile.log"
+grep -q "Repeated block structure" "$smoke_dir/blockspec-profile.log"
+grep -q "template hit rate" "$smoke_dir/blockspec-profile.log"
 
 # Profiling overhead on the standalone spmv bin must stay under 5% (median
 # CSR time, profiling off vs on).  One retry damps scheduler noise.

@@ -85,6 +85,7 @@ pub fn higher_is_better(key: &str) -> bool {
         "solves_per_s",
         "throughput",
         "hit_rate",
+        "batch_len",
     ]
     .iter()
     .any(|tag| key.contains(tag))
@@ -222,6 +223,17 @@ mod tests {
         // load imbalance (1.0 = balanced) improves downward.
         assert!(higher_is_better("spmv/csr:gbps"));
         assert!(!higher_is_better("spmv_csr:imbalance"));
+        // Micro-kernel tier metrics: achieved bandwidth, tier speedups,
+        // structure hit rate, and batch length improve upward; per-tier
+        // times and template counts improve downward.
+        assert!(higher_is_better("spmv_bcsr:gbps"));
+        assert!(higher_is_better("bilu_sweep:gbps"));
+        assert!(higher_is_better("blockspec/spmv_b5_batched:gbps"));
+        assert!(higher_is_better("spmv_b5:batched_speedup"));
+        assert!(higher_is_better("b5:hit_rate"));
+        assert!(higher_is_better("b5:mean_batch_len"));
+        assert!(!higher_is_better("b5:ntemplates"));
+        assert!(!higher_is_better("spmv_b5:batched_s"));
         assert!(!higher_is_better("time_csr_s"));
         assert!(!higher_is_better("tlb_misses_row0"));
         assert!(!higher_is_better("linear_its"));

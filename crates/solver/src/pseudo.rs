@@ -251,8 +251,8 @@ impl crate::op::LinearOperator for BcsrOperator<'_> {
 }
 
 enum BuiltPrecond {
-    Ilu(IluPrecond),
-    BlockIlu(BlockIluPrecond),
+    Ilu(Box<IluPrecond>),
+    BlockIlu(Box<BlockIluPrecond>),
     Schwarz(AdditiveSchwarz),
 }
 
@@ -457,13 +457,13 @@ pub fn solve_pseudo_transient_warm<P: PseudoTransientProblem>(
                         }
                         None => IluFactors::factor(&jac, ilu).expect("ILU factorization failed"),
                     };
-                    BuiltPrecond::Ilu(IluPrecond::new(factors).with_par(opts.krylov.par))
+                    BuiltPrecond::Ilu(Box::new(IluPrecond::new(factors).with_par(opts.krylov.par)))
                 }
-                PrecondSpec::BlockIlu { block } => BuiltPrecond::BlockIlu(
+                PrecondSpec::BlockIlu { block } => BuiltPrecond::BlockIlu(Box::new(
                     BlockIluPrecond::factor(&jac, *block)
                         .expect("block ILU factorization failed")
                         .with_par(opts.krylov.par),
-                ),
+                )),
                 PrecondSpec::Schwarz {
                     owned_sets,
                     overlap,

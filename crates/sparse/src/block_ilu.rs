@@ -10,7 +10,11 @@
 //! "Structural Blocking" column buys in the solve phase).
 
 use crate::bcsr::BcsrMatrix;
-use crate::dense::{block_gemm, block_gemm_sub, block_gemv_sub, lu_factor, lu_invert};
+use crate::blockspec::{analyze, BlockKernel, BlockStructure, BlockStructureStats};
+use crate::dense::{
+    block_gemm, block_gemm_sub, block_gemv_b, block_gemv_sub, block_gemv_sub_b, lu_factor,
+    lu_invert,
+};
 use crate::ilu::{level_schedule, IluError, LevelSchedule};
 use crate::par::{DisjointSliceMut, ParCtx};
 
@@ -37,14 +41,29 @@ pub struct BlockIluFactors {
     /// computed once at factor time).
     l_levels: LevelSchedule,
     u_levels: LevelSchedule,
+    /// Micro-kernel tier the sweeps dispatch to (inherited from the matrix
+    /// at factor time, i.e. ultimately from `FUN3D_BLOCK_KERNEL`).
+    kernel: BlockKernel,
+    /// Repeated-structure analysis of the L / U patterns, present iff
+    /// `kernel` is `Batched`.  The sequential sweeps stream over the
+    /// batches; the level-scheduled parallel sweeps use the fixed kernels
+    /// (level order destroys row contiguity) but share the telemetry.
+    l_structure: Option<BlockStructure>,
+    u_structure: Option<BlockStructure>,
 }
 
 impl BlockIluFactors {
-    /// Factor a square BCSR matrix with zero block fill (the pattern of `A`).
+    /// Factor a square BCSR matrix with zero block fill (the pattern of `A`),
+    /// inheriting the matrix's micro-kernel tier for the sweeps.
     ///
     /// Returns [`IluError::ZeroPivot`] (with the *block row* index) when a
     /// diagonal block is singular.
     pub fn factor(a: &BcsrMatrix) -> Result<Self, IluError> {
+        Self::factor_with_kernel(a, a.kernel())
+    }
+
+    /// [`Self::factor`] with an explicit micro-kernel tier for the sweeps.
+    pub fn factor_with_kernel(a: &BcsrMatrix, kernel: BlockKernel) -> Result<Self, IluError> {
         assert_eq!(a.nbrows(), a.nbcols(), "block ILU needs a square matrix");
         let b = a.block_size();
         let bb = b * b;
@@ -105,36 +124,40 @@ impl BlockIluFactors {
                 l_vals[li * bb..(li + 1) * bb].copy_from_slice(&tmp);
                 // Row i's remaining pattern vs U row k: for j in U(k),
                 // update L_ij (j < i), D_ii (j == i), or U_ij (j > i).
+                // The source block U_kj is borrowed in place — the Less /
+                // Equal arms write disjoint arrays, and the Greater arm
+                // splits `u_vals` at row i's first block (U row k, with
+                // k < i, lies strictly before it) — so the inner loop
+                // allocates nothing.
                 for uk in u_ptr[k]..u_ptr[k + 1] {
                     let j = u_idx[uk] as usize;
-                    let ukj = u_vals[uk * bb..(uk + 1) * bb].to_vec();
                     match j.cmp(&i) {
                         std::cmp::Ordering::Less => {
                             // Find L_ij among the remaining L blocks of row i.
                             if let Some(pos) = find_block(&l_idx[l_ptr[i]..l_ptr[i + 1]], j as u32)
                             {
                                 let slot = l_ptr[i] + pos;
+                                let ukj = &u_vals[uk * bb..(uk + 1) * bb];
                                 block_gemm_sub(
                                     &tmp,
-                                    &ukj,
+                                    ukj,
                                     &mut l_vals[slot * bb..(slot + 1) * bb],
                                     b,
                                 );
                             }
                         }
                         std::cmp::Ordering::Equal => {
-                            block_gemm_sub(&tmp, &ukj, &mut diag[i * bb..(i + 1) * bb], b);
+                            let ukj = &u_vals[uk * bb..(uk + 1) * bb];
+                            block_gemm_sub(&tmp, ukj, &mut diag[i * bb..(i + 1) * bb], b);
                         }
                         std::cmp::Ordering::Greater => {
                             if let Some(pos) = find_block(&u_idx[u_ptr[i]..u_ptr[i + 1]], j as u32)
                             {
                                 let slot = u_ptr[i] + pos;
-                                block_gemm_sub(
-                                    &tmp,
-                                    &ukj,
-                                    &mut u_vals[slot * bb..(slot + 1) * bb],
-                                    b,
-                                );
+                                let (done, rest) = u_vals.split_at_mut(u_ptr[i] * bb);
+                                let ukj = &done[uk * bb..(uk + 1) * bb];
+                                let off = (slot - u_ptr[i]) * bb;
+                                block_gemm_sub(&tmp, ukj, &mut rest[off..off + bb], b);
                             }
                         }
                     }
@@ -150,6 +173,9 @@ impl BlockIluFactors {
 
         let l_levels = level_schedule(nb, &l_ptr, &l_idx, false);
         let u_levels = level_schedule(nb, &u_ptr, &u_idx, true);
+        let batched = kernel == BlockKernel::Batched;
+        let l_structure = batched.then(|| analyze(&l_ptr, &l_idx));
+        let u_structure = batched.then(|| analyze(&u_ptr, &u_idx));
         Ok(Self {
             b,
             nb,
@@ -162,7 +188,24 @@ impl BlockIluFactors {
             inv_diag,
             l_levels,
             u_levels,
+            kernel,
+            l_structure,
+            u_structure,
         })
+    }
+
+    /// The micro-kernel tier the triangular sweeps dispatch to.
+    pub fn kernel(&self) -> BlockKernel {
+        self.kernel
+    }
+
+    /// Repeated-structure statistics of the (lower, upper) sweep patterns;
+    /// `None` unless the `Batched` tier is selected.
+    pub fn structure_stats(&self) -> Option<(BlockStructureStats, BlockStructureStats)> {
+        match (&self.l_structure, &self.u_structure) {
+            (Some(l), Some(u)) => Some((l.stats(), u.stats())),
+            _ => None,
+        }
     }
 
     /// Block size.
@@ -200,8 +243,28 @@ impl BlockIluFactors {
         self.solve_in_place(x);
     }
 
-    /// In-place block triangular solves.
+    /// In-place block triangular solves, dispatched once per call to the
+    /// micro-kernel tier fixed at factor time.  All tiers are bitwise
+    /// identical (see `tests/kernel_equivalence.rs`).
     pub fn solve_in_place(&self, x: &mut [f64]) {
+        if self.kernel == BlockKernel::Generic {
+            return self.solve_in_place_generic(x);
+        }
+        match self.b {
+            4 => self.solve_in_place_b::<4>(x),
+            5 => self.solve_in_place_b::<5>(x),
+            3 => self.solve_in_place_b::<3>(x),
+            2 => self.solve_in_place_b::<2>(x),
+            1 => self.solve_in_place_b::<1>(x),
+            _ => self.solve_in_place_generic(x),
+        }
+    }
+
+    /// Runtime-`b` sweeps — the scalar baseline tier.  The per-call scratch
+    /// vectors are allocated once; the loops themselves allocate nothing
+    /// (`x` sub-blocks are borrowed in place, disjoint from the local
+    /// accumulators).
+    fn solve_in_place_generic(&self, x: &mut [f64]) {
         let b = self.b;
         let bb = b * b;
         let mut xi = vec![0.0f64; b];
@@ -211,25 +274,92 @@ impl BlockIluFactors {
             for li in self.l_ptr[i]..self.l_ptr[i + 1] {
                 let k = self.l_idx[li] as usize;
                 let lik = &self.l_vals[li * bb..(li + 1) * bb];
-                let xk = x[k * b..(k + 1) * b].to_vec();
-                block_gemv_sub(lik, &xk, &mut xi, b);
+                block_gemv_sub(lik, &x[k * b..(k + 1) * b], &mut xi, b);
             }
             x[i * b..(i + 1) * b].copy_from_slice(&xi);
         }
         // Backward: (D + U) x = y  =>  x_i = invD_i (y_i - sum U_ij x_j).
         let mut acc = vec![0.0f64; b];
+        let mut out = vec![0.0f64; b];
         for i in (0..self.nb).rev() {
             acc.copy_from_slice(&x[i * b..(i + 1) * b]);
             for ui in self.u_ptr[i]..self.u_ptr[i + 1] {
                 let j = self.u_idx[ui] as usize;
                 let uij = &self.u_vals[ui * bb..(ui + 1) * bb];
-                let xj = x[j * b..(j + 1) * b].to_vec();
-                block_gemv_sub(uij, &xj, &mut acc, b);
+                block_gemv_sub(uij, &x[j * b..(j + 1) * b], &mut acc, b);
             }
             let invd = &self.inv_diag[i * bb..(i + 1) * bb];
-            let mut out = vec![0.0f64; b];
             crate::dense::block_gemv(invd, &acc, &mut out, b);
             x[i * b..(i + 1) * b].copy_from_slice(&out);
+        }
+    }
+
+    /// Const-unrolled sweeps for the fixed and batched tiers: stack-array
+    /// accumulators, lane gemv kernels, and — when the structure analysis
+    /// is present — batch streaming with template column deltas and
+    /// arithmetic block offsets in place of per-row `l_ptr`/`l_idx` loads.
+    fn solve_in_place_b<const B: usize>(&self, x: &mut [f64]) {
+        let bb = B * B;
+        // Forward: (I + L) y = rhs.
+        if let Some(st) = &self.l_structure {
+            for bt in st.batches() {
+                let deltas = st.template_deltas(bt.template);
+                let len = deltas.len();
+                let mut li = self.l_ptr[bt.start as usize];
+                for i in bt.start as usize..bt.start as usize + bt.len as usize {
+                    let mut xi: [f64; B] = x[i * B..(i + 1) * B].try_into().unwrap();
+                    for (pos, &d) in deltas.iter().enumerate() {
+                        let k = (i as i64 + d) as usize;
+                        let lik = &self.l_vals[(li + pos) * bb..(li + pos + 1) * bb];
+                        block_gemv_sub_b::<B>(lik, &x[k * B..k * B + B], &mut xi);
+                    }
+                    li += len;
+                    x[i * B..(i + 1) * B].copy_from_slice(&xi);
+                }
+            }
+        } else {
+            for i in 0..self.nb {
+                let mut xi: [f64; B] = x[i * B..(i + 1) * B].try_into().unwrap();
+                for li in self.l_ptr[i]..self.l_ptr[i + 1] {
+                    let k = self.l_idx[li] as usize;
+                    let lik = &self.l_vals[li * bb..(li + 1) * bb];
+                    block_gemv_sub_b::<B>(lik, &x[k * B..k * B + B], &mut xi);
+                }
+                x[i * B..(i + 1) * B].copy_from_slice(&xi);
+            }
+        }
+        // Backward: (D + U) x = y  =>  x_i = invD_i (y_i - sum U_ij x_j).
+        if let Some(st) = &self.u_structure {
+            for bt in st.batches().iter().rev() {
+                let deltas = st.template_deltas(bt.template);
+                let start = bt.start as usize;
+                let len = deltas.len();
+                let ui0 = self.u_ptr[start];
+                for i in (start..start + bt.len as usize).rev() {
+                    let ui = ui0 + (i - start) * len;
+                    let mut acc: [f64; B] = x[i * B..(i + 1) * B].try_into().unwrap();
+                    for (pos, &d) in deltas.iter().enumerate() {
+                        let j = (i as i64 + d) as usize;
+                        let uij = &self.u_vals[(ui + pos) * bb..(ui + pos + 1) * bb];
+                        block_gemv_sub_b::<B>(uij, &x[j * B..j * B + B], &mut acc);
+                    }
+                    let invd = &self.inv_diag[i * bb..(i + 1) * bb];
+                    let out = block_gemv_b::<B>(invd, &acc);
+                    x[i * B..(i + 1) * B].copy_from_slice(&out);
+                }
+            }
+        } else {
+            for i in (0..self.nb).rev() {
+                let mut acc: [f64; B] = x[i * B..(i + 1) * B].try_into().unwrap();
+                for ui in self.u_ptr[i]..self.u_ptr[i + 1] {
+                    let j = self.u_idx[ui] as usize;
+                    let uij = &self.u_vals[ui * bb..(ui + 1) * bb];
+                    block_gemv_sub_b::<B>(uij, &x[j * B..j * B + B], &mut acc);
+                }
+                let invd = &self.inv_diag[i * bb..(i + 1) * bb];
+                let out = block_gemv_b::<B>(invd, &acc);
+                x[i * B..(i + 1) * B].copy_from_slice(&out);
+            }
         }
     }
 
@@ -255,6 +385,21 @@ impl BlockIluFactors {
         if ctx.nthreads() == 1 {
             return self.solve_in_place(x);
         }
+        if self.kernel == BlockKernel::Generic {
+            return self.solve_in_place_par_generic(x, ctx);
+        }
+        match self.b {
+            4 => self.solve_in_place_par_b::<4>(x, ctx),
+            5 => self.solve_in_place_par_b::<5>(x, ctx),
+            3 => self.solve_in_place_par_b::<3>(x, ctx),
+            2 => self.solve_in_place_par_b::<2>(x, ctx),
+            1 => self.solve_in_place_par_b::<1>(x, ctx),
+            _ => self.solve_in_place_par_generic(x, ctx),
+        }
+    }
+
+    /// Runtime-`b` level sweeps — the scalar baseline tier.
+    fn solve_in_place_par_generic(&self, x: &mut [f64], ctx: &ParCtx) {
         let b = self.b;
         let bb = b * b;
         let view = DisjointSliceMut::new(x);
@@ -298,6 +443,58 @@ impl BlockIluFactors {
                         let invd = &self.inv_diag[i * bb..(i + 1) * bb];
                         crate::dense::block_gemv(invd, &acc, &mut out, b);
                         view.slice_mut(i * b..(i + 1) * b).copy_from_slice(&out);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Const-unrolled level sweeps for the fixed and batched tiers.  The
+    /// level schedule fixes which rows run when, and the per-row arithmetic
+    /// is the exact sequential sequence, so this stays bitwise identical to
+    /// [`Self::solve_in_place`] for any thread count; the only changes are
+    /// stack-array accumulators and the lane gemv kernels — the sweep
+    /// closures allocate nothing.
+    fn solve_in_place_par_b<const B: usize>(&self, x: &mut [f64], ctx: &ParCtx) {
+        let bb = B * B;
+        let view = DisjointSliceMut::new(x);
+        // Forward: (I + L) y = rhs.
+        for lev in 0..self.l_levels.nlevels() {
+            let rows = self.l_levels.level(lev);
+            ctx.parallel_for("bilu_lower", rows.len(), |_, r| {
+                for &iu in &rows[r] {
+                    let i = iu as usize;
+                    // SAFETY: block row i is this level's only writer of
+                    // x[i*B..(i+1)*B]; reads come from earlier levels.
+                    unsafe {
+                        let mut xi: [f64; B] = view.slice(i * B..(i + 1) * B).try_into().unwrap();
+                        for li in self.l_ptr[i]..self.l_ptr[i + 1] {
+                            let k = self.l_idx[li] as usize;
+                            let lik = &self.l_vals[li * bb..(li + 1) * bb];
+                            block_gemv_sub_b::<B>(lik, view.slice(k * B..(k + 1) * B), &mut xi);
+                        }
+                        view.slice_mut(i * B..(i + 1) * B).copy_from_slice(&xi);
+                    }
+                }
+            });
+        }
+        // Backward: (D + U) x = y.
+        for lev in 0..self.u_levels.nlevels() {
+            let rows = self.u_levels.level(lev);
+            ctx.parallel_for("bilu_upper", rows.len(), |_, r| {
+                for &iu in &rows[r] {
+                    let i = iu as usize;
+                    // SAFETY: as above, with dependencies pointing upward.
+                    unsafe {
+                        let mut acc: [f64; B] = view.slice(i * B..(i + 1) * B).try_into().unwrap();
+                        for ui in self.u_ptr[i]..self.u_ptr[i + 1] {
+                            let j = self.u_idx[ui] as usize;
+                            let uij = &self.u_vals[ui * bb..(ui + 1) * bb];
+                            block_gemv_sub_b::<B>(uij, view.slice(j * B..(j + 1) * B), &mut acc);
+                        }
+                        let invd = &self.inv_diag[i * bb..(i + 1) * bb];
+                        let out = block_gemv_b::<B>(invd, &acc);
+                        view.slice_mut(i * B..(i + 1) * B).copy_from_slice(&out);
                     }
                 }
             });
@@ -496,6 +693,49 @@ mod tests {
                 assert_eq!(xs, xp, "b={b} nthreads={nthreads}");
             }
         }
+    }
+
+    #[test]
+    fn sweep_kernel_tiers_are_bitwise_identical() {
+        use crate::blockspec::BlockKernel;
+        use crate::par::ParCtx;
+        for b in [2usize, 4, 5] {
+            let a = block_tridiag(22, b, 31);
+            let ab = BcsrMatrix::from_csr(&a, b);
+            let n = a.nrows();
+            let rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.73).sin()).collect();
+            let fg = BlockIluFactors::factor_with_kernel(&ab, BlockKernel::Generic).unwrap();
+            let mut x0 = vec![0.0; n];
+            fg.solve(&rhs, &mut x0);
+            for kernel in [BlockKernel::Fixed, BlockKernel::Batched] {
+                let f = BlockIluFactors::factor_with_kernel(&ab, kernel).unwrap();
+                assert_eq!(f.kernel(), kernel);
+                let mut x = vec![0.0; n];
+                f.solve(&rhs, &mut x);
+                assert_eq!(x0, x, "b={b} kernel={kernel}");
+                for nthreads in [2usize, 4] {
+                    let mut xp = vec![0.0; n];
+                    f.solve_par(&rhs, &mut xp, &ParCtx::new(nthreads));
+                    assert_eq!(x0, xp, "b={b} kernel={kernel} nthreads={nthreads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_factor_reports_sweep_structure() {
+        use crate::blockspec::BlockKernel;
+        let a = block_tridiag(22, 4, 31);
+        let ab = BcsrMatrix::from_csr(&a, 4);
+        let fb = BlockIluFactors::factor_with_kernel(&ab, BlockKernel::Batched).unwrap();
+        let (ls, us) = fb.structure_stats().expect("batched tier has structure");
+        // Tridiagonal: L rows are (empty, then all "previous row"); high reuse.
+        assert_eq!(ls.nrows, 22);
+        assert_eq!(us.nrows, 22);
+        assert!(ls.hit_rate > 0.9, "{ls:?}");
+        assert!(us.hit_rate > 0.9, "{us:?}");
+        let ff = BlockIluFactors::factor_with_kernel(&ab, BlockKernel::Fixed).unwrap();
+        assert!(ff.structure_stats().is_none());
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Micro-kernel selection and repeated-block-structure analysis for the
+//! BCSR hot paths.
+//!
+//! The paper's Tables 2 and 4 show the matvec and triangular-sweep phases
+//! are memory-bandwidth-bound; what is left on the table after structural
+//! blocking (Section 2.1.2) is *dispatch and index overhead*: a runtime
+//! `b`-sized loop nest cannot be unrolled, and every stored block costs a
+//! column-index load even when whole runs of rows share one sparsity
+//! pattern.  Following Plana-Riu et al. (arXiv 2508.06710), this module
+//!
+//! 1. names the three micro-kernel tiers ([`BlockKernel`]): `generic`
+//!    (runtime-`b` scalar loops), `fixed` (const-unrolled lane kernels for
+//!    the block sizes the application uses), and `batched` (fixed kernels
+//!    streaming over runs of rows with identical block structure), and
+//! 2. provides the structure-analysis pass ([`analyze`]) that hashes each
+//!    block row's *relative* column pattern, deduplicates the patterns into
+//!    templates, and groups consecutive rows with the same template into
+//!    batches the kernels can stream through without per-row index loads.
+//!
+//! Every tier computes bitwise-identical results: the kernels only reorder
+//! *independent* accumulator updates, never the addition sequence feeding a
+//! single accumulator.  The equivalence is pinned by proptests in
+//! `tests/kernel_equivalence.rs` — the determinism story (seq == par for
+//! any thread count) extends to seq == par == fixed == batched.
+//!
+//! The analysis runs at assembly / factor time and allocates nothing per
+//! row: the pattern hash is computed by streaming the column indices, and
+//! template storage is pooled (`deltas_pool` + offsets) rather than one
+//! `Vec` per template lookup.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Environment variable selecting the micro-kernel tier (`generic`,
+/// `fixed`, or `batched`).  Read at assembly / factor time; defaults to
+/// [`BlockKernel::Batched`].
+pub const KERNEL_ENV: &str = "FUN3D_BLOCK_KERNEL";
+
+/// Which micro-kernel tier the BCSR kernels dispatch to.
+///
+/// Selected once when the matrix is assembled (or the factorization is
+/// computed), not per call — the hot loops contain no mode branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockKernel {
+    /// Runtime-`b` scalar loop nests — the portable fallback, and the
+    /// "scalar" baseline the `blockspec` experiment measures against.
+    Generic,
+    /// Const-generic unrolled lane kernels for `b` in 1..=5 (4:
+    /// incompressible, 5: compressible); generic fallback otherwise.
+    Fixed,
+    /// Fixed kernels streaming over repeated-structure batches: column
+    /// indices come from the shared template, block offsets from batch
+    /// arithmetic — no per-row `row_ptr`/`col_idx` loads.
+    #[default]
+    Batched,
+}
+
+impl BlockKernel {
+    /// Parse a mode name as accepted in [`KERNEL_ENV`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "generic" => Some(Self::Generic),
+            "fixed" => Some(Self::Fixed),
+            "batched" => Some(Self::Batched),
+            _ => None,
+        }
+    }
+
+    /// Read the kernel mode from [`KERNEL_ENV`] (default: `batched`).
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value — a typo silently falling back to a
+    /// slower kernel is exactly what the CI kernel-identity leg exists to
+    /// prevent.
+    pub fn from_env() -> Self {
+        match std::env::var(KERNEL_ENV) {
+            Ok(v) => Self::parse(&v).unwrap_or_else(|| {
+                panic!("{KERNEL_ENV}={v}: expected one of generic|fixed|batched")
+            }),
+            Err(_) => Self::default(),
+        }
+    }
+
+    /// Stable lowercase name (the same spelling [`Self::parse`] accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Generic => "generic",
+            Self::Fixed => "fixed",
+            Self::Batched => "batched",
+        }
+    }
+}
+
+impl fmt::Display for BlockKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A maximal run of consecutive block rows sharing one structure template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batch {
+    /// First block row of the run.
+    pub start: u32,
+    /// Number of consecutive rows in the run.
+    pub len: u32,
+    /// Template id shared by every row of the run.
+    pub template: u32,
+}
+
+/// Deduplicated block-structure templates plus the batch partition of the
+/// block rows, as produced by [`analyze`].
+///
+/// A *template* is a row's block-column pattern expressed relative to the
+/// row index (`col - row` deltas) — two rows at different positions with
+/// the same stencil shape share a template.  Template delta lists live in
+/// one pooled array addressed by offsets, so lookups never allocate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockStructure {
+    /// Template id of each block row.
+    template_of_row: Vec<u32>,
+    /// `template_ptr[t]..template_ptr[t+1]` indexes `deltas_pool`.
+    template_ptr: Vec<usize>,
+    /// Pooled relative column deltas (`col - row`) of all templates.
+    deltas_pool: Vec<i64>,
+    /// How many rows use each template.
+    template_rows: Vec<u32>,
+    /// Maximal same-template runs, covering every row exactly once.
+    batches: Vec<Batch>,
+}
+
+/// Scalar summary of a [`BlockStructure`] for telemetry counters and the
+/// `fun3d-report profile` columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockStructureStats {
+    /// Block rows analyzed.
+    pub nrows: usize,
+    /// Distinct structure templates.
+    pub ntemplates: usize,
+    /// Maximal same-template runs.
+    pub nbatches: usize,
+    /// Fraction of rows whose template is shared by at least one other row
+    /// — the "template hit rate" of the dedup pass.
+    pub hit_rate: f64,
+    /// Mean rows per batch (`nrows / nbatches`).
+    pub mean_batch_len: f64,
+    /// Longest batch.
+    pub max_batch_len: usize,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline(always)]
+fn fnv1a(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// Hash, deduplicate, and batch the block rows of a `(row_ptr, col_idx)`
+/// pattern.  `O(nnz_blocks)` time; allocates only per *unique* template,
+/// never per row (the PR 3 `bump_counter` discipline applied to symbolic
+/// analysis).
+pub fn analyze(row_ptr: &[usize], col_idx: &[u32]) -> BlockStructure {
+    let nb = row_ptr.len().saturating_sub(1);
+    let mut template_of_row: Vec<u32> = Vec::with_capacity(nb);
+    let mut template_ptr: Vec<usize> = vec![0];
+    let mut deltas_pool: Vec<i64> = Vec::new();
+    let mut template_rows: Vec<u32> = Vec::new();
+    // hash -> template ids with that hash.  Hash collisions are resolved by
+    // comparing pattern content, so two genuinely different patterns can
+    // never be merged.
+    let mut lut: HashMap<u64, Vec<u32>> = HashMap::new();
+    for bi in 0..nb {
+        let cols = &col_idx[row_ptr[bi]..row_ptr[bi + 1]];
+        // FNV-1a over (len, deltas...): streamed straight off col_idx, no
+        // per-row scratch of any kind.
+        let mut h = fnv1a(FNV_OFFSET, cols.len() as u64);
+        for &c in cols {
+            h = fnv1a(h, (c as i64 - bi as i64) as u64);
+        }
+        let candidates = lut.entry(h).or_default();
+        let found = candidates.iter().copied().find(|&t| {
+            let d = &deltas_pool[template_ptr[t as usize]..template_ptr[t as usize + 1]];
+            d.len() == cols.len()
+                && d.iter()
+                    .zip(cols)
+                    .all(|(&dv, &c)| dv == c as i64 - bi as i64)
+        });
+        let id = match found {
+            Some(t) => t,
+            None => {
+                let t = template_rows.len() as u32;
+                deltas_pool.extend(cols.iter().map(|&c| c as i64 - bi as i64));
+                template_ptr.push(deltas_pool.len());
+                template_rows.push(0);
+                candidates.push(t);
+                t
+            }
+        };
+        template_rows[id as usize] += 1;
+        template_of_row.push(id);
+    }
+    // Partition the rows into maximal same-template runs.
+    let mut batches: Vec<Batch> = Vec::new();
+    let mut bi = 0usize;
+    while bi < nb {
+        let t = template_of_row[bi];
+        let mut end = bi + 1;
+        while end < nb && template_of_row[end] == t {
+            end += 1;
+        }
+        batches.push(Batch {
+            start: bi as u32,
+            len: (end - bi) as u32,
+            template: t,
+        });
+        bi = end;
+    }
+    BlockStructure {
+        template_of_row,
+        template_ptr,
+        deltas_pool,
+        template_rows,
+        batches,
+    }
+}
+
+impl BlockStructure {
+    /// Number of distinct templates.
+    pub fn ntemplates(&self) -> usize {
+        self.template_rows.len()
+    }
+
+    /// Template id assigned to each block row.
+    pub fn template_of_row(&self) -> &[u32] {
+        &self.template_of_row
+    }
+
+    /// Relative column deltas (`col - row`) of template `t`.
+    pub fn template_deltas(&self, t: u32) -> &[i64] {
+        &self.deltas_pool[self.template_ptr[t as usize]..self.template_ptr[t as usize + 1]]
+    }
+
+    /// The batch partition (covers every block row exactly once, in order).
+    pub fn batches(&self) -> &[Batch] {
+        &self.batches
+    }
+
+    /// Scalar summary for telemetry.
+    pub fn stats(&self) -> BlockStructureStats {
+        let nrows = self.template_of_row.len();
+        let shared: usize = self
+            .template_of_row
+            .iter()
+            .filter(|&&t| self.template_rows[t as usize] >= 2)
+            .count();
+        BlockStructureStats {
+            nrows,
+            ntemplates: self.ntemplates(),
+            nbatches: self.batches.len(),
+            hit_rate: if nrows == 0 {
+                0.0
+            } else {
+                shared as f64 / nrows as f64
+            },
+            mean_batch_len: if self.batches.is_empty() {
+                0.0
+            } else {
+                nrows as f64 / self.batches.len() as f64
+            },
+            max_batch_len: self
+                .batches
+                .iter()
+                .map(|t| t.len as usize)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for k in [
+            BlockKernel::Generic,
+            BlockKernel::Fixed,
+            BlockKernel::Batched,
+        ] {
+            assert_eq!(BlockKernel::parse(k.name()), Some(k));
+            assert_eq!(format!("{k}"), k.name());
+        }
+        assert_eq!(BlockKernel::parse("simd"), None);
+    }
+
+    #[test]
+    fn tridiagonal_pattern_dedups_to_three_templates() {
+        // Rows 1..nb-1 all share the (-1, 0, +1) stencil; the two boundary
+        // rows are unique.  One interior batch spans the whole middle.
+        let nb = 10usize;
+        let mut row_ptr = vec![0usize];
+        let mut col_idx: Vec<u32> = Vec::new();
+        for i in 0..nb {
+            for j in [i.wrapping_sub(1), i, i + 1] {
+                if j < nb {
+                    col_idx.push(j as u32);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let st = analyze(&row_ptr, &col_idx);
+        assert_eq!(st.ntemplates(), 3);
+        assert_eq!(st.batches().len(), 3);
+        let stats = st.stats();
+        assert_eq!(stats.max_batch_len, nb - 2);
+        assert!((stats.hit_rate - (nb - 2) as f64 / nb as f64).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shifted_identical_patterns_share_a_template() {
+        // Rows 0 and 2 have the same *relative* pattern (self + next) at
+        // different positions; row 1 and 3 differ.
+        let row_ptr = vec![0usize, 2, 3, 5, 6];
+        let col_idx = vec![0u32, 1, 1, 2, 3, 0];
+        let st = analyze(&row_ptr, &col_idx);
+        assert_eq!(st.template_of_row()[0], st.template_of_row()[2]);
+        assert_ne!(st.template_of_row()[0], st.template_of_row()[1]);
+        assert_ne!(st.template_of_row()[0], st.template_of_row()[3]);
+        assert_eq!(st.template_deltas(st.template_of_row()[0]), &[0, 1]);
+    }
+
+    #[test]
+    fn batches_cover_all_rows_exactly_once() {
+        let row_ptr = vec![0usize, 1, 2, 3, 4, 5];
+        let col_idx = vec![0u32, 1, 2, 3, 4]; // diagonal: one template
+        let st = analyze(&row_ptr, &col_idx);
+        assert_eq!(st.ntemplates(), 1);
+        assert_eq!(
+            st.batches(),
+            &[Batch {
+                start: 0,
+                len: 5,
+                template: 0
+            }]
+        );
+        let covered: usize = st.batches().iter().map(|t| t.len as usize).sum();
+        assert_eq!(covered, 5);
+    }
+
+    #[test]
+    fn empty_pattern_is_fine() {
+        let st = analyze(&[0usize], &[]);
+        assert_eq!(st.ntemplates(), 0);
+        assert!(st.batches().is_empty());
+        let stats = st.stats();
+        assert_eq!(stats.nrows, 0);
+        assert_eq!(stats.hit_rate, 0.0);
+    }
+
+    #[test]
+    fn empty_rows_get_their_own_template() {
+        // Rows 1 and 3 are empty: same (empty) relative pattern, so they
+        // share a template even though they are not adjacent.
+        let row_ptr = vec![0usize, 1, 1, 2, 2];
+        let col_idx = vec![0u32, 2];
+        let st = analyze(&row_ptr, &col_idx);
+        assert_eq!(st.template_of_row()[1], st.template_of_row()[3]);
+        assert_eq!(st.template_deltas(st.template_of_row()[1]), &[] as &[i64]);
+    }
+}

@@ -133,6 +133,42 @@ pub fn block_gemv(a: &[f64], x: &[f64], y: &mut [f64], n: usize) {
     }
 }
 
+/// `y <- y - A x` for a row-major `N x N` block with `N` known at compile
+/// time: the const-unrolled lane twin of [`block_gemv_sub`], used by the
+/// fixed/batched block-ILU sweep kernels.
+///
+/// Bitwise identical to [`block_gemv_sub`]: each accumulator `y[r]` sees
+/// its subtractions in ascending-column order either way (the lane form
+/// only interleaves updates to *different* accumulators), and Rust never
+/// contracts `f64` mul+sub into a fused op.
+#[inline(always)]
+pub fn block_gemv_sub_b<const N: usize>(a: &[f64], x: &[f64], y: &mut [f64; N]) {
+    debug_assert!(a.len() >= N * N);
+    debug_assert!(x.len() >= N);
+    for c in 0..N {
+        let xc = x[c];
+        for r in 0..N {
+            y[r] -= a[r * N + c] * xc;
+        }
+    }
+}
+
+/// `A x` for a row-major `N x N` block with `N` known at compile time —
+/// the const-unrolled twin of [`block_gemv`], bitwise identical by the
+/// same argument as [`block_gemv_sub_b`].
+#[inline(always)]
+pub fn block_gemv_b<const N: usize>(a: &[f64], x: &[f64; N]) -> [f64; N] {
+    debug_assert!(a.len() >= N * N);
+    let mut y = [0.0f64; N];
+    for c in 0..N {
+        let xc = x[c];
+        for r in 0..N {
+            y[r] += a[r * N + c] * xc;
+        }
+    }
+    y
+}
+
 /// `C <- C - A * B` for row-major `n x n` blocks (the Schur update inside the
 /// block ILU factorization).
 #[inline]
@@ -267,6 +303,27 @@ mod tests {
         block_gemv_add(&a, &x, &mut y, n);
         block_gemv_sub(&a, &x, &mut y, n);
         assert_eq!(y, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn fixed_gemv_twins_match_runtime_bitwise() {
+        // The const-unrolled lane kernels must be bitwise equal to the
+        // runtime-n loops — they feed the kernel-identity guarantee.
+        let n = 5;
+        let a: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 37) % 13) as f64 * 0.17 - 1.0)
+            .collect();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.71).sin()).collect();
+        let mut y1 = vec![0.5; n];
+        block_gemv_sub(&a, &x, &mut y1, n);
+        let mut y2 = [0.5f64; 5];
+        block_gemv_sub_b::<5>(&a, &x, &mut y2);
+        assert_eq!(y1, y2);
+        let mut y3 = vec![0.0; n];
+        block_gemv(&a, &x, &mut y3, n);
+        let xa: [f64; 5] = x.as_slice().try_into().unwrap();
+        let y4 = block_gemv_b::<5>(&a, &xa);
+        assert_eq!(y3, y4);
     }
 
     #[test]

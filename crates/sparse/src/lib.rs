@@ -15,6 +15,10 @@
 //!   double-precision arithmetic* variant of Section 2.2 (Table 2).
 //! * [`block_ilu`] — point-block ILU(0) on BCSR (PETSc `PCILU`+`BAIJ`), the
 //!   factorization PETSc-FUN3D actually applies once blocking is on.
+//! * [`blockspec`] — micro-kernel tier selection (`FUN3D_BLOCK_KERNEL`) and
+//!   the repeated-block-structure analysis pass that hashes, deduplicates,
+//!   and batches identical row patterns so one unrolled kernel can stream
+//!   through whole runs of rows without per-row index loads.
 //! * [`dense`] — small dense block helpers (LU with partial pivoting) used by
 //!   the block preconditioners.
 //! * [`vec_ops`] — the BLAS-1 style vector kernels (dot, axpy, norms) that the
@@ -33,6 +37,7 @@
 
 pub mod bcsr;
 pub mod block_ilu;
+pub mod blockspec;
 pub mod csr;
 pub mod dense;
 pub mod ilu;
@@ -44,6 +49,7 @@ pub mod vec_ops;
 
 pub use bcsr::BcsrMatrix;
 pub use block_ilu::BlockIluFactors;
+pub use blockspec::{BlockKernel, BlockStructure, BlockStructureStats};
 pub use csr::CsrMatrix;
 pub use ilu::{IluFactors, IluOptions, PrecStorage};
 pub use par::ParCtx;
