@@ -54,7 +54,8 @@ grep -q "overall:" "$smoke_dir/gate.log"
 # saved must make the gate exit nonzero and print REGRESSED verdicts — if
 # this leg passes, a real regression cannot slip through a broken gate.
 if FUN3D_BENCH_SLOWDOWN=100 ./target/release/fun3d-bench run --suite smoke \
-    --baseline "$smoke_dir/smoke.json" > "$smoke_dir/slowdown.log" 2>&1; then
+    --baseline "$smoke_dir/smoke.json" --events-dir "$smoke_dir/runs-slow" \
+    > "$smoke_dir/slowdown.log" 2>&1; then
     echo "ci: injected slowdown did not fail the gate"; exit 1
 fi
 grep -q "REGRESSED" "$smoke_dir/slowdown.log"
@@ -292,5 +293,67 @@ check_metrics_overhead() {
 }
 check_metrics_overhead \
     || { echo "ci: metrics overhead check retrying"; check_metrics_overhead; }
+
+# Flight-recorder / diagnosis leg.  An injected panic must leave a
+# parseable `fun3d-blackbox/1` dump that `fun3d-report explain` renders;
+# an injected NaN must raise a solver anomaly event and exit 3; `explain`
+# on the profiled spmv run must rank it bandwidth-bound with %-of-STREAM
+# evidence; and the slowdown A/B pair must name the regressed phase.
+if FUN3D_PANIC_AT_STEP=1 ./target/release/table1 --scale 0.05 --steps 2 \
+    --quiet --blackbox "$smoke_dir/panic.blackbox.jsonl" \
+    > "$smoke_dir/panic.log" 2>&1; then
+    echo "ci: injected panic did not fail the run"; exit 1
+fi
+grep -q '"schema":"fun3d-blackbox/1"' "$smoke_dir/panic.blackbox.jsonl"
+grep -q '"reason":"panic"' "$smoke_dir/panic.blackbox.jsonl"
+./target/release/fun3d-report explain \
+    --blackbox "$smoke_dir/panic.blackbox.jsonl" > "$smoke_dir/panic-explain.log"
+grep -q "anomaly-terminated" "$smoke_dir/panic-explain.log"
+grep -q "Flight recorder" "$smoke_dir/panic-explain.log"
+
+nan_status=0
+FUN3D_NAN_AT_STEP=1 ./target/release/table1 --scale 0.05 --steps 2 --quiet \
+    --json "$smoke_dir/nan.json" --events "$smoke_dir/nan.events.jsonl" \
+    > "$smoke_dir/nan.log" 2>&1 || nan_status=$?
+[ "$nan_status" -eq 3 ] \
+    || { echo "ci: injected NaN exited $nan_status, expected 3"; exit 1; }
+grep -q '"ev":"anomaly"' "$smoke_dir/nan.events.jsonl"
+grep -q "non_finite_residual" "$smoke_dir/nan.events.jsonl"
+./target/release/fun3d-report explain "$smoke_dir/nan.json" \
+    --events "$smoke_dir/nan.events.jsonl" > "$smoke_dir/nan-explain.log"
+grep -q "1. anomaly-terminated" "$smoke_dir/nan-explain.log"
+
+./target/release/fun3d-report explain "$smoke_dir/runs-prof/spmv.json" \
+    > "$smoke_dir/explain.log"
+grep -q "bandwidth-bound" "$smoke_dir/explain.log"
+grep -q "% of STREAM" "$smoke_dir/explain.log"
+grep -q "explain:confidence" "$smoke_dir/explain.log"
+./target/release/fun3d-report explain "$smoke_dir/runs/spmv.json" \
+    "$smoke_dir/runs-slow/spmv.json" > "$smoke_dir/explain-ab.log"
+grep -q "regressed phase:" "$smoke_dir/explain-ab.log"
+# The attributed phase must be a real span phase, not the run-level bucket.
+grep -q 'regression attributed to phase `spmv' "$smoke_dir/explain-ab.log"
+
+# Recorder-on overhead must stay under 5% (median CSR spmv time, armed vs
+# dark; the armed run only pays a try_lock ring write per span).  Best of
+# five interleaved runs per side damps scheduler noise, plus one retry.
+bb_sample() {
+    ./target/release/spmv --scale 0.5 --threads 2 --quiet "$@" \
+        --json "$smoke_dir/bb-run.json" > /dev/null \
+        && grep -o '"time_csr_s":[0-9.e-]*' "$smoke_dir/bb-run.json" | cut -d: -f2
+}
+check_blackbox_overhead() {
+    t_off=""
+    t_on=""
+    for _ in 1 2 3 4 5; do
+        t=$(bb_sample)
+        t_off=$(awk -v a="${t_off:-$t}" -v b="$t" 'BEGIN { print (a < b) ? a : b }')
+        t=$(bb_sample --blackbox "$smoke_dir/bb-on.blackbox.jsonl")
+        t_on=$(awk -v a="${t_on:-$t}" -v b="$t" 'BEGIN { print (a < b) ? a : b }')
+    done
+    awk -v off="$t_off" -v on="$t_on" 'BEGIN { exit !(on <= off * 1.05) }'
+}
+check_blackbox_overhead \
+    || { echo "ci: flight-recorder overhead check retrying"; check_blackbox_overhead; }
 
 echo "ci: all checks passed"

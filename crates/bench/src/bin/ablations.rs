@@ -11,4 +11,5 @@ fn main() {
     let out = runners::ablations::run(&args);
     args.emit_report(&out.report);
     args.emit_trace(&out.telemetry);
+    args.exit_if_anomalous(&out);
 }

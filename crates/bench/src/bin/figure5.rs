@@ -12,4 +12,5 @@ fn main() {
     args.emit_report(&out.report);
     args.emit_trace(&out.telemetry);
     args.emit_events(&out.events);
+    args.exit_if_anomalous(&out);
 }

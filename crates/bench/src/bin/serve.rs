@@ -15,4 +15,5 @@ fn main() {
     args.emit_trace(&out.telemetry);
     args.emit_events(&out.events);
     args.emit_metrics(&out.metrics);
+    args.exit_if_anomalous(&out);
 }

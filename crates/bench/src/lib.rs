@@ -72,6 +72,12 @@ pub struct BenchArgs {
     /// Prometheus text exposition at `<path>.prom`
     /// (`--metrics-out <path>`; implies `--metrics`).
     pub metrics_out: Option<String>,
+    /// Arm the flight recorder for the run and dump `fun3d-blackbox/1`
+    /// JSONL here on panic or solver anomaly (`--blackbox <path>`).  Only
+    /// experiments whose [`Experiment::supports_blackbox`] is true drive
+    /// the solver deeply enough for the rings to be useful, but arming is
+    /// harmless everywhere.
+    pub blackbox: Option<String>,
     /// Shared flags that appeared more than once on the command line, in
     /// first-repeat order.  A repeated value flag (`--threads 2 --threads 4`)
     /// used to silently last-win; callers reject these via
@@ -118,6 +124,7 @@ impl BenchArgs {
                 })
                 .unwrap_or(false),
             metrics_out: None,
+            blackbox: None,
             duplicates: Vec::new(),
         }
     }
@@ -134,6 +141,7 @@ impl BenchArgs {
         let (out, rest) = Self::parse_known(default_scale, &argv);
         Self::reject_leftovers(suite, &rest);
         out.reject_duplicates(suite);
+        out.arm_blackbox();
         out
     }
 
@@ -142,7 +150,7 @@ impl BenchArgs {
     pub fn reject_leftovers(suite: &str, rest: &[String]) {
         if let Some(other) = rest.first() {
             panic!(
-                "unknown argument: {other} (suite {suite}; expected --scale/--full/--steps/--reps/--suite/--quiet/--json/--trace/--events/--threads/--profile/--ranks/--trace-ranks/--metrics/--metrics-out)"
+                "unknown argument: {other} (suite {suite}; expected --scale/--full/--steps/--reps/--suite/--quiet/--json/--trace/--events/--threads/--profile/--ranks/--trace-ranks/--metrics/--metrics-out/--blackbox)"
             );
         }
     }
@@ -168,7 +176,7 @@ impl BenchArgs {
     /// single flag-parsing helper: the per-table binaries reject leftovers,
     /// the `fun3d-bench` driver layers its own flags on top of them.
     pub fn parse_known(default_scale: f64, argv: &[String]) -> (Self, Vec<String>) {
-        const KNOWN: [&str; 15] = [
+        const KNOWN: [&str; 16] = [
             "--scale",
             "--full",
             "--steps",
@@ -184,6 +192,7 @@ impl BenchArgs {
             "--trace-ranks",
             "--metrics",
             "--metrics-out",
+            "--blackbox",
         ];
         let mut out = Self::defaults(default_scale);
         let mut rest = Vec::new();
@@ -256,6 +265,10 @@ impl BenchArgs {
                     i += 1;
                     out.metrics_out = Some(value(i, "--metrics-out").clone());
                     out.metrics = true;
+                }
+                "--blackbox" => {
+                    i += 1;
+                    out.blackbox = Some(value(i, "--blackbox").clone());
                 }
                 other => rest.push(other.to_string()),
             }
@@ -342,6 +355,47 @@ impl BenchArgs {
                 .expect("writing --metrics-out Prometheus exposition failed");
             println!("wrote metrics time series to {path} (+ {prom})");
         }
+    }
+
+    /// Arm the flight recorder when `--blackbox <path>` was given: the
+    /// rings capture the run's most recent spans/events/counters and dump
+    /// to the path on panic or solver anomaly.  A no-op otherwise, so
+    /// recorder-off runs pay exactly one relaxed atomic load per probe.
+    pub fn arm_blackbox(&self) {
+        if let Some(path) = &self.blackbox {
+            fun3d_telemetry::blackbox::arm(fun3d_telemetry::blackbox::DEFAULT_CAPACITY, Some(path));
+        }
+    }
+
+    /// Structured exit for anomaly-terminated runs: when the outcome's
+    /// event stream carries [`EventRecord::Anomaly`] records, print one
+    /// line per anomaly to stderr and exit with status 3 (distinct from
+    /// panics and from gate regressions).  Healthy runs return untouched.
+    pub fn exit_if_anomalous(&self, outcome: &RunOutcome) {
+        let anomalies: Vec<&EventRecord> = outcome
+            .events
+            .records
+            .iter()
+            .filter(|e| matches!(e, EventRecord::Anomaly { .. }))
+            .collect();
+        if anomalies.is_empty() {
+            return;
+        }
+        for ev in &anomalies {
+            if let EventRecord::Anomaly {
+                kind,
+                step,
+                residual_norm,
+                detail,
+            } = ev
+            {
+                eprintln!(
+                    "anomaly: {kind} at step {step} (residual {residual_norm:.3e}): {detail}"
+                );
+            }
+        }
+        eprintln!("run terminated on {} solver anomaly(ies)", anomalies.len());
+        std::process::exit(3);
     }
 
     /// When `--profile` is on, arm the global region profiler (enable and
@@ -481,6 +535,13 @@ pub trait Experiment: Send + Sync {
     /// (empty when the experiment has no analytic model).
     fn model(&self, _report: &PerfReport, _machine: &MachineSpec) -> Vec<ModelEstimate> {
         Vec::new()
+    }
+    /// Whether `--blackbox` is meaningful for this experiment: true for
+    /// runners that drive full ΨNKS solves (where the flight recorder and
+    /// health monitor have material to capture), false for pure kernel
+    /// microbenchmarks.
+    fn supports_blackbox(&self) -> bool {
+        false
     }
 }
 
@@ -650,6 +711,27 @@ mod tests {
         assert!(args.metrics);
         assert_eq!(args.metrics_out.as_deref(), Some("m.jsonl"));
         assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn parse_known_accepts_blackbox_flag() {
+        let (args, rest) = BenchArgs::parse_known(0.5, &[]);
+        assert!(rest.is_empty());
+        assert_eq!(args.blackbox, None);
+        let argv: Vec<String> = ["--blackbox", "bb.jsonl"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (args, rest) = BenchArgs::parse_known(0.5, &argv);
+        assert_eq!(args.blackbox.as_deref(), Some("bb.jsonl"));
+        assert!(rest.is_empty());
+        // Repeats are caught like every other shared flag.
+        let argv: Vec<String> = ["--blackbox", "a", "--blackbox", "b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (args, _) = BenchArgs::parse_known(0.5, &argv);
+        assert_eq!(args.duplicates, vec!["--blackbox".to_string()]);
     }
 
     #[test]

@@ -42,6 +42,9 @@ impl Experiment for Ablations {
     fn run(&self, args: &BenchArgs) -> RunOutcome {
         run(args)
     }
+    fn supports_blackbox(&self) -> bool {
+        true
+    }
 }
 
 fn base_nks() -> PseudoTransientOptions {

@@ -36,6 +36,9 @@ impl Experiment for Figure5 {
     fn run(&self, args: &BenchArgs) -> RunOutcome {
         run(args)
     }
+    fn supports_blackbox(&self) -> bool {
+        true
+    }
 }
 
 /// Regenerate Figure 5 once.

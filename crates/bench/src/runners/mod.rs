@@ -57,9 +57,10 @@ pub fn find(name: &str) -> Option<Box<dyn Experiment>> {
     all().into_iter().find(|e| e.name() == name)
 }
 
-/// The rows `fun3d-bench list` prints: one `[name, default scale,
-/// description]` entry per registered experiment, in registry order.  The
-/// driver renders exactly this, so the listing can never drift from [`all`].
+/// The rows `fun3d-bench list` prints: one `[name, default scale, blackbox
+/// support, description]` entry per registered experiment, in registry
+/// order.  The driver renders exactly this, so the listing can never drift
+/// from [`all`].
 pub fn list_rows() -> Vec<Vec<String>> {
     all()
         .iter()
@@ -67,6 +68,7 @@ pub fn list_rows() -> Vec<Vec<String>> {
             vec![
                 e.name().to_string(),
                 format!("{}", e.default_scale()),
+                if e.supports_blackbox() { "yes" } else { "" }.to_string(),
                 e.description().to_string(),
             ]
         })
@@ -101,8 +103,25 @@ mod tests {
                 "{name}: bad scale {}",
                 row[1]
             );
-            assert!(!row[2].trim().is_empty(), "{name}: empty description");
+            assert!(
+                row[2] == "yes" || row[2].is_empty(),
+                "{name}: bad blackbox marker {:?}",
+                row[2]
+            );
+            assert!(!row[3].trim().is_empty(), "{name}: empty description");
         }
+    }
+
+    #[test]
+    fn blackbox_support_marks_the_solver_driving_experiments() {
+        // The runners that execute full ΨNKS solves accept `--blackbox`;
+        // kernel microbenchmarks have nothing for the rings to capture.
+        let yes: Vec<&str> = all()
+            .iter()
+            .filter(|e| e.supports_blackbox())
+            .map(|e| e.name())
+            .collect();
+        assert_eq!(yes, vec!["ablations", "figure5", "serve", "table1"]);
     }
 
     #[test]

@@ -63,6 +63,9 @@ impl Experiment for Serve {
     fn run(&self, args: &BenchArgs) -> RunOutcome {
         run(args)
     }
+    fn supports_blackbox(&self) -> bool {
+        true
+    }
 }
 
 /// Worker-pool size: `FUN3D_SERVE_WORKERS`, default 2.

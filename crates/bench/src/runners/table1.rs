@@ -30,6 +30,9 @@ impl Experiment for Table1 {
     fn run(&self, args: &BenchArgs) -> RunOutcome {
         run(args)
     }
+    fn supports_blackbox(&self) -> bool {
+        true
+    }
 }
 
 /// Regenerate Table 1 once.
@@ -155,12 +158,22 @@ pub fn run(args: &BenchArgs) -> RunOutcome {
             perf.push_metric(format!("ratio_{model}_row{i}"), results[mi][0] / t);
         }
     }
+    let events = EventStream::new(sink.drain());
+    // The gate watches anomaly terminations as a lower-is-better count: a
+    // healthy regeneration reports 0, a NaN/divergence injection reports
+    // how many sub-cases aborted.
+    let anomalies = events
+        .records
+        .iter()
+        .filter(|e| matches!(e, fun3d_telemetry::events::EventRecord::Anomaly { .. }))
+        .count();
+    perf.push_metric("anomaly:count", anomalies as f64);
     let snapshot = tel.snapshot();
     let perf = perf.with_snapshot(&snapshot);
     RunOutcome {
         report: perf,
         telemetry: vec![snapshot],
-        events: EventStream::new(sink.drain()),
+        events,
         metrics: Default::default(),
     }
 }

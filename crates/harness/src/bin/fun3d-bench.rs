@@ -53,6 +53,7 @@ fn list(argv: &[String]) {
                     ("name".into(), Value::Str(e.name().into())),
                     ("default_scale".into(), Value::Num(e.default_scale())),
                     ("description".into(), Value::Str(e.description().into())),
+                    ("blackbox".into(), Value::Bool(e.supports_blackbox())),
                 ])
             })
             .collect();
@@ -61,7 +62,7 @@ fn list(argv: &[String]) {
     }
     print_table(
         "Registered experiments",
-        &["name", "scale", "description"],
+        &["name", "scale", "blackbox", "description"],
         &runners::list_rows(),
     );
     println!("\nNamed suites: smoke (CI, seconds), quick (developer default), full (everything).");

@@ -1,4 +1,4 @@
-//! `fun3d-report`: inspect and diff `fun3d-perf/1` runs.
+//! `fun3d-report`: inspect, diff, and diagnose `fun3d-perf/1` runs.
 //!
 //! ```text
 //! fun3d-report show <report.json> [--events stream.jsonl]
@@ -8,21 +8,26 @@
 //! fun3d-report serve <report.json>
 //! fun3d-report live <report.json> [<other.json>]
 //! fun3d-report diff <a.json> <b.json> [--tol-rel f] [--tol-mad-k f] [--tol-abs f]
+//! fun3d-report explain [<report.json>] [<other.json>] [--blackbox dump.jsonl]
 //! ```
+//!
+//! Every subcommand funnels its arguments through one shared loader
+//! (`SubArgs`): positional report paths, an `--events` stream override for
+//! the first report, `--blackbox` for a flight-recorder dump, and the
+//! `--tol-*` tolerance knobs — with sibling `<stem>.events.jsonl` /
+//! `<stem>.metrics.jsonl` autodiscovery on every load.
 //!
 //! `show` renders the run: metrics, the Table 3-style phase breakdown with
 //! p50/p95/p99 tail latencies and modeled cache/TLB counters, a per-region
 //! load-imbalance summary when the run was profiled, the Figure 5-style
-//! convergence table from the event stream (autodiscovered as the sibling
-//! `<stem>.events.jsonl` unless `--events` names one), scatter traffic, and
+//! convergence table from the event stream, scatter traffic, and
 //! checkpoints.
 //!
 //! `profile` renders the thread-profile view of a `--profile` run: per
 //! parallel region the max/mean per-thread busy time, imbalance factor, and
 //! join-wait (the paper's Table 3 implementation-efficiency terms), plus
 //! achieved GB/s and %-of-STREAM per byte-counted span (a live Table 2).
-//! Naming a second report appends a region-by-region A/B comparison —
-//! intended for diffing two `--threads` settings of one experiment.
+//! Naming a second report appends a region-by-region A/B comparison.
 //!
 //! `comm` renders the communication view of a `--trace-ranks` run: the
 //! per-rank compute / exchange / wait table with the laggard rank flagged,
@@ -31,25 +36,31 @@
 //! per-rank wait-fraction A/B comparison.
 //!
 //! `serve` renders the serving view of a `serve` run: the open-loop rate
-//! sweep (offered vs achieved throughput with p50/p95/p99 latencies and
-//! per-rate rejects), the saturation knee, and the cache / admission
-//! summary.
+//! sweep, the saturation knee, and the cache / admission summary.
 //!
 //! `live` renders the `fun3d-metrics/1` time-series sidecar of a
-//! `--metrics` run (autodiscovered as `<stem>.metrics.jsonl`): one
-//! sparkline trend row per series (queue depth, throughput, windowed
-//! p50/p99, SLO burn), the health-state timeline, and — with a second
-//! report — a noise-aware per-series A/B diff using the gate's polarity
-//! heuristics.
+//! `--metrics` run: sparkline trend rows, the health-state timeline, and —
+//! with a second report — a noise-aware per-series A/B diff.
 //!
 //! `diff` judges run B against run A with the gate's noise-aware verdicts.
-//! Exit status: 0 with no regressions, 1 when any metric regressed, 2 on
-//! usage or I/O errors.
+//!
+//! `explain` is the diagnosis pass: it joins the report, profiler roofline
+//! rows, rank-trace critical path, histogram tails, anomaly events, and a
+//! `--blackbox` flight-recorder dump into a ranked list of bottleneck
+//! hypotheses (bandwidth-bound / imbalance-bound / comm-wait-bound /
+//! latency-bound / anomaly-terminated) with evidence lines; with a second
+//! report it attributes the regression to the phase and cause that moved.
+//! `--blackbox` alone (no report) renders the dump a panicked run left.
+//!
+//! Exit status: 0 on success (for `diff`, no regressions), 1 when a diff
+//! regressed, 2 on usage or I/O errors.
 
 use fun3d_harness::compare::Tolerance;
 use fun3d_harness::report_cli::{
-    render_comm, render_diff, render_live, render_profile, render_serve, render_show, LoadedRun,
+    render_comm, render_diff, render_explain, render_live, render_profile, render_serve,
+    render_show, LoadedRun,
 };
+use fun3d_telemetry::blackbox::BlackboxDump;
 
 fn usage() -> ! {
     eprintln!(
@@ -58,9 +69,108 @@ fn usage() -> ! {
          fun3d-report comm <report.json> [<other.json>]\n       \
          fun3d-report serve <report.json>\n       \
          fun3d-report live <report.json> [<other.json>]\n       \
-         fun3d-report diff <a.json> <b.json> [--tol-rel f] [--tol-mad-k f] [--tol-abs f]"
+         fun3d-report diff <a.json> <b.json> [--tol-rel f] [--tol-mad-k f] [--tol-abs f]\n       \
+         fun3d-report explain [<report.json>] [<other.json>] [--blackbox dump.jsonl]"
     );
     std::process::exit(2);
+}
+
+/// The argument shape every subcommand shares: positional report paths plus
+/// the flags that select sidecar files and tolerances.
+struct SubArgs {
+    paths: Vec<String>,
+    events: Option<String>,
+    blackbox: Option<String>,
+    tol: Tolerance,
+}
+
+impl SubArgs {
+    fn parse(argv: &[String]) -> Self {
+        let mut out = Self {
+            paths: Vec::new(),
+            events: None,
+            blackbox: None,
+            tol: Tolerance::default(),
+        };
+        let value = |argv: &[String], i: usize, flag: &str| -> String {
+            argv.get(i)
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} expects a value");
+                    usage()
+                })
+                .clone()
+        };
+        let num = |argv: &[String], i: usize, flag: &str| -> f64 {
+            value(argv, i, flag).parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a number");
+                usage()
+            })
+        };
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--events" => {
+                    i += 1;
+                    out.events = Some(value(argv, i, "--events"));
+                }
+                "--blackbox" => {
+                    i += 1;
+                    out.blackbox = Some(value(argv, i, "--blackbox"));
+                }
+                "--tol-rel" => {
+                    i += 1;
+                    out.tol.rel = num(argv, i, "--tol-rel");
+                }
+                "--tol-mad-k" => {
+                    i += 1;
+                    out.tol.mad_k = num(argv, i, "--tol-mad-k");
+                }
+                "--tol-abs" => {
+                    i += 1;
+                    out.tol.abs_floor = num(argv, i, "--tol-abs");
+                }
+                other if other.starts_with("--") => {
+                    eprintln!("unknown argument: {other}");
+                    usage();
+                }
+                _ => out.paths.push(argv[i].clone()),
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Load the first path (with the `--events` override) and, when a
+    /// second path was named, that one too.  Any other arity is a usage
+    /// error.
+    fn load_one_or_two(&self) -> (LoadedRun, Option<LoadedRun>) {
+        match self.paths.as_slice() {
+            [r] => (load_or_die(r, self.events.as_deref()), None),
+            [r, o] => (
+                load_or_die(r, self.events.as_deref()),
+                Some(load_or_die(o, None)),
+            ),
+            _ => usage(),
+        }
+    }
+
+    /// Load exactly one report; a second path is a usage error.
+    fn load_exactly_one(&self) -> LoadedRun {
+        match self.load_one_or_two() {
+            (run, None) => run,
+            _ => usage(),
+        }
+    }
+
+    /// Read and parse the `--blackbox` dump when one was named.
+    fn load_blackbox(&self) -> Option<BlackboxDump> {
+        self.blackbox.as_deref().map(|p| {
+            fun3d_telemetry::blackbox::read_dump(p).unwrap_or_else(|e| {
+                eprintln!("failed to load blackbox dump {p}: {e}");
+                std::process::exit(2);
+            })
+        })
+    }
 }
 
 fn load_or_die(report: &str, events: Option<&str>) -> LoadedRun {
@@ -74,146 +184,56 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else { usage() };
     match command.as_str() {
-        "diff" => diff(&argv[1..]),
-        "show" => show(&argv[1..]),
-        "profile" => profile(&argv[1..]),
-        "comm" => comm(&argv[1..]),
-        "serve" => serve(&argv[1..]),
-        "live" => live(&argv[1..]),
-        _ => show(&argv),
-    }
-}
-
-fn live(argv: &[String]) {
-    let mut paths: Vec<&String> = Vec::new();
-    for arg in argv {
-        if arg.starts_with("--") {
-            eprintln!("unknown argument: {arg}");
-            usage();
+        "diff" => diff(&SubArgs::parse(&argv[1..])),
+        "show" => show(&SubArgs::parse(&argv[1..])),
+        "profile" => {
+            let (run, other) = SubArgs::parse(&argv[1..]).load_one_or_two();
+            print!("{}", render_profile(&run, other.as_ref()));
         }
-        paths.push(arg);
-    }
-    let (report, other) = match paths.as_slice() {
-        [r] => (*r, None),
-        [r, o] => (*r, Some(*o)),
-        _ => usage(),
-    };
-    let run = load_or_die(report, None);
-    let other = other.map(|o| load_or_die(o, None));
-    print!("{}", render_live(&run, other.as_ref()));
-}
-
-fn serve(argv: &[String]) {
-    let [report] = argv else { usage() };
-    if report.starts_with("--") {
-        eprintln!("unknown argument: {report}");
-        usage();
-    }
-    let run = load_or_die(report, None);
-    print!("{}", render_serve(&run));
-}
-
-fn comm(argv: &[String]) {
-    let mut paths: Vec<&String> = Vec::new();
-    for arg in argv {
-        if arg.starts_with("--") {
-            eprintln!("unknown argument: {arg}");
-            usage();
+        "comm" => {
+            let (run, other) = SubArgs::parse(&argv[1..]).load_one_or_two();
+            print!("{}", render_comm(&run, other.as_ref()));
         }
-        paths.push(arg);
+        "serve" => {
+            let run = SubArgs::parse(&argv[1..]).load_exactly_one();
+            print!("{}", render_serve(&run));
+        }
+        "live" => {
+            let (run, other) = SubArgs::parse(&argv[1..]).load_one_or_two();
+            print!("{}", render_live(&run, other.as_ref()));
+        }
+        "explain" => explain(&SubArgs::parse(&argv[1..])),
+        _ => show(&SubArgs::parse(&argv)),
     }
-    let (report, other) = match paths.as_slice() {
-        [r] => (*r, None),
-        [r, o] => (*r, Some(*o)),
-        _ => usage(),
-    };
-    let run = load_or_die(report, None);
-    let other = other.map(|o| load_or_die(o, None));
-    print!("{}", render_comm(&run, other.as_ref()));
 }
 
-fn profile(argv: &[String]) {
-    let mut paths: Vec<&String> = Vec::new();
-    for arg in argv {
-        if arg.starts_with("--") {
-            eprintln!("unknown argument: {arg}");
-            usage();
-        }
-        paths.push(arg);
-    }
-    let (report, other) = match paths.as_slice() {
-        [r] => (*r, None),
-        [r, o] => (*r, Some(*o)),
-        _ => usage(),
-    };
-    let run = load_or_die(report, None);
-    let other = other.map(|o| load_or_die(o, None));
-    print!("{}", render_profile(&run, other.as_ref()));
-}
-
-fn show(argv: &[String]) {
-    let mut report: Option<&String> = None;
-    let mut events: Option<&String> = None;
-    let mut i = 0;
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--events" => {
-                i += 1;
-                events = Some(argv.get(i).unwrap_or_else(|| usage()));
-            }
-            other if other.starts_with("--") => {
-                eprintln!("unknown argument: {other}");
-                usage();
-            }
-            _ if report.is_none() => report = Some(&argv[i]),
-            other => {
-                eprintln!("unexpected extra argument: {other}");
-                usage();
-            }
-        }
-        i += 1;
-    }
-    let Some(report) = report else { usage() };
-    let run = load_or_die(report, events.map(String::as_str));
+fn show(sub: &SubArgs) {
+    let run = sub.load_exactly_one();
     print!("{}", render_show(&run));
 }
 
-fn diff(argv: &[String]) {
-    let mut paths: Vec<&String> = Vec::new();
-    let mut tol = Tolerance::default();
-    let mut i = 0;
-    let value = |argv: &[String], i: usize, flag: &str| -> f64 {
-        argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-            eprintln!("{flag} expects a number");
-            usage()
-        })
-    };
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--tol-rel" => {
-                i += 1;
-                tol.rel = value(argv, i, "--tol-rel");
-            }
-            "--tol-mad-k" => {
-                i += 1;
-                tol.mad_k = value(argv, i, "--tol-mad-k");
-            }
-            "--tol-abs" => {
-                i += 1;
-                tol.abs_floor = value(argv, i, "--tol-abs");
-            }
-            other if other.starts_with("--") => {
-                eprintln!("unknown argument: {other}");
-                usage();
-            }
-            _ => paths.push(&argv[i]),
+fn explain(sub: &SubArgs) {
+    let blackbox = sub.load_blackbox();
+    let (run, other) = match sub.paths.as_slice() {
+        // A panicked run leaves only the dump behind; diagnose it alone.
+        [] if blackbox.is_some() => (None, None),
+        _ => {
+            let (run, other) = sub.load_one_or_two();
+            (Some(run), other)
         }
-        i += 1;
-    }
-    let [a, b] = paths.as_slice() else { usage() };
-    let a = load_or_die(a, None);
-    let b = load_or_die(b, None);
-    let d = render_diff(&a, &b, &tol);
+    };
+    print!(
+        "{}",
+        render_explain(run.as_ref(), other.as_ref(), blackbox.as_ref())
+    );
+}
+
+fn diff(sub: &SubArgs) {
+    let (a, b) = match sub.load_one_or_two() {
+        (a, Some(b)) => (a, b),
+        _ => usage(),
+    };
+    let d = render_diff(&a, &b, &sub.tol);
     print!("{}", d.text);
     if d.regressions > 0 {
         std::process::exit(1);

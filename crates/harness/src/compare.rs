@@ -86,6 +86,7 @@ pub fn higher_is_better(key: &str) -> bool {
         "throughput",
         "hit_rate",
         "batch_len",
+        "confidence",
     ]
     .iter()
     .any(|tag| key.contains(tag))
@@ -237,6 +238,11 @@ mod tests {
         assert!(!higher_is_better("time_csr_s"));
         assert!(!higher_is_better("tlb_misses_row0"));
         assert!(!higher_is_better("linear_its"));
+        // Diagnosis metrics: solver anomaly counts improve downward (zero
+        // is healthy); the `explain` confidence score is reported-only —
+        // it never gates — but reads as higher-is-better.
+        assert!(!higher_is_better("anomaly:count"));
+        assert!(higher_is_better("explain:confidence"));
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! transitions, and a noise-aware per-series A/B diff.
 
 use crate::baseline::{ExperimentBaseline, MetricBaseline};
-use crate::compare::{compare_experiment, Tolerance, Verdict};
+use crate::compare::{compare_experiment, higher_is_better, Tolerance, Verdict};
 use crate::stats::{summarize, Summary};
+use fun3d_telemetry::blackbox::{BlackboxDump, FlightRecord};
 use fun3d_telemetry::events::{convergence_table, EventRecord, EventStream};
 use fun3d_telemetry::metrics::SeriesSet;
 use fun3d_telemetry::report::PerfReport;
@@ -1221,6 +1222,535 @@ pub fn render_live(run: &LoadedRun, other: Option<&LoadedRun>) -> String {
     out
 }
 
+/// One ranked bottleneck hypothesis produced by [`render_explain`]: a cause
+/// tag, a confidence score in [0, 1], and the evidence lines behind it.
+#[derive(Debug, Clone)]
+struct Hypothesis {
+    cause: &'static str,
+    confidence: f64,
+    evidence: Vec<String>,
+}
+
+/// Anomaly-terminated: the solver's health monitor tripped (anomaly events
+/// in the stream, an `anomaly:count` metric, or a flight-recorder dump
+/// taken for a non-manual reason).  A run that died is diagnosed as such
+/// before any performance cause is entertained.
+fn anomaly_hypothesis(run: &LoadedRun, blackbox: Option<&BlackboxDump>) -> Option<Hypothesis> {
+    // Repeated anomalies (one per table row, say) collapse to one line
+    // with a count — the diagnosis is the kind, not the repetition.
+    let mut evidence: Vec<String> = Vec::new();
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for e in &run.events.records {
+        if let EventRecord::Anomaly {
+            kind,
+            step,
+            residual_norm,
+            detail,
+        } = e
+        {
+            let line = format!(
+                "solver anomaly `{kind}` at step {step} (residual {residual_norm:.3e}): {detail}"
+            );
+            match counts.iter_mut().find(|(l, _)| *l == line) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((line, 1)),
+            }
+        }
+    }
+    for (line, n) in counts {
+        if n > 1 {
+            evidence.push(format!("{line} (x{n})"));
+        } else {
+            evidence.push(line);
+        }
+    }
+    if let Some(n) = run.report.metric("anomaly:count") {
+        if n > 0.0 {
+            evidence.push(format!("anomaly:count = {n:.0} in the perf report"));
+        }
+    }
+    if let Some(bb) = blackbox {
+        if bb.reason != "manual" {
+            evidence.push(format!(
+                "flight-recorder dump taken (reason `{}`)",
+                bb.reason
+            ));
+        }
+    }
+    (!evidence.is_empty()).then_some(Hypothesis {
+        cause: "anomaly-terminated",
+        confidence: 0.97,
+        evidence,
+    })
+}
+
+/// Bandwidth-bound: byte-counted spans achieving a large fraction of the
+/// measured STREAM triad, weighted by the share of runtime they cover.  The
+/// memmodel delta is the span's measured time against the time its modeled
+/// traffic would take at the full STREAM rate.
+fn bandwidth_hypothesis(run: &LoadedRun) -> Option<Hypothesis> {
+    let r = &run.report;
+    let bw = bandwidth_spans(r);
+    if bw.is_empty() {
+        return None;
+    }
+    let stream = r.metric("stream_triad_bytes_per_s").filter(|t| *t > 0.0);
+    let roots: f64 = r
+        .spans
+        .iter()
+        .filter(|s| !s.path.contains('/'))
+        .map(|s| s.total_s)
+        .sum();
+    let bw_time: f64 = bw.iter().map(|s| s.total_s).sum();
+    let share = if roots > 0.0 {
+        (bw_time / roots).min(1.0)
+    } else {
+        1.0
+    };
+    let mut evidence = Vec::new();
+    let mut best_pct: f64 = 0.0;
+    for s in &bw {
+        let bytes = s.counter("bytes").unwrap_or(0.0);
+        let gbps = bytes / s.total_s / 1e9;
+        match stream {
+            Some(t) => {
+                let pct = gbps * 1e9 / t;
+                best_pct = best_pct.max(pct);
+                evidence.push(format!(
+                    "{}: {:.2} GB/s = {:.0}% of STREAM triad ({:.2} GB/s roofline)",
+                    s.path,
+                    gbps,
+                    100.0 * pct,
+                    t / 1e9
+                ));
+                let predicted = bytes / t;
+                evidence.push(format!(
+                    "  memmodel: {predicted:.3e} s predicted from {bytes:.3e} modeled bytes \
+                     at STREAM rate; measured {:.3e} s ({:.2}x model)",
+                    s.total_s,
+                    s.total_s / predicted.max(f64::MIN_POSITIVE)
+                ));
+            }
+            None => evidence.push(format!(
+                "{}: {gbps:.2} GB/s achieved (no stream_triad_bytes_per_s anchor in report)",
+                s.path
+            )),
+        }
+    }
+    // Traffic-dominated runtime is bandwidth-bound almost by construction;
+    // how close the kernels run to the roofline refines the score.  Capped
+    // below the anomaly score: a dead run outranks a fast one.
+    let pct_term = stream.map_or(0.5, |_| best_pct.min(1.0));
+    Some(Hypothesis {
+        cause: "bandwidth-bound",
+        confidence: (share * (0.5 + 0.5 * pct_term)).min(0.95),
+        evidence,
+    })
+}
+
+/// Imbalance-bound: parallel regions whose slowest thread holds the rest
+/// hostage.  `1 - 1/imbalance` is the fraction of the region's wall time
+/// that perfect balance would recover.
+fn imbalance_hypothesis(run: &LoadedRun) -> Option<Hypothesis> {
+    let regions = region_spans(&run.report);
+    if regions.is_empty() {
+        return None;
+    }
+    let mut worst: f64 = 1.0;
+    let mut evidence = Vec::new();
+    for s in &regions {
+        let imbal = s.counter("imbalance").unwrap_or(1.0);
+        worst = worst.max(imbal);
+        evidence.push(format!(
+            "{}: imbalance {imbal:.2} (busy max {:.3e} s vs mean {:.3e} s), join wait {:.3e} s",
+            region_label(&s.path),
+            s.counter("busy_max_s").unwrap_or(0.0),
+            s.counter("busy_mean_s").unwrap_or(0.0),
+            s.counter("join_wait_s").unwrap_or(0.0)
+        ));
+    }
+    Some(Hypothesis {
+        cause: "imbalance-bound",
+        confidence: (1.0 - 1.0 / worst.max(1.0)).clamp(0.0, 1.0),
+        evidence,
+    })
+}
+
+/// Comm-wait-bound: critical-path wait share, per-rank wait fractions, and
+/// the queue-wait fraction of a serving run.
+fn comm_wait_hypothesis(run: &LoadedRun) -> Option<Hypothesis> {
+    let r = &run.report;
+    let mut evidence = Vec::new();
+    let mut frac: f64 = 0.0;
+    if let (Some(total), Some(wait)) = (r.metric("cp:total_s"), r.metric("cp:wait_s")) {
+        if total > 0.0 {
+            frac = frac.max(wait / total);
+            evidence.push(format!(
+                "critical path: {wait:.3e} s of {total:.3e} s spent waiting ({:.1}%)",
+                100.0 * wait / total
+            ));
+        }
+    }
+    let rows = rank_phase_rows(r);
+    if let Some((i, p)) = rows
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.wait_frac().total_cmp(&b.1.wait_frac()))
+    {
+        frac = frac.max(p.wait_frac());
+        evidence.push(format!(
+            "rank {i}: {:.1}% of its time waiting ({:.3e} s of {:.3e} s)",
+            100.0 * p.wait_frac(),
+            p.wait,
+            p.total()
+        ));
+    }
+    for key in [
+        "rank:scatter:wait_frac",
+        "rank:reduction:wait_frac",
+        "serve:queue_wait_frac",
+    ] {
+        if let Some(v) = r.metric(key) {
+            frac = frac.max(v);
+            evidence.push(format!("{key} = {v:.3}"));
+        }
+    }
+    (!evidence.is_empty()).then_some(Hypothesis {
+        cause: "comm-wait-bound",
+        confidence: frac.clamp(0.0, 1.0),
+        evidence,
+    })
+}
+
+/// Latency-bound: a span histogram with a fat tail (p99 far above p50)
+/// points at per-call jitter rather than a structural throughput limit.
+/// Capped below the structural causes — a tail alone is weak evidence.
+fn latency_hypothesis(run: &LoadedRun) -> Option<Hypothesis> {
+    let mut worst: Option<(&str, f64, f64)> = None;
+    for s in &run.report.spans {
+        if let (Some(p50), Some(p99)) = (s.p50(), s.p99()) {
+            if p50 > 0.0 && p99 > 0.0 {
+                let fatter = match worst {
+                    Some((_, w50, w99)) => p99 / p50 > w99 / w50,
+                    None => true,
+                };
+                if fatter {
+                    worst = Some((&s.path, p50, p99));
+                }
+            }
+        }
+    }
+    let (path, p50, p99) = worst?;
+    let ratio = p99 / p50;
+    Some(Hypothesis {
+        cause: "latency-bound",
+        confidence: ((1.0 - 1.0 / ratio).clamp(0.0, 1.0)) * 0.45,
+        evidence: vec![format!(
+            "{path}: p99 {p99:.3e} s vs p50 {p50:.3e} s ({ratio:.1}x tail)"
+        )],
+    })
+}
+
+/// The cause family a regressed metric key points at, for A/B attribution.
+fn metric_cause(key: &str) -> &'static str {
+    if key.contains("gbps") || key.contains("bytes_per_s") || key.contains("bandwidth") {
+        "bandwidth"
+    } else if key.contains("imbalance") || key.contains("join_wait") {
+        "imbalance"
+    } else if key.contains("wait") || key.starts_with("cp:") {
+        "comm-wait"
+    } else if key.contains("p99") || key.contains("p95") {
+        "latency tail"
+    } else {
+        "time"
+    }
+}
+
+/// Attribute a regression between two runs to the phase and cause that
+/// moved: judge run B against run A metric by metric (polarity-aware, the
+/// gate's verdicts), group the regressed keys by their span-path phase, and
+/// rank phases by their worst relative degradation.
+fn render_attribution(a: &LoadedRun, b: &LoadedRun) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\n## A/B attribution: {} (A) vs {} (B)\n\n",
+        a.path, b.path
+    ));
+    let base = ExperimentBaseline {
+        name: a.report.name.clone(),
+        metrics: effective_metrics(&a.report)
+            .into_iter()
+            .map(|(k, v)| {
+                (
+                    k,
+                    MetricBaseline {
+                        median: v,
+                        mad: 0.0,
+                        n: 1,
+                    },
+                )
+            })
+            .collect(),
+    };
+    let current: Vec<(String, Summary)> = effective_metrics(&b.report)
+        .into_iter()
+        .map(|(k, v)| {
+            (
+                k,
+                Summary {
+                    n: 1,
+                    median: v,
+                    mad: 0.0,
+                    min: v,
+                    max: v,
+                },
+            )
+        })
+        .collect();
+    let comparisons = compare_experiment(&current, Some(&base), &Tolerance::default());
+
+    // Worst regressed mover per phase (the span path of `path:metric` keys;
+    // bare keys are run-level).  Causes are ranked separately from movers:
+    // a bandwidth drop is more diagnostic than the time/tail metrics it
+    // inflates, even when those move further in relative terms.
+    struct PhaseRow {
+        phase: String,
+        line: String,
+        rel: f64,
+        cause_rank: usize,
+    }
+    let cause_rank = |cause: &str| {
+        [
+            "bandwidth",
+            "imbalance",
+            "comm-wait",
+            "latency tail",
+            "time",
+        ]
+        .iter()
+        .position(|c| *c == cause)
+        .unwrap_or(usize::MAX)
+    };
+    let mut phases: Vec<PhaseRow> = Vec::new();
+    for c in &comparisons {
+        if c.verdict != Verdict::Regressed {
+            continue;
+        }
+        let Some(bl) = c.baseline else { continue };
+        let worse = if higher_is_better(&c.key) {
+            -c.delta
+        } else {
+            c.delta
+        };
+        let rel = worse / bl.median.abs().max(f64::MIN_POSITIVE);
+        let phase = match c.key.rsplit_once(':') {
+            Some((p, _)) if !p.is_empty() => p.to_string(),
+            _ => "run-level".to_string(),
+        };
+        let rank = cause_rank(metric_cause(&c.key));
+        let line = format!(
+            "`{}` {:.4e} -> {:.4e} ({:+.0}%, cause: {})",
+            c.key,
+            bl.median,
+            c.current.median,
+            100.0 * rel * if higher_is_better(&c.key) { -1.0 } else { 1.0 },
+            metric_cause(&c.key)
+        );
+        match phases.iter_mut().find(|r| r.phase == phase) {
+            Some(entry) => {
+                if rel > entry.rel {
+                    entry.line = line;
+                    entry.rel = rel;
+                }
+                entry.cause_rank = entry.cause_rank.min(rank);
+            }
+            None => phases.push(PhaseRow {
+                phase,
+                line,
+                rel,
+                cause_rank: rank,
+            }),
+        }
+    }
+    if phases.is_empty() {
+        out.push_str(
+            "no metric regressed beyond tolerance: A and B are statistically the same run.\n",
+        );
+        return out;
+    }
+    // Span phases outrank the run-level bucket regardless of magnitude:
+    // only a named phase can answer "where did the time go", so run-level
+    // metrics are a fallback when nothing phase-scoped moved.
+    phases.sort_by(|x, y| {
+        (x.phase == "run-level")
+            .cmp(&(y.phase == "run-level"))
+            .then(y.rel.total_cmp(&x.rel))
+    });
+    for row in &phases {
+        out.push_str(&format!(
+            "regressed phase: {} — worst mover {}\n",
+            row.phase, row.line
+        ));
+    }
+    let top = &phases[0];
+    let cause = [
+        "bandwidth",
+        "imbalance",
+        "comm-wait",
+        "latency tail",
+        "time",
+    ]
+    .get(top.cause_rank)
+    .copied()
+    .unwrap_or("time");
+    out.push_str(&format!(
+        "\nregression attributed to phase `{}` (cause: {cause})\n",
+        top.phase
+    ));
+
+    // Span-tree corroboration: the span whose total time grew the most.
+    let mut grown: Option<(String, f64, f64)> = None;
+    for sb in &b.report.spans {
+        if let Some(sa) = a.report.span(&sb.path) {
+            if sa.total_s > 0.0 {
+                let rel = (sb.total_s - sa.total_s) / sa.total_s;
+                if rel > 0.05 && grown.as_ref().is_none_or(|g| rel > g.2) {
+                    grown = Some((sb.path.clone(), sa.total_s, rel));
+                }
+            }
+        }
+    }
+    if let Some((path, was, rel)) = grown {
+        out.push_str(&format!(
+            "span `{path}` grew {was:.3e} s -> {:.3e} s ({:+.0}%)\n",
+            was * (1.0 + rel),
+            100.0 * rel
+        ));
+    }
+    out
+}
+
+/// Render a parsed flight-recorder dump: the dump header plus each thread
+/// ring's accounting and most recent records.
+pub fn render_blackbox(bb: &BlackboxDump) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\n## Flight recorder ({})\n\n",
+        fun3d_telemetry::blackbox::SCHEMA
+    ));
+    out.push_str(&format!(
+        "reason: {}; capacity {} records/thread; {} ring(s)\n",
+        bb.reason,
+        bb.capacity,
+        bb.rings.len()
+    ));
+    const TAIL: usize = 12;
+    for ring in &bb.rings {
+        out.push_str(&format!(
+            "\n{}: {} written, {} dropped, {} captured; most recent last:\n",
+            ring.thread,
+            ring.written,
+            ring.dropped,
+            ring.records.len()
+        ));
+        let skip = ring.records.len().saturating_sub(TAIL);
+        if skip > 0 {
+            out.push_str(&format!("  ... {skip} older record(s) elided ...\n"));
+        }
+        for rec in ring.records.iter().skip(skip) {
+            let line = match rec {
+                FlightRecord::Span { path, t_s, dur_s } => {
+                    format!("[{t_s:9.4}s] span    {path} ({dur_s:.3e} s)")
+                }
+                FlightRecord::Counter { path, delta, t_s } => {
+                    format!("[{t_s:9.4}s] counter {path} {delta:+.3e}")
+                }
+                FlightRecord::Event { tag, data, t_s } => {
+                    format!("[{t_s:9.4}s] event   {tag} {data}")
+                }
+            };
+            out.push_str(&format!("  {line}\n"));
+        }
+    }
+    out
+}
+
+/// Render the diagnosis view: join the run's perf report, profiler roofline
+/// rows, rank-trace critical path, histogram tails, anomaly events, and
+/// flight-recorder dump into a ranked list of bottleneck hypotheses with
+/// evidence lines.  With a second run, append an A/B attribution naming the
+/// phase and cause that moved.  With only a dump (`run = None`, the shape a
+/// panicked run leaves behind), the diagnosis is anomaly-terminated and the
+/// dump is rendered alone.
+pub fn render_explain(
+    run: Option<&LoadedRun>,
+    other: Option<&LoadedRun>,
+    blackbox: Option<&BlackboxDump>,
+) -> String {
+    let mut out = String::new();
+    match run {
+        Some(run) => {
+            out.push_str(&format!(
+                "# fun3d-report explain: {} ({})\n",
+                run.report.name, run.path
+            ));
+            let mut hyps: Vec<Hypothesis> = Vec::new();
+            hyps.extend(anomaly_hypothesis(run, blackbox));
+            hyps.extend(bandwidth_hypothesis(run));
+            hyps.extend(imbalance_hypothesis(run));
+            hyps.extend(comm_wait_hypothesis(run));
+            hyps.extend(latency_hypothesis(run));
+            hyps.sort_by(|x, y| y.confidence.total_cmp(&x.confidence));
+            if hyps.is_empty() {
+                out.push_str(
+                    "\nno diagnosis possible: the report carries no byte counters, region\n\
+                     profiles, rank traces, histograms, or anomaly events.  Rerun with\n\
+                     --profile, --trace-ranks, or --events to give `explain` evidence.\n",
+                );
+            } else {
+                out.push_str("\n## Ranked bottleneck hypotheses\n\n");
+                for (i, h) in hyps.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{}. {} (confidence {:.2})\n",
+                        i + 1,
+                        h.cause,
+                        h.confidence
+                    ));
+                    for e in &h.evidence {
+                        out.push_str(&format!("   - {e}\n"));
+                    }
+                }
+                out.push_str(&format!(
+                    "\nexplain:confidence = {:.2} (top hypothesis `{}`; reported only, never gated)\n",
+                    hyps[0].confidence, hyps[0].cause
+                ));
+            }
+            if let Some(o) = other {
+                out.push_str(&render_attribution(run, o));
+            }
+        }
+        None => {
+            out.push_str("# fun3d-report explain: flight-recorder dump only\n");
+            if let Some(bb) = blackbox {
+                out.push_str("\n## Ranked bottleneck hypotheses\n\n");
+                out.push_str(&format!(
+                    "1. anomaly-terminated (confidence 0.97)\n   - run died with a \
+                     flight-recorder dump (reason `{}`) before writing a report\n",
+                    bb.reason
+                ));
+                out.push_str(
+                    "\nexplain:confidence = 0.97 (top hypothesis `anomaly-terminated`; \
+                     reported only, never gated)\n",
+                );
+            }
+        }
+    }
+    if let Some(bb) = blackbox {
+        out.push_str(&render_blackbox(bb));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1679,5 +2209,114 @@ mod tests {
         let loaded = LoadedRun::load(&rp2, None).unwrap();
         assert!(loaded.events.is_empty());
         std::fs::remove_file(&rp2).ok();
+    }
+
+    #[test]
+    fn explain_ranks_bandwidth_bound_for_profiled_spmv() {
+        let run = profiled_run(2);
+        let text = render_explain(Some(&run), None, None);
+        assert!(text.contains("Ranked bottleneck hypotheses"), "{text}");
+        // The byte-counted SpMV kernel dominates: bandwidth-bound on top,
+        // with the %-of-STREAM evidence line and the memmodel delta.
+        assert!(text.contains("1. bandwidth-bound"), "{text}");
+        assert!(text.contains("75% of STREAM triad"), "{text}");
+        assert!(text.contains("memmodel:"), "{text}");
+        assert!(text.contains("explain:confidence"), "{text}");
+        // The imbalanced region still appears, ranked below.
+        assert!(text.contains("imbalance-bound"), "{text}");
+    }
+
+    #[test]
+    fn explain_puts_anomalies_first() {
+        let mut run = sample_run(1.0);
+        run.events.records.push(EventRecord::Anomaly {
+            kind: "non_finite_residual".into(),
+            step: 3,
+            residual_norm: f64::NAN,
+            detail: "residual norm is not finite".into(),
+        });
+        let text = render_explain(Some(&run), None, None);
+        assert!(text.contains("1. anomaly-terminated"), "{text}");
+        assert!(text.contains("non_finite_residual"), "{text}");
+        assert!(text.contains("at step 3"), "{text}");
+    }
+
+    #[test]
+    fn explain_without_evidence_says_so() {
+        let run = LoadedRun {
+            path: "bare.json".into(),
+            report: PerfReport::new("bare"),
+            events: EventStream::default(),
+            metrics: Default::default(),
+        };
+        let text = render_explain(Some(&run), None, None);
+        assert!(text.contains("no diagnosis possible"), "{text}");
+        assert!(text.contains("--profile"), "{text}");
+    }
+
+    /// A byte-counted run whose kernel takes `total_s`: slowing it down
+    /// drops the achieved GB/s, the regression signature `explain` must
+    /// attribute.
+    fn bw_run(total_s: f64) -> LoadedRun {
+        use fun3d_telemetry::TimeDomain;
+        let tel = Registry::enabled(0);
+        tel.record_span("spmv/csr", TimeDomain::Measured, total_s, 10);
+        tel.counter_at("spmv/csr", TimeDomain::Measured, "bytes", 30e9);
+        let mut report = PerfReport::new("spmv").with_snapshot(&tel.snapshot());
+        report.push_metric("stream_triad_bytes_per_s", 20e9);
+        LoadedRun {
+            path: format!("spmv_{total_s}.json"),
+            report,
+            events: EventStream::default(),
+            metrics: Default::default(),
+        }
+    }
+
+    #[test]
+    fn explain_ab_names_the_regressed_phase_and_cause() {
+        let a = bw_run(2.0);
+        let b = bw_run(4.0); // same traffic, twice the time: gbps halves
+        let text = render_explain(Some(&a), Some(&b), None);
+        assert!(text.contains("A/B attribution"), "{text}");
+        assert!(text.contains("regressed phase: spmv/csr"), "{text}");
+        assert!(
+            text.contains("regression attributed to phase `spmv/csr` (cause: bandwidth)"),
+            "{text}"
+        );
+        // The span-tree corroboration names the grown span too.
+        assert!(text.contains("span `spmv/csr` grew"), "{text}");
+        // A self-pair attributes nothing.
+        let text = render_explain(Some(&a), Some(&a), None);
+        assert!(text.contains("statistically the same run"), "{text}");
+    }
+
+    #[test]
+    fn explain_renders_a_blackbox_dump_alone() {
+        use fun3d_telemetry::blackbox::parse_dump;
+        let text = format!(
+            "{}\n{}\n{}\n{}\n{}\n",
+            r#"{"schema":"fun3d-blackbox/1","capacity":64,"reason":"panic","rings":1}"#,
+            r#"{"ring":"main#0","dropped":0,"written":3}"#,
+            r#"{"rec":"span","path":"nks/krylov","t_s":0.5,"dur_s":0.01}"#,
+            r#"{"rec":"counter","path":"anomalies","delta":1,"t_s":0.6}"#,
+            r#"{"rec":"event","tag":"newton_step","data":"{\"ev\":\"newton_step\",\"step\":7}","t_s":0.7}"#,
+        );
+        let dump = parse_dump(&text).unwrap();
+        let out = render_explain(None, None, Some(&dump));
+        assert!(out.contains("1. anomaly-terminated"), "{out}");
+        assert!(out.contains("reason `panic`"), "{out}");
+        assert!(out.contains("Flight recorder (fun3d-blackbox/1)"), "{out}");
+        assert!(out.contains("nks/krylov"), "{out}");
+        assert!(out.contains("newton_step"), "{out}");
+        assert!(out.contains("3 written, 0 dropped"), "{out}");
+        // Paired with a report, the dump both feeds the anomaly hypothesis
+        // and renders as a section.
+        let run = sample_run(1.0);
+        let out = render_explain(Some(&run), None, Some(&dump));
+        assert!(
+            out.contains("flight-recorder dump taken (reason `panic`)"),
+            "{out}"
+        );
+        assert!(out.contains("## Flight recorder"), "{out}");
     }
 }

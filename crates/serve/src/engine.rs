@@ -193,6 +193,9 @@ impl JobHandle {
 pub struct EngineStats {
     /// Solves completed.
     pub completed: u64,
+    /// Completed solves that aborted on a solver anomaly
+    /// ([`SolveOutcome::Failed`]).
+    pub failed: u64,
     /// Worker passes (one shared state acquisition each).
     pub batches: u64,
     /// Completed solves that rode a batch of size > 1.
@@ -220,10 +223,14 @@ struct Live {
     /// Cumulative end-to-end latency histogram (diff two snapshots with
     /// `LogHistogram::since` for windowed quantiles).
     lat_hist: Mutex<LogHistogram>,
-    /// Completions that exceeded the latency target.
+    /// Completions that exceeded the latency target or failed on an
+    /// anomaly (both burn error budget).
     over_target: AtomicU64,
     /// Counter values at the previous `health()` call.
     window: Mutex<HealthWindow>,
+    /// Whether the flight recorder has already been dumped for SLO
+    /// saturation (one dump per engine, not one per health poll).
+    saturation_dumped: AtomicBool,
 }
 
 #[derive(Default, Clone, Copy)]
@@ -237,6 +244,7 @@ struct Shared {
     queue: JobQueue,
     cache: StateCache,
     completed: AtomicU64,
+    failed: AtomicU64,
     batches: AtomicU64,
     batched_jobs: AtomicU64,
     in_flight: AtomicU64,
@@ -267,11 +275,13 @@ impl Engine {
             lat_hist: Mutex::new(LogHistogram::new()),
             over_target: AtomicU64::new(0),
             window: Mutex::new(HealthWindow::default()),
+            saturation_dumped: AtomicBool::new(false),
         });
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_depth, cfg.policy),
             cache: StateCache::new(cfg.cache_capacity, cfg.solver_threads.max(1)),
             completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_jobs: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
@@ -332,6 +342,7 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
             batched_jobs: self.shared.batched_jobs.load(Ordering::Relaxed),
             queue_depth: self.shared.queue.depth_now() as u64,
@@ -414,6 +425,12 @@ impl Engine {
         } else {
             HealthState::Ok
         };
+        // First saturation observation dumps the flight recorder (if armed):
+        // the rings hold the requests leading up to the overload.
+        if state == HealthState::Saturated && !live.saturation_dumped.swap(true, Ordering::Relaxed)
+        {
+            fun3d_telemetry::blackbox::dump_now("slo_saturation");
+        }
         Some(HealthSnapshot {
             state,
             burn_rate,
@@ -475,7 +492,11 @@ fn worker_loop(shared: &Shared, max_batch: usize, w: usize) {
             // Only the batch's first job can miss: the rest reuse the
             // state it just built (or found).
             let cache_hit = hit || i > 0;
+            let anomalous = history.anomaly.is_some();
             shared.completed.fetch_add(1, Ordering::Relaxed);
+            if anomalous {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+            }
             if n > 1 {
                 shared.batched_jobs.fetch_add(1, Ordering::Relaxed);
             }
@@ -490,7 +511,9 @@ fn worker_loop(shared: &Shared, max_batch: usize, w: usize) {
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
                         .record(latency);
-                    if latency > live.slo.latency_target_s {
+                    // An anomaly-terminated request burns error budget even
+                    // when it aborted quickly enough to meet the target.
+                    if anomalous || latency > live.slo.latency_target_s {
                         live.over_target.fetch_add(1, Ordering::Relaxed);
                     }
                     live.sink.emit(EventRecord::RequestTrace {
@@ -525,8 +548,7 @@ fn worker_loop(shared: &Shared, max_batch: usize, w: usize) {
                     reg.record_event("serve/respond", TimeDomain::Measured, rel(s1), t_respond);
                 }
             }
-            // A dropped handle just means nobody is waiting on this job.
-            let _ = job.tx.send(SolveOutcome::Done(Box::new(SolveResponse {
+            let response = Box::new(SolveResponse {
                 id,
                 history,
                 solution: q,
@@ -540,7 +562,13 @@ fn worker_loop(shared: &Shared, max_batch: usize, w: usize) {
                 t_solve_s: t_solve,
                 t_respond_s: t_respond,
                 latency_s: latency,
-            })));
+            });
+            // A dropped handle just means nobody is waiting on this job.
+            let _ = job.tx.send(if anomalous {
+                SolveOutcome::Failed(response)
+            } else {
+                SolveOutcome::Done(response)
+            });
         }
     }
 }
@@ -783,6 +811,47 @@ mod tests {
             assert!(paths.contains(&p), "missing lane span {p} in {paths:?}");
         }
         eng.shutdown();
+    }
+
+    #[test]
+    fn anomalous_solves_fail_the_request_and_burn_error_budget() {
+        let eng = Engine::start(&EngineConfig {
+            workers: 1,
+            max_batch: 1,
+            live: Some(SloConfig {
+                latency_target_s: 1e9, // latency alone never burns budget here
+                budget_frac: 0.05,
+            }),
+            ..Default::default()
+        });
+        let sc = tiny_scenario();
+        let ok = eng.submit(&sc, &tiny_nks()).unwrap().wait();
+        assert!(!ok.is_failed());
+        assert!(ok.done().is_some());
+        // A wedged solve: zero Krylov iterations means a zero Newton update,
+        // so the residual is bitwise flat every step and the health
+        // monitor's stagnation detector must trip.
+        let mut wedged = tiny_nks();
+        wedged.krylov.max_iters = 0;
+        wedged.max_steps = 40;
+        wedged.target_reduction = 1e-300;
+        let out = eng.submit(&sc, &wedged).unwrap().wait();
+        assert!(out.is_failed());
+        let resp = out.response().expect("failed outcomes carry the response");
+        let anomaly = resp
+            .history
+            .anomaly
+            .as_ref()
+            .expect("failed outcome must carry the anomaly verdict");
+        assert_eq!(anomaly.kind, fun3d_solver::health::AnomalyKind::Stagnation);
+        // The failure burns error budget despite the sky-high latency target.
+        let h = eng.health().unwrap();
+        assert_eq!(h.window_completed, 2);
+        assert_eq!(h.window_over_target, 1);
+        assert_eq!(h.state, HealthState::Degraded);
+        let stats = eng.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 1);
     }
 
     #[test]

@@ -127,18 +127,36 @@ pub struct SolveRequest {
 pub enum SolveOutcome {
     /// The solve ran to completion.
     Done(Box<SolveResponse>),
+    /// The solver's health monitor tripped and the solve aborted: the
+    /// response's `history.anomaly` carries the typed verdict.  Failed
+    /// requests burn SLO error budget like over-target completions.
+    Failed(Box<SolveResponse>),
     /// Admitted, then dropped by the `ShedOldest` admission policy to make
     /// room for a later arrival.
     Shed,
 }
 
 impl SolveOutcome {
-    /// The response if the solve completed.
+    /// The response if the solve completed *healthily*.
     pub fn done(self) -> Option<SolveResponse> {
         match self {
             SolveOutcome::Done(r) => Some(*r),
+            SolveOutcome::Failed(_) | SolveOutcome::Shed => None,
+        }
+    }
+
+    /// The response whether the solve succeeded or aborted on an anomaly
+    /// (`None` only for shed jobs).
+    pub fn response(self) -> Option<SolveResponse> {
+        match self {
+            SolveOutcome::Done(r) | SolveOutcome::Failed(r) => Some(*r),
             SolveOutcome::Shed => None,
         }
+    }
+
+    /// Whether the solve aborted on a detected anomaly.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, SolveOutcome::Failed(_))
     }
 }
 

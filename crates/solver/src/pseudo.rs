@@ -15,6 +15,7 @@
 //! up to 1.5 for first-order phases).
 
 use crate::gmres::{gmres_with_events, GmresOptions};
+use crate::health::{Anomaly, HealthConfig, HealthMonitor};
 use crate::op::{CsrOperator, FdJacobianOperator, PseudoTransientProblem};
 use crate::precond::{AdditiveSchwarz, BlockIluPrecond, IluPrecond, Preconditioner};
 use fun3d_sparse::bcsr::BcsrMatrix;
@@ -185,6 +186,10 @@ pub struct SolveHistory {
     pub final_residual: f64,
     /// Initial residual norm.
     pub initial_residual: f64,
+    /// The anomaly that aborted the solve, if the health monitor tripped
+    /// (NaN/Inf residual, divergence, stagnation, or CFL breakdown).  A
+    /// healthy solve — converged or simply out of steps — leaves this `None`.
+    pub anomaly: Option<Anomaly>,
 }
 
 impl SolveHistory {
@@ -375,9 +380,25 @@ pub fn solve_pseudo_transient_warm<P: PseudoTransientProblem>(
         converged: false,
         final_residual: r0_norm,
         initial_residual: r0_norm,
+        anomaly: None,
     };
     if r0_norm == 0.0 {
         history.converged = true;
+        return history;
+    }
+    // Health monitoring is always on: it reads only per-step scalars the
+    // solve already computes, so a healthy run is bitwise unaffected.
+    let mut monitor = HealthMonitor::new(HealthConfig::default(), r0_norm, opts.target_reduction);
+    // CI fault-injection hooks, read once per solve.  PANIC unwinds mid-step
+    // (exercising the flight recorder's panic dump); NAN poisons the residual
+    // norm (exercising anomaly detection and graceful abort).
+    let panic_at = fault_step("FUN3D_PANIC_AT_STEP");
+    let nan_at = fault_step("FUN3D_NAN_AT_STEP");
+    if !r0_norm.is_finite() {
+        let anomaly = monitor
+            .observe(0, r0_norm, 0.0)
+            .expect("non-finite initial residual must trip the monitor");
+        abort_with_anomaly(&mut history, anomaly, tel, events);
         return history;
     }
     let mut switched = opts.second_order_switch.is_none();
@@ -405,6 +426,13 @@ pub fn solve_pseudo_transient_warm<P: PseudoTransientProblem>(
         if rnorm / r0_norm <= opts.target_reduction {
             history.converged = true;
             break;
+        }
+        if panic_at == Some(step) {
+            // Record elapsed time of the open span stack first so a report
+            // snapshotted by an outer panic handler still parses, then unwind
+            // (the flight recorder's panic hook dumps the rings).
+            tel.flush_open();
+            panic!("injected panic at pseudo-step {step} (FUN3D_PANIC_AT_STEP)");
         }
         // Order continuation: switch to second order once the residual has
         // dropped far enough (and recompute the residual with the new
@@ -570,6 +598,11 @@ pub fn solve_pseudo_transient_warm<P: PseudoTransientProblem>(
             }
         }
         drop(res_span);
+        if nan_at == Some(step) {
+            // Injected fault: poison the residual norm the way a NaN leaking
+            // out of a flux evaluation would.
+            rnorm = f64::NAN;
+        }
         let t_residual = t_residual_carry + t0.elapsed().as_secs_f64();
         t_residual_carry = 0.0;
         history.steps.push(StepRecord {
@@ -596,12 +629,41 @@ pub fn solve_pseudo_transient_warm<P: PseudoTransientProblem>(
             t_krylov,
         });
         history.final_residual = rnorm;
+        if let Some(anomaly) = monitor.observe(nstep, rnorm, alpha) {
+            abort_with_anomaly(&mut history, anomaly, tel, events);
+            break;
+        }
     }
     if rnorm / r0_norm <= opts.target_reduction {
         history.converged = true;
     }
     tel.counter("steps", history.steps.len() as f64);
     history
+}
+
+/// Parse a fault-injection step index from the environment (CI hooks).
+fn fault_step(var: &str) -> Option<usize> {
+    std::env::var(var).ok().and_then(|v| v.parse().ok())
+}
+
+/// Graceful structured abort: emit the typed anomaly event, count it, dump
+/// the flight recorder (if armed), and record the verdict in the history.
+/// The solve returns normally — callers decide the process exit.
+fn abort_with_anomaly(
+    history: &mut SolveHistory,
+    anomaly: Anomaly,
+    tel: &Registry,
+    events: &EventSink,
+) {
+    events.emit(EventRecord::Anomaly {
+        kind: anomaly.kind.tag().to_string(),
+        step: anomaly.step,
+        residual_norm: anomaly.residual_norm,
+        detail: anomaly.detail.clone(),
+    });
+    tel.counter("anomalies", 1.0);
+    fun3d_telemetry::blackbox::dump_now(anomaly.kind.tag());
+    history.anomaly = Some(anomaly);
 }
 
 #[cfg(test)]
@@ -919,7 +981,7 @@ mod tests {
         let wrong_fill = IluFactors::factor(&jac, &IluOptions::with_fill(2)).unwrap();
         let small = Bratu1d::new(20, 1.0);
         let wrong_dim =
-            IluFactors::factor(&small.jacobian(&vec![0.0; 20]), &IluOptions::with_fill(0)).unwrap();
+            IluFactors::factor(&small.jacobian(&[0.0; 20]), &IluOptions::with_fill(0)).unwrap();
         // Diagonal-only pattern: same n and block size, different nnz.
         let eye = fun3d_sparse::csr::CsrMatrix::identity(30);
         let foreign_bcsr = BcsrMatrix::from_csr(&eye, 5);
@@ -965,5 +1027,81 @@ mod tests {
             assert!(s.residual_norm.is_finite());
             assert!(s.step_length > 0.0);
         }
+    }
+
+    #[test]
+    fn healthy_solves_report_no_anomaly() {
+        // The monitor is always on; none of the standard solves — including
+        // the slow small-CFL induction case — may trip it.
+        for cfl0 in [0.1, 1.0, 10.0] {
+            let mut p = Bratu1d::new(30, 0.5);
+            let mut q = vec![0.0; 30];
+            let mut opts = default_opts();
+            opts.cfl0 = cfl0;
+            let h = solve_pseudo_transient(&mut p, &mut q, &opts);
+            assert!(h.converged, "cfl0={cfl0}");
+            assert!(h.anomaly.is_none(), "cfl0={cfl0}: {:?}", h.anomaly);
+        }
+    }
+
+    #[test]
+    fn non_finite_initial_residual_aborts_with_anomaly() {
+        // A NaN already in the initial state must produce a structured
+        // verdict, not max_steps of NaN algebra.
+        let mut p = Bratu1d::new(20, 1.0);
+        let mut q = vec![0.0; 20];
+        q[7] = f64::NAN;
+        let sink = EventSink::enabled();
+        let h = solve_pseudo_transient_with_events(
+            &mut p,
+            &mut q,
+            &default_opts(),
+            &Registry::disabled(),
+            &sink,
+        );
+        assert!(!h.converged);
+        assert_eq!(h.nsteps(), 0, "must abort before stepping");
+        let anomaly = h.anomaly.expect("NaN initial residual must be flagged");
+        assert_eq!(anomaly.kind, crate::health::AnomalyKind::NonFiniteResidual);
+        // The typed anomaly event rides the stream for post-mortem tools.
+        let evs = sink.drain();
+        assert!(
+            evs.iter().any(
+                |e| matches!(e, EventRecord::Anomaly { kind, .. } if kind == "non_finite_residual")
+            ),
+            "anomaly event missing: {evs:?}"
+        );
+    }
+
+    #[test]
+    fn armed_flight_recorder_is_bitwise_inert() {
+        // The ISSUE's pin: recorder + monitor on changes no numerical result.
+        let run = || {
+            let mut p = Bratu1d::new(25, 1.0);
+            let mut q = vec![0.0; 25];
+            let tel = Registry::enabled(0);
+            let sink = EventSink::enabled();
+            let h =
+                solve_pseudo_transient_with_events(&mut p, &mut q, &default_opts(), &tel, &sink);
+            (h, q)
+        };
+        let (h_off, q_off) = run();
+        fun3d_telemetry::blackbox::arm(512, None);
+        let (h_on, q_on) = run();
+        fun3d_telemetry::blackbox::disarm();
+        assert!(h_off.converged && h_on.converged);
+        assert_eq!(q_off, q_on, "recorder must not perturb the solution");
+        assert_eq!(h_off.final_residual, h_on.final_residual);
+        assert_eq!(h_off.nsteps(), h_on.nsteps());
+        for (a, b) in h_off.steps.iter().zip(&h_on.steps) {
+            assert_eq!(a.residual_norm, b.residual_norm);
+            assert_eq!(a.linear_iters, b.linear_iters);
+            assert_eq!(a.cfl, b.cfl);
+        }
+        // And the armed run actually captured the final spans.
+        let dump = fun3d_telemetry::blackbox::dump_string("test")
+            .expect("armed run must leave ring contents");
+        assert!(dump.contains("fun3d-blackbox/1"));
+        assert!(dump.contains("krylov"), "rings should hold solver spans");
     }
 }

@@ -104,6 +104,20 @@ pub enum EventRecord {
         /// End-to-end seconds from admission to response.
         latency_s: f64,
     },
+    /// A solver health anomaly detected in-process by the health monitor:
+    /// the step where the solve went wrong and why it was aborted.
+    Anomaly {
+        /// Stable anomaly class tag (`non_finite_residual`, `divergence`,
+        /// `stagnation`, `cfl_breakdown`).
+        kind: String,
+        /// Pseudo-timestep the anomaly was detected at.
+        step: u64,
+        /// Residual norm at detection.  May be NaN (serialized as JSON
+        /// `null` and parsed back to NaN).
+        residual_norm: f64,
+        /// Human-readable evidence (window sizes, thresholds crossed).
+        detail: String,
+    },
     /// Aggregated fun3d-profile timings for one parallel region at one team
     /// size — the shared-memory imbalance accounting of Table 3.
     ParRegion {
@@ -154,8 +168,16 @@ impl EventSink {
         self.inner.is_some()
     }
 
-    /// Append one event (no-op on a disabled sink).
+    /// Append one event (no-op on a disabled sink).  An armed flight
+    /// recorder captures the event even through a disabled sink, so a
+    /// production run with event capture off still leaves its last
+    /// iterations in the black box.
     pub fn emit(&self, ev: EventRecord) {
+        if crate::blackbox::is_armed() {
+            let v = record_to_json(&ev);
+            let tag = v.get("ev").and_then(Value::as_str).unwrap_or("?");
+            crate::blackbox::event(tag, v.render());
+        }
         if let Some(arc) = &self.inner {
             arc.lock().unwrap_or_else(|e| e.into_inner()).push(ev);
         }
@@ -335,6 +357,18 @@ fn record_to_json(r: &EventRecord) -> Value {
             ("t_respond_s".into(), Value::Num(*t_respond_s)),
             ("latency_s".into(), Value::Num(*latency_s)),
         ]),
+        EventRecord::Anomaly {
+            kind,
+            step,
+            residual_norm,
+            detail,
+        } => Value::Obj(vec![
+            ("ev".into(), Value::Str("anomaly".into())),
+            ("kind".into(), Value::Str(kind.clone())),
+            ("step".into(), num_u64(*step)),
+            ("residual_norm".into(), Value::Num(*residual_norm)),
+            ("detail".into(), Value::Str(detail.clone())),
+        ]),
         EventRecord::ParRegion {
             label,
             nthreads,
@@ -359,9 +393,15 @@ fn record_to_json(r: &EventRecord) -> Value {
 }
 
 fn field(v: &Value, key: &str) -> Result<f64, String> {
-    v.get(key)
-        .and_then(Value::as_f64)
-        .ok_or_else(|| format!("missing/invalid field {key:?}"))
+    match v.get(key) {
+        None => Err(format!("missing/invalid field {key:?}")),
+        // `null` is how the writer serializes non-finite floats, so the
+        // faithful inverse is NaN (an anomaly's residual can be NaN).
+        Some(Value::Null) => Ok(f64::NAN),
+        Some(x) => x
+            .as_f64()
+            .ok_or_else(|| format!("missing/invalid field {key:?}")),
+    }
 }
 
 fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
@@ -435,6 +475,20 @@ fn record_from_json(v: &Value) -> Result<EventRecord, String> {
             t_solve_s: field(v, "t_solve_s")?,
             t_respond_s: field(v, "t_respond_s")?,
             latency_s: field(v, "latency_s")?,
+        }),
+        "anomaly" => Ok(EventRecord::Anomaly {
+            kind: v
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or("anomaly missing kind")?
+                .to_string(),
+            step: field_u64(v, "step")?,
+            residual_norm: field(v, "residual_norm")?,
+            detail: v
+                .get("detail")
+                .and_then(Value::as_str)
+                .ok_or("anomaly missing detail")?
+                .to_string(),
         }),
         "par_region" => Ok(EventRecord::ParRegion {
             label: v
@@ -607,6 +661,12 @@ mod tests {
                 t_respond_s: 0.125,
                 latency_s: 1.0,
             },
+            EventRecord::Anomaly {
+                kind: "stagnation".into(),
+                step: 7,
+                residual_norm: 0.25,
+                detail: "plateau over 10 steps".into(),
+            },
         ])
     }
 
@@ -734,6 +794,53 @@ mod tests {
             "{}\n{}\n",
             r#"{"schema":"fun3d-events/1"}"#,
             r#"{"ev":"scatter","bytes":64,"neighbors":1,"t":1e-6}"#,
+        );
+        assert!(EventStream::parse(&legacy).is_ok());
+    }
+
+    #[test]
+    fn anomaly_with_nan_residual_round_trips_via_null() {
+        // A NaN residual is exactly what a non_finite_residual anomaly
+        // carries; it serializes as JSON null and must parse back to NaN
+        // instead of failing the whole stream.
+        let s = EventStream::new(vec![EventRecord::Anomaly {
+            kind: "non_finite_residual".into(),
+            step: 3,
+            residual_norm: f64::NAN,
+            detail: "residual became NaN".into(),
+        }]);
+        let text = s.to_jsonl();
+        assert!(text.contains("\"residual_norm\":null"), "{text}");
+        let back = EventStream::parse(&text).unwrap();
+        let EventRecord::Anomaly {
+            kind,
+            step,
+            residual_norm,
+            ..
+        } = &back.records[0]
+        else {
+            panic!("expected anomaly");
+        };
+        assert_eq!(kind, "non_finite_residual");
+        assert_eq!(*step, 3);
+        assert!(residual_norm.is_nan());
+        // A NaN newton_step (the record that triggered the anomaly) must
+        // also survive parsing rather than poisoning the file.
+        let ns = format!(
+            "{}\n{}\n",
+            r#"{"schema":"fun3d-events/1"}"#,
+            r#"{"ev":"newton_step","step":1,"residual_norm":null,"cfl":10,"gmres_iters":2,"eta":0.1,"t_residual":0,"t_jacobian":0,"t_precond":0,"t_krylov":0}"#,
+        );
+        let parsed = EventStream::parse(&ns).unwrap();
+        let EventRecord::NewtonStep { residual_norm, .. } = &parsed.records[0] else {
+            panic!("expected newton_step");
+        };
+        assert!(residual_norm.is_nan());
+        // Streams written before anomalies existed keep parsing unchanged.
+        let legacy = format!(
+            "{}\n{}\n",
+            r#"{"schema":"fun3d-events/1"}"#,
+            r#"{"ev":"krylov_iter","step":0,"iter":1,"residual_norm":0.5}"#,
         );
         assert!(EventStream::parse(&legacy).is_ok());
     }

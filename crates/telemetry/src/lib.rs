@@ -23,6 +23,7 @@
 //! span/counter calls compile to an `Option` check — hot kernels keep their
 //! instrumentation callsites with near-zero cost when profiling is off.
 
+pub mod blackbox;
 pub mod events;
 pub mod hist;
 pub mod json;
@@ -89,6 +90,9 @@ struct Inner {
     nodes: Vec<Node>,
     /// Indices of currently-open spans, outermost first.
     stack: Vec<usize>,
+    /// Open times of the spans in `stack` (same order), so dump-time
+    /// flushes can attribute elapsed time without reaching into guards.
+    open_starts: Vec<f64>,
     events: Vec<Event>,
     flows: Vec<FlowEdge>,
 }
@@ -108,6 +112,7 @@ impl Inner {
                 hist: LogHistogram::new(),
             }],
             stack: Vec::new(),
+            open_starts: Vec::new(),
             events: Vec::new(),
             flows: Vec::new(),
         }
@@ -215,14 +220,26 @@ impl Registry {
     #[must_use = "the span closes when the guard drops; binding it to _ closes it immediately"]
     pub fn span(&self, name: &str) -> SpanGuard {
         match &self.inner {
-            None => SpanGuard { state: None },
+            None => SpanGuard {
+                state: None,
+                // Even with profiling off, an armed flight recorder still
+                // sees the span (under its bare name).
+                bb: blackbox::span_open(name),
+            },
             Some(arc) => {
-                let (node, start) = {
+                let (node, start, bb_path) = {
                     let mut g = Self::lock(arc);
                     let base = *g.stack.last().unwrap_or(&0);
                     let node = g.resolve(base, name, TimeDomain::Measured);
                     g.stack.push(node);
-                    (node, g.now_s())
+                    let start = g.now_s();
+                    g.open_starts.push(start);
+                    let bb_path = if blackbox::is_armed() {
+                        Some(g.nodes[node].path.clone())
+                    } else {
+                        None
+                    };
+                    (node, start, bb_path)
                 };
                 SpanGuard {
                     state: Some(GuardState {
@@ -230,6 +247,7 @@ impl Registry {
                         node,
                         start,
                     }),
+                    bb: bb_path.and_then(blackbox::span_open_owned),
                 }
             }
         }
@@ -238,6 +256,7 @@ impl Registry {
     /// Add `delta` to counter `name` on the innermost open span (or the
     /// root if no span is open).
     pub fn counter(&self, name: &str, delta: f64) {
+        blackbox::counter(name, delta);
         if let Some(arc) = &self.inner {
             let mut g = Self::lock(arc);
             let at = *g.stack.last().unwrap_or(&0);
@@ -248,10 +267,44 @@ impl Registry {
     /// Add `delta` to counter `name` on the node at absolute path `path`,
     /// creating the path if needed (used when ingesting model output).
     pub fn counter_at(&self, path: &str, domain: TimeDomain, name: &str, delta: f64) {
+        if blackbox::is_armed() {
+            blackbox::counter(&format!("{path}:{name}"), delta);
+        }
         if let Some(arc) = &self.inner {
             let mut g = Self::lock(arc);
             let at = g.resolve(0, path, domain);
             bump_counter(&mut g.nodes[at].counters, name, delta);
+        }
+    }
+
+    /// Record the elapsed-so-far time of every currently-open span as a
+    /// completed call, without closing the guards.  For dump-time snapshots
+    /// when the process is about to die (panic hook, anomaly abort): a
+    /// report built right after this parses with the interrupted phase
+    /// visible.  If the guards do unwind later they record again — callers
+    /// use this only on exit paths where they won't.
+    pub fn flush_open(&self) {
+        if let Some(arc) = &self.inner {
+            let mut g = Self::lock(arc);
+            let now = g.now_s();
+            let open: Vec<(usize, f64)> = g
+                .stack
+                .iter()
+                .copied()
+                .zip(g.open_starts.iter().copied())
+                .collect();
+            for (node, start) in open {
+                let dur = (now - start).max(0.0);
+                let n = &mut g.nodes[node];
+                n.calls += 1;
+                n.total_s += dur;
+                n.hist.record(dur);
+                g.events.push(Event {
+                    node,
+                    t_start_s: start,
+                    dur_s: dur,
+                });
+            }
         }
     }
 
@@ -376,15 +429,22 @@ struct GuardState {
 #[must_use = "the span closes when the guard drops; binding it to _ closes it immediately"]
 pub struct SpanGuard {
     state: Option<GuardState>,
+    /// Flight-recorder handle, present only when the recorder was armed at
+    /// open time (even on a disabled registry).
+    bb: Option<blackbox::OpenSpan>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if let Some(bb) = self.bb.take() {
+            blackbox::span_close(bb);
+        }
         let Some(st) = self.state.take() else { return };
         let mismatch;
         {
             let mut g = Registry::lock(&st.inner);
             let top = g.stack.pop();
+            g.open_starts.pop();
             mismatch = top != Some(st.node);
             let now = g.now_s();
             let dur = (now - st.start).max(0.0);
@@ -1024,6 +1084,54 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.span("(root)").unwrap().counter("flops"), Some(1000.0));
         assert_eq!(snap.span("deep/path").unwrap().counter("bytes"), Some(16.0));
+    }
+
+    #[test]
+    fn flush_open_records_open_spans_without_closing() {
+        let reg = Registry::enabled(0);
+        let _outer = reg.span("nks");
+        let _inner = reg.span("krylov");
+        reg.flush_open();
+        let snap = reg.snapshot();
+        // Both open spans appear as completed calls...
+        assert_eq!(snap.span("nks").unwrap().calls, 1);
+        assert_eq!(snap.span("nks/krylov").unwrap().calls, 1);
+        // ...and the guards are still open: dropping them records again.
+        drop(_inner);
+        drop(_outer);
+        let snap = reg.snapshot();
+        assert_eq!(snap.span("nks").unwrap().calls, 2);
+        assert_eq!(snap.span("nks/krylov").unwrap().calls, 2);
+    }
+
+    #[test]
+    fn panicked_span_still_records_and_report_parses() {
+        // An unwind through open spans must not lose them or leave the
+        // registry in a state whose report fails to serialize/parse.
+        let reg = Registry::enabled(0);
+        let reg2 = reg.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _outer = reg2.span("nks");
+            let _inner = reg2.span("krylov/gmres");
+            reg2.counter("its", 3.0);
+            panic!("injected failure mid-span");
+        });
+        assert!(result.is_err());
+        let snap = reg.snapshot();
+        // Unwinding guards flushed both spans.
+        assert_eq!(snap.span("nks").unwrap().calls, 1);
+        let inner = snap.span("nks/krylov/gmres").unwrap();
+        assert_eq!(inner.calls, 1);
+        assert_eq!(inner.counter("its"), Some(3.0));
+        // The partial report round-trips through the stable schema.
+        let rep = report::PerfReport::new("panicked").with_snapshot(&snap);
+        let back = report::PerfReport::from_json_str(&rep.to_json_string()).unwrap();
+        assert_eq!(back, rep);
+        // And the registry stays usable after the unwind.
+        {
+            let _g = reg.span("after");
+        }
+        assert_eq!(reg.snapshot().span("after").unwrap().calls, 1);
     }
 
     #[test]
